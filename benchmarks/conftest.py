@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark file regenerates one table/figure from the paper's
+evaluation (see DESIGN.md's experiment index) and prints it via
+:func:`emit`.  pytest captures output at the file-descriptor level, so
+``emit`` temporarily suspends the capture manager — the tables reach the
+real stdout (and any ``tee``) even for passing tests, without needing
+``-s``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+_CONFIG = None
+
+
+def pytest_configure(config):
+    global _CONFIG
+    _CONFIG = config
+
+
+def _write(text):
+    capman = None
+    if _CONFIG is not None:
+        capman = _CONFIG.pluginmanager.getplugin("capturemanager")
+    if capman is not None:
+        with capman.global_and_fixture_disabled():
+            sys.stdout.write(text)
+            sys.stdout.flush()
+    else:
+        sys.__stdout__.write(text)
+        sys.__stdout__.flush()
+
+
+def emit(*chunks):
+    """Print to the real stdout, bypassing pytest capture."""
+    _write("\n" + "\n".join(str(c) for c in chunks) + "\n")
+
+
+def banner(title):
+    emit("=" * 78, title, "=" * 78)

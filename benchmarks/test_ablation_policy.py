@@ -1,0 +1,112 @@
+"""Ablation — caching policy knobs: speculation (Section 7.1) and the
+rule 6 triviality threshold.
+
+* Speculation: the paper's rule 3 forbids caching under dependent
+  control; Section 7.1 proposes weakening it since "the load-time
+  overhead is presently very low".  With our hoist-to-entry speculation,
+  values guarded by dependent predicates become cacheable, buying reader
+  speedup at the price of extra loader work and cache space.
+* Triviality: rule 6 refuses to cache terms cheaper than a memory
+  reference.  Forcing the threshold up (cache almost nothing) or down
+  (cache even trivia) brackets the default policy.
+"""
+
+from repro.core.specializer import DataSpecializer, SpecializerOptions
+
+from conftest import banner, emit
+
+SPECULATABLE = """
+float f(float a, float b) {
+    float acc = 0.0;
+    if (b > 0.5) {
+        acc = turbulence(vec3(a, a * 2.0, 1.0), 4.0);
+    }
+    if (b > 1.5) {
+        acc = acc + noise(vec3(a, 0.0, a));
+    }
+    return acc * b + a;
+}
+"""
+
+ARGS = [0.7, 0.2]          # loader runs with both branches cold
+VARIANTS = [[0.7, 1.0], [0.7, 2.0], [0.7, -1.0]]
+
+TRIVIA = """
+float g(float a, float b) {
+    float cheap = a + 1.0;
+    float mid = a * a;
+    float big = sqrt(a) + a * a * a;
+    return cheap * b + mid * b + big * b;
+}
+"""
+
+
+def run_case(src, name, varying, options, base, variants):
+    spec = DataSpecializer(src, options).specialize(name, varying)
+    _, cache, load_cost = spec.run_loader(base)
+    total_read = 0
+    for variant in variants:
+        expected, _ = spec.run_original(variant)
+        got, cost = spec.run_reader(cache, variant)
+        assert abs(got - expected) < 1e-9
+        total_read += cost
+    return spec, load_cost, total_read
+
+
+def test_speculation_ablation(benchmark):
+    banner("Ablation: speculation (weakened rule 3, Section 7.1)")
+    plain, plain_load, plain_read = run_case(
+        SPECULATABLE, "f", {"b"}, SpecializerOptions(), ARGS, VARIANTS
+    )
+    spec, spec_load, spec_read = run_case(
+        SPECULATABLE, "f", {"b"},
+        SpecializerOptions(allow_speculation=True), ARGS, VARIANTS,
+    )
+    emit("rule 3 strict : cache %2dB, loader %4d, readers %4d"
+         % (plain.cache_size_bytes, plain_load, plain_read))
+    emit("speculative   : cache %2dB, loader %4d, readers %4d"
+         % (spec.cache_size_bytes, spec_load, spec_read))
+
+    # Speculation caches the noise under dependent guards...
+    assert spec.cache_size_bytes > plain.cache_size_bytes
+    assert any(slot.speculative for slot in spec.layout)
+    # ...making readers much faster...
+    assert spec_read < plain_read / 2
+    # ...at the cost of extra unconditional loader work.
+    assert spec_load > plain_load
+
+    benchmark(
+        lambda: DataSpecializer(
+            SPECULATABLE, SpecializerOptions(allow_speculation=True)
+        ).specialize("f", {"b"})
+    )
+
+
+def test_trivial_threshold_ablation(benchmark):
+    banner("Ablation: rule 6 triviality threshold")
+    rows = []
+    for threshold in (0, 2, 5, 50):
+        spec = DataSpecializer(
+            TRIVIA, SpecializerOptions(trivial_threshold=threshold)
+        ).specialize("g", {"b"})
+        _, cache, _ = spec.run_loader([2.0, 1.0])
+        _, read_cost = spec.run_reader(cache, [2.0, 3.0])
+        rows.append((threshold, len(spec.layout), spec.cache_size_bytes, read_cost))
+        emit("threshold %3d: %d slots, %2d bytes, reader cost %3d"
+             % rows[-1])
+
+    # Lower thresholds cache more; higher thresholds cache less.
+    slots = [r[1] for r in rows]
+    assert slots == sorted(slots, reverse=True)
+    # And reader cost moves the opposite way.
+    reads = [r[3] for r in rows]
+    assert reads == sorted(reads)
+    # The default threshold (2) keeps the non-trivial values.
+    default_row = rows[1]
+    assert default_row[1] >= 2
+
+    benchmark(
+        lambda: DataSpecializer(
+            TRIVIA, SpecializerOptions(trivial_threshold=2)
+        ).specialize("g", {"b"})
+    )

@@ -1,0 +1,87 @@
+"""E9 — ablation: associative rewriting (Section 4.2).
+
+Paper: reassociating +/* chains "to maximize the size of independent
+terms" increases the computation movable into the loader; on the
+Section 4.2 example, left-association makes both additions dependent
+unless the chain is regrouped.
+
+Reproduced: on the dotprod chain with {x1, x2} varying, reassociation
+cuts the reader's work (higher speedup) and merges two slots into one;
+across shader partitions it never hurts reader cost.  The benchmark
+times the rewrite-bearing specialization.
+"""
+
+from repro.core.specializer import DataSpecializer, SpecializerOptions
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+DOT = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    return (x1*x2 + y1*y2 + z1*z2) / scale;
+}
+"""
+
+ARGS = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+VARIANT = [9.0, 2.0, 3.0, -1.0, 5.0, 6.0, 2.0]
+
+
+def reader_cost(options):
+    spec = DataSpecializer(DOT, options).specialize("dotprod", {"x1", "x2"})
+    _, cache, _ = spec.run_loader(ARGS)
+    _, cost = spec.run_reader(cache, VARIANT)
+    return spec, cost
+
+
+def test_reassoc_ablation(benchmark):
+    banner("E9  Ablation: associative rewriting (Section 4.2)")
+    with_spec, with_cost = reader_cost(SpecializerOptions(reassoc=True))
+    without_spec, without_cost = reader_cost(SpecializerOptions(reassoc=False))
+
+    emit("dotprod, {x1, x2} varying:")
+    emit("  with reassoc   : reader cost %3d, %d slot(s): %s"
+         % (with_cost, len(with_spec.layout),
+            [s.source for s in with_spec.layout]))
+    emit("  without reassoc: reader cost %3d, %d slot(s): %s"
+         % (without_cost, len(without_spec.layout),
+            [s.source for s in without_spec.layout]))
+
+    assert with_cost < without_cost
+    assert len(with_spec.layout) == 1
+    assert len(without_spec.layout) == 2
+
+    # Disabled float reassociation leaves chains alone entirely.
+    frozen = DataSpecializer(
+        DOT, SpecializerOptions(reassoc=True, reassoc_float=False)
+    ).specialize("dotprod", {"x1", "x2"})
+    assert [s.source for s in frozen.layout] == [
+        s.source for s in without_spec.layout
+    ]
+
+    # Across a sample of shader partitions, reassociation never makes the
+    # reader slower.
+    regressions = []
+    for index, param in [(1, "ka"), (6, "roughness"), (10, "ambient"),
+                         (3, "veinfreq"), (5, "density")]:
+        costs = {}
+        for flag in (True, False):
+            session = RenderSession(
+                index, width=2, height=2,
+                specializer_options=SpecializerOptions(reassoc=flag),
+            )
+            spec = session.specialize(param)
+            args = session.args_for(session.scene.pixels[0])
+            _, cache, _ = spec.run_loader(args)
+            _, costs[flag] = spec.run_reader(cache, args)
+        if costs[True] > costs[False]:
+            regressions.append((index, param, costs))
+        emit("  shader %2d / %-10s reader cost: reassoc %4d vs plain %4d"
+             % (index, param, costs[True], costs[False]))
+    assert not regressions
+
+    benchmark(
+        lambda: DataSpecializer(DOT, SpecializerOptions(reassoc=True)).specialize(
+            "dotprod", {"x1", "x2"}
+        )
+    )

@@ -1,0 +1,159 @@
+"""E11 — the data-vs-code specialization trade-off (Sections 1, 2, 6.1).
+
+The paper positions data specialization against code specialization on
+three axes:
+
+* **Optimization power** — a code specializer "could eliminate the
+  conditional" in dotprod and generally folds/eliminates/unrolls with the
+  fixed values in hand, so its residual beats the cache reader per run.
+* **Payback** — "cache loading is very inexpensive, and is typically
+  amortized away after only two executions", while code generation costs
+  "tens to hundreds of dynamic instructions ... per single optimized
+  instruction" (Section 6.1; Keppel et al. report amortization intervals
+  of 10-1000 uses).
+* **Space** — a cache is "tens of bytes" per context; a residual program
+  is a whole code body per context.
+
+This bench pits the cache loader/reader against an online partial
+evaluator (repro.baseline.pe) on the same partitions and locates the
+crossover: the number of uses beyond which code specialization's higher
+per-run win overtakes its generation cost.
+"""
+
+from repro.baseline.pe import specialize_code
+from repro.core.specializer import DataSpecializer
+from repro.lang.ast_nodes import count_nodes
+from repro.lang.parser import parse_program
+from repro.runtime.interp import Interpreter
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+def compare(program, fn_name, param_names, varying, base_args, variant_args):
+    """Measure both staging strategies on one partition."""
+    data_spec = DataSpecializer(program).specialize(fn_name, set(varying))
+    _, cache, load_cost = data_spec.run_loader(base_args)
+    _, read_cost = data_spec.run_reader(cache, variant_args)
+    _, orig_cost = data_spec.run_original(variant_args)
+
+    fixed = {
+        name: value
+        for name, value in zip(param_names, base_args)
+        if name not in varying
+    }
+    code_spec = specialize_code(program, fn_name, fixed)
+    interp = Interpreter()
+    expected = Interpreter(program).run(fn_name, list(variant_args))
+    residual_result, residual_cost = interp.run_metered(
+        code_spec.residual, list(variant_args)
+    )
+    from repro.runtime.values import values_close
+
+    assert values_close(residual_result, expected, 1e-9)
+
+    return {
+        "orig": orig_cost,
+        "data_load": load_cost,
+        "data_read": read_cost,
+        "code_gen": code_spec.generation_cost,
+        "code_run": residual_cost,
+        "residual_nodes": count_nodes(code_spec.residual),
+        "cache_bytes": data_spec.cache_size_bytes,
+    }
+
+
+def total_cost_data(m, uses):
+    return m["data_load"] + (uses - 1) * m["data_read"]
+
+
+def total_cost_code(m, uses):
+    return m["code_gen"] + uses * m["code_run"]
+
+
+def crossover(m, limit=100_000):
+    """First use count at which code specialization wins, if any."""
+    for uses in range(1, limit):
+        if total_cost_code(m, uses) < total_cost_data(m, uses):
+            return uses
+    return None
+
+
+def test_data_vs_code_specialization(benchmark):
+    banner("E11  Data vs code specialization (the paper's positioning)")
+    program = parse_program(DOTPROD)
+    names = program.function("dotprod").param_names()
+    base = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+    variant = [1.0, 2.0, 9.0, 4.0, 5.0, -6.0, 2.0]
+
+    rows = []
+    m = compare(program, "dotprod", names, {"z1", "z2"}, base, variant)
+    rows.append(("dotprod/{z1,z2}", m))
+
+    session = RenderSession(10, width=2, height=2)
+    info = session.spec_info
+    pixel = session.scene.pixels[0]
+    for param in ("ambient", "ringscale"):
+        args = session.args_for(pixel)
+        variant_controls = session.controls_with(
+            **{param: session.controls[param] * 1.4 + 0.1}
+        )
+        variant_args = session.args_for(pixel, variant_controls)
+        m = compare(
+            session.program, info.name, list(info.param_names),
+            {param}, args, variant_args,
+        )
+        rows.append(("rings/%s" % param, m))
+
+    emit("%-18s %8s %10s %10s %12s %10s %10s" % (
+        "partition", "orig", "data:load", "data:read",
+        "code:gen", "code:run", "crossover"))
+    for label, m in rows:
+        cross = crossover(m)
+        emit("%-18s %8d %10d %10d %12d %10d %10s" % (
+            label, m["orig"], m["data_load"], m["data_read"],
+            m["code_gen"], m["code_run"],
+            cross if cross is not None else ">1e5"))
+
+        # Code specialization's residual beats (or ties) the data reader
+        # per run: it folds what the reader must re-test.
+        assert m["code_run"] <= m["data_read"]
+        # But its up-front cost strictly exceeds the loader's, whose
+        # overhead over one original run is tiny.
+        assert m["code_gen"] > m["data_load"]
+        assert m["data_load"] - m["orig"] < 0.35 * m["orig"]
+        # Data specialization amortizes by the second use (paper §5.2)...
+        assert total_cost_data(m, 2) <= 2 * m["orig"]
+        # ...while code specialization always needs strictly more uses to
+        # pay for itself (on small fragments the gap is an order of
+        # magnitude — the Keppel et al. 10-1000-use regime of §6.1).
+        code_breakeven = next(
+            (n for n in range(1, 100_000)
+             if total_cost_code(m, n) <= n * m["orig"]),
+            None,
+        )
+        assert code_breakeven is None or code_breakeven >= 3
+        # And until the crossover point, data specialization is the
+        # cheaper strategy overall.
+        cross = crossover(m)
+        assert cross is None or cross > 2
+        if cross is not None:
+            assert total_cost_data(m, 2) < total_cost_code(m, 2)
+
+    benchmark(
+        lambda: specialize_code(
+            program, "dotprod",
+            {"x1": 1.0, "y1": 2.0, "x2": 4.0, "y2": 5.0, "scale": 2.0},
+        )
+    )

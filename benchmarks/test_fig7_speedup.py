@@ -1,0 +1,54 @@
+"""E2 — Figure 7: asymptotic speedup for all 131 input partitions.
+
+Paper: speedups vary widely between shaders and partitions but are always
+at least 1.0x; noise-heavy shaders (3, 4, 5) reach the highest values
+(up to ~100x when the varying parameter leaves the noise inputs alone);
+simple non-iterative shaders (1, 6, 7, 8) sit lower; light-position
+partitions score below e.g. ambient-scale partitions of the same shader.
+
+The benchmark times one interpreted reader execution of a representative
+partition (marble / veinfreq) — the quantity Figure 7's y-axis is built
+from.
+"""
+
+import statistics
+
+from repro.bench.figures import fig7_speedups, shared_sweep
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+
+def test_fig7_speedups(benchmark):
+    summary, table, summary_table = fig7_speedups()
+    banner("E2  Figure 7: asymptotic speedup, all 131 partitions")
+    emit(table)
+    emit("", "per-shader summary:", summary_table)
+
+    # Every partition is at least break-even asymptotically.
+    sweep = shared_sweep()
+    all_measurements = [m for ms in sweep.values() for m in ms]
+    assert len(all_measurements) == 131
+    assert all(m.speedup >= 1.0 for m in all_measurements)
+
+    # Noise shaders dominate the top end.
+    noise_max = max(summary[i]["max"] for i in (3, 4, 5))
+    simple_max = max(summary[i]["max"] for i in (1, 6, 7, 8))
+    assert noise_max > 2 * simple_max
+    assert noise_max > 25.0
+
+    # Within shader 1, the ambient-like scale parameter beats the light
+    # position (the paper's example of partition-to-partition variance).
+    shader1 = {m.param: m.speedup for m in sweep[1]}
+    assert shader1["ka"] > shader1["lightx"]
+
+    # Wide variance overall.
+    speedups = [m.speedup for m in all_measurements]
+    assert max(speedups) / min(speedups) > 10
+
+    session = RenderSession(3, width=4, height=4)
+    spec = session.specialize("veinfreq")
+    pixel = session.scene.pixels[5]
+    args = session.args_for(pixel)
+    _, cache, _ = spec.run_loader(args)
+    benchmark(lambda: spec.run_reader(cache, args))

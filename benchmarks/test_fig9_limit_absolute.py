@@ -1,0 +1,50 @@
+"""E5 — Figure 9: speedup versus cache size for shader 10.
+
+Paper: applying cache-size limits of 0..40 bytes to all 14 input
+partitions of shader 10 trades speedup for space; some partitions degrade
+gradually, while others show cliffs (e.g. ringscale losing most of its
+speedup when the limit crosses a critical slot).
+
+Shape reproduced: speedups are non-decreasing in the byte budget for
+every partition, the zero-byte column pins to ~1x, and most partitions
+saturate before the largest limit (they need fewer bytes than the
+maximum, the paper's first explanation for Figure 10's plateau).
+
+The benchmark times one full limited specialization (the operation the
+sweep is made of).
+"""
+
+from repro.bench.figures import FIG9_LIMITS, fig9_limit_sweep, fig9_table
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+TOLERANCE = 1.05  # deterministic costs; tiny slack for divisor rounding
+
+
+def test_fig9_absolute_speedups(benchmark):
+    sweep = fig9_limit_sweep()
+    banner("E5  Figure 9: shader 10 speedup vs cache-size limit (bytes)")
+    emit(fig9_table(sweep))
+
+    assert len(sweep) == 14
+    for param, per_limit in sweep.items():
+        series = [per_limit[limit][0] for limit in FIG9_LIMITS]
+        # Monotone non-decreasing in the budget.
+        for tighter, looser in zip(series, series[1:]):
+            assert looser * TOLERANCE >= tighter, (param, series)
+        # Zero budget: the reader recomputes everything.
+        assert series[0] <= 1.1
+        # The unlimited point dominates.
+        assert per_limit[None][0] * TOLERANCE >= series[-1]
+
+    saturated = sum(
+        1
+        for per_limit in sweep.values()
+        if per_limit[None][1] <= max(FIG9_LIMITS)
+    )
+    emit("partitions whose natural cache fits within 40B: %d/14" % saturated)
+    assert saturated >= 7
+
+    session = RenderSession(10, width=2, height=2)
+    benchmark(lambda: session.specialize("ringscale", cache_bound=16))

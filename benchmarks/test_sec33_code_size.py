@@ -1,0 +1,34 @@
+"""E7 — Section 3.3's code-size claim.
+
+Paper: the loader is the fragment plus n cache-filling assignments, the
+reader is smaller than the fragment, and "in practice, the sum of the
+loader and reader sizes has been less than twice the size of the
+fragment."
+
+Reproduced on AST node counts for a representative partition of each of
+the ten shaders.  The benchmark times the splitting transformation
+itself.
+"""
+
+from repro.bench.figures import sec33_code_size
+from repro.lang.ast_nodes import count_nodes
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+
+def test_sec33_code_size(benchmark):
+    data, table = sec33_code_size()
+    banner("E7  Section 3.3: |loader| + |reader| vs |fragment| (AST nodes)")
+    emit(table)
+
+    for index, row in data.items():
+        # Loader = fragment + one store per slot (+ speculative fills).
+        assert row["loader"] >= row["original"]
+        # Reader never exceeds the fragment.
+        assert row["reader"] <= row["original"]
+        # The paper's headline: sum below 2x.
+        assert row["ratio"] < 2.0, index
+
+    session = RenderSession(6, width=2, height=2)
+    benchmark(lambda: session.specialize("roughness"))

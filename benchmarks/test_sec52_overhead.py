@@ -1,0 +1,45 @@
+"""E4 — Section 5.2: loading overhead and breakeven counts.
+
+Paper: of 131 loader/reader pairs, 127 (97%) reached breakeven at two
+uses, 3 required three, and 1 required seventeen; the statistics are
+per-pixel and do not rely on image size to amortize costs.
+
+Shape reproduced: the overwhelming share (>=90%) of partitions break even
+at two uses.  Our deterministic cost model charges uniform 2-unit cache
+stores, so the heavy-tailed outliers (which the paper attributes to real
+hardware memory behavior) do not arise — every partition lands at 2.
+
+The benchmark times one loader execution (the overhead being studied).
+"""
+
+import math
+
+from repro.bench.figures import sec52_overhead, shared_sweep
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+
+def test_sec52_breakeven(benchmark):
+    stats, table = sec52_overhead()
+    banner("E4  Section 5.2: breakeven use counts (paper: 127@2, 3@3, 1@17)")
+    emit(table)
+    emit("share breaking even within two uses: %.1f%% (paper: 97%%)"
+         % (100 * stats["share_at_two"]))
+
+    assert sum(stats["histogram"].values()) == 131
+    assert stats["share_at_two"] >= 0.90
+    # No partition is ever a net loss forever.
+    assert all(be is not math.inf for be in stats["histogram"])
+
+    # Loader overhead itself is small relative to one original execution.
+    sweep = shared_sweep()
+    overheads = [m.overhead_ratio for ms in sweep.values() for m in ms]
+    emit("loader overhead vs one original run: mean %.1f%%, max %.1f%%"
+         % (100 * sum(overheads) / len(overheads), 100 * max(overheads)))
+    assert max(overheads) < 0.6
+
+    session = RenderSession(6, width=2, height=2)
+    spec = session.specialize("roughness")
+    args = session.args_for(session.scene.pixels[0])
+    benchmark(lambda: spec.run_loader(args))

@@ -1,0 +1,42 @@
+"""E14 — the interactive-session story of Section 5, end to end.
+
+Not a single figure of the paper but its framing narrative: a user drags
+one slider at a time; each drag pays one cache-array rebuild (loader
+pass) and then renders reader-only frames.  The session as a whole must
+come out ahead of the unspecialized renderer — including the loader
+frames — which is exactly the "rapid payback" property that makes data
+specialization fit interactive use.
+"""
+
+from repro.bench.session import simulate_session
+
+from conftest import banner, emit
+
+
+def test_interactive_session(benchmark):
+    banner("E14  Interactive editing sessions (Section 5 narrative)")
+
+    for shader_index in (10, 3):
+        trace = simulate_session(shader_index, width=5, height=5)
+        emit(trace.describe())
+        emit("")
+
+        # Whole-session win, loader frames included.
+        assert trace.session_speedup > 1.0
+        # Every steady-state segment is at least break-even.
+        for (segment, param), speedup in trace.segment_speedups().items():
+            assert speedup >= 1.0, (shader_index, param, speedup)
+        # Loader frames never dominate: worst specialized frame stays
+        # within a small factor of the unspecialized frame cost.
+        assert trace.worst_frame_cost <= 1.4 * trace.worst_reference_frame_cost
+
+    trace10 = simulate_session(10, width=5, height=5)
+    # Color drags (cheap) outrun light drags (expensive), the paper's
+    # partition-variance observation, now at session level.
+    speedups = {
+        param: value
+        for (_seg, param), value in trace10.segment_speedups().items()
+    }
+    assert speedups["blue1"] > speedups["lightx"]
+
+    benchmark(lambda: simulate_session(10, width=3, height=3))

@@ -1,0 +1,67 @@
+"""E10 — wall-clock sanity check on compiled code.
+
+The cost-model results (Figures 7-10) are deterministic by construction;
+this bench checks that they are not an artifact of the model: compiling
+the original shader and its cache reader to Python and timing them for
+real must show the reader winning by a large factor on a noise-heavy
+partition and by a smaller factor on a light-position partition — the
+same ordering Figure 7 reports.
+"""
+
+import time
+
+from repro.shaders.render import RenderSession
+
+from conftest import banner, emit
+
+
+def _wallclock_pair(shader_index, param, repeats=200):
+    session = RenderSession(shader_index, width=4, height=4)
+    spec = session.specialize(param)
+    args = session.args_for(session.scene.pixels[5])
+    cache = spec.new_cache()
+    spec.compiled_loader(*args, cache)
+
+    original = spec.compiled_original
+    reader = spec.compiled_reader
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        original(*args)
+    orig_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        reader(*args, cache)
+    read_time = time.perf_counter() - start
+    return orig_time / read_time if read_time else float("inf")
+
+
+def test_wallclock_shape(benchmark):
+    banner("E10  Wall-clock check: compiled original vs compiled reader")
+    noise_speedup = _wallclock_pair(3, "r1")      # color param: noise cached
+    light_speedup = _wallclock_pair(3, "lightx")  # light param: more dynamic
+    emit("marble / r1     (noise cacheable): %.1fx wall-clock" % noise_speedup)
+    emit("marble / lightx (light position) : %.1fx wall-clock" % light_speedup)
+
+    # Same ordering as the cost model / Figure 7.
+    assert noise_speedup > 3.0
+    assert noise_speedup > light_speedup
+
+    session = RenderSession(3, width=4, height=4)
+    spec = session.specialize("r1")
+    args = session.args_for(session.scene.pixels[5])
+    cache = spec.new_cache()
+    spec.compiled_loader(*args, cache)
+    reader = spec.compiled_reader
+    benchmark(lambda: reader(*args, cache))
+
+
+def test_wallclock_original_baseline(benchmark):
+    """Companion baseline: the compiled original shader, for comparison
+    against test_wallclock_shape's reader timing in the benchmark table."""
+    session = RenderSession(3, width=4, height=4)
+    spec = session.specialize("r1")
+    args = session.args_for(session.scene.pixels[5])
+    original = spec.compiled_original
+    benchmark(lambda: original(*args))

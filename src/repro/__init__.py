@@ -1,0 +1,84 @@
+"""repro — Data Specialization (Knoblock & Ruf, PLDI 1996).
+
+A from-scratch reproduction of the paper's system: a kernel-language
+front end, the dependence and caching analyses, the splitting
+transformation producing cache loaders and readers, SSA-style join
+normalization, associative rewriting, cache-size limiting, an execution
+substrate (metering interpreter + Python compiler), and the shading
+workloads the paper evaluates on.
+
+Quickstart::
+
+    from repro import specialize
+
+    SRC = '''
+    float dotprod(float x1, float y1, float z1,
+                  float x2, float y2, float z2, float scale) {
+        if (scale != 0.0) {
+            return (x1*x2 + y1*y2 + z1*z2) / scale;
+        }
+        return -1.0;
+    }
+    '''
+    spec = specialize(SRC, "dotprod", varying={"z1", "z2"})
+    result, cache, _ = spec.run_loader([1, 2, 3, 4, 5, 6, 2.0])
+    faster, _ = spec.run_reader(cache, [1, 2, 9, 4, 5, 6, 2.0])
+"""
+
+from .core.labels import CACHED, DYNAMIC, STATIC, Label
+from .core.partition import InputPartition
+from .core.persist import load_specialization, save_specialization
+from .core.specializer import (
+    DataSpecializer,
+    Specialization,
+    SpecializerOptions,
+)
+from .core.specializer import specialize as _specialize
+from .lang.errors import (
+    EvalError,
+    KernelTypeError,
+    LexError,
+    ParseError,
+    SpecializationError,
+)
+from .lang.parser import parse_program
+from .lang.pretty import format_function, format_program
+from .runtime.compiler import compile_function
+from .runtime.interp import CostMeter, Interpreter
+
+__version__ = "1.0.0"
+
+
+def specialize(program, fn_name, varying, **options):
+    """Specialize ``fn_name`` of ``program`` with ``varying`` inputs.
+
+    See :class:`repro.core.SpecializerOptions` for the accepted options.
+    """
+    return _specialize(program, fn_name, varying, **options)
+
+
+__all__ = [
+    "CACHED",
+    "DYNAMIC",
+    "STATIC",
+    "Label",
+    "InputPartition",
+    "load_specialization",
+    "save_specialization",
+    "DataSpecializer",
+    "Specialization",
+    "SpecializerOptions",
+    "specialize",
+    "EvalError",
+    "KernelTypeError",
+    "LexError",
+    "ParseError",
+    "SpecializationError",
+    "parse_program",
+    "format_function",
+    "format_program",
+    "compile_function",
+    "CostMeter",
+    "Interpreter",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Program analyses: structure, reaching defs, dependence, caching, costs."""
+
+from .caching import CachingAnalysis, CachingOptions, validate_labels
+from .costs import CostModel, cost_model
+from .dependence import DependenceAnalysis, dependence_analysis
+from .index import StructuralIndex, value_operands
+from .loops import SingleValuedness, single_valuedness
+from .reaching import ReachingDefinitions, reaching_definitions
+
+__all__ = [
+    "CachingAnalysis",
+    "CachingOptions",
+    "validate_labels",
+    "CostModel",
+    "cost_model",
+    "DependenceAnalysis",
+    "dependence_analysis",
+    "StructuralIndex",
+    "value_operands",
+    "SingleValuedness",
+    "single_valuedness",
+    "ReachingDefinitions",
+    "reaching_definitions",
+]

@@ -1,0 +1,95 @@
+"""Mixed binding-time labeling: the Section 6.3 comparison point.
+
+The paper argues for separating *semantic* information (dependence) from
+*policy* (caching):
+
+  "binding time analyzers typically mix both in the binding time
+   attribute.  We have found that the latter approach can introduce
+   false dependences.  For example, our caching analysis can label a
+   term as dynamic without forcing its consumers to be dynamic, while a
+   BTA-based approach (in which dependent ≡ dynamic) would unnecessarily
+   force all of the term's consumers into the reader."
+
+The canonical case is an independent definition reaching both a dynamic
+use and independent uses: rule 4 drags the definition into the reader,
+but the independent uses (and everything built on them) stay early.  A
+mixed analysis that models "must appear in the reader" by marking the
+definition *dependent* re-taints every use.
+
+:func:`bta_labeling` emulates that mixed analysis: it iterates the
+dependence analysis and the Figure 3 solver, feeding every definition
+that came out dynamic back in as a dependence source, to fixpoint.  The
+result is a valid, safe labeling — the one a flow-sensitive BTA would
+produce — which the E13 ablation compares against the paper's two-phase
+labeling.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import DYNAMIC
+from ..lang import ast_nodes as A
+from .caching import CachingAnalysis, CachingOptions
+from .costs import CostModel
+from .dependence import DependenceAnalysis, _Analyzer
+from .index import StructuralIndex
+from .loops import single_valuedness
+from .reaching import reaching_definitions
+
+
+class _SeedingAnalyzer(_Analyzer):
+    """Flow-sensitive dependence with extra dependent definition sites."""
+
+    def __init__(self, result, seeds):
+        super().__init__(result)
+        self.seeds = seeds
+
+    def stmt(self, stmt, env):
+        out = super().stmt(stmt, env)
+        if isinstance(stmt, (A.Assign, A.VarDecl)) and stmt.nid in self.seeds:
+            self.mark(stmt, True)
+            out = dict(out)
+            out[stmt.name] = True
+        return out
+
+
+def seeded_dependence(fn, varying, seed_def_nids):
+    """Dependence analysis treating the seeded definitions as varying
+    sources in addition to the varying parameters."""
+    result = DependenceAnalysis(fn, varying)
+    analyzer = _SeedingAnalyzer(result, frozenset(seed_def_nids))
+    env = {name: (name in result.varying) for name in fn.param_names()}
+    for param in fn.params:
+        result.dependent[param.nid] = param.name in result.varying
+    analyzer.stmt(fn.body, env)
+    return result
+
+
+def bta_labeling(fn, varying, options=None):
+    """The mixed (BTA-style) labeling: iterate until every dynamic
+    definition is also a dependence source.
+
+    Returns the final :class:`CachingAnalysis` (whose dependence relation
+    is the seeded one).  Terminates because the seed set only grows and
+    is bounded by the definition count.
+    """
+    options = options or CachingOptions()
+    index = StructuralIndex(fn)
+    reaching = reaching_definitions(fn)
+    single_valued = single_valuedness(fn, index)
+    costs = CostModel(index)
+
+    seeds = frozenset()
+    while True:
+        dependence = seeded_dependence(fn, varying, seeds)
+        caching = CachingAnalysis(
+            fn, index, reaching, dependence, single_valued, costs, options
+        ).solve()
+        new_seeds = frozenset(
+            node.nid
+            for node in A.walk(fn.body)
+            if isinstance(node, (A.Assign, A.VarDecl))
+            and caching.label_of(node) is DYNAMIC
+        )
+        if new_seeds <= seeds:
+            return caching
+        seeds = seeds | new_seeds

@@ -1,0 +1,298 @@
+"""Caching analysis: the constraint system of Figure 3 (Section 3.2).
+
+Labels every term ``STATIC``, ``CACHED``, or ``DYNAMIC`` such that:
+
+1. ``Dependent(t) ⇒ Dynamic(t)``
+2. ``HasGlobalEffect(t) ⇒ Dynamic(t)`` — impure calls, and ``return``
+   statements (the fragment's result is an externally visible effect the
+   reader must reproduce).
+3. ``UnderDependentControl(t) ⇒ Dynamic(t)`` — speculation avoidance.
+   This is also a *correctness* condition for caching: the loader and a
+   given reader run may take different sides of a dependent branch, so a
+   value cached under one cannot be trusted by the other.  The optional
+   speculation mode (Section 7.1) relaxes the rule only for terms that can
+   be safely hoisted to the loader's entry (all free variables are
+   parameters, and the term is pure), where the loader fills them
+   unconditionally.
+4. ``IsRef(t) ∧ Dynamic(t) ⇒ ∀t' ∈ Defs(t): Dynamic(t')`` — definitions
+   reaching a reader-resident reference must execute in the reader.
+   Parameter pseudo-definitions are exempt: the reader receives every
+   input (Section 2, point (1)).
+5. ``Dynamic(t) ⇒ ∀t' ∈ Guards(t): Dynamic(t')`` — control constructs
+   guarding reader code must themselves be in the reader.
+6. ``Dynamic(t) ⇒`` each value operand that is not dynamic, is
+   single-valued, and is non-trivial becomes ``CACHED``.
+7. ``Dynamic(t) ⇒`` each remaining value operand becomes ``DYNAMIC``.
+8. Everything else stays ``STATIC``.
+
+Conflicts between 6 and 7 resolve in favor of caching (the paper's stated
+preference).  The solver is a worklist algorithm over the monotone label
+ordering; :meth:`CachingAnalysis.force_dynamic` re-establishes rules 4–7
+after an external relabeling, which is exactly the restartability the
+cache-size limiter needs.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import CACHED, DYNAMIC, STATIC, Label
+from ..lang import ast_nodes as A
+from ..lang.ops import TRIVIAL_COST_THRESHOLD
+from ..lang.types import VOID
+from ..runtime.builtins import REGISTRY
+from .index import guard_predicate, value_operands
+
+
+class CachingOptions(object):
+    """Policy knobs for the analysis."""
+
+    def __init__(
+        self,
+        ssa_mode=True,
+        trivial_threshold=TRIVIAL_COST_THRESHOLD,
+        allow_speculation=False,
+    ):
+        #: When True, plain variable references may be cached only at the
+        #: ``v = v`` phi assignments introduced by the SSA-style
+        #: normalization (Section 4.1); otherwise any reference may be
+        #: cached (Figure 5 behavior, with its redundant slots).
+        self.ssa_mode = ssa_mode
+        #: Expressions with intrinsic cost <= threshold are never cached.
+        self.trivial_threshold = trivial_threshold
+        #: Weakened rule 3 (Section 7.1): cache safe, hoistable terms even
+        #: under dependent control.
+        self.allow_speculation = allow_speculation
+
+
+def _is_impure_call(node):
+    if not isinstance(node, A.Call):
+        return False
+    builtin = REGISTRY.get(node.name)
+    return builtin is not None and not builtin.pure
+
+
+def _contains_impure_call(node):
+    return any(_is_impure_call(n) for n in A.walk(node))
+
+
+class CachingAnalysis(object):
+    """Runs the Figure 3 constraint solver over one function."""
+
+    def __init__(self, fn, index, reaching, dependence, single_valued, costs, options=None):
+        self.fn = fn
+        self.index = index
+        self.reaching = reaching
+        self.dependence = dependence
+        self.single_valued = single_valued
+        self.costs = costs
+        self.options = options or CachingOptions()
+        self.labels = {}
+        #: nids of cached terms that must be hoisted to loader entry
+        #: because they sit under dependent control (speculation mode).
+        self.speculative = set()
+        self._param_names = set(fn.param_names())
+        self._worklist = []
+        self._solved = False
+
+    # -- queries ------------------------------------------------------------
+
+    def label_of(self, node):
+        return self.labels.get(node.nid, STATIC)
+
+    def cached_nodes(self):
+        """The cache frontier, in deterministic preorder."""
+        return [
+            node
+            for node in A.walk(self.fn.body)
+            if self.labels.get(node.nid, STATIC) is CACHED
+        ]
+
+    def dynamic_nodes(self):
+        return [
+            node
+            for node in A.walk(self.fn.body)
+            if self.labels.get(node.nid, STATIC) is DYNAMIC
+        ]
+
+    # -- predicates -----------------------------------------------------------
+
+    def _under_dependent_control(self, node):
+        return any(
+            self.dependence.is_dependent(guard_predicate(guard))
+            for guard in self.index.guards_of(node)
+        )
+
+    def _has_global_effect(self, node):
+        if isinstance(node, A.Return):
+            return True
+        if _is_impure_call(node):
+            return True
+        return False
+
+    def _speculable(self, node):
+        """May ``node`` be cached by hoisting its evaluation to loader
+        entry?  Requires every free variable to be a parameter and the
+        term to be pure (so evaluation order cannot matter)."""
+        if not self.options.allow_speculation:
+            return False
+        if not isinstance(node, A.Expr):
+            return False
+        if _contains_impure_call(node):
+            return False
+        return all(name in self._param_names for name in A.free_var_names(node))
+
+    def _is_trivial(self, node):
+        if isinstance(node, (A.IntLit, A.FloatLit)):
+            return True
+        if isinstance(node, A.VarRef):
+            # A parameter is freely available to the reader; recomputing a
+            # local requires its whole definition chain, so local
+            # references are never "trivial".
+            return node.name in self._param_names
+        return self.costs.intrinsic(node) <= self.options.trivial_threshold
+
+    def _cacheable(self, node):
+        """Rule 6 side conditions plus policy (Section 3.2)."""
+        if not isinstance(node, A.Expr):
+            return False
+        if isinstance(node, (A.CacheRead, A.CacheStore)):
+            return False
+        if self.label_of(node) is DYNAMIC:
+            return False
+        if node.ty is None or node.ty is VOID:
+            return False
+        if not self.single_valued.is_single_valued(node):
+            return False
+        if self._is_trivial(node):
+            return False
+        if _contains_impure_call(node):
+            return False
+        if isinstance(node, A.VarRef) and self.options.ssa_mode:
+            parent = self.index.parent_of(node)
+            if not (isinstance(parent, A.Assign) and parent.is_phi):
+                return False
+        if self._under_dependent_control(node):
+            # Rule 3 normally forbids this entirely; in speculation mode a
+            # hoistable term may still be cached.
+            if not self._speculable(node):
+                return False
+            self.speculative.add(node.nid)
+        return True
+
+    # -- solver ----------------------------------------------------------------
+
+    def _promote(self, node, label):
+        current = self.labels.get(node.nid, STATIC)
+        if label <= current:
+            return
+        self.labels[node.nid] = label
+        self.speculative.discard(node.nid)
+        if label is DYNAMIC:
+            self._worklist.append(node)
+
+    def _seed(self):
+        for node in A.walk(self.fn.body):
+            effectful = self._has_global_effect(node)
+            if (
+                self.dependence.is_dependent(node)  # rule 1
+                or effectful  # rule 2
+                or (  # rule 3
+                    self._under_dependent_control(node)
+                    and not self._speculable(node)
+                )
+            ):
+                self._promote(node, DYNAMIC)
+            if effectful:
+                self._promote_ancestors(node)
+        self._drain()
+
+    def _promote_ancestors(self, node):
+        """An effectful term's enclosing expression/statement chain must
+        reach the reader for the effect to replay."""
+        current = self.index.parent_of(node)
+        while current is not None and not isinstance(current, (A.Block, A.FunctionDef)):
+            self._promote(current, DYNAMIC)
+            current = self.index.parent_of(current)
+
+    def _drain(self):
+        while self._worklist:
+            node = self._worklist.pop()
+            # Rule 4: reaching definitions of reader-resident references.
+            if isinstance(node, A.VarRef):
+                for def_node in self.reaching.local_defs_reaching(node):
+                    self._promote(def_node, DYNAMIC)
+            # Rule 5: guards of reader-resident terms.
+            for guard in self.index.guards_of(node):
+                self._promote(guard, DYNAMIC)
+            # Rules 6 and 7: operands, preferring rule 6 (cache).
+            for operand in value_operands(node):
+                if self.label_of(operand) is DYNAMIC:
+                    continue
+                if self._cacheable(operand):
+                    self.labels[operand.nid] = CACHED
+                else:
+                    self._promote(operand, DYNAMIC)
+
+    def solve(self):
+        """Run the full analysis once."""
+        if self._solved:
+            return self
+        self._seed()
+        self._solved = True
+        return self
+
+    def force_dynamic(self, node):
+        """Relabel ``node`` dynamic and re-establish rules 4–7.
+
+        This is the restart entry point used by the cache-size limiter
+        (Section 4.3); the monotone ordering guarantees the result equals
+        a from-scratch solve with ``node`` seeded dynamic.
+        """
+        if not self._solved:
+            raise RuntimeError("force_dynamic before solve()")
+        self._promote(node, DYNAMIC)
+        self._drain()
+        return self
+
+
+def validate_labels(analysis):
+    """Independently re-check every Figure 3 constraint on a finished
+    labeling; return a list of human-readable violations (empty = valid).
+
+    This is *not* used by the solver — it is the test oracle for the
+    label-consistency invariant.
+    """
+    violations = []
+    fn = analysis.fn
+    label = analysis.label_of
+
+    def complain(rule, node, text):
+        violations.append("rule %s at nid %s (%s): %s" % (rule, node.nid, type(node).__name__, text))
+
+    for node in A.walk(fn.body):
+        lab = label(node)
+        if analysis.dependence.is_dependent(node) and lab is not DYNAMIC:
+            complain(1, node, "dependent term not dynamic")
+        if analysis._has_global_effect(node) and lab is not DYNAMIC:
+            complain(2, node, "effectful term not dynamic")
+        if analysis._under_dependent_control(node) and lab is not DYNAMIC:
+            if not analysis._speculable(node):
+                complain(3, node, "non-dynamic term under dependent control")
+            elif lab is CACHED and node.nid not in analysis.speculative:
+                complain(3, node, "cached under dependent control, not speculative")
+        if lab is DYNAMIC:
+            if isinstance(node, A.VarRef):
+                for def_node in analysis.reaching.local_defs_reaching(node):
+                    if label(def_node) is not DYNAMIC:
+                        complain(4, node, "reaching def %s not dynamic" % def_node.nid)
+            for guard in analysis.index.guards_of(node):
+                if label(guard) is not DYNAMIC:
+                    complain(5, node, "guard %s not dynamic" % guard.nid)
+            for operand in value_operands(node):
+                if label(operand) is STATIC:
+                    complain(7, node, "operand %s of dynamic term is static" % operand.nid)
+        if lab is CACHED:
+            if not analysis.single_valued.is_single_valued(node):
+                complain(6, node, "cached term is not single-valued")
+            if analysis._is_trivial(node):
+                complain(6, node, "cached term is trivial")
+    return violations

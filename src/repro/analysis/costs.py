@@ -1,0 +1,132 @@
+"""Static execution-cost estimation (Section 4.3).
+
+The cache limiter needs to know, for every term, roughly what it costs to
+execute, so it can evict the *cheapest* cached terms first.  Following the
+paper (which in turn follows the static estimators of [WMGH94]):
+
+* each operator has a static cost (``+`` is 1, ``/`` is 9 — the paper's
+  anchors; the rest of the scale lives in :mod:`repro.lang.ops` and
+  :mod:`repro.runtime.builtins`),
+* a term's intrinsic cost is its operator cost plus the sum of its
+  subterm costs,
+* terms inside loops are scaled by a multiplier of 5 per enclosing loop,
+* terms guarded by conditionals are scaled by a divisor of 2 per guard.
+
+The estimator is also used by the caching analysis's triviality policy:
+expressions whose intrinsic cost is at most a cache read are not worth a
+slot (the paper's example: ``scale != 0`` is recomputed, ``x1*x2+y1*y2``
+is cached).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..lang.ops import (
+    BRANCH_COST_DIVISOR,
+    CACHE_READ_COST,
+    CONST_COST,
+    LOOP_COST_MULTIPLIER,
+    MEMBER_COST,
+    VAR_REF_COST,
+    binop_cost,
+    unop_cost,
+)
+from ..lang.types import VEC3
+from ..runtime.builtins import REGISTRY
+
+#: Assumed intrinsic cost of calling a user function that was not inlined
+#: (normally the inliner removes these before costs are consulted).
+_UNKNOWN_CALL_COST = 50
+
+
+class CostModel(object):
+    """Memoizing intrinsic- and positional-cost calculator."""
+
+    def __init__(self, index):
+        self.index = index
+        self._intrinsic = {}
+
+    # -- intrinsic subtree cost ------------------------------------------------
+
+    def intrinsic(self, node):
+        """Cost of evaluating the subtree rooted at ``node`` once."""
+        cached = self._intrinsic.get(node.nid)
+        if cached is not None:
+            return cached
+        value = self._compute_intrinsic(node)
+        self._intrinsic[node.nid] = value
+        return value
+
+    def _compute_intrinsic(self, node):
+        kind = type(node)
+        if kind is A.IntLit or kind is A.FloatLit:
+            return CONST_COST
+        if kind is A.VarRef:
+            return VAR_REF_COST
+        if kind is A.BinOp:
+            vector = node.left.ty is VEC3 or node.right.ty is VEC3
+            return (
+                binop_cost(node.op, vector)
+                + self.intrinsic(node.left)
+                + self.intrinsic(node.right)
+            )
+        if kind is A.UnaryOp:
+            vector = node.operand.ty is VEC3
+            return unop_cost(node.op, vector) + self.intrinsic(node.operand)
+        if kind is A.Call:
+            builtin = REGISTRY.get(node.name)
+            own = builtin.cost if builtin is not None else _UNKNOWN_CALL_COST
+            return own + sum(self.intrinsic(arg) for arg in node.args)
+        if kind is A.Member:
+            return MEMBER_COST + self.intrinsic(node.base)
+        if kind is A.Cond:
+            arms = self.intrinsic(node.then) + self.intrinsic(node.else_)
+            return self.intrinsic(node.pred) + 1 + arms // BRANCH_COST_DIVISOR
+        if kind is A.CacheRead:
+            return CACHE_READ_COST
+        if kind is A.CacheStore:
+            return CACHE_READ_COST + self.intrinsic(node.value)
+        # Statements: cost of the work they directly perform.
+        if kind is A.Assign:
+            return VAR_REF_COST + self.intrinsic(node.expr)
+        if kind is A.VarDecl:
+            if node.init is None:
+                return 0
+            return VAR_REF_COST + self.intrinsic(node.init)
+        if kind is A.Return:
+            return self.intrinsic(node.expr) if node.expr is not None else 0
+        if kind is A.ExprStmt:
+            return self.intrinsic(node.expr)
+        if kind is A.If:
+            arms = self.intrinsic(node.then)
+            if node.else_ is not None:
+                arms += self.intrinsic(node.else_)
+            return self.intrinsic(node.pred) + arms // BRANCH_COST_DIVISOR
+        if kind is A.While:
+            body = self.intrinsic(node.body) + self.intrinsic(node.pred)
+            return body * LOOP_COST_MULTIPLIER
+        if kind is A.Block:
+            return sum(self.intrinsic(s) for s in node.stmts)
+        raise TypeError("no cost rule for %r" % kind.__name__)
+
+    # -- positional scaling ----------------------------------------------------------
+
+    def positional(self, node):
+        """Intrinsic cost scaled by the node's position: ×5 per enclosing
+        loop, ÷2 per guarding conditional (Section 4.3).
+
+        A ``while`` appears in both the guard chain (it conditionally
+        executes its body) and the loop chain; for costing it only
+        multiplies — the expected-iteration multiplier already prices the
+        conditionality — so the divisor counts ``if`` guards alone.
+        """
+        cost = float(self.intrinsic(node))
+        cost *= LOOP_COST_MULTIPLIER ** len(self.index.loops_of(node))
+        if_guards = [g for g in self.index.guards_of(node) if isinstance(g, A.If)]
+        cost /= BRANCH_COST_DIVISOR ** len(if_guards)
+        return cost
+
+
+def cost_model(index):
+    """Build a cost model over a structural index."""
+    return CostModel(index)

@@ -1,0 +1,171 @@
+"""Dependence analysis (Section 3.1).
+
+Determines, for every term, whether its value (or effect) may depend on
+the *varying* part of the input partition.  A term is dependent if
+
+1. it is (a reference to) a varying input,
+2. it has a dependent operand,
+3. it is reached by a dependent definition, or
+4. it is conditionally assigned under a dependent predicate (the
+   join-point rule: when the predicate guarding a choice of definitions is
+   dependent, the chosen variable's value is too).
+
+The implementation is the paper's "straightforward, worst-case
+quadratic-time solution based on abstract interpretation": a flow-
+sensitive walk carrying ``variable → dependent?``; conditionals merge by
+disjunction plus the rule-4 join treatment; loop bodies iterate to a
+fixpoint (dependence only ever grows, so this terminates).
+
+Impure builtin calls are treated as dependent values: a volatile read may
+change between the loader and reader executions, so its result can never
+be cached (this composes with rule 2 of Figure 3, which already forces the
+call itself into the reader).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..runtime.builtins import REGISTRY
+
+
+class DependenceAnalysis(object):
+    """Result: ``dependent[nid]`` for every term in the function."""
+
+    def __init__(self, fn, varying):
+        self.fn = fn
+        self.varying = frozenset(varying)
+        self.dependent = {}
+
+    def is_dependent(self, node):
+        return self.dependent.get(node.nid, False)
+
+
+class _Analyzer(object):
+    def __init__(self, result):
+        self.result = result
+
+    def mark(self, node, flag):
+        self.result.dependent[node.nid] = flag
+        return flag
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, expr, env):
+        """Record and return whether ``expr`` is dependent under ``env``."""
+        kind = type(expr)
+        if kind is A.IntLit or kind is A.FloatLit:
+            return self.mark(expr, False)
+        if kind is A.VarRef:
+            return self.mark(expr, env.get(expr.name, False))
+        if kind is A.BinOp:
+            left = self.expr(expr.left, env)
+            right = self.expr(expr.right, env)
+            return self.mark(expr, left or right)
+        if kind is A.UnaryOp:
+            return self.mark(expr, self.expr(expr.operand, env))
+        if kind is A.Call:
+            flags = [self.expr(arg, env) for arg in expr.args]
+            builtin = REGISTRY.get(expr.name)
+            impure = builtin is not None and not builtin.pure
+            return self.mark(expr, impure or any(flags))
+        if kind is A.Member:
+            return self.mark(expr, self.expr(expr.base, env))
+        if kind is A.Cond:
+            pred = self.expr(expr.pred, env)
+            then = self.expr(expr.then, env)
+            else_ = self.expr(expr.else_, env)
+            return self.mark(expr, pred or then or else_)
+        if kind is A.CacheRead:
+            # Cached values are by construction independent.
+            return self.mark(expr, False)
+        if kind is A.CacheStore:
+            return self.mark(expr, self.expr(expr.value, env))
+        raise TypeError("unexpected expression %r" % kind.__name__)
+
+    # -- statements ---------------------------------------------------------------
+
+    def stmt(self, stmt, env):
+        kind = type(stmt)
+        if kind is A.Block:
+            for inner in stmt.stmts:
+                env = self.stmt(inner, env)
+            return env
+        if kind is A.Assign:
+            flag = self.expr(stmt.expr, env)
+            self.mark(stmt, flag)
+            out = dict(env)
+            out[stmt.name] = flag
+            return out
+        if kind is A.VarDecl:
+            if stmt.init is None:
+                self.mark(stmt, False)
+                return env
+            flag = self.expr(stmt.init, env)
+            self.mark(stmt, flag)
+            out = dict(env)
+            out[stmt.name] = flag
+            return out
+        if kind is A.If:
+            pred = self.expr(stmt.pred, env)
+            then_env = self.stmt(stmt.then, dict(env))
+            else_env = self.stmt(stmt.else_, dict(env)) if stmt.else_ else env
+            merged = dict(env)
+            for name in set(then_env) | set(else_env):
+                merged[name] = then_env.get(name, False) or else_env.get(name, False)
+            if pred:
+                # Rule 4: a dependent predicate taints everything assigned
+                # in the region it controls.
+                for name in A.assigned_var_names(stmt):
+                    merged[name] = True
+            self.mark(stmt, pred)
+            return merged
+        if kind is A.While:
+            env_in = dict(env)
+            while True:
+                pred = self.expr(stmt.pred, env_in)
+                body_out = self.stmt(stmt.body, dict(env_in))
+                merged = dict(env)
+                for name in set(body_out) | set(env_in):
+                    merged[name] = (
+                        env_in.get(name, False)
+                        or body_out.get(name, False)
+                        or env.get(name, False)
+                    )
+                if pred:
+                    for name in A.assigned_var_names(stmt.body):
+                        merged[name] = True
+                if merged == env_in:
+                    break
+                env_in = merged
+            # Final recording pass against the fixpoint environment.
+            pred = self.expr(stmt.pred, env_in)
+            self.stmt(stmt.body, dict(env_in))
+            self.mark(stmt, pred)
+            return env_in
+        if kind is A.Return:
+            flag = False
+            if stmt.expr is not None:
+                flag = self.expr(stmt.expr, env)
+            self.mark(stmt, flag)
+            return env
+        if kind is A.ExprStmt:
+            self.mark(stmt, self.expr(stmt.expr, env))
+            return env
+        raise TypeError("unexpected statement %r" % kind.__name__)
+
+
+def dependence_analysis(fn, varying):
+    """Analyze ``fn`` with the given set of varying parameter names."""
+    unknown = set(varying) - set(fn.param_names())
+    if unknown:
+        raise ValueError(
+            "varying names not among parameters of %r: %s"
+            % (fn.name, ", ".join(sorted(unknown)))
+        )
+    result = DependenceAnalysis(fn, varying)
+    analyzer = _Analyzer(result)
+    env = {name: (name in result.varying) for name in fn.param_names()}
+    for param in fn.params:
+        result.dependent[param.nid] = param.name in result.varying
+    analyzer.stmt(fn.body, env)
+    return result

@@ -1,0 +1,206 @@
+"""Structural index over a function body.
+
+For the structured kernel language, control dependence is simply lexical
+nesting: a term is control dependent on the predicates of the ``if``/
+``while`` statements enclosing it (Section 3.1 notes this is what makes
+the join-point treatment easy for "a language having only structured
+control constructs").  This module computes, in one walk:
+
+* ``parent``      — nid → parent node
+* ``guards``      — nid → the If/While statements guarding the node
+                    (outermost first).  A statement's own predicate is
+                    *not* guarded by that statement: it evaluates whenever
+                    control reaches the construct.
+* ``loops``       — nid → enclosing While statements whose repeated region
+                    contains the node.  A ``while`` predicate *is* inside
+                    its own loop (it re-evaluates every iteration), even
+                    though it is not guarded by it.
+* ``value_operands`` — the operand relation used by rules 6–7 of Figure 3.
+* ``node_of``     — nid → node.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+
+
+def guard_predicate(guard):
+    """The expression whose value decides whether a guarded term runs.
+
+    Guards are If/While statements, ternaries (their predicate), or
+    short-circuit logicals (their left operand decides the right's
+    evaluation).
+    """
+    if isinstance(guard, A.BinOp):
+        return guard.left
+    return guard.pred
+
+
+def value_operands(node):
+    """The value-producing operands of ``node`` (rules 6–7 of Figure 3).
+
+    These are the sub-terms whose *values* the node consumes.  Children
+    executed purely for effect (statements inside blocks/branches) are not
+    value operands; rules 1–5 handle them.
+    """
+    kind = type(node)
+    if kind is A.BinOp:
+        return [node.left, node.right]
+    if kind is A.UnaryOp:
+        return [node.operand]
+    if kind is A.Call:
+        return list(node.args)
+    if kind is A.Member:
+        return [node.base]
+    if kind is A.Cond:
+        return [node.pred, node.then, node.else_]
+    if kind is A.CacheStore:
+        return [node.value]
+    if kind is A.Assign:
+        return [node.expr]
+    if kind is A.VarDecl:
+        return [node.init] if node.init is not None else []
+    if kind is A.If or kind is A.While:
+        return [node.pred]
+    if kind is A.Return:
+        return [node.expr] if node.expr is not None else []
+    if kind is A.ExprStmt:
+        return [node.expr]
+    return []
+
+
+class StructuralIndex(object):
+    """Parent/guard/loop structure of one function body."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.parent = {}
+        self.guards = {}
+        self.loops = {}
+        self.node_of = {}
+        self._build(fn.body, parent=fn, guards=(), loops=())
+        self._add_early_return_guards(fn.body)
+        self.node_of[fn.nid] = fn
+        self.guards[fn.nid] = ()
+        self.loops[fn.nid] = ()
+        for param in fn.params:
+            self.node_of[param.nid] = param
+            self.parent[param.nid] = fn
+            self.guards[param.nid] = ()
+            self.loops[param.nid] = ()
+
+    # -- construction ---------------------------------------------------------
+
+    def _record(self, node, parent, guards, loops):
+        self.node_of[node.nid] = node
+        self.parent[node.nid] = parent
+        self.guards[node.nid] = guards
+        self.loops[node.nid] = loops
+
+    def _build_expr(self, expr, parent, guards, loops):
+        self._record(expr, parent, guards, loops)
+        # Conditionally-evaluated sub-expressions are *guarded* by their
+        # construct, exactly like statements under an if: a ternary's
+        # arms evaluate only when the predicate selects them, and the
+        # right operand of a short-circuit logical evaluates only when
+        # the left allows.  Without this, rule 6 could cache an arm the
+        # loader's run never evaluates while a reader run needs it.
+        if isinstance(expr, A.Cond):
+            self._build_expr(expr.pred, expr, guards, loops)
+            inner = guards + (expr,)
+            self._build_expr(expr.then, expr, inner, loops)
+            self._build_expr(expr.else_, expr, inner, loops)
+            return
+        if isinstance(expr, A.BinOp) and expr.op in ("&&", "||"):
+            self._build_expr(expr.left, expr, guards, loops)
+            self._build_expr(expr.right, expr, guards + (expr,), loops)
+            return
+        for child in expr.children():
+            self._build_expr(child, expr, guards, loops)
+
+    def _build(self, stmt, parent, guards, loops):
+        self._record(stmt, parent, guards, loops)
+        kind = type(stmt)
+        if kind is A.Block:
+            for inner in stmt.stmts:
+                self._build(inner, stmt, guards, loops)
+        elif kind is A.If:
+            self._build_expr(stmt.pred, stmt, guards, loops)
+            inner_guards = guards + (stmt,)
+            self._build(stmt.then, stmt, inner_guards, loops)
+            if stmt.else_ is not None:
+                self._build(stmt.else_, stmt, inner_guards, loops)
+        elif kind is A.While:
+            # The predicate re-executes every iteration (inside the loop)
+            # but is not conditionally guarded by it.
+            self._build_expr(stmt.pred, stmt, guards, loops + (stmt,))
+            self._build(stmt.body, stmt, guards + (stmt,), loops + (stmt,))
+        else:
+            for child in stmt.children():
+                self._build_expr(child, stmt, guards, loops)
+
+    def _add_early_return_guards(self, block):
+        """Early-return control dependence.
+
+        Lexical nesting alone under-approximates control dependence in
+        the presence of ``return``: in ``if (p) { return ...; } S;`` the
+        statement ``S`` executes only when ``p`` is false, so it *is*
+        control dependent on ``p`` (the CFG-based postdominance analysis
+        in :mod:`repro.cfg.control_dep` confirms this).  Missing it is a
+        soundness hole for caching rule 3: a slot could be cached in code
+        the loader's run skipped by returning early.
+
+        For every statement S whose subtree contains returns, all
+        lexically later statements (in this block; enclosing blocks are
+        handled by their own recursion, since S's returns are also inside
+        the enclosing construct) gain the union of those returns' guard
+        chains as extra guards.  This is conservative — a return on only
+        one arm of a nested if taints with that if's whole chain — which
+        errs toward dynamic, the safe direction.
+        """
+        extra = ()
+        for stmt in block.stmts:
+            if extra:
+                for node in A.walk(stmt):
+                    merged = self.guards[node.nid]
+                    for guard in extra:
+                        if guard not in merged:
+                            merged = merged + (guard,)
+                    self.guards[node.nid] = merged
+            returns = [
+                n for n in A.walk(stmt) if isinstance(n, A.Return)
+            ]
+            if returns:
+                for ret in returns:
+                    for guard in self.guards[ret.nid]:
+                        if guard not in extra:
+                            extra = extra + (guard,)
+            # Recurse into nested blocks.
+            if isinstance(stmt, A.Block):
+                self._add_early_return_guards(stmt)
+            elif isinstance(stmt, A.If):
+                self._add_early_return_guards(stmt.then)
+                if stmt.else_ is not None:
+                    self._add_early_return_guards(stmt.else_)
+            elif isinstance(stmt, A.While):
+                self._add_early_return_guards(stmt.body)
+
+    # -- queries -----------------------------------------------------------------
+
+    def guards_of(self, node):
+        """Enclosing If/While guard statements, outermost first."""
+        return self.guards[node.nid]
+
+    def loops_of(self, node):
+        """Enclosing While loops, outermost first."""
+        return self.loops[node.nid]
+
+    def parent_of(self, node):
+        return self.parent.get(node.nid)
+
+    def enclosing_statement(self, expr):
+        """The statement a given expression ultimately belongs to."""
+        current = expr
+        while isinstance(current, A.Expr):
+            current = self.parent[current.nid]
+        return current

@@ -1,0 +1,59 @@
+"""Single-valuedness: may a term evaluate to more than one value per run?
+
+Rule 6 of Figure 3 only permits caching an operand that "returns a single
+value during the execution of the fragment.  This category includes all
+expressions not inside loops, and all expressions that are invariant in
+all enclosing loops" — a single cache slot must summarize the operand.
+
+We use the paper's criterion directly, with a conservative syntactic
+notion of loop invariance: an expression is invariant with respect to a
+loop when none of the variables it references is assigned anywhere in the
+loop's repeated region, and it contains no impure calls.  (The repeated
+region includes the loop predicate position, but predicates cannot assign
+in this language, so scanning the body suffices.)
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..runtime.builtins import REGISTRY
+
+
+def _has_impure_call(expr):
+    for node in A.walk(expr):
+        if isinstance(node, A.Call):
+            builtin = REGISTRY.get(node.name)
+            if builtin is None or not builtin.pure:
+                return True
+    return False
+
+
+class SingleValuedness(object):
+    """Precomputes per-loop assigned-variable sets, then answers queries."""
+
+    def __init__(self, fn, index):
+        self.fn = fn
+        self.index = index
+        self._assigned_in_loop = {}
+        for node in A.walk(fn.body):
+            if isinstance(node, A.While):
+                self._assigned_in_loop[node.nid] = A.assigned_var_names(node.body)
+
+    def invariant_in(self, expr, loop):
+        """Is ``expr`` invariant with respect to ``loop``?"""
+        assigned = self._assigned_in_loop[loop.nid]
+        if any(name in assigned for name in A.free_var_names(expr)):
+            return False
+        return not _has_impure_call(expr)
+
+    def is_single_valued(self, expr):
+        """May ``expr`` be summarized by a single cache slot?"""
+        loops = self.index.loops_of(expr)
+        if not loops:
+            return not _has_impure_call(expr)
+        return all(self.invariant_in(expr, loop) for loop in loops)
+
+
+def single_valuedness(fn, index):
+    """Build the analysis for one function."""
+    return SingleValuedness(fn, index)

@@ -1,0 +1,136 @@
+"""Reaching definitions over the structured AST.
+
+Rule 4 of Figure 3 ("if a variable reference appears in the reader, all
+definitions reaching the reference must also appear") needs, for every
+variable reference, the set of definition sites that may reach it.  With
+structured control only, an abstract interpretation carrying a
+``variable → set of definition nids`` environment is exact enough: branch
+environments merge by union, loop bodies iterate to a fixpoint.
+
+Definition sites are ``Assign`` statements, ``VarDecl`` statements with an
+initializer, and function parameters (represented by their ``Param``
+node).  Rule 4 treats parameter definitions specially — the reader
+receives *all* of the fragment's inputs (Section 2, point (1)), so a
+parameter definition never has to be pulled into the reader.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+
+
+class ReachingDefinitions(object):
+    """Result of the analysis.
+
+    Attributes
+    ----------
+    reach:
+        nid of a ``VarRef`` → frozenset of definition nids that may reach
+        it (empty for references the checker would reject anyway).
+    param_def_ids:
+        nids of the ``Param`` pseudo-definitions.
+    def_nodes:
+        nid → defining node (Assign, VarDecl, or Param).
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.reach = {}
+        self.param_def_ids = frozenset(p.nid for p in fn.params)
+        self.def_nodes = {}
+
+    def defs_reaching(self, var_ref):
+        """Definition nodes that may reach ``var_ref`` (a VarRef node)."""
+        return [self.def_nodes[d] for d in self.reach.get(var_ref.nid, ())]
+
+    def local_defs_reaching(self, var_ref):
+        """Reaching definitions excluding parameter pseudo-defs."""
+        return [
+            self.def_nodes[d]
+            for d in self.reach.get(var_ref.nid, ())
+            if d not in self.param_def_ids
+        ]
+
+
+def _merge(a, b):
+    """Union-merge two environments."""
+    merged = dict(a)
+    for name, defs in b.items():
+        if name in merged:
+            merged[name] = merged[name] | defs
+        else:
+            merged[name] = defs
+    return merged
+
+
+class _Analyzer(object):
+    def __init__(self, result):
+        self.result = result
+
+    def record_expr(self, expr, env):
+        for node in A.walk(expr):
+            if isinstance(node, A.VarRef):
+                self.result.reach[node.nid] = env.get(node.name, frozenset())
+
+    def stmt(self, stmt, env):
+        kind = type(stmt)
+        if kind is A.Block:
+            for inner in stmt.stmts:
+                env = self.stmt(inner, env)
+            return env
+        if kind is A.Assign:
+            self.record_expr(stmt.expr, env)
+            self.result.def_nodes[stmt.nid] = stmt
+            out = dict(env)
+            out[stmt.name] = frozenset((stmt.nid,))
+            return out
+        if kind is A.VarDecl:
+            if stmt.init is None:
+                return env
+            self.record_expr(stmt.init, env)
+            self.result.def_nodes[stmt.nid] = stmt
+            out = dict(env)
+            out[stmt.name] = frozenset((stmt.nid,))
+            return out
+        if kind is A.If:
+            self.record_expr(stmt.pred, env)
+            then_env = self.stmt(stmt.then, dict(env))
+            if stmt.else_ is not None:
+                else_env = self.stmt(stmt.else_, dict(env))
+            else:
+                else_env = env
+            return _merge(then_env, else_env)
+        if kind is A.While:
+            env_in = env
+            while True:
+                # The predicate sees the loop-head environment.
+                body_out = self.stmt(stmt.body, dict(env_in))
+                merged = _merge(env, body_out)
+                if merged == env_in:
+                    break
+                env_in = merged
+            # Record predicate references against the stable head state.
+            self.record_expr(stmt.pred, env_in)
+            # Re-walk the body once so recorded reference sets reflect the
+            # fixpoint environment rather than an earlier iterate.
+            self.stmt(stmt.body, dict(env_in))
+            return env_in
+        if kind is A.Return:
+            if stmt.expr is not None:
+                self.record_expr(stmt.expr, env)
+            return env
+        if kind is A.ExprStmt:
+            self.record_expr(stmt.expr, env)
+            return env
+        raise TypeError("unexpected statement %r" % kind.__name__)
+
+
+def reaching_definitions(fn):
+    """Compute reaching definitions for every variable reference in ``fn``."""
+    result = ReachingDefinitions(fn)
+    env = {}
+    for param in fn.params:
+        result.def_nodes[param.nid] = param
+        env[param.name] = frozenset((param.nid,))
+    _Analyzer(result).stmt(fn.body, env)
+    return result

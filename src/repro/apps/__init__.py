@@ -1,0 +1,26 @@
+"""Additional application domains (the paper's Section 7.3 outlook).
+
+The paper expects data specialization to pay off in "numeric applications
+where significant effort goes into the production of a small number of
+values" with low repetition counts or many simultaneous specializations.
+Beyond the shading workloads, this package collects such applications
+written in the kernel language:
+
+* natural cubic splines — a curve editor/resampler; fixed inputs are the
+  control points, varying input the evaluation parameter (low repetition
+  per context, many contexts);
+* Gaussian image filtering — fixed input is the filter width, varying
+  inputs the pixel neighborhood (one context, image-sized repetition).
+"""
+
+from .filter import FILTER_SOURCE, blur_row, filter_program, specialize_on_sigma
+from .spline import SPLINE_SOURCE, spline_program
+
+__all__ = [
+    "FILTER_SOURCE",
+    "blur_row",
+    "filter_program",
+    "specialize_on_sigma",
+    "SPLINE_SOURCE",
+    "spline_program",
+]

@@ -1,0 +1,94 @@
+"""Natural cubic splines in the kernel language (a §7.3 application).
+
+``spline5(y0..y4, t)`` evaluates the natural cubic spline through the
+control points ``(i, y_i)`` for ``i = 0..4`` at parameter ``t``
+(clamped to [0, 4]).  The structure is exactly the paper's sweet spot:
+
+* the *early* work — solving the tridiagonal system for the second
+  derivatives and deriving each segment's cubic coefficients — depends
+  only on the control points (the fixed inputs in a curve editor), and
+* the *late* work — picking the segment and evaluating one cubic — is
+  the only part that touches the varying evaluation parameter ``t``.
+
+Specializing on ``{t}`` caches the coefficient set (the "small number of
+values" §7.3 speaks of) and leaves a reader that is one clamp, a segment
+dispatch, and a Horner evaluation.
+
+The fixed five-knot layout (no arrays in the language) keeps the solver
+as honest straight-line code; `tests/test_spline.py` validates it against
+``scipy.interpolate.CubicSpline``.
+"""
+
+from __future__ import annotations
+
+SPLINE_SOURCE = """
+float spline5(float y0, float y1, float y2, float y3, float y4, float t) {
+    /* Natural cubic spline on knots x = 0..4 (unit spacing).
+       Second derivatives m0..m4 with m0 = m4 = 0; the interior system
+         4*m1 +   m2        = r1
+           m1 + 4*m2 +   m3 = r2
+                  m2 + 4*m3 = r3
+       is solved by the Thomas algorithm, unrolled. */
+    float r1 = 6.0 * (y0 - 2.0 * y1 + y2);
+    float r2 = 6.0 * (y1 - 2.0 * y2 + y3);
+    float r3 = 6.0 * (y2 - 2.0 * y3 + y4);
+
+    float c1p = 0.25;
+    float d1p = r1 * 0.25;
+    float den2 = 4.0 - c1p;
+    float c2p = 1.0 / den2;
+    float d2p = (r2 - d1p) / den2;
+    float den3 = 4.0 - c2p;
+    float d3p = (r3 - d2p) / den3;
+
+    float m3 = d3p;
+    float m2 = d2p - c2p * m3;
+    float m1 = d1p - c1p * m2;
+    float m0 = 0.0;
+    float m4 = 0.0;
+
+    /* Per-segment cubic coefficients:
+       S_i(u) = y_i + b_i*u + (m_i/2)*u^2 + ((m_{i+1}-m_i)/6)*u^3. */
+    float b0 = (y1 - y0) - (2.0 * m0 + m1) / 6.0;
+    float b1 = (y2 - y1) - (2.0 * m1 + m2) / 6.0;
+    float b2 = (y3 - y2) - (2.0 * m2 + m3) / 6.0;
+    float b3 = (y4 - y3) - (2.0 * m3 + m4) / 6.0;
+    float q0 = m0 * 0.5;
+    float q1 = m1 * 0.5;
+    float q2 = m2 * 0.5;
+    float q3 = m3 * 0.5;
+    float k0 = (m1 - m0) / 6.0;
+    float k1 = (m2 - m1) / 6.0;
+    float k2 = (m3 - m2) / 6.0;
+    float k3 = (m4 - m3) / 6.0;
+
+    /* Late phase: clamp, dispatch, Horner. */
+    float tc = clamp(t, 0.0, 4.0);
+    float result = 0.0;
+    if (tc < 1.0) {
+        float u0 = tc;
+        result = y0 + u0 * (b0 + u0 * (q0 + u0 * k0));
+    } else {
+        if (tc < 2.0) {
+            float u1 = tc - 1.0;
+            result = y1 + u1 * (b1 + u1 * (q1 + u1 * k1));
+        } else {
+            if (tc < 3.0) {
+                float u2 = tc - 2.0;
+                result = y2 + u2 * (b2 + u2 * (q2 + u2 * k2));
+            } else {
+                float u3 = tc - 3.0;
+                result = y3 + u3 * (b3 + u3 * (q3 + u3 * k3));
+            }
+        }
+    }
+    return result;
+}
+"""
+
+
+def spline_program():
+    """Parse the spline program."""
+    from ..lang.parser import parse_program
+
+    return parse_program(SPLINE_SOURCE)

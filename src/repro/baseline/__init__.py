@@ -1,0 +1,17 @@
+"""Baselines the paper compares against.
+
+``repro.baseline.pe`` implements *code specialization* — the
+dynamic-compilation staging family of Section 1 and Section 6.1 — as an
+online partial evaluator over the kernel language.  Given the actual
+values of the fixed inputs, it folds constants, eliminates branches, and
+unrolls loops, emitting a residual program (the analog of runtime-generated
+object code).  The benchmark suite uses it to reproduce the paper's
+central trade-off: code specialization optimizes harder (it folds the
+dotprod conditional that data specialization must keep), but pays a
+per-context generation cost that data specialization's cache loader does
+not.
+"""
+
+from .pe import CodeSpecialization, PartialEvaluator, specialize_code
+
+__all__ = ["CodeSpecialization", "PartialEvaluator", "specialize_code"]

@@ -1,0 +1,558 @@
+"""Online partial evaluator: the code-specialization baseline.
+
+Code specialization (Section 1) statically builds a *runtime optimizer*
+that, given the fixed inputs, emits object code customized for them.  Our
+object code is kernel-language source, so the runtime optimizer is this
+partial evaluator: it interprets the fragment under a partial environment
+(fixed parameters bound to their actual values, varying parameters
+unknown), folding every operation whose operands are known, taking
+branches whose predicates are known, and unrolling loops with known trip
+counts — the optimizations the paper credits code specializers with
+("code specializers often eliminate branches, unroll loops, ... in
+addition to folding operations involving fixed input values").
+
+The residual program has the same signature as the fragment (the varying
+inputs are read, the fixed ones ignored) and computes the same result for
+every argument list agreeing with the fixed values.
+
+Generation is metered: ``work`` counts evaluator steps, the stand-in for
+the dynamic-compilation cost that data specialization avoids.  The
+benches charge it on the abstract cost scale via
+:data:`GENERATION_COST_PER_STEP` (real dynamic compilers spend "tens to
+hundreds of [dynamic] instructions ... per optimized instruction",
+Section 6.1).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..lang.errors import EvalError, SpecializationError
+from ..lang.types import FLOAT, INT, MAT3, VEC3
+from ..runtime.builtins import REGISTRY
+from ..runtime.interp import _int_div, _int_mod
+from ..runtime.values import is_mat3, is_vec3
+
+#: Abstract cost charged per evaluator step (the analysis side of the
+#: runtime optimizer).
+GENERATION_COST_PER_STEP = 5
+
+#: Abstract cost charged per residual AST node: Section 6.1 reports "tens
+#: to hundreds of dynamic instructions to emit a single optimized
+#: instruction"; we sit at the charitable low end of that range.
+EMIT_COST_PER_NODE = 30
+
+#: Loops whose known trip count exceeds this are residualized instead of
+#: unrolled (guards against unbounded code growth).
+MAX_UNROLL = 64
+
+
+class _Unknown(object):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<unknown>"
+
+
+UNKNOWN = _Unknown()
+
+#: Sentinel returned by :meth:`PartialEvaluator._try` when folding faults
+#: (division by zero, domain error): the operation stays residual and the
+#: fault is deferred to run time, matching the original's behavior.
+_FOLD_FAILED = object()
+
+
+def _literal_for(value, ty, line=None):
+    """Residualize a known value as an expression of type ``ty``."""
+    if ty is MAT3 or is_mat3(value):
+        call = A.Call("mat3", [A.FloatLit(x) for x in value], line=line)
+        call.ty = MAT3
+        for arg in call.args:
+            arg.ty = FLOAT
+        return call
+    if ty is VEC3 or is_vec3(value):
+        call = A.Call(
+            "vec3",
+            [A.FloatLit(value[0]), A.FloatLit(value[1]), A.FloatLit(value[2])],
+            line=line,
+        )
+        call.ty = VEC3
+        for arg in call.args:
+            arg.ty = FLOAT
+        return call
+    if ty is INT:
+        node = A.IntLit(int(value), line=line)
+    else:
+        node = A.FloatLit(float(value), line=line)
+    node.ty = ty
+    return node
+
+
+class CodeSpecialization(object):
+    """The product of code-specializing one fragment on fixed values."""
+
+    def __init__(self, residual, fixed_values, work, fold_cost=0):
+        #: Residual FunctionDef (same signature as the fragment).
+        self.residual = residual
+        self.fixed_values = dict(fixed_values)
+        #: Evaluator steps spent generating the residual program.
+        self.work = work
+        #: Abstract cost of the concrete computation performed while
+        #: folding (noise calls evaluated at specialization time really
+        #: run; the optimizer pays for them like the cache loader does).
+        self.fold_cost = fold_cost
+
+    @property
+    def generation_cost(self):
+        """The residual's production cost on the abstract cost scale:
+        analysis work plus per-emitted-node code generation."""
+        return (
+            self.fold_cost
+            + self.work * GENERATION_COST_PER_STEP
+            + A.count_nodes(self.residual) * EMIT_COST_PER_NODE
+        )
+
+
+class PartialEvaluator(object):
+    """Specializes one function given concrete values for some params."""
+
+    def __init__(self, fn, fixed_values, max_unroll=MAX_UNROLL):
+        self.fn = fn
+        self.fixed_values = dict(fixed_values)
+        self.max_unroll = max_unroll
+        self.work = 0
+        self.fold_cost = 0
+        self.var_types = {}
+        unknown_params = set(fn.param_names()) - set(fixed_values)
+        self._unknown_params = unknown_params
+        extra = set(fixed_values) - set(fn.param_names())
+        if extra:
+            raise SpecializationError(
+                "fixed values for unknown parameters: %s" % ", ".join(sorted(extra))
+            )
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self):
+        env = {}
+        for param in self.fn.params:
+            self.var_types[param.name] = param.ty
+            if param.name in self.fixed_values:
+                env[param.name] = self.fixed_values[param.name]
+            else:
+                env[param.name] = UNKNOWN
+        stmts, _ = self._block(self.fn.body, env)
+        body = A.Block(self._prune_decls(stmts))
+        residual = A.FunctionDef(
+            self.fn.name + "_residual",
+            [A.Param(p.ty, p.name, line=p.line) for p in self.fn.params],
+            self.fn.ret_type,
+            body,
+            line=self.fn.line,
+        )
+        A.number_nodes(residual)
+        return CodeSpecialization(
+            residual, self.fixed_values, self.work, self.fold_cost
+        )
+
+    def _tick(self):
+        self.work += 1
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, expr, env):
+        """Returns (residual_expr, value) where value is UNKNOWN or the
+        known concrete value (in which case residual_expr is a literal)."""
+        self._tick()
+        kind = type(expr)
+
+        if kind is A.IntLit or kind is A.FloatLit:
+            return _literal_for(expr.value, expr.ty, expr.line), expr.value
+
+        if kind is A.VarRef:
+            value = env.get(expr.name, UNKNOWN)
+            if value is UNKNOWN:
+                node = A.VarRef(expr.name, line=expr.line)
+                node.ty = expr.ty
+                return node, UNKNOWN
+            return _literal_for(value, expr.ty, expr.line), value
+
+        if kind is A.BinOp:
+            return self._binop(expr, env)
+
+        if kind is A.UnaryOp:
+            operand, value = self._expr(expr.operand, env)
+            if value is not UNKNOWN:
+                folded = self._try(lambda: self._apply_unop(expr.op, value))
+                if folded is not _FOLD_FAILED:
+                    return _literal_for(folded, expr.ty, expr.line), folded
+            node = A.UnaryOp(expr.op, operand, line=expr.line)
+            node.ty = expr.ty
+            return node, UNKNOWN
+
+        if kind is A.Call:
+            return self._call(expr, env)
+
+        if kind is A.Member:
+            base, value = self._expr(expr.base, env)
+            if value is not UNKNOWN:
+                component = value["xyz".index(expr.field)]
+                return _literal_for(component, expr.ty, expr.line), component
+            node = A.Member(base, expr.field, line=expr.line)
+            node.ty = expr.ty
+            return node, UNKNOWN
+
+        if kind is A.Cond:
+            pred, pvalue = self._expr(expr.pred, env)
+            if pvalue is not UNKNOWN:
+                return self._expr(expr.then if pvalue != 0 else expr.else_, env)
+            then, tvalue = self._expr(expr.then, env)
+            else_, evalue = self._expr(expr.else_, env)
+            node = A.Cond(pred, then, else_, line=expr.line)
+            node.ty = expr.ty
+            return node, UNKNOWN
+
+        raise SpecializationError(
+            "cannot partially evaluate %r" % kind.__name__
+        )
+
+    def _binop(self, expr, env):
+        op = expr.op
+        left, lvalue = self._expr(expr.left, env)
+
+        # Known-operand short circuits take the C semantics path without
+        # touching the other operand.
+        if op in ("&&", "||") and lvalue is not UNKNOWN:
+            if op == "&&" and lvalue == 0:
+                return _literal_for(0, INT, expr.line), 0
+            if op == "||" and lvalue != 0:
+                return _literal_for(1, INT, expr.line), 1
+            right, rvalue = self._expr(expr.right, env)
+            if rvalue is not UNKNOWN:
+                result = 1 if rvalue != 0 else 0
+                return _literal_for(result, INT, expr.line), result
+            node = A.BinOp(op, left, right, line=expr.line)
+            node.ty = INT
+            return node, UNKNOWN
+
+        right, rvalue = self._expr(expr.right, env)
+        if lvalue is not UNKNOWN and rvalue is not UNKNOWN:
+            folded = self._try(lambda: self._apply_binop(op, lvalue, rvalue))
+            if folded is not _FOLD_FAILED:
+                return _literal_for(folded, expr.ty, expr.line), folded
+        node = A.BinOp(op, left, right, line=expr.line)
+        node.ty = expr.ty
+        return node, UNKNOWN
+
+    def _call(self, expr, env):
+        args = []
+        values = []
+        for arg in expr.args:
+            node, value = self._expr(arg, env)
+            args.append(node)
+            values.append(value)
+        builtin = REGISTRY.get(expr.name)
+        if builtin is None:
+            raise SpecializationError(
+                "call to non-builtin %r (inline user calls first)" % expr.name
+            )
+        if builtin.pure and all(v is not UNKNOWN for v in values):
+            folded = self._try(lambda: builtin.fn(*values))
+            if folded is not _FOLD_FAILED:
+                self.fold_cost += builtin.cost
+                return _literal_for(folded, expr.ty, expr.line), folded
+        node = A.Call(expr.name, args, line=expr.line)
+        node.ty = expr.ty
+        return node, UNKNOWN
+
+    @staticmethod
+    def _apply_unop(op, value):
+        if op == "-":
+            if is_vec3(value):
+                return (-value[0], -value[1], -value[2])
+            return -value
+        if op == "!":
+            return 0 if value != 0 else 1
+        raise EvalError("unknown unary %r" % op)
+
+    @staticmethod
+    def _apply_binop(op, left, right):
+        from ..runtime.interp import Interpreter
+
+        if is_vec3(left) or is_vec3(right):
+            return Interpreter._vector_binop(op, left, right)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return _int_div(left, right)
+            if right == 0:
+                raise EvalError("division by zero")
+            return left / right
+        if op == "%":
+            return _int_mod(left, right)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise EvalError("unknown operator %r" % op)
+
+    @staticmethod
+    def _try(thunk):
+        """Fold, or defer a runtime fault to the residual program."""
+        try:
+            return thunk()
+        except (EvalError, OverflowError, ValueError, ZeroDivisionError):
+            return _FOLD_FAILED
+
+    # -- statements ---------------------------------------------------------------
+
+    def _block(self, block, env):
+        """Returns (residual_stmts, env')."""
+        out = []
+        for stmt in block.stmts:
+            emitted, env, terminated = self._stmt(stmt, env)
+            out.extend(emitted)
+            if terminated:
+                break
+        return out, env
+
+    def _stmt(self, stmt, env):
+        """Returns (residual_stmts, env', definitely_returned)."""
+        self._tick()
+        kind = type(stmt)
+
+        if kind is A.Block:
+            stmts, env = self._block(stmt, env)
+            return ([A.Block(stmts, line=stmt.line)] if stmts else []), env, False
+
+        if kind is A.VarDecl:
+            self.var_types[stmt.name] = stmt.ty
+            if stmt.init is None:
+                env = dict(env)
+                env[stmt.name] = UNKNOWN
+                return [A.VarDecl(stmt.ty, stmt.name, None, line=stmt.line)], env, False
+            node, value = self._expr(stmt.init, env)
+            env = dict(env)
+            env[stmt.name] = value
+            if value is not UNKNOWN:
+                # Known: bind in the environment, emit nothing.
+                return [], env, False
+            return [A.VarDecl(stmt.ty, stmt.name, node, line=stmt.line)], env, False
+
+        if kind is A.Assign:
+            node, value = self._expr(stmt.expr, env)
+            env = dict(env)
+            env[stmt.name] = value
+            if value is not UNKNOWN:
+                return [], env, False
+            return [A.Assign(stmt.name, node, line=stmt.line)], env, False
+
+        if kind is A.If:
+            return self._if(stmt, env)
+
+        if kind is A.While:
+            return self._while(stmt, env)
+
+        if kind is A.Return:
+            if stmt.expr is None:
+                return [A.Return(None, line=stmt.line)], env, True
+            node, _ = self._expr(stmt.expr, env)
+            return [A.Return(node, line=stmt.line)], env, True
+
+        if kind is A.ExprStmt:
+            node, _ = self._expr(stmt.expr, env)
+            return [A.ExprStmt(node, line=stmt.line)], env, False
+
+        raise SpecializationError("cannot partially evaluate %r" % kind.__name__)
+
+    def _if(self, stmt, env):
+        pred, pvalue = self._expr(stmt.pred, env)
+        if pvalue is not UNKNOWN:
+            # Branch elimination: the paper's headline code-spec power.
+            if pvalue != 0:
+                stmts, env = self._block(stmt.then, env)
+            elif stmt.else_ is not None:
+                stmts, env = self._block(stmt.else_, env)
+            else:
+                stmts = []
+            terminated = self._definitely_returns(stmts)
+            return stmts, env, terminated
+
+        # Unknown predicate: residualize both branches.  Values that
+        # became known inside a branch are materialized as assignments at
+        # its end so the merged environment can simply forget them.
+        then_stmts, then_env = self._block(stmt.then, dict(env))
+        else_env = dict(env)
+        else_stmts = []
+        if stmt.else_ is not None:
+            else_stmts, else_env = self._block(stmt.else_, dict(env))
+
+        assigned = A.assigned_var_names(stmt)
+        merged = dict(env)
+        to_pin = set()
+        for name in assigned:
+            tval = then_env.get(name, UNKNOWN)
+            evalue = else_env.get(name, UNKNOWN)
+            if tval is not UNKNOWN and tval == evalue:
+                # Both branches agree on a known value: keep it known and
+                # skip the pinning assignments entirely.
+                merged[name] = tval
+            else:
+                merged[name] = UNKNOWN
+                to_pin.add(name)
+
+        # Pinning strategy: values known *before* the branch are pinned in
+        # front of it (this also covers a missing else arm); values a
+        # branch changes to something else are pinned inside that branch.
+        pre_pins = []
+        for name in sorted(to_pin):
+            before = env.get(name, UNKNOWN)
+            if before is not UNKNOWN:
+                ty = self.var_types.get(name)
+                if ty is not None:
+                    pre_pins.append(A.Assign(name, _literal_for(before, ty)))
+        then_stmts = self._pin_changed(to_pin, env, then_env, then_stmts)
+        else_stmts = self._pin_changed(to_pin, env, else_env, else_stmts)
+
+        node = A.If(
+            pred,
+            A.Block(then_stmts, line=stmt.line),
+            A.Block(else_stmts, line=stmt.line) if stmt.else_ is not None else None,
+            line=stmt.line,
+        )
+        return pre_pins + [node], merged, False
+
+    def _pin_changed(self, names, before_env, branch_env, stmts):
+        """Pin names whose branch value is known but differs from (or is
+        absent in) the pre-branch environment."""
+        extra = []
+        for name in sorted(names):
+            value = branch_env.get(name, UNKNOWN)
+            if value is UNKNOWN:
+                continue
+            if before_env.get(name, UNKNOWN) == value:
+                continue  # the pre-branch pin already covers it
+            ty = self.var_types.get(name)
+            if ty is None:
+                continue
+            extra.append(A.Assign(name, _literal_for(value, ty)))
+        return stmts + extra
+
+    def _while(self, stmt, env):
+        # Unrolling: execute specialization iterations while the guard
+        # stays known-true and the budget lasts.
+        out = []
+        unrolled = 0
+        while True:
+            pred, pvalue = self._expr(stmt.pred, env)
+            if pvalue is UNKNOWN:
+                break
+            if pvalue == 0:
+                return out, env, False
+            if unrolled >= self.max_unroll:
+                break
+            body_stmts, env = self._block(stmt.body, env)
+            if self._definitely_returns(body_stmts):
+                out.extend(body_stmts)
+                return out, env, True
+            out.extend(body_stmts)
+            unrolled += 1
+
+        # Residual loop: everything the body may assign becomes unknown;
+        # currently-known values must be materialized first.
+        assigned = A.assigned_var_names(stmt.body)
+        out = self._materialize(assigned, env, out)
+        env = dict(env)
+        for name in assigned:
+            env[name] = UNKNOWN
+        pred, _ = self._expr(stmt.pred, env)
+        body_stmts, body_env = self._block(stmt.body, dict(env))
+        # Assignments whose values folded inside the body were not
+        # emitted; pin any still-known assigned names at the body's end so
+        # the residual loop really updates them.
+        body_stmts = self._materialize(assigned, body_env, body_stmts)
+        out.append(
+            A.While(pred, A.Block(body_stmts, line=stmt.line), line=stmt.line)
+        )
+        return out, env, False
+
+    def _materialize(self, names, env, stmts):
+        """Append assignments pinning known values of ``names``."""
+        extra = []
+        for name in sorted(names):
+            value = env.get(name, UNKNOWN)
+            if value is not UNKNOWN:
+                ty = self.var_types.get(name)
+                if ty is None:
+                    continue
+                extra.append(A.Assign(name, _literal_for(value, ty)))
+                env[name] = UNKNOWN
+        return stmts + extra
+
+    @staticmethod
+    def _definitely_returns(stmts):
+        return bool(stmts) and isinstance(stmts[-1], A.Return)
+
+    # -- post-processing ---------------------------------------------------------
+
+    def _prune_decls(self, stmts):
+        """Re-emit declarations for residual variables.
+
+        Known-valued declarations were dropped during specialization, but
+        materialization or residual branches may still assign/reference
+        their names; declare every non-parameter name the residual body
+        mentions.
+        """
+        wrapper = A.Block(stmts)
+        mentioned = set()
+        declared = set()
+        for node in A.walk(wrapper):
+            if isinstance(node, (A.VarRef, A.Assign)):
+                mentioned.add(node.name)
+            if isinstance(node, A.VarDecl):
+                declared.add(node.name)
+        params = set(self.fn.param_names())
+        missing = sorted(mentioned - declared - params)
+        decls = []
+        for name in missing:
+            ty = self.var_types.get(name)
+            if ty is None:
+                raise SpecializationError(
+                    "residual mentions %r with no recorded type" % name
+                )
+            decls.append(A.VarDecl(ty, name, None))
+        return decls + stmts
+
+
+def specialize_code(program_or_fn, fn_name=None, fixed_values=None, max_unroll=MAX_UNROLL):
+    """Code-specialize a fragment on concrete fixed-input values.
+
+    Accepts a Program plus function name (user calls are inlined first)
+    or a self-contained FunctionDef.  Returns a
+    :class:`CodeSpecialization`.
+    """
+    from ..lang.typecheck import check_program
+    from ..transform.inline import Inliner
+
+    if isinstance(program_or_fn, A.FunctionDef):
+        fn = program_or_fn
+    else:
+        program = program_or_fn
+        check_program(program)
+        fn = Inliner(program).inline_function(fn_name)
+        check_program(A.Program([fn]))
+    result = PartialEvaluator(fn, fixed_values or {}, max_unroll).run()
+    check_program(A.Program([result.residual]))
+    return result

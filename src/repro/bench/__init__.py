@@ -1,0 +1,17 @@
+"""Measurement harness: speedups, overheads, cache sizes, limit sweeps."""
+
+from .harness import (
+    PartitionMeasurement,
+    measure_all_shaders,
+    measure_partition,
+    measure_shader,
+    sweep_values,
+)
+
+__all__ = [
+    "PartitionMeasurement",
+    "measure_all_shaders",
+    "measure_partition",
+    "measure_shader",
+    "sweep_values",
+]

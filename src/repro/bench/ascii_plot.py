@@ -1,0 +1,121 @@
+"""Minimal ASCII plotting for the report generator.
+
+The paper's Figures 7-10 are scatter/line charts; in a text-only
+environment we render them as character grids: scatter plots with one
+glyph per series, optional log-scaled y axes, and labeled ticks.  No
+dependencies, deterministic output (diff-able in golden tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _nice_ticks(lo, hi, count=5):
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / float(count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+class AsciiPlot(object):
+    """A character-grid chart."""
+
+    def __init__(self, width=64, height=20, logy=False, title="",
+                 xlabel="", ylabel=""):
+        self.width = width
+        self.height = height
+        self.logy = logy
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        #: (x, y, glyph, label) per series
+        self.series = []
+
+    def add_series(self, points, glyph="+", label=""):
+        """``points`` is a sequence of (x, y)."""
+        cleaned = [(float(x), float(y)) for x, y in points]
+        self.series.append((cleaned, glyph, label))
+        return self
+
+    # -- scaling ---------------------------------------------------------------
+
+    def _y_transform(self, y):
+        if self.logy:
+            return math.log10(max(y, 1e-12))
+        return y
+
+    def _bounds(self):
+        xs = [x for pts, _, _ in self.series for x, _ in pts]
+        ys = [self._y_transform(y) for pts, _, _ in self.series for _, y in pts]
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self):
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def place(x, y, glyph):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (self.width - 1)))
+            row = int(round((self._y_transform(y) - y_lo) / (y_hi - y_lo)
+                            * (self.height - 1)))
+            grid[self.height - 1 - row][col] = glyph
+
+        for points, glyph, _label in self.series:
+            for x, y in points:
+                place(x, y, glyph)
+
+        # y-axis labels at a few rows.
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        tick_rows = {0, self.height // 2, self.height - 1}
+        for row_index, row in enumerate(grid):
+            frac = (self.height - 1 - row_index) / float(self.height - 1)
+            value = y_lo + frac * (y_hi - y_lo)
+            if self.logy:
+                value = 10 ** value
+            if row_index in tick_rows or row_index == self.height - 1:
+                label = ("%8.3g" % value).rjust(8)
+            else:
+                label = " " * 8
+            lines.append("%s |%s" % (label, "".join(row)))
+        lines.append(" " * 8 + "-" * (self.width + 1))
+        x_ticks = _nice_ticks(x_lo, x_hi, 5)
+        tick_text = "".join(
+            ("%-12.4g" % t) for t in x_ticks
+        )
+        lines.append(" " * 9 + tick_text[: self.width])
+        if self.xlabel or self.ylabel:
+            lines.append(
+                " " * 9 + "x: %s%s" % (
+                    self.xlabel,
+                    ("   y: %s" % self.ylabel) if self.ylabel else "",
+                )
+            )
+        legend = [
+            "%s %s" % (glyph, label)
+            for _, glyph, label in self.series
+            if label
+        ]
+        if legend:
+            lines.append(" " * 9 + "   ".join(legend))
+        return "\n".join(lines)
+
+
+def scatter(points, **kwargs):
+    """One-series convenience wrapper."""
+    glyph = kwargs.pop("glyph", "+")
+    label = kwargs.pop("label", "")
+    plot = AsciiPlot(**kwargs)
+    plot.add_series(points, glyph=glyph, label=label)
+    return plot.render()

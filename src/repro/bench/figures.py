@@ -1,0 +1,310 @@
+"""Regenerators for every table and figure in the paper's evaluation.
+
+Each ``fig*``/``sec*`` function reproduces one artifact of Section 5 (see
+DESIGN.md's experiment index) and returns plain data plus a rendered text
+table, so the same code serves the pytest benchmarks, EXPERIMENTS.md, and
+interactive use.
+
+The underlying measurements come from :mod:`repro.bench.harness` and are
+memoized per process: several figures share the 131-partition sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from functools import lru_cache
+
+from ..lang.ast_nodes import count_nodes
+from ..shaders.render import RenderSession
+from ..shaders.sources import SHADERS
+from .harness import measure_all_shaders, measure_partition
+
+#: Default measurement resolution for the shared sweep (kept modest so the
+#: whole benchmark suite runs in seconds; raise for tighter statistics).
+SWEEP_PIXELS = 12
+SWEEP_VALUES = 3
+
+
+def render_table(headers, rows):
+    """Align a list of tuples under headers, returning the text block."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@lru_cache(maxsize=None)
+def shared_sweep(pixel_count=SWEEP_PIXELS, value_count=SWEEP_VALUES):
+    """The 131-partition measurement sweep, computed once per process."""
+    return measure_all_shaders(pixel_count=pixel_count, value_count=value_count)
+
+
+def _all_measurements():
+    return [m for ms in shared_sweep().values() for m in ms]
+
+
+# ---------------------------------------------------------------------------
+# §2: the dotprod worked example (Figures 1 and 2)
+# ---------------------------------------------------------------------------
+
+DOTPROD_SOURCE = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+def sec2_dotprod():
+    """Reproduce the Section 2 example: specialize dotprod on {z1, z2}
+    varying; report speedup and startup overhead for scale != 0 and
+    scale == 0, plus the breakeven count."""
+    from ..core.specializer import specialize
+
+    spec = specialize(DOTPROD_SOURCE, "dotprod", varying={"z1", "z2"})
+    cases = {}
+    for label, scale in (("scale nonzero", 2.0), ("scale zero", 0.0)):
+        args = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, scale]
+        _, cost_orig = spec.run_original(args)
+        _, cache, cost_load = spec.run_loader(args)
+        args2 = list(args)
+        args2[2], args2[5] = 9.0, -2.0
+        expected, cost_orig2 = spec.run_original(args2)
+        got, cost_read = spec.run_reader(cache, args2)
+        assert abs(got - expected) < 1e-9
+        speedup = cost_orig2 / cost_read if cost_read else float("inf")
+        overhead = (cost_load - cost_orig) / cost_orig if cost_orig else 0.0
+        breakeven = (
+            1
+            if cost_load <= cost_orig
+            else math.ceil(
+                (cost_load - cost_read) / (cost_orig2 - cost_read) - 1e-9
+            )
+            if cost_orig2 > cost_read
+            else math.inf
+        )
+        cases[label] = {
+            "speedup": speedup,
+            "overhead": overhead,
+            "breakeven": breakeven,
+            "cache_bytes": spec.cache_size_bytes,
+        }
+    rows = [
+        (label, "%.2fx" % c["speedup"], "%.1f%%" % (100 * c["overhead"]),
+         c["breakeven"], c["cache_bytes"])
+        for label, c in cases.items()
+    ]
+    table = render_table(
+        ["case", "speedup", "startup overhead", "breakeven", "cache bytes"], rows
+    )
+    return cases, table
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: asymptotic speedup for all 131 input partitions
+# ---------------------------------------------------------------------------
+
+
+def fig7_speedups():
+    """Per-partition speedups plus per-shader min/median/max summary."""
+    sweep = shared_sweep()
+    rows = []
+    summary = {}
+    for index in sorted(sweep):
+        speedups = [m.speedup for m in sweep[index]]
+        summary[index] = {
+            "min": min(speedups),
+            "median": statistics.median(speedups),
+            "max": max(speedups),
+            "count": len(speedups),
+        }
+        for m in sweep[index]:
+            rows.append((index, m.shader_name, m.param, "%.2f" % m.speedup))
+    table = render_table(["shader", "name", "varying param", "speedup"], rows)
+    summary_rows = [
+        (i, SHADERS[i].name, s["count"], "%.2f" % s["min"],
+         "%.2f" % s["median"], "%.2f" % s["max"])
+        for i, s in summary.items()
+    ]
+    summary_table = render_table(
+        ["shader", "name", "partitions", "min", "median", "max"], summary_rows
+    )
+    return summary, table, summary_table
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: single-pixel cache sizes
+# ---------------------------------------------------------------------------
+
+
+def fig8_cache_sizes():
+    """Per-partition cache sizes; paper reports mean 22 / median 20 bytes."""
+    measurements = _all_measurements()
+    sizes = [m.cache_bytes for m in measurements]
+    stats = {
+        "mean": statistics.mean(sizes),
+        "median": statistics.median(sizes),
+        "min": min(sizes),
+        "max": max(sizes),
+        "total_image_bytes_640x480": max(sizes) * 640 * 480,
+    }
+    rows = [
+        (m.shader_index, m.shader_name, m.param, m.cache_bytes)
+        for m in measurements
+    ]
+    table = render_table(["shader", "name", "varying param", "cache bytes"], rows)
+    return stats, table
+
+
+# ---------------------------------------------------------------------------
+# §5.2: loading overhead / breakeven
+# ---------------------------------------------------------------------------
+
+
+def sec52_overhead():
+    """Breakeven histogram; the paper reports 127 partitions breaking even
+    at 2 uses, 3 at 3 uses, and 1 at 17."""
+    measurements = _all_measurements()
+    histogram = {}
+    for m in measurements:
+        histogram[m.breakeven] = histogram.get(m.breakeven, 0) + 1
+    at_most_two = sum(count for be, count in histogram.items() if be <= 2)
+    share = at_most_two / float(len(measurements))
+    rows = sorted(histogram.items(), key=lambda kv: (kv[0] is math.inf, kv[0]))
+    table = render_table(["breakeven uses", "partitions"], rows)
+    return {"histogram": histogram, "share_at_two": share}, table
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 and 10: cache-size limiting on shader 10
+# ---------------------------------------------------------------------------
+
+FIG9_LIMITS = tuple(range(0, 44, 4))
+
+
+@lru_cache(maxsize=None)
+def fig9_limit_sweep(shader_index=10, limits=FIG9_LIMITS, pixel_count=SWEEP_PIXELS):
+    """Absolute speedup of every partition of shader 10 under cache
+    bounds of 0..40 bytes (Figure 9).  Returns
+    ``{param: {limit: (speedup, cache_bytes)}}``."""
+    session = RenderSession(shader_index, width=8, height=8)
+    sweep = {}
+    for param in session.spec_info.control_params:
+        per_limit = {}
+        for limit in limits:
+            m = measure_partition(
+                session, param, pixel_count=pixel_count, cache_bound=limit
+            )
+            per_limit[limit] = (m.speedup, m.cache_bytes)
+        # The unlimited cache is the rightmost point.
+        unlimited = measure_partition(session, param, pixel_count=pixel_count)
+        per_limit[None] = (unlimited.speedup, unlimited.cache_bytes)
+        sweep[param] = per_limit
+    return sweep
+
+
+def fig9_table(sweep=None):
+    if sweep is None:
+        sweep = fig9_limit_sweep()
+    limits = FIG9_LIMITS
+    rows = []
+    for param, per_limit in sweep.items():
+        rows.append(
+            (param,)
+            + tuple("%.1f" % per_limit[limit][0] for limit in limits)
+            + ("%.1f" % per_limit[None][0],)
+        )
+    headers = ["param"] + ["%dB" % l for l in limits] + ["unlimited"]
+    return render_table(headers, rows)
+
+
+def fig10_normalized(sweep=None):
+    """Percent-of-maximum speedup versus cache limit (Figure 10), plus the
+    paper's headline aggregates: performance retained when the cache is
+    limited to 20% and 30% of each partition's full size."""
+    if sweep is None:
+        sweep = fig9_limit_sweep()
+    normalized = {}
+    for param, per_limit in sweep.items():
+        best = per_limit[None][0]
+        normalized[param] = {
+            limit: (value[0] / best if best else 1.0)
+            for limit, value in per_limit.items()
+        }
+
+    def retention_at_fraction(fraction):
+        """Mean normalized speedup when each partition's cache is bounded
+        to ``fraction`` of its unlimited size (speedup-1 based, so a 1.0x
+        floor counts as zero retained benefit)."""
+        shares = []
+        for param, per_limit in sweep.items():
+            full_size = per_limit[None][1]
+            best = per_limit[None][0]
+            if full_size == 0 or best <= 1.0:
+                continue
+            bound = fraction * full_size
+            # The largest measured limit not exceeding the bound.
+            usable = [l for l in FIG9_LIMITS if l <= bound + 1e-9]
+            limit = max(usable) if usable else 0
+            got = per_limit[limit][0]
+            shares.append(max(0.0, (got - 1.0) / (best - 1.0)))
+        return statistics.mean(shares) if shares else 1.0
+
+    aggregates = {
+        "retained_at_20pct": retention_at_fraction(0.20),
+        "retained_at_30pct": retention_at_fraction(0.30),
+        "retained_at_50pct": retention_at_fraction(0.50),
+    }
+    rows = []
+    for param, per_limit in normalized.items():
+        rows.append(
+            (param,)
+            + tuple("%.0f%%" % (100 * per_limit[l]) for l in FIG9_LIMITS)
+        )
+    headers = ["param"] + ["%dB" % l for l in FIG9_LIMITS]
+    return normalized, aggregates, render_table(headers, rows)
+
+
+# ---------------------------------------------------------------------------
+# §3.3: code-size claim (loader + reader < 2x fragment)
+# ---------------------------------------------------------------------------
+
+
+def sec33_code_size():
+    """AST-node counts of loader + reader versus the original fragment for
+    a representative partition of every shader."""
+    rows = []
+    data = {}
+    for index in sorted(SHADERS):
+        session = RenderSession(index, width=2, height=2)
+        param = session.spec_info.control_params[0]
+        spec = session.specialize(param)
+        original = count_nodes(spec.original)
+        loader = count_nodes(spec.loader)
+        reader = count_nodes(spec.reader)
+        ratio = (loader + reader) / float(original)
+        data[index] = {
+            "original": original,
+            "loader": loader,
+            "reader": reader,
+            "ratio": ratio,
+        }
+        rows.append(
+            (index, session.spec_info.name, original, loader, reader,
+             "%.2f" % ratio)
+        )
+    table = render_table(
+        ["shader", "name", "|fragment|", "|loader|", "|reader|",
+         "(loader+reader)/fragment"],
+        rows,
+    )
+    return data, table

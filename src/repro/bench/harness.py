@@ -1,0 +1,218 @@
+"""Measurement harness for the Section 5 experiments.
+
+The paper measures wall-clock per-pixel shading time on a Pentium/100.
+Our substitute is the deterministic abstract-cost meter of
+:mod:`repro.runtime.interp` (same scale as the specializer's own cost
+model: ``+`` = 1, ``/`` = 9, noise in the hundreds).  For each input
+partition we measure, over a deterministic pixel sample and several values
+of the varying parameter:
+
+* ``cost_original`` — mean cost of the unspecialized shader,
+* ``cost_loader``   — mean cost of one loader run (builds the cache),
+* ``cost_reader``   — mean cost of one reader run against that cache,
+* ``speedup``       — original / reader (the paper's asymptotic speedup),
+* ``breakeven``     — smallest n with ``load + (n-1)·read ≤ n·original``
+  (the paper's §5.2 definition: total time to shade a pixel n times under
+  the loader/reader paradigm no worse than n original shades),
+* ``cache_bytes``   — the per-pixel cache size (Figure 8's quantity).
+
+Every reader result is checked against the original on the same inputs,
+so the numbers can never come from a miscompiled specialization.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.errors import EvalError
+from ..runtime.values import values_close
+from ..shaders.render import RenderSession
+from ..shaders.sources import SHADERS
+
+#: Default measurement resolution.
+PIXEL_SAMPLE = 24
+VALUE_SAMPLE = 3
+
+
+def sweep_values(default, count=VALUE_SAMPLE):
+    """Deterministic alternative values for a varying control parameter.
+
+    Spread multiplicatively around the default so light positions, scales,
+    and gains all stay in sensible ranges.
+    """
+    factors = [1.0, 1.35, 0.7, 1.8, 0.45, 1.15][:count]
+    return [default * f + 0.01 * (i % 2) for i, f in enumerate(factors)]
+
+
+class PartitionMeasurement(object):
+    """Results for one (shader, varying parameter) input partition."""
+
+    def __init__(self, shader_index, shader_name, param):
+        self.shader_index = shader_index
+        self.shader_name = shader_name
+        self.param = param
+        self.cost_original = 0.0
+        self.cost_loader = 0.0
+        self.cost_reader = 0.0
+        self.cache_bytes = 0
+        self.checked_pixels = 0
+
+    @property
+    def speedup(self):
+        if self.cost_reader == 0:
+            return float("inf")
+        return self.cost_original / self.cost_reader
+
+    @property
+    def overhead_ratio(self):
+        """Loader cost relative to one original execution (startup cost)."""
+        if self.cost_original == 0:
+            return 0.0
+        return (self.cost_loader - self.cost_original) / self.cost_original
+
+    @property
+    def breakeven(self):
+        """Smallest use count at which specialization has paid for itself."""
+        saving = self.cost_original - self.cost_reader
+        extra = self.cost_loader - self.cost_reader
+        if self.cost_loader <= self.cost_original:
+            return 1
+        if saving <= 0:
+            return math.inf
+        return max(1, math.ceil(extra / saving - 1e-9))
+
+    def row(self):
+        return (
+            self.shader_index,
+            self.shader_name,
+            self.param,
+            round(self.speedup, 2),
+            self.cache_bytes,
+            self.breakeven,
+        )
+
+    def __repr__(self):
+        return (
+            "PartitionMeasurement(shader=%d, param=%s, speedup=%.2f, "
+            "cache=%dB, breakeven=%s)"
+            % (
+                self.shader_index,
+                self.param,
+                self.speedup,
+                self.cache_bytes,
+                self.breakeven,
+            )
+        )
+
+
+def measure_partition(
+    session,
+    param,
+    pixel_count=PIXEL_SAMPLE,
+    value_count=VALUE_SAMPLE,
+    check=True,
+    specialization=None,
+    **overrides
+):
+    """Measure one input partition of ``session``'s shader.
+
+    ``overrides`` pass through to the specializer (e.g. ``cache_bound``),
+    ignored when an explicit ``specialization`` is supplied.
+    """
+    info = session.spec_info
+    spec = specialization
+    if spec is None:
+        spec = session.specialize(param, **overrides)
+    measurement = PartitionMeasurement(info.index, info.name, param)
+    measurement.cache_bytes = spec.cache_size_bytes
+
+    pixels = session.scene.sample(pixel_count)
+    values = sweep_values(info.defaults[param], value_count)
+
+    total_orig = 0
+    total_read = 0
+    total_load = 0
+    runs = 0
+    for pixel in pixels:
+        base_controls = session.controls_with(**{param: values[0]})
+        args = session.args_for(pixel, base_controls)
+        loader_result, cache, load_cost = spec.run_loader(args)
+        total_load += load_cost
+        if check:
+            orig_result, _ = spec.run_original(args)
+            if not _results_close(loader_result, orig_result):
+                raise EvalError(
+                    "loader result mismatch for %s/%s" % (info.name, param)
+                )
+        for value in values:
+            controls = session.controls_with(**{param: value})
+            args = session.args_for(pixel, controls)
+            orig_result, orig_cost = spec.run_original(args)
+            reader_result, read_cost = spec.run_reader(cache, args)
+            if check and not _results_close(reader_result, orig_result):
+                raise EvalError(
+                    "reader result mismatch for %s/%s=%r"
+                    % (info.name, param, value)
+                )
+            total_orig += orig_cost
+            total_read += read_cost
+            runs += 1
+    measurement.cost_original = total_orig / float(runs)
+    measurement.cost_reader = total_read / float(runs)
+    measurement.cost_loader = total_load / float(len(pixels))
+    measurement.checked_pixels = len(pixels)
+    return measurement
+
+
+def _results_close(a, b):
+    return values_close(a, b, tol=1e-9)
+
+
+def measure_shader(
+    shader_index,
+    pixel_count=PIXEL_SAMPLE,
+    value_count=VALUE_SAMPLE,
+    width=8,
+    height=8,
+    specializer_options=None,
+    **overrides
+):
+    """Measure every input partition of one shader."""
+    session = RenderSession(
+        shader_index, width=width, height=height,
+        specializer_options=specializer_options,
+    )
+    results = []
+    for param in session.spec_info.control_params:
+        results.append(
+            measure_partition(
+                session, param, pixel_count, value_count, **overrides
+            )
+        )
+    return results
+
+
+def measure_all_shaders(
+    pixel_count=PIXEL_SAMPLE,
+    value_count=VALUE_SAMPLE,
+    width=8,
+    height=8,
+    specializer_options=None,
+    **overrides
+):
+    """Measure all 131 partitions across the ten shaders.
+
+    Returns ``{shader_index: [PartitionMeasurement, ...]}``.
+    """
+    return {
+        index: measure_shader(
+            index,
+            pixel_count,
+            value_count,
+            width,
+            height,
+            specializer_options,
+            **overrides
+        )
+        for index in sorted(SHADERS)
+    }

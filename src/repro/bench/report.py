@@ -1,0 +1,171 @@
+"""One-shot evaluation report: every figure and table, as text.
+
+``python -m repro report`` (or :func:`full_report`) re-runs the whole
+Section 5 evaluation on the deterministic cost substrate and renders the
+paper's figures as ASCII charts alongside the tables — the closest a
+text environment gets to regenerating Figures 7-10.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from . import figures as F
+from .ascii_plot import AsciiPlot
+
+
+def _rule(title):
+    bar = "=" * 74
+    return "%s\n%s\n%s" % (bar, title, bar)
+
+
+def fig7_plot():
+    """Figure 7 look-alike: speedup (log y) per shader index."""
+    sweep = F.shared_sweep()
+    plot = AsciiPlot(
+        width=62, height=18, logy=True,
+        title="Figure 7: speedup for all input partitions (log scale)",
+        xlabel="shader", ylabel="speedup",
+    )
+    points = []
+    medians = []
+    for index, measurements in sweep.items():
+        speedups = [m.speedup for m in measurements]
+        points.extend((index, s) for s in speedups)
+        medians.append((index, statistics.median(speedups)))
+    plot.add_series(points, glyph="+", label="speedup")
+    plot.add_series(medians, glyph="M", label="median")
+    return plot.render()
+
+
+def fig8_plot():
+    """Figure 8 look-alike: cache bytes per shader index."""
+    sweep = F.shared_sweep()
+    plot = AsciiPlot(
+        width=62, height=16,
+        title="Figure 8: single-pixel cache sizes",
+        xlabel="shader", ylabel="bytes",
+    )
+    points = []
+    medians = []
+    for index, measurements in sweep.items():
+        sizes = [m.cache_bytes for m in measurements]
+        points.extend((index, s) for s in sizes)
+        medians.append((index, statistics.median(sizes)))
+    plot.add_series(points, glyph="+", label="cache size")
+    plot.add_series(medians, glyph="M", label="median")
+    return plot.render()
+
+
+def fig9_plot(sweep=None):
+    """Figure 9 look-alike: speedup vs byte limit for shader 10."""
+    if sweep is None:
+        sweep = F.fig9_limit_sweep()
+    plot = AsciiPlot(
+        width=62, height=18,
+        title="Figure 9: shader 10 speedup vs cache-size limit",
+        xlabel="cache limit (bytes)", ylabel="speedup",
+    )
+    glyphs = {
+        "ambient": "a", "ringscale": "r", "lightx": "l", "blue1": "b",
+        "txscale": "t",
+    }
+    for param, glyph in glyphs.items():
+        series = [
+            (limit, sweep[param][limit][0]) for limit in F.FIG9_LIMITS
+        ]
+        plot.add_series(series, glyph=glyph, label=param)
+    mean_series = []
+    for limit in F.FIG9_LIMITS:
+        mean_series.append(
+            (limit,
+             statistics.mean(sweep[p][limit][0] for p in sweep))
+        )
+    plot.add_series(mean_series, glyph="*", label="mean")
+    return plot.render()
+
+
+def fig10_plot(sweep=None):
+    """Figure 10 look-alike: normalized % of max speedup vs limit."""
+    if sweep is None:
+        sweep = F.fig9_limit_sweep()
+    normalized, _aggregates, _table = F.fig10_normalized(sweep)
+    plot = AsciiPlot(
+        width=62, height=16,
+        title="Figure 10: %% of maximum speedup vs cache-size limit",
+        xlabel="cache limit (bytes)", ylabel="% of max",
+    )
+    glyphs = {"ambient": "a", "ringscale": "r", "lightx": "l", "txscale": "t"}
+    for param, glyph in glyphs.items():
+        series = [
+            (limit, 100.0 * normalized[param][limit])
+            for limit in F.FIG9_LIMITS
+        ]
+        plot.add_series(series, glyph=glyph, label=param)
+    mean_series = [
+        (limit,
+         100.0 * statistics.mean(normalized[p][limit] for p in normalized))
+        for limit in F.FIG9_LIMITS
+    ]
+    plot.add_series(mean_series, glyph="*", label="mean")
+    return plot.render()
+
+
+def full_report():
+    """Assemble the complete evaluation report."""
+    sections = []
+
+    cases, table = F.sec2_dotprod()
+    sections.append(_rule("E1  Section 2 worked example (dotprod)"))
+    sections.append(table)
+
+    summary, _full, summary_table = F.fig7_speedups()
+    sections.append(_rule("E2  Figure 7: asymptotic speedups (131 partitions)"))
+    sections.append(fig7_plot())
+    sections.append("")
+    sections.append(summary_table)
+
+    stats, _t = F.fig8_cache_sizes()
+    sections.append(_rule("E3  Figure 8: cache sizes"))
+    sections.append(fig8_plot())
+    sections.append(
+        "mean %.1fB  median %.1fB  (paper: 22 / 20);  640x480 worst case"
+        " %.1f MB" % (
+            stats["mean"], stats["median"],
+            stats["total_image_bytes_640x480"] / 1048576.0,
+        )
+    )
+
+    overhead, table = F.sec52_overhead()
+    sections.append(_rule("E4  Section 5.2: breakeven"))
+    sections.append(table)
+    sections.append(
+        "share breaking even within two uses: %.1f%% (paper: 97%%)"
+        % (100 * overhead["share_at_two"])
+    )
+
+    sweep = F.fig9_limit_sweep()
+    sections.append(_rule("E5  Figure 9: speedup vs cache limit (shader 10)"))
+    sections.append(fig9_plot(sweep))
+    sections.append("")
+    sections.append(F.fig9_table(sweep))
+
+    _norm, aggregates, table = F.fig10_normalized(sweep)
+    sections.append(_rule("E6  Figure 10: normalized retention"))
+    sections.append(fig10_plot(sweep))
+    sections.append("")
+    sections.append(table)
+    sections.append(
+        "benefit retained at 20%%/30%%/50%% of own cache: %.0f%% / %.0f%% / %.0f%%"
+        % (
+            100 * aggregates["retained_at_20pct"],
+            100 * aggregates["retained_at_30pct"],
+            100 * aggregates["retained_at_50pct"],
+        )
+    )
+
+    _data, table = F.sec33_code_size()
+    sections.append(_rule("E7  Section 3.3: code sizes"))
+    sections.append(table)
+
+    return "\n".join(sections) + "\n"

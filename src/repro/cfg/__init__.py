@@ -1,0 +1,27 @@
+"""CFG representation and graph-based analyses (Section 7.1 roadmap)."""
+
+from .build import build_cfg
+from .control_dep import ControlDependence, control_dependence
+from .dataflow import CFGReachingDefinitions, cfg_reaching_definitions
+from .dominance import DominatorTree, dominator_tree, postdominator_tree
+from .graph import CFG, BasicBlock, Branch, Halt, Jump
+from .taint import CFGTaint, data_control_taint, data_taint
+
+__all__ = [
+    "build_cfg",
+    "ControlDependence",
+    "control_dependence",
+    "CFGReachingDefinitions",
+    "cfg_reaching_definitions",
+    "DominatorTree",
+    "dominator_tree",
+    "postdominator_tree",
+    "CFG",
+    "BasicBlock",
+    "Branch",
+    "Halt",
+    "Jump",
+    "CFGTaint",
+    "data_control_taint",
+    "data_taint",
+]

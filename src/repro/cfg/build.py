@@ -1,0 +1,93 @@
+"""AST → CFG lowering.
+
+Structured control lowers in the standard way:
+
+* ``if (p) T else E``   — current block ends in ``Branch(p, T0, E0)``;
+  both arms jump to a fresh join block.
+* ``while (p) B``       — current block jumps to a fresh *head* block
+  ending in ``Branch(p, B0, after)``; the body's end jumps back to head.
+* ``return``            — appended to the block, which then jumps to the
+  function's virtual exit; following statements land in a fresh
+  (unreachable) block, pruned afterwards.
+
+Simple statements are shared with the AST by reference, so nids — and
+therefore every annotation keyed on them — line up between the two
+representations.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+from .graph import CFG, Branch, Halt, Jump
+
+
+class _Builder(object):
+    def __init__(self, fn):
+        self.cfg = CFG(fn)
+        self.cfg.exit = self.cfg.new_block()
+        self.cfg.exit.terminator = Halt()
+
+    def build(self):
+        entry = self.cfg.new_block()
+        self.cfg.entry = entry
+        last = self.block_stmts(self.cfg.fn.body, entry)
+        if last.terminator is None:
+            last.terminator = Jump(self.cfg.exit)
+        self.cfg.prune_unreachable()
+        return self.cfg
+
+    def block_stmts(self, block_node, current):
+        """Lower a Block's statements; returns the block control falls
+        out of (terminator None unless a return sealed it)."""
+        for stmt in block_node.stmts:
+            if current.terminator is not None:
+                # Code after a return: give it an unreachable home.
+                current = self.cfg.new_block()
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, stmt, current):
+        kind = type(stmt)
+        if kind in (A.VarDecl, A.Assign, A.ExprStmt):
+            current.stmts.append(stmt)
+            return current
+        if kind is A.Return:
+            current.stmts.append(stmt)
+            current.terminator = Jump(self.cfg.exit)
+            return current
+        if kind is A.Block:
+            return self.block_stmts(stmt, current)
+        if kind is A.If:
+            then_entry = self.cfg.new_block()
+            join = self.cfg.new_block()
+            if stmt.else_ is not None:
+                else_entry = self.cfg.new_block()
+            else:
+                else_entry = join
+            current.terminator = Branch(stmt.pred, then_entry, else_entry, stmt)
+
+            then_exit = self.block_stmts(stmt.then, then_entry)
+            if then_exit.terminator is None:
+                then_exit.terminator = Jump(join)
+            if stmt.else_ is not None:
+                else_exit = self.block_stmts(stmt.else_, else_entry)
+                if else_exit.terminator is None:
+                    else_exit.terminator = Jump(join)
+            return join
+        if kind is A.While:
+            head = self.cfg.new_block()
+            body_entry = self.cfg.new_block()
+            after = self.cfg.new_block()
+            current.terminator = Jump(head)
+            head.terminator = Branch(stmt.pred, body_entry, after, stmt)
+            body_exit = self.block_stmts(stmt.body, body_entry)
+            if body_exit.terminator is None:
+                body_exit.terminator = Jump(head)
+            return after
+        raise SpecializationError("cannot lower %r to a CFG" % kind.__name__)
+
+
+def build_cfg(fn):
+    """Lower a function body to a control-flow graph."""
+    return _Builder(fn).build()

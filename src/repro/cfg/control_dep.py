@@ -1,0 +1,91 @@
+"""Control dependence on the CFG (Ferrante-Ottenstein-Warren).
+
+Block ``X`` is control dependent on branch edge ``A → B`` when ``X``
+postdominates ``B`` but not ``A``: on the postdominator tree this is the
+walk from ``B`` up to (excluding) ``ipdom(A)``, marking each visited
+block as dependent on ``A``'s branch.
+
+For structured programs, the transitive closure of these block-level
+dependences recovers exactly the lexical guard chains the structural
+:class:`repro.analysis.index.StructuralIndex` computes — the test suite
+checks that equivalence on shaders and random programs, which is what
+makes the AST-based specializer's control treatment trustworthy.
+"""
+
+from __future__ import annotations
+
+from .dominance import postdominator_tree
+from .graph import Branch
+
+
+class ControlDependence(object):
+    """Block-level control-dependence relation."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.pdom = postdominator_tree(cfg)
+        #: block index -> set of (branch block, owner stmt) it directly
+        #: depends on.
+        self.direct = {block.index: set() for block in cfg.blocks}
+        self._compute()
+
+    def _compute(self):
+        idom = self.pdom.idom
+        for block in self.cfg.blocks:
+            terminator = block.terminator
+            if not isinstance(terminator, Branch):
+                continue
+            stop = idom.get(block)
+            if stop is None:
+                # The branch cannot reach the exit (infinite loop):
+                # no postdominator frame to walk; skip conservatively.
+                continue
+            for succ in terminator.successors():
+                runner = succ
+                while runner is not stop:
+                    self.direct[runner.index].add(block.index)
+                    parent = idom.get(runner)
+                    if parent is None or parent is runner:
+                        break
+                    runner = parent
+
+    def direct_deps(self, block):
+        """Indices of branch blocks ``block`` directly depends on."""
+        return set(self.direct[block.index])
+
+    def transitive_deps(self, block):
+        """Transitive closure of the block-level relation (indices)."""
+        seen = set()
+        work = list(self.direct[block.index])
+        while work:
+            index = work.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            work.extend(self.direct[index])
+        return seen
+
+    def guard_owners(self, block):
+        """The If/While statement nodes guarding ``block``, transitively.
+
+        A branch block's *own* membership in its dependence set (loop
+        headers) is excluded, mirroring the structural convention that a
+        predicate is not guarded by its own statement.
+        """
+        owners = set()
+        for index in self.transitive_deps(block):
+            dep_block = self._block_by_index(index)
+            if dep_block is block:
+                continue
+            owner = dep_block.terminator.owner
+            if owner is not None:
+                owners.add(owner.nid)
+        return owners
+
+    def _block_by_index(self, index):
+        return self.cfg.blocks[index]
+
+
+def control_dependence(cfg):
+    """Compute the relation for one CFG."""
+    return ControlDependence(cfg)

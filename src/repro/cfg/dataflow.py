@@ -1,0 +1,129 @@
+"""Worklist dataflow on the CFG: reaching definitions.
+
+The forward may-analysis counterpart of the structured abstract
+interpretation in :mod:`repro.analysis.reaching`.  Definition sites are
+the same nodes (Assign, VarDecl-with-initializer, Param), identified by
+nid, so the two analyses' results are directly comparable — which the
+test suite does, per variable reference, on shaders and random programs.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from .graph import Branch
+
+
+def _def_name(stmt):
+    if isinstance(stmt, A.Assign):
+        return stmt.name
+    if isinstance(stmt, A.VarDecl) and stmt.init is not None:
+        return stmt.name
+    return None
+
+
+class CFGReachingDefinitions(object):
+    """Reaching definitions over a CFG, with per-reference extraction."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.fn = cfg.fn
+        #: nid of a VarRef -> frozenset of reaching definition nids.
+        self.reach = {}
+        #: definition nid -> defining node.
+        self.def_nodes = {}
+        self.block_in = {}
+        self.block_out = {}
+        self._solve()
+        self._extract_refs()
+
+    # -- dataflow ---------------------------------------------------------------
+
+    def _solve(self):
+        entry_defs = {}
+        for param in self.fn.params:
+            self.def_nodes[param.nid] = param
+            entry_defs[param.name] = frozenset((param.nid,))
+        for block in self.cfg.blocks:
+            for stmt in block.stmts:
+                name = _def_name(stmt)
+                if name is not None:
+                    self.def_nodes[stmt.nid] = stmt
+
+        # State: name -> frozenset of def nids.
+        def transfer(state, block):
+            out = dict(state)
+            for stmt in block.stmts:
+                name = _def_name(stmt)
+                if name is not None:
+                    out[name] = frozenset((stmt.nid,))
+            return out
+
+        def merge(states):
+            merged = {}
+            for state in states:
+                for name, defs in state.items():
+                    merged[name] = merged.get(name, frozenset()) | defs
+            return merged
+
+        in_states = {block.index: {} for block in self.cfg.blocks}
+        in_states[self.cfg.entry.index] = dict(entry_defs)
+        out_states = {
+            block.index: transfer(in_states[block.index], block)
+            for block in self.cfg.blocks
+        }
+
+        changed = True
+        while changed:
+            changed = False
+            for block in self.cfg.reverse_postorder():
+                pred_outs = [out_states[p.index] for p in block.preds]
+                if block is self.cfg.entry:
+                    new_in = merge(pred_outs + [entry_defs])
+                else:
+                    new_in = merge(pred_outs)
+                if new_in != in_states[block.index]:
+                    in_states[block.index] = new_in
+                    changed = True
+                new_out = transfer(new_in, block)
+                if new_out != out_states[block.index]:
+                    out_states[block.index] = new_out
+                    changed = True
+
+        self.block_in = in_states
+        self.block_out = out_states
+
+    # -- per-reference extraction ----------------------------------------------------
+
+    def _record(self, expr, state):
+        for node in A.walk(expr):
+            if isinstance(node, A.VarRef):
+                self.reach[node.nid] = state.get(node.name, frozenset())
+
+    def _extract_refs(self):
+        for block in self.cfg.blocks:
+            state = dict(self.block_in[block.index])
+            for stmt in block.stmts:
+                if isinstance(stmt, A.Assign):
+                    self._record(stmt.expr, state)
+                elif isinstance(stmt, A.VarDecl) and stmt.init is not None:
+                    self._record(stmt.init, state)
+                elif isinstance(stmt, A.Return) and stmt.expr is not None:
+                    self._record(stmt.expr, state)
+                elif isinstance(stmt, A.ExprStmt):
+                    self._record(stmt.expr, state)
+                name = _def_name(stmt)
+                if name is not None:
+                    state[name] = frozenset((stmt.nid,))
+            terminator = block.terminator
+            if isinstance(terminator, Branch):
+                self._record(terminator.pred, state)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def defs_reaching(self, var_ref):
+        return [self.def_nodes[d] for d in self.reach.get(var_ref.nid, ())]
+
+
+def cfg_reaching_definitions(cfg):
+    """Solve reaching definitions for one CFG."""
+    return CFGReachingDefinitions(cfg)

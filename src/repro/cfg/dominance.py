@@ -1,0 +1,138 @@
+"""Dominator and postdominator trees (Cooper-Harvey-Kennedy iterative).
+
+Postdominance runs the same algorithm on the reverse graph rooted at the
+virtual exit.  Blocks with no path to the exit (infinite loops) have no
+postdominator information; the control-dependence pass treats them
+conservatively.
+"""
+
+from __future__ import annotations
+
+
+class DominatorTree(object):
+    """Immediate-dominator map plus queries."""
+
+    def __init__(self, root, idom):
+        self.root = root
+        #: block -> immediate dominator block (root maps to itself).
+        self.idom = idom
+
+    def dominates(self, a, b):
+        """Does ``a`` dominate ``b``?"""
+        current = b
+        while True:
+            if current is a:
+                return True
+            parent = self.idom.get(current)
+            if parent is None or parent is current:
+                return a is current
+            current = parent
+
+    def strictly_dominates(self, a, b):
+        return a is not b and self.dominates(a, b)
+
+    def path_to_root(self, block):
+        """Blocks from ``block`` up to the root, inclusive."""
+        chain = [block]
+        current = block
+        while True:
+            parent = self.idom.get(current)
+            if parent is None or parent is current:
+                break
+            chain.append(parent)
+            current = parent
+        return chain
+
+    def children(self):
+        """root-down adjacency: block -> list of dominated children."""
+        kids = {}
+        for block, parent in self.idom.items():
+            if parent is block:
+                continue
+            kids.setdefault(parent, []).append(block)
+        return kids
+
+
+def _compute_idom(root, nodes, preds_of, rpo_index):
+    """The CHK two-finger intersection algorithm."""
+    idom = {root: root}
+    ordered = sorted(
+        (n for n in nodes if n is not root), key=lambda n: rpo_index[n]
+    )
+
+    def intersect(a, b):
+        while a is not b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ordered:
+            processed = [p for p in preds_of(node) if p in idom]
+            if not processed:
+                continue
+            new_idom = processed[0]
+            for other in processed[1:]:
+                new_idom = intersect(other, new_idom)
+            if idom.get(node) is not new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(cfg):
+    """Dominators of the reachable subgraph, rooted at entry."""
+    order = cfg.reverse_postorder()
+    rpo_index = {block: i for i, block in enumerate(order)}
+    idom = _compute_idom(
+        cfg.entry, order, lambda n: n.preds, rpo_index
+    )
+    return DominatorTree(cfg.entry, idom)
+
+
+def postdominator_tree(cfg):
+    """Postdominators: dominators of the edge-reversed graph rooted at
+    the virtual exit.  Blocks that cannot reach the exit are absent."""
+    # Reverse reachability from exit.
+    reaches_exit = set()
+    stack = [cfg.exit]
+    while stack:
+        block = stack.pop()
+        if block.index in reaches_exit:
+            continue
+        reaches_exit.add(block.index)
+        stack.extend(block.preds)
+    nodes = [b for b in cfg.blocks if b.index in reaches_exit]
+
+    # RPO of the reversed graph: DFS from exit along preds.
+    visited = {cfg.exit.index}
+    order = []
+    stack = [(cfg.exit, iter([p for p in cfg.exit.preds if p.index in reaches_exit]))]
+    while stack:
+        block, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child.index not in visited:
+                visited.add(child.index)
+                stack.append(
+                    (child, iter([p for p in child.preds if p.index in reaches_exit]))
+                )
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    rpo_index = {block: i for i, block in enumerate(order)}
+
+    idom = _compute_idom(
+        cfg.exit,
+        order,
+        lambda n: [s for s in n.succs if s.index in reaches_exit],
+        rpo_index,
+    )
+    return DominatorTree(cfg.exit, idom)

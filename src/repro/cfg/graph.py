@@ -1,0 +1,200 @@
+"""Control-flow graph representation (the Section 7.1 roadmap).
+
+The paper's prototype works on abstract syntax trees and notes:
+"Expressing our transformation in terms of expressions (abstract syntax
+trees) is convenient for expository purposes but difficult to implement
+... We expect to move to a control flow graph representation in the near
+future."  This package is that move: a basic-block CFG over the same
+statement nodes, with dominator/postdominator trees, Ferrante-
+Ottenstein-Warren control dependence, and worklist dataflow.  The test
+suite cross-validates the structured (AST) analyses against these
+graph-based ones on every shader and on randomly generated programs.
+
+Blocks hold *simple* statements (declarations, assignments, calls,
+returns — the same AST node objects, so nids line up across both
+worlds); control transfers live in the block terminator.
+"""
+
+from __future__ import annotations
+
+
+class Jump(object):
+    """Unconditional transfer."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def successors(self):
+        return [self.target]
+
+    def __repr__(self):
+        return "Jump(b%d)" % self.target.index
+
+
+class Branch(object):
+    """Two-way conditional transfer on a predicate expression.
+
+    ``owner`` is the originating If/While statement node, which is what
+    the structured analyses call the "guard".
+    """
+
+    __slots__ = ("pred", "true_target", "false_target", "owner")
+
+    def __init__(self, pred, true_target, false_target, owner):
+        self.pred = pred
+        self.true_target = true_target
+        self.false_target = false_target
+        self.owner = owner
+
+    def successors(self):
+        return [self.true_target, self.false_target]
+
+    def __repr__(self):
+        return "Branch(b%d, b%d)" % (
+            self.true_target.index,
+            self.false_target.index,
+        )
+
+
+class Halt(object):
+    """Function exit."""
+
+    __slots__ = ()
+
+    def successors(self):
+        return []
+
+    def __repr__(self):
+        return "Halt()"
+
+
+class BasicBlock(object):
+    """A maximal straight-line statement sequence."""
+
+    def __init__(self, index):
+        self.index = index
+        #: Simple statement AST nodes, in execution order.
+        self.stmts = []
+        self.terminator = None
+        self.preds = []
+
+    @property
+    def succs(self):
+        if self.terminator is None:
+            return []
+        return self.terminator.successors()
+
+    def __repr__(self):
+        return "BasicBlock(%d, %d stmts, %r)" % (
+            self.index,
+            len(self.stmts),
+            self.terminator,
+        )
+
+
+class CFG(object):
+    """A function's control-flow graph."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.blocks = []
+        self.entry = None
+        self.exit = None
+
+    def new_block(self):
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def compute_preds(self):
+        for block in self.blocks:
+            block.preds = []
+        for block in self.blocks:
+            for succ in block.succs:
+                succ.preds.append(block)
+
+    def reachable_blocks(self):
+        """Blocks reachable from entry, in discovery order."""
+        seen = []
+        seen_set = set()
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.index in seen_set:
+                continue
+            seen_set.add(block.index)
+            seen.append(block)
+            stack.extend(reversed(block.succs))
+        return seen
+
+    def prune_unreachable(self):
+        """Drop unreachable blocks and renumber densely."""
+        keep = self.reachable_blocks()
+        if self.exit not in keep:
+            keep.append(self.exit)
+        for new_index, block in enumerate(keep):
+            block.index = new_index
+        self.blocks = keep
+        self.compute_preds()
+
+    def reverse_postorder(self):
+        """RPO over reachable blocks (classic iterative DFS)."""
+        visited = set()
+        order = []
+
+        stack = [(self.entry, iter(self.entry.succs))]
+        visited.add(self.entry.index)
+        while stack:
+            block, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child.index not in visited:
+                    visited.add(child.index)
+                    stack.append((child, iter(child.succs)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def simple_statements(self):
+        """All simple statements across blocks."""
+        for block in self.blocks:
+            for stmt in block.stmts:
+                yield block, stmt
+
+    def describe(self):
+        """Text dump for debugging and docs."""
+        from ..lang.pretty import format_expr, format_stmt
+
+        lines = ["cfg of %s: %d blocks" % (self.fn.name, len(self.blocks))]
+        for block in self.blocks:
+            tags = []
+            if block is self.entry:
+                tags.append("entry")
+            if block is self.exit:
+                tags.append("exit")
+            lines.append(
+                "b%d%s:" % (block.index, " (%s)" % ", ".join(tags) if tags else "")
+            )
+            for stmt in block.stmts:
+                lines.append("    " + format_stmt(stmt).splitlines()[0])
+            term = block.terminator
+            if isinstance(term, Branch):
+                lines.append(
+                    "    branch %s ? b%d : b%d"
+                    % (
+                        format_expr(term.pred),
+                        term.true_target.index,
+                        term.false_target.index,
+                    )
+                )
+            elif isinstance(term, Jump):
+                lines.append("    jump b%d" % term.target.index)
+            else:
+                lines.append("    halt")
+        return "\n".join(lines)

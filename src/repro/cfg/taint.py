@@ -1,0 +1,140 @@
+"""CFG-based dependence (taint) analyses — bounds for cross-validation.
+
+The structural dependence analysis of §3.1 sits between two natural
+graph-based approximations:
+
+* **data-only taint** (no control rule): a definition is tainted iff its
+  right-hand side reads a tainted reference; references are tainted iff
+  some tainted definition reaches them.  This *under*-approximates §3.1,
+  which additionally taints variables assigned under tainted predicates
+  (case 4).
+* **data+control taint**: additionally, any definition whose block is
+  (transitively) control dependent on a tainted branch is tainted.  This
+  *over*-approximates §3.1: a variable assigned the same value on a
+  tainted branch as before it still gets tainted here, and early-return
+  control dependence taints trailing code whose values §3.1 correctly
+  sees as fixed.
+
+The test suite asserts the sandwich
+
+    data_taint  ⊆  structural dependence  ⊆  data+control taint
+
+per variable reference, on the shaders and on random programs — tying
+the AST analysis to two independently-derived graph analyses.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..runtime.builtins import REGISTRY
+from .control_dep import control_dependence
+from .dataflow import cfg_reaching_definitions
+from .graph import Branch
+
+
+def _expr_reads_taint(expr, tainted_refs):
+    for node in A.walk(expr):
+        if isinstance(node, A.VarRef) and node.nid in tainted_refs:
+            return True
+        if isinstance(node, A.Call):
+            builtin = REGISTRY.get(node.name)
+            if builtin is not None and not builtin.pure:
+                return True
+    return False
+
+
+class CFGTaint(object):
+    """Fixpoint taint over a CFG.
+
+    ``tainted_defs`` holds nids of tainted definition sites (Assign,
+    VarDecl-with-init, Param); ``tainted_refs`` nids of tainted VarRefs;
+    ``tainted_branches`` the blocks whose branch predicate is tainted.
+    """
+
+    def __init__(self, cfg, varying, use_control=False):
+        self.cfg = cfg
+        self.varying = frozenset(varying)
+        self.use_control = use_control
+        self.reaching = cfg_reaching_definitions(cfg)
+        self.control = control_dependence(cfg) if use_control else None
+        self.tainted_defs = set()
+        self.tainted_refs = set()
+        self._solve()
+
+    # -- machinery -----------------------------------------------------------
+
+    def _def_expr(self, node):
+        if isinstance(node, A.Assign):
+            return node.expr
+        if isinstance(node, A.VarDecl):
+            return node.init
+        return None  # Param
+
+    def _block_of_def(self, def_nid):
+        for block in self.cfg.blocks:
+            for stmt in block.stmts:
+                if stmt.nid == def_nid:
+                    return block
+        return None
+
+    def _tainted_branch_blocks(self):
+        blocks = set()
+        for block in self.cfg.blocks:
+            term = block.terminator
+            if isinstance(term, Branch) and _expr_reads_taint(
+                term.pred, self.tainted_refs
+            ):
+                blocks.add(block.index)
+        return blocks
+
+    def _solve(self):
+        for param in self.cfg.fn.params:
+            if param.name in self.varying:
+                self.tainted_defs.add(param.nid)
+
+        changed = True
+        while changed:
+            changed = False
+            # Refs tainted by reaching tainted defs.
+            for ref_nid, defs in self.reaching.reach.items():
+                if ref_nid in self.tainted_refs:
+                    continue
+                if defs & self.tainted_defs:
+                    self.tainted_refs.add(ref_nid)
+                    changed = True
+            tainted_branches = (
+                self._tainted_branch_blocks() if self.use_control else set()
+            )
+            # Defs tainted by their RHS or (optionally) their control
+            # context.
+            for block in self.cfg.blocks:
+                control_tainted = bool(
+                    self.use_control
+                    and self.control.transitive_deps(block) & tainted_branches
+                )
+                for stmt in block.stmts:
+                    if not isinstance(stmt, (A.Assign, A.VarDecl)):
+                        continue
+                    if stmt.nid in self.tainted_defs:
+                        continue
+                    expr = self._def_expr(stmt)
+                    if expr is None:
+                        continue
+                    if _expr_reads_taint(expr, self.tainted_refs) or control_tainted:
+                        self.tainted_defs.add(stmt.nid)
+                        changed = True
+
+    # -- queries -----------------------------------------------------------------
+
+    def ref_is_tainted(self, var_ref):
+        return var_ref.nid in self.tainted_refs
+
+
+def data_taint(cfg, varying):
+    """Lower bound: pure data-flow taint."""
+    return CFGTaint(cfg, varying, use_control=False)
+
+
+def data_control_taint(cfg, varying):
+    """Upper bound: data-flow plus control-dependence taint."""
+    return CFGTaint(cfg, varying, use_control=True)

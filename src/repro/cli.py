@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``specialize``
+    Run the data specializer on a kernel-language source file and print
+    any of: the labeled fragment, the cache loader, the cache reader, and
+    the cache layout.
+
+``run``
+    Execute a function from a source file on scalar arguments, printing
+    the result and its abstract cost.
+
+``pe``
+    Code-specialize (partially evaluate) a function on concrete fixed
+    values and print the residual program (the baseline the paper
+    compares data specialization against).
+
+``cfg``
+    Dump a function's control-flow graph (Section 7.1 representation).
+
+Values on the command line are scalars: an argument with a ``.`` or
+exponent parses as float, otherwise as int.  (vec3-valued inputs are a
+library-level feature; drive those from Python.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.annotate import annotate_function
+from .core.specializer import DataSpecializer, SpecializerOptions
+from .lang.errors import EvalError, SourceError, SpecializationError
+from .lang.parser import parse_program
+from .lang.pretty import format_function
+from .runtime.interp import Interpreter
+
+
+def _parse_scalar(text):
+    text = text.strip()
+    try:
+        if any(ch in text for ch in ".eE") and not text.lstrip("+-").isdigit():
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise SystemExit("cannot parse %r as a scalar value" % text)
+
+
+def _parse_bindings(text):
+    """``a=1,b=2.5`` → dict."""
+    bindings = {}
+    if not text:
+        return bindings
+    for item in text.split(","):
+        if "=" not in item:
+            raise SystemExit("expected name=value, found %r" % item)
+        name, value = item.split("=", 1)
+        bindings[name.strip()] = _parse_scalar(value)
+    return bindings
+
+
+def _load_program(path):
+    try:
+        with open(path) as handle:
+            return parse_program(handle.read())
+    except OSError as exc:
+        raise SystemExit("cannot read %s: %s" % (path, exc))
+    except SourceError as exc:
+        raise SystemExit("%s: %s" % (path, exc))
+
+
+def _pick_function(program, name):
+    if name is None:
+        if len(program.functions) == 1:
+            return program.functions[0].name
+        raise SystemExit(
+            "file defines %d functions; pick one with --function (%s)"
+            % (len(program.functions), ", ".join(program.function_names()))
+        )
+    if name not in program.function_names():
+        raise SystemExit(
+            "no function %r (have: %s)"
+            % (name, ", ".join(program.function_names()))
+        )
+    return name
+
+
+def cmd_specialize(args, out):
+    program = _load_program(args.file)
+    fn_name = _pick_function(program, args.function)
+    varying = {v.strip() for v in args.varying.split(",") if v.strip()}
+    options = SpecializerOptions(
+        ssa=not args.no_ssa,
+        reassoc=not args.no_reassoc,
+        allow_speculation=args.speculate,
+        cache_bound=args.cache_bound,
+    )
+    try:
+        spec = DataSpecializer(program, options).specialize(fn_name, varying)
+    except (SourceError, SpecializationError) as exc:
+        raise SystemExit("specialization failed: %s" % exc)
+
+    sections = args.show or ["layout"]
+    if "all" in sections:
+        sections = ["labels", "loader", "reader", "layout"]
+    for section in sections:
+        if section == "labels":
+            out.write("/* fragment with caching labels */\n")
+            out.write(annotate_function(spec.original, spec.caching) + "\n\n")
+        elif section == "loader":
+            out.write("/* cache loader */\n")
+            out.write(spec.loader_source + "\n\n")
+        elif section == "reader":
+            out.write("/* cache reader */\n")
+            out.write(spec.reader_source + "\n\n")
+        elif section == "layout":
+            out.write(spec.layout.describe() + "\n")
+    if args.save:
+        from .core.persist import save_specialization
+
+        save_specialization(spec, args.save)
+        out.write("saved specialization to %s\n" % args.save)
+    return 0
+
+
+def cmd_replay(args, out):
+    """Run a saved specialization: loader on --load-args, reader on each
+    --read-args occurrence."""
+    from .core.persist import load_specialization
+
+    try:
+        spec = load_specialization(args.directory)
+    except SpecializationError as exc:
+        raise SystemExit("cannot load: %s" % exc)
+    load_args = [_parse_scalar(v) for v in args.load_args.split(",")]
+    try:
+        result, cache, cost = spec.run_loader(load_args)
+    except EvalError as exc:
+        raise SystemExit("loader failed: %s" % exc)
+    out.write("loader: result=%r cost=%d cache=%r\n" % (result, cost, cache))
+    for read_args in args.read_args or []:
+        values = [_parse_scalar(v) for v in read_args.split(",")]
+        try:
+            result, cost = spec.run_reader(cache, values)
+        except EvalError as exc:
+            raise SystemExit("reader failed: %s" % exc)
+        out.write("reader: result=%r cost=%d\n" % (result, cost))
+    return 0
+
+
+def cmd_run(args, out):
+    program = _load_program(args.file)
+    fn_name = _pick_function(program, args.function)
+    values = [_parse_scalar(v) for v in args.args.split(",")] if args.args else []
+    try:
+        from .lang.typecheck import check_program
+
+        check_program(program)
+        result, cost = Interpreter(program).run_metered(fn_name, values)
+    except (SourceError, EvalError) as exc:
+        raise SystemExit("execution failed: %s" % exc)
+    out.write("result: %r\ncost:   %d\n" % (result, cost))
+    return 0
+
+
+def cmd_pe(args, out):
+    from .baseline.pe import specialize_code
+
+    program = _load_program(args.file)
+    fn_name = _pick_function(program, args.function)
+    fixed = _parse_bindings(args.fix)
+    try:
+        result = specialize_code(program, fn_name, fixed)
+    except (SourceError, SpecializationError) as exc:
+        raise SystemExit("code specialization failed: %s" % exc)
+    out.write("/* residual program (code specialization) */\n")
+    out.write(format_function(result.residual) + "\n")
+    out.write(
+        "/* generation: %d evaluator steps, abstract cost %d */\n"
+        % (result.work, result.generation_cost)
+    )
+    return 0
+
+
+def cmd_cfg(args, out):
+    from .cfg import build_cfg
+    from .lang.typecheck import check_program
+    from .transform.inline import Inliner
+
+    program = _load_program(args.file)
+    fn_name = _pick_function(program, args.function)
+    try:
+        check_program(program)
+        fn = Inliner(program).inline_function(fn_name)
+        cfg = build_cfg(fn)
+    except (SourceError, SpecializationError) as exc:
+        raise SystemExit("cfg construction failed: %s" % exc)
+    out.write(cfg.describe() + "\n")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data Specialization (Knoblock & Ruf, PLDI 1996)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("specialize", help="split a fragment into loader + reader")
+    p.add_argument("file")
+    p.add_argument("--function", "-f")
+    p.add_argument("--varying", "-v", required=True,
+                   help="comma-separated varying parameter names")
+    p.add_argument("--cache-bound", type=int, default=None,
+                   help="cache byte budget (Section 4.3)")
+    p.add_argument("--no-ssa", action="store_true")
+    p.add_argument("--no-reassoc", action="store_true")
+    p.add_argument("--speculate", action="store_true")
+    p.add_argument("--show", action="append",
+                   choices=["labels", "loader", "reader", "layout", "all"])
+    p.add_argument("--save", default=None,
+                   help="persist the loader/reader/layout to a directory")
+    p.set_defaults(handler=cmd_specialize)
+
+    p = sub.add_parser("replay", help="run a saved specialization")
+    p.add_argument("directory")
+    p.add_argument("--load-args", required=True,
+                   help="comma-separated arguments for the loader pass")
+    p.add_argument("--read-args", action="append",
+                   help="arguments for a reader pass (repeatable)")
+    p.set_defaults(handler=cmd_replay)
+
+    p = sub.add_parser("run", help="execute a function with cost metering")
+    p.add_argument("file")
+    p.add_argument("--function", "-f")
+    p.add_argument("--args", "-a", default="",
+                   help="comma-separated scalar arguments")
+    p.set_defaults(handler=cmd_run)
+
+    p = sub.add_parser("pe", help="code-specialize on fixed values (baseline)")
+    p.add_argument("file")
+    p.add_argument("--function", "-f")
+    p.add_argument("--fix", default="", help="name=value,... fixed inputs")
+    p.set_defaults(handler=cmd_pe)
+
+    p = sub.add_parser("cfg", help="dump the control-flow graph")
+    p.add_argument("file")
+    p.add_argument("--function", "-f")
+    p.set_defaults(handler=cmd_cfg)
+
+    p = sub.add_parser(
+        "report",
+        help="regenerate the paper's full evaluation (tables + ASCII figures)",
+    )
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def cmd_report(args, out):
+    from .bench.report import full_report
+
+    text = full_report()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        out.write("wrote %s (%d lines)\n" % (args.out, text.count("\n")))
+    else:
+        out.write(text)
+    return 0
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return args.handler(args, out)

@@ -1,0 +1,31 @@
+"""Core: labels, partitions, cache layout, and the specializer driver."""
+
+from .annotate import annotate_function, label_summary
+from .cache import CacheLayout, CacheSlot
+from .labels import CACHED, DYNAMIC, STATIC, Label
+from .partition import InputPartition
+from .persist import load_specialization, save_specialization
+from .specializer import (
+    DataSpecializer,
+    Specialization,
+    SpecializerOptions,
+    specialize,
+)
+
+__all__ = [
+    "annotate_function",
+    "label_summary",
+    "CacheLayout",
+    "CacheSlot",
+    "CACHED",
+    "DYNAMIC",
+    "STATIC",
+    "Label",
+    "InputPartition",
+    "load_specialization",
+    "save_specialization",
+    "DataSpecializer",
+    "Specialization",
+    "SpecializerOptions",
+    "specialize",
+]

@@ -1,0 +1,50 @@
+"""Annotated program dumps.
+
+Renders a fragment with its caching labels as trailing comments — the
+repository's equivalent of the worked example in Section 2 of the paper.
+Useful in examples and when debugging why a term did or did not get
+cached.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import CACHED, DYNAMIC, STATIC
+from ..lang import ast_nodes as A
+from ..lang.pretty import format_expr, format_function
+
+
+def _statement_note(caching):
+    def note(node):
+        if isinstance(node, A.FunctionDef):
+            return ""
+        parts = [str(caching.label_of(node))]
+        cached_children = [
+            child
+            for child in A.walk(node)
+            if isinstance(child, A.Expr) and caching.label_of(child) is CACHED
+        ]
+        if cached_children:
+            parts.append(
+                "caches: " + ", ".join(format_expr(c) for c in cached_children)
+            )
+        return "; ".join(parts)
+
+    return note
+
+
+def annotate_function(fn, caching):
+    """Source text of ``fn`` with per-statement label comments."""
+    return format_function(fn, note=_statement_note(caching))
+
+
+def label_summary(fn, caching):
+    """Counts of static/cached/dynamic expression terms in ``fn``."""
+    counts = {STATIC: 0, CACHED: 0, DYNAMIC: 0}
+    for node in A.walk(fn.body):
+        if isinstance(node, A.Expr):
+            counts[caching.label_of(node)] += 1
+    return {
+        "static": counts[STATIC],
+        "cached": counts[CACHED],
+        "dynamic": counts[DYNAMIC],
+    }

@@ -1,0 +1,67 @@
+"""Cache layout: the data structure the loader and reader communicate by.
+
+Each cached term owns one slot.  Slot sizes follow the kernel type sizes
+(4-byte scalars, 12-byte vec3 — Section 5.4 of the paper measures caches
+in bytes of 4-byte values).  At run time a cache instance is simply a
+Python list indexed by slot; the byte accounting exists for the memory
+results (Figures 8–10).
+"""
+
+from __future__ import annotations
+
+
+class CacheSlot(object):
+    """One slot of the cache."""
+
+    __slots__ = ("index", "ty", "origin_nid", "source", "speculative")
+
+    def __init__(self, index, ty, origin_nid, source, speculative=False):
+        self.index = index
+        self.ty = ty
+        self.origin_nid = origin_nid
+        #: Pretty-printed source of the cached term (for reports/debugging).
+        self.source = source
+        #: True when the loader fills this slot at entry (speculation mode).
+        self.speculative = speculative
+
+    @property
+    def size(self):
+        return self.ty.size
+
+    def __repr__(self):
+        return "CacheSlot(%d, %s, %r)" % (self.index, self.ty, self.source)
+
+
+class CacheLayout(object):
+    """Ordered collection of slots with byte accounting."""
+
+    def __init__(self, slots=()):
+        self.slots = list(slots)
+
+    def __len__(self):
+        return len(self.slots)
+
+    def __iter__(self):
+        return iter(self.slots)
+
+    def __getitem__(self, index):
+        return self.slots[index]
+
+    @property
+    def size_bytes(self):
+        return sum(slot.size for slot in self.slots)
+
+    def new_instance(self):
+        """A fresh, unfilled cache (one entry per slot)."""
+        return [None] * len(self.slots)
+
+    def describe(self):
+        """Human-readable layout dump."""
+        lines = ["cache layout: %d slots, %d bytes" % (len(self.slots), self.size_bytes)]
+        for slot in self.slots:
+            marker = " (speculative)" if slot.speculative else ""
+            lines.append(
+                "  slot%-3d %-5s %2dB  %s%s"
+                % (slot.index, slot.ty, slot.size, slot.source, marker)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Caching labels (Section 3.2).
+
+Every term of the fragment ends up with exactly one label:
+
+* ``STATIC``  — evaluated only in the loader; omitted from the reader.
+* ``CACHED``  — evaluated in the loader, which stores the result into a
+  cache slot; the reader replaces the term with a read of that slot.
+* ``DYNAMIC`` — evaluated by both the loader and the reader.
+
+The labels form the ordering ``STATIC < CACHED < DYNAMIC``; the caching
+analysis only ever raises a term's label, which makes it monotone and
+restartable — the property the cache-size limiter of Section 4.3 relies
+on.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Label(enum.IntEnum):
+    STATIC = 0
+    CACHED = 1
+    DYNAMIC = 2
+
+    def __str__(self):
+        return self.name.lower()
+
+
+STATIC = Label.STATIC
+CACHED = Label.CACHED
+DYNAMIC = Label.DYNAMIC

@@ -1,0 +1,47 @@
+"""Input partitions (Section 1).
+
+The programmer "statically partitions the input context into fixed and
+varying subparts".  An :class:`InputPartition` records that split for one
+function and validates it against the parameter list.
+"""
+
+from __future__ import annotations
+
+from ..lang.errors import SpecializationError
+
+
+class InputPartition(object):
+    """Fixed/varying split of a function's parameters."""
+
+    def __init__(self, fn, varying):
+        param_names = fn.param_names()
+        varying = frozenset(varying)
+        unknown = varying - set(param_names)
+        if unknown:
+            raise SpecializationError(
+                "varying inputs not among parameters of %r: %s"
+                % (fn.name, ", ".join(sorted(unknown)))
+            )
+        self.function_name = fn.name
+        self.param_names = tuple(param_names)
+        self.varying = varying
+        self.fixed = frozenset(param_names) - varying
+
+    def is_varying(self, name):
+        return name in self.varying
+
+    def merge_args(self, fixed_args, varying_args):
+        """Build a full positional argument list from two name→value maps."""
+        merged = []
+        for name in self.param_names:
+            source = varying_args if name in self.varying else fixed_args
+            if name not in source:
+                raise SpecializationError("missing value for input %r" % name)
+            merged.append(source[name])
+        return merged
+
+    def __repr__(self):
+        return "InputPartition(%s; varying={%s})" % (
+            self.function_name,
+            ", ".join(sorted(self.varying)),
+        )

@@ -1,0 +1,151 @@
+"""Persisting specializations to disk.
+
+The paper's renderer constructs every loader/reader pair "statically at
+the time a shader is installed" and links it into the application.  The
+analog here: :func:`save_specialization` writes the three phases as
+kernel-language source plus a JSON sidecar (layout, partition), and
+:func:`load_specialization` re-parses them into a fully functional
+:class:`Specialization` — no re-analysis, just the artifacts.  Emitted
+loaders/readers are themselves valid source (the parser accepts the
+``cache->slotN`` operators), so persistence is a plain round trip.
+
+Files in a saved directory::
+
+    fragment.ds   the analyzed fragment (post inline/SSA/reassoc)
+    loader.ds     the cache loader
+    reader.ds     the cache reader
+    spec.json     layout (slot types/sizes/origins), partition, options
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+from ..lang.parser import parse_program
+from ..lang.pretty import format_function
+from ..lang.typecheck import check_program
+from ..lang.types import BY_NAME
+from .cache import CacheLayout, CacheSlot
+from .partition import InputPartition
+from .specializer import Specialization, SpecializerOptions
+
+_FORMAT_VERSION = 1
+
+
+def save_specialization(spec, directory):
+    """Write ``spec`` into ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+
+    def write(name, text):
+        with open(os.path.join(directory, name), "w") as handle:
+            handle.write(text + "\n")
+
+    write("fragment.ds", format_function(spec.original))
+    write("loader.ds", spec.loader_source)
+    write("reader.ds", spec.reader_source)
+
+    meta = {
+        "version": _FORMAT_VERSION,
+        "function": spec.function_name,
+        "varying": sorted(spec.varying),
+        "slots": [
+            {
+                "index": slot.index,
+                "type": slot.ty.name,
+                "source": slot.source,
+                "speculative": slot.speculative,
+            }
+            for slot in spec.layout
+        ],
+        "options": {
+            "ssa": spec.options.ssa,
+            "reassoc": spec.options.reassoc,
+            "reassoc_float": spec.options.reassoc_float,
+            "allow_speculation": spec.options.allow_speculation,
+            "cache_bound": spec.options.cache_bound,
+            "trivial_threshold": spec.options.trivial_threshold,
+        },
+    }
+    write("spec.json", json.dumps(meta, indent=2, sort_keys=True))
+    return directory
+
+
+def _read(directory, name):
+    path = os.path.join(directory, name)
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise SpecializationError("cannot read %s: %s" % (path, exc))
+
+
+def _parse_single(source, what):
+    program = parse_program(source)
+    if len(program.functions) != 1:
+        raise SpecializationError("%s must define exactly one function" % what)
+    return program.functions[0]
+
+
+def load_specialization(directory):
+    """Reload a saved specialization; returns a :class:`Specialization`.
+
+    The reloaded object runs (interpreted and compiled) exactly like the
+    one that was saved; analysis-side attributes (``caching``,
+    ``limiter_trace``) are ``None`` — they belong to the build, not the
+    artifact.
+    """
+    meta = json.loads(_read(directory, "spec.json"))
+    if meta.get("version") != _FORMAT_VERSION:
+        raise SpecializationError(
+            "unsupported spec.json version %r" % meta.get("version")
+        )
+
+    fragment = _parse_single(_read(directory, "fragment.ds"), "fragment.ds")
+    loader = _parse_single(_read(directory, "loader.ds"), "loader.ds")
+    reader = _parse_single(_read(directory, "reader.ds"), "reader.ds")
+
+    slots = []
+    slot_types = {}
+    for entry in sorted(meta["slots"], key=lambda e: e["index"]):
+        ty = BY_NAME.get(entry["type"])
+        if ty is None:
+            raise SpecializationError("unknown slot type %r" % entry["type"])
+        slots.append(
+            CacheSlot(
+                entry["index"], ty, None, entry["source"],
+                speculative=entry.get("speculative", False),
+            )
+        )
+        slot_types[entry["index"]] = ty
+    layout = CacheLayout(slots)
+
+    # Reparsed CacheRead nodes carry no type; restore from the layout
+    # before checking.
+    for fn in (loader, reader):
+        for node in A.walk(fn):
+            if isinstance(node, A.CacheRead):
+                if node.slot not in slot_types:
+                    raise SpecializationError(
+                        "cache read of slot %d not in layout" % node.slot
+                    )
+                node.ty = slot_types[node.slot]
+
+    infos = check_program(A.Program([fragment]))
+    check_program(A.Program([loader]))
+    check_program(A.Program([reader]))
+
+    partition = InputPartition(fragment, set(meta["varying"]))
+    options = SpecializerOptions(**meta["options"])
+    return Specialization(
+        partition,
+        fragment,
+        loader,
+        reader,
+        layout,
+        caching=None,
+        type_info=infos[fragment.name],
+        options=options,
+    )

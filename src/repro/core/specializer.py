@@ -1,0 +1,296 @@
+"""The data specializer: the paper's primary contribution, end to end.
+
+``DataSpecializer`` statically constructs, from a program fragment and an
+input partition, the pair the paper's signature describes::
+
+    Fragment × Input-Partition →
+        (All-Inputs → Cache × Result)            -- cache loader
+      × (Cache × All-Inputs → Result)            -- cache reader
+
+Pipeline (Sections 3–4):
+
+1. inline user-library calls (the fragment must be one non-recursive
+   procedure),
+2. SSA-style join normalization, inserting ``v = v`` phi assignments
+   (Section 4.1; optional),
+3. type check,
+4. dependence analysis over the partition (Section 3.1),
+5. associative rewriting to enlarge independent subterms (Section 4.2;
+   optional, then re-analyze),
+6. caching analysis — the Figure 3 constraint solver (Section 3.2),
+7. cache-size limiting to a byte bound (Section 4.3; optional),
+8. splitting into loader + reader + cache layout (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from ..analysis.caching import CachingAnalysis, CachingOptions
+from ..analysis.costs import CostModel
+from ..analysis.dependence import dependence_analysis
+from ..analysis.index import StructuralIndex
+from ..analysis.loops import single_valuedness
+from ..analysis.reaching import reaching_definitions
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+from ..lang.ops import TRIVIAL_COST_THRESHOLD
+from ..lang.parser import parse_program
+from ..lang.pretty import format_function
+from ..lang.typecheck import check_program
+from ..runtime.compiler import compile_function
+from ..runtime.interp import CostMeter, Interpreter
+from ..transform.inline import Inliner
+from ..transform.limiter import limit_cache
+from ..transform.reassoc import reassociate
+from ..transform.split import split
+from ..transform.ssa import ssa_normalize
+from .partition import InputPartition
+
+
+class SpecializerOptions(object):
+    """Policy configuration for one specialization run."""
+
+    def __init__(
+        self,
+        ssa=True,
+        reassoc=True,
+        reassoc_float=True,
+        allow_speculation=False,
+        cache_bound=None,
+        trivial_threshold=TRIVIAL_COST_THRESHOLD,
+    ):
+        #: Section 4.1 join-point normalization (phi-only variable caching).
+        self.ssa = ssa
+        #: Section 4.2 associative rewriting.
+        self.reassoc = reassoc
+        #: Allow reassociating floating-point chains (the paper's default,
+        #: with an off switch for applications where rounding matters).
+        self.reassoc_float = reassoc_float
+        #: Section 7.1 weakened rule 3 (hoist-to-entry speculation).
+        self.allow_speculation = allow_speculation
+        #: Section 4.3 cache-size bound in bytes (None = unlimited).
+        self.cache_bound = cache_bound
+        #: Rule 6 triviality threshold on the static cost scale.
+        self.trivial_threshold = trivial_threshold
+
+    def replace(self, **overrides):
+        merged = dict(
+            ssa=self.ssa,
+            reassoc=self.reassoc,
+            reassoc_float=self.reassoc_float,
+            allow_speculation=self.allow_speculation,
+            cache_bound=self.cache_bound,
+            trivial_threshold=self.trivial_threshold,
+        )
+        merged.update(overrides)
+        return SpecializerOptions(**merged)
+
+
+class Specialization(object):
+    """The product of specializing one fragment on one input partition."""
+
+    def __init__(
+        self,
+        partition,
+        original,
+        loader,
+        reader,
+        layout,
+        caching,
+        type_info,
+        options,
+        limiter_trace=None,
+    ):
+        self.partition = partition
+        #: The analyzed fragment (post inline/SSA/reassoc) — the baseline
+        #: all measurements compare against.
+        self.original = original
+        self.loader = loader
+        self.reader = reader
+        self.layout = layout
+        self.caching = caching
+        self.type_info = type_info
+        self.options = options
+        self.limiter_trace = limiter_trace
+        self._interp = Interpreter()
+        self._compiled = {}
+
+    # -- identification ------------------------------------------------------
+
+    @property
+    def function_name(self):
+        return self.partition.function_name
+
+    @property
+    def varying(self):
+        return self.partition.varying
+
+    @property
+    def cache_size_bytes(self):
+        return self.layout.size_bytes
+
+    # -- interpreted execution --------------------------------------------------
+
+    def new_cache(self):
+        return self.layout.new_instance()
+
+    def run_original(self, args):
+        """Run the unspecialized fragment; returns (result, cost)."""
+        meter = CostMeter()
+        result = self._interp.run(self.original, args, meter=meter)
+        return result, meter.total
+
+    def run_loader(self, args, cache=None):
+        """Run the loader; returns (result, cache, cost)."""
+        if cache is None:
+            cache = self.new_cache()
+        meter = CostMeter()
+        result = self._interp.run(self.loader, args, cache=cache, meter=meter)
+        return result, cache, meter.total
+
+    def run_reader(self, cache, args):
+        """Run the reader against a previously filled cache;
+        returns (result, cost)."""
+        meter = CostMeter()
+        result = self._interp.run(self.reader, args, cache=cache, meter=meter)
+        return result, meter.total
+
+    # -- compiled execution --------------------------------------------------------
+
+    def _compile(self, which, fn):
+        if which not in self._compiled:
+            self._compiled[which] = compile_function(fn)
+        return self._compiled[which]
+
+    @property
+    def compiled_original(self):
+        return self._compile("original", self.original)
+
+    @property
+    def compiled_loader(self):
+        return self._compile("loader", self.loader)
+
+    @property
+    def compiled_reader(self):
+        return self._compile("reader", self.reader)
+
+    # -- artifacts --------------------------------------------------------------------
+
+    @property
+    def original_source(self):
+        return format_function(self.original)
+
+    @property
+    def loader_source(self):
+        return format_function(self.loader)
+
+    @property
+    def reader_source(self):
+        return format_function(self.reader)
+
+    def describe(self):
+        lines = [
+            "specialization of %s, varying {%s}"
+            % (self.function_name, ", ".join(sorted(self.varying))),
+            self.layout.describe(),
+        ]
+        return "\n".join(lines)
+
+
+class DataSpecializer(object):
+    """Specializes functions of one program on chosen input partitions."""
+
+    def __init__(self, program, options=None):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.options = options or SpecializerOptions()
+        # Whole-program check up front: errors surface on the original
+        # source, not on transformed internals.
+        check_program(self.program)
+
+    def specialize(self, fn_name, varying, **overrides):
+        """Build a :class:`Specialization` for ``fn_name`` with the given
+        varying parameter names.  Keyword overrides patch the specializer
+        options for this call only (e.g. ``cache_bound=16``)."""
+        options = self.options.replace(**overrides) if overrides else self.options
+        try:
+            root = self.program.function(fn_name)
+        except KeyError:
+            raise SpecializationError("no function named %r" % fn_name)
+        partition = InputPartition(root, varying)
+
+        # 1. Inline library calls; work on a private copy from here on.
+        fn = Inliner(self.program).inline_function(fn_name)
+
+        # 2. Join-point normalization (Section 4.1).
+        if options.ssa:
+            fn = ssa_normalize(fn)
+
+        type_info = self._check(fn)
+
+        # 4. Dependence analysis (Section 3.1).
+        dependence = dependence_analysis(fn, partition.varying)
+
+        # 5. Associative rewriting (Section 4.2), then re-analyze.
+        if options.reassoc:
+            rewriter = reassociate(fn, dependence, float_ok=options.reassoc_float)
+            if rewriter.rewrites:
+                type_info = self._check(fn)
+            dependence = dependence_analysis(fn, partition.varying)
+
+        # 6. Caching analysis (Section 3.2, Figure 3).
+        index = StructuralIndex(fn)
+        reaching = reaching_definitions(fn)
+        single_valued = single_valuedness(fn, index)
+        costs = CostModel(index)
+        caching = CachingAnalysis(
+            fn,
+            index,
+            reaching,
+            dependence,
+            single_valued,
+            costs,
+            CachingOptions(
+                ssa_mode=options.ssa,
+                trivial_threshold=options.trivial_threshold,
+                allow_speculation=options.allow_speculation,
+            ),
+        ).solve()
+
+        # 7. Cache-size limiting (Section 4.3).
+        limiter_trace = None
+        if options.cache_bound is not None:
+            limiter_trace = limit_cache(caching, costs, options.cache_bound)
+
+        # 8. Splitting (Section 3.3).
+        result = split(fn, caching, type_info)
+        self._check(result.loader)
+        self._check(result.reader)
+
+        return Specialization(
+            partition,
+            fn,
+            result.loader,
+            result.reader,
+            result.layout,
+            caching,
+            type_info,
+            options,
+            limiter_trace=limiter_trace,
+        )
+
+    @staticmethod
+    def _check(fn):
+        infos = check_program(A.Program([fn]))
+        return infos[fn.name]
+
+
+def specialize(program, fn_name, varying, **options):
+    """One-shot convenience API.
+
+    ``program`` may be source text or a parsed :class:`Program`.  Options
+    are :class:`SpecializerOptions` fields passed as keywords.
+    """
+    return DataSpecializer(program, SpecializerOptions(**options)).specialize(
+        fn_name, varying
+    )

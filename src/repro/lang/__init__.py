@@ -1,0 +1,104 @@
+"""Kernel language front end: lexer, parser, AST, types, pretty printer.
+
+This is the "subset of C without pointers or goto" the paper's prototype
+specializer processes (Section 5), extended with a first-class ``vec3``
+type for the shading workloads.
+"""
+
+from . import ast_nodes
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    CacheRead,
+    CacheStore,
+    Call,
+    Cond,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    FunctionDef,
+    If,
+    IntLit,
+    Member,
+    Node,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+    clone,
+    count_nodes,
+    number_nodes,
+    walk,
+)
+from .errors import (
+    EvalError,
+    KernelTypeError,
+    LexError,
+    ParseError,
+    SourceError,
+    SpecializationError,
+)
+from .lexer import Token, tokenize
+from .parser import parse_expression, parse_function, parse_program
+from .pretty import format_expr, format_function, format_program, format_stmt
+from .typecheck import TypeInfo, check_function, check_program
+from .types import FLOAT, INT, VEC3, VOID, Type
+
+__all__ = [
+    "ast_nodes",
+    "Assign",
+    "BinOp",
+    "Block",
+    "CacheRead",
+    "CacheStore",
+    "Call",
+    "Cond",
+    "Expr",
+    "ExprStmt",
+    "FloatLit",
+    "FunctionDef",
+    "If",
+    "IntLit",
+    "Member",
+    "Node",
+    "Param",
+    "Program",
+    "Return",
+    "Stmt",
+    "UnaryOp",
+    "VarDecl",
+    "VarRef",
+    "While",
+    "clone",
+    "count_nodes",
+    "number_nodes",
+    "walk",
+    "EvalError",
+    "KernelTypeError",
+    "LexError",
+    "ParseError",
+    "SourceError",
+    "SpecializationError",
+    "Token",
+    "tokenize",
+    "parse_expression",
+    "parse_function",
+    "parse_program",
+    "format_expr",
+    "format_function",
+    "format_program",
+    "format_stmt",
+    "TypeInfo",
+    "check_function",
+    "check_program",
+    "FLOAT",
+    "INT",
+    "VEC3",
+    "VOID",
+    "Type",
+]

@@ -1,0 +1,396 @@
+"""Abstract syntax for the kernel language.
+
+The language is the C subset the paper's prototype handles (Section 5): no
+pointers, no goto, structured control only, and the fragment being
+specialized is a single non-recursive procedure.  We extend the scalar core
+with a first-class ``vec3`` type standing in for the paper's "small
+mathematical library that supports vector and matrix operations" — the
+shading workloads need it, and it exercises the analyses with a non-scalar
+type.
+
+Design notes
+------------
+* Every node has an integer id, ``nid``, assigned by :func:`number_nodes`.
+  All analysis results (dependence flags, caching labels, reaching
+  definitions, costs) live in external dictionaries keyed by ``nid`` so the
+  AST itself stays a plain syntax object.
+* The type checker annotates expressions in place via the ``ty`` attribute.
+* ``CacheStore`` and ``CacheRead`` never appear in source programs; the
+  splitting transformation introduces them when emitting the loader and
+  reader (Section 3.3).
+* Nodes are mutable on purpose: transformations renumber and retype after
+  rewriting.  :func:`clone` produces an independent deep copy.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+
+class Node(object):
+    """Base class for all AST nodes."""
+
+    _fields = ()
+
+    def __init__(self, line=None):
+        self.nid = None
+        self.line = line
+
+    def children(self):
+        """Yield the direct child nodes, in source order."""
+        for name in self._fields:
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+            elif isinstance(value, Node):
+                yield value
+
+    def __repr__(self):
+        parts = []
+        for name in self._fields:
+            parts.append("%s=%r" % (name, getattr(self, name)))
+        return "%s(%s)" % (type(self).__name__, ", ".join(parts))
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions.  ``ty`` is filled in by the checker."""
+
+    def __init__(self, line=None):
+        super().__init__(line)
+        self.ty = None
+
+
+class IntLit(Expr):
+    _fields = ()
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = int(value)
+
+    def __repr__(self):
+        return "IntLit(%d)" % self.value
+
+
+class FloatLit(Expr):
+    _fields = ()
+
+    def __init__(self, value, line=None):
+        super().__init__(line)
+        self.value = float(value)
+
+    def __repr__(self):
+        return "FloatLit(%r)" % self.value
+
+
+class VarRef(Expr):
+    _fields = ()
+
+    def __init__(self, name, line=None):
+        super().__init__(line)
+        self.name = name
+
+    def __repr__(self):
+        return "VarRef(%s)" % self.name
+
+
+class BinOp(Expr):
+    _fields = ("left", "right")
+
+    def __init__(self, op, left, right, line=None):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnaryOp(Expr):
+    _fields = ("operand",)
+
+    def __init__(self, op, operand, line=None):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Call(Expr):
+    """A call to a builtin or to a user library function (pre-inlining)."""
+
+    _fields = ("args",)
+
+    def __init__(self, name, args, line=None):
+        super().__init__(line)
+        self.name = name
+        self.args = list(args)
+
+
+class Member(Expr):
+    """Component selection on a vec3 value: ``v.x``, ``v.y``, ``v.z``."""
+
+    _fields = ("base",)
+
+    def __init__(self, base, field, line=None):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+
+
+class Cond(Expr):
+    """C ternary ``p ? a : b``.
+
+    Both arms are pure expressions, so evaluating an arm speculatively is
+    safe; the caching analysis still treats the arms as ordinary value
+    operands of the ternary.
+    """
+
+    _fields = ("pred", "then", "else_")
+
+    def __init__(self, pred, then, else_, line=None):
+        super().__init__(line)
+        self.pred = pred
+        self.then = then
+        self.else_ = else_
+
+
+class CacheRead(Expr):
+    """Read slot ``slot`` of the data cache (reader side only)."""
+
+    _fields = ()
+
+    def __init__(self, slot, ty=None, line=None):
+        super().__init__(line)
+        self.slot = slot
+        self.ty = ty
+
+    def __repr__(self):
+        return "CacheRead(slot=%d)" % self.slot
+
+
+class CacheStore(Expr):
+    """Evaluate ``value``, store it into slot ``slot``, and yield it
+    (loader side only).  Mirrors the C idiom ``(cache->slotN = e)``."""
+
+    _fields = ("value",)
+
+    def __init__(self, slot, value, line=None):
+        super().__init__(line)
+        self.slot = slot
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+class Block(Stmt):
+    _fields = ("stmts",)
+
+    def __init__(self, stmts, line=None):
+        super().__init__(line)
+        self.stmts = list(stmts)
+
+
+class VarDecl(Stmt):
+    """``type name;`` or ``type name = init;``"""
+
+    _fields = ("init",)
+
+    def __init__(self, ty, name, init=None, line=None):
+        super().__init__(line)
+        self.ty = ty
+        self.name = name
+        self.init = init
+
+
+class Assign(Stmt):
+    """``name = expr;``
+
+    ``is_phi`` marks the ``v = v`` join-point assignments introduced by the
+    SSA-style normalization of Section 4.1; they are the only variable
+    references the caching analysis may cache in SSA mode.
+    """
+
+    _fields = ("expr",)
+
+    def __init__(self, name, expr, is_phi=False, line=None):
+        super().__init__(line)
+        self.name = name
+        self.expr = expr
+        self.is_phi = is_phi
+
+
+class If(Stmt):
+    _fields = ("pred", "then", "else_")
+
+    def __init__(self, pred, then, else_=None, line=None):
+        super().__init__(line)
+        self.pred = pred
+        self.then = then
+        self.else_ = else_
+
+
+class While(Stmt):
+    _fields = ("pred", "body")
+
+    def __init__(self, pred, body, line=None):
+        super().__init__(line)
+        self.pred = pred
+        self.body = body
+
+
+class Return(Stmt):
+    _fields = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+class ExprStmt(Stmt):
+    """A call evaluated for effect, e.g. ``emit(x);``."""
+
+    _fields = ("expr",)
+
+    def __init__(self, expr, line=None):
+        super().__init__(line)
+        self.expr = expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Param(Node):
+    _fields = ()
+
+    def __init__(self, ty, name, line=None):
+        super().__init__(line)
+        self.ty = ty
+        self.name = name
+
+    def __repr__(self):
+        return "Param(%s %s)" % (self.ty, self.name)
+
+
+class FunctionDef(Node):
+    _fields = ("params", "body")
+
+    def __init__(self, name, params, ret_type, body, line=None):
+        super().__init__(line)
+        self.name = name
+        self.params = list(params)
+        self.ret_type = ret_type
+        self.body = body
+
+    def param_names(self):
+        return [p.name for p in self.params]
+
+
+class Program(Node):
+    _fields = ("functions",)
+
+    def __init__(self, functions, line=None):
+        super().__init__(line)
+        self.functions = list(functions)
+
+    def function(self, name):
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError("no function named %r" % name)
+
+    def function_names(self):
+        return [fn.name for fn in self.functions]
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk(node):
+    """Yield ``node`` and every descendant, preorder."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+def number_nodes(root, start=0):
+    """Assign sequential ``nid`` values in preorder; return next free id.
+
+    Deterministic numbering makes cache-slot allocation and test
+    expectations stable across runs.
+    """
+    counter = itertools.count(start)
+    for node in walk(root):
+        node.nid = next(counter)
+    return next(counter)
+
+
+def clone(node):
+    """Deep-copy an AST, producing fresh node objects (nids reset)."""
+    if node is None:
+        return None
+    cls = node.__class__
+    fresh = cls.__new__(cls)
+    for key, value in node.__dict__.items():
+        if isinstance(value, Node):
+            fresh.__dict__[key] = clone(value)
+        elif isinstance(value, list):
+            fresh.__dict__[key] = [
+                clone(item) if isinstance(item, Node) else item for item in value
+            ]
+        else:
+            fresh.__dict__[key] = value
+    fresh.nid = None
+    return fresh
+
+
+def count_nodes(root):
+    """Number of nodes in the subtree rooted at ``root``."""
+    return sum(1 for _ in walk(root))
+
+
+def exprs_of(node):
+    """Yield every expression node in the subtree."""
+    for item in walk(node):
+        if isinstance(item, Expr):
+            yield item
+
+
+def free_var_names(node):
+    """Names of all variables referenced anywhere in the subtree."""
+    return {n.name for n in walk(node) if isinstance(n, VarRef)}
+
+
+def assigned_var_names(node):
+    """Names of variables assigned (or declared with an initializer)
+    anywhere in the subtree."""
+    names = set()
+    for item in walk(node):
+        if isinstance(item, Assign):
+            names.add(item.name)
+        elif isinstance(item, VarDecl) and item.init is not None:
+            names.add(item.name)
+    return names
+
+
+def called_names(node):
+    """Names of all functions invoked in the subtree."""
+    return {n.name for n in walk(node) if isinstance(n, Call)}

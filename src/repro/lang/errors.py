@@ -1,0 +1,60 @@
+"""Diagnostics for the kernel language front end.
+
+Every error carries a source position (line, column) when one is known, so
+messages from the lexer, parser, and type checker can point at the offending
+construct in the original source text.
+"""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """Base class for all front-end diagnostics."""
+
+    def __init__(self, message, line=None, col=None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is None:
+            return self.message
+        if self.col is None:
+            return "line %d: %s" % (self.line, self.message)
+        return "line %d, col %d: %s" % (self.line, self.col, self.message)
+
+
+class LexError(SourceError):
+    """Raised when the lexer encounters an unrecognized character or a
+    malformed literal."""
+
+
+class ParseError(SourceError):
+    """Raised when the token stream does not form a valid program."""
+
+
+class TypeError_(SourceError):
+    """Raised by the type checker.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``TypeError``; exported as ``KernelTypeError`` from the package.
+    """
+
+
+class SpecializationError(Exception):
+    """Raised when a program cannot be specialized as requested.
+
+    Examples: partitioning an unknown parameter, specializing a function
+    that does not exist, or asking the cache limiter for an unsatisfiable
+    bound (smaller than an empty cache).
+    """
+
+
+class EvalError(Exception):
+    """Raised by the interpreter for runtime faults (division by zero,
+    use of an uninitialized variable, arity mismatches)."""
+
+
+# Public, collision-free alias.
+KernelTypeError = TypeError_

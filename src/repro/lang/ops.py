@@ -1,0 +1,112 @@
+"""Operator metadata for the kernel language.
+
+Centralizes the operator sets shared by the lexer, parser, type checker,
+pretty printer, interpreter, compiler, and the static cost model of
+Section 4.3 of the paper.  The paper gives two anchor costs ("the cost of +
+is 1, the cost of / is 9"); the remaining entries extend that scale to the
+full operator set in a way consistent with mid-1990s scalar hardware
+(multiplies a few times an add, divides roughly an order of magnitude).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Operator classification
+# ---------------------------------------------------------------------------
+
+ARITH_OPS = ("+", "-", "*", "/", "%")
+COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+LOGICAL_OPS = ("&&", "||")
+UNARY_OPS = ("-", "!")
+
+BINARY_OPS = ARITH_OPS + COMPARE_OPS + LOGICAL_OPS
+
+# Precedence climbing table: higher binds tighter.
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+# Operators that are associative *and* commutative over exact arithmetic;
+# the associative-rewriting pass (Section 4.2) may reassociate chains of
+# these.  Floating point does not strictly obey these laws; the paper notes
+# the feature can be disabled where that matters, and we expose the same
+# switch.
+REASSOCIATIVE_OPS = ("+", "*")
+
+# ---------------------------------------------------------------------------
+# Static cost scale (Section 4.3)
+# ---------------------------------------------------------------------------
+
+#: Cost of reading one slot out of the data cache (a memory reference).
+CACHE_READ_COST = 2
+
+#: Cost charged in the loader for storing one slot (memory write).
+CACHE_WRITE_COST = 2
+
+#: Cost of a variable reference (register-ish).
+VAR_REF_COST = 1
+
+#: Constants are free: the compiler embeds them in the instruction stream.
+CONST_COST = 0
+
+#: Reading a component out of a vec3 value.
+MEMBER_COST = 1
+
+BINOP_COST = {
+    "+": 1,
+    "-": 1,
+    "*": 3,
+    "/": 9,
+    "%": 9,
+    "==": 1,
+    "!=": 1,
+    "<": 1,
+    "<=": 1,
+    ">": 1,
+    ">=": 1,
+    "&&": 1,
+    "||": 1,
+}
+
+UNOP_COST = {
+    "-": 1,
+    "!": 1,
+}
+
+#: vec3 arithmetic touches three lanes; the scalar cost is scaled by this.
+VECTOR_LANES = 3
+
+#: Multiplier applied to terms inside each enclosing loop (paper: 5).
+LOOP_COST_MULTIPLIER = 5
+
+#: Divisor applied to terms guarded by each conditional (paper: 2).
+BRANCH_COST_DIVISOR = 2
+
+#: Expressions whose execution cost is <= this threshold are "trivial" and
+#: never cached (rule 6's ~Trivial condition): recomputing them is at most
+#: as expensive as the cache read that would replace them.
+TRIVIAL_COST_THRESHOLD = CACHE_READ_COST
+
+
+def binop_cost(op, is_vector=False):
+    """Static cost of one application of binary operator ``op``."""
+    base = BINOP_COST[op]
+    return base * VECTOR_LANES if is_vector else base
+
+
+def unop_cost(op, is_vector=False):
+    """Static cost of one application of unary operator ``op``."""
+    base = UNOP_COST[op]
+    return base * VECTOR_LANES if is_vector else base

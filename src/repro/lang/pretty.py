@@ -1,0 +1,164 @@
+"""Pretty printer: AST → C-like source text.
+
+Used for debugging, for the annotated-program dumps in the examples, and as
+the "emitted object code" artifact of the splitting transformation (the
+paper's prototype emits C source; we emit kernel-language source, which our
+parser accepts back — tests round-trip it).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as A
+from .ops import PRECEDENCE
+
+_UNARY_PREC = 7
+_POSTFIX_PREC = 8
+
+
+def _prec_of(expr):
+    if isinstance(expr, A.BinOp):
+        return PRECEDENCE[expr.op]
+    if isinstance(expr, A.UnaryOp):
+        return _UNARY_PREC
+    if isinstance(expr, A.Cond):
+        return 0
+    if isinstance(expr, A.CacheStore):
+        return 0
+    return _POSTFIX_PREC
+
+
+def format_expr(expr, parent_prec=0):
+    """Render an expression, parenthesizing only where precedence needs it."""
+    text, prec = _format_expr(expr)
+    if prec < parent_prec:
+        return "(" + text + ")"
+    return text
+
+
+def _format_expr(expr):
+    if isinstance(expr, A.IntLit):
+        return str(expr.value), _POSTFIX_PREC
+    if isinstance(expr, A.FloatLit):
+        value = repr(expr.value)
+        if "." not in value and "e" not in value and "inf" not in value:
+            value += ".0"
+        return value, _POSTFIX_PREC
+    if isinstance(expr, A.VarRef):
+        return expr.name, _POSTFIX_PREC
+    if isinstance(expr, A.BinOp):
+        prec = PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        # Right operand needs a strictly higher context: operators are
+        # left-associative.
+        right = format_expr(expr.right, prec + 1)
+        return "%s %s %s" % (left, expr.op, right), prec
+    if isinstance(expr, A.UnaryOp):
+        operand = format_expr(expr.operand, _UNARY_PREC)
+        return expr.op + operand, _UNARY_PREC
+    if isinstance(expr, A.Call):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return "%s(%s)" % (expr.name, args), _POSTFIX_PREC
+    if isinstance(expr, A.Member):
+        base = format_expr(expr.base, _POSTFIX_PREC)
+        return "%s.%s" % (base, expr.field), _POSTFIX_PREC
+    if isinstance(expr, A.Cond):
+        pred = format_expr(expr.pred, 1)
+        then = format_expr(expr.then, 1)
+        else_ = format_expr(expr.else_, 0)
+        return "%s ? %s : %s" % (pred, then, else_), 0
+    if isinstance(expr, A.CacheRead):
+        return "cache->slot%d" % expr.slot, _POSTFIX_PREC
+    if isinstance(expr, A.CacheStore):
+        value = format_expr(expr.value, 0)
+        return "(cache->slot%d = %s)" % (expr.slot, value), 0
+    raise ValueError("cannot format %r" % type(expr).__name__)
+
+
+class _Printer(object):
+    def __init__(self, indent="    ", note=None):
+        self.lines = []
+        self.indent = indent
+        self.depth = 0
+        #: Optional callback node -> str appended as a trailing comment.
+        self.note = note
+
+    def emit(self, text, node=None):
+        comment = ""
+        if self.note is not None and node is not None:
+            annotation = self.note(node)
+            if annotation:
+                comment = "  /* %s */" % annotation
+        self.lines.append(self.indent * self.depth + text + comment)
+
+    def stmt(self, stmt):
+        if isinstance(stmt, A.Block):
+            self.emit("{")
+            self.depth += 1
+            for inner in stmt.stmts:
+                self.stmt(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(stmt, A.VarDecl):
+            if stmt.init is None:
+                self.emit("%s %s;" % (stmt.ty, stmt.name), stmt)
+            else:
+                self.emit(
+                    "%s %s = %s;" % (stmt.ty, stmt.name, format_expr(stmt.init)),
+                    stmt,
+                )
+        elif isinstance(stmt, A.Assign):
+            self.emit("%s = %s;" % (stmt.name, format_expr(stmt.expr)), stmt)
+        elif isinstance(stmt, A.If):
+            self.emit("if (%s) {" % format_expr(stmt.pred), stmt)
+            self.depth += 1
+            for inner in stmt.then.stmts:
+                self.stmt(inner)
+            self.depth -= 1
+            if stmt.else_ is not None:
+                self.emit("} else {")
+                self.depth += 1
+                for inner in stmt.else_.stmts:
+                    self.stmt(inner)
+                self.depth -= 1
+            self.emit("}")
+        elif isinstance(stmt, A.While):
+            self.emit("while (%s) {" % format_expr(stmt.pred), stmt)
+            self.depth += 1
+            for inner in stmt.body.stmts:
+                self.stmt(inner)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(stmt, A.Return):
+            if stmt.expr is None:
+                self.emit("return;", stmt)
+            else:
+                self.emit("return %s;" % format_expr(stmt.expr), stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self.emit("%s;" % format_expr(stmt.expr), stmt)
+        else:
+            raise ValueError("cannot format %r" % type(stmt).__name__)
+
+
+def format_function(fn, note=None):
+    """Render one function definition as source text."""
+    printer = _Printer(note=note)
+    params = ", ".join("%s %s" % (p.ty, p.name) for p in fn.params)
+    printer.emit("%s %s(%s) {" % (fn.ret_type, fn.name, params), fn)
+    printer.depth += 1
+    for stmt in fn.body.stmts:
+        printer.stmt(stmt)
+    printer.depth -= 1
+    printer.emit("}")
+    return "\n".join(printer.lines)
+
+
+def format_program(program, note=None):
+    """Render a whole program."""
+    return "\n\n".join(format_function(fn, note=note) for fn in program.functions)
+
+
+def format_stmt(stmt, note=None):
+    """Render a single statement (tests and debugging)."""
+    printer = _Printer(note=note)
+    printer.stmt(stmt)
+    return "\n".join(printer.lines)

@@ -1,0 +1,21 @@
+"""Execution substrate: values, builtins, metering interpreter, compiler."""
+
+from .builtins import EMIT_SINK, REGISTRY, Builtin, builtin_cost, is_builtin, lookup
+from .compiler import compile_function, compile_source
+from .interp import CostMeter, Interpreter
+from .values import vec3, values_close
+
+__all__ = [
+    "EMIT_SINK",
+    "REGISTRY",
+    "Builtin",
+    "builtin_cost",
+    "is_builtin",
+    "lookup",
+    "compile_function",
+    "compile_source",
+    "CostMeter",
+    "Interpreter",
+    "vec3",
+    "values_close",
+]

@@ -1,0 +1,214 @@
+"""Builtin function registry: the kernel language's mathematical library.
+
+This is the reproduction of the paper's "small mathematical library that
+supports vector and matrix operations as well as noise functions"
+(Section 5).  Each entry records:
+
+* the signature used by the type checker,
+* a static execution cost on the Section 4.3 scale (``+`` = 1, ``/`` = 9),
+  which both the cost estimator and the metering interpreter charge,
+* a purity flag — impure builtins read/write global state and therefore
+  trigger rule 2 of Figure 3 (``HasGlobalEffect`` ⇒ dynamic), and
+* the Python implementation invoked by the interpreter and compiled code.
+
+Costs for transcendental and noise primitives follow the same order-of-
+magnitude reasoning as the paper's two anchors: library calls cost tens of
+adds, gradient noise costs on the order of a hundred, and fractal sums a
+few hundred (they loop over octaves of gradient noise internally).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.errors import EvalError
+from ..lang.types import FLOAT, INT, MAT3, VEC3, VOID
+from ..shaders import noise as _noise
+from . import values as V
+
+
+class Builtin(object):
+    """Metadata + implementation for one builtin function."""
+
+    __slots__ = ("name", "param_types", "ret_type", "cost", "pure", "fn")
+
+    def __init__(self, name, param_types, ret_type, cost, pure, fn):
+        self.name = name
+        self.param_types = tuple(param_types)
+        self.ret_type = ret_type
+        self.cost = cost
+        self.pure = pure
+        self.fn = fn
+
+    @property
+    def arity(self):
+        return len(self.param_types)
+
+    def __repr__(self):
+        return "Builtin(%s/%d)" % (self.name, self.arity)
+
+
+def _safe_div(a, b):
+    if b == 0:
+        raise EvalError("fmod by zero")
+    return math.fmod(a, b)
+
+
+def _clamp(x, lo, hi):
+    return min(hi, max(lo, x))
+
+
+def _mix(a, b, t):
+    return a + (b - a) * t
+
+
+def _step(edge, x):
+    return 1.0 if x >= edge else 0.0
+
+
+def _smoothstep(lo, hi, x):
+    if hi == lo:
+        return 0.0 if x < lo else 1.0
+    t = _clamp((x - lo) / (hi - lo), 0.0, 1.0)
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _frac(x):
+    return x - math.floor(x)
+
+
+def _pow(x, y):
+    try:
+        return math.pow(x, y)
+    except ValueError:
+        raise EvalError("pow domain error: pow(%r, %r)" % (x, y))
+
+
+def _sqrt(x):
+    if x < 0:
+        raise EvalError("sqrt of negative value %r" % x)
+    return math.sqrt(x)
+
+
+def _log(x):
+    if x <= 0:
+        raise EvalError("log of non-positive value %r" % x)
+    return math.log(x)
+
+
+class _EmitSink(object):
+    """Global output channel backing the impure ``emit`` builtin.
+
+    Tests use it to observe rule 2 behaviour (effects execute in both the
+    loader and the reader).
+    """
+
+    def __init__(self):
+        self.values = []
+
+    def emit(self, value):
+        self.values.append(value)
+        return 0.0
+
+    def clear(self):
+        del self.values[:]
+
+
+EMIT_SINK = _EmitSink()
+
+
+def _noise_v(p):
+    return _noise.noise3(p[0], p[1], p[2])
+
+
+def _snoise_v(p):
+    return _noise.snoise3(p[0], p[1], p[2])
+
+
+def _fbm_v(p, octaves):
+    return _noise.fbm3(p[0], p[1], p[2], octaves)
+
+
+def _turbulence_v(p, octaves):
+    return _noise.turbulence3(p[0], p[1], p[2], octaves)
+
+
+_F = FLOAT
+_V = VEC3
+
+_SPECS = [
+    # name, params, ret, cost, pure, impl
+    # --- scalar math ------------------------------------------------------
+    ("sqrt", (_F,), _F, 12, True, _sqrt),
+    ("sin", (_F,), _F, 15, True, math.sin),
+    ("cos", (_F,), _F, 15, True, math.cos),
+    ("tan", (_F,), _F, 18, True, math.tan),
+    ("atan", (_F, _F), _F, 22, True, math.atan2),
+    ("exp", (_F,), _F, 20, True, math.exp),
+    ("log", (_F,), _F, 20, True, _log),
+    ("pow", (_F, _F), _F, 25, True, _pow),
+    ("floor", (_F,), _F, 2, True, lambda x: float(math.floor(x))),
+    ("ceil", (_F,), _F, 2, True, lambda x: float(math.ceil(x))),
+    ("frac", (_F,), _F, 3, True, _frac),
+    ("fabs", (_F,), _F, 1, True, abs),
+    ("fmin", (_F, _F), _F, 2, True, min),
+    ("fmax", (_F, _F), _F, 2, True, max),
+    ("fmod", (_F, _F), _F, 10, True, _safe_div),
+    ("clamp", (_F, _F, _F), _F, 3, True, _clamp),
+    ("mix", (_F, _F, _F), _F, 4, True, _mix),
+    ("step", (_F, _F), _F, 1, True, _step),
+    ("smoothstep", (_F, _F, _F), _F, 8, True, _smoothstep),
+    # --- vector / matrix ----------------------------------------------------
+    ("vec3", (_F, _F, _F), _V, 3, True, V.vec3),
+    ("dot", (_V, _V), _F, 8, True, V.vdot),
+    ("cross", (_V, _V), _V, 12, True, V.vcross),
+    ("length", (_V,), _F, 16, True, V.vlength),
+    ("normalize", (_V,), _V, 28, True, V.vnormalize),
+    ("reflect", (_V, _V), _V, 14, True, V.vreflect),
+    ("faceforward", (_V, _V), _V, 12, True, V.vfaceforward),
+    ("vmix", (_V, _V, _F), _V, 10, True, V.vmix),
+    ("vmul", (_V, _V), _V, 6, True, V.vmul),
+    ("clampcolor", (_V,), _V, 6, True, V.vclamp01),
+    ("rotate_x", (_V, _F), _V, 36, True, V.rotate_x),
+    ("rotate_y", (_V, _F), _V, 36, True, V.rotate_y),
+    ("rotate_z", (_V, _F), _V, 36, True, V.rotate_z),
+    # --- matrices -------------------------------------------------------------
+    ("mat3", (_F,) * 9, MAT3, 9, True, V.mat3),
+    ("mat_identity", (), MAT3, 1, True, V.mat_identity),
+    ("mat_rows", (_V, _V, _V), MAT3, 9, True, V.mat_rows),
+    ("mat_vec", (MAT3, _V), _V, 18, True, V.mat_vec),
+    ("mat_mul", (MAT3, MAT3), MAT3, 48, True, V.mat_mul),
+    ("mat_transpose", (MAT3,), MAT3, 9, True, V.mat_transpose),
+    ("mat_det", (MAT3,), _F, 16, True, V.mat_det),
+    ("mat_scale", (MAT3, _F), MAT3, 10, True, V.mat_scale),
+    ("rotation_x", (_F,), MAT3, 38, True, V.rotation_x),
+    ("rotation_y", (_F,), MAT3, 38, True, V.rotation_y),
+    ("rotation_z", (_F,), MAT3, 38, True, V.rotation_z),
+    # --- noise --------------------------------------------------------------
+    ("noise", (_V,), _F, 130, True, _noise_v),
+    ("snoise", (_V,), _F, 130, True, _snoise_v),
+    ("fbm", (_V, _F), _F, 420, True, _fbm_v),
+    ("turbulence", (_V, _F), _F, 460, True, _turbulence_v),
+    # --- effects (rule 2 of Figure 3) ----------------------------------------
+    ("emit", (_F,), VOID, 5, False, EMIT_SINK.emit),
+]
+
+REGISTRY = {spec[0]: Builtin(*spec) for spec in _SPECS}
+
+
+def lookup(name):
+    """Return the :class:`Builtin` for ``name``, or ``None``."""
+    return REGISTRY.get(name)
+
+
+def is_builtin(name):
+    return name in REGISTRY
+
+
+def builtin_cost(name):
+    """Static cost of calling builtin ``name`` (excluding its arguments)."""
+    return REGISTRY[name].cost
+
+
+def builtin_is_pure(name):
+    return REGISTRY[name].pure

@@ -1,0 +1,247 @@
+"""AST → Python compiler.
+
+The paper's prototype emits C that MSVC compiles; our equivalent "object
+code" is generated Python.  The compiler translates a type-checked kernel
+function into a Python function of the same parameters (plus a trailing
+``__cache`` argument used by loaders and readers), suitable for wall-clock
+benchmarking with pytest-benchmark.
+
+Requirements: the function must have been type checked (expression ``ty``
+annotations drive operator selection — C truncating division for ints,
+vector helpers for vec3).
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..lang.errors import EvalError
+from ..lang.types import INT, VEC3
+from . import values as V
+from .builtins import REGISTRY
+from .interp import _int_div, _int_mod
+
+
+def _mangle(name):
+    return "v_" + name
+
+
+def _fn_name(name):
+    return "k_" + name
+
+
+def _store(cache, slot, value):
+    cache[slot] = value
+    return value
+
+
+class _Emitter(object):
+    def __init__(self):
+        self.lines = []
+        self.depth = 0
+
+    def line(self, text):
+        self.lines.append("    " * self.depth + text)
+
+    def source(self):
+        return "\n".join(self.lines) + "\n"
+
+
+class _Compiler(object):
+    def __init__(self, emitter):
+        self.out = emitter
+        self.used_builtins = set()
+        self.used_functions = set()
+
+    # -- function -----------------------------------------------------------
+
+    def compile_function(self, fn):
+        params = [_mangle(p.name) for p in fn.params]
+        params.append("__cache=None")
+        self.out.line("def %s(%s):" % (_fn_name(fn.name), ", ".join(params)))
+        self.out.depth += 1
+        if fn.body.stmts:
+            self.block(fn.body)
+        else:
+            self.out.line("pass")
+        self.out.line("return None")
+        self.out.depth -= 1
+        self.out.line("")
+
+    # -- statements ------------------------------------------------------------
+
+    def block(self, block):
+        if not block.stmts:
+            self.out.line("pass")
+            return
+        for stmt in block.stmts:
+            self.stmt(stmt)
+
+    def stmt(self, stmt):
+        kind = type(stmt)
+        if kind is A.Assign:
+            self.out.line("%s = %s" % (_mangle(stmt.name), self.expr(stmt.expr)))
+        elif kind is A.VarDecl:
+            if stmt.init is not None:
+                self.out.line("%s = %s" % (_mangle(stmt.name), self.expr(stmt.init)))
+        elif kind is A.If:
+            self.out.line("if %s != 0:" % self.expr(stmt.pred))
+            self.out.depth += 1
+            self.block(stmt.then)
+            self.out.depth -= 1
+            if stmt.else_ is not None:
+                self.out.line("else:")
+                self.out.depth += 1
+                self.block(stmt.else_)
+                self.out.depth -= 1
+        elif kind is A.While:
+            self.out.line("while %s != 0:" % self.expr(stmt.pred))
+            self.out.depth += 1
+            self.block(stmt.body)
+            self.out.depth -= 1
+        elif kind is A.Return:
+            if stmt.expr is None:
+                self.out.line("return None")
+            else:
+                self.out.line("return %s" % self.expr(stmt.expr))
+        elif kind is A.Block:
+            self.block(stmt)
+        elif kind is A.ExprStmt:
+            self.out.line(self.expr(stmt.expr))
+        else:
+            raise EvalError("cannot compile statement %r" % kind.__name__)
+
+    # -- expressions -------------------------------------------------------------
+
+    def expr(self, expr):
+        kind = type(expr)
+        if kind is A.IntLit:
+            return repr(expr.value)
+        if kind is A.FloatLit:
+            return repr(expr.value)
+        if kind is A.VarRef:
+            return _mangle(expr.name)
+        if kind is A.BinOp:
+            return self.binop(expr)
+        if kind is A.UnaryOp:
+            operand = self.expr(expr.operand)
+            if expr.op == "-":
+                if expr.operand.ty is VEC3:
+                    return "_vneg(%s)" % operand
+                return "(-%s)" % operand
+            if expr.op == "!":
+                return "(0 if %s != 0 else 1)" % operand
+            raise EvalError("cannot compile unary %r" % expr.op)
+        if kind is A.Call:
+            args = ", ".join(self.expr(arg) for arg in expr.args)
+            if expr.name in REGISTRY:
+                self.used_builtins.add(expr.name)
+                return "_b_%s(%s)" % (expr.name, args)
+            self.used_functions.add(expr.name)
+            return "%s(%s)" % (_fn_name(expr.name), args)
+        if kind is A.Member:
+            index = "xyz".index(expr.field)
+            return "%s[%d]" % (self.expr(expr.base), index)
+        if kind is A.Cond:
+            return "(%s if %s != 0 else %s)" % (
+                self.expr(expr.then),
+                self.expr(expr.pred),
+                self.expr(expr.else_),
+            )
+        if kind is A.CacheRead:
+            return "__cache[%d]" % expr.slot
+        if kind is A.CacheStore:
+            return "_store(__cache, %d, %s)" % (expr.slot, self.expr(expr.value))
+        raise EvalError("cannot compile expression %r" % kind.__name__)
+
+    def binop(self, expr):
+        op = expr.op
+        left = self.expr(expr.left)
+        right = self.expr(expr.right)
+        lty = expr.left.ty
+        rty = expr.right.ty
+
+        if op == "&&":
+            return "(1 if %s != 0 and %s != 0 else 0)" % (left, right)
+        if op == "||":
+            return "(1 if %s != 0 or %s != 0 else 0)" % (left, right)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return "(1 if %s %s %s else 0)" % (left, op, right)
+
+        if lty is VEC3 or rty is VEC3:
+            if op == "+":
+                return "_vadd(%s, %s)" % (left, right)
+            if op == "-":
+                return "_vsub(%s, %s)" % (left, right)
+            if op == "*":
+                if lty is VEC3 and rty is not VEC3:
+                    return "_vscale(%s, %s)" % (left, right)
+                return "_vscale(%s, %s)" % (right, left)
+            if op == "/":
+                return "_vdiv(%s, %s)" % (left, right)
+            raise EvalError("cannot compile vec3 %s" % op)
+
+        if op == "/" and lty is INT and rty is INT:
+            return "_idiv(%s, %s)" % (left, right)
+        if op == "%":
+            return "_imod(%s, %s)" % (left, right)
+        return "(%s %s %s)" % (left, op, right)
+
+
+def _base_namespace():
+    namespace = {
+        "_vadd": V.vadd,
+        "_vsub": V.vsub,
+        "_vneg": V.vneg,
+        "_vscale": V.vscale,
+        "_vdiv": V.vdiv,
+        "_idiv": _int_div,
+        "_imod": _int_mod,
+        "_store": _store,
+    }
+    for name, builtin in REGISTRY.items():
+        namespace["_b_" + name] = builtin.fn
+    return namespace
+
+
+def compile_function(fn, program=None):
+    """Compile ``fn`` into a Python callable.
+
+    ``program`` supplies callee definitions for user-function calls (the
+    callees are compiled into the same namespace).  The returned callable
+    takes the kernel parameters positionally plus an optional ``__cache``
+    list.
+    """
+    emitter = _Emitter()
+    compiler = _Compiler(emitter)
+
+    pending = [fn]
+    compiled = set()
+    while pending:
+        current = pending.pop()
+        if current.name in compiled:
+            continue
+        compiled.add(current.name)
+        compiler.compile_function(current)
+        for callee in sorted(compiler.used_functions):
+            if callee in compiled:
+                continue
+            if program is None:
+                raise EvalError(
+                    "cannot compile call to %r without a program" % callee
+                )
+            pending.append(program.function(callee))
+
+    namespace = _base_namespace()
+    exec(compile(emitter.source(), "<kernel:%s>" % fn.name, "exec"), namespace)
+    return namespace[_fn_name(fn.name)]
+
+
+def compile_source(fn, program=None):
+    """Return the generated Python source text (debugging, docs, tests)."""
+    emitter = _Emitter()
+    compiler = _Compiler(emitter)
+    compiler.compile_function(fn)
+    if program is not None:
+        for callee in sorted(compiler.used_functions):
+            compiler.compile_function(program.function(callee))
+    return emitter.source()

@@ -1,0 +1,356 @@
+"""Tree-walking interpreter with deterministic abstract-cost metering.
+
+The paper measures wall-clock time of compiled C on a Pentium/100.  We
+cannot, so the interpreter doubles as the measurement substrate: every
+operation it executes is charged on the static cost scale of Section 4.3
+(``+`` = 1, ``/`` = 9, builtins per :mod:`repro.runtime.builtins`, cache
+reads/writes as memory references).  Because the charge depends only on
+the program and its inputs, speedup and overhead measurements are exactly
+reproducible — they measure the algorithm, not the host interpreter.
+
+The same evaluator runs original fragments, cache loaders (which see
+``CacheStore`` nodes and fill a :class:`CacheInstance`-like list), and
+cache readers (``CacheRead`` nodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang import ast_nodes as A
+from ..lang.errors import EvalError
+from ..lang.ops import (
+    CACHE_READ_COST,
+    CACHE_WRITE_COST,
+    MEMBER_COST,
+    VAR_REF_COST,
+    binop_cost,
+    unop_cost,
+)
+from . import values as V
+from .builtins import REGISTRY
+
+
+class CostMeter(object):
+    """Accumulates abstract execution cost."""
+
+    __slots__ = ("total",)
+
+    def __init__(self):
+        self.total = 0
+
+    def charge(self, amount):
+        self.total += amount
+
+    def reset(self):
+        self.total = 0
+
+
+class _NullMeter(object):
+    __slots__ = ()
+
+    def charge(self, amount):
+        pass
+
+
+_NULL_METER = _NullMeter()
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+_UNINITIALIZED = object()
+
+
+def _int_div(a, b):
+    """C-style integer division (truncation toward zero)."""
+    if b == 0:
+        raise EvalError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a, b):
+    """C-style remainder: sign follows the dividend."""
+    if b == 0:
+        raise EvalError("integer modulo by zero")
+    return a - _int_div(a, b) * b
+
+
+class Interpreter(object):
+    """Evaluates kernel-language functions.
+
+    Parameters
+    ----------
+    program:
+        Optional :class:`Program` supplying callee definitions for user
+        function calls.  Loaders/readers produced by the specializer are
+        self-contained after inlining and may be run without one.
+    max_steps:
+        Safety valve for property-based tests: the interpreter aborts with
+        :class:`EvalError` after this many node evaluations, so randomly
+        generated loops cannot hang the test suite.
+    """
+
+    def __init__(self, program=None, max_steps=50_000_000):
+        self.program = program
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, fn, args, cache=None, meter=None):
+        """Execute ``fn`` (a FunctionDef or a name in the program).
+
+        ``args`` is a sequence of values matching the parameter list.
+        ``cache`` is the mutable slot list used by ``CacheStore`` /
+        ``CacheRead`` nodes.  Returns the function's result.
+        """
+        if isinstance(fn, str):
+            if self.program is None:
+                raise EvalError("no program loaded to resolve %r" % fn)
+            try:
+                fn = self.program.function(fn)
+            except KeyError:
+                raise EvalError("no function named %r" % fn)
+        self._steps = 0
+        return self._call_function(fn, list(args), cache, meter or _NULL_METER)
+
+    def run_metered(self, fn, args, cache=None):
+        """Execute and return ``(result, cost)``."""
+        meter = CostMeter()
+        result = self.run(fn, args, cache=cache, meter=meter)
+        return result, meter.total
+
+    def cost_of(self, fn, args, cache=None):
+        """Abstract execution cost of one run."""
+        return self.run_metered(fn, args, cache=cache)[1]
+
+    # -- machinery -----------------------------------------------------------
+
+    def _tick(self):
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise EvalError("interpreter step budget exceeded (runaway loop?)")
+
+    def _call_function(self, fn, args, cache, meter):
+        if len(args) != len(fn.params):
+            raise EvalError(
+                "call to %r with %d args, expected %d"
+                % (fn.name, len(args), len(fn.params))
+            )
+        env = {}
+        for param, value in zip(fn.params, args):
+            env[param.name] = value
+        try:
+            self._exec_block(fn.body, env, cache, meter)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    # -- statements ------------------------------------------------------------
+
+    def _exec_block(self, block, env, cache, meter):
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, env, cache, meter)
+
+    def _exec_stmt(self, stmt, env, cache, meter):
+        self._tick()
+        kind = type(stmt)
+        if kind is A.Assign:
+            env[stmt.name] = self._eval(stmt.expr, env, cache, meter)
+            meter.charge(VAR_REF_COST)
+        elif kind is A.VarDecl:
+            if stmt.init is not None:
+                env[stmt.name] = self._eval(stmt.init, env, cache, meter)
+                meter.charge(VAR_REF_COST)
+            else:
+                env[stmt.name] = _UNINITIALIZED
+        elif kind is A.If:
+            pred = self._eval(stmt.pred, env, cache, meter)
+            if pred != 0:
+                self._exec_block(stmt.then, env, cache, meter)
+            elif stmt.else_ is not None:
+                self._exec_block(stmt.else_, env, cache, meter)
+        elif kind is A.While:
+            while self._eval(stmt.pred, env, cache, meter) != 0:
+                self._tick()
+                self._exec_block(stmt.body, env, cache, meter)
+        elif kind is A.Return:
+            value = None
+            if stmt.expr is not None:
+                value = self._eval(stmt.expr, env, cache, meter)
+            raise _ReturnSignal(value)
+        elif kind is A.Block:
+            self._exec_block(stmt, env, cache, meter)
+        elif kind is A.ExprStmt:
+            self._eval(stmt.expr, env, cache, meter)
+        else:
+            raise EvalError("cannot execute %r" % kind.__name__)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _eval(self, expr, env, cache, meter):
+        self._tick()
+        kind = type(expr)
+
+        if kind is A.IntLit or kind is A.FloatLit:
+            return expr.value
+
+        if kind is A.VarRef:
+            meter.charge(VAR_REF_COST)
+            try:
+                value = env[expr.name]
+            except KeyError:
+                raise EvalError("reference to unbound variable %r" % expr.name)
+            if value is _UNINITIALIZED:
+                raise EvalError("use of uninitialized variable %r" % expr.name)
+            return value
+
+        if kind is A.BinOp:
+            return self._eval_binop(expr, env, cache, meter)
+
+        if kind is A.UnaryOp:
+            operand = self._eval(expr.operand, env, cache, meter)
+            meter.charge(unop_cost(expr.op, V.is_vec3(operand)))
+            if expr.op == "-":
+                return V.vneg(operand) if V.is_vec3(operand) else -operand
+            if expr.op == "!":
+                return 0 if operand != 0 else 1
+            raise EvalError("unknown unary operator %r" % expr.op)
+
+        if kind is A.Call:
+            return self._eval_call(expr, env, cache, meter)
+
+        if kind is A.Member:
+            base = self._eval(expr.base, env, cache, meter)
+            meter.charge(MEMBER_COST)
+            if not V.is_vec3(base):
+                raise EvalError("component selection on non-vec3 value")
+            return base["xyz".index(expr.field)]
+
+        if kind is A.Cond:
+            pred = self._eval(expr.pred, env, cache, meter)
+            meter.charge(1)
+            branch = expr.then if pred != 0 else expr.else_
+            return self._eval(branch, env, cache, meter)
+
+        if kind is A.CacheRead:
+            meter.charge(CACHE_READ_COST)
+            if cache is None:
+                raise EvalError("cache read with no cache supplied")
+            value = cache[expr.slot]
+            if value is None:
+                raise EvalError("read of unfilled cache slot %d" % expr.slot)
+            return value
+
+        if kind is A.CacheStore:
+            value = self._eval(expr.value, env, cache, meter)
+            meter.charge(CACHE_WRITE_COST)
+            if cache is None:
+                raise EvalError("cache store with no cache supplied")
+            cache[expr.slot] = value
+            return value
+
+        raise EvalError("cannot evaluate %r" % kind.__name__)
+
+    def _eval_binop(self, expr, env, cache, meter):
+        op = expr.op
+
+        # Short-circuit logicals evaluate the right operand lazily.
+        if op == "&&":
+            left = self._eval(expr.left, env, cache, meter)
+            meter.charge(binop_cost(op))
+            if left == 0:
+                return 0
+            return 1 if self._eval(expr.right, env, cache, meter) != 0 else 0
+        if op == "||":
+            left = self._eval(expr.left, env, cache, meter)
+            meter.charge(binop_cost(op))
+            if left != 0:
+                return 1
+            return 1 if self._eval(expr.right, env, cache, meter) != 0 else 0
+
+        left = self._eval(expr.left, env, cache, meter)
+        right = self._eval(expr.right, env, cache, meter)
+        vector = V.is_vec3(left) or V.is_vec3(right)
+        meter.charge(binop_cost(op, vector))
+
+        if vector:
+            return self._vector_binop(op, left, right)
+
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                return _int_div(left, right)
+            if right == 0:
+                raise EvalError("float division by zero")
+            return left / right
+        if op == "%":
+            return _int_mod(left, right)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        raise EvalError("unknown operator %r" % op)
+
+    @staticmethod
+    def _vector_binop(op, left, right):
+        lv = V.is_vec3(left)
+        rv = V.is_vec3(right)
+        if op == "+" and lv and rv:
+            return V.vadd(left, right)
+        if op == "-" and lv and rv:
+            return V.vsub(left, right)
+        if op == "*" and lv and not rv:
+            return V.vscale(left, right)
+        if op == "*" and rv and not lv:
+            return V.vscale(right, left)
+        if op == "/" and lv and not rv:
+            return V.vdiv(left, right)
+        raise EvalError("invalid vec3 arithmetic: %s" % op)
+
+    def _eval_call(self, expr, env, cache, meter):
+        args = [self._eval(arg, env, cache, meter) for arg in expr.args]
+        builtin = REGISTRY.get(expr.name)
+        if builtin is not None:
+            meter.charge(builtin.cost)
+            if len(args) != builtin.arity:
+                raise EvalError(
+                    "builtin %r called with %d args, expected %d"
+                    % (expr.name, len(args), builtin.arity)
+                )
+            try:
+                result = builtin.fn(*args)
+            except EvalError:
+                raise
+            except (ValueError, OverflowError, ZeroDivisionError) as exc:
+                raise EvalError("builtin %r failed: %s" % (expr.name, exc))
+            return result
+        if self.program is not None:
+            try:
+                callee = self.program.function(expr.name)
+            except KeyError:
+                raise EvalError("call to unknown function %r" % expr.name)
+            return self._call_function(callee, args, cache, meter)
+        raise EvalError("call to unknown function %r" % expr.name)
+
+
+def is_nan(value):
+    """True when a scalar result is NaN (used by harness sanity checks)."""
+    return isinstance(value, float) and math.isnan(value)

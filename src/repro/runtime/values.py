@@ -1,0 +1,228 @@
+"""Runtime value representation and vec3 arithmetic helpers.
+
+Kernel-language values map onto Python values as follows:
+
+* ``int``   → Python ``int``
+* ``float`` → Python ``float``
+* ``vec3``  → a 3-tuple of floats
+
+Tuples keep the interpreter and the compiled code allocation-cheap and make
+values hashable (handy in tests).  All vec3 helpers are pure functions;
+both the interpreter and the AST→Python compiler call them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.errors import EvalError
+
+
+def vec3(x, y, z):
+    """Construct a vec3 value."""
+    return (float(x), float(y), float(z))
+
+
+def is_vec3(value):
+    return isinstance(value, tuple) and len(value) == 3
+
+
+def vadd(a, b):
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def vsub(a, b):
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def vneg(a):
+    return (-a[0], -a[1], -a[2])
+
+
+def vscale(a, s):
+    return (a[0] * s, a[1] * s, a[2] * s)
+
+
+def vdiv(a, s):
+    if s == 0:
+        raise EvalError("vec3 division by zero")
+    return (a[0] / s, a[1] / s, a[2] / s)
+
+
+def vmul(a, b):
+    """Component-wise product (color modulation)."""
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+def vdot(a, b):
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def vcross(a, b):
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def vlength(a):
+    return math.sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2])
+
+
+def vnormalize(a):
+    n = vlength(a)
+    if n == 0.0:
+        return (0.0, 0.0, 0.0)
+    return (a[0] / n, a[1] / n, a[2] / n)
+
+
+def vmix(a, b, t):
+    """Linear interpolation between two vectors."""
+    s = 1.0 - t
+    return (s * a[0] + t * b[0], s * a[1] + t * b[1], s * a[2] + t * b[2])
+
+
+def vreflect(i, n):
+    """Reflect incident vector ``i`` about unit normal ``n``."""
+    k = 2.0 * vdot(i, n)
+    return (i[0] - k * n[0], i[1] - k * n[1], i[2] - k * n[2])
+
+
+def vfaceforward(n, i):
+    """Flip ``n`` so it opposes the incident direction ``i``."""
+    return vneg(n) if vdot(n, i) > 0.0 else n
+
+
+def vclamp01(a):
+    """Clamp each component to [0, 1] (final color conditioning)."""
+    return (
+        min(1.0, max(0.0, a[0])),
+        min(1.0, max(0.0, a[1])),
+        min(1.0, max(0.0, a[2])),
+    )
+
+
+def rotate_y(v, angle):
+    """Rotate ``v`` about the Y axis (stand-in for the matrix library)."""
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (c * v[0] + s * v[2], v[1], -s * v[0] + c * v[2])
+
+
+def rotate_z(v, angle):
+    """Rotate ``v`` about the Z axis."""
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (c * v[0] - s * v[1], s * v[0] + c * v[1], v[2])
+
+
+def rotate_x(v, angle):
+    """Rotate ``v`` about the X axis."""
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (v[0], c * v[1] - s * v[2], s * v[1] + c * v[2])
+
+
+# ---------------------------------------------------------------------------
+# mat3: 3x3 matrices as row-major 9-tuples (the "matrix operations" side
+# of the paper's shader math library)
+# ---------------------------------------------------------------------------
+
+
+def mat3(a, b, c, d, e, f, g, h, i):
+    """Construct a row-major 3x3 matrix."""
+    return (
+        float(a), float(b), float(c),
+        float(d), float(e), float(f),
+        float(g), float(h), float(i),
+    )
+
+
+def is_mat3(value):
+    return isinstance(value, tuple) and len(value) == 9
+
+
+MAT3_IDENTITY = (1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0)
+
+
+def mat_identity():
+    return MAT3_IDENTITY
+
+
+def mat_rows(r0, r1, r2):
+    """Assemble a matrix from three row vectors."""
+    return (r0[0], r0[1], r0[2], r1[0], r1[1], r1[2], r2[0], r2[1], r2[2])
+
+
+def mat_vec(m, v):
+    """Matrix-vector product (column vector convention)."""
+    return (
+        m[0] * v[0] + m[1] * v[1] + m[2] * v[2],
+        m[3] * v[0] + m[4] * v[1] + m[5] * v[2],
+        m[6] * v[0] + m[7] * v[1] + m[8] * v[2],
+    )
+
+
+def mat_mul(a, b):
+    """Matrix-matrix product."""
+    return (
+        a[0] * b[0] + a[1] * b[3] + a[2] * b[6],
+        a[0] * b[1] + a[1] * b[4] + a[2] * b[7],
+        a[0] * b[2] + a[1] * b[5] + a[2] * b[8],
+        a[3] * b[0] + a[4] * b[3] + a[5] * b[6],
+        a[3] * b[1] + a[4] * b[4] + a[5] * b[7],
+        a[3] * b[2] + a[4] * b[5] + a[5] * b[8],
+        a[6] * b[0] + a[7] * b[3] + a[8] * b[6],
+        a[6] * b[1] + a[7] * b[4] + a[8] * b[7],
+        a[6] * b[2] + a[7] * b[5] + a[8] * b[8],
+    )
+
+
+def mat_transpose(m):
+    return (m[0], m[3], m[6], m[1], m[4], m[7], m[2], m[5], m[8])
+
+
+def mat_det(m):
+    return (
+        m[0] * (m[4] * m[8] - m[5] * m[7])
+        - m[1] * (m[3] * m[8] - m[5] * m[6])
+        + m[2] * (m[3] * m[7] - m[4] * m[6])
+    )
+
+
+def mat_scale(m, s):
+    return tuple(x * s for x in m)
+
+
+def rotation_x(angle):
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (1.0, 0.0, 0.0, 0.0, c, -s, 0.0, s, c)
+
+
+def rotation_y(angle):
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (c, 0.0, s, 0.0, 1.0, 0.0, -s, 0.0, c)
+
+
+def rotation_z(angle):
+    c = math.cos(angle)
+    s = math.sin(angle)
+    return (c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0)
+
+
+def values_close(a, b, tol=1e-9):
+    """Structural approximate equality for kernel values (tests)."""
+    tuple_a = isinstance(a, tuple)
+    tuple_b = isinstance(b, tuple)
+    if tuple_a and tuple_b:
+        if len(a) != len(b):
+            return False
+        return all(
+            abs(x - y) <= tol * (1.0 + abs(x) + abs(y)) for x, y in zip(a, b)
+        )
+    if tuple_a or tuple_b:
+        return False
+    return abs(a - b) <= tol * (1.0 + abs(a) + abs(b))

@@ -1,0 +1,1 @@
+"""Shading workload substrate: noise, math library, shaders, renderer."""

@@ -1,0 +1,168 @@
+"""The shader support library, written in the kernel language.
+
+The paper's shaders "invoke a small mathematical library that supports
+vector and matrix operations as well as noise functions" (Section 5).
+Vector primitives and noise are builtins (:mod:`repro.runtime.builtins`);
+this module supplies the mid-level shading idioms — lighting terms,
+pattern helpers, color ramps — as kernel-language functions that the
+specializer's inliner splices into each shader before analysis.
+
+Every function obeys the inliner's discipline: ``return`` appears only as
+the final statement.
+"""
+
+LIBRARY_SOURCE = """
+/* ---- scalar helpers ---------------------------------------------------- */
+
+float sqr(float x) {
+    return x * x;
+}
+
+float lerp3(float a, float b, float c, float t) {
+    /* Piecewise-linear ramp through three knots at t = 0, 0.5, 1. */
+    float low = mix(a, b, clamp(t * 2.0, 0.0, 1.0));
+    float high = mix(b, c, clamp(t * 2.0 - 1.0, 0.0, 1.0));
+    float result = 0.0;
+    if (t < 0.5) {
+        result = low;
+    } else {
+        result = high;
+    }
+    return result;
+}
+
+float pulse(float lo, float hi, float x) {
+    /* 1 inside [lo, hi), 0 outside. */
+    return step(lo, x) - step(hi, x);
+}
+
+float bias(float b, float x) {
+    /* Perlin bias gamma-like curve. */
+    return pow(x, log(clamp(b, 0.001, 0.999)) / log(0.5));
+}
+
+float gain(float g, float x) {
+    float gc = clamp(g, 0.001, 0.999);
+    float result = 0.0;
+    if (x < 0.5) {
+        result = bias(1.0 - gc, 2.0 * x) / 2.0;
+    } else {
+        result = 1.0 - bias(1.0 - gc, 2.0 - 2.0 * x) / 2.0;
+    }
+    return result;
+}
+
+float tile_coord(float x, float period) {
+    /* Position within a repeating tile, in [0, 1). */
+    return frac(x / fmax(period, 0.0001));
+}
+
+float tile_index(float x, float period) {
+    /* Which tile a coordinate falls into. */
+    return floor(x / fmax(period, 0.0001));
+}
+
+/* ---- lighting ----------------------------------------------------------- */
+
+vec3 point_light_dir(vec3 P, float lightx, float lighty, float lightz) {
+    /* Unit vector from the surface point toward the light. */
+    return normalize(vec3(lightx, lighty, lightz) - P);
+}
+
+float diffuse_term(vec3 N, vec3 L) {
+    /* Lambertian cosine term, clamped to the upper hemisphere. */
+    return fmax(dot(N, L), 0.0);
+}
+
+float specular_term(vec3 N, vec3 L, vec3 I, float roughness) {
+    /* Blinn-Phong specular lobe; roughness is the apparent highlight
+       width, as in the RenderMan specular() convention. */
+    vec3 H = normalize(L - I);
+    float nh = fmax(dot(N, H), 0.0);
+    return pow(nh, 1.0 / clamp(roughness, 0.005, 1.0));
+}
+
+float rim_term(vec3 N, vec3 I, float sharpness) {
+    /* Silhouette emphasis: strong where the surface turns away. */
+    float facing = fmax(-dot(N, I), 0.0);
+    return pow(1.0 - facing, fmax(sharpness, 0.0001));
+}
+
+vec3 shade_plastic(vec3 base, vec3 speccolor, vec3 N, vec3 L, vec3 I,
+                   float ka, float kd, float ks, float roughness) {
+    /* The standard ambient + diffuse + specular combination. */
+    float d = diffuse_term(N, L);
+    float s = specular_term(N, L, I, roughness);
+    return clampcolor(base * (ka + kd * d) + speccolor * (ks * s));
+}
+
+vec3 shade_matte(vec3 base, vec3 N, vec3 L, float ka, float kd) {
+    float d = diffuse_term(N, L);
+    return clampcolor(base * (ka + kd * d));
+}
+
+/* ---- procedural patterns ------------------------------------------------- */
+
+float fractal_sum(vec3 q, float octaves) {
+    /* Explicit octave loop over signed noise (a kernel-language fbm):
+       exercises loop handling in the analyses, unlike the fbm builtin. */
+    float total = 0.0;
+    float amp = 1.0;
+    float norm = 0.0;
+    vec3 p = q;
+    int i = 0;
+    int n = 1;
+    if (octaves > 1.5) {
+        n = 2;
+    }
+    if (octaves > 2.5) {
+        n = 3;
+    }
+    if (octaves > 3.5) {
+        n = 4;
+    }
+    while (i < n) {
+        total = total + amp * snoise(p);
+        norm = norm + amp;
+        amp = amp * 0.5;
+        p = p * 2.0;
+        i = i + 1;
+    }
+    return total / norm;
+}
+
+float marble_vein(vec3 q, float veinfreq, float sharpness) {
+    /* Classic marble: a sine warped by turbulence. */
+    float t = turbulence(q, 4.0);
+    float s = sin(veinfreq * q.x + t * 8.0);
+    return pow(0.5 + 0.5 * s, fmax(sharpness, 0.0001));
+}
+
+float wood_rings(vec3 q, float ringscale, float wobble) {
+    /* Distance from the trunk axis, wobbled by noise, banded. */
+    float r = sqrt(q.x * q.x + q.z * q.z);
+    float wob = wobble * snoise(q);
+    return frac((r + wob) * ringscale);
+}
+
+float checker2(float s, float t, float freq) {
+    /* 0/1 checkerboard over (s, t). */
+    float sc = floor(s * freq);
+    float tc = floor(t * freq);
+    return fmod(fabs(sc + tc), 2.0);
+}
+
+/* ---- color utilities -------------------------------------------------------- */
+
+vec3 color_ramp(vec3 a, vec3 b, float t) {
+    return vmix(a, b, clamp(t, 0.0, 1.0));
+}
+
+float luminance(vec3 c) {
+    return 0.299 * c.x + 0.587 * c.y + 0.114 * c.z;
+}
+
+vec3 scale_brightness(vec3 c, float k) {
+    return clampcolor(c * k);
+}
+"""

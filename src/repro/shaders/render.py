@@ -1,0 +1,276 @@
+"""Interactive-renderer substrate (the paper's Section 5 setting).
+
+The paper's renderer specializes a shader on every input except the one
+control parameter the user is currently dragging, builds one cache per
+pixel (up to ~10^6 simultaneously live caches), and re-runs only the
+reader as the slider moves.  ``RenderSession`` reproduces that loop:
+
+* ``render_reference``  — run the plain shader over the image,
+* ``begin_edit(param)`` — specialize on the partition where ``param``
+  varies, then run the loader once per pixel to build the cache array,
+* ``adjust(value)``     — run the reader per pixel with the new value.
+
+All runs are metered, so a session reports exactly the per-pixel
+costs the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from ..core.specializer import DataSpecializer
+from ..lang.errors import SpecializationError
+from ..lang.parser import parse_program
+from ..runtime import values as V
+from .scenes import scene_for
+from .sources import SHADERS, shader_program_source
+
+
+class Image(object):
+    """A rendered frame: colors in row-major order plus the cost to
+    produce them."""
+
+    def __init__(self, width, height, colors, total_cost):
+        self.width = width
+        self.height = height
+        self.colors = colors
+        self.total_cost = total_cost
+
+    @property
+    def cost_per_pixel(self):
+        return self.total_cost / float(len(self.colors))
+
+    def to_ppm(self):
+        """Encode as a plain-text PPM (examples write these to disk)."""
+        lines = ["P3", "%d %d" % (self.width, self.height), "255"]
+        for color in self.colors:
+            clamped = V.vclamp01(color)
+            lines.append(
+                "%d %d %d"
+                % tuple(int(round(255 * channel)) for channel in clamped)
+            )
+        return "\n".join(lines) + "\n"
+
+
+class EditSession(object):
+    """One parameter-drag session: a specialization plus per-pixel caches.
+
+    With a dispatch table (Section 7.2), the loader additionally records
+    each pixel's dispatch code and ``adjust`` runs the per-pixel
+    *selected* reader variant — different pixels may take different
+    variants (e.g. the two tiles of a checkerboard)."""
+
+    def __init__(self, render_session, specialization, param, table=None):
+        self.render_session = render_session
+        self.specialization = specialization
+        self.param = param
+        self.table = table
+        self.caches = None
+        self.load_cost = None
+        self._interp = None
+        if table is not None:
+            from ..runtime.interp import Interpreter
+
+            self._interp = Interpreter()
+
+    @property
+    def cache_bytes_per_pixel(self):
+        if self.table is not None:
+            return self.table.layout.size_bytes
+        return self.specialization.cache_size_bytes
+
+    def load(self, controls):
+        """Run the loader for every pixel; returns the resulting Image."""
+        spec = self.specialization
+        session = self.render_session
+        colors = []
+        self.caches = []
+        total = 0
+        for pixel in session.scene:
+            args = session.args_for(pixel, controls)
+            if self.table is not None:
+                from ..runtime.interp import CostMeter
+
+                cache = self.table.layout.new_instance()
+                meter = CostMeter()
+                result = self._interp.run(
+                    self.table.loader, args, cache=cache, meter=meter
+                )
+                cost = meter.total
+            else:
+                result, cache, cost = spec.run_loader(args)
+            colors.append(result)
+            self.caches.append(cache)
+            total += cost
+        self.load_cost = total
+        return Image(session.scene.width, session.scene.height, colors, total)
+
+    def adjust(self, controls):
+        """Run the reader for every pixel with updated controls."""
+        if self.caches is None:
+            raise SpecializationError("adjust() before load()")
+        spec = self.specialization
+        session = self.render_session
+        colors = []
+        total = 0
+        for pixel, cache in zip(session.scene, self.caches):
+            args = session.args_for(pixel, controls)
+            if self.table is not None:
+                variant = self.table.select(cache)
+                result, cost = self._interp.run_metered(
+                    variant, args, cache=cache
+                )
+            else:
+                result, cost = spec.run_reader(cache, args)
+            colors.append(result)
+            total += cost
+        return Image(session.scene.width, session.scene.height, colors, total)
+
+
+class RenderSession(object):
+    """Drives one shader over one scene, with or without specialization."""
+
+    def __init__(self, shader_index, scene=None, specializer_options=None,
+                 width=16, height=16):
+        self.spec_info = SHADERS[shader_index]
+        self.scene = scene if scene is not None else scene_for(
+            shader_index, width, height
+        )
+        self.program = parse_program(shader_program_source(self.spec_info))
+        self.specializer = DataSpecializer(self.program, specializer_options)
+        self.controls = self.spec_info.default_controls()
+
+    # -- argument plumbing ---------------------------------------------------
+
+    def args_for(self, pixel, controls=None):
+        """Full positional argument list for one pixel."""
+        controls = controls if controls is not None else self.controls
+        args = pixel.geometry_args()
+        for name in self.spec_info.control_params:
+            args.append(controls[name])
+        return args
+
+    def controls_with(self, **updates):
+        merged = dict(self.controls)
+        merged.update(updates)
+        return merged
+
+    # -- rendering -------------------------------------------------------------
+
+    def render_reference(self, controls=None, specialization=None):
+        """Render with the unspecialized shader (metered)."""
+        spec = specialization
+        if spec is None:
+            spec = self._any_specialization()
+        colors = []
+        total = 0
+        for pixel in self.scene:
+            result, cost = spec.run_original(self.args_for(pixel, controls))
+            colors.append(result)
+            total += cost
+        return Image(self.scene.width, self.scene.height, colors, total)
+
+    def _any_specialization(self):
+        # The "original" stored on any specialization is the inlined
+        # fragment; the partition does not affect it.
+        return self.specialize(self.spec_info.control_params[0])
+
+    def specialize(self, param, **overrides):
+        """Specialize holding everything but ``param`` fixed."""
+        if param not in self.spec_info.control_params:
+            raise SpecializationError(
+                "%r is not a control parameter of shader %r"
+                % (param, self.spec_info.name)
+            )
+        return self.specializer.specialize(
+            self.spec_info.name, {param}, **overrides
+        )
+
+    def begin_edit(self, param, dispatch=False, **overrides):
+        """Start an interactive drag of ``param``.
+
+        ``dispatch=True`` additionally builds the Section 7.2 dispatch
+        table and renders through per-pixel selected reader variants
+        (falls back to the plain reader when the shader has no dispatch
+        candidates)."""
+        specialization = self.specialize(param, **overrides)
+        table = None
+        if dispatch:
+            from ..transform.dispatch import build_dispatch_table
+
+            table = build_dispatch_table(specialization)
+        return EditSession(self, specialization, param, table=table)
+
+
+class ShaderInstallation(object):
+    """The paper's install-time workflow (Section 5).
+
+    "A typical shader has on the order of 10 control parameters,
+    requiring 10 loader/reader pairs.  We construct, compile, and link
+    this code statically at the time a shader is installed, an operation
+    that takes only a few seconds per input partition."
+
+    Installing a shader builds the specialization for *every* control
+    parameter up front (and optionally compiles the loader/reader pairs
+    to Python callables); interactive edits then start instantly.
+    """
+
+    def __init__(self, shader_index, scene=None, specializer_options=None,
+                 width=16, height=16, compile_code=True):
+        self.session = RenderSession(
+            shader_index, scene=scene,
+            specializer_options=specializer_options,
+            width=width, height=height,
+        )
+        self.specializations = {}
+        self.stats = {}
+        for param in self.session.spec_info.control_params:
+            spec = self.session.specialize(param)
+            if compile_code:
+                # Force compilation now ("compile and link ... at the
+                # time a shader is installed").
+                spec.compiled_loader
+                spec.compiled_reader
+            self.specializations[param] = spec
+            self.stats[param] = {
+                "slots": len(spec.layout),
+                "cache_bytes": spec.cache_size_bytes,
+                "reader_nodes": sum(1 for _ in _walk(spec.reader)),
+            }
+
+    @property
+    def spec_info(self):
+        return self.session.spec_info
+
+    def partitions(self):
+        return list(self.specializations)
+
+    def edit(self, param):
+        """Start a drag using the pre-built specialization."""
+        if param not in self.specializations:
+            raise SpecializationError(
+                "%r is not a control parameter of shader %r"
+                % (param, self.spec_info.name)
+            )
+        return EditSession(self.session, self.specializations[param], param)
+
+    def describe(self):
+        lines = [
+            "installed shader %d (%s): %d loader/reader pairs"
+            % (
+                self.spec_info.index,
+                self.spec_info.name,
+                len(self.specializations),
+            )
+        ]
+        for param in self.spec_info.control_params:
+            stat = self.stats[param]
+            lines.append(
+                "  %-12s %2d slots, %3d bytes/pixel, reader %4d nodes"
+                % (param, stat["slots"], stat["cache_bytes"], stat["reader_nodes"])
+            )
+        return "\n".join(lines)
+
+
+def _walk(node):
+    from ..lang.ast_nodes import walk
+
+    return walk(node)

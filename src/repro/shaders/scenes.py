@@ -1,0 +1,123 @@
+"""Synthetic per-pixel shading inputs.
+
+The paper shades real images from the GKR95 renderer; we synthesize the
+per-pixel quantities a scan-line renderer would hand a shader — texture
+coordinates, surface position, unit normal, unit incident (eye-to-surface)
+vector — deterministically from the pixel grid, for a sphere-patch scene
+(curved normals exercise the lighting math) and a flat wall scene (for the
+tiling shaders).  Determinism matters: every speedup and cache-size figure
+in the benches is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..runtime import values as V
+
+
+class PixelInput(object):
+    """Geometry handed to a shader for one pixel (fixed per pixel)."""
+
+    __slots__ = ("x", "y", "u", "v", "P", "N", "I")
+
+    def __init__(self, x, y, u, v, P, N, I):
+        self.x = x
+        self.y = y
+        self.u = u
+        self.v = v
+        self.P = P
+        self.N = N
+        self.I = I
+
+    def geometry_args(self):
+        """The (u, v, P, N, I) prefix of a shader argument list."""
+        return [self.u, self.v, self.P, self.N, self.I]
+
+
+class Scene(object):
+    """A W×H grid of pixel inputs."""
+
+    def __init__(self, width, height, pixels, name):
+        self.width = width
+        self.height = height
+        self.pixels = pixels
+        self.name = name
+
+    def __len__(self):
+        return len(self.pixels)
+
+    def __iter__(self):
+        return iter(self.pixels)
+
+    def sample(self, count):
+        """A deterministic spread of ``count`` pixels across the image."""
+        if count >= len(self.pixels):
+            return list(self.pixels)
+        step = len(self.pixels) / float(count)
+        return [self.pixels[int(i * step)] for i in range(count)]
+
+
+_EYE = (0.0, 0.0, -5.0)
+
+
+def sphere_scene(width=16, height=16, radius=1.5, center=(0.0, 0.0, 1.0)):
+    """A sphere patch facing the camera.
+
+    u, v parameterize the visible hemisphere; P lies on the sphere, N is
+    the outward unit normal, I the unit vector from the eye to P.
+    """
+    pixels = []
+    for y in range(height):
+        for x in range(width):
+            u = (x + 0.5) / width
+            v = (y + 0.5) / height
+            # Visible hemisphere: longitude/latitude patch.
+            theta = (v - 0.5) * math.pi * 0.8  # latitude
+            phi = (u - 0.5) * math.pi * 0.8  # longitude
+            nx = math.cos(theta) * math.sin(phi)
+            ny = math.sin(theta)
+            nz = -math.cos(theta) * math.cos(phi)
+            N = (nx, ny, nz)
+            P = (
+                center[0] + radius * nx,
+                center[1] + radius * ny,
+                center[2] + radius * nz,
+            )
+            I = V.vnormalize(V.vsub(P, _EYE))
+            pixels.append(PixelInput(x, y, u, v, P, N, I))
+    return Scene(width, height, pixels, "sphere%dx%d" % (width, height))
+
+
+def wall_scene(width=16, height=16, extent=2.0, depth=2.0):
+    """A flat wall facing the camera (for checker/brick/ramp shaders)."""
+    pixels = []
+    N = (0.0, 0.0, -1.0)
+    for y in range(height):
+        for x in range(width):
+            u = (x + 0.5) / width
+            v = (y + 0.5) / height
+            P = ((u - 0.5) * extent, (v - 0.5) * extent, depth)
+            I = V.vnormalize(V.vsub(P, _EYE))
+            pixels.append(PixelInput(x, y, u, v, P, N, I))
+    return Scene(width, height, pixels, "wall%dx%d" % (width, height))
+
+
+#: Which scene each shader is most naturally shown on.
+SCENE_FOR_SHADER = {
+    1: sphere_scene,
+    2: wall_scene,
+    3: sphere_scene,
+    4: sphere_scene,
+    5: wall_scene,
+    6: sphere_scene,
+    7: sphere_scene,
+    8: wall_scene,
+    9: wall_scene,
+    10: sphere_scene,
+}
+
+
+def scene_for(shader_index, width=16, height=16):
+    """Build the default scene for a shader at a given resolution."""
+    return SCENE_FOR_SHADER[shader_index](width, height)

@@ -1,0 +1,471 @@
+"""The ten shading procedures of the evaluation (Section 5).
+
+The paper's shaders come from the GKR95 interactive renderer and from
+RenderMan-style examples [Ups89, Smi90]; they are unavailable, so these
+are from-scratch equivalents in the same styles and complexity range
+(50–150 lines, "a variety of styles and complexity levels"):
+
+1.  ``matte``   — simple diffuse surface (paper's "simpler, non-iterative").
+2.  ``checker`` — classic two-color checkerboard.
+3.  ``marble``  — turbulence-driven veined stone (expensive fractal noise).
+4.  ``wood``    — noise-wobbled growth rings plus grain (fractal noise).
+5.  ``clouds``  — fractal cloud layer over a sky gradient (fractal noise).
+6.  ``plastic`` — ambient/diffuse/specular standard surface.
+7.  ``metal``   — brushed metal with rim and environment terms.
+8.  ``ramp``    — screen-space color ramp with bias/gain shaping.
+9.  ``brick``   — staggered bricks with mortar joints.
+10. ``rings``   — the Section 5.4 shader: ring-banded surface with 14
+    control parameters (``ringscale``, ``roughness``, ``ks``/``kd``,
+    ``ambient``, ``lightx``/``y``/``z``, colors, …) used for the
+    cache-limiting study (Figures 9–10).
+
+Every shader has the geometry inputs ``(u, v, P, N, I)`` — texture
+coordinates, surface point, unit normal, unit incident vector — which are
+fixed per pixel, followed by its user-facing control parameters.  As in
+the paper's interactive setting, a specialization varies exactly one
+control parameter and holds everything else (including the per-pixel
+geometry) fixed: one input partition per control parameter, 131 in all.
+"""
+
+from __future__ import annotations
+
+from .library import LIBRARY_SOURCE
+
+#: Geometry inputs common to all shaders, fixed per pixel.
+GEOMETRY_PARAMS = ("u", "v", "P", "N", "I")
+
+
+class ShaderSpec(object):
+    """Metadata for one shading procedure."""
+
+    def __init__(self, index, name, control_params, defaults, source, blurb):
+        self.index = index
+        self.name = name
+        self.control_params = tuple(control_params)
+        self.defaults = dict(defaults)
+        self.source = source
+        self.blurb = blurb
+        missing = set(control_params) - set(defaults)
+        if missing:
+            raise ValueError("missing defaults for %s: %s" % (name, missing))
+
+    @property
+    def param_names(self):
+        return GEOMETRY_PARAMS + self.control_params
+
+    def default_controls(self):
+        return dict(self.defaults)
+
+    def __repr__(self):
+        return "ShaderSpec(%d, %s, %d controls)" % (
+            self.index,
+            self.name,
+            len(self.control_params),
+        )
+
+
+_SHADER_1 = ShaderSpec(
+    1,
+    "matte",
+    ["ka", "kd", "lightx", "lighty", "lightz", "red", "green", "blue",
+     "brightness"],
+    {
+        "ka": 0.2, "kd": 0.8, "lightx": 4.0, "lighty": 6.0, "lightz": -3.0,
+        "red": 0.8, "green": 0.45, "blue": 0.3, "brightness": 1.0,
+    },
+    """
+vec3 matte(float u, float v, vec3 P, vec3 N, vec3 I,
+           float ka, float kd, float lightx, float lighty, float lightz,
+           float red, float green, float blue, float brightness) {
+    vec3 base = vec3(red, green, blue);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    /* Distance falloff from the point light (inverse-square, clamped). */
+    vec3 toL = vec3(lightx, lighty, lightz) - P;
+    float atten = clamp(24.0 / (dot(toL, toL) + 1.0), 0.0, 1.0);
+    float d = diffuse_term(Nf, L) * atten;
+    vec3 shaded = clampcolor(base * (ka + kd * d));
+    /* Gentle screen-space vignette keeps edges from blowing out. */
+    float cu = u - 0.5;
+    float cv = v - 0.5;
+    float vignette = 1.0 - 0.35 * (cu * cu + cv * cv);
+    return scale_brightness(shaded, brightness * vignette);
+}
+""",
+    "simple diffuse surface",
+)
+
+
+_SHADER_2 = ShaderSpec(
+    2,
+    "checker",
+    ["freq", "ka", "kd", "lightx", "lighty", "lightz",
+     "r1", "g1", "b1", "r2", "g2", "b2"],
+    {
+        "freq": 8.0, "ka": 0.15, "kd": 0.85,
+        "lightx": 2.0, "lighty": 5.0, "lightz": -4.0,
+        "r1": 0.9, "g1": 0.9, "b1": 0.85, "r2": 0.15, "g2": 0.15, "b2": 0.2,
+    },
+    """
+vec3 checker(float u, float v, vec3 P, vec3 N, vec3 I,
+             float freq, float ka, float kd,
+             float lightx, float lighty, float lightz,
+             float r1, float g1, float b1,
+             float r2, float g2, float b2) {
+    float which = checker2(u, v, freq);
+    vec3 dark = vec3(r2, g2, b2);
+    vec3 light = vec3(r1, g1, b1);
+    vec3 base = dark;
+    if (which < 0.5) {
+        base = light;
+    }
+    /* Soften tile edges slightly so freq edits read smoothly. */
+    float eu = fabs(frac(u * freq) - 0.5);
+    float ev = fabs(frac(v * freq) - 0.5);
+    float edge = smoothstep(0.44, 0.5, fmax(eu, ev));
+    base = vmix(base, vec3(0.35, 0.35, 0.35), edge * 0.3);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    return shade_matte(base, Nf, L, ka, kd);
+}
+""",
+    "two-color checkerboard",
+)
+
+
+_SHADER_3 = ShaderSpec(
+    3,
+    "marble",
+    ["veinfreq", "sharpness", "txscale", "contrast",
+     "ka", "kd", "ks", "roughness",
+     "lightx", "lighty", "lightz", "r1", "g1", "b1"],
+    {
+        "veinfreq": 4.0, "sharpness": 3.0, "txscale": 2.5, "contrast": 0.9,
+        "ka": 0.2, "kd": 0.7, "ks": 0.35, "roughness": 0.12,
+        "lightx": 3.0, "lighty": 6.0, "lightz": -2.0,
+        "r1": 0.25, "g1": 0.2, "b1": 0.35,
+    },
+    """
+vec3 marble(float u, float v, vec3 P, vec3 N, vec3 I,
+            float veinfreq, float sharpness, float txscale, float contrast,
+            float ka, float kd, float ks, float roughness,
+            float lightx, float lighty, float lightz,
+            float r1, float g1, float b1) {
+    /* Expensive fractal pattern: layered turbulence + warped sine veins. */
+    vec3 q = P * txscale;
+    float disp = 0.35 * turbulence(q * 1.7, 3.0);
+    vec3 qd = q + vec3(disp, disp * 0.5, -disp);
+    float vein = marble_vein(qd, veinfreq, sharpness);
+    float vein2 = marble_vein(qd * 2.3 + vec3(3.1, 1.7, 4.2),
+                              veinfreq * 1.8, sharpness * 1.5);
+    float body = 0.5 + 0.5 * fractal_sum(q * 0.7, 4.0);
+    float veins = clamp(vein + 0.4 * vein2, 0.0, 1.0);
+    float t = clamp(veins * contrast + body * (1.0 - contrast), 0.0, 1.0);
+    vec3 veincolor = vec3(r1, g1, b1);
+    vec3 stone = color_ramp(vec3(0.92, 0.9, 0.88), veincolor, t);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    vec3 spec = vec3(1.0, 1.0, 1.0);
+    return shade_plastic(stone, spec, Nf, L, I, ka, kd, ks, roughness);
+}
+""",
+    "turbulence-driven veined marble",
+)
+
+
+_SHADER_4 = ShaderSpec(
+    4,
+    "wood",
+    ["ringscale", "wobble", "grainfreq", "graingain", "txscale",
+     "ka", "kd", "ks", "roughness",
+     "lightx", "lighty", "lightz", "r1", "g1", "b1"],
+    {
+        "ringscale": 6.0, "wobble": 0.35, "grainfreq": 18.0,
+        "graingain": 0.3, "txscale": 1.6,
+        "ka": 0.18, "kd": 0.75, "ks": 0.2, "roughness": 0.2,
+        "lightx": 5.0, "lighty": 5.0, "lightz": -4.0,
+        "r1": 0.55, "g1": 0.33, "b1": 0.14,
+    },
+    """
+vec3 wood(float u, float v, vec3 P, vec3 N, vec3 I,
+          float ringscale, float wobble, float grainfreq, float graingain,
+          float txscale, float ka, float kd, float ks, float roughness,
+          float lightx, float lighty, float lightz,
+          float r1, float g1, float b1) {
+    vec3 q = P * txscale;
+    float ring = wood_rings(q, ringscale, wobble);
+    /* Ring profile: sharp dark edge on each ring boundary. */
+    float band = smoothstep(0.15, 0.45, ring) - smoothstep(0.7, 0.95, ring);
+    /* Fine grain modulation along the trunk: two noise octaves. */
+    float grain = snoise(vec3(q.x * grainfreq, q.y * grainfreq * 0.25,
+                              q.z * grainfreq));
+    float grain2 = snoise(vec3(q.x * grainfreq * 2.7, q.y * grainfreq * 0.6,
+                               q.z * grainfreq * 2.7));
+    float streak = 0.5 + 0.5 * fbm(q * 0.9, 3.0);
+    float tone = clamp(band * (0.7 + 0.3 * streak)
+                       + graingain * (grain + 0.5 * grain2), 0.0, 1.0);
+    vec3 latewood = vec3(r1, g1, b1);
+    vec3 earlywood = vec3(r1 * 1.6 + 0.1, g1 * 1.5 + 0.08, b1 * 1.3 + 0.04);
+    vec3 base = color_ramp(earlywood, latewood, tone);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    vec3 spec = vec3(0.9, 0.85, 0.7);
+    return shade_plastic(base, spec, Nf, L, I, ka, kd, ks, roughness);
+}
+""",
+    "noise-wobbled growth rings",
+)
+
+
+_SHADER_5 = ShaderSpec(
+    5,
+    "clouds",
+    ["scale", "density", "sharpness", "octaves",
+     "sunx", "suny", "sunz", "skyr", "skyg", "skyb",
+     "cloudbright", "horizon", "haze"],
+    {
+        "scale": 1.8, "density": 0.55, "sharpness": 0.35, "octaves": 2.0,
+        "sunx": 8.0, "suny": 10.0, "sunz": 6.0,
+        "skyr": 0.25, "skyg": 0.45, "skyb": 0.85,
+        "cloudbright": 1.0, "horizon": 0.25, "haze": 0.3,
+    },
+    """
+vec3 clouds(float u, float v, vec3 P, vec3 N, vec3 I,
+            float scale, float density, float sharpness, float octaves,
+            float sunx, float suny, float sunz,
+            float skyr, float skyg, float skyb,
+            float cloudbright, float horizon, float haze) {
+    vec3 q = P * scale;
+    /* Fractal cloud mass: domain-warped explicit-octave fbm plus builtin
+       turbulence — deliberately the most noise-heavy pattern here. */
+    float warp = fbm(q * 0.8 + vec3(11.3, 7.9, 3.1), 3.0);
+    vec3 qw = q + vec3(warp, -warp, warp * 0.5);
+    float body = fractal_sum(qw, octaves);
+    float wisp = turbulence(qw * 2.3, 3.0);
+    float detail = 0.15 * snoise(qw * 5.1);
+    float mass = 0.5 + 0.4 * body + 0.5 * wisp + detail;
+    float cover = smoothstep(1.0 - density,
+                             1.0 - density + fmax(sharpness, 0.05), mass);
+    /* Sky gradient toward the horizon. */
+    vec3 zenith = vec3(skyr, skyg, skyb);
+    vec3 hz = vec3(skyr * 0.6 + 0.35, skyg * 0.5 + 0.4, skyb * 0.4 + 0.5);
+    float height = clamp(v + horizon - 0.5, 0.0, 1.0);
+    vec3 sky = color_ramp(hz, zenith, height);
+    /* Sun elevation and bearing tint the cloud mass. */
+    vec3 S = normalize(vec3(sunx, suny, sunz) - P);
+    float sunlit = 0.6 + 0.4 * (0.5 + 0.5 * S.y) + 0.12 * S.x + 0.08 * S.z;
+    vec3 cloud = vec3(1.0, 1.0, 0.98) * (cloudbright * sunlit);
+    vec3 mixed = vmix(sky, cloud, clamp(cover, 0.0, 1.0));
+    return clampcolor(vmix(mixed, hz, haze * (1.0 - height)));
+}
+""",
+    "fractal cloud layer over sky gradient",
+)
+
+
+_SHADER_6 = ShaderSpec(
+    6,
+    "plastic",
+    ["ka", "kd", "ks", "roughness",
+     "lightx", "lighty", "lightz", "r", "g", "b", "sr", "sg", "sb"],
+    {
+        "ka": 0.2, "kd": 0.65, "ks": 0.5, "roughness": 0.1,
+        "lightx": 3.0, "lighty": 4.0, "lightz": -5.0,
+        "r": 0.2, "g": 0.45, "b": 0.8, "sr": 1.0, "sg": 1.0, "sb": 1.0,
+    },
+    """
+vec3 plastic(float u, float v, vec3 P, vec3 N, vec3 I,
+             float ka, float kd, float ks, float roughness,
+             float lightx, float lighty, float lightz,
+             float r, float g, float b, float sr, float sg, float sb) {
+    vec3 base = vec3(r, g, b);
+    vec3 spec = vec3(sr, sg, sb);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    return shade_plastic(base, spec, Nf, L, I, ka, kd, ks, roughness);
+}
+""",
+    "standard ambient/diffuse/specular surface",
+)
+
+
+_SHADER_7 = ShaderSpec(
+    7,
+    "metal",
+    ["ka", "ks", "roughness", "spin", "brushfreq", "fresnel",
+     "lightx", "lighty", "lightz", "r", "g", "b", "envgain", "rimsharp"],
+    {
+        "ka": 0.1, "ks": 0.8, "roughness": 0.15, "spin": 0.4,
+        "brushfreq": 40.0, "fresnel": 0.6,
+        "lightx": 2.0, "lighty": 6.0, "lightz": -3.0,
+        "r": 0.8, "g": 0.82, "b": 0.85, "envgain": 0.4, "rimsharp": 2.5,
+    },
+    """
+vec3 metal(float u, float v, vec3 P, vec3 N, vec3 I,
+           float ka, float ks, float roughness, float spin, float brushfreq,
+           float fresnel, float lightx, float lighty, float lightz,
+           float r, float g, float b, float envgain, float rimsharp) {
+    vec3 base = vec3(r, g, b);
+    /* Brushed micro-structure perturbs the normal around the spin axis
+       (via the matrix library: a rotation about Y). */
+    mat3 brush = rotation_y(0.03 * sin(u * brushfreq) * spin);
+    vec3 Nb = mat_vec(brush, N);
+    vec3 Nf = faceforward(normalize(Nb), I);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    float s = specular_term(Nf, L, I, roughness);
+    /* Cheap environment: reflection direction drives a vertical ramp. */
+    vec3 R = reflect(I, Nf);
+    float env = envgain * clamp(0.5 + 0.5 * R.y, 0.0, 1.0);
+    float rim = rim_term(Nf, I, rimsharp);
+    float f = fresnel + (1.0 - fresnel) * rim;
+    vec3 color = base * (ka + env) + base * (ks * s * f);
+    return clampcolor(color);
+}
+""",
+    "brushed metal with environment + rim",
+)
+
+
+_SHADER_8 = ShaderSpec(
+    8,
+    "ramp",
+    ["topr", "topg", "topb", "botr", "botg", "botb",
+     "rampbias", "rampgain", "ka", "kd", "lightx", "lighty", "lightz"],
+    {
+        "topr": 0.95, "topg": 0.6, "topb": 0.2,
+        "botr": 0.2, "botg": 0.1, "botb": 0.45,
+        "rampbias": 0.5, "rampgain": 0.5,
+        "ka": 0.25, "kd": 0.75, "lightx": 0.0, "lighty": 8.0, "lightz": -2.0,
+    },
+    """
+vec3 ramp(float u, float v, vec3 P, vec3 N, vec3 I,
+          float topr, float topg, float topb,
+          float botr, float botg, float botb,
+          float rampbias, float rampgain,
+          float ka, float kd, float lightx, float lighty, float lightz) {
+    float t = gain(rampgain, bias(rampbias, clamp(v, 0.0, 1.0)));
+    vec3 top = vec3(topr, topg, topb);
+    vec3 bottom = vec3(botr, botg, botb);
+    vec3 base = color_ramp(bottom, top, t);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    return shade_matte(base, Nf, L, ka, kd);
+}
+""",
+    "bias/gain-shaped color ramp",
+)
+
+
+_SHADER_9 = ShaderSpec(
+    9,
+    "brick",
+    ["brickw", "brickh", "mortar", "ka", "kd",
+     "lightx", "lighty", "lightz", "br", "bg", "bb", "mr", "mg", "mb"],
+    {
+        "brickw": 0.25, "brickh": 0.08, "mortar": 0.012,
+        "ka": 0.2, "kd": 0.8,
+        "lightx": 4.0, "lighty": 5.0, "lightz": -3.0,
+        "br": 0.6, "bg": 0.2, "bb": 0.15, "mr": 0.75, "mg": 0.72, "mb": 0.68,
+    },
+    """
+vec3 brick(float u, float v, vec3 P, vec3 N, vec3 I,
+           float brickw, float brickh, float mortar, float ka, float kd,
+           float lightx, float lighty, float lightz,
+           float br, float bg, float bb, float mr, float mg, float mb) {
+    float row = tile_index(v, brickh);
+    /* Stagger odd rows by half a brick. */
+    float shift = 0.0;
+    if (fmod(fabs(row), 2.0) > 0.5) {
+        shift = brickw * 0.5;
+    }
+    float s = tile_coord(u + shift, brickw);
+    float t = tile_coord(v, brickh);
+    float mw = mortar / fmax(brickw, 0.0001);
+    float mh = mortar / fmax(brickh, 0.0001);
+    float inbrick = pulse(mw, 1.0 - mw, s) * pulse(mh, 1.0 - mh, t);
+    vec3 brickcolor = vec3(br, bg, bb);
+    /* Per-brick tonal variation. */
+    float col = tile_index(u + shift, brickw);
+    float var = 0.85 + 0.3 * noise(vec3(col * 7.1, row * 3.7, 0.5));
+    brickcolor = brickcolor * var;
+    vec3 mortarcolor = vec3(mr, mg, mb);
+    vec3 base = vmix(mortarcolor, brickcolor, inbrick);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    return shade_matte(base, Nf, L, ka, kd);
+}
+""",
+    "staggered bricks with mortar joints",
+)
+
+
+_SHADER_10 = ShaderSpec(
+    10,
+    "rings",
+    ["ambient", "kd", "ks", "roughness", "ringscale", "txscale", "spacing",
+     "lightx", "lighty", "lightz", "red1", "green1", "blue1", "grainy"],
+    {
+        "ambient": 0.2, "kd": 0.7, "ks": 0.3, "roughness": 0.15,
+        "ringscale": 10.0, "txscale": 1.2, "spacing": 0.5,
+        "lightx": 4.0, "lighty": 6.0, "lightz": -4.0,
+        "red1": 0.5, "green1": 0.3, "blue1": 0.12, "grainy": 0.25,
+    },
+    """
+vec3 rings(float u, float v, vec3 P, vec3 N, vec3 I,
+           float ambient, float kd, float ks, float roughness,
+           float ringscale, float txscale, float spacing,
+           float lightx, float lighty, float lightz,
+           float red1, float green1, float blue1, float grainy) {
+    /* The Section 5.4 study shader: 14 control parameters. */
+    vec3 q = P * txscale;
+    float wob = 0.4 * turbulence(q, 4.0);
+    float rr = sqrt(q.x * q.x + q.z * q.z) + wob;
+    float ring = frac(rr * ringscale + spacing);
+    float band = smoothstep(0.1, 0.35, ring) - smoothstep(0.6, 0.9, ring);
+    float grain = grainy * snoise(q * 12.0);
+    float tone = clamp(band + grain, 0.0, 1.0);
+    vec3 dark = vec3(red1, green1, blue1);
+    vec3 pale = vec3(red1 * 1.7 + 0.12, green1 * 1.6 + 0.1, blue1 * 1.4 + 0.05);
+    vec3 base = color_ramp(pale, dark, tone);
+    vec3 L = point_light_dir(P, lightx, lighty, lightz);
+    vec3 Nf = faceforward(N, I);
+    float d = diffuse_term(Nf, L);
+    float s = specular_term(Nf, L, I, roughness);
+    vec3 color = base * (ambient + kd * d) + vec3(1.0, 1.0, 1.0) * (ks * s);
+    return clampcolor(color);
+}
+""",
+    "ring-banded study shader (Section 5.4)",
+)
+
+
+SHADERS = {
+    spec.index: spec
+    for spec in (
+        _SHADER_1,
+        _SHADER_2,
+        _SHADER_3,
+        _SHADER_4,
+        _SHADER_5,
+        _SHADER_6,
+        _SHADER_7,
+        _SHADER_8,
+        _SHADER_9,
+        _SHADER_10,
+    )
+}
+
+#: The paper evaluates 131 input partitions across the ten shaders.
+TOTAL_PARTITIONS = sum(len(s.control_params) for s in SHADERS.values())
+
+
+def shader_program_source(spec):
+    """Full kernel-language program for one shader: library + shader."""
+    return LIBRARY_SOURCE + "\n" + spec.source
+
+
+def all_shader_sources():
+    """One combined program holding the library and all ten shaders."""
+    return LIBRARY_SOURCE + "\n" + "\n".join(
+        SHADERS[i].source for i in sorted(SHADERS)
+    )

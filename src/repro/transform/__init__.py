@@ -1,0 +1,21 @@
+"""Source-to-source transformations: inline, SSA, reassoc, split, limit."""
+
+from .inline import Inliner, inline_program_function
+from .limiter import LimiterTrace, cost_of_not_caching, frontier_size_bytes, limit_cache
+from .reassoc import Reassociator, reassociate
+from .split import SplitResult, split
+from .ssa import ssa_normalize
+
+__all__ = [
+    "Inliner",
+    "inline_program_function",
+    "LimiterTrace",
+    "cost_of_not_caching",
+    "frontier_size_bytes",
+    "limit_cache",
+    "Reassociator",
+    "reassociate",
+    "SplitResult",
+    "split",
+    "ssa_normalize",
+]

@@ -1,0 +1,243 @@
+"""Dispatch-code specialization: the Section 7.2 extension.
+
+The paper's framework discussion proposes two refinements beyond caching
+intermediate values:
+
+  "we might choose to combine the result of several control transfers
+   into a single index into a lookup table, and cache only the index
+   value.  We could also speculatively construct multiple specialized
+   cache readers targeted to particular fixed input values and select
+   among them using a dispatch code passed in the cache."
+
+This module implements both.  A *dispatch candidate* is a dynamic ``if``
+whose predicate is independent of the varying inputs (so its outcome is a
+property of the context, yet the plain reader re-tests it on every run —
+dotprod's ``scale != 0`` is the canonical example).  For up to
+``max_bits`` candidates we:
+
+* extend the **loader** to fold each candidate's outcome into one extra
+  integer cache slot (the dispatch code, bit *i* for candidate *i*),
+  evaluated exactly at the candidate's original position; and
+* emit ``2^k`` **reader variants**, one per outcome combination, each
+  with the candidate branches resolved — no test, no dead arm.
+
+At run time :class:`DispatchTable.select` reads the code and returns the
+matching variant.  Safety conditions on candidates: not inside any loop
+(one outcome per execution), not under dependent control (the loader's
+run must reach the same decision the reader's runs would), predicate
+independent.  Candidates under *independent* guards are fine: when the
+guard skips the candidate in the loader it skips it in every reader run
+too, so the unset bit is never consulted.
+"""
+
+from __future__ import annotations
+
+from ..analysis.index import guard_predicate
+from ..core.cache import CacheLayout, CacheSlot
+from ..core.labels import DYNAMIC
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+from ..lang.pretty import format_expr
+from ..lang.types import INT
+from ..transform.split import _Splitter
+
+#: Default bound on dispatch bits (2^k reader variants).
+MAX_DISPATCH_BITS = 3
+
+_DISPATCH_VAR = "__dispatch"
+
+
+def find_dispatch_candidates(fn, caching, max_bits=MAX_DISPATCH_BITS):
+    """Dynamic ifs with independent predicates, outside loops and
+    dependent control, in preorder."""
+    candidates = []
+    for node in A.walk(fn.body):
+        if not isinstance(node, A.If):
+            continue
+        if caching.label_of(node) is not DYNAMIC:
+            continue
+        if caching.dependence.is_dependent(node.pred):
+            continue
+        if caching.index.loops_of(node):
+            continue
+        if any(
+            caching.dependence.is_dependent(guard_predicate(guard))
+            for guard in caching.index.guards_of(node)
+        ):
+            continue
+        candidates.append(node)
+        if len(candidates) >= max_bits:
+            break
+    return candidates
+
+
+class _DispatchLoaderSplitter(_Splitter):
+    """Splitter variant whose loader folds candidate outcomes into the
+    dispatch slot, and whose readers resolve candidates per variant."""
+
+    def __init__(self, fn, caching, type_info, candidates, dispatch_slot):
+        super().__init__(fn, caching, type_info)
+        self.candidate_bits = {
+            node.nid: bit for bit, node in enumerate(candidates)
+        }
+        self.dispatch_slot = dispatch_slot
+        #: Set per build_reader_variant call: nid -> chosen bit value.
+        self._variant_choice = None
+
+    # -- loader ----------------------------------------------------------------
+
+    def loader_stmts(self, stmt):
+        if isinstance(stmt, A.If) and stmt.nid in self.candidate_bits:
+            bit = self.candidate_bits[stmt.nid]
+            flag = "__bit%d" % bit
+            decl = A.VarDecl(INT, flag, self.loader_expr(stmt.pred), line=stmt.line)
+            accumulate = A.Assign(
+                _DISPATCH_VAR,
+                A.CacheStore(
+                    self.dispatch_slot,
+                    A.BinOp(
+                        "+",
+                        A.VarRef(_DISPATCH_VAR, line=stmt.line),
+                        A.BinOp(
+                            "*",
+                            A.VarRef(flag, line=stmt.line),
+                            A.IntLit(1 << bit, line=stmt.line),
+                            line=stmt.line,
+                        ),
+                        line=stmt.line,
+                    ),
+                    line=stmt.line,
+                ),
+                line=stmt.line,
+            )
+            else_ = None
+            if stmt.else_ is not None:
+                else_ = A.Block(self._map_block(stmt.else_, self.loader_stmts))
+            folded_if = A.If(
+                A.VarRef(flag, line=stmt.line),
+                A.Block(self._map_block(stmt.then, self.loader_stmts)),
+                else_,
+                line=stmt.line,
+            )
+            return [decl, accumulate, folded_if]
+        return super().loader_stmts(stmt)
+
+    def build_loader(self):
+        loader = super().build_loader()
+        # Initialize the dispatch accumulator and its slot up front, so
+        # the code is well-defined even when guards skip candidates.
+        init = [
+            A.VarDecl(INT, _DISPATCH_VAR, None),
+            A.Assign(_DISPATCH_VAR, A.CacheStore(self.dispatch_slot, A.IntLit(0))),
+        ]
+        loader.body.stmts[:0] = init
+        A.number_nodes(loader)
+        return loader
+
+    # -- reader variants -----------------------------------------------------------
+
+    def reader_stmts(self, stmt):
+        if (
+            self._variant_choice is not None
+            and isinstance(stmt, A.If)
+            and stmt.nid in self.candidate_bits
+        ):
+            taken = self._variant_choice[stmt.nid]
+            if taken:
+                return self._map_block(stmt.then, self.reader_stmts)
+            if stmt.else_ is not None:
+                return self._map_block(stmt.else_, self.reader_stmts)
+            return []
+        return super().reader_stmts(stmt)
+
+    def build_reader_variant(self, code):
+        """Reader with every candidate resolved per dispatch ``code``."""
+        self._variant_choice = {
+            nid: (code >> bit) & 1 for nid, bit in self.candidate_bits.items()
+        }
+        try:
+            reader = self.build_reader()
+        finally:
+            self._variant_choice = None
+        reader.name = "%s_v%d" % (reader.name, code)
+        A.number_nodes(reader)
+        return reader
+
+
+class DispatchTable(object):
+    """A dispatch-specialized reader family."""
+
+    def __init__(self, loader, variants, layout, dispatch_slot, candidates):
+        self.loader = loader
+        #: ``variants[code]`` is the reader for that outcome combination.
+        self.variants = variants
+        self.layout = layout
+        self.dispatch_slot = dispatch_slot
+        #: Pretty-printed candidate predicates, bit order.
+        self.candidate_predicates = candidates
+
+    @property
+    def bits(self):
+        return len(self.candidate_predicates)
+
+    def code_of(self, cache):
+        value = cache[self.dispatch_slot]
+        if value is None:
+            raise SpecializationError(
+                "dispatch slot unfilled: run the loader first"
+            )
+        return int(value)
+
+    def select(self, cache):
+        """The reader variant matching a loaded cache."""
+        return self.variants[self.code_of(cache)]
+
+
+def build_dispatch_table(spec, max_bits=MAX_DISPATCH_BITS):
+    """Upgrade a :class:`Specialization` with dispatch-code readers.
+
+    Returns ``None`` when the fragment has no dispatch candidates (the
+    plain reader is already optimal in this dimension).
+    """
+    fn = spec.original
+    caching = spec.caching
+    candidates = find_dispatch_candidates(fn, caching, max_bits)
+    if not candidates:
+        return None
+
+    splitter = _DispatchLoaderSplitter(
+        fn, caching, spec.type_info, candidates, dispatch_slot=None
+    )
+    splitter.allocate_slots()
+    dispatch_slot = len(splitter.slots)
+    splitter.dispatch_slot = dispatch_slot
+    splitter.slots.append(
+        CacheSlot(
+            dispatch_slot,
+            INT,
+            fn.nid,
+            "dispatch(%s)"
+            % ", ".join(format_expr(c.pred) for c in candidates),
+        )
+    )
+
+    loader = splitter.build_loader()
+    variants = [
+        splitter.build_reader_variant(code)
+        for code in range(1 << len(candidates))
+    ]
+    layout = CacheLayout(splitter.slots)
+
+    from ..lang.typecheck import check_program
+
+    check_program(A.Program([loader]))
+    for variant in variants:
+        check_program(A.Program([variant]))
+
+    return DispatchTable(
+        loader,
+        variants,
+        layout,
+        dispatch_slot,
+        [format_expr(c.pred) for c in candidates],
+    )

@@ -1,0 +1,105 @@
+"""Cache-size limiting (Section 4.3).
+
+Caching trades the time to recompute a term for the space to store its
+value.  Applications like per-pixel shading keep up to ~10^6 caches live
+at once, so the cache must fit a byte budget.  The limiter repeatedly
+
+1. estimates, for every term on the cache frontier, the cost of *not*
+   caching it — its positional execution cost (×5 per enclosing loop,
+   ÷2 per guarding conditional) plus the transitive cost of the
+   definitions and guards that rules 4–7 would drag into the reader;
+2. relabels the minimum-cost term dynamic; and
+3. re-establishes the consistency constraints (the solver is monotone and
+   restartable, so this is a cheap incremental re-solve)
+
+until the layout fits.  Relabeling can *widen* the frontier (the newly
+dynamic term's operands may become cached), so the size does not decrease
+monotonically; termination is still guaranteed because each term is
+relabeled at most twice, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from ..analysis.index import guard_predicate
+from ..core.labels import DYNAMIC
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+
+
+def frontier_size_bytes(caching):
+    """Total byte size of the current cache frontier."""
+    return sum(node.ty.size for node in caching.cached_nodes())
+
+
+def cost_of_not_caching(caching, costs, node, _seen=None):
+    """Approximate reader-side cost of evicting ``node`` from the cache.
+
+    Execution cost of the term at its position, plus — transitively — the
+    cost of reaching definitions and guards that are not already dynamic
+    (the marginal cost of an already-dynamic guard is zero), per the
+    paper's heuristic.
+    """
+    seen = _seen if _seen is not None else set()
+    total = costs.positional(node)
+    for ref in A.walk(node):
+        if not isinstance(ref, A.VarRef):
+            continue
+        for def_node in caching.reaching.local_defs_reaching(ref):
+            if caching.label_of(def_node) is DYNAMIC:
+                continue
+            if def_node.nid in seen:
+                continue
+            seen.add(def_node.nid)
+            source = def_node.expr if isinstance(def_node, A.Assign) else def_node.init
+            if source is not None:
+                total += 1 + cost_of_not_caching(caching, costs, source, seen)
+    for guard in caching.index.guards_of(node):
+        if caching.label_of(guard) is DYNAMIC or guard.nid in seen:
+            continue
+        seen.add(guard.nid)
+        total += costs.intrinsic(guard_predicate(guard))
+    return total
+
+
+class LimiterTrace(object):
+    """Record of one limiting run (consumed by tests and benches)."""
+
+    def __init__(self, bound):
+        self.bound = bound
+        #: (victim source text, eviction cost, resulting frontier bytes)
+        self.evictions = []
+        self.final_size = None
+
+
+def limit_cache(caching, costs, bound_bytes):
+    """Shrink the cache frontier of a solved analysis to ``bound_bytes``.
+
+    Returns a :class:`LimiterTrace`.  A bound of zero empties the cache
+    entirely (the reader recomputes everything — the leftmost points of
+    Figures 9 and 10).
+    """
+    if bound_bytes < 0:
+        raise SpecializationError("cache bound must be non-negative")
+    trace = LimiterTrace(bound_bytes)
+    while frontier_size_bytes(caching) > bound_bytes:
+        frontier = caching.cached_nodes()
+        if not frontier:
+            break
+        # Victim choice: lowest recompute-cost *per byte freed* — the
+        # paper's "least utility (perhaps weighted by size)".  Weighting
+        # keeps cheap-but-small scalars over equally cheap 12-byte vectors
+        # and measurably improves the Figure 10 retention curve.
+        victim = min(
+            frontier,
+            key=lambda node: (
+                cost_of_not_caching(caching, costs, node) / float(node.ty.size),
+                node.nid,
+            ),
+        )
+        cost = cost_of_not_caching(caching, costs, victim)
+        caching.force_dynamic(victim)
+        trace.evictions.append(
+            (victim, cost, frontier_size_bytes(caching))
+        )
+    trace.final_size = frontier_size_bytes(caching)
+    return trace

@@ -1,0 +1,150 @@
+"""Associative rewriting (Section 4.2) — a binding-time improvement.
+
+Given ``x1*x2 + y1*y2 + z1*z2`` with only ``z1, z2`` varying, C's
+left-associative parse makes both additions dependent.  Reassociating the
+chain so the independent operands group together —
+``(x1*x2 + y1*y2) + z1*z2`` — lets the loader evaluate (and the cache
+hold) the larger independent subterm.
+
+The pass flattens maximal chains of one associative-commutative operator
+(``+`` or ``*``), partitions the operands into independent and dependent
+(per a dependence pre-analysis), and rebuilds the chain with all the
+independent operands folded first.  Operand order *within* each class is
+preserved.
+
+Exact integer arithmetic is always safe to reassociate.  Floating-point
+arithmetic is not strictly associative; the paper enables the rewrite by
+default and notes it "may be turned off" where rounding matters — the
+``float_ok`` flag is that switch.  Chains mixing ``vec3`` and scalar
+operands are left alone (their groupings are not type-preserving), as are
+the short-circuit logicals.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..lang.ops import REASSOCIATIVE_OPS
+from ..lang.types import FLOAT, INT, VEC3
+
+
+def _chain_type_ok(expr, float_ok):
+    """May a chain rooted at this operator/type be reassociated?"""
+    if expr.ty is INT:
+        return True
+    if expr.ty is FLOAT:
+        return float_ok
+    if expr.ty is VEC3 and expr.op == "+":
+        # vec3 sums are componentwise float sums.
+        return float_ok
+    return False
+
+
+def _flatten(expr, op, ty, operands):
+    """Collect the leaves of a maximal same-op, same-type chain."""
+    if isinstance(expr, A.BinOp) and expr.op == op and expr.ty is ty:
+        _flatten(expr.left, op, ty, operands)
+        _flatten(expr.right, op, ty, operands)
+    else:
+        operands.append(expr)
+
+
+def _fold(operands, op, ty, line):
+    """Left-associative rebuild of a chain."""
+    result = operands[0]
+    for operand in operands[1:]:
+        node = A.BinOp(op, result, operand, line=line)
+        node.ty = ty
+        result = node
+    return result
+
+
+class Reassociator(object):
+    """Applies the rewrite over a whole function."""
+
+    def __init__(self, dependence, float_ok=True):
+        self.dependence = dependence
+        self.float_ok = float_ok
+        #: Number of chains actually regrouped (observability for tests
+        #: and the ablation bench).
+        self.rewrites = 0
+
+    def rewrite_function(self, fn):
+        self._rewrite_node(fn.body)
+        return fn
+
+    def _rewrite_node(self, node):
+        for name in node._fields:
+            value = getattr(node, name)
+            if isinstance(value, A.Expr):
+                setattr(node, name, self._rewrite_expr(value))
+            elif isinstance(value, A.Node):
+                self._rewrite_node(value)
+            elif isinstance(value, list):
+                new_items = []
+                for item in value:
+                    if isinstance(item, A.Expr):
+                        new_items.append(self._rewrite_expr(item))
+                    else:
+                        if isinstance(item, A.Node):
+                            self._rewrite_node(item)
+                        new_items.append(item)
+                setattr(node, name, new_items)
+
+    def _rewrite_expr(self, expr):
+        # Children first, so inner chains regroup before outer ones are
+        # flattened across them.
+        for name in expr._fields:
+            value = getattr(expr, name)
+            if isinstance(value, A.Expr):
+                setattr(expr, name, self._rewrite_expr(value))
+            elif isinstance(value, list):
+                setattr(
+                    expr,
+                    name,
+                    [
+                        self._rewrite_expr(v) if isinstance(v, A.Expr) else v
+                        for v in value
+                    ],
+                )
+        if not isinstance(expr, A.BinOp) or expr.op not in REASSOCIATIVE_OPS:
+            return expr
+        if not _chain_type_ok(expr, self.float_ok):
+            return expr
+
+        operands = []
+        _flatten(expr, expr.op, expr.ty, operands)
+        if len(operands) < 3:
+            return expr
+
+        independent = [o for o in operands if not self.dependence.is_dependent(o)]
+        dependent = [o for o in operands if self.dependence.is_dependent(o)]
+        if not independent or not dependent:
+            return expr
+
+        regrouped = _fold(
+            [_fold(independent, expr.op, expr.ty, expr.line)] + dependent,
+            expr.op,
+            expr.ty,
+            expr.line,
+        )
+        if self._shape_differs(expr, regrouped):
+            self.rewrites += 1
+        return regrouped
+
+    @staticmethod
+    def _shape_differs(old, new):
+        def shape(e):
+            if isinstance(e, A.BinOp):
+                return (e.op, shape(e.left), shape(e.right))
+            return e.nid
+        return shape(old) != shape(new)
+
+
+def reassociate(fn, dependence, float_ok=True):
+    """Rewrite ``fn`` in place; returns the :class:`Reassociator` used
+    (its ``rewrites`` counter tells whether anything changed).  Renumber
+    and re-analyze afterwards."""
+    rewriter = Reassociator(dependence, float_ok=float_ok)
+    rewriter.rewrite_function(fn)
+    A.number_nodes(fn)
+    return rewriter

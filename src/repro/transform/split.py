@@ -1,0 +1,282 @@
+"""The splitting transformation (Section 3.3).
+
+Given a fragment whose terms carry caching labels, emit:
+
+* the **cache loader** — a structural copy of the whole fragment in which
+  every cached term ``e`` is wrapped as ``(cache->slotN = e)``.  The
+  loader therefore computes the fragment's result *and* fills the cache
+  (the paper's "instrumented version of the original fragment").
+* the **cache reader** — a copy containing only the dynamic terms, with
+  every cached term replaced by ``cache->slotN``.  Static statements
+  vanish; declarations are re-emitted for any variable the reader still
+  mentions.
+
+Speculative slots (the weakened rule 3 of Section 7.1) additionally get an
+unconditional fill at loader entry, since their in-place occurrence sits
+under a dependent guard the loader's run might not take.
+"""
+
+from __future__ import annotations
+
+from ..core.cache import CacheLayout, CacheSlot
+from ..core.labels import CACHED, DYNAMIC, STATIC
+from ..lang import ast_nodes as A
+from ..lang.errors import SpecializationError
+from ..lang.pretty import format_expr
+
+
+class SplitResult(object):
+    """Loader + reader + cache layout for one specialization."""
+
+    def __init__(self, loader, reader, layout, slot_of_nid):
+        self.loader = loader
+        self.reader = reader
+        self.layout = layout
+        #: original-fragment nid → slot index
+        self.slot_of_nid = slot_of_nid
+
+
+class _Splitter(object):
+    def __init__(self, fn, caching, type_info):
+        self.fn = fn
+        self.caching = caching
+        self.type_info = type_info
+        self.slot_of = {}
+        self.slots = []
+
+    # -- slot allocation --------------------------------------------------------
+
+    def allocate_slots(self):
+        for node in A.walk(self.fn.body):
+            if self.caching.label_of(node) is CACHED:
+                if node.ty is None:
+                    raise SpecializationError(
+                        "cached term has no type (was the fragment checked?)"
+                    )
+                index = len(self.slots)
+                self.slot_of[node.nid] = index
+                self.slots.append(
+                    CacheSlot(
+                        index,
+                        node.ty,
+                        node.nid,
+                        format_expr(node),
+                        speculative=node.nid in self.caching.speculative,
+                    )
+                )
+
+    # -- loader -----------------------------------------------------------------
+
+    def loader_expr(self, expr):
+        rebuilt = self._rebuild_expr(expr, self.loader_expr)
+        if self.caching.label_of(expr) is CACHED:
+            return A.CacheStore(self.slot_of[expr.nid], rebuilt, line=expr.line)
+        return rebuilt
+
+    def loader_stmts(self, stmt):
+        kind = type(stmt)
+        if kind is A.Block:
+            return [A.Block(self._map_block(stmt, self.loader_stmts), line=stmt.line)]
+        if kind is A.VarDecl:
+            init = self.loader_expr(stmt.init) if stmt.init is not None else None
+            return [A.VarDecl(stmt.ty, stmt.name, init, line=stmt.line)]
+        if kind is A.Assign:
+            return [
+                A.Assign(
+                    stmt.name,
+                    self.loader_expr(stmt.expr),
+                    is_phi=stmt.is_phi,
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.If:
+            else_ = None
+            if stmt.else_ is not None:
+                else_ = A.Block(self._map_block(stmt.else_, self.loader_stmts))
+            return [
+                A.If(
+                    self.loader_expr(stmt.pred),
+                    A.Block(self._map_block(stmt.then, self.loader_stmts)),
+                    else_,
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.While:
+            return [
+                A.While(
+                    self.loader_expr(stmt.pred),
+                    A.Block(self._map_block(stmt.body, self.loader_stmts)),
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.Return:
+            expr = self.loader_expr(stmt.expr) if stmt.expr is not None else None
+            return [A.Return(expr, line=stmt.line)]
+        if kind is A.ExprStmt:
+            return [A.ExprStmt(self.loader_expr(stmt.expr), line=stmt.line)]
+        raise SpecializationError("cannot split statement %r" % kind.__name__)
+
+    def build_loader(self):
+        body = self._map_block(self.fn.body, self.loader_stmts)
+        # Speculative slots fill unconditionally at entry (their free
+        # variables are all parameters, so entry evaluation is valid).
+        entry = []
+        for slot in self.slots:
+            if not slot.speculative:
+                continue
+            origin = self.caching.index.node_of[slot.origin_nid]
+            store = A.CacheStore(slot.index, A.clone(origin), line=origin.line)
+            entry.append(
+                A.VarDecl(origin.ty, "__spec%d" % slot.index, store, line=origin.line)
+            )
+        loader = A.FunctionDef(
+            self.fn.name + "_loader",
+            [A.Param(p.ty, p.name, line=p.line) for p in self.fn.params],
+            self.fn.ret_type,
+            A.Block(entry + body, line=self.fn.body.line),
+            line=self.fn.line,
+        )
+        return loader
+
+    # -- reader ------------------------------------------------------------------
+
+    def reader_expr(self, expr):
+        label = self.caching.label_of(expr)
+        if label is CACHED:
+            return A.CacheRead(self.slot_of[expr.nid], ty=expr.ty, line=expr.line)
+        if label is not DYNAMIC:
+            raise SpecializationError(
+                "static term %r reached the reader (labeling inconsistent)"
+                % format_expr(expr)
+            )
+        return self._rebuild_expr(expr, self.reader_expr)
+
+    def reader_stmts(self, stmt):
+        label = self.caching.label_of(stmt)
+        kind = type(stmt)
+        if kind is A.Block:
+            inner = self._map_block(stmt, self.reader_stmts)
+            return [A.Block(inner, line=stmt.line)] if inner else []
+        if label is not DYNAMIC:
+            return []
+        if kind is A.VarDecl:
+            init = self.reader_expr(stmt.init) if stmt.init is not None else None
+            return [A.VarDecl(stmt.ty, stmt.name, init, line=stmt.line)]
+        if kind is A.Assign:
+            return [
+                A.Assign(
+                    stmt.name,
+                    self.reader_expr(stmt.expr),
+                    is_phi=stmt.is_phi,
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.If:
+            else_ = None
+            if stmt.else_ is not None:
+                else_stmts = self._map_block(stmt.else_, self.reader_stmts)
+                else_ = A.Block(else_stmts) if else_stmts else None
+            return [
+                A.If(
+                    self.reader_expr(stmt.pred),
+                    A.Block(self._map_block(stmt.then, self.reader_stmts)),
+                    else_,
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.While:
+            return [
+                A.While(
+                    self.reader_expr(stmt.pred),
+                    A.Block(self._map_block(stmt.body, self.reader_stmts)),
+                    line=stmt.line,
+                )
+            ]
+        if kind is A.Return:
+            expr = self.reader_expr(stmt.expr) if stmt.expr is not None else None
+            return [A.Return(expr, line=stmt.line)]
+        if kind is A.ExprStmt:
+            return [A.ExprStmt(self.reader_expr(stmt.expr), line=stmt.line)]
+        raise SpecializationError("cannot split statement %r" % kind.__name__)
+
+    def build_reader(self):
+        body = self._map_block(self.fn.body, self.reader_stmts)
+        body = self._prepend_missing_decls(body)
+        reader = A.FunctionDef(
+            self.fn.name + "_reader",
+            [A.Param(p.ty, p.name, line=p.line) for p in self.fn.params],
+            self.fn.ret_type,
+            A.Block(body, line=self.fn.body.line),
+            line=self.fn.line,
+        )
+        return reader
+
+    def _prepend_missing_decls(self, body):
+        """The reader may assign/reference a variable whose (static)
+        declaration was dropped; re-emit bare declarations for those."""
+        wrapper = A.Block(body)
+        mentioned = set()
+        declared = set()
+        for node in A.walk(wrapper):
+            if isinstance(node, A.VarRef):
+                mentioned.add(node.name)
+            elif isinstance(node, A.Assign):
+                mentioned.add(node.name)
+            elif isinstance(node, A.VarDecl):
+                declared.add(node.name)
+        params = set(self.fn.param_names())
+        missing = sorted(mentioned - declared - params)
+        decls = [
+            A.VarDecl(self.type_info.var_types[name], name, None) for name in missing
+        ]
+        return decls + body
+
+    # -- shared helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _map_block(block, fn):
+        out = []
+        for stmt in block.stmts:
+            out.extend(fn(stmt))
+        return out
+
+    @staticmethod
+    def _rebuild_expr(expr, recurse):
+        kind = type(expr)
+        if kind is A.IntLit:
+            node = A.IntLit(expr.value, line=expr.line)
+        elif kind is A.FloatLit:
+            node = A.FloatLit(expr.value, line=expr.line)
+        elif kind is A.VarRef:
+            node = A.VarRef(expr.name, line=expr.line)
+        elif kind is A.BinOp:
+            node = A.BinOp(expr.op, recurse(expr.left), recurse(expr.right), line=expr.line)
+        elif kind is A.UnaryOp:
+            node = A.UnaryOp(expr.op, recurse(expr.operand), line=expr.line)
+        elif kind is A.Call:
+            node = A.Call(expr.name, [recurse(a) for a in expr.args], line=expr.line)
+        elif kind is A.Member:
+            node = A.Member(recurse(expr.base), expr.field, line=expr.line)
+        elif kind is A.Cond:
+            node = A.Cond(
+                recurse(expr.pred),
+                recurse(expr.then),
+                recurse(expr.else_),
+                line=expr.line,
+            )
+        else:
+            raise SpecializationError("cannot rebuild %r" % kind.__name__)
+        node.ty = expr.ty
+        return node
+
+
+def split(fn, caching, type_info):
+    """Split a labeled fragment into loader, reader, and cache layout."""
+    splitter = _Splitter(fn, caching, type_info)
+    splitter.allocate_slots()
+    loader = splitter.build_loader()
+    reader = splitter.build_reader()
+    A.number_nodes(loader)
+    A.number_nodes(reader)
+    layout = CacheLayout(splitter.slots)
+    return SplitResult(loader, reader, layout, dict(splitter.slot_of))

@@ -1,0 +1,83 @@
+"""Join-point normalization (Section 4.1).
+
+Caching plain variable references naively can allocate several cache slots
+for the same value (Figures 4–5 of the paper).  The fix is an SSA-like
+source-to-source preprocessing: at every control-flow join, insert
+``v = v;`` assignments (the analog of SSA phi nodes) for each variable
+that may have been modified inside the joined region, and then allow the
+caching analysis to cache variable references *only* at these phi
+assignments.  Every reference downstream of a join then has exactly one
+reaching definition — the phi — so a value is cached at most once
+(Figure 6).
+
+Joins in the structured kernel language are the exits of ``if`` and
+``while`` statements.  (The loop-head join never yields a cacheable
+reference — values crossing it are multi-valued — so no phi is inserted
+there.)  As a slot-economy refinement, a phi is only inserted when the
+variable is actually referenced after the join; a dead ``v = v`` could
+never earn a cache slot (rule 6 requires a dynamic consumer) but would
+still cost loader work.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+
+
+def _phi(name, line):
+    return A.Assign(name, A.VarRef(name, line=line), is_phi=True, line=line)
+
+
+class _Normalizer(object):
+    def transform_block(self, block, live_after):
+        """Rewrite a block bottom-up.
+
+        ``live_after`` is the set of variable names that may be referenced
+        after this block.  Returns the set of names referenced within the
+        (rewritten) block or after it.
+        """
+        new_stmts = []
+        live = set(live_after)
+        for stmt in reversed(block.stmts):
+            emitted = self.transform_stmt(stmt, live)
+            # ``emitted`` is [stmt, phi...]; prepend preserving order.
+            new_stmts[:0] = emitted
+            for item in emitted:
+                live |= A.free_var_names(item)
+        block.stmts = new_stmts
+        return live
+
+    def transform_stmt(self, stmt, live_after):
+        """Rewrite one statement; return it plus any join phis."""
+        kind = type(stmt)
+        if kind is A.If:
+            branch_live = set(live_after)
+            self.transform_block(stmt.then, branch_live)
+            if stmt.else_ is not None:
+                self.transform_block(stmt.else_, branch_live)
+            joined = sorted(A.assigned_var_names(stmt) & live_after)
+            return [stmt] + [_phi(name, stmt.line) for name in joined]
+        if kind is A.While:
+            # Inside the body, "later" references include the predicate,
+            # the body itself (next iteration), and whatever follows the
+            # loop.
+            inner_live = (
+                set(live_after)
+                | A.free_var_names(stmt.pred)
+                | A.free_var_names(stmt.body)
+            )
+            self.transform_block(stmt.body, inner_live)
+            joined = sorted(A.assigned_var_names(stmt.body) & live_after)
+            return [stmt] + [_phi(name, stmt.line) for name in joined]
+        if kind is A.Block:
+            self.transform_block(stmt, live_after)
+            return [stmt]
+        return [stmt]
+
+
+def ssa_normalize(fn):
+    """Insert join-point phi assignments into ``fn`` (in place); returns
+    ``fn``.  Renumber nodes afterwards."""
+    _Normalizer().transform_block(fn.body, set())
+    A.number_nodes(fn)
+    return fn

@@ -1,0 +1,110 @@
+"""Unit tests for AST utilities (walk, clone, numbering, name sets)."""
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_expression, parse_function
+
+
+SRC = """
+int f(int a, int b) {
+    int x = a + 1;
+    if (a > b) {
+        x = x * 2;
+    } else {
+        x = x - 1;
+    }
+    while (x > 0) {
+        x = x - b;
+    }
+    return x;
+}
+"""
+
+
+class TestWalk:
+    def test_walk_visits_every_node_once(self):
+        fn = parse_function(SRC)
+        nodes = list(A.walk(fn))
+        assert len(nodes) == len({id(n) for n in nodes})
+
+    def test_walk_is_preorder(self):
+        expr = parse_expression("a + b * c")
+        kinds = [type(n).__name__ for n in A.walk(expr)]
+        assert kinds == ["BinOp", "VarRef", "BinOp", "VarRef", "VarRef"]
+
+    def test_children_of_if_include_both_branches(self):
+        fn = parse_function(SRC)
+        if_stmt = fn.body.stmts[1]
+        kids = list(if_stmt.children())
+        assert len(kids) == 3  # pred, then, else
+
+
+class TestNumbering:
+    def test_numbering_is_dense_and_preorder(self):
+        fn = parse_function(SRC)
+        next_id = A.number_nodes(fn)
+        nids = [n.nid for n in A.walk(fn)]
+        assert sorted(nids) == list(range(len(nids)))
+        assert next_id == len(nids)
+        assert nids[0] == 0  # root first
+
+    def test_numbering_with_offset(self):
+        expr = parse_expression("a + b")
+        A.number_nodes(expr, start=100)
+        assert expr.nid == 100
+
+    def test_count_nodes(self):
+        expr = parse_expression("a + b * c")
+        assert A.count_nodes(expr) == 5
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        fn = parse_function(SRC)
+        copy = A.clone(fn)
+        originals = {id(n) for n in A.walk(fn)}
+        copies = {id(n) for n in A.walk(copy)}
+        assert not originals & copies
+
+    def test_clone_resets_nids(self):
+        fn = parse_function(SRC)
+        copy = A.clone(fn)
+        assert all(n.nid is None for n in A.walk(copy))
+
+    def test_clone_preserves_structure(self):
+        fn = parse_function(SRC)
+        copy = A.clone(fn)
+        assert [type(n).__name__ for n in A.walk(fn)] == [
+            type(n).__name__ for n in A.walk(copy)
+        ]
+
+    def test_mutating_clone_leaves_original(self):
+        fn = parse_function(SRC)
+        copy = A.clone(fn)
+        copy.body.stmts[0].name = "renamed"
+        assert fn.body.stmts[0].name == "x"
+
+    def test_clone_none(self):
+        assert A.clone(None) is None
+
+
+class TestNameSets:
+    def test_free_var_names(self):
+        expr = parse_expression("a + f(b) * c.x")
+        assert A.free_var_names(expr) == {"a", "b", "c"}
+
+    def test_assigned_var_names_includes_decl_with_init(self):
+        fn = parse_function(SRC)
+        assert A.assigned_var_names(fn.body) == {"x"}
+
+    def test_assigned_var_names_excludes_bare_decl(self):
+        fn = parse_function("int f() { int y; y = 1; return y; }")
+        decl = fn.body.stmts[0]
+        assert A.assigned_var_names(decl) == set()
+
+    def test_called_names(self):
+        expr = parse_expression("f(g(x)) + noise(p)")
+        assert A.called_names(expr) == {"f", "g", "noise"}
+
+    def test_param_names(self):
+        fn = parse_function(SRC)
+        assert fn.param_names() == ["a", "b"]

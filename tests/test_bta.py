@@ -1,0 +1,131 @@
+"""Tests for the BTA-mode (mixed binding-time) labeling of Section 6.3."""
+
+from repro.analysis.bta import bta_labeling, seeded_dependence
+from repro.core.labels import CACHED, DYNAMIC
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.interp import Interpreter
+from repro.transform.split import split
+
+from tests.helpers import specialize_source
+
+
+# The paper's §6.3 scenario: an independent definition (x) reaching a
+# dependent use (x * b) and an independent consumer chain (heavy).
+FALSE_DEP = """
+float f(float a, float b) {
+    float x = sqrt(a) + a;
+    float heavy = x * x * x + sqrt(x);
+    float r = x * b;
+    return heavy + r;
+}
+"""
+
+
+def bta_split(src, fn_name, varying):
+    fn = parse_function(src)
+    type_info = check_function(fn)
+    caching = bta_labeling(fn, varying)
+    result = split(fn, caching, type_info)
+    check_function(result.loader)
+    check_function(result.reader)
+    return fn, caching, result
+
+
+class TestSeededDependence:
+    def test_no_seeds_equals_plain_dependence(self):
+        from repro.analysis.dependence import dependence_analysis
+
+        fn = parse_function(FALSE_DEP)
+        check_function(fn)
+        plain = dependence_analysis(fn, {"b"})
+        seeded = seeded_dependence(fn, {"b"}, frozenset())
+        for node in A.walk(fn.body):
+            assert plain.is_dependent(node) == seeded.is_dependent(node)
+
+    def test_seed_taints_uses(self):
+        fn = parse_function(FALSE_DEP)
+        check_function(fn)
+        x_decl = fn.body.stmts[0]
+        seeded = seeded_dependence(fn, {"b"}, {x_decl.nid})
+        heavy_decl = fn.body.stmts[1]
+        assert seeded.is_dependent(heavy_decl)
+
+
+class TestBTAvsTwoPhase:
+    def test_bta_forces_consumers_dynamic(self):
+        # Two-phase: heavy's big RHS is cached.
+        two_phase = specialize_source(FALSE_DEP, "f", {"b"})
+        cached = [slot.source for slot in two_phase.layout]
+        assert any("x * x * x" in s for s in cached)
+
+        # BTA mode: the same RHS is dynamic (recomputed by the reader).
+        fn, caching, result = bta_split(FALSE_DEP, "f", {"b"})
+        heavy_decl = fn.body.stmts[1]
+        assert caching.label_of(heavy_decl) is DYNAMIC
+        assert caching.label_of(heavy_decl.init) is DYNAMIC
+
+    def test_bta_reader_costlier(self):
+        two_phase = specialize_source(FALSE_DEP, "f", {"b"})
+        base = [4.0, 2.0]
+        _, cache, _ = two_phase.run_loader(base)
+        _, cost_two_phase = two_phase.run_reader(cache, base)
+
+        fn, caching, result = bta_split(FALSE_DEP, "f", {"b"})
+        interp = Interpreter()
+        bta_cache = [None] * (
+            max(
+                (n.slot for n in A.walk(result.loader) if isinstance(n, A.CacheStore)),
+                default=-1,
+            )
+            + 1
+        )
+        interp.run(result.loader, base, cache=bta_cache)
+        _, cost_bta = interp.run_metered(result.reader, base, cache=bta_cache)
+        assert cost_bta > cost_two_phase
+
+    def test_bta_labeling_still_sound(self):
+        # BTA is conservative, never wrong: its reader must agree with
+        # the original.
+        fn, caching, result = bta_split(FALSE_DEP, "f", {"b"})
+        interp = Interpreter()
+        plain = parse_function(FALSE_DEP)
+        check_function(plain)
+        slots = [
+            n.slot for n in A.walk(result.loader) if isinstance(n, A.CacheStore)
+        ]
+        cache = [None] * (max(slots, default=-1) + 1)
+        base = [4.0, 2.0]
+        interp.run(result.loader, base, cache=cache)
+        for b in (2.0, -5.0, 0.25):
+            args = [4.0, b]
+            expected = interp.run(plain, args)
+            got = interp.run(result.reader, args, cache=cache)
+            assert abs(got - expected) < 1e-9
+
+    def test_bta_dynamic_superset_of_two_phase(self):
+        # Mixed labeling only ever adds dynamism.
+        spec = specialize_source(FALSE_DEP, "f", {"b"}, reassoc=False)
+        fn, bta, _ = bta_split(FALSE_DEP, "f", {"b"})
+        # Compare on the *same* tree: recompute two-phase on bta's fn.
+        from repro.analysis.caching import CachingAnalysis, CachingOptions
+        from repro.analysis.costs import CostModel
+        from repro.analysis.dependence import dependence_analysis
+        from repro.analysis.index import StructuralIndex
+        from repro.analysis.loops import single_valuedness
+        from repro.analysis.reaching import reaching_definitions
+
+        index = StructuralIndex(fn)
+        two_phase = CachingAnalysis(
+            fn,
+            index,
+            reaching_definitions(fn),
+            dependence_analysis(fn, {"b"}),
+            single_valuedness(fn, index),
+            CostModel(index),
+            CachingOptions(),
+        ).solve()
+        for node in A.walk(fn.body):
+            if two_phase.label_of(node) is DYNAMIC:
+                assert bta.label_of(node) is DYNAMIC, node

@@ -1,0 +1,105 @@
+"""Unit tests for the builtin registry."""
+
+import pytest
+
+from repro.lang.errors import EvalError
+from repro.lang.types import FLOAT, VEC3, VOID
+from repro.runtime import builtins as B
+
+
+class TestRegistry:
+    def test_core_builtins_present(self):
+        for name in ("sqrt", "sin", "cos", "pow", "mix", "clamp", "smoothstep",
+                     "vec3", "dot", "cross", "normalize", "noise", "turbulence",
+                     "emit"):
+            assert B.is_builtin(name), name
+
+    def test_lookup_returns_metadata(self):
+        builtin = B.lookup("dot")
+        assert builtin.arity == 2
+        assert builtin.param_types == (VEC3, VEC3)
+        assert builtin.ret_type is FLOAT
+
+    def test_lookup_unknown_returns_none(self):
+        assert B.lookup("no_such_builtin") is None
+
+    def test_costs_positive(self):
+        for name, builtin in B.REGISTRY.items():
+            assert builtin.cost > 0, name
+
+    def test_noise_is_most_expensive_class(self):
+        cheap = max(B.builtin_cost(n) for n in ("fmin", "fmax", "step", "fabs"))
+        assert B.builtin_cost("noise") > 5 * cheap
+        assert B.builtin_cost("turbulence") > B.builtin_cost("noise")
+
+    def test_purity_flags(self):
+        assert B.builtin_is_pure("sqrt")
+        assert not B.builtin_is_pure("emit")
+
+    def test_only_emit_is_impure(self):
+        impure = [n for n, b in B.REGISTRY.items() if not b.pure]
+        assert impure == ["emit"]
+
+    def test_impure_builtins_return_void(self):
+        # The caching analysis relies on impure calls never nesting inside
+        # expressions, which the type checker guarantees via VOID returns.
+        for name, builtin in B.REGISTRY.items():
+            if not builtin.pure:
+                assert builtin.ret_type is VOID, name
+
+
+class TestImplementations:
+    def test_clamp(self):
+        fn = B.lookup("clamp").fn
+        assert fn(5.0, 0.0, 1.0) == 1.0
+        assert fn(-5.0, 0.0, 1.0) == 0.0
+        assert fn(0.5, 0.0, 1.0) == 0.5
+
+    def test_mix(self):
+        fn = B.lookup("mix").fn
+        assert fn(2.0, 4.0, 0.5) == 3.0
+
+    def test_step(self):
+        fn = B.lookup("step").fn
+        assert fn(1.0, 2.0) == 1.0
+        assert fn(1.0, 0.5) == 0.0
+
+    def test_smoothstep_endpoints(self):
+        fn = B.lookup("smoothstep").fn
+        assert fn(0.0, 1.0, -1.0) == 0.0
+        assert fn(0.0, 1.0, 2.0) == 1.0
+        assert fn(0.0, 1.0, 0.5) == 0.5
+
+    def test_smoothstep_degenerate_interval(self):
+        fn = B.lookup("smoothstep").fn
+        assert fn(1.0, 1.0, 0.5) == 0.0
+        assert fn(1.0, 1.0, 1.5) == 1.0
+
+    def test_frac(self):
+        fn = B.lookup("frac").fn
+        assert fn(2.75) == 0.75
+        assert fn(-0.25) == 0.75
+
+    def test_sqrt_negative_raises_eval_error(self):
+        with pytest.raises(EvalError):
+            B.lookup("sqrt").fn(-1.0)
+
+    def test_log_domain_error(self):
+        with pytest.raises(EvalError):
+            B.lookup("log").fn(0.0)
+
+    def test_pow_domain_error(self):
+        with pytest.raises(EvalError):
+            B.lookup("pow").fn(-1.0, 0.5)
+
+    def test_fmod_by_zero(self):
+        with pytest.raises(EvalError):
+            B.lookup("fmod").fn(1.0, 0.0)
+
+    def test_emit_sink_records(self):
+        B.EMIT_SINK.clear()
+        B.lookup("emit").fn(3.5)
+        B.lookup("emit").fn(4.5)
+        assert B.EMIT_SINK.values == [3.5, 4.5]
+        B.EMIT_SINK.clear()
+        assert B.EMIT_SINK.values == []

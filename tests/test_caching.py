@@ -1,0 +1,474 @@
+"""Unit tests for the caching analysis (Figure 3 constraint system)."""
+
+from repro.analysis.caching import validate_labels
+from repro.core.labels import CACHED, DYNAMIC, STATIC
+from repro.lang import ast_nodes as A
+
+from tests.helpers import specialize_source
+
+
+def labels_of(spec, predicate):
+    """Labels of all expression nodes matching ``predicate``."""
+    return [
+        spec.caching.label_of(node)
+        for node in A.walk(spec.original.body)
+        if isinstance(node, A.Expr) and predicate(node)
+    ]
+
+
+def cached_sources(spec):
+    return [slot.source for slot in spec.layout]
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+class TestPaperExample:
+    def test_independent_sum_is_cached(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        assert cached_sources(spec) == ["x1 * x2 + y1 * y2"]
+
+    def test_trivial_guard_is_dynamic_not_cached(self):
+        # The paper: (scale != 0) is dynamic "because it is trivial".
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        assert "scale" not in " ".join(cached_sources(spec))
+        assert "scale != 0.0" in spec.reader_source
+
+    def test_without_reassociation_two_products_cached(self):
+        # The Section 4.2 example: with x1, x2 varying, the left-assoc
+        # parse makes both additions dependent, so only the individual
+        # products y1*y2 and z1*z2 can be cached...
+        spec = specialize_source(
+            DOTPROD, "dotprod", {"x1", "x2"}, reassoc=False
+        )
+        assert cached_sources(spec) == ["y1 * y2", "z1 * z2"]
+
+    def test_reassociation_merges_independent_sum(self):
+        # ... while reassociation regroups them into one cached sum.
+        spec = specialize_source(DOTPROD, "dotprod", {"x1", "x2"})
+        assert cached_sources(spec) == ["y1 * y2 + z1 * z2"]
+
+    def test_labels_validate(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        assert validate_labels(spec.caching) == []
+
+    def test_all_static_when_nothing_varies(self):
+        spec = specialize_source(DOTPROD, "dotprod", set())
+        # Only the result value is cached; the reader is just returns.
+        assert all(
+            slot.ty.name == "float" for slot in spec.layout
+        )
+        _, cache, _ = spec.run_loader([1, 2, 3, 4, 5, 6, 2.0])
+        result, cost = spec.run_reader(cache, [1, 2, 3, 4, 5, 6, 2.0])
+        assert result == 16.0
+
+
+class TestRule2Effects:
+    SRC = """
+    float f(float a, float b) {
+        emit(a * 2.0);
+        return a + b;
+    }
+    """
+
+    def test_impure_call_is_dynamic(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        assert "emit" in spec.reader_source
+        assert "emit" in spec.loader_source
+
+    def test_effect_arguments_can_be_cached(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        # a * 2.0 is independent and non-trivial: cached, re-read by the
+        # reader's emit.
+        assert "a * 2.0" in cached_sources(spec)
+
+    def test_effect_replays_in_both_phases(self):
+        from repro.runtime.builtins import EMIT_SINK
+
+        spec = specialize_source(self.SRC, "f", {"b"})
+        EMIT_SINK.clear()
+        _, cache, _ = spec.run_loader([3.0, 1.0])
+        assert EMIT_SINK.values == [6.0]
+        spec.run_reader(cache, [3.0, 2.0])
+        assert EMIT_SINK.values == [6.0, 6.0]
+        EMIT_SINK.clear()
+
+
+class TestRule3DependentControl:
+    SRC = """
+    float f(float a, float b) {
+        float x = 0.0;
+        if (b > 0.0) {
+            x = a * a + a;
+        }
+        return x;
+    }
+    """
+
+    def test_nothing_cached_under_dependent_guard(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        assert cached_sources(spec) == []
+
+    def test_term_under_dependent_guard_in_reader(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        assert "a * a + a" in spec.reader_source
+
+    def test_speculation_mode_caches_hoistable_term(self):
+        spec = specialize_source(
+            self.SRC, "f", {"b"}, allow_speculation=True
+        )
+        assert "a * a + a" in cached_sources(spec)
+        slot = spec.layout[0]
+        assert slot.speculative
+
+    def test_speculation_correctness(self):
+        spec = specialize_source(
+            self.SRC, "f", {"b"}, allow_speculation=True
+        )
+        # Loader runs with b <= 0 (branch not taken) but the reader later
+        # needs the cached value when b > 0.
+        _, cache, _ = spec.run_loader([3.0, -1.0])
+        result, _ = spec.run_reader(cache, [3.0, 5.0])
+        assert result == 12.0
+
+    def test_labels_validate_with_speculation(self):
+        spec = specialize_source(self.SRC, "f", {"b"}, allow_speculation=True)
+        assert validate_labels(spec.caching) == []
+
+
+class TestRules4And5:
+    FIG4 = """
+    float fig4(float a, float b, int p, int q, float z) {
+        float x = a * b + 1.0;
+        if (p) {
+            x = a * a * b;
+        }
+        float zz = 0.0;
+        if (q) {
+            zz = x + z;
+        }
+        return zz + x;
+    }
+    """
+
+    def test_ssa_mode_single_slot_for_x(self):
+        spec = specialize_source(self.FIG4, "fig4", {"z"}, ssa=True)
+        x_slots = [s for s in spec.layout if s.source == "x"]
+        assert len(x_slots) == 1
+
+    def test_non_ssa_mode_duplicates_slot(self):
+        # Figure 5's redundancy: both uses of x get their own slot.
+        spec = specialize_source(self.FIG4, "fig4", {"z"}, ssa=False)
+        x_slots = [s for s in spec.layout if s.source == "x"]
+        assert len(x_slots) == 2
+
+    def test_ssa_cache_is_smaller(self):
+        with_ssa = specialize_source(self.FIG4, "fig4", {"z"}, ssa=True)
+        without = specialize_source(self.FIG4, "fig4", {"z"}, ssa=False)
+        assert with_ssa.cache_size_bytes < without.cache_size_bytes
+
+    def test_rule5_guard_enters_reader(self):
+        spec = specialize_source(self.FIG4, "fig4", {"z"})
+        # The q guard protects a dynamic assignment, so it must appear.
+        assert "if (q" in spec.reader_source or "if (cache" in spec.reader_source
+
+    def test_independent_guard_of_static_region_not_in_reader(self):
+        src = """
+        float f(float a, float b) {
+            float x = 1.0;
+            if (a > 0.0) {
+                x = 2.0;
+            }
+            return b * 3.0;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert "if" not in spec.reader_source
+
+    def test_both_phases_compute_same_results(self):
+        spec = specialize_source(self.FIG4, "fig4", {"z"})
+        args = [1.5, 2.5, 1, 1, 3.0]
+        expected, _ = spec.run_original(args)
+        got, cache, _ = spec.run_loader(args)
+        assert got == expected
+        variant = [1.5, 2.5, 1, 1, -7.0]
+        expected2, _ = spec.run_original(variant)
+        got2, _ = spec.run_reader(cache, variant)
+        assert got2 == expected2
+
+
+class TestRule6Policy:
+    def test_trivial_expression_not_cached(self):
+        src = "float f(float a, float b) { return (a + 1.0) + b; }"
+        spec = specialize_source(src, "f", {"b"})
+        # a + 1.0 costs 2 (<= memory reference): recompute, don't cache.
+        assert cached_sources(spec) == []
+        assert "a + 1.0" in spec.reader_source
+
+    def test_nontrivial_expression_cached(self):
+        src = "float f(float a, float b) { return a * a * a + b; }"
+        spec = specialize_source(src, "f", {"b"})
+        assert "a * a * a" in cached_sources(spec)
+
+    def test_param_reference_never_cached(self):
+        src = "float f(float a, float b) { return a + b; }"
+        spec = specialize_source(src, "f", {"b"})
+        assert cached_sources(spec) == []
+        assert "return a + b;" in spec.reader_source
+
+    def test_loop_variant_expression_not_cached(self):
+        src = """
+        float f(float a, int n, float b) {
+            float s = 0.0;
+            int i = 0;
+            while (i < n) {
+                s = s + sqrt(a + i);
+                i = i + 1;
+            }
+            return s + b;
+        }
+        """
+        spec = specialize_source(src, "f", {"n"})
+        # sqrt(a + i) varies per iteration: must not be cached.
+        assert all("sqrt" not in s for s in cached_sources(spec))
+
+    def test_loop_result_cached_at_exit_phi(self):
+        src = """
+        float f(float a, int n, float b) {
+            float s = 0.0;
+            int i = 0;
+            while (i < n) {
+                s = s + sqrt(a + i);
+                i = i + 1;
+            }
+            return s + b;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        # With only b varying, the whole loop is early; its result s is
+        # cached once at the loop-exit phi.
+        assert "s" in cached_sources(spec)
+        assert "while" not in spec.reader_source
+        assert "sqrt" not in spec.reader_source
+
+    def test_custom_trivial_threshold(self):
+        src = "float f(float a, float b) { return a * a + b; }"
+        normal = specialize_source(src, "f", {"b"})
+        strict = specialize_source(src, "f", {"b"}, trivial_threshold=100)
+        assert "a * a" in cached_sources(normal)
+        assert cached_sources(strict) == []
+
+
+class TestSolverProperties:
+    def test_restartability_equals_reseeding(self):
+        # Forcing a cached term dynamic after solving must equal a fresh
+        # solve where nothing blocks it: the labels still validate.
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        cached = spec.caching.cached_nodes()
+        assert cached
+        spec.caching.force_dynamic(cached[0])
+        assert validate_labels(spec.caching) == []
+        assert spec.caching.label_of(cached[0]) is DYNAMIC
+
+    def test_label_summary(self):
+        from repro.core.annotate import label_summary
+
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        summary = label_summary(spec.original, spec.caching)
+        assert summary["cached"] == 1
+        assert summary["dynamic"] > 0
+        assert summary["static"] > 0
+
+    def test_every_cached_term_has_dynamic_consumer(self):
+        # Policy: no orphan slots (each cached value is read somewhere).
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        for slot in spec.layout:
+            assert ("cache->slot%d" % slot.index) in spec.reader_source
+
+    def test_shader_labels_validate(self):
+        from repro.shaders.render import RenderSession
+
+        session = RenderSession(6, width=2, height=2)
+        spec = session.specialize("roughness")
+        assert validate_labels(spec.caching) == []
+
+
+class TestEarlyReturnSoundness:
+    """Regression: statements after an early-return construct are control
+    dependent on its guard chain (a hole the CFG cross-check exposed)."""
+
+    SRC = """
+    float f(float a, float b) {
+        if (b > 0.0) {
+            return 0.0;
+        }
+        return a * a * a + b;
+    }
+    """
+
+    def test_nothing_cached_after_dependent_early_return(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        assert cached_sources(spec) == []
+
+    def test_reader_correct_when_loader_returned_early(self):
+        spec = specialize_source(self.SRC, "f", {"b"})
+        _, cache, _ = spec.run_loader([2.0, 1.0])  # takes the early return
+        got, _ = spec.run_reader(cache, [2.0, -1.0])
+        expected, _ = spec.run_original([2.0, -1.0])
+        assert got == expected
+
+    def test_independent_early_return_still_allows_caching(self):
+        src = """
+        float f(float a, float b) {
+            if (a < 0.0) {
+                return 0.0;
+            }
+            return a * a * a + b;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        # Guard independent: loader and reader take the same path, so the
+        # cube may still be cached.
+        assert "a * a * a" in cached_sources(spec)
+        _, cache, _ = spec.run_loader([2.0, 1.0])
+        got, _ = spec.run_reader(cache, [2.0, -5.0])
+        expected, _ = spec.run_original([2.0, -5.0])
+        assert got == expected
+
+    def test_nested_early_return_taints_with_full_chain(self):
+        src = """
+        float g(float a, float p, float q) {
+            if (p > 0.0) {
+                if (q > 0.0) {
+                    return 1.0;
+                }
+            }
+            return a * a * a + p + q;
+        }
+        """
+        # Varying q: the trailing return depends on q's guard via the
+        # early return, so nothing may be cached.
+        spec = specialize_source(src, "g", {"q"})
+        assert cached_sources(spec) == []
+        base = [2.0, 1.0, 1.0]
+        _, cache, _ = spec.run_loader(base)
+        got, _ = spec.run_reader(cache, [2.0, 1.0, -1.0])
+        expected, _ = spec.run_original([2.0, 1.0, -1.0])
+        assert got == expected
+
+
+class TestSpeculationSafety:
+    def test_impure_region_never_speculated(self):
+        src = """
+        float f(float a, float b) {
+            float x = 0.0;
+            if (b > 0.0) {
+                emit(a);
+                x = a * a + a;
+            }
+            return x;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"}, allow_speculation=True)
+        # The arithmetic is hoistable, the emit is not; the emit stays
+        # dynamic and executes only under its guard.
+        assert "emit" in spec.reader_source
+        from repro.runtime.builtins import EMIT_SINK
+
+        EMIT_SINK.clear()
+        _, cache, _ = spec.run_loader([3.0, -1.0])
+        assert EMIT_SINK.values == []  # guard false: no effect, yet...
+        result, _ = spec.run_reader(cache, [3.0, 5.0])
+        assert result == 12.0  # ...the speculative slot still serves.
+        assert EMIT_SINK.values == [3.0]
+        EMIT_SINK.clear()
+
+    def test_speculation_needs_parameter_only_terms(self):
+        src = """
+        float f(float a, float b) {
+            float base = a + 1.5;
+            float x = 0.0;
+            if (b > 0.0) {
+                x = base * base + base;
+            }
+            return x;
+        }
+        """
+        # base is a local: not hoistable to entry under our safe rule, so
+        # rule 3 keeps the region dynamic even in speculation mode.
+        spec = specialize_source(src, "f", {"b"}, allow_speculation=True)
+        assert not any(slot.speculative for slot in spec.layout)
+        _, cache, _ = spec.run_loader([3.0, -1.0])
+        got, _ = spec.run_reader(cache, [3.0, 5.0])
+        expected, _ = spec.run_original([3.0, 5.0])
+        assert got == expected
+
+
+class TestConditionalExpressionSoundness:
+    """Regression: ternary arms and short-circuit right operands are
+    conditionally evaluated, so rule 3 must treat their construct as a
+    guard (a soundness bug the float property tests exposed: a cached
+    arm under a dependent ternary predicate could be read unfilled)."""
+
+    def test_arm_under_dependent_ternary_not_cached(self):
+        src = """
+        float f(float a, float b) {
+            return b > 0.0 ? a * a * a + sqrt(a) : 0.0;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert cached_sources(spec) == []
+        _, cache, _ = spec.run_loader([4.0, -1.0])  # else arm in loader
+        got, _ = spec.run_reader(cache, [4.0, 1.0])  # then arm in reader
+        expected, _ = spec.run_original([4.0, 1.0])
+        assert got == expected
+
+    def test_arm_under_independent_ternary_still_cached(self):
+        src = """
+        float f(float a, float b) {
+            return a > 0.0 ? a * a * a + sqrt(a) + b : b;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert any("a * a * a" in s for s in cached_sources(spec))
+        _, cache, _ = spec.run_loader([4.0, 0.0])
+        got, _ = spec.run_reader(cache, [4.0, 7.0])
+        expected, _ = spec.run_original([4.0, 7.0])
+        assert got == expected
+
+    def test_shortcircuit_right_under_dependent_left_not_cached(self):
+        src = """
+        int g(int a, int b) {
+            return b > 0 && a * a * a + a * 31 > 5;
+        }
+        """
+        spec = specialize_source(src, "g", {"b"})
+        assert cached_sources(spec) == []
+        _, cache, _ = spec.run_loader([3, 0])  # right side never evaluated
+        got, _ = spec.run_reader(cache, [3, 1])
+        expected, _ = spec.run_original([3, 1])
+        assert got == expected
+
+    def test_shortcircuit_right_under_independent_left_cached(self):
+        src = """
+        int g(int a, int b) {
+            int hit = a > 0 && a * a * a + a * 31 > 5;
+            return hit + b;
+        }
+        """
+        spec = specialize_source(src, "g", {"b"})
+        # The whole logical folds into the cached `hit` value.
+        _, cache, _ = spec.run_loader([3, 0])
+        got, _ = spec.run_reader(cache, [3, 9])
+        expected, _ = spec.run_original([3, 9])
+        assert got == expected
+        assert "a * a * a" not in spec.reader_source

@@ -1,0 +1,266 @@
+"""Tests for the CFG subsystem, including cross-validation of the
+structured (AST) analyses against the graph-based ones."""
+
+from repro.analysis.index import StructuralIndex
+from repro.analysis.reaching import reaching_definitions
+from repro.cfg import (
+    Branch,
+    build_cfg,
+    cfg_reaching_definitions,
+    control_dependence,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+
+NESTED = """
+int f(int a, int b) {
+    int x = a;
+    if (a > 0) {
+        x = x + 1;
+        while (x < b) {
+            x = x * 2;
+        }
+    } else {
+        x = -x;
+    }
+    return x;
+}
+"""
+
+
+def build(src):
+    fn = parse_function(src)
+    check_function(fn)
+    return fn, build_cfg(fn)
+
+
+class TestConstruction:
+    def test_straight_line_single_block(self):
+        fn, cfg = build("int f(int a) { int x = a + 1; return x; }")
+        body_blocks = [b for b in cfg.blocks if b.stmts]
+        assert len(body_blocks) == 1
+        assert len(body_blocks[0].stmts) == 2
+
+    def test_if_produces_diamond(self):
+        fn, cfg = build(
+            "int f(int a) { int x = 0;"
+            " if (a) { x = 1; } else { x = 2; }"
+            " return x; }"
+        )
+        branches = [
+            b for b in cfg.blocks if isinstance(b.terminator, Branch)
+        ]
+        assert len(branches) == 1
+        assert len(branches[0].succs) == 2
+
+    def test_while_produces_back_edge(self):
+        fn, cfg = build(
+            "int f(int n) { int i = 0;"
+            " while (i < n) { i = i + 1; }"
+            " return i; }"
+        )
+        heads = [b for b in cfg.blocks if isinstance(b.terminator, Branch)]
+        assert len(heads) == 1
+        head = heads[0]
+        # Some block jumps back to the head.
+        assert any(head in b.succs for b in cfg.blocks if b is not head)
+
+    def test_return_connects_to_exit(self):
+        fn, cfg = build(
+            "int f(int a) { if (a) { return 1; } return 0; }"
+        )
+        assert len(cfg.exit.preds) == 2
+
+    def test_unreachable_code_pruned(self):
+        fn, cfg = build(
+            "int f(int a) { return a; }"
+        )
+        reachable = cfg.reachable_blocks()
+        assert set(b.index for b in cfg.blocks) >= set(
+            b.index for b in reachable
+        )
+
+    def test_statements_shared_with_ast(self):
+        fn, cfg = build(NESTED)
+        ast_nids = {n.nid for n in A.walk(fn.body)}
+        for block, stmt in cfg.simple_statements():
+            assert stmt.nid in ast_nids
+
+    def test_describe_output(self):
+        fn, cfg = build(NESTED)
+        text = cfg.describe()
+        assert "entry" in text
+        assert "branch" in text
+        assert "halt" in text
+
+
+class TestDominance:
+    def test_entry_dominates_everything(self):
+        fn, cfg = build(NESTED)
+        dom = dominator_tree(cfg)
+        for block in cfg.reachable_blocks():
+            assert dom.dominates(cfg.entry, block)
+
+    def test_exit_postdominates_everything_reaching_it(self):
+        fn, cfg = build(NESTED)
+        pdom = postdominator_tree(cfg)
+        for block in cfg.reachable_blocks():
+            if block in pdom.idom:
+                assert pdom.dominates(cfg.exit, block)
+
+    def test_branch_dominates_its_arms(self):
+        fn, cfg = build(
+            "int f(int a) { int x = 0;"
+            " if (a) { x = 1; } else { x = 2; }"
+            " return x; }"
+        )
+        dom = dominator_tree(cfg)
+        branch = next(
+            b for b in cfg.blocks if isinstance(b.terminator, Branch)
+        )
+        for arm in branch.succs:
+            assert dom.strictly_dominates(branch, arm)
+
+    def test_join_not_dominated_by_arms(self):
+        fn, cfg = build(
+            "int f(int a) { int x = 0;"
+            " if (a) { x = 1; } else { x = 2; }"
+            " return x; }"
+        )
+        dom = dominator_tree(cfg)
+        branch = next(
+            b for b in cfg.blocks if isinstance(b.terminator, Branch)
+        )
+        then_arm = branch.succs[0]
+        join = then_arm.succs[0]
+        assert not dom.dominates(then_arm, join)
+
+    def test_loop_header_self_control_dependence(self):
+        fn, cfg = build(
+            "int f(int n) { int i = 0;"
+            " while (i < n) { i = i + 1; }"
+            " return i; }"
+        )
+        cd = control_dependence(cfg)
+        head = next(b for b in cfg.blocks if isinstance(b.terminator, Branch))
+        assert head.index in cd.direct_deps(head)
+
+
+class _CrossCheckMixin:
+    """Shared machinery: compare structural vs CFG analyses on one fn."""
+
+    @staticmethod
+    def assert_guards_agree(src, exact=True):
+        """Graph-based control dependence must never exceed the
+        structural guards (that would be a soundness hole); with no
+        early returns the two coincide exactly."""
+        fn = parse_function(src)
+        check_function(fn)
+        index = StructuralIndex(fn)
+        cfg = build_cfg(fn)
+        cd = control_dependence(cfg)
+        checked = 0
+        for block, stmt in cfg.simple_statements():
+            structural = {g.nid for g in index.guards_of(stmt)}
+            graph_based = cd.guard_owners(block)
+            assert graph_based <= structural, (stmt, structural, graph_based)
+            if exact:
+                assert structural == graph_based, (
+                    stmt, structural, graph_based,
+                )
+            checked += 1
+        assert checked > 0
+
+    @staticmethod
+    def assert_reaching_agree(src):
+        fn = parse_function(src)
+        check_function(fn)
+        structured = reaching_definitions(fn)
+        cfg_based = cfg_reaching_definitions(build_cfg(fn))
+        refs = [
+            n for n in A.walk(fn.body) if isinstance(n, A.VarRef)
+        ]
+        assert refs
+        for ref in refs:
+            a = structured.reach.get(ref.nid, frozenset())
+            b = cfg_based.reach.get(ref.nid, frozenset())
+            assert a == b, (ref.name, a, b)
+
+
+class TestCrossValidation(_CrossCheckMixin):
+    def test_guards_nested(self):
+        self.assert_guards_agree(NESTED)
+
+    def test_guards_sequential_ifs(self):
+        self.assert_guards_agree(
+            "int f(int a, int b) { int x = 0;"
+            " if (a) { x = 1; }"
+            " if (b) { x = x + 2; } else { x = 0; }"
+            " return x; }"
+        )
+
+    def test_guards_loop_in_loop(self):
+        self.assert_guards_agree(
+            "int f(int n) { int s = 0; int i = 0;"
+            " while (i < n) {"
+            "   int j = 0;"
+            "   while (j < i) { s = s + 1; j = j + 1; }"
+            "   i = i + 1; }"
+            " return s; }"
+        )
+
+    def test_guards_early_return(self):
+        self.assert_guards_agree(
+            "int f(int a, int b) {"
+            " if (a > b) { return a; }"
+            " int r = b - a;"
+            " return r; }"
+        )
+
+    def test_reaching_nested(self):
+        self.assert_reaching_agree(NESTED)
+
+    def test_reaching_branches(self):
+        self.assert_reaching_agree(
+            "int f(int p) { int x = 0;"
+            " if (p) { x = 1; } else { x = 2; }"
+            " return x; }"
+        )
+
+    def test_reaching_loops(self):
+        self.assert_reaching_agree(
+            "int f(int n) { int x = 0;"
+            " while (x < n) { x = x + 1; }"
+            " x = x * 2;"
+            " return x; }"
+        )
+
+    def test_all_shaders_cross_validate(self):
+        from repro.shaders.sources import SHADERS
+        from repro.transform.inline import Inliner
+        from repro.lang.parser import parse_program
+        from repro.lang.typecheck import check_program
+        from repro.shaders.sources import shader_program_source
+
+        for index in sorted(SHADERS):
+            program = parse_program(shader_program_source(SHADERS[index]))
+            check_program(program)
+            fn = Inliner(program).inline_function(SHADERS[index].name)
+            check_program(A.Program([fn]))
+
+            structural_index = StructuralIndex(fn)
+            cfg = build_cfg(fn)
+            cd = control_dependence(cfg)
+            for block, stmt in cfg.simple_statements():
+                structural = {g.nid for g in structural_index.guards_of(stmt)}
+                assert structural == cd.guard_owners(block), (index, stmt)
+
+            structured = reaching_definitions(fn)
+            cfg_reach = cfg_reaching_definitions(cfg)
+            for ref in (n for n in A.walk(fn.body) if isinstance(n, A.VarRef)):
+                assert structured.reach.get(ref.nid, frozenset()) == \
+                    cfg_reach.reach.get(ref.nid, frozenset()), (index, ref.name)

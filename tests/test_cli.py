@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "dotprod.ds"
+    path.write_text(DOTPROD)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSpecialize:
+    def test_default_shows_layout(self, source_file):
+        code, out = run_cli(["specialize", source_file, "-v", "z1,z2"])
+        assert code == 0
+        assert "cache layout" in out
+        assert "x1 * x2 + y1 * y2" in out
+
+    def test_show_all_sections(self, source_file):
+        code, out = run_cli(
+            ["specialize", source_file, "-v", "z1,z2", "--show", "all"]
+        )
+        assert "cache loader" in out
+        assert "cache reader" in out
+        assert "caching labels" in out
+
+    def test_cache_bound(self, source_file):
+        code, out = run_cli(
+            ["specialize", source_file, "-v", "z1,z2", "--cache-bound", "0"]
+        )
+        assert "0 slots, 0 bytes" in out
+
+    def test_unknown_varying_fails(self, source_file):
+        with pytest.raises(SystemExit):
+            run_cli(["specialize", source_file, "-v", "nope"])
+
+    def test_function_selection_single(self, source_file):
+        code, out = run_cli(
+            ["specialize", source_file, "-f", "dotprod", "-v", "scale"]
+        )
+        assert code == 0
+
+    def test_missing_function_reports_choices(self, tmp_path):
+        path = tmp_path / "two.ds"
+        path.write_text("int a() { return 1; } int b() { return 2; }")
+        with pytest.raises(SystemExit) as err:
+            run_cli(["specialize", str(path), "-v", ""])
+        assert "pick one" in str(err.value)
+
+
+class TestRun:
+    def test_run_function(self, source_file):
+        code, out = run_cli(
+            ["run", source_file, "-a", "1,2,3,4,5,6,2.0"]
+        )
+        assert "result: 16.0" in out
+        assert "cost:" in out
+
+    def test_run_bad_args(self, source_file):
+        with pytest.raises(SystemExit):
+            run_cli(["run", source_file, "-a", "1,banana"])
+
+    def test_run_missing_file(self):
+        with pytest.raises(SystemExit):
+            run_cli(["run", "/nonexistent/file.ds"])
+
+
+class TestPE:
+    def test_residual_printed(self, source_file):
+        code, out = run_cli(
+            ["pe", source_file, "--fix",
+             "x1=1.0,y1=2.0,x2=4.0,y2=5.0,scale=2.0"]
+        )
+        assert "residual program" in out
+        body = out.split("*/", 1)[1].split("/*", 1)[0]
+        assert "if" not in body
+
+    def test_generation_cost_reported(self, source_file):
+        code, out = run_cli(["pe", source_file, "--fix", "scale=2.0"])
+        assert "generation" in out
+
+    def test_bad_binding(self, source_file):
+        with pytest.raises(SystemExit):
+            run_cli(["pe", source_file, "--fix", "scale"])
+
+
+class TestCFG:
+    def test_dump(self, source_file):
+        code, out = run_cli(["cfg", source_file])
+        assert "cfg of dotprod" in out
+        assert "branch" in out
+        assert "halt" in out
+
+
+class TestSaveReplay:
+    def test_save_and_replay(self, source_file, tmp_path):
+        directory = str(tmp_path / "saved")
+        code, out = run_cli(
+            ["specialize", source_file, "-v", "z1,z2", "--save", directory]
+        )
+        assert "saved specialization" in out
+
+        code, out = run_cli(
+            ["replay", directory,
+             "--load-args", "1,2,3,4,5,6,2.0",
+             "--read-args", "1,2,9,4,5,6,2.0",
+             "--read-args", "1,2,0,4,5,0,2.0"]
+        )
+        assert code == 0
+        assert "loader: result=16.0" in out
+        assert out.count("reader:") == 2
+
+    def test_replay_missing_directory(self):
+        with pytest.raises(SystemExit):
+            run_cli(["replay", "/nonexistent", "--load-args", "1"])
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self, source_file):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "specialize", source_file,
+             "-v", "z1,z2"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0
+        assert "cache layout" in proc.stdout

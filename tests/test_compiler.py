@@ -1,0 +1,188 @@
+"""Tests for the AST → Python compiler, chiefly parity with the
+interpreter (both must implement the same language semantics)."""
+
+import pytest
+
+from repro.lang.errors import EvalError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.compiler import compile_function, compile_source
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_close
+
+
+def build(src, fn_name):
+    program = parse_program(src)
+    check_program(program)
+    fn = program.function(fn_name)
+    compiled = compile_function(fn, program)
+    interp = Interpreter(program)
+    return compiled, lambda args: interp.run(fn_name, list(args))
+
+
+def assert_parity(src, fn_name, arg_sets):
+    compiled, interpret = build(src, fn_name)
+    for args in arg_sets:
+        assert values_close(compiled(*args), interpret(args)), args
+
+
+class TestParity:
+    def test_arithmetic(self):
+        assert_parity(
+            "float f(float a, float b) { return (a + b) * (a - b) / 2.0; }",
+            "f",
+            [(1.0, 2.0), (3.5, -1.25), (0.0, 0.0)],
+        )
+
+    def test_int_division_semantics(self):
+        assert_parity(
+            "int f(int a, int b) { return a / b + a % b; }",
+            "f",
+            [(7, 2), (-7, 2), (7, -2), (-7, -2)],
+        )
+
+    def test_comparisons_yield_ints(self):
+        compiled, _ = build("int f(float a) { return a > 1.0; }", "f")
+        assert compiled(2.0) == 1
+        assert compiled(0.5) == 0
+
+    def test_short_circuit(self):
+        assert_parity(
+            "int f(int a, int b) { return a != 0 && 10 / a > b; }",
+            "f",
+            [(0, 1), (2, 1), (2, 100)],
+        )
+
+    def test_ternary(self):
+        assert_parity(
+            "float f(int p, float a, float b) { return p ? a : b; }",
+            "f",
+            [(1, 2.0, 3.0), (0, 2.0, 3.0)],
+        )
+
+    def test_loops(self):
+        assert_parity(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i += 1) { s += i * i; } return s; }",
+            "f",
+            [(0,), (1,), (10,)],
+        )
+
+    def test_vec3_ops(self):
+        assert_parity(
+            "vec3 f(vec3 a, vec3 b, float s) { return (a + b) * s - a / s; }",
+            "f",
+            [((1.0, 2.0, 3.0), (4.0, 5.0, 6.0), 2.0)],
+        )
+
+    def test_vec3_negation_and_member(self):
+        assert_parity(
+            "float f(vec3 a) { return (-a).y + a.x * a.z; }",
+            "f",
+            [((1.0, 2.0, 3.0),), ((-1.5, 0.25, 4.0),)],
+        )
+
+    def test_scalar_times_vec3(self):
+        assert_parity(
+            "vec3 f(vec3 a, float s) { return s * a; }",
+            "f",
+            [((1.0, 2.0, 3.0), 3.0)],
+        )
+
+    def test_builtins(self):
+        assert_parity(
+            "float f(vec3 p, float t) {"
+            " return noise(p * t) + smoothstep(0.0, 1.0, t) + dot(p, p); }",
+            "f",
+            [((0.3, 0.7, -0.2), 1.5), ((1.1, -2.2, 0.9), 0.25)],
+        )
+
+    def test_user_function_calls(self):
+        assert_parity(
+            "float sq(float x) { return x * x; }"
+            "float f(float a) { return sq(a) + sq(a + 1.0); }",
+            "f",
+            [(2.0,), (-3.0,)],
+        )
+
+    def test_mutual_statement_forms(self):
+        assert_parity(
+            "int f(int a) {"
+            " int x;"
+            " if (a > 0) { x = a; } else { x = -a; }"
+            " while (x > 10) { x = x - 10; }"
+            " return x; }",
+            "f",
+            [(5,), (-37,), (0,)],
+        )
+
+    def test_unbound_keywordish_names(self):
+        # Kernel identifiers that are Python keywords must be mangled.
+        assert_parity(
+            "int f(int lambda, int class) { return lambda + class; }",
+            "f",
+            [(1, 2)],
+        )
+
+
+class TestCache:
+    def test_compiled_cache_store_and_read(self):
+        from repro.lang import ast_nodes as A
+        from repro.lang.types import FLOAT
+
+        store = A.CacheStore(0, A.BinOp("*", A.VarRef("a"), A.FloatLit(2.0)))
+        loader = A.FunctionDef(
+            "loader",
+            [A.Param(FLOAT, "a")],
+            FLOAT,
+            A.Block([A.Return(store)]),
+        )
+        A.number_nodes(loader)
+        check_program(A.Program([loader]))
+        reader = A.FunctionDef(
+            "reader",
+            [A.Param(FLOAT, "a")],
+            FLOAT,
+            A.Block([A.Return(A.CacheRead(0, FLOAT))]),
+        )
+        A.number_nodes(reader)
+        check_program(A.Program([reader]))
+
+        compiled_loader = compile_function(loader)
+        compiled_reader = compile_function(reader)
+        cache = [None]
+        assert compiled_loader(21.0, cache) == 42.0
+        assert cache[0] == 42.0
+        assert compiled_reader(0.0, cache) == 42.0
+
+
+class TestSourceGeneration:
+    def test_source_is_valid_python(self):
+        program = parse_program("float f(float x) { return sqrt(x) + 1.0; }")
+        check_program(program)
+        source = compile_source(program.function("f"))
+        compile(source, "<test>", "exec")  # must not raise
+
+    def test_source_mentions_mangled_params(self):
+        program = parse_program("float f(float alpha) { return alpha; }")
+        check_program(program)
+        source = compile_source(program.function("f"))
+        assert "v_alpha" in source
+
+    def test_unknown_user_call_without_program(self):
+        program = parse_program(
+            "float g(float x) { return x; }"
+            "float f(float x) { return g(x); }"
+        )
+        check_program(program)
+        with pytest.raises(EvalError):
+            compile_function(program.function("f"), program=None)
+
+    def test_void_function_returns_none(self):
+        program = parse_program("void f(float x) { emit(x); }")
+        check_program(program)
+        compiled = compile_function(program.function("f"))
+        from repro.runtime.builtins import EMIT_SINK
+        EMIT_SINK.clear()
+        assert compiled(1.5) is None
+        assert EMIT_SINK.values == [1.5]
+        EMIT_SINK.clear()

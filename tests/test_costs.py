@@ -1,0 +1,91 @@
+"""Unit tests for the static cost model (Section 4.3)."""
+
+from repro.analysis.costs import CostModel
+from repro.analysis.index import StructuralIndex
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+
+def build(src):
+    fn = parse_function(src)
+    check_function(fn)
+    index = StructuralIndex(fn)
+    return fn, CostModel(index)
+
+
+def ret_expr(fn):
+    for stmt in A.walk(fn.body):
+        if isinstance(stmt, A.Return):
+            return stmt.expr
+    raise AssertionError
+
+
+class TestIntrinsicCosts:
+    def test_paper_anchor_add_is_one(self):
+        fn, costs = build("int f(int a, int b) { return a + b; }")
+        # two refs (1 each) + add (1)
+        assert costs.intrinsic(ret_expr(fn)) == 3
+
+    def test_paper_anchor_div_is_nine(self):
+        fn, costs = build("int f(int a, int b) { return a / b; }")
+        assert costs.intrinsic(ret_expr(fn)) == 11
+
+    def test_constants_free(self):
+        fn, costs = build("int f() { return 5; }")
+        assert costs.intrinsic(ret_expr(fn)) == 0
+
+    def test_subterm_costs_sum(self):
+        fn, costs = build("int f(int a, int b) { return a * b + a; }")
+        # mul: 2 refs + 3; add: +1; ref: +1 => 7
+        assert costs.intrinsic(ret_expr(fn)) == 7
+
+    def test_vector_ops_cost_three_lanes(self):
+        scalar_fn, scalar_costs = build("float f(float a, float b) { return a + b; }")
+        vec_fn, vec_costs = build("vec3 f(vec3 a, vec3 b) { return a + b; }")
+        scalar = scalar_costs.intrinsic(ret_expr(scalar_fn))
+        vector = vec_costs.intrinsic(ret_expr(vec_fn))
+        assert vector == scalar + 2  # op cost 1 -> 3
+
+    def test_builtin_cost_included(self):
+        fn, costs = build("float f(vec3 p) { return noise(p); }")
+        assert costs.intrinsic(ret_expr(fn)) > 100
+
+    def test_memoization_consistent(self):
+        fn, costs = build("int f(int a) { return a * a * a; }")
+        expr = ret_expr(fn)
+        assert costs.intrinsic(expr) == costs.intrinsic(expr)
+
+
+class TestPositionalScaling:
+    LOOP_SRC = (
+        "int f(int n, int a) {"
+        " int s = 0; int i = 0;"
+        " while (i < n) {"
+        "   if (a > 0) { s = s + a * a; }"
+        "   i = i + 1; }"
+        " return s; }"
+    )
+
+    def test_loop_multiplier_five(self):
+        fn, costs = build(self.LOOP_SRC)
+        loop = fn.body.stmts[2]
+        i_update = loop.body.stmts[1]
+        assert costs.positional(i_update) == costs.intrinsic(i_update) * 5
+
+    def test_branch_divisor_two(self):
+        fn, costs = build(self.LOOP_SRC)
+        loop = fn.body.stmts[2]
+        if_stmt = loop.body.stmts[0]
+        guarded = if_stmt.then.stmts[0]
+        assert costs.positional(guarded) == costs.intrinsic(guarded) * 5 / 2.0
+
+    def test_top_level_unscaled(self):
+        fn, costs = build(self.LOOP_SRC)
+        ret = fn.body.stmts[3]
+        assert costs.positional(ret) == costs.intrinsic(ret)
+
+    def test_while_statement_cost_scales_body(self):
+        fn, costs = build(self.LOOP_SRC)
+        loop = fn.body.stmts[2]
+        assert costs.intrinsic(loop) > 5 * costs.intrinsic(loop.body.stmts[1])

@@ -1,0 +1,179 @@
+"""Unit tests for the dependence analysis (Section 3.1)."""
+
+import pytest
+
+from repro.analysis.dependence import dependence_analysis
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+
+def analyze(src, varying):
+    fn = parse_function(src)
+    check_function(fn)
+    return fn, dependence_analysis(fn, varying)
+
+
+def refs_named(fn, name):
+    return [n for n in A.walk(fn.body) if isinstance(n, A.VarRef) and n.name == name]
+
+
+class TestDirectDependence:
+    def test_varying_param_reference_dependent(self):
+        fn, dep = analyze("int f(int a, int b) { return a + b; }", {"b"})
+        (a_ref,) = refs_named(fn, "a")
+        (b_ref,) = refs_named(fn, "b")
+        assert not dep.is_dependent(a_ref)
+        assert dep.is_dependent(b_ref)
+
+    def test_operand_propagation(self):
+        fn, dep = analyze("int f(int a, int b) { return (a + 1) * b; }", {"b"})
+        ret = fn.body.stmts[0]
+        mul = ret.expr
+        assert dep.is_dependent(mul)
+        assert not dep.is_dependent(mul.left)  # (a + 1)
+
+    def test_no_varying_inputs_nothing_dependent(self):
+        fn, dep = analyze("int f(int a) { int x = a * 2; return x; }", set())
+        assert not any(
+            dep.is_dependent(n) for n in A.walk(fn.body)
+        )
+
+    def test_unknown_varying_name_rejected(self):
+        fn = parse_function("int f(int a) { return a; }")
+        with pytest.raises(ValueError):
+            dependence_analysis(fn, {"zz"})
+
+
+class TestFlowDependence:
+    def test_dependent_definition_taints_use(self):
+        fn, dep = analyze(
+            "int f(int a, int b) { int x = b + 1; return x + a; }", {"b"}
+        )
+        (x_ref,) = refs_named(fn, "x")
+        assert dep.is_dependent(x_ref)
+
+    def test_killing_assignment_clears_dependence(self):
+        fn, dep = analyze(
+            "int f(int a, int b) { int x = b; x = a; return x; }", {"b"}
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert not dep.is_dependent(final_ref)
+
+    def test_merge_over_branches(self):
+        fn, dep = analyze(
+            "int f(int p, int a, int b) {"
+            " int x = a;"
+            " if (p) { x = b; }"
+            " return x; }",
+            {"b"},
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert dep.is_dependent(final_ref)
+
+    def test_loop_fixpoint_propagates(self):
+        fn, dep = analyze(
+            "int f(int n, int b) {"
+            " int x = 0; int i = 0;"
+            " while (i < n) { x = x + b; i = i + 1; }"
+            " return x; }",
+            {"b"},
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert dep.is_dependent(final_ref)
+
+    def test_loop_independent_variable_stays_clean(self):
+        fn, dep = analyze(
+            "int f(int n, int b) {"
+            " int x = 0; int i = 0;"
+            " while (i < n) { x = x + 1; i = i + 1; }"
+            " return x + b; }",
+            {"b"},
+        )
+        # x never touches b; only the final addition is dependent.
+        final_x = refs_named(fn, "x")[-1]
+        assert not dep.is_dependent(final_x)
+
+
+class TestControlDependence:
+    def test_dependent_predicate_taints_assigned_vars(self):
+        # Paper case 4: x is set under a predicate that depends on varying
+        # input, so after the join x is dependent even though both values
+        # are independent.
+        fn, dep = analyze(
+            "int f(int a, int b) {"
+            " int x = 1;"
+            " if (b > 0) { x = 2; }"
+            " return x; }",
+            {"b"},
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert dep.is_dependent(final_ref)
+
+    def test_independent_predicate_no_taint(self):
+        fn, dep = analyze(
+            "int f(int a, int b) {"
+            " int x = 1;"
+            " if (a > 0) { x = 2; }"
+            " return x + b; }",
+            {"b"},
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert not dep.is_dependent(final_ref)
+
+    def test_dependent_loop_guard_taints_body_vars(self):
+        fn, dep = analyze(
+            "int f(int a, int b) {"
+            " int x = 0; int i = 0;"
+            " while (i < b) { x = x + 1; i = i + 1; }"
+            " return x; }",
+            {"b"},
+        )
+        final_ref = refs_named(fn, "x")[-1]
+        assert dep.is_dependent(final_ref)
+
+    def test_taint_applies_to_vars_assigned_in_either_branch(self):
+        fn, dep = analyze(
+            "int f(int b) {"
+            " int x = 1; int y = 1;"
+            " if (b > 0) { x = 2; } else { y = 2; }"
+            " return x + y; }",
+            {"b"},
+        )
+        assert dep.is_dependent(refs_named(fn, "x")[-1])
+        assert dep.is_dependent(refs_named(fn, "y")[-1])
+
+
+class TestCallsAndEffects:
+    def test_pure_call_of_independent_args_independent(self):
+        fn, dep = analyze(
+            "float f(float a, float b) { return sqrt(a) + b; }", {"b"}
+        )
+        ret = fn.body.stmts[0]
+        call = ret.expr.left
+        assert not dep.is_dependent(call)
+
+    def test_pure_call_of_dependent_args_dependent(self):
+        fn, dep = analyze("float f(float b) { return sqrt(b); }", {"b"})
+        ret = fn.body.stmts[0]
+        assert dep.is_dependent(ret.expr)
+
+    def test_impure_call_always_dependent(self):
+        fn, dep = analyze("void f(float a) { emit(a); }", set())
+        stmt = fn.body.stmts[0]
+        assert dep.is_dependent(stmt.expr)
+
+    def test_ternary_dependent_via_predicate(self):
+        fn, dep = analyze(
+            "int f(int a, int b) { return b > 0 ? a : a + 1; }", {"b"}
+        )
+        ret = fn.body.stmts[0]
+        assert dep.is_dependent(ret.expr)
+
+    def test_statement_marking(self):
+        fn, dep = analyze(
+            "int f(int a, int b) { int x = b; int y = a; return x; }", {"b"}
+        )
+        decl_x, decl_y, _ = fn.body.stmts
+        assert dep.is_dependent(decl_x)
+        assert not dep.is_dependent(decl_y)

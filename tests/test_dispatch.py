@@ -1,0 +1,245 @@
+"""Tests for dispatch-code specialization (Section 7.2 extension)."""
+
+import itertools
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import SpecializationError
+from repro.lang.pretty import format_function
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_close
+from repro.transform.dispatch import build_dispatch_table, find_dispatch_candidates
+
+from tests.helpers import specialize_source
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+TWO_FLAGS = """
+float f(float a, float mode, float gain, float t) {
+    float base = sqrt(a) + a * a;
+    float r = 0.0;
+    if (mode > 0.5) {
+        r = base * t;
+    } else {
+        r = base - t;
+    }
+    if (gain > 1.0) {
+        r = r * gain + t;
+    }
+    return r;
+}
+"""
+
+
+def dispatch_for(src, fn_name, varying, **options):
+    spec = specialize_source(src, fn_name, varying, **options)
+    return spec, build_dispatch_table(spec)
+
+
+def run_via_dispatch(table, args, cache=None):
+    interp = Interpreter()
+    if cache is None:
+        cache = table.layout.new_instance()
+        interp.run(table.loader, args, cache=cache)
+    variant = table.select(cache)
+    return interp.run(variant, args, cache=cache), cache
+
+
+class TestCandidateSelection:
+    def test_dotprod_guard_is_a_candidate(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        assert table is not None
+        assert table.bits == 1
+        assert "scale != 0.0" in table.candidate_predicates[0]
+
+    def test_two_candidates(self):
+        spec, table = dispatch_for(TWO_FLAGS, "f", {"t"})
+        assert table.bits == 2
+        assert len(table.variants) == 4
+
+    def test_dependent_branch_not_a_candidate(self):
+        src = """
+        float f(float a, float t) {
+            if (t > 0.0) {
+                return a * a;
+            }
+            return a;
+        }
+        """
+        spec, table = dispatch_for(src, "f", {"t"})
+        assert table is None
+
+    def test_branch_in_loop_not_a_candidate(self):
+        src = """
+        float f(float a, int n, float t) {
+            float s = 0.0;
+            int i = 0;
+            while (i < n) {
+                if (a > 0.0) { s = s + t; }
+                i = i + 1;
+            }
+            return s;
+        }
+        """
+        spec, table = dispatch_for(src, "f", {"t", "n"})
+        assert table is None
+
+    def test_max_bits_respected(self):
+        spec = specialize_source(TWO_FLAGS, "f", {"t"})
+        table = build_dispatch_table(spec, max_bits=1)
+        assert table.bits == 1
+        assert len(table.variants) == 2
+
+
+class TestVariantStructure:
+    def test_variants_have_no_candidate_test(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        for variant in table.variants:
+            assert "if" not in format_function(variant)
+
+    def test_variant_names_encode_code(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        assert table.variants[0].name.endswith("_v0")
+        assert table.variants[1].name.endswith("_v1")
+
+    def test_dispatch_slot_added_to_layout(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        assert len(table.layout) == len(spec.layout) + 1
+        slot = table.layout[table.dispatch_slot]
+        assert slot.ty.name == "int"
+        assert slot.source.startswith("dispatch(")
+
+    def test_loader_stores_dispatch_code(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        cache = table.layout.new_instance()
+        Interpreter().run(
+            table.loader, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0], cache=cache
+        )
+        assert table.code_of(cache) == 1  # scale != 0 -> bit set
+        cache2 = table.layout.new_instance()
+        Interpreter().run(
+            table.loader, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0], cache=cache2
+        )
+        assert table.code_of(cache2) == 0
+
+    def test_unloaded_cache_rejected(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        with pytest.raises(SpecializationError):
+            table.select(table.layout.new_instance())
+
+
+class TestCorrectness:
+    def test_dotprod_both_contexts(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        for scale in (2.0, 0.0):
+            base = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, scale]
+            result, cache = run_via_dispatch(table, base)
+            expected, _ = spec.run_original(base)
+            assert values_close(result, expected)
+            # Reader variants serve fresh varying values too.
+            variant_args = [1.0, 2.0, -9.0, 4.0, 5.0, 0.5, scale]
+            expected2, _ = spec.run_original(variant_args)
+            got2, _ = run_via_dispatch(table, variant_args, cache)
+            assert values_close(got2, expected2)
+
+    def test_two_flags_all_four_contexts(self):
+        spec, table = dispatch_for(TWO_FLAGS, "f", {"t"})
+        for mode, gain in itertools.product((0.0, 1.0), (0.5, 2.0)):
+            base = [4.0, mode, gain, 3.0]
+            result, cache = run_via_dispatch(table, base)
+            expected, _ = spec.run_original(base)
+            assert values_close(result, expected), (mode, gain)
+            for t in (0.0, -2.5, 7.0):
+                args = [4.0, mode, gain, t]
+                expected, _ = spec.run_original(args)
+                got, _ = run_via_dispatch(table, args, cache)
+                assert values_close(got, expected), (mode, gain, t)
+
+    def test_candidate_under_independent_guard(self):
+        src = """
+        float f(float a, float g, float t) {
+            float r = t;
+            if (a > 0.0) {
+                if (g > 0.0) {
+                    r = r + sqrt(a) * 2.0;
+                } else {
+                    r = r - a * a * a;
+                }
+            }
+            return r;
+        }
+        """
+        spec, table = dispatch_for(src, "f", {"t"})
+        assert table is not None
+        for a, g in [(1.0, 1.0), (1.0, -1.0), (-1.0, 5.0)]:
+            base = [a, g, 0.5]
+            result, cache = run_via_dispatch(table, base)
+            expected, _ = spec.run_original(base)
+            assert values_close(result, expected), (a, g)
+
+
+class TestBenefit:
+    def test_variant_reader_cheaper_than_plain_reader(self):
+        spec, table = dispatch_for(DOTPROD, "dotprod", {"z1", "z2"})
+        base = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+        _, cache, _ = spec.run_loader(base)
+        _, plain_cost = spec.run_reader(cache, base)
+
+        dcache = table.layout.new_instance()
+        interp = Interpreter()
+        interp.run(table.loader, base, cache=dcache)
+        variant = table.select(dcache)
+        _, variant_cost = interp.run_metered(variant, base, cache=dcache)
+        assert variant_cost < plain_cost
+
+    def test_variant_smaller_than_plain_reader(self):
+        spec, table = dispatch_for(TWO_FLAGS, "f", {"t"})
+        plain_size = A.count_nodes(spec.reader)
+        for variant in table.variants:
+            assert A.count_nodes(variant) < plain_size
+
+
+class TestIntegration:
+    def test_dispatch_on_limited_specialization(self):
+        # Cache limiting and dispatch codes compose: bound the data cache,
+        # then add the dispatch slot on top.
+        spec = specialize_source(
+            TWO_FLAGS, "f", {"t"}, cache_bound=4
+        )
+        table = build_dispatch_table(spec)
+        assert table is not None
+        assert table.layout.size_bytes <= 4 + 4  # bounded data + dispatch
+        base = [4.0, 1.0, 2.0, 3.0]
+        result, cache = run_via_dispatch(table, base)
+        expected, _ = spec.run_original(base)
+        assert values_close(result, expected)
+
+    def test_dispatch_with_speculation(self):
+        src = """
+        float f(float a, float g, float t) {
+            float r = t;
+            if (g > 0.5) {
+                r = r + a * a * a;
+            }
+            return r;
+        }
+        """
+        spec = specialize_source(src, "f", {"t"}, allow_speculation=True)
+        table = build_dispatch_table(spec)
+        assert table is not None
+        for g in (1.0, 0.0):
+            base = [2.0, g, 1.0]
+            result, cache = run_via_dispatch(table, base)
+            expected, _ = spec.run_original(base)
+            assert values_close(result, expected), g

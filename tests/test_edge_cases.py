@@ -1,0 +1,190 @@
+"""Edge-case behaviors across the language stack, pinned explicitly."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import EvalError
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import format_expr, format_program, format_stmt
+from repro.lang.typecheck import check_program
+from repro.runtime.compiler import compile_function
+from repro.runtime.interp import Interpreter
+
+from tests.helpers import specialize_source
+
+
+def run(src, fn, args):
+    program = parse_program(src)
+    check_program(program)
+    return Interpreter(program).run(fn, list(args))
+
+
+class TestSemanticsCorners:
+    def test_logicals_return_exactly_zero_or_one(self):
+        assert run("int f(int a) { return a && 7; }", "f", [3]) == 1
+        assert run("int f(int a) { return a || 0; }", "f", [9]) == 1
+        assert run("int f(int a) { return !a; }", "f", [0]) == 1
+
+    def test_ternary_inside_condition(self):
+        src = "int f(int a, int b) { if (a > 0 ? b : !b) { return 1; } return 0; }"
+        assert run(src, "f", [1, 1]) == 1
+        assert run(src, "f", [1, 0]) == 0
+        assert run(src, "f", [-1, 0]) == 1
+
+    def test_flat_scoping_block_decl_visible_after(self):
+        # C89 would scope x to the inner block; our checker uses one flat
+        # namespace per function, so the later use is legal.
+        src = "int f(int a) { { int x = a + 1; } return x; }"
+        assert run(src, "f", [4]) == 5
+
+    def test_nonzero_float_condition_is_int_only(self):
+        from repro.lang.errors import KernelTypeError
+
+        with pytest.raises(KernelTypeError):
+            check_program(parse_program(
+                "int f(float a) { return a ? 1 : 0; }"
+            ))
+
+    def test_big_integers_do_not_wrap(self):
+        # A documented divergence from C: Python ints are unbounded.
+        src = "int f(int a) { return a * a * a * a; }"
+        assert run(src, "f", [10_000]) == 10_000 ** 4
+
+    def test_effect_order_in_expressions(self):
+        from repro.runtime.builtins import EMIT_SINK
+
+        src = """
+        void f(float a) {
+            emit(a);
+            emit(a + 1.0);
+            emit(a + 2.0);
+        }
+        """
+        EMIT_SINK.clear()
+        run(src, "f", [1.0])
+        assert EMIT_SINK.values == [1.0, 2.0, 3.0]
+        EMIT_SINK.clear()
+
+    def test_error_messages_name_the_variable(self):
+        with pytest.raises(EvalError) as err:
+            run("int f(int p) { int x; if (p) { x = 1; } return x; }", "f", [0])
+        assert "'x'" in str(err.value)
+
+    def test_while_pred_reevaluated_each_iteration(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            while (i * i < n) { i = i + 1; }
+            return i;
+        }
+        """
+        assert run(src, "f", [10]) == 4
+
+
+class TestCompilerCorners:
+    def test_python_keyword_function_name(self):
+        program = parse_program("int class(int lambda) { return lambda + 1; }")
+        check_program(program)
+        compiled = compile_function(program.function("class"), program)
+        assert compiled(41) == 42
+
+    def test_empty_branch_compiles(self):
+        program = parse_program(
+            "int f(int a) { if (a) { } else { a = 1; } return a; }"
+        )
+        check_program(program)
+        compiled = compile_function(program.function("f"))
+        assert compiled(0) == 1
+        assert compiled(7) == 7
+
+    def test_nested_block_compiles(self):
+        program = parse_program(
+            "int f(int a) { { { a = a * 2; } } return a; }"
+        )
+        check_program(program)
+        assert compile_function(program.function("f"))(5) == 10
+
+
+class TestPrettyCorners:
+    def test_scientific_float_roundtrips(self):
+        program = parse_program("float f() { return 0.0000001; }")
+        text = format_program(program)
+        reparsed = parse_program(text)
+        check_program(reparsed)
+        assert Interpreter(reparsed).run("f", []) == 1e-07
+
+    def test_negative_literal_roundtrips(self):
+        expr = parse_expression("-2.5 * -3")
+        assert format_expr(expr) == "-2.5 * -3"
+
+    def test_format_stmt_single(self):
+        program = parse_program("int f(int a) { return a; }")
+        stmt = program.function("f").body.stmts[0]
+        assert format_stmt(stmt) == "return a;"
+
+    def test_deeply_nested_parens_minimal(self):
+        expr = parse_expression("((a + (b * c)) + d)")
+        assert format_expr(expr) == "a + b * c + d"
+
+
+class TestSpecializationCorners:
+    def test_void_fragment_specializes(self):
+        src = """
+        void f(float a, float b) {
+            emit(a * a * a);
+            emit(b);
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        from repro.runtime.builtins import EMIT_SINK
+
+        EMIT_SINK.clear()
+        _, cache, _ = spec.run_loader([2.0, 1.0])
+        assert EMIT_SINK.values == [8.0, 1.0]
+        spec.run_reader(cache, [2.0, 5.0])
+        assert EMIT_SINK.values == [8.0, 1.0, 8.0, 5.0]
+        EMIT_SINK.clear()
+        # The cube is cached, not recomputed, in the reader.
+        assert "a * a * a" not in spec.reader_source
+
+    def test_constant_only_fragment(self):
+        spec = specialize_source(
+            "int f(int a, int b) { return 42; }", "f", {"b"}
+        )
+        assert spec.cache_size_bytes == 0
+        _, cache, _ = spec.run_loader([1, 2])
+        assert spec.run_reader(cache, [1, 99])[0] == 42
+
+    def test_fragment_that_ignores_varying_input(self):
+        spec = specialize_source(
+            "float f(float a, float b) { return sqrt(a) * a; }", "f", {"b"}
+        )
+        _, cache, _ = spec.run_loader([4.0, 0.0])
+        result, cost = spec.run_reader(cache, [4.0, 123.0])
+        assert result == 8.0
+        # Reader degenerates to a cache read + return.
+        assert cost < 10
+
+    def test_single_parameter_fragment(self):
+        spec = specialize_source(
+            "float f(float t) { return t * t; }", "f", {"t"}
+        )
+        _, cache, _ = spec.run_loader([3.0])
+        assert spec.run_reader(cache, [5.0])[0] == 25.0
+
+    def test_infinite_loop_fragment_still_specializes(self):
+        # Static analyses terminate even when the program would not.
+        src = """
+        int f(int a, int b) {
+            int x = 0;
+            while (1) {
+                x = x + a + b;
+            }
+            return x;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert "while (1)" in spec.reader_source
+        interp = Interpreter(max_steps=1000)
+        with pytest.raises(EvalError):
+            interp.run(spec.reader, [1, 2], cache=spec.new_cache())

@@ -1,0 +1,89 @@
+"""Every example script must run cleanly end to end."""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.fixture()
+def argv_guard(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", ["example"])
+    monkeypatch.chdir(tmp_path)
+    return capsys
+
+
+def run_example(name):
+    return runpy.run_path("examples/%s" % name, run_name="__main__")
+
+
+def test_quickstart(argv_guard, monkeypatch):
+    monkeypatch.chdir(".")  # quickstart needs no files
+    run_example_from_repo("quickstart.py")
+    out = argv_guard.readouterr().out
+    assert "cache loader" in out
+    assert "startup overhead" in out
+
+
+def run_example_from_repo(name):
+    import os
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return runpy.run_path(os.path.join(repo, "examples", name), run_name="__main__")
+
+
+def test_interactive_shading(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(
+        sys, "argv", ["interactive_shading.py", str(tmp_path / "frames")]
+    )
+    import os
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    runpy.run_path(
+        os.path.join(repo, "examples", "interactive_shading.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "frame 0 (loader)" in out
+    frames = list((tmp_path / "frames").glob("*.ppm"))
+    assert len(frames) == 5
+    # PPM header sanity.
+    first = frames[0].read_text().splitlines()
+    assert first[0] == "P3"
+
+
+def test_cache_budget(argv_guard):
+    run_example_from_repo("cache_budget.py")
+    out = argv_guard.readouterr().out
+    assert "eviction order" in out
+    assert "surviving slots" in out
+
+
+def test_explore_labels(argv_guard):
+    run_example_from_repo("explore_labels.py")
+    out = argv_guard.readouterr().out
+    assert "cache sizes" in out
+    assert "--- reader ---" in out
+
+
+def test_code_vs_data(argv_guard):
+    run_example_from_repo("code_vs_data.py")
+    out = argv_guard.readouterr().out
+    assert "residual program" in out
+    assert "pays back at n=2" in out
+    assert "cumulative cost" in out
+
+
+def test_spline_editor(argv_guard):
+    run_example_from_repo("spline_editor.py")
+    out = argv_guard.readouterr().out
+    assert "cached coefficients" in out
+    assert "resampling speedup" in out
+    assert "*" in out
+
+
+def test_image_filter(argv_guard):
+    run_example_from_repo("image_filter.py")
+    out = argv_guard.readouterr().out
+    assert "cached weights" in out
+    assert "steady-state" in out

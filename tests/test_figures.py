@@ -1,0 +1,77 @@
+"""Tests for the figure regenerators (small configurations).
+
+The full-resolution regeneration lives in benchmarks/; these tests verify
+the machinery and the qualitative claims on reduced samples.
+"""
+
+import math
+
+from repro.bench import figures as F
+
+
+class TestTableRendering:
+    def test_render_table_aligns(self):
+        text = F.render_table(["a", "long"], [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_render_table_header_rule(self):
+        text = F.render_table(["x"], [(1,)])
+        assert "-" in text.splitlines()[1]
+
+
+class TestDotprod:
+    def test_sec2_shape(self):
+        cases, table = F.sec2_dotprod()
+        nonzero = cases["scale nonzero"]
+        zero = cases["scale zero"]
+        # Paper: 11% / 0% speedups; 5.5% / 0% overheads; breakeven <= 2.
+        assert 1.0 < nonzero["speedup"] < 3.0
+        assert zero["speedup"] == 1.0
+        assert 0.0 <= nonzero["overhead"] < 0.15
+        assert zero["overhead"] == 0.0
+        assert nonzero["breakeven"] <= 2
+        assert "speedup" in table
+
+
+class TestCodeSize:
+    def test_sec33_all_shaders_under_two_x(self):
+        data, table = F.sec33_code_size()
+        assert len(data) == 10
+        for index, row in data.items():
+            assert row["ratio"] < 2.0, index
+        assert "fragment" in table
+
+
+class TestSweepStructure:
+    def test_shared_sweep_memoized(self):
+        a = F.shared_sweep()
+        assert F.shared_sweep() is a
+
+    def test_fig7_summary(self):
+        summary, table, summary_table = F.fig7_speedups()
+        assert set(summary) == set(range(1, 11))
+        for stats in summary.values():
+            assert stats["min"] >= 1.0
+            assert stats["max"] >= stats["median"] >= stats["min"]
+        # Noise-driven shaders beat the simple ones (paper's observation).
+        assert summary[3]["max"] > summary[1]["max"]
+        assert summary[5]["max"] > summary[6]["max"]
+
+    def test_fig8_stats(self):
+        stats, table = F.fig8_cache_sizes()
+        # Paper: mean 22 / median 20 bytes, "tens of bytes"; same order.
+        assert 8 <= stats["median"] <= 60
+        assert 8 <= stats["mean"] <= 60
+        # 640x480 worst-case array fits easily in a 64 MB workstation.
+        assert stats["total_image_bytes_640x480"] < 64 * 1024 * 1024
+
+    def test_sec52_overhead(self):
+        stats, table = F.sec52_overhead()
+        assert sum(stats["histogram"].values()) == 131
+        # Paper: 97% of partitions break even at two uses.
+        assert stats["share_at_two"] >= 0.9
+        assert all(
+            be is math.inf or be >= 1 for be in stats["histogram"]
+        )

@@ -1,0 +1,110 @@
+"""Tests for the Gaussian-filter application (§7.3, high-repetition)."""
+
+import math
+
+from repro.apps.filter import (
+    PIXEL_PARAMS,
+    blur_row,
+    filter_program,
+    specialize_on_sigma,
+)
+from repro.lang.typecheck import check_program
+from repro.runtime.interp import Interpreter
+
+
+SIGMA = 1.5
+ROW = [0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.5, 0.5, 0.0, 1.0, 0.0]
+
+
+def reference_weights(sigma):
+    s = max(sigma, 0.05)
+    weights = [math.exp(-(k * k) / (2.0 * s * s)) for k in range(-4, 5)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+class TestFilterSemantics:
+    def test_program_checks(self):
+        check_program(filter_program())
+
+    def test_matches_reference_gaussian(self):
+        program = filter_program()
+        check_program(program)
+        interp = Interpreter(program)
+        weights = reference_weights(SIGMA)
+        window = [0.1 * i for i in range(9)]
+        expected = sum(w * p for w, p in zip(weights, window))
+        got = interp.run("gauss9", window + [SIGMA])
+        assert abs(got - expected) < 1e-12
+
+    def test_preserves_constants(self):
+        program = filter_program()
+        check_program(program)
+        interp = Interpreter(program)
+        assert abs(interp.run("gauss9", [0.7] * 9 + [2.0]) - 0.7) < 1e-12
+
+
+class TestFilterSpecialization:
+    def test_weights_cached(self):
+        spec = specialize_on_sigma()
+        # The normalization and every tap weight are early.
+        assert "exp" not in spec.reader_source
+        assert spec.cache_size_bytes >= 5 * 4
+
+    def test_reader_much_cheaper(self):
+        spec = specialize_on_sigma()
+        args = [0.5] * 9 + [SIGMA]
+        _, cache, _ = spec.run_loader(args)
+        _, read_cost = spec.run_reader(cache, args)
+        _, orig_cost = spec.run_original(args)
+        assert orig_cost / read_cost > 2.5
+
+    def test_blur_row_correct(self):
+        spec = specialize_on_sigma()
+        _, cache, _ = spec.run_loader([0.0] * 9 + [SIGMA])
+        out, _ = blur_row(spec, cache, ROW, SIGMA)
+        weights = reference_weights(SIGMA)
+        for i, got in enumerate(out):
+            window = [
+                ROW[min(max(i + k, 0), len(ROW) - 1)] for k in range(-4, 5)
+            ]
+            expected = sum(w * p for w, p in zip(weights, window))
+            assert abs(got - expected) < 1e-12, i
+
+    def test_blur_smooths(self):
+        spec = specialize_on_sigma()
+        _, cache, _ = spec.run_loader([0.0] * 9 + [SIGMA])
+        out, _ = blur_row(spec, cache, ROW, SIGMA)
+        def variation(xs):
+            return sum(abs(a - b) for a, b in zip(xs, xs[1:]))
+        assert variation(out) < variation(ROW)
+
+    def test_one_cache_serves_whole_image(self):
+        # The high-repetition regime: one loader run, thousands of reads.
+        spec = specialize_on_sigma()
+        _, cache, load_cost = spec.run_loader([0.0] * 9 + [SIGMA])
+        rows = [[(i * 7 + j * 3) % 5 / 4.0 for j in range(24)] for i in range(8)]
+        total_read = 0
+        for row in rows:
+            _, cost = blur_row(spec, cache, row, SIGMA)
+            total_read += cost
+        _, orig_cost = spec.run_original([0.5] * 9 + [SIGMA])
+        pixels = sum(len(r) for r in rows)
+        # Amortized: loader cost is noise next to the per-pixel savings.
+        assert load_cost + total_read < pixels * orig_cost
+
+    def test_sigma_change_needs_one_reload(self):
+        spec = specialize_on_sigma()
+        cache = spec.new_cache()
+        for sigma in (0.8, 2.5):
+            _, cache, _ = spec.run_loader([0.0] * 9 + [sigma])
+            out, _ = blur_row(spec, cache, ROW, sigma)
+            weights = reference_weights(sigma)
+            window = [ROW[0], ROW[0], ROW[0], ROW[0], ROW[0],
+                      ROW[1], ROW[2], ROW[3], ROW[4]]
+            expected = sum(w * p for w, p in zip(weights, window))
+            assert abs(out[0] - expected) < 1e-12
+
+    def test_varying_set_is_the_neighborhood(self):
+        spec = specialize_on_sigma()
+        assert spec.varying == frozenset(PIXEL_PARAMS)

@@ -1,0 +1,108 @@
+"""Golden-output tests: the generated loader/reader for the paper's
+examples are pinned verbatim.
+
+These are deliberately brittle: any change to the analyses, slot
+allocation, or pretty printer that alters the paper-facing artifacts
+should be a conscious decision (update the goldens in the same commit).
+"""
+
+import textwrap
+
+from tests.helpers import specialize_source
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+def norm(text):
+    return textwrap.dedent(text).strip()
+
+
+class TestDotprodGoldens:
+    """The Figure 2 artifacts."""
+
+    def spec(self):
+        return specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+
+    def test_loader_golden(self):
+        expected = norm("""
+        float dotprod_loader(float x1, float y1, float z1, float x2, float y2, float z2, float scale) {
+            if (scale != 0.0) {
+                return (((cache->slot0 = x1 * x2 + y1 * y2)) + z1 * z2) / scale;
+            } else {
+                return -1.0;
+            }
+        }
+        """)
+        assert self.spec().loader_source == expected
+
+    def test_reader_golden(self):
+        expected = norm("""
+        float dotprod_reader(float x1, float y1, float z1, float x2, float y2, float z2, float scale) {
+            if (scale != 0.0) {
+                return (cache->slot0 + z1 * z2) / scale;
+            } else {
+                return -1.0;
+            }
+        }
+        """)
+        assert self.spec().reader_source == expected
+
+    def test_layout_golden(self):
+        expected = norm("""
+        cache layout: 1 slots, 4 bytes
+          slot0   float  4B  x1 * x2 + y1 * y2
+        """)
+        assert self.spec().layout.describe() == expected
+
+
+class TestFigure6Golden:
+    """The Section 4.1 phi-caching artifact (Figure 6 analog)."""
+
+    SRC = """
+    float fig4(float a, float b, int p, int q, float z) {
+        float x = a * b + 1.0;
+        if (p) {
+            x = a * a * b;
+        }
+        float zz = 0.0;
+        if (q) {
+            zz = x + z;
+        }
+        return zz + x;
+    }
+    """
+
+    def test_reader_uses_single_phi_slot(self):
+        spec = specialize_source(self.SRC, "fig4", {"z"})
+        reader = spec.loader_source
+        # Loader caches x exactly once, at the phi.
+        assert reader.count("cache->slot0 = x") == 1
+        # Reader reads the one slot wherever x is needed.
+        assert spec.reader_source.count("cache->slot0") >= 1
+        assert "cache->slot1" not in spec.reader_source
+
+    def test_reader_golden(self):
+        spec = specialize_source(self.SRC, "fig4", {"z"})
+        expected = norm("""
+        float fig4_reader(float a, float b, int p, int q, float z) {
+            float x;
+            x = cache->slot0;
+            float zz = 0.0;
+            if (q) {
+                zz = x + z;
+            }
+            zz = zz;
+            return zz + x;
+        }
+        """)
+        assert spec.reader_source == expected

@@ -1,0 +1,100 @@
+"""Tests for the measurement harness."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    PartitionMeasurement,
+    measure_all_shaders,
+    measure_partition,
+    measure_shader,
+    sweep_values,
+)
+from repro.shaders.render import RenderSession
+
+
+class TestSweepValues:
+    def test_first_value_is_default(self):
+        assert sweep_values(2.0)[0] == 2.0
+
+    def test_count_respected(self):
+        assert len(sweep_values(1.0, 5)) == 5
+
+    def test_values_distinct(self):
+        values = sweep_values(3.0, 4)
+        assert len(set(values)) == 4
+
+    def test_deterministic(self):
+        assert sweep_values(0.7, 4) == sweep_values(0.7, 4)
+
+
+class TestPartitionMeasurement:
+    def make(self, orig, load, read, cache=8):
+        m = PartitionMeasurement(1, "matte", "ka")
+        m.cost_original = orig
+        m.cost_loader = load
+        m.cost_reader = read
+        m.cache_bytes = cache
+        return m
+
+    def test_speedup(self):
+        assert self.make(100.0, 110.0, 20.0).speedup == 5.0
+
+    def test_overhead_ratio(self):
+        assert self.make(100.0, 110.0, 20.0).overhead_ratio == pytest.approx(0.1)
+
+    def test_breakeven_two_uses(self):
+        # load + read = 130 <= 2 * orig = 200 -> pays back at n = 2.
+        assert self.make(100.0, 110.0, 20.0).breakeven == 2
+
+    def test_breakeven_one_when_loader_cheap(self):
+        assert self.make(100.0, 90.0, 20.0).breakeven == 1
+
+    def test_breakeven_many_uses(self):
+        # savings 2/use, extra loader cost 30 -> needs 16 total uses.
+        m = self.make(100.0, 130.0, 98.0)
+        assert m.breakeven == 16
+
+    def test_breakeven_infinite_when_no_savings(self):
+        assert self.make(100.0, 120.0, 100.0).breakeven == math.inf
+
+    def test_row_format(self):
+        row = self.make(100.0, 110.0, 20.0).row()
+        assert row[0] == 1
+        assert row[2] == "ka"
+
+
+class TestMeasurement:
+    def test_measure_partition_runs_checks(self):
+        session = RenderSession(6, width=2, height=2)
+        m = measure_partition(session, "roughness", pixel_count=3, value_count=2)
+        assert m.speedup >= 1.0
+        assert m.cache_bytes > 0
+        assert m.checked_pixels == 3
+
+    def test_measure_shader_covers_all_params(self):
+        results = measure_shader(1, pixel_count=2, value_count=2, width=2, height=2)
+        assert len(results) == len(RenderSession(1).spec_info.control_params)
+
+    def test_measure_with_cache_bound(self):
+        session = RenderSession(6, width=2, height=2)
+        bounded = measure_partition(
+            session, "roughness", pixel_count=2, value_count=2, cache_bound=0
+        )
+        assert bounded.cache_bytes == 0
+        # Empty cache means the reader redoes everything: speedup ~ 1.
+        assert bounded.speedup == pytest.approx(1.0, abs=0.2)
+
+    def test_all_131_partitions_correct_and_beneficial(self):
+        # This is the repository's single most important integration test:
+        # every partition of every shader runs loader + reader against the
+        # original (results checked inside measure_partition) and must not
+        # slow the reader down.
+        results = measure_all_shaders(
+            pixel_count=2, value_count=2, width=2, height=2
+        )
+        all_measurements = [m for ms in results.values() for m in ms]
+        assert len(all_measurements) == 131
+        for m in all_measurements:
+            assert m.speedup >= 1.0, (m.shader_index, m.param, m.speedup)

@@ -1,0 +1,118 @@
+"""Unit tests for the structural index (guards, loops, operands)."""
+
+from repro.analysis.index import StructuralIndex, value_operands
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+
+
+SRC = """
+int f(int a, int b) {
+    int x = a + 1;
+    if (a > 0) {
+        x = x + b;
+        while (x > 10) {
+            x = x - 1;
+        }
+    }
+    return x;
+}
+"""
+
+
+def build():
+    fn = parse_function(SRC)
+    return fn, StructuralIndex(fn)
+
+
+def find(fn, kind):
+    return [n for n in A.walk(fn) if isinstance(n, kind)]
+
+
+class TestGuardsAndLoops:
+    def test_top_level_statement_unguarded(self):
+        fn, index = build()
+        decl = fn.body.stmts[0]
+        assert index.guards_of(decl) == ()
+        assert index.loops_of(decl) == ()
+
+    def test_statement_inside_if_guarded_by_it(self):
+        fn, index = build()
+        if_stmt = fn.body.stmts[1]
+        inner_assign = if_stmt.then.stmts[0]
+        assert index.guards_of(inner_assign) == (if_stmt,)
+
+    def test_nested_guard_chain_outermost_first(self):
+        fn, index = build()
+        if_stmt = fn.body.stmts[1]
+        loop = if_stmt.then.stmts[1]
+        loop_assign = loop.body.stmts[0]
+        assert index.guards_of(loop_assign) == (if_stmt, loop)
+
+    def test_if_predicate_not_guarded_by_own_if(self):
+        fn, index = build()
+        if_stmt = fn.body.stmts[1]
+        assert if_stmt not in index.guards_of(if_stmt.pred)
+
+    def test_while_predicate_inside_own_loop_but_not_guarded(self):
+        fn, index = build()
+        loop = fn.body.stmts[1].then.stmts[1]
+        assert loop in index.loops_of(loop.pred)
+        assert loop not in index.guards_of(loop.pred)
+
+    def test_loop_body_inside_loop(self):
+        fn, index = build()
+        loop = fn.body.stmts[1].then.stmts[1]
+        assign = loop.body.stmts[0]
+        assert index.loops_of(assign) == (loop,)
+
+    def test_params_recorded(self):
+        fn, index = build()
+        for param in fn.params:
+            assert index.node_of[param.nid] is param
+
+    def test_parent_links(self):
+        fn, index = build()
+        if_stmt = fn.body.stmts[1]
+        assert index.parent_of(if_stmt.pred) is if_stmt
+
+    def test_enclosing_statement_of_deep_expr(self):
+        fn, index = build()
+        ret = fn.body.stmts[2]
+        assert index.enclosing_statement(ret.expr) is ret
+
+
+class TestValueOperands:
+    def test_binop(self):
+        expr = parse_function("int f(int a) { return a + 1; }").body.stmts[0].expr
+        ops = value_operands(expr)
+        assert [type(o).__name__ for o in ops] == ["VarRef", "IntLit"]
+
+    def test_if_operand_is_predicate_only(self):
+        fn = parse_function("int f(int a) { if (a) { a = 1; } return a; }")
+        if_stmt = fn.body.stmts[0]
+        assert value_operands(if_stmt) == [if_stmt.pred]
+
+    def test_assign_operand_is_rhs(self):
+        fn = parse_function("int f(int a) { a = a + 1; return a; }")
+        assign = fn.body.stmts[0]
+        assert value_operands(assign) == [assign.expr]
+
+    def test_bare_decl_has_no_operands(self):
+        fn = parse_function("int f() { int x; x = 1; return x; }")
+        assert value_operands(fn.body.stmts[0]) == []
+
+    def test_block_has_no_value_operands(self):
+        fn = parse_function("int f() { { int x = 1; } return 2; }")
+        assert value_operands(fn.body.stmts[0]) == []
+
+    def test_call_operands_are_args(self):
+        expr = parse_function(
+            "float f(float a) { return pow(a, 2.0); }"
+        ).body.stmts[0].expr
+        assert len(value_operands(expr)) == 2
+
+    def test_cond_operands(self):
+        expr = parse_function(
+            "int f(int a) { return a ? 1 : 2; }"
+        ).body.stmts[0].expr
+        assert len(value_operands(expr)) == 3

@@ -1,0 +1,218 @@
+"""Unit tests for the metering interpreter."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import EvalError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.interp import CostMeter, Interpreter, _int_div, _int_mod
+
+
+def run(src, fn, args, cache=None):
+    program = parse_program(src)
+    check_program(program)
+    return Interpreter(program).run(fn, args, cache=cache)
+
+
+def run_metered(src, fn, args):
+    program = parse_program(src)
+    check_program(program)
+    return Interpreter(program).run_metered(fn, args)
+
+
+class TestCArithmetic:
+    def test_int_division_truncates_toward_zero(self):
+        assert _int_div(7, 2) == 3
+        assert _int_div(-7, 2) == -3
+        assert _int_div(7, -2) == -3
+        assert _int_div(-7, -2) == 3
+
+    def test_int_mod_sign_follows_dividend(self):
+        assert _int_mod(7, 3) == 1
+        assert _int_mod(-7, 3) == -1
+        assert _int_mod(7, -3) == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            _int_div(1, 0)
+        with pytest.raises(EvalError):
+            _int_mod(1, 0)
+
+    def test_int_division_in_program(self):
+        assert run("int f(int a, int b) { return a / b; }", "f", [-7, 2]) == -3
+
+    def test_float_division(self):
+        assert run("float f(float a) { return a / 4.0; }", "f", [1.0]) == 0.25
+
+    def test_float_division_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            run("float f(float a) { return 1.0 / a; }", "f", [0.0])
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int a) { if (a > 0) { return 1; } else { return -1; } }"
+        assert run(src, "f", [5]) == 1
+        assert run(src, "f", [-5]) == -1
+
+    def test_while_loop(self):
+        src = "int f(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }"
+        assert run(src, "f", [5]) == 10
+
+    def test_for_loop_desugared(self):
+        src = "int f(int n) { int s = 0; for (int i = 1; i <= n; i += 1) { s += i; } return s; }"
+        assert run(src, "f", [4]) == 10
+
+    def test_early_return_in_loop(self):
+        src = "int f(int n) { int i = 0; while (1) { if (i >= n) { return i; } i = i + 1; } return -1; }"
+        assert run(src, "f", [7]) == 7
+
+    def test_ternary(self):
+        src = "int f(int a) { return a > 0 ? a : -a; }"
+        assert run(src, "f", [-9]) == 9
+
+    def test_short_circuit_and_skips_rhs(self):
+        # RHS would divide by zero; && must not evaluate it.
+        src = "int f(int a, int b) { return a != 0 && 10 / a > b; }"
+        assert run(src, "f", [0, 1]) == 0
+
+    def test_short_circuit_or_skips_rhs(self):
+        src = "int f(int a, int b) { return a == 0 || 10 / a > b; }"
+        assert run(src, "f", [0, 1]) == 1
+
+    def test_not(self):
+        assert run("int f(int a) { return !a; }", "f", [0]) == 1
+        assert run("int f(int a) { return !a; }", "f", [3]) == 0
+
+    def test_runaway_loop_aborts(self):
+        program = parse_program("int f() { while (1) { } return 0; }")
+        check_program(program)
+        interp = Interpreter(program, max_steps=10_000)
+        with pytest.raises(EvalError):
+            interp.run("f", [])
+
+
+class TestVariables:
+    def test_uninitialized_use_raises(self):
+        src = "int f(int p) { int x; if (p) { x = 1; } return x; }"
+        assert run(src, "f", [1]) == 1
+        with pytest.raises(EvalError):
+            run(src, "f", [0])
+
+    def test_param_passing_order(self):
+        src = "int f(int a, int b) { return a - b; }"
+        assert run(src, "f", [10, 4]) == 6
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(EvalError):
+            run("int f(int a) { return a; }", "f", [1, 2])
+
+
+class TestCallsAndVectors:
+    def test_builtin_call(self):
+        assert run("float f(float x) { return sqrt(x); }", "f", [9.0]) == 3.0
+
+    def test_user_function_call(self):
+        src = (
+            "float helper(float x) { return x * 2.0; }"
+            "float f(float x) { return helper(x) + 1.0; }"
+        )
+        assert run(src, "f", [4.0]) == 9.0
+
+    def test_vec3_flow(self):
+        src = (
+            "float f(float a) {"
+            " vec3 v = vec3(a, 2.0 * a, 0.0);"
+            " vec3 w = v + v;"
+            " return w.y / 4.0; }"
+        )
+        assert run(src, "f", [3.0]) == 3.0
+
+    def test_vec3_scalar_ops(self):
+        src = "vec3 f(vec3 v, float s) { return (v * s + s * v) / 2.0; }"
+        assert run(src, "f", [(1.0, 2.0, 3.0), 2.0]) == (2.0, 4.0, 6.0)
+
+    def test_vec3_negation(self):
+        src = "vec3 f(vec3 v) { return -v; }"
+        assert run(src, "f", [(1.0, -2.0, 3.0)]) == (-1.0, 2.0, -3.0)
+
+    def test_member_access(self):
+        src = "float f(vec3 v) { return v.x + v.y * v.z; }"
+        assert run(src, "f", [(1.0, 2.0, 3.0)]) == 7.0
+
+    def test_unknown_function_raises(self):
+        program = parse_program("int f() { return 1; }")
+        interp = Interpreter(program)
+        with pytest.raises(EvalError):
+            interp.run("g", [])
+
+
+class TestCacheNodes:
+    def test_cache_store_and_read(self):
+        # Hand-built loader/reader fragments around a cache.
+        store = A.CacheStore(0, A.BinOp("+", A.VarRef("a"), A.IntLit(1)))
+        loader = A.FunctionDef(
+            "loader", [A.Param(None, "a")], None,
+            A.Block([A.Return(store)]),
+        )
+        A.number_nodes(loader)
+        read = A.CacheRead(0)
+        reader = A.FunctionDef(
+            "reader", [A.Param(None, "a")], None, A.Block([A.Return(read)])
+        )
+        A.number_nodes(reader)
+        interp = Interpreter()
+        cache = [None]
+        assert interp.run(loader, [41], cache=cache) == 42
+        assert cache[0] == 42
+        assert interp.run(reader, [0], cache=cache) == 42
+
+    def test_read_unfilled_slot_raises(self):
+        reader = A.FunctionDef(
+            "reader", [], None, A.Block([A.Return(A.CacheRead(0))])
+        )
+        A.number_nodes(reader)
+        with pytest.raises(EvalError):
+            Interpreter().run(reader, [], cache=[None])
+
+    def test_read_without_cache_raises(self):
+        reader = A.FunctionDef(
+            "reader", [], None, A.Block([A.Return(A.CacheRead(0))])
+        )
+        A.number_nodes(reader)
+        with pytest.raises(EvalError):
+            Interpreter().run(reader, [])
+
+
+class TestMetering:
+    def test_cost_is_deterministic(self):
+        src = "float f(float x) { return sqrt(x) + x * 2.0; }"
+        _, c1 = run_metered(src, "f", [2.0])
+        _, c2 = run_metered(src, "f", [2.0])
+        assert c1 == c2 > 0
+
+    def test_paper_anchor_costs(self):
+        # '+' costs 1 more than a bare reference pair; '/' costs 9 more.
+        _, add = run_metered("float f(float a, float b) { return a + b; }", "f", [1.0, 2.0])
+        _, div = run_metered("float f(float a, float b) { return a / b; }", "f", [1.0, 2.0])
+        assert div - add == 8  # 9 - 1
+
+    def test_expensive_builtin_dominates(self):
+        _, cheap = run_metered("float f(float x) { return x + 1.0; }", "f", [0.3])
+        _, noisy = run_metered(
+            "float f(float x) { return noise(vec3(x, x, x)); }", "f", [0.3]
+        )
+        assert noisy > 20 * cheap
+
+    def test_loop_cost_scales_with_trip_count(self):
+        src = "int f(int n) { int s = 0; int i = 0; while (i < n) { s += i; i += 1; } return s; }"
+        _, c5 = run_metered(src, "f", [5])
+        _, c10 = run_metered(src, "f", [10])
+        assert c10 > c5
+
+    def test_meter_reset(self):
+        meter = CostMeter()
+        meter.charge(5)
+        meter.reset()
+        assert meter.total == 0

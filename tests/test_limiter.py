@@ -1,0 +1,106 @@
+"""Unit tests for cache-size limiting (Section 4.3)."""
+
+import pytest
+
+from repro.analysis.caching import validate_labels
+from repro.lang.errors import SpecializationError
+
+from tests.helpers import specialize_source
+
+
+# The varying input b interleaves with each independent value, so each
+# one needs its own slot (a single big independent subterm would collapse
+# into one slot and leave the limiter nothing to do).
+SRC = """
+float f(float a, vec3 p, float b) {
+    float cheap = a * a;
+    float mid = sqrt(a) + a * a * a;
+    float heavy = turbulence(p * a, 4.0);
+    vec3 dir = normalize(p) * a;
+    float r1 = cheap * b;
+    float r2 = mid + b * heavy;
+    float r3 = dir.x * b + heavy * heavy;
+    return r1 + r2 + r3 * b;
+}
+"""
+
+ARGS = [1.7, (0.3, -0.8, 0.4), 2.0]
+VARIANT = [1.7, (0.3, -0.8, 0.4), -3.5]
+
+
+def spec_with_bound(bound):
+    return specialize_source(SRC, "f", {"b"}, cache_bound=bound)
+
+
+class TestBoundEnforcement:
+    def test_unlimited_cache_has_several_slots(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        assert len(spec.layout) >= 3
+        assert spec.cache_size_bytes > 8
+
+    @pytest.mark.parametrize("bound", [0, 4, 8, 12, 16, 24])
+    def test_bound_respected(self, bound):
+        spec = spec_with_bound(bound)
+        assert spec.cache_size_bytes <= bound
+
+    def test_zero_bound_empties_cache(self):
+        spec = spec_with_bound(0)
+        assert len(spec.layout) == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(SpecializationError):
+            spec_with_bound(-1)
+
+    def test_large_bound_is_noop(self):
+        unlimited = specialize_source(SRC, "f", {"b"})
+        bounded = spec_with_bound(10_000)
+        assert bounded.cache_size_bytes == unlimited.cache_size_bytes
+
+
+class TestCorrectnessUnderLimiting:
+    @pytest.mark.parametrize("bound", [0, 4, 8, 12, 16])
+    def test_reader_still_correct(self, bound):
+        spec = spec_with_bound(bound)
+        expected, _ = spec.run_original(VARIANT)
+        _, cache, _ = spec.run_loader(ARGS)
+        got, _ = spec.run_reader(cache, VARIANT)
+        assert abs(got - expected) < 1e-9
+
+    @pytest.mark.parametrize("bound", [0, 4, 8, 16])
+    def test_labels_stay_consistent(self, bound):
+        spec = spec_with_bound(bound)
+        assert validate_labels(spec.caching) == []
+
+
+class TestVictimPolicy:
+    def test_speedup_degrades_monotonically_enough(self):
+        # Tighter bounds can only slow the reader down (within measurement
+        # exactness, which is exact here since costs are deterministic).
+        costs = {}
+        for bound in (0, 8, 16, 10_000):
+            spec = spec_with_bound(bound)
+            _, cache, _ = spec.run_loader(ARGS)
+            _, cost = spec.run_reader(cache, VARIANT)
+            costs[bound] = cost
+        assert costs[10_000] <= costs[16] <= costs[8] <= costs[0]
+
+    def test_most_expensive_term_survives_longest(self):
+        # With a tiny budget the turbulence result (the costliest term)
+        # should still be cached in preference to cheap scalars.
+        spec = spec_with_bound(4)
+        sources = [slot.source for slot in spec.layout]
+        assert any("turbulence" in s or "heavy" in s for s in sources)
+
+    def test_trace_records_evictions(self):
+        spec = spec_with_bound(4)
+        trace = spec.limiter_trace
+        assert trace is not None
+        assert trace.bound == 4
+        assert trace.final_size <= 4
+        assert len(trace.evictions) >= 1
+        for victim, cost, size_after in trace.evictions:
+            assert cost >= 0
+
+    def test_no_trace_without_bound(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        assert spec.limiter_trace is None

@@ -1,0 +1,116 @@
+"""Unit tests for single-valuedness / loop invariance (rule 6's side
+condition)."""
+
+from repro.analysis.index import StructuralIndex
+from repro.analysis.loops import single_valuedness
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+
+
+def build(src):
+    fn = parse_function(src)
+    check_function(fn)
+    index = StructuralIndex(fn)
+    return fn, single_valuedness(fn, index)
+
+
+def expr_of(fn, predicate):
+    for node in A.walk(fn.body):
+        if isinstance(node, A.Expr) and predicate(node):
+            return node
+    raise AssertionError("expression not found")
+
+
+class TestOutsideLoops:
+    def test_plain_expression_single_valued(self):
+        fn, sv = build("int f(int a) { return a + 1; }")
+        ret = fn.body.stmts[0]
+        assert sv.is_single_valued(ret.expr)
+
+    def test_impure_call_never_single_valued(self):
+        fn, sv = build("void f(float a) { emit(a); }")
+        stmt = fn.body.stmts[0]
+        assert not sv.is_single_valued(stmt.expr)
+
+
+class TestInsideLoops:
+    LOOP_SRC = (
+        "int f(int n, int a) {"
+        " int s = 0; int i = 0;"
+        " while (i < n) {"
+        "   s = s + i * a;"
+        "   i = i + 1;"
+        " }"
+        " return s; }"
+    )
+
+    def test_loop_varying_expression_multi_valued(self):
+        fn, sv = build(self.LOOP_SRC)
+        mul = expr_of(fn, lambda e: isinstance(e, A.BinOp) and e.op == "*")
+        assert not sv.is_single_valued(mul)  # i * a varies per iteration
+
+    def test_loop_invariant_reference_single_valued(self):
+        fn, sv = build(self.LOOP_SRC)
+        a_refs = [
+            n for n in A.walk(fn.body)
+            if isinstance(n, A.VarRef) and n.name == "a"
+        ]
+        assert sv.is_single_valued(a_refs[0])
+
+    def test_loop_counter_multi_valued(self):
+        fn, sv = build(self.LOOP_SRC)
+        loop = fn.body.stmts[2]
+        i_ref_in_pred = loop.pred.left
+        assert not sv.is_single_valued(i_ref_in_pred)
+
+    def test_after_loop_single_valued_again(self):
+        fn, sv = build(self.LOOP_SRC)
+        ret = fn.body.stmts[-1]
+        assert sv.is_single_valued(ret.expr)
+
+    def test_invariant_composite_inside_loop(self):
+        fn, sv = build(
+            "float f(int n, float a) {"
+            " float s = 0.0; int i = 0;"
+            " while (i < n) {"
+            "   s = s + sqrt(a * 2.0);"
+            "   i = i + 1; }"
+            " return s; }"
+        )
+        call = expr_of(fn, lambda e: isinstance(e, A.Call) and e.name == "sqrt")
+        assert sv.is_single_valued(call)
+
+    def test_nested_loops_require_invariance_in_all(self):
+        fn, sv = build(
+            "int f(int n, int a) {"
+            " int s = 0; int i = 0;"
+            " while (i < n) {"
+            "   int j = 0;"
+            "   while (j < i) {"
+            "     s = s + (i + a);"
+            "     j = j + 1; }"
+            "   i = i + 1; }"
+            " return s; }"
+        )
+        # (i + a) is invariant in the inner loop but not the outer one.
+        target = expr_of(
+            fn,
+            lambda e: isinstance(e, A.BinOp)
+            and e.op == "+"
+            and isinstance(e.left, A.VarRef)
+            and e.left.name == "i"
+            and isinstance(e.right, A.VarRef)
+            and e.right.name == "a",
+        )
+        assert not sv.is_single_valued(target)
+
+    def test_invariant_in_helper_api(self):
+        fn, sv = build(self.LOOP_SRC)
+        loop = fn.body.stmts[2]
+        a_ref = [
+            n for n in A.walk(loop) if isinstance(n, A.VarRef) and n.name == "a"
+        ][0]
+        assert sv.invariant_in(a_ref, loop)
+        i_ref = loop.pred.left
+        assert not sv.invariant_in(i_ref, loop)

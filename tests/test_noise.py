@@ -1,0 +1,77 @@
+"""Unit tests for the gradient-noise substrate."""
+
+from repro.shaders import noise as N
+
+
+class TestSignedNoise:
+    def test_deterministic(self):
+        assert N.snoise3(0.7, 1.3, -2.1) == N.snoise3(0.7, 1.3, -2.1)
+
+    def test_zero_at_lattice_points(self):
+        # Classic Perlin noise vanishes at integer lattice points.
+        for point in [(0, 0, 0), (1, 2, 3), (-4, 5, -6)]:
+            assert N.snoise3(*point) == 0.0
+
+    def test_bounded(self):
+        values = [
+            N.snoise3(x * 0.37, x * 0.11 + 0.5, -x * 0.23)
+            for x in range(200)
+        ]
+        assert all(-1.001 <= v <= 1.001 for v in values)
+
+    def test_not_constant(self):
+        values = {round(N.snoise3(x * 0.41, 0.2, 0.9), 6) for x in range(20)}
+        assert len(values) > 10
+
+    def test_continuity(self):
+        # Small input steps produce small output steps.
+        eps = 1e-4
+        a = N.snoise3(0.5, 0.5, 0.5)
+        b = N.snoise3(0.5 + eps, 0.5, 0.5)
+        assert abs(a - b) < 0.01
+
+    def test_negative_coordinates_work(self):
+        value = N.snoise3(-3.7, -0.2, -9.9)
+        assert -1.001 <= value <= 1.001
+
+
+class TestUnsignedNoise:
+    def test_range(self):
+        values = [N.noise3(x * 0.31, 0.7, x * 0.17) for x in range(200)]
+        assert all(-0.001 <= v <= 1.001 for v in values)
+
+    def test_half_at_lattice(self):
+        assert N.noise3(2.0, 3.0, 4.0) == 0.5
+
+
+class TestFractalSums:
+    def test_fbm_deterministic(self):
+        assert N.fbm3(0.3, 0.4, 0.5, 4) == N.fbm3(0.3, 0.4, 0.5, 4)
+
+    def test_fbm_single_octave_equals_snoise(self):
+        assert N.fbm3(0.3, 0.4, 0.5, 1) == N.snoise3(0.3, 0.4, 0.5)
+
+    def test_fbm_bounded(self):
+        values = [N.fbm3(x * 0.21, 0.4, -x * 0.13, 5) for x in range(100)]
+        assert all(-1.2 <= v <= 1.2 for v in values)
+
+    def test_fbm_octaves_add_detail(self):
+        # Higher octave counts add high-frequency content: the mean local
+        # slope over a fine sampling grid grows with the octave count.
+        def roughness(octaves, h=0.01):
+            points = [(0.37 + i * h, 0.41, 0.73) for i in range(200)]
+            vals = [N.fbm3(x, y, z, octaves) for x, y, z in points]
+            return sum(abs(a - b) for a, b in zip(vals, vals[1:]))
+
+        assert roughness(5) > 1.5 * roughness(1)
+
+    def test_turbulence_non_negative(self):
+        values = [N.turbulence3(x * 0.29, 0.8, x * 0.07, 4) for x in range(100)]
+        assert all(v >= 0.0 for v in values)
+
+    def test_turbulence_bounded(self):
+        values = [N.turbulence3(x * 0.29, 0.8, x * 0.07, 4) for x in range(100)]
+        assert all(v <= 1.2 for v in values)
+
+    def test_zero_octaves_clamped_to_one(self):
+        assert N.fbm3(0.3, 0.4, 0.5, 0) == N.fbm3(0.3, 0.4, 0.5, 1)

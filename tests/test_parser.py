@@ -1,0 +1,270 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expression, parse_function, parse_program
+from repro.lang.types import FLOAT, INT, VEC3, VOID
+
+
+def fn(src):
+    return parse_function(src)
+
+
+class TestExpressions:
+    def test_integer_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, A.IntLit)
+        assert expr.value == 42
+
+    def test_float_literal(self):
+        expr = parse_expression("2.5")
+        assert isinstance(expr, A.FloatLit)
+
+    def test_variable_reference(self):
+        expr = parse_expression("abc")
+        assert isinstance(expr, A.VarRef)
+        assert expr.name == "abc"
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("a + b * c")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.name == "c"
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("(a + b) * c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_precedence(self):
+        expr = parse_expression("a + b < c * d")
+        assert expr.op == "<"
+
+    def test_logical_precedence(self):
+        expr = parse_expression("a < b && c > d || e == f")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, A.UnaryOp)
+        assert expr.op == "-"
+
+    def test_unary_not(self):
+        expr = parse_expression("!x")
+        assert expr.op == "!"
+
+    def test_double_negation(self):
+        expr = parse_expression("--x")
+        assert expr.op == "-"
+        assert expr.operand.op == "-"
+
+    def test_unary_binds_tighter_than_mul(self):
+        expr = parse_expression("-a * b")
+        assert expr.op == "*"
+        assert expr.left.op == "-"
+
+    def test_call_no_args(self):
+        expr = parse_expression("f()")
+        assert isinstance(expr, A.Call)
+        assert expr.args == []
+
+    def test_call_with_args(self):
+        expr = parse_expression("pow(x, 2.0)")
+        assert expr.name == "pow"
+        assert len(expr.args) == 2
+
+    def test_nested_calls(self):
+        expr = parse_expression("f(g(x), h(y, z))")
+        assert isinstance(expr.args[0], A.Call)
+        assert len(expr.args[1].args) == 2
+
+    def test_vec3_constructor_call(self):
+        expr = parse_expression("vec3(1.0, 2.0, 3.0)")
+        assert isinstance(expr, A.Call)
+        assert expr.name == "vec3"
+
+    def test_member_access(self):
+        expr = parse_expression("p.x")
+        assert isinstance(expr, A.Member)
+        assert expr.field == "x"
+
+    def test_chained_member_after_call(self):
+        expr = parse_expression("normalize(v).y")
+        assert isinstance(expr, A.Member)
+        assert isinstance(expr.base, A.Call)
+
+    def test_invalid_member_name(self):
+        with pytest.raises(ParseError):
+            parse_expression("p.w")
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c")
+        assert isinstance(expr, A.Cond)
+
+    def test_nested_ternary_right_associative(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr.else_, A.Cond)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b c")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        f = fn("int main(int a) { int x = a + 1; return x; }")
+        decl = f.body.stmts[0]
+        assert isinstance(decl, A.VarDecl)
+        assert decl.ty is INT
+        assert decl.name == "x"
+
+    def test_declaration_without_init(self):
+        f = fn("int main() { int x; x = 3; return x; }")
+        assert f.body.stmts[0].init is None
+
+    def test_assignment(self):
+        f = fn("int main(int a) { a = 5; return a; }")
+        assert isinstance(f.body.stmts[0], A.Assign)
+
+    def test_compound_assignment_desugars(self):
+        f = fn("int main(int a) { a += 2; return a; }")
+        assign = f.body.stmts[0]
+        assert isinstance(assign, A.Assign)
+        assert assign.expr.op == "+"
+        assert assign.expr.left.name == "a"
+
+    def test_all_compound_operators(self):
+        for op, desugared in (("+=", "+"), ("-=", "-"), ("*=", "*"), ("/=", "/")):
+            f = fn("int main(int a) { a %s 2; return a; }" % op)
+            assert f.body.stmts[0].expr.op == desugared
+
+    def test_if_without_else(self):
+        f = fn("int main(int a) { if (a) { a = 1; } return a; }")
+        stmt = f.body.stmts[0]
+        assert isinstance(stmt, A.If)
+        assert stmt.else_ is None
+
+    def test_if_with_else(self):
+        f = fn("int main(int a) { if (a) { a = 1; } else { a = 2; } return a; }")
+        assert f.body.stmts[0].else_ is not None
+
+    def test_unbraced_if_body_becomes_block(self):
+        f = fn("int main(int a) { if (a) a = 1; return a; }")
+        stmt = f.body.stmts[0]
+        assert isinstance(stmt.then, A.Block)
+        assert len(stmt.then.stmts) == 1
+
+    def test_while_loop(self):
+        f = fn("int main(int a) { while (a > 0) { a = a - 1; } return a; }")
+        assert isinstance(f.body.stmts[0], A.While)
+
+    def test_for_desugars_to_while(self):
+        f = fn("int main(int n) { int s = 0; for (int i = 0; i < n; i += 1) { s += i; } return s; }")
+        outer = f.body.stmts[1]
+        assert isinstance(outer, A.Block)
+        assert isinstance(outer.stmts[0], A.VarDecl)
+        assert isinstance(outer.stmts[1], A.While)
+        # step appended to loop body
+        loop_body = outer.stmts[1].body
+        assert isinstance(loop_body.stmts[-1], A.Assign)
+
+    def test_for_without_init(self):
+        f = fn("int main(int i) { for (; i < 5; i += 1) { } return i; }")
+        outer = f.body.stmts[0]
+        assert isinstance(outer.stmts[0], A.While)
+
+    def test_for_without_condition_defaults_true(self):
+        f = fn("int main(int i) { for (i = 0; ; i += 1) { return i; } return i; }")
+        loop = f.body.stmts[0].stmts[1]
+        assert isinstance(loop.pred, A.IntLit)
+        assert loop.pred.value == 1
+
+    def test_return_value(self):
+        f = fn("int main() { return 3; }")
+        assert isinstance(f.body.stmts[0], A.Return)
+
+    def test_return_void(self):
+        f = fn("void main() { return; }")
+        assert f.body.stmts[0].expr is None
+
+    def test_expression_statement_call(self):
+        f = fn("void main(float x) { emit(x); }")
+        assert isinstance(f.body.stmts[0], A.ExprStmt)
+
+    def test_non_call_expression_statement_rejected(self):
+        with pytest.raises(ParseError):
+            fn("int main(int a) { a + 1; return a; }")
+
+    def test_nested_blocks(self):
+        f = fn("int main(int a) { { { a = 1; } } return a; }")
+        assert isinstance(f.body.stmts[0], A.Block)
+
+
+class TestDeclarations:
+    def test_function_signature(self):
+        f = fn("float shade(float u, vec3 p) { return u; }")
+        assert f.name == "shade"
+        assert f.ret_type is FLOAT
+        assert [p.ty for p in f.params] == [FLOAT, VEC3]
+        assert f.param_names() == ["u", "p"]
+
+    def test_void_function(self):
+        f = fn("void log(float x) { emit(x); }")
+        assert f.ret_type is VOID
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            fn("int main(void v) { return 1; }")
+
+    def test_program_with_multiple_functions(self):
+        program = parse_program(
+            "int one() { return 1; } int two() { return 2; }"
+        )
+        assert program.function_names() == ["one", "two"]
+
+    def test_program_function_lookup(self):
+        program = parse_program("int one() { return 1; }")
+        assert program.function("one").name == "one"
+        with pytest.raises(KeyError):
+            program.function("missing")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_nodes_are_numbered(self):
+        program = parse_program("int one(int a) { return a + 1; }")
+        nids = [node.nid for node in A.walk(program)]
+        assert all(nid is not None for nid in nids)
+        assert len(set(nids)) == len(nids)
+
+    def test_parse_error_reports_line(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse_program("int main() {\n  return ; ;\n}")
+        assert exc_info.value.line is not None
+
+
+class TestErrorCases:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            fn("int main() { int x = 1 return x; }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 1;")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            fn("int main() { if (1 { return 1; } return 0; }")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            fn("int main() { 123; return 0; }")

@@ -1,0 +1,99 @@
+"""Unit tests for InputPartition, CacheLayout, and annotation output."""
+
+import pytest
+
+from repro.core.annotate import annotate_function
+from repro.core.cache import CacheLayout, CacheSlot
+from repro.core.labels import CACHED, DYNAMIC, STATIC, Label
+from repro.core.partition import InputPartition
+from repro.lang.errors import SpecializationError
+from repro.lang.parser import parse_function
+from repro.lang.types import FLOAT, VEC3
+
+from tests.helpers import specialize_source
+
+
+FN = parse_function("float f(float a, float b, float c) { return a + b + c; }")
+
+
+class TestInputPartition:
+    def test_varying_and_fixed_complementary(self):
+        partition = InputPartition(FN, {"b"})
+        assert partition.varying == frozenset({"b"})
+        assert partition.fixed == frozenset({"a", "c"})
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SpecializationError):
+            InputPartition(FN, {"zz"})
+
+    def test_is_varying(self):
+        partition = InputPartition(FN, {"b"})
+        assert partition.is_varying("b")
+        assert not partition.is_varying("a")
+
+    def test_merge_args_orders_positionally(self):
+        partition = InputPartition(FN, {"b"})
+        merged = partition.merge_args({"a": 1.0, "c": 3.0}, {"b": 2.0})
+        assert merged == [1.0, 2.0, 3.0]
+
+    def test_merge_args_missing_value(self):
+        partition = InputPartition(FN, {"b"})
+        with pytest.raises(SpecializationError):
+            partition.merge_args({"a": 1.0}, {"b": 2.0})
+
+    def test_empty_varying_allowed(self):
+        partition = InputPartition(FN, set())
+        assert partition.fixed == frozenset({"a", "b", "c"})
+
+
+class TestCacheLayout:
+    def layout(self):
+        return CacheLayout(
+            [
+                CacheSlot(0, FLOAT, 10, "a * a"),
+                CacheSlot(1, VEC3, 20, "normalize(p)"),
+                CacheSlot(2, FLOAT, 30, "noise(q)", speculative=True),
+            ]
+        )
+
+    def test_size_bytes(self):
+        assert self.layout().size_bytes == 4 + 12 + 4
+
+    def test_len_iter_getitem(self):
+        layout = self.layout()
+        assert len(layout) == 3
+        assert [s.index for s in layout] == [0, 1, 2]
+        assert layout[1].ty is VEC3
+
+    def test_new_instance_unfilled(self):
+        assert self.layout().new_instance() == [None, None, None]
+
+    def test_describe_lists_slots(self):
+        text = self.layout().describe()
+        assert "3 slots, 20 bytes" in text
+        assert "normalize(p)" in text
+        assert "(speculative)" in text
+
+    def test_empty_layout(self):
+        layout = CacheLayout()
+        assert layout.size_bytes == 0
+        assert layout.new_instance() == []
+
+
+class TestLabels:
+    def test_ordering(self):
+        assert STATIC < CACHED < DYNAMIC
+
+    def test_str(self):
+        assert str(STATIC) == "static"
+        assert str(Label.DYNAMIC) == "dynamic"
+
+
+class TestAnnotate:
+    def test_annotation_contains_labels(self):
+        spec = specialize_source(
+            "float f(float a, float b) { return a * a * a + b; }", "f", {"b"}
+        )
+        text = annotate_function(spec.original, spec.caching)
+        assert "dynamic" in text
+        assert "caches: a * a * a" in text

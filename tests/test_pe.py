@@ -1,0 +1,296 @@
+"""Unit tests for the code-specialization baseline (partial evaluator)."""
+
+import pytest
+
+from repro.baseline.pe import PartialEvaluator, specialize_code
+from repro.lang import ast_nodes as A
+from repro.lang.errors import SpecializationError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_function
+from repro.lang.typecheck import check_program
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import values_close
+
+
+def pe(src, fn_name, fixed):
+    program = parse_program(src)
+    return specialize_code(program, fn_name, fixed)
+
+
+def run(fn, args, program=None):
+    return Interpreter(program).run(fn, list(args))
+
+
+def assert_residual_correct(src, fn_name, fixed, arg_sets):
+    """residual(args) == original(args) whenever args agree with fixed."""
+    program = parse_program(src)
+    check_program(program)
+    result = specialize_code(program, fn_name, fixed)
+    fn = program.function(fn_name)
+    names = fn.param_names()
+    for args in arg_sets:
+        for name, value in fixed.items():
+            assert args[names.index(name)] == value
+        expected = Interpreter(program).run(fn_name, list(args))
+        got = Interpreter().run(result.residual, list(args))
+        assert values_close(got, expected), (args, got, expected)
+    return result
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+class TestFolding:
+    def test_constant_folding(self):
+        result = pe(
+            "float f(float a, float b) { return a * 3.0 + b; }",
+            "f",
+            {"a": 2.0},
+        )
+        text = format_function(result.residual)
+        assert "6.0 + b" in text
+
+    def test_branch_elimination(self):
+        # The paper: "A code specializer could eliminate the conditional".
+        fixed = {"x1": 1.0, "y1": 2.0, "x2": 4.0, "y2": 5.0, "scale": 2.0}
+        result = pe(DOTPROD, "dotprod", fixed)
+        text = format_function(result.residual)
+        assert "if" not in text
+        assert "scale" not in text.splitlines()[-2]  # folded away
+
+    def test_dead_branch_dropped(self):
+        fixed = {"x1": 1.0, "y1": 2.0, "x2": 4.0, "y2": 5.0, "scale": 0.0}
+        result = pe(DOTPROD, "dotprod", fixed)
+        text = format_function(result.residual)
+        assert "return -1.0;" in text
+        assert "z1 * z2" not in text  # live branch's body is gone
+
+    def test_known_call_folding(self):
+        result = pe(
+            "float f(float a, float b) { return sqrt(a) + b; }",
+            "f",
+            {"a": 9.0},
+        )
+        assert "3.0 + b" in format_function(result.residual)
+
+    def test_impure_call_not_folded(self):
+        result = pe(
+            "void f(float a) { emit(a * 2.0); }",
+            "f",
+            {"a": 3.0},
+        )
+        assert "emit(6.0);" in format_function(result.residual)
+
+    def test_vec3_folding(self):
+        result = pe(
+            "float f(vec3 p, float b) { return dot(p, p) * b; }",
+            "f",
+            {"p": (1.0, 2.0, 2.0)},
+        )
+        assert "9.0 * b" in format_function(result.residual)
+
+    def test_vec3_residual_literal(self):
+        result = pe(
+            "vec3 f(vec3 p, float b) { vec3 q = p * 2.0; return q * b; }",
+            "f",
+            {"p": (1.0, 2.0, 3.0)},
+        )
+        assert "vec3(2.0, 4.0, 6.0) * b" in format_function(result.residual)
+
+    def test_fold_error_deferred_to_runtime(self):
+        # Folding 1/0 must not crash specialization; the fault stays in
+        # the residual program.
+        result = pe(
+            "int f(int a, int b) { return a / (a - 2) + b; }",
+            "f",
+            {"a": 2},
+        )
+        text = format_function(result.residual)
+        assert "/" in text
+
+    def test_short_circuit_known_left(self):
+        result = pe(
+            "int f(int a, int b) { return a != 0 && b > 10 / a; }",
+            "f",
+            {"a": 0},
+        )
+        assert "return 0;" in format_function(result.residual)
+
+
+class TestLoops:
+    def test_known_trip_count_unrolled(self):
+        result = pe(
+            "int f(int n, int b) {"
+            " int s = 0; int i = 0;"
+            " while (i < n) { s = s + b; i = i + 1; }"
+            " return s; }",
+            "f",
+            {"n": 3},
+        )
+        text = format_function(result.residual)
+        assert "while" not in text
+        # s unrolls into b-additions.
+        assert text.count("b") >= 3
+
+    def test_zero_trip_loop_vanishes(self):
+        result = pe(
+            "int f(int n, int b) {"
+            " int s = 0; int i = 0;"
+            " while (i < n) { s = s + b; i = i + 1; }"
+            " return s + b; }",
+            "f",
+            {"n": 0},
+        )
+        text = format_function(result.residual)
+        assert "while" not in text
+        assert "return 0 + b;" in text
+
+    def test_unknown_bound_residualized(self):
+        result = pe(
+            "int f(int n, int b) {"
+            " int s = 0; int i = 0;"
+            " while (i < n) { s = s + 2; i = i + 1; }"
+            " return s; }",
+            "f",
+            {"b": 1},
+        )
+        text = format_function(result.residual)
+        assert "while" in text
+
+    def test_unroll_budget_respected(self):
+        program = parse_program(
+            "int f(int n) {"
+            " int s = 0; int i = 0;"
+            " while (i < n) { s = s + i; i = i + 1; }"
+            " return s; }"
+        )
+        check_program(program)
+        result = PartialEvaluator(
+            program.function("f"), {"n": 1000}, max_unroll=8
+        ).run()
+        text = format_function(result.residual)
+        assert "while" in text  # gave up unrolling, residualized
+
+    def test_correctness_with_materialized_loop_state(self):
+        # A known assignment inside a residual loop must be pinned.
+        assert_residual_correct(
+            "int f(int n, int b) {"
+            " int x = 1;"
+            " int i = 0;"
+            " while (i < n) { x = 5; i = i + b; }"
+            " return x + i; }",
+            "f",
+            {"b": 1},
+            [[0, 1], [3, 1]],
+        )
+
+
+class TestCorrectness:
+    def test_dotprod_all_paths(self):
+        fixed = {"x1": 1.0, "y1": 2.0, "x2": 4.0, "y2": 5.0, "scale": 2.0}
+        assert_residual_correct(
+            DOTPROD, "dotprod", fixed,
+            [[1.0, 2.0, z1, 4.0, 5.0, z2, 2.0]
+             for z1, z2 in [(3.0, 6.0), (0.0, 0.0), (-7.5, 2.25)]],
+        )
+
+    def test_branchy_program(self):
+        assert_residual_correct(
+            "int f(int a, int b) {"
+            " int x = 0;"
+            " if (a > 0) { x = a * 2; } else { x = -a; }"
+            " if (b > x) { x = x + b; }"
+            " return x; }",
+            "f",
+            {"a": 3},
+            [[3, 0], [3, 10], [3, -2]],
+        )
+
+    def test_materialization_in_unknown_branch(self):
+        # x becomes known inside an unknown branch: must be pinned there.
+        assert_residual_correct(
+            "int f(int a, int b) {"
+            " int x = a;"
+            " if (b > 0) { x = 7; }"
+            " return x * b; }",
+            "f",
+            {"a": 3},
+            [[3, 1], [3, 0], [3, -4]],
+        )
+
+    def test_agreeing_branches_stay_folded(self):
+        result = pe(
+            "int f(int a, int b) {"
+            " int x = 0;"
+            " if (b > 0) { x = a; } else { x = a; }"
+            " return x + b; }",
+            "f",
+            {"a": 5},
+        )
+        text = format_function(result.residual)
+        # Both branches agree that x = 5: no pin needed, use folds.
+        assert "return 5 + b;" in text
+
+    def test_user_calls_inlined_first(self):
+        assert_residual_correct(
+            "float sq(float x) { return x * x; }"
+            "float f(float a, float b) { return sq(a) + sq(b); }",
+            "f",
+            {"a": 3.0},
+            [[3.0, 2.0], [3.0, -1.0]],
+        )
+
+    def test_residual_of_shader_partition(self):
+        from repro.shaders.render import RenderSession
+
+        session = RenderSession(6, width=2, height=2)
+        info = session.spec_info
+        pixel = session.scene.pixels[0]
+        args = session.args_for(pixel)
+        names = list(info.param_names)
+        varying = "roughness"
+        fixed = {
+            name: value
+            for name, value in zip(names, args)
+            if name != varying
+        }
+        result = specialize_code(session.program, info.name, fixed)
+        for value in (0.1, 0.33, 0.9):
+            full = list(args)
+            full[names.index(varying)] = value
+            expected = Interpreter(session.program).run(info.name, full)
+            got = Interpreter().run(result.residual, full)
+            assert values_close(got, expected, 1e-9)
+
+
+class TestMetadata:
+    def test_work_counted(self):
+        result = pe(DOTPROD, "dotprod", {"scale": 2.0})
+        assert result.work > 0
+        assert result.generation_cost > result.work * 5
+
+    def test_unknown_fixed_name_rejected(self):
+        with pytest.raises(SpecializationError):
+            pe(DOTPROD, "dotprod", {"nope": 1.0})
+
+    def test_residual_signature_preserved(self):
+        result = pe(DOTPROD, "dotprod", {"scale": 2.0})
+        program = parse_program(DOTPROD)
+        assert [p.name for p in result.residual.params] == program.function(
+            "dotprod"
+        ).param_names()
+
+    def test_residual_smaller_when_more_is_fixed(self):
+        every = {"x1": 1.0, "y1": 2.0, "x2": 4.0, "y2": 5.0, "scale": 2.0}
+        small = pe(DOTPROD, "dotprod", every)
+        large = pe(DOTPROD, "dotprod", {"scale": 2.0})
+        assert A.count_nodes(small.residual) < A.count_nodes(large.residual)

@@ -1,0 +1,161 @@
+"""Tests for specialization persistence and the cache-operator syntax."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.persist import load_specialization, save_specialization
+from repro.lang import ast_nodes as A
+from repro.lang.errors import ParseError, SpecializationError
+from repro.lang.parser import parse_expression
+from repro.runtime.values import values_close
+
+from tests.helpers import specialize_source
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+ARGS = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+VARIANT = [1.0, 2.0, -9.0, 4.0, 5.0, 0.5, 2.0]
+
+
+class TestCacheOperatorSyntax:
+    def test_parse_cache_read(self):
+        expr = parse_expression("cache->slot3")
+        assert isinstance(expr, A.CacheRead)
+        assert expr.slot == 3
+
+    def test_parse_cache_store(self):
+        expr = parse_expression("(cache->slot1 = a + b)")
+        assert isinstance(expr, A.CacheStore)
+        assert expr.slot == 1
+        assert isinstance(expr.value, A.BinOp)
+
+    def test_cache_read_in_expression(self):
+        expr = parse_expression("cache->slot0 + z1 * z2")
+        assert isinstance(expr.left, A.CacheRead)
+
+    def test_bad_slot_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("cache->banana")
+
+    def test_plain_cache_variable_still_works(self):
+        expr = parse_expression("cache + 1")
+        assert isinstance(expr.left, A.VarRef)
+        assert expr.left.name == "cache"
+
+    def test_loader_source_reparses(self):
+        from repro.lang.parser import parse_program
+
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        reparsed = parse_program(spec.loader_source)
+        stores = [
+            n for n in A.walk(reparsed) if isinstance(n, A.CacheStore)
+        ]
+        assert len(stores) == len(spec.layout)
+
+
+class TestSaveLoad:
+    def roundtrip(self, tmp_path, **options):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"}, **options)
+        directory = str(tmp_path / "spec")
+        save_specialization(spec, directory)
+        return spec, load_specialization(directory), directory
+
+    def test_files_written(self, tmp_path):
+        _, _, directory = self.roundtrip(tmp_path)
+        for name in ("fragment.ds", "loader.ds", "reader.ds", "spec.json"):
+            assert os.path.exists(os.path.join(directory, name)), name
+
+    def test_reloaded_runs_identically(self, tmp_path):
+        original, reloaded, _ = self.roundtrip(tmp_path)
+        expected_result, cache_a, cost_a = original.run_loader(ARGS)
+        got_result, cache_b, cost_b = reloaded.run_loader(ARGS)
+        assert values_close(expected_result, got_result)
+        assert cache_a == cache_b
+        assert cost_a == cost_b
+        expected, _ = original.run_reader(cache_a, VARIANT)
+        got, _ = reloaded.run_reader(cache_b, VARIANT)
+        assert values_close(expected, got)
+
+    def test_reloaded_compiles(self, tmp_path):
+        _, reloaded, _ = self.roundtrip(tmp_path)
+        cache = reloaded.new_cache()
+        reloaded.compiled_loader(*ARGS, cache)
+        result = reloaded.compiled_reader(*VARIANT, cache)
+        expected, _ = reloaded.run_original(VARIANT)
+        assert values_close(result, expected)
+
+    def test_metadata_preserved(self, tmp_path):
+        original, reloaded, _ = self.roundtrip(tmp_path)
+        assert reloaded.varying == original.varying
+        assert reloaded.function_name == original.function_name
+        assert reloaded.cache_size_bytes == original.cache_size_bytes
+        assert [s.source for s in reloaded.layout] == [
+            s.source for s in original.layout
+        ]
+
+    def test_options_preserved(self, tmp_path):
+        _, reloaded, _ = self.roundtrip(tmp_path, cache_bound=4)
+        assert reloaded.options.cache_bound == 4
+
+    def test_vec3_slots_roundtrip(self, tmp_path):
+        src = """
+        float f(vec3 p, float b) {
+            vec3 q = normalize(p) * 2.0;
+            return q.x * b + q.y;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        directory = str(tmp_path / "vec")
+        save_specialization(spec, directory)
+        reloaded = load_specialization(directory)
+        args = [(1.0, 2.0, 3.0), 4.0]
+        _, cache, _ = reloaded.run_loader(args)
+        got, _ = reloaded.run_reader(cache, [(1.0, 2.0, 3.0), -1.0])
+        expected, _ = spec.run_original([(1.0, 2.0, 3.0), -1.0])
+        assert values_close(got, expected)
+
+    def test_bad_version_rejected(self, tmp_path):
+        _, _, directory = self.roundtrip(tmp_path)
+        meta = json.loads(open(os.path.join(directory, "spec.json")).read())
+        meta["version"] = 99
+        with open(os.path.join(directory, "spec.json"), "w") as handle:
+            handle.write(json.dumps(meta))
+        with pytest.raises(SpecializationError):
+            load_specialization(directory)
+
+    def test_missing_file_rejected(self, tmp_path):
+        _, _, directory = self.roundtrip(tmp_path)
+        os.remove(os.path.join(directory, "reader.ds"))
+        with pytest.raises(SpecializationError):
+            load_specialization(directory)
+
+    def test_speculative_spec_roundtrip(self, tmp_path):
+        src = """
+        float f(float a, float b) {
+            float x = 0.0;
+            if (b > 0.0) {
+                x = a * a + a;
+            }
+            return x;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"}, allow_speculation=True)
+        directory = str(tmp_path / "specul")
+        save_specialization(spec, directory)
+        reloaded = load_specialization(directory)
+        assert any(slot.speculative for slot in reloaded.layout)
+        _, cache, _ = reloaded.run_loader([3.0, -1.0])
+        got, _ = reloaded.run_reader(cache, [3.0, 5.0])
+        assert got == 12.0

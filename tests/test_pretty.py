@@ -1,0 +1,104 @@
+"""Pretty printer tests, including parse → print → parse round trips."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_expression, parse_function, parse_program
+from repro.lang.pretty import format_expr, format_function, format_program
+from repro.lang.typecheck import check_program
+
+
+def roundtrip(src):
+    program = parse_program(src)
+    text = format_program(program)
+    program2 = parse_program(text)
+    assert format_program(program2) == text
+    return text
+
+
+class TestExpressionFormatting:
+    def test_minimal_parens_precedence(self):
+        assert format_expr(parse_expression("a + b * c")) == "a + b * c"
+
+    def test_parens_preserved_when_needed(self):
+        assert format_expr(parse_expression("(a + b) * c")) == "(a + b) * c"
+
+    def test_left_assoc_right_operand_parens(self):
+        assert format_expr(parse_expression("a - (b - c)")) == "a - (b - c)"
+
+    def test_left_assoc_left_operand_no_parens(self):
+        assert format_expr(parse_expression("(a - b) - c")) == "a - b - c"
+
+    def test_unary(self):
+        assert format_expr(parse_expression("-x * y")) == "-x * y"
+
+    def test_unary_of_sum_parenthesized(self):
+        assert format_expr(parse_expression("-(x + y)")) == "-(x + y)"
+
+    def test_call_and_member(self):
+        assert format_expr(parse_expression("dot(a, b) + p.x")) == "dot(a, b) + p.x"
+
+    def test_ternary(self):
+        assert format_expr(parse_expression("a ? b : c")) == "a ? b : c"
+
+    def test_float_literal_keeps_point(self):
+        assert format_expr(parse_expression("2.0")) == "2.0"
+
+    def test_int_literal(self):
+        assert format_expr(parse_expression("17")) == "17"
+
+    def test_cache_nodes(self):
+        read = A.CacheRead(3)
+        store = A.CacheStore(1, parse_expression("a + b"))
+        assert format_expr(read) == "cache->slot3"
+        assert format_expr(store) == "(cache->slot1 = a + b)"
+
+
+class TestFunctionFormatting:
+    def test_simple_function(self):
+        text = format_function(parse_function("int f(int a) { return a; }"))
+        assert "int f(int a) {" in text
+        assert "return a;" in text
+
+    def test_roundtrip_simple(self):
+        roundtrip("int f(int a) { int x = a * 2; return x + 1; }")
+
+    def test_roundtrip_control_flow(self):
+        roundtrip(
+            "int f(int a, int b) {"
+            " if (a > b) { a = a - b; } else { a = b - a; }"
+            " while (a > 0) { a = a - 1; }"
+            " return a; }"
+        )
+
+    def test_roundtrip_vectors_and_calls(self):
+        roundtrip(
+            "float f(vec3 p, float t) {"
+            " vec3 q = normalize(p) * t;"
+            " return q.x + noise(q); }"
+        )
+
+    def test_roundtrip_ternary_and_logicals(self):
+        roundtrip(
+            "int f(int a, int b) { return a > 0 && b > 0 ? a : -b; }"
+        )
+
+    def test_roundtrip_preserves_types(self):
+        src = (
+            "float f(vec3 p, float s) {"
+            " float d = dot(p, p) / s;"
+            " return d > 1.0 ? sqrt(d) : d; }"
+        )
+        text = roundtrip(src)
+        check_program(parse_program(text))
+
+    def test_note_callback_adds_comments(self):
+        fn = parse_function("int f(int a) { return a; }")
+        text = format_function(fn, note=lambda node: "hello")
+        assert "/* hello */" in text
+
+    def test_empty_else_omitted(self):
+        text = format_function(
+            parse_function("int f(int a) { if (a) { a = 1; } return a; }")
+        )
+        assert "else" not in text

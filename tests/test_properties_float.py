@@ -1,0 +1,216 @@
+"""Property-based tests over randomly generated *float/vec3* programs.
+
+The integer generator in test_properties.py checks exact semantics; this
+one exercises the shader-typed world — floats, vec3 construction and
+member access, transcendental and noise builtins — where reassociation
+may legitimately perturb rounding, so results compare with a relative
+tolerance instead of exactly.
+
+All generated operations are total on the generated input ranges
+(square roots take ``fabs(x) + 0.1``, divisions are guarded), so every
+program terminates and produces finite values.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import example, given, settings
+
+from repro.analysis.caching import validate_labels
+from repro.core.specializer import DataSpecializer, SpecializerOptions
+from repro.lang.parser import parse_program
+from repro.runtime.values import values_close
+
+PARAMS = ["f0", "f1", "f2"]
+VEC_PARAM = "pv"
+
+
+@st.composite
+def gen_fexpr(draw, names, depth):
+    """A float-valued expression over scalar names + components of pv."""
+    if depth <= 0 or draw(st.booleans()):
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return repr(draw(st.floats(-4.0, 4.0, allow_nan=False, width=16)))
+        if choice == 1 and names:
+            return draw(st.sampled_from(names))
+        return "%s.%s" % (VEC_PARAM, draw(st.sampled_from("xyz")))
+    kind = draw(
+        st.sampled_from(
+            ["bin", "bin", "call1", "call3", "div", "noise", "dot", "cond"]
+        )
+    )
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return "(%s %s %s)" % (
+            draw(gen_fexpr(names, depth - 1)),
+            op,
+            draw(gen_fexpr(names, depth - 1)),
+        )
+    if kind == "call1":
+        fn = draw(st.sampled_from(["sin", "cos", "fabs"]))
+        return "%s(%s)" % (fn, draw(gen_fexpr(names, depth - 1)))
+    if kind == "call3":
+        return "mix(%s, %s, clamp(%s, 0.0, 1.0))" % (
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+        )
+    if kind == "div":
+        return "(%s / (fabs(%s) + 1.0))" % (
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+        )
+    if kind == "noise":
+        return "noise(vec3(%s, %s, %s))" % (
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+        )
+    if kind == "dot":
+        return "dot(%s * %s, vec3(%s, 1.0, %s))" % (
+            VEC_PARAM,
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+            draw(gen_fexpr(names, depth - 1)),
+        )
+    return "(%s > %s ? %s : %s)" % (
+        draw(gen_fexpr(names, depth - 1)),
+        draw(gen_fexpr(names, depth - 1)),
+        draw(gen_fexpr(names, depth - 1)),
+        draw(gen_fexpr(names, depth - 1)),
+    )
+
+
+@st.composite
+def gen_float_program(draw):
+    locals_ = []
+    lines = []
+    for i in range(draw(st.integers(1, 3))):
+        name = "t%d" % i
+        lines.append(
+            "    float %s = %s;"
+            % (name, draw(gen_fexpr(PARAMS + locals_, 2)))
+        )
+        locals_.append(name)
+    names = PARAMS + locals_
+    # A conditional update over an arbitrary comparison.
+    for _ in range(draw(st.integers(0, 2))):
+        target = draw(st.sampled_from(locals_))
+        lines.append(
+            "    if (%s > %s) {"
+            % (draw(gen_fexpr(names, 1)), draw(gen_fexpr(names, 1)))
+        )
+        lines.append(
+            "        %s = %s;" % (target, draw(gen_fexpr(names, 1)))
+        )
+        lines.append("    }")
+    # A bounded reduction loop.
+    if draw(st.booleans()):
+        bound = draw(st.integers(1, 3))
+        target = draw(st.sampled_from(locals_))
+        lines.append("    int i = 0;")
+        lines.append("    while (i < %d) {" % bound)
+        lines.append(
+            "        %s = %s * 0.5 + %s;"
+            % (target, target, draw(gen_fexpr(names, 1)))
+        )
+        lines.append("        i = i + 1;")
+        lines.append("    }")
+    ret = "    return %s;" % draw(gen_fexpr(names, 2))
+    header = "float f(%s, vec3 %s) {" % (
+        ", ".join("float %s" % p for p in PARAMS),
+        VEC_PARAM,
+    )
+    return "\n".join([header] + lines + [ret, "}"])
+
+
+float_args = st.lists(
+    st.floats(-4.0, 4.0, allow_nan=False, width=16), min_size=3, max_size=3
+)
+vec_args = st.tuples(
+    st.floats(-2.0, 2.0, allow_nan=False, width=16),
+    st.floats(-2.0, 2.0, allow_nan=False, width=16),
+    st.floats(-2.0, 2.0, allow_nan=False, width=16),
+)
+varying_sets = st.sets(st.sampled_from(PARAMS), min_size=0, max_size=3)
+
+TOL = 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(gen_float_program(), varying_sets, float_args, vec_args, float_args)
+@example(
+    # Pinned regression: a cached ternary arm under a *dependent*
+    # predicate was read unfilled before ?:/&&/|| became guards.
+    src=(
+        "float f(float f0, float f1, float f2, vec3 pv) {\n"
+        "    float t0 = 0.0;\n"
+        "    return ((0.0 / (fabs(0.0) + 1.0)) > (f0 > 0.0 ? -1.0 : 0.0)"
+        " ? mix(0.0, 0.0, clamp(0.0, 0.0, 1.0)) : (0.0 + 0.0));\n"
+        "}"
+    ),
+    varying={"f0"},
+    scalars=[0.0, 0.0, 0.0],
+    vec=(0.0, 0.0, 0.0),
+    delta=[1.0, 0.0, 0.0],
+)
+def test_float_specialization_soundness(src, varying, scalars, vec, delta):
+    """Tolerance-based soundness on float/vec3 programs.
+
+    Reassociation is disabled so the reader evaluates the same expression
+    shapes as the original and only cached-value round trips (exact in
+    Python floats) separate them — the comparison is then near-exact.
+    """
+    spec = DataSpecializer(
+        parse_program(src), SpecializerOptions(reassoc=False)
+    ).specialize("f", varying)
+    base = list(scalars) + [tuple(vec)]
+    expected_base, _ = spec.run_original(base)
+    loader_result, cache, _ = spec.run_loader(base)
+    assert values_close(loader_result, expected_base, TOL)
+    variant = list(base)
+    for i, name in enumerate(PARAMS):
+        if name in varying:
+            variant[i] = variant[i] + delta[i]
+    expected, _ = spec.run_original(variant)
+    got, _ = spec.run_reader(cache, variant)
+    assert values_close(got, expected, TOL), (src, varying, base, variant)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gen_float_program(), varying_sets, float_args, vec_args, float_args)
+def test_float_soundness_with_reassociation(src, varying, scalars, vec, delta):
+    """With reassociation on, results may differ by rounding only."""
+    spec = DataSpecializer(parse_program(src)).specialize("f", varying)
+    base = list(scalars) + [tuple(vec)]
+    _, cache, _ = spec.run_loader(base)
+    variant = list(base)
+    for i, name in enumerate(PARAMS):
+        if name in varying:
+            variant[i] = variant[i] + delta[i]
+    expected, _ = spec.run_original(variant)
+    got, _ = spec.run_reader(cache, variant)
+    assert values_close(got, expected, 1e-4), (src, varying, variant)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gen_float_program(), varying_sets)
+def test_float_labels_consistent(src, varying):
+    spec = DataSpecializer(parse_program(src)).specialize("f", varying)
+    assert validate_labels(spec.caching) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(gen_float_program(), float_args, vec_args)
+def test_float_compiled_parity(src, scalars, vec):
+    """Compiled and interpreted execution agree exactly on identical
+    expression trees (both use Python float arithmetic)."""
+    from repro.lang.typecheck import check_program
+    from repro.runtime.compiler import compile_function
+    from repro.runtime.interp import Interpreter
+
+    program = parse_program(src)
+    check_program(program)
+    args = list(scalars) + [tuple(vec)]
+    compiled = compile_function(program.function("f"), program)
+    interpreted = Interpreter(program).run("f", args)
+    assert values_close(compiled(*args), interpreted, 1e-12)

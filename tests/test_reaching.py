@@ -1,0 +1,135 @@
+"""Unit tests for reaching definitions."""
+
+from repro.analysis.reaching import reaching_definitions
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+
+
+def refs_named(node, name):
+    root = node.body if isinstance(node, A.FunctionDef) else node
+    return [n for n in A.walk(root) if isinstance(n, A.VarRef) and n.name == name]
+
+
+class TestStraightLine:
+    def test_param_reaches_use(self):
+        fn = parse_function("int f(int a) { return a; }")
+        reaching = reaching_definitions(fn)
+        (ref,) = refs_named(fn, "a")
+        defs = reaching.defs_reaching(ref)
+        assert len(defs) == 1
+        assert isinstance(defs[0], A.Param)
+
+    def test_assignment_kills_previous(self):
+        fn = parse_function("int f(int a) { a = 1; return a; }")
+        reaching = reaching_definitions(fn)
+        ref = refs_named(fn, "a")[-1]
+        defs = reaching.defs_reaching(ref)
+        assert len(defs) == 1
+        assert isinstance(defs[0], A.Assign)
+
+    def test_decl_init_is_definition(self):
+        fn = parse_function("int f() { int x = 3; return x; }")
+        reaching = reaching_definitions(fn)
+        (ref,) = refs_named(fn, "x")
+        (def_node,) = reaching.defs_reaching(ref)
+        assert isinstance(def_node, A.VarDecl)
+
+    def test_rhs_use_sees_old_definition(self):
+        fn = parse_function("int f(int a) { a = a + 1; return a; }")
+        reaching = reaching_definitions(fn)
+        rhs_ref, final_ref = refs_named(fn, "a")
+        assert isinstance(reaching.defs_reaching(rhs_ref)[0], A.Param)
+        assert isinstance(reaching.defs_reaching(final_ref)[0], A.Assign)
+
+    def test_local_defs_excludes_params(self):
+        fn = parse_function("int f(int a) { return a; }")
+        reaching = reaching_definitions(fn)
+        (ref,) = refs_named(fn, "a")
+        assert reaching.local_defs_reaching(ref) == []
+
+
+class TestBranches:
+    def test_both_branches_reach_join(self):
+        fn = parse_function(
+            "int f(int p) { int x = 0;"
+            " if (p) { x = 1; } else { x = 2; }"
+            " return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        final_ref = refs_named(fn, "x")[-1]
+        defs = reaching.defs_reaching(final_ref)
+        assert len(defs) == 2
+        assert all(isinstance(d, A.Assign) for d in defs)
+
+    def test_one_sided_if_keeps_fallthrough(self):
+        fn = parse_function(
+            "int f(int p) { int x = 0; if (p) { x = 1; } return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        final_ref = refs_named(fn, "x")[-1]
+        defs = reaching.defs_reaching(final_ref)
+        kinds = sorted(type(d).__name__ for d in defs)
+        assert kinds == ["Assign", "VarDecl"]
+
+    def test_predicate_sees_pre_branch_env(self):
+        fn = parse_function(
+            "int f(int p) { int x = 5; if (x > 0) { x = 1; } return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        pred_ref = refs_named(fn, "x")[0]
+        (def_node,) = reaching.defs_reaching(pred_ref)
+        assert isinstance(def_node, A.VarDecl)
+
+
+class TestLoops:
+    def test_loop_body_def_reaches_own_use(self):
+        fn = parse_function(
+            "int f(int n) { int x = 0;"
+            " while (x < n) { x = x + 1; }"
+            " return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        # The x in "x + 1" can come from the decl or the previous iteration.
+        loop = fn.body.stmts[1]
+        rhs_ref = refs_named(loop.body, "x")[0]
+        defs = reaching.defs_reaching(rhs_ref)
+        assert len(defs) == 2
+
+    def test_loop_predicate_sees_both(self):
+        fn = parse_function(
+            "int f(int n) { int x = 0; while (x < n) { x = x + 1; } return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        loop = fn.body.stmts[1]
+        pred_ref = refs_named(loop, "x")[0]
+        assert len(reaching.defs_reaching(pred_ref)) == 2
+
+    def test_def_after_loop_not_inside(self):
+        fn = parse_function(
+            "int f(int n) { int x = 0;"
+            " while (x < n) { x = x + 1; }"
+            " x = 99; return x; }"
+        )
+        reaching = reaching_definitions(fn)
+        final_ref = refs_named(fn, "x")[-1]
+        (def_node,) = reaching.defs_reaching(final_ref)
+        assert isinstance(def_node, A.Assign)
+        assert isinstance(def_node.expr, A.IntLit)
+
+    def test_nested_loops_fixpoint(self):
+        fn = parse_function(
+            "int f(int n) { int s = 0; int i = 0;"
+            " while (i < n) { int j = 0;"
+            "   while (j < i) { s = s + j; j = j + 1; }"
+            "   i = i + 1; }"
+            " return s; }"
+        )
+        reaching = reaching_definitions(fn)
+        final_ref = refs_named(fn, "s")[-1]
+        assert len(reaching.defs_reaching(final_ref)) == 2  # decl + inner assign
+
+    def test_uninitialized_reference_has_empty_defs(self):
+        fn = parse_function("int f() { int x; return x; }")
+        reaching = reaching_definitions(fn)
+        (ref,) = refs_named(fn, "x")
+        assert reaching.defs_reaching(ref) == []

@@ -1,0 +1,134 @@
+"""Unit tests for associative rewriting (Section 4.2)."""
+
+from repro.analysis.dependence import dependence_analysis
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.pretty import format_expr
+from repro.lang.typecheck import check_function
+from repro.runtime.interp import Interpreter
+from repro.transform.reassoc import reassociate
+
+
+def rewrite(src, varying, float_ok=True):
+    fn = parse_function(src)
+    check_function(fn)
+    dep = dependence_analysis(fn, varying)
+    rewriter = reassociate(fn, dep, float_ok=float_ok)
+    check_function(fn)
+    return fn, rewriter
+
+
+def ret_text(fn):
+    for node in A.walk(fn.body):
+        if isinstance(node, A.Return):
+            return format_expr(node.expr)
+    raise AssertionError
+
+
+class TestRegrouping:
+    DOT = (
+        "float f(float x1, float x2, float y1, float y2, float z1, float z2) {"
+        " return x1 * x2 + y1 * y2 + z1 * z2; }"
+    )
+
+    def test_paper_example_groups_independents(self):
+        fn, rewriter = rewrite(self.DOT, {"x1", "x2"})
+        assert rewriter.rewrites == 1
+        # Independent products grouped first, dependent one last.
+        assert ret_text(fn) == "y1 * y2 + z1 * z2 + x1 * x2"
+
+    def test_no_rewrite_when_already_grouped(self):
+        fn, rewriter = rewrite(self.DOT, {"z1", "z2"})
+        # Left-assoc already isolates z1*z2; regrouping is a no-op shape.
+        assert rewriter.rewrites == 0
+
+    def test_no_rewrite_when_all_independent(self):
+        fn, rewriter = rewrite(self.DOT, set())
+        assert rewriter.rewrites == 0
+
+    def test_no_rewrite_when_all_dependent(self):
+        fn, rewriter = rewrite(
+            self.DOT, {"x1", "x2", "y1", "y2", "z1", "z2"}
+        )
+        assert rewriter.rewrites == 0
+
+    def test_product_chains_rewritten(self):
+        fn, rewriter = rewrite(
+            "float f(float a, float b, float c) { return a * b * c; }",
+            {"a"},
+        )
+        assert ret_text(fn) == "b * c * a"
+
+    def test_mixed_operator_chain_not_flattened_across_ops(self):
+        fn, rewriter = rewrite(
+            "float f(float a, float b, float c) { return a + b * c + b; }",
+            {"a"},
+        )
+        # Only the + chain may regroup; b * c stays intact.
+        assert "b * c" in ret_text(fn)
+
+    def test_subtraction_not_reassociated(self):
+        fn, rewriter = rewrite(
+            "float f(float a, float b, float c) { return a - b - c; }",
+            {"a"},
+        )
+        assert rewriter.rewrites == 0
+        assert ret_text(fn) == "a - b - c"
+
+    def test_operand_order_preserved_within_classes(self):
+        fn, _ = rewrite(
+            "float f(float d, float i1, float i2, float i3) {"
+            " return i1 + d + i2 + i3; }",
+            {"d"},
+        )
+        assert ret_text(fn) == "i1 + i2 + i3 + d"
+
+
+class TestFloatSwitch:
+    SRC = (
+        "float f(float a, float b, float c) { return b + a + c; }"
+    )
+
+    def test_float_rewrite_enabled_by_default(self):
+        fn, rewriter = rewrite(self.SRC, {"a"})
+        assert rewriter.rewrites == 1
+        assert ret_text(fn) == "b + c + a"
+
+    def test_float_rewrite_can_be_disabled(self):
+        fn, rewriter = rewrite(self.SRC, {"a"}, float_ok=False)
+        assert rewriter.rewrites == 0
+
+    def test_int_chains_rewritten_even_with_float_off(self):
+        fn, rewriter = rewrite(
+            "int f(int a, int b, int c) { return b + a + c; }",
+            {"a"},
+            float_ok=False,
+        )
+        assert rewriter.rewrites == 1
+
+
+class TestSemantics:
+    def test_integer_value_preserved_exactly(self):
+        src = "int f(int a, int b, int c, int d) { return b + a + c * d + c; }"
+        plain = parse_function(src)
+        check_function(plain)
+        fn, _ = rewrite(src, {"a"})
+        interp = Interpreter()
+        for args in [(1, 2, 3, 4), (-5, 7, 0, 9), (100, -3, 12, -2)]:
+            assert interp.run(fn, list(args)) == interp.run(plain, list(args))
+
+    def test_float_value_preserved_on_exact_inputs(self):
+        # Powers of two add exactly, so even float chains must agree.
+        src = "float f(float a, float b, float c) { return b + a + c; }"
+        plain = parse_function(src)
+        check_function(plain)
+        fn, _ = rewrite(src, {"a"})
+        interp = Interpreter()
+        for args in [(1.0, 2.0, 4.0), (0.5, 0.25, 8.0)]:
+            assert interp.run(fn, list(args)) == interp.run(plain, list(args))
+
+    def test_types_still_check_after_rewrite(self):
+        fn, _ = rewrite(
+            "float f(float a, int b, int c) { return b + a + c; }", {"a"}
+        )
+        check_function(fn)

@@ -1,0 +1,257 @@
+"""Tests for scenes and the interactive-render substrate."""
+
+import math
+
+import pytest
+
+from repro.lang.errors import SpecializationError
+from repro.runtime.values import is_vec3, values_close, vlength
+from repro.shaders.render import Image, RenderSession
+from repro.shaders.scenes import scene_for, sphere_scene, wall_scene
+
+
+class TestScenes:
+    def test_sphere_scene_shape(self):
+        scene = sphere_scene(4, 3)
+        assert len(scene) == 12
+        assert scene.width == 4 and scene.height == 3
+
+    def test_sphere_normals_unit_length(self):
+        for pixel in sphere_scene(4, 4):
+            assert abs(vlength(pixel.N) - 1.0) < 1e-9
+
+    def test_incident_vectors_unit_length(self):
+        for pixel in sphere_scene(3, 3):
+            assert abs(vlength(pixel.I) - 1.0) < 1e-9
+
+    def test_uv_in_unit_square(self):
+        for pixel in wall_scene(5, 5):
+            assert 0.0 < pixel.u < 1.0
+            assert 0.0 < pixel.v < 1.0
+
+    def test_wall_normals_face_camera(self):
+        for pixel in wall_scene(3, 3):
+            assert pixel.N == (0.0, 0.0, -1.0)
+
+    def test_scene_is_deterministic(self):
+        a = sphere_scene(4, 4)
+        b = sphere_scene(4, 4)
+        assert [p.P for p in a] == [p.P for p in b]
+
+    def test_sample_spreads_deterministically(self):
+        scene = wall_scene(8, 8)
+        sample = scene.sample(10)
+        assert len(sample) == 10
+        assert sample == scene.sample(10)
+
+    def test_sample_larger_than_scene_returns_all(self):
+        scene = wall_scene(2, 2)
+        assert len(scene.sample(100)) == 4
+
+    def test_scene_for_every_shader(self):
+        for index in range(1, 11):
+            scene = scene_for(index, 2, 2)
+            assert len(scene) == 4
+
+
+class TestRenderSession:
+    def make(self):
+        return RenderSession(6, width=3, height=3)
+
+    def test_reference_render_produces_colors(self):
+        session = self.make()
+        image = session.render_reference()
+        assert len(image.colors) == 9
+        assert all(is_vec3(c) for c in image.colors)
+        assert image.total_cost > 0
+
+    def test_edit_session_loads_and_adjusts(self):
+        session = self.make()
+        edit = session.begin_edit("roughness")
+        loaded = edit.load(session.controls)
+        assert len(edit.caches) == 9
+        adjusted = edit.adjust(session.controls_with(roughness=0.4))
+        reference = session.render_reference(
+            session.controls_with(roughness=0.4),
+            specialization=edit.specialization,
+        )
+        for got, expected in zip(adjusted.colors, reference.colors):
+            assert values_close(got, expected, 1e-9)
+
+    def test_reader_is_cheaper_than_original(self):
+        session = self.make()
+        edit = session.begin_edit("roughness")
+        edit.load(session.controls)
+        adjusted = edit.adjust(session.controls_with(roughness=0.4))
+        reference = session.render_reference(
+            session.controls_with(roughness=0.4),
+            specialization=edit.specialization,
+        )
+        assert adjusted.total_cost < reference.total_cost
+
+    def test_adjust_before_load_rejected(self):
+        session = self.make()
+        edit = session.begin_edit("roughness")
+        with pytest.raises(SpecializationError):
+            edit.adjust(session.controls)
+
+    def test_unknown_parameter_rejected(self):
+        session = self.make()
+        with pytest.raises(SpecializationError):
+            session.begin_edit("nonexistent")
+
+    def test_cache_bytes_reported(self):
+        session = self.make()
+        edit = session.begin_edit("ka")
+        assert edit.cache_bytes_per_pixel == edit.specialization.cache_size_bytes
+
+    def test_specialize_with_overrides(self):
+        session = self.make()
+        bounded = session.specialize("roughness", cache_bound=0)
+        assert bounded.cache_size_bytes == 0
+
+    def test_controls_with_does_not_mutate(self):
+        session = self.make()
+        before = dict(session.controls)
+        session.controls_with(roughness=0.9)
+        assert session.controls == before
+
+
+class TestImage:
+    def test_ppm_output(self):
+        image = Image(2, 1, [(0.0, 0.5, 1.0), (1.0, 0.0, 0.25)], 10)
+        text = image.to_ppm()
+        lines = text.splitlines()
+        assert lines[0] == "P3"
+        assert lines[1] == "2 1"
+        assert lines[2] == "255"
+        assert lines[3].split() == ["0", "128", "255"]
+
+    def test_ppm_clamps_out_of_range(self):
+        image = Image(1, 1, [(-0.5, 2.0, 0.5)], 0)
+        assert image.to_ppm().splitlines()[3].split() == ["0", "255", "128"]
+
+    def test_cost_per_pixel(self):
+        image = Image(2, 1, [(0, 0, 0), (0, 0, 0)], 10)
+        assert image.cost_per_pixel == 5.0
+
+
+class TestShaderInstallation:
+    """The paper's §5 install-time workflow."""
+
+    def test_install_builds_every_partition(self):
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=2, height=2)
+        assert set(install.partitions()) == set(
+            install.spec_info.control_params
+        )
+
+    def test_edit_reuses_prebuilt_specialization(self):
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=2, height=2)
+        edit1 = install.edit("ka")
+        edit2 = install.edit("ka")
+        assert edit1.specialization is edit2.specialization
+
+    def test_compiled_pairs_ready(self):
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=2, height=2, compile_code=True)
+        spec = install.specializations["ka"]
+        # Already compiled at install time (memoized).
+        assert "loader" in spec._compiled and "reader" in spec._compiled
+
+    def test_edit_session_functional(self):
+        from repro.runtime.values import values_close
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(6, width=2, height=2)
+        edit = install.edit("roughness")
+        edit.load(install.session.controls)
+        controls = install.session.controls_with(roughness=0.3)
+        image = edit.adjust(controls)
+        reference = install.session.render_reference(
+            controls, specialization=edit.specialization
+        )
+        assert all(
+            values_close(a, b, 1e-9)
+            for a, b in zip(image.colors, reference.colors)
+        )
+
+    def test_unknown_param_rejected(self):
+        from repro.lang.errors import SpecializationError
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=2, height=2)
+        with pytest.raises(SpecializationError):
+            install.edit("bogus")
+
+    def test_describe_lists_all_partitions(self):
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=2, height=2)
+        text = install.describe()
+        for param in install.spec_info.control_params:
+            assert param in text
+
+
+class TestDispatchRendering:
+    """Per-pixel polyvariant readers (Section 7.2) through the renderer."""
+
+    # Brick, varying brickw: the row-parity stagger test has an
+    # independent (per-pixel) predicate guarding a dependent assignment,
+    # so it is a dispatch candidate -- and odd/even rows take different
+    # variants.
+    PARAM = "brickw"
+
+    def session(self):
+        return RenderSession(9, width=4, height=4)
+
+    def test_brick_has_dispatch_candidates(self):
+        session = self.session()
+        edit = session.begin_edit(self.PARAM, dispatch=True)
+        assert edit.table is not None
+        assert edit.table.bits >= 1
+        assert "fmod" in edit.table.candidate_predicates[0]
+
+    def test_pixels_select_different_variants(self):
+        session = self.session()
+        edit = session.begin_edit(self.PARAM, dispatch=True)
+        edit.load(session.controls)
+        codes = {edit.table.code_of(cache) for cache in edit.caches}
+        # A checkerboard: light and dark tiles take different variants.
+        assert len(codes) >= 2
+
+    def test_dispatch_frames_match_reference(self):
+        session = self.session()
+        edit = session.begin_edit(self.PARAM, dispatch=True)
+        edit.load(session.controls)
+        controls = session.controls_with(**{self.PARAM: 0.3})
+        image = edit.adjust(controls)
+        reference = session.render_reference(
+            controls, specialization=edit.specialization
+        )
+        for got, expected in zip(image.colors, reference.colors):
+            assert values_close(got, expected, 1e-9)
+
+    def test_dispatch_frames_cheaper_than_plain_reader(self):
+        session = self.session()
+        plain = session.begin_edit(self.PARAM)
+        plain.load(session.controls)
+        dispatch = session.begin_edit(self.PARAM, dispatch=True)
+        dispatch.load(session.controls)
+        controls = session.controls_with(**{self.PARAM: 0.3})
+        assert dispatch.adjust(controls).total_cost < plain.adjust(controls).total_cost
+
+    def test_cache_bytes_include_dispatch_slot(self):
+        session = self.session()
+        plain = session.begin_edit(self.PARAM)
+        dispatch = session.begin_edit(self.PARAM, dispatch=True)
+        assert dispatch.cache_bytes_per_pixel == plain.cache_bytes_per_pixel + 4
+
+    def test_dispatch_false_is_default(self):
+        session = self.session()
+        edit = session.begin_edit(self.PARAM)
+        assert edit.table is None

@@ -1,0 +1,70 @@
+"""Tests for the ASCII plotter and the full-report generator."""
+
+from repro.bench.ascii_plot import AsciiPlot, scatter
+from repro.bench import report as R
+
+
+class TestAsciiPlot:
+    def test_scatter_contains_points_and_axes(self):
+        text = scatter([(0, 0), (1, 1), (2, 4)], title="t", xlabel="x")
+        assert "t" in text
+        assert "+" in text
+        assert "x: x" in text
+
+    def test_multiple_series_glyphs(self):
+        plot = AsciiPlot(width=30, height=8)
+        plot.add_series([(0, 1), (1, 2)], glyph="a", label="first")
+        plot.add_series([(0, 2), (1, 1)], glyph="b", label="second")
+        text = plot.render()
+        assert "a" in text and "b" in text
+        assert "first" in text and "second" in text
+
+    def test_log_scale_spreads_decades(self):
+        plot = AsciiPlot(width=30, height=10, logy=True)
+        plot.add_series([(0, 1), (1, 10), (2, 100)], glyph="*")
+        text = plot.render()
+        lines = [l for l in text.splitlines() if "*" in l]
+        # Three points on three distinct rows: log spacing is even.
+        assert len(lines) == 3
+
+    def test_degenerate_single_point(self):
+        text = scatter([(1, 5)])
+        assert "+" in text
+
+    def test_deterministic(self):
+        points = [(i, i * i) for i in range(6)]
+        assert scatter(points) == scatter(points)
+
+    def test_grid_dimensions(self):
+        plot = AsciiPlot(width=40, height=12)
+        plot.add_series([(0, 0), (1, 1)])
+        text = plot.render()
+        rows = [l for l in text.splitlines() if "|" in l]
+        assert len(rows) == 12
+
+
+class TestReport:
+    def test_individual_plots_render(self):
+        assert "Figure 7" in R.fig7_plot()
+        assert "Figure 8" in R.fig8_plot()
+        assert "Figure 9" in R.fig9_plot()
+        assert "Figure 10" in R.fig10_plot()
+
+    def test_full_report_has_all_sections(self):
+        text = R.full_report()
+        for marker in ("E1 ", "E2 ", "E3 ", "E4 ", "E5 ", "E6 ", "E7 "):
+            assert marker in text, marker
+        assert "dotprod" in text
+        assert "breakeven" in text
+
+    def test_report_cli(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        target = tmp_path / "report.txt"
+        code = main(["report", "--out", str(target)], out=out)
+        assert code == 0
+        assert target.exists()
+        assert "Figure 9" in target.read_text()

@@ -1,0 +1,61 @@
+"""Unit tests for the interactive-session simulator."""
+
+import pytest
+
+from repro.bench.session import DEFAULT_SCRIPT, FrameRecord, simulate_session
+
+
+class TestSimulation:
+    def test_frame_structure(self):
+        script = [("ka", [0.2, 0.3, 0.4])]
+        trace = simulate_session(1, script=script, width=3, height=3)
+        kinds = [f.kind for f in trace.frames]
+        assert kinds == ["load", "read", "read"]
+        assert all(f.param == "ka" for f in trace.frames)
+
+    def test_segments_numbered(self):
+        script = [("ka", [0.2, 0.3]), ("kd", [0.7, 0.8])]
+        trace = simulate_session(1, script=script, width=3, height=3)
+        assert {f.segment for f in trace.frames} == {0, 1}
+
+    def test_costs_positive(self):
+        script = [("ka", [0.2, 0.3])]
+        trace = simulate_session(1, script=script, width=3, height=3)
+        assert all(f.cost > 0 and f.reference_cost > 0 for f in trace.frames)
+
+    def test_reader_frames_cheaper_than_reference(self):
+        script = [("red", [0.5, 0.6, 0.7])]
+        trace = simulate_session(1, script=script, width=3, height=3)
+        for frame in trace.frames:
+            if frame.kind == "read":
+                assert frame.cost < frame.reference_cost
+
+    def test_session_speedup_positive(self):
+        trace = simulate_session(3, width=3, height=3)
+        assert trace.session_speedup > 1.0
+
+    def test_default_scripts_exist(self):
+        assert 10 in DEFAULT_SCRIPT and 3 in DEFAULT_SCRIPT
+
+    def test_missing_default_script_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_session(2, width=3, height=3)
+
+    def test_describe(self):
+        trace = simulate_session(10, width=3, height=3)
+        text = trace.describe()
+        assert "session on shader 10" in text
+        assert "steady-state" in text
+
+    def test_frame_record_speedup(self):
+        frame = FrameRecord(0, "ka", 0.5, "read", 50, 200)
+        assert frame.speedup == 4.0
+
+    def test_installation_reuse(self):
+        from repro.shaders.render import ShaderInstallation
+
+        install = ShaderInstallation(1, width=3, height=3, compile_code=False)
+        script = [("ka", [0.2, 0.3])]
+        a = simulate_session(1, script=script, installation=install)
+        b = simulate_session(1, script=script, installation=install)
+        assert a.total_cost == b.total_cost  # deterministic, shared install

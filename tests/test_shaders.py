@@ -1,0 +1,141 @@
+"""Tests for the shader workloads: all ten shaders, all 131 partitions."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import is_vec3, values_close
+from repro.shaders.render import RenderSession
+from repro.shaders.scenes import scene_for
+from repro.shaders.sources import (
+    GEOMETRY_PARAMS,
+    SHADERS,
+    TOTAL_PARTITIONS,
+    all_shader_sources,
+    shader_program_source,
+)
+
+
+class TestInventory:
+    def test_ten_shaders(self):
+        assert sorted(SHADERS) == list(range(1, 11))
+
+    def test_exactly_131_partitions(self):
+        # The paper's evaluation covers 131 distinct input partitions.
+        assert TOTAL_PARTITIONS == 131
+
+    def test_shader_10_has_14_partitions(self):
+        # Section 5.4 applies cache limiting to "all 14 input partitions
+        # of shader 10".
+        assert len(SHADERS[10].control_params) == 14
+
+    def test_shader_10_has_study_parameters(self):
+        # Figure 10's legend names these parameters.
+        params = set(SHADERS[10].control_params)
+        for expected in ("ringscale", "roughness", "ks", "kd", "ambient",
+                         "lightx", "lighty", "lightz", "blue1"):
+            assert expected in params
+
+    def test_defaults_cover_all_params(self):
+        for spec in SHADERS.values():
+            assert set(spec.defaults) == set(spec.control_params)
+
+    def test_combined_program_checks(self):
+        program = parse_program(all_shader_sources())
+        check_program(program)
+
+    def test_sizes_in_paper_range(self):
+        # "These range in size from 50 to 150 lines of C code" including
+        # their use of the library; our shader bodies plus their library
+        # dependencies should be of comparable scale.
+        for spec in SHADERS.values():
+            body_lines = [
+                line for line in spec.source.strip().splitlines()
+                if line.strip() and not line.strip().startswith("/*")
+            ]
+            assert 10 <= len(body_lines) <= 160, spec.name
+
+
+@pytest.mark.parametrize("index", sorted(SHADERS))
+class TestEachShader:
+    def test_parses_and_typechecks(self, index):
+        program = parse_program(shader_program_source(SHADERS[index]))
+        check_program(program)
+
+    def test_runs_and_yields_color(self, index):
+        spec_info = SHADERS[index]
+        program = parse_program(shader_program_source(spec_info))
+        check_program(program)
+        scene = scene_for(index, 3, 3)
+        interp = Interpreter(program)
+        controls = spec_info.default_controls()
+        for pixel in scene:
+            args = pixel.geometry_args() + [
+                controls[p] for p in spec_info.control_params
+            ]
+            color = interp.run(spec_info.name, args)
+            assert is_vec3(color)
+            assert all(-0.001 <= c <= 1.001 for c in color), (index, color)
+
+    def test_output_varies_across_pixels(self, index):
+        spec_info = SHADERS[index]
+        program = parse_program(shader_program_source(spec_info))
+        check_program(program)
+        scene = scene_for(index, 4, 4)
+        interp = Interpreter(program)
+        controls = spec_info.default_controls()
+        colors = set()
+        for pixel in scene:
+            args = pixel.geometry_args() + [
+                controls[p] for p in spec_info.control_params
+            ]
+            colors.add(tuple(round(c, 6) for c in interp.run(spec_info.name, args)))
+        assert len(colors) > 1, "shader %d is constant over the image" % index
+
+    def test_every_control_parameter_matters(self, index):
+        # Each control parameter must actually influence the output
+        # somewhere, or its partition would be meaningless.
+        spec_info = SHADERS[index]
+        program = parse_program(shader_program_source(spec_info))
+        check_program(program)
+        scene = scene_for(index, 3, 3)
+        interp = Interpreter(program)
+        base_controls = spec_info.default_controls()
+        base_colors = []
+        for pixel in scene:
+            args = pixel.geometry_args() + [
+                base_controls[p] for p in spec_info.control_params
+            ]
+            base_colors.append(interp.run(spec_info.name, args))
+        for param in spec_info.control_params:
+            controls = dict(base_controls)
+            controls[param] = controls[param] * 1.7 + 0.13
+            changed = False
+            for pixel, base_color in zip(scene, base_colors):
+                args = pixel.geometry_args() + [
+                    controls[p] for p in spec_info.control_params
+                ]
+                if not values_close(
+                    interp.run(spec_info.name, args), base_color, 1e-12
+                ):
+                    changed = True
+                    break
+            assert changed, "parameter %r of shader %d has no effect" % (
+                param, index,
+            )
+
+
+class TestGeometryConvention:
+    def test_all_shaders_share_geometry_prefix(self):
+        for spec in SHADERS.values():
+            program = parse_program(shader_program_source(spec))
+            fn = program.function(spec.name)
+            names = fn.param_names()
+            assert tuple(names[: len(GEOMETRY_PARAMS)]) == GEOMETRY_PARAMS
+
+    def test_param_names_property(self):
+        spec = SHADERS[1]
+        assert spec.param_names[:5] == GEOMETRY_PARAMS
+        assert spec.param_names[5:] == spec.control_params

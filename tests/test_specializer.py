@@ -1,0 +1,252 @@
+"""Integration tests for the DataSpecializer driver and public API."""
+
+import pytest
+
+from repro import (
+    DataSpecializer,
+    SpecializationError,
+    SpecializerOptions,
+    parse_program,
+    specialize,
+)
+from repro.runtime.values import values_close
+
+from tests.helpers import assert_specialization_correct, specialize_source
+
+
+DOTPROD = """
+float dotprod(float x1, float y1, float z1,
+              float x2, float y2, float z2, float scale) {
+    if (scale != 0.0) {
+        return (x1*x2 + y1*y2 + z1*z2) / scale;
+    } else {
+        return -1.0;
+    }
+}
+"""
+
+
+class TestPaperSection2Numbers:
+    """The worked example's quantitative claims, on our cost scale."""
+
+    ARGS = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+
+    def spec(self):
+        return specialize(DOTPROD, "dotprod", varying={"z1", "z2"})
+
+    def test_modest_speedup_when_scale_nonzero(self):
+        spec = self.spec()
+        _, cost_orig = spec.run_original(self.ARGS)
+        _, cache, _ = spec.run_loader(self.ARGS)
+        _, cost_read = spec.run_reader(cache, self.ARGS)
+        speedup = cost_orig / cost_read
+        # Paper: 11% on a Pentium; shape requirement: modest but real.
+        assert 1.05 < speedup < 3.0
+
+    def test_no_speedup_when_scale_zero(self):
+        spec = self.spec()
+        args = list(self.ARGS)
+        args[-1] = 0.0
+        _, cost_orig = spec.run_original(args)
+        _, cache, _ = spec.run_loader(args)
+        _, cost_read = spec.run_reader(cache, args)
+        assert cost_read == cost_orig  # error path unchanged
+
+    def test_low_startup_overhead(self):
+        spec = self.spec()
+        _, cost_orig = spec.run_original(self.ARGS)
+        _, _, cost_load = spec.run_loader(self.ARGS)
+        overhead = (cost_load - cost_orig) / cost_orig
+        # Paper: 5.5%.  One extra store on our scale: < 15%.
+        assert 0.0 <= overhead < 0.15
+
+    def test_breakeven_at_two_uses(self):
+        spec = self.spec()
+        _, cost_orig = spec.run_original(self.ARGS)
+        _, cache, cost_load = spec.run_loader(self.ARGS)
+        _, cost_read = spec.run_reader(cache, self.ARGS)
+        assert cost_load + cost_read <= 2 * cost_orig
+
+    def test_cache_is_tens_of_bytes_or_less(self):
+        assert self.spec().cache_size_bytes <= 40
+
+
+class TestCorrectnessMatrix:
+    def test_single_varying_input(self):
+        assert_specialization_correct(
+            DOTPROD,
+            "dotprod",
+            {"scale"},
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0],
+            variants=[
+                [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 4.0],
+                [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.0],
+            ],
+        )
+
+    def test_all_inputs_varying_degenerates_gracefully(self):
+        spec = assert_specialization_correct(
+            DOTPROD,
+            "dotprod",
+            {"x1", "y1", "z1", "x2", "y2", "z2", "scale"},
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0],
+            variants=[[7.0, -2.0, 0.5, 1.0, 9.0, -6.0, 3.0]],
+        )
+        assert spec.cache_size_bytes == 0
+
+    def test_loops_with_varying_bound(self):
+        src = """
+        float f(float a, int n) {
+            float s = sqrt(a) + a * a * a;
+            int i = 0;
+            float acc = 0.0;
+            while (i < n) {
+                acc = acc + s;
+                i = i + 1;
+            }
+            return acc;
+        }
+        """
+        assert_specialization_correct(
+            src, "f", {"n"},
+            [2.0, 3],
+            variants=[[2.0, 0], [2.0, 7]],
+        )
+
+    def test_vec3_results(self):
+        src = """
+        vec3 f(vec3 base, float k) {
+            vec3 n = normalize(base + vec3(0.1, 0.2, 0.3));
+            return n * k + base;
+        }
+        """
+        assert_specialization_correct(
+            src, "f", {"k"},
+            [(1.0, 2.0, 3.0), 2.0],
+            variants=[[(1.0, 2.0, 3.0), -1.0]],
+        )
+
+    def test_int_semantics(self):
+        src = """
+        int f(int a, int b) {
+            int big = a * a * a + a * 31;
+            return big / (b * b + 1) + big % 7;
+        }
+        """
+        assert_specialization_correct(
+            src, "f", {"b"},
+            [13, 2],
+            variants=[[13, -5], [13, 0]],
+        )
+
+    def test_dependent_branches_both_ways(self):
+        src = """
+        float f(float a, float t) {
+            float hi = sqrt(a) * a;
+            float lo = a / 3.0;
+            if (t > 0.5) {
+                return hi + t;
+            } else {
+                return lo - t;
+            }
+        }
+        """
+        assert_specialization_correct(
+            src, "f", {"t"},
+            [4.0, 1.0],
+            variants=[[4.0, 0.0], [4.0, 0.6], [4.0, -2.0]],
+        )
+
+    def test_options_matrix_all_correct(self):
+        src = """
+        float f(float a, float b, float c) {
+            float x = a * a + 1.0;
+            if (a > 0.0) { x = x + sqrt(a); }
+            return b * x + a * b + c * x;
+        }
+        """
+        for ssa in (True, False):
+            for reassoc in (True, False):
+                for speculation in (True, False):
+                    assert_specialization_correct(
+                        src, "f", {"b"},
+                        [2.0, 3.0, 4.0],
+                        variants=[[2.0, -1.0, 4.0]],
+                        ssa=ssa, reassoc=reassoc,
+                        allow_speculation=speculation,
+                    )
+
+
+class TestCompiledExecution:
+    def test_compiled_matches_interpreted(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        args = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+        cache = spec.new_cache()
+        compiled_result = spec.compiled_loader(*args, cache)
+        interp_result, icache, _ = spec.run_loader(args)
+        assert values_close(compiled_result, interp_result)
+        assert all(
+            a == b or values_close(a, b) for a, b in zip(cache, icache)
+        )
+        variant = [1.0, 2.0, 9.0, 4.0, 5.0, -6.0, 2.0]
+        assert values_close(
+            spec.compiled_reader(*variant, cache),
+            spec.run_reader(icache, variant)[0],
+        )
+
+    def test_compiled_original(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        args = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 2.0]
+        assert spec.compiled_original(*args) == spec.run_original(args)[0]
+
+    def test_compiled_functions_memoized(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        assert spec.compiled_reader is spec.compiled_reader
+
+
+class TestDriverAPI:
+    def test_accepts_source_text_or_program(self):
+        from_text = DataSpecializer(DOTPROD)
+        from_ast = DataSpecializer(parse_program(DOTPROD))
+        a = from_text.specialize("dotprod", {"z1"})
+        b = from_ast.specialize("dotprod", {"z1"})
+        assert a.cache_size_bytes == b.cache_size_bytes
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SpecializationError):
+            DataSpecializer(DOTPROD).specialize("missing", {"z1"})
+
+    def test_unknown_varying_rejected(self):
+        with pytest.raises(SpecializationError):
+            DataSpecializer(DOTPROD).specialize("dotprod", {"nope"})
+
+    def test_per_call_option_overrides(self):
+        specializer = DataSpecializer(DOTPROD)
+        unlimited = specializer.specialize("dotprod", {"z1", "z2"})
+        bounded = specializer.specialize("dotprod", {"z1", "z2"}, cache_bound=0)
+        assert unlimited.cache_size_bytes > 0
+        assert bounded.cache_size_bytes == 0
+        # The base options object is untouched.
+        again = specializer.specialize("dotprod", {"z1", "z2"})
+        assert again.cache_size_bytes == unlimited.cache_size_bytes
+
+    def test_options_replace(self):
+        options = SpecializerOptions(ssa=True)
+        derived = options.replace(cache_bound=16)
+        assert derived.cache_bound == 16
+        assert derived.ssa is True
+        assert options.cache_bound is None
+
+    def test_partition_metadata(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        assert spec.varying == frozenset({"z1", "z2"})
+        assert spec.partition.fixed == frozenset(
+            {"x1", "y1", "x2", "y2", "z2", "z1", "scale"}
+        ) - {"z1", "z2"}
+        assert spec.function_name == "dotprod"
+
+    def test_describe_mentions_layout(self):
+        spec = specialize_source(DOTPROD, "dotprod", {"z1", "z2"})
+        text = spec.describe()
+        assert "cache layout" in text
+        assert "varying {z1, z2}" in text

@@ -1,0 +1,107 @@
+"""Tests for the cubic-spline application, validated against scipy."""
+
+import pytest
+
+from repro.apps.spline import spline_program
+from repro.core.specializer import DataSpecializer
+from repro.lang.typecheck import check_program
+from repro.runtime.interp import Interpreter
+
+scipy_interpolate = pytest.importorskip("scipy.interpolate")
+
+
+CONTROL = [0.0, 1.0, 0.5, 2.0, 1.5]
+KNOTS = [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def reference_spline(ys):
+    return scipy_interpolate.CubicSpline(KNOTS, ys, bc_type="natural")
+
+
+class TestAgainstScipy:
+    def test_matches_scipy_at_many_points(self):
+        program = spline_program()
+        check_program(program)
+        interp = Interpreter(program)
+        reference = reference_spline(CONTROL)
+        for i in range(41):
+            t = i / 10.0
+            ours = interp.run("spline5", CONTROL + [t])
+            theirs = float(reference(t))
+            assert abs(ours - theirs) < 1e-9, t
+
+    def test_interpolates_control_points(self):
+        program = spline_program()
+        check_program(program)
+        interp = Interpreter(program)
+        for i, y in enumerate(CONTROL):
+            assert abs(interp.run("spline5", CONTROL + [float(i)]) - y) < 1e-12
+
+    def test_clamps_outside_domain(self):
+        program = spline_program()
+        check_program(program)
+        interp = Interpreter(program)
+        lo = interp.run("spline5", CONTROL + [-3.0])
+        hi = interp.run("spline5", CONTROL + [99.0])
+        assert abs(lo - CONTROL[0]) < 1e-12
+        assert abs(hi - CONTROL[4]) < 1e-12
+
+    def test_other_control_sets(self):
+        program = spline_program()
+        check_program(program)
+        interp = Interpreter(program)
+        for ys in ([1.0, 1.0, 1.0, 1.0, 1.0], [0.0, -2.0, 4.0, -1.0, 3.0]):
+            reference = reference_spline(ys)
+            for t in (0.3, 1.7, 2.5, 3.9):
+                assert abs(
+                    interp.run("spline5", ys + [t]) - float(reference(t))
+                ) < 1e-9
+
+
+class TestSplineSpecialization:
+    def spec(self):
+        return DataSpecializer(spline_program()).specialize("spline5", {"t"})
+
+    def test_coefficients_cached(self):
+        spec = self.spec()
+        # The solver's products — per-segment coefficients — are cached.
+        assert len(spec.layout) >= 8
+        assert "while" not in spec.reader_source
+        # The tridiagonal solve itself is gone from the reader.
+        assert "6.0 * (y0" not in spec.reader_source
+
+    def test_reader_correct_across_t(self):
+        spec = self.spec()
+        base = CONTROL + [0.0]
+        _, cache, _ = spec.run_loader(base)
+        for i in range(17):
+            t = i / 4.0
+            args = CONTROL + [t]
+            expected, _ = spec.run_original(args)
+            got, _ = spec.run_reader(cache, args)
+            assert abs(got - expected) < 1e-12, t
+
+    def test_substantial_speedup_on_t(self):
+        spec = self.spec()
+        base = CONTROL + [1.3]
+        _, cache, _ = spec.run_loader(base)
+        _, read_cost = spec.run_reader(cache, base)
+        _, orig_cost = spec.run_original(base)
+        assert orig_cost / read_cost > 2.0
+
+    def test_no_speedup_when_control_point_varies(self):
+        spec = DataSpecializer(spline_program()).specialize("spline5", {"y2"})
+        base = CONTROL + [1.3]
+        _, cache, _ = spec.run_loader(base)
+        _, read_cost = spec.run_reader(cache, base)
+        _, orig_cost = spec.run_original(base)
+        # y2 feeds the whole solve: most work is dynamic.
+        assert read_cost > 0.5 * orig_cost
+
+    def test_breakeven_at_two(self):
+        spec = self.spec()
+        base = CONTROL + [2.2]
+        _, orig_cost = spec.run_original(base)
+        _, cache, load_cost = spec.run_loader(base)
+        _, read_cost = spec.run_reader(cache, base)
+        assert load_cost + read_cost <= 2 * orig_cost

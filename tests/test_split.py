@@ -1,0 +1,139 @@
+"""Unit tests for the splitting transformation (Section 3.3)."""
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+
+from tests.helpers import specialize_source
+
+
+SRC = """
+float f(float a, float b, float c) {
+    float heavy = sqrt(a) + a * a * a;
+    float light = a + 1.0;
+    float result = heavy * b + light + c;
+    return result;
+}
+"""
+
+
+class TestStructure:
+    def test_loader_and_reader_share_signature(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        original = spec.original
+        for fn in (spec.loader, spec.reader):
+            assert [p.name for p in fn.params] == [p.name for p in original.params]
+            assert [p.ty for p in fn.params] == [p.ty for p in original.params]
+            assert fn.ret_type is original.ret_type
+
+    def test_names_are_suffixed(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        assert spec.loader.name == "f_loader"
+        assert spec.reader.name == "f_reader"
+
+    def test_loader_contains_cache_stores(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        stores = [n for n in A.walk(spec.loader) if isinstance(n, A.CacheStore)]
+        assert len(stores) == len(spec.layout)
+
+    def test_reader_contains_cache_reads(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        reads = [n for n in A.walk(spec.reader) if isinstance(n, A.CacheRead)]
+        assert {r.slot for r in reads} == {s.index for s in spec.layout}
+
+    def test_no_reads_in_loader_or_stores_in_reader(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        assert not [n for n in A.walk(spec.loader) if isinstance(n, A.CacheRead)]
+        assert not [n for n in A.walk(spec.reader) if isinstance(n, A.CacheStore)]
+
+    def test_outputs_typecheck_standalone(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        check_program(A.Program([spec.loader]))
+        check_program(A.Program([spec.reader]))
+
+    def test_outputs_parse_back_from_pretty_source(self):
+        # The emitted "object code" is real kernel source, modulo the
+        # cache operators, which only appear for cache slots.
+        spec = specialize_source(SRC, "f", {"b"})
+        text = spec.loader_source
+        assert "(cache->slot0 =" in text
+
+    def test_static_statement_dropped_from_reader(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        assert "sqrt" not in spec.reader_source
+        assert "sqrt" in spec.loader_source
+
+    def test_slot_metadata(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        slot = spec.layout[0]
+        assert slot.ty.name == "float"
+        assert slot.size == 4
+        assert slot.source  # pretty-printed origin
+
+
+class TestDeclarationHandling:
+    def test_missing_decl_reemitted(self):
+        src = """
+        float f(float a, float b) {
+            float x = 1.0;
+            x = a * b * b;
+            return x;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        # The decl (x = 1.0) is static and dropped; the reader still
+        # assigns x, so a bare declaration must be re-emitted.
+        assert "float x;" in spec.reader_source
+        result, cache, _ = spec.run_loader([2.0, 3.0])
+        got, _ = spec.run_reader(cache, [2.0, 5.0])
+        assert got == 50.0
+
+    def test_dynamic_decl_stays_in_place(self):
+        src = """
+        float f(float a, float b) {
+            float x = a * b;
+            return x + 1.0;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert "float x = " in spec.reader_source
+
+    def test_vec3_slot_size(self):
+        src = """
+        float f(vec3 p, float b) {
+            vec3 q = normalize(p) * 2.0;
+            return q.x * b;
+        }
+        """
+        spec = specialize_source(src, "f", {"b"})
+        assert any(slot.size == 12 for slot in spec.layout)
+
+
+class TestPaperSizeClaim:
+    def test_loader_size_original_plus_stores(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        n_orig = A.count_nodes(spec.original)
+        n_loader = A.count_nodes(spec.loader)
+        assert n_loader == n_orig + len(spec.layout)
+
+    def test_sum_less_than_twice_original(self):
+        # Section 3.3: "the sum of the loader and reader sizes has been
+        # less than twice the size of the fragment."
+        spec = specialize_source(SRC, "f", {"b"})
+        total = A.count_nodes(spec.loader) + A.count_nodes(spec.reader)
+        assert total < 2 * A.count_nodes(spec.original) + len(spec.layout)
+
+
+class TestSlotAllocation:
+    def test_slots_deterministic_across_runs(self):
+        first = specialize_source(SRC, "f", {"b"})
+        second = specialize_source(SRC, "f", {"b"})
+        assert [s.source for s in first.layout] == [s.source for s in second.layout]
+
+    def test_slot_of_nid_maps_back(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        # Each layout slot's origin nid must be labeled CACHED.
+        from repro.core.labels import CACHED
+        for slot in spec.layout:
+            node = spec.caching.index.node_of[slot.origin_nid]
+            assert spec.caching.label_of(node) is CACHED

@@ -1,0 +1,145 @@
+"""Unit tests for the SSA-style join normalization (Section 4.1)."""
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse_function
+from repro.lang.typecheck import check_function
+from repro.runtime.interp import Interpreter
+from repro.transform.ssa import ssa_normalize
+
+
+def normalize(src):
+    fn = parse_function(src)
+    check_function(fn)
+    return ssa_normalize(fn)
+
+
+def phis(node):
+    return [
+        n for n in A.walk(node)
+        if isinstance(n, A.Assign) and n.is_phi
+    ]
+
+
+def assert_semantics_preserved(src, arg_sets):
+    plain = parse_function(src)
+    check_function(plain)
+    normalized = normalize(src)
+    check_function(normalized)
+    interp = Interpreter()
+    for args in arg_sets:
+        assert interp.run(normalized, list(args)) == interp.run(plain, list(args))
+
+
+class TestPhiInsertion:
+    def test_phi_after_if_for_live_variable(self):
+        fn = normalize(
+            "int f(int p) { int x = 0;"
+            " if (p) { x = 1; }"
+            " return x; }"
+        )
+        inserted = phis(fn)
+        assert len(inserted) == 1
+        assert inserted[0].name == "x"
+        assert isinstance(inserted[0].expr, A.VarRef)
+        assert inserted[0].expr.name == "x"
+
+    def test_phi_placed_directly_after_join(self):
+        fn = normalize(
+            "int f(int p) { int x = 0; if (p) { x = 1; } return x; }"
+        )
+        kinds = [type(s).__name__ for s in fn.body.stmts]
+        assert kinds == ["VarDecl", "If", "Assign", "Return"]
+        assert fn.body.stmts[2].is_phi
+
+    def test_no_phi_for_dead_variable(self):
+        # x is never referenced after the join: no phi.
+        fn = normalize(
+            "int f(int p, int y) { int x = 0;"
+            " if (p) { x = 1; }"
+            " return y; }"
+        )
+        assert phis(fn) == []
+
+    def test_no_phi_when_branch_assigns_nothing(self):
+        fn = normalize(
+            "int f(int p, int x) { if (p) { emit(1.0); } return x; }"
+        )
+        assert phis(fn) == []
+
+    def test_phi_after_while(self):
+        fn = normalize(
+            "int f(int n) { int x = 0;"
+            " while (x < n) { x = x + 1; }"
+            " return x; }"
+        )
+        inserted = phis(fn)
+        # x is live after the loop: exactly one exit phi.
+        assert [p.name for p in inserted] == ["x"]
+
+    def test_phi_for_multiple_variables_sorted(self):
+        fn = normalize(
+            "int f(int p) { int b = 0; int a = 0;"
+            " if (p) { b = 1; a = 1; }"
+            " return a + b; }"
+        )
+        names = [p.name for p in phis(fn)]
+        assert names == ["a", "b"]
+
+    def test_nested_joins_each_get_phis(self):
+        fn = normalize(
+            "int f(int p, int q) { int x = 0;"
+            " if (p) {"
+            "   if (q) { x = 1; }"
+            "   x = x + 1;"
+            " }"
+            " return x; }"
+        )
+        assert len(phis(fn)) == 2  # inner if + outer if
+
+    def test_reference_inside_loop_counts_as_live(self):
+        fn = normalize(
+            "int f(int n, int p) {"
+            " int x = 0; int i = 0;"
+            " while (i < n) {"
+            "   if (p) { x = 1; }"
+            "   i = i + x;"
+            " }"
+            " return i; }"
+        )
+        names = [p.name for p in phis(fn)]
+        assert "x" in names  # the inner join's phi, x used by next stmt
+
+
+class TestSemanticPreservation:
+    def test_if_else(self):
+        assert_semantics_preserved(
+            "int f(int p) { int x = 0;"
+            " if (p) { x = 1; } else { x = 2; }"
+            " return x * 10; }",
+            [(0,), (1,)],
+        )
+
+    def test_loops(self):
+        assert_semantics_preserved(
+            "int f(int n) { int s = 0; int i = 0;"
+            " while (i < n) { s = s + i; i = i + 1; }"
+            " return s; }",
+            [(0,), (1,), (7,)],
+        )
+
+    def test_reference_chains(self):
+        assert_semantics_preserved(
+            "int f(int p, int a) { int x = a;"
+            " if (p) { x = x + 1; }"
+            " int y = x * 2;"
+            " if (y > 4) { y = y - x; }"
+            " return x + y; }",
+            [(0, 1), (1, 1), (1, 10)],
+        )
+
+    def test_renumbers_nodes(self):
+        fn = normalize(
+            "int f(int p) { int x = 0; if (p) { x = 1; } return x; }"
+        )
+        nids = [n.nid for n in A.walk(fn)]
+        assert sorted(nids) == list(range(len(nids)))

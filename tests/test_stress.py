@@ -1,0 +1,114 @@
+"""Scalability guards: the pipeline on large synthetic fragments.
+
+The analyses are (worst-case) quadratic; these tests pin that the
+constants are sane — a ~500-statement fragment with hundreds of
+variables specializes in well under a second and stays correct.
+"""
+
+import time
+
+from repro.core.specializer import DataSpecializer
+from repro.lang.parser import parse_program
+
+
+def big_chain_program(n):
+    """v0..v_{n-1}, each depending on predecessors; varying input feeds
+    every third one."""
+    lines = ["float f(float a, float b) {"]
+    prev = "a"
+    for i in range(n):
+        if i % 3 == 2:
+            lines.append(
+                "    float v%d = v%d * b + %d.0;" % (i, i - 1, i)
+            )
+        elif i == 0:
+            lines.append("    float v0 = a * a + 1.0;")
+        else:
+            lines.append(
+                "    float v%d = v%d * 1.0001 + %s * 0.5;" % (i, i - 1, prev)
+            )
+        prev = "v%d" % i
+    lines.append("    return %s;" % prev)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def deep_nesting_program(depth):
+    """Nested independent conditionals with work at each level."""
+    lines = ["float f(float a, float b) {", "    float acc = 0.0;"]
+    for i in range(depth):
+        lines.append("    %sif (a > %d.0) {" % ("    " * i, i))
+        lines.append(
+            "    %s    acc = acc + a * %d.0 + b;" % ("    " * i, i + 1)
+        )
+    for i in reversed(range(depth)):
+        lines.append("    %s}" % ("    " * i))
+    lines.append("    return acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class TestScalability:
+    def test_long_chain_specializes_quickly(self):
+        src = big_chain_program(400)
+        started = time.perf_counter()
+        spec = DataSpecializer(parse_program(src)).specialize("f", {"b"})
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, "pipeline took %.2fs on 400 statements" % elapsed
+        # And it is still correct.
+        base = [1.5, 2.0]
+        expected, _ = spec.run_original(base)
+        result, cache, _ = spec.run_loader(base)
+        assert abs(result - expected) < 1e-6 * max(1.0, abs(expected))
+        variant = [1.5, -3.0]
+        expected2, _ = spec.run_original(variant)
+        got2, _ = spec.run_reader(cache, variant)
+        assert abs(got2 - expected2) < 1e-6 * max(1.0, abs(expected2))
+
+    def test_long_chain_benefits(self):
+        src = big_chain_program(200)
+        spec = DataSpecializer(parse_program(src)).specialize("f", {"b"})
+        base = [1.2, 0.5]
+        _, cache, _ = spec.run_loader(base)
+        _, read_cost = spec.run_reader(cache, base)
+        _, orig_cost = spec.run_original(base)
+        assert read_cost < orig_cost
+
+    def test_deep_nesting(self):
+        src = deep_nesting_program(30)
+        started = time.perf_counter()
+        spec = DataSpecializer(parse_program(src)).specialize("f", {"b"})
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0
+        base = [12.0, 1.0]
+        expected, _ = spec.run_original(base)
+        result, cache, _ = spec.run_loader(base)
+        assert abs(result - expected) < 1e-9
+        got, _ = spec.run_reader(cache, [12.0, -1.0])
+        expected2, _ = spec.run_original([12.0, -1.0])
+        assert abs(got - expected2) < 1e-9
+
+    def test_limiter_on_large_frontier(self):
+        src = big_chain_program(150)
+        spec = DataSpecializer(parse_program(src)).specialize(
+            "f", {"b"}, cache_bound=8
+        )
+        assert spec.cache_size_bytes <= 8
+        base = [1.1, 0.7]
+        _, cache, _ = spec.run_loader(base)
+        got, _ = spec.run_reader(cache, [1.1, -0.2])
+        expected, _ = spec.run_original([1.1, -0.2])
+        assert abs(got - expected) < 1e-6 * max(1.0, abs(expected))
+
+    def test_cfg_scales(self):
+        from repro.cfg import build_cfg, control_dependence
+        from repro.lang.typecheck import check_program
+        from repro.lang.parser import parse_program as parse
+
+        program = parse(deep_nesting_program(40))
+        check_program(program)
+        started = time.perf_counter()
+        cfg = build_cfg(program.function("f"))
+        control_dependence(cfg)
+        assert time.perf_counter() - started < 5.0
+        assert len(cfg.blocks) > 40

@@ -1,0 +1,200 @@
+"""Unit tests for the type checker."""
+
+import pytest
+
+from repro.lang.errors import KernelTypeError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.lang.types import FLOAT, INT, VEC3
+
+
+def check(src):
+    program = parse_program(src)
+    return program, check_program(program)
+
+
+def check_ok(src):
+    return check(src)[1]
+
+
+def check_fail(src):
+    with pytest.raises(KernelTypeError) as exc_info:
+        check(src)
+    return exc_info.value
+
+
+class TestScalars:
+    def test_int_arithmetic(self):
+        program, _ = check("int f(int a, int b) { return a + b * 2; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.expr.ty is INT
+
+    def test_mixed_promotes_to_float(self):
+        program, _ = check("float f(int a, float b) { return a + b; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.expr.ty is FLOAT
+
+    def test_int_assignable_to_float(self):
+        check_ok("float f() { float x = 3; return x; }")
+
+    def test_float_not_assignable_to_int(self):
+        err = check_fail("int f() { int x = 3.5; return x; }")
+        assert "initialize" in err.message
+
+    def test_comparison_yields_int(self):
+        program, _ = check("int f(float a) { return a < 2.0; }")
+        assert program.function("f").body.stmts[0].expr.ty is INT
+
+    def test_modulo_requires_ints(self):
+        check_fail("float f(float a) { return a % 2.0; }")
+
+    def test_modulo_of_ints_ok(self):
+        check_ok("int f(int a) { return a % 3; }")
+
+    def test_logical_requires_int(self):
+        check_fail("int f(float a) { return a && 1; }")
+
+    def test_logical_of_comparisons_ok(self):
+        check_ok("int f(float a) { return a > 0.0 && a < 1.0; }")
+
+    def test_not_requires_int(self):
+        check_fail("int f(float a) { return !a; }")
+
+    def test_unary_minus_on_scalars(self):
+        check_ok("float f(float a, int b) { return -a + (-b); }")
+
+
+class TestVec3:
+    def test_vec3_addition(self):
+        check_ok("vec3 f(vec3 a, vec3 b) { return a + b; }")
+
+    def test_vec3_scalar_product_both_orders(self):
+        check_ok("vec3 f(vec3 a, float s) { return a * s + s * a; }")
+
+    def test_vec3_division_by_scalar(self):
+        check_ok("vec3 f(vec3 a, float s) { return a / s; }")
+
+    def test_scalar_divided_by_vec3_rejected(self):
+        check_fail("vec3 f(vec3 a, float s) { return s / a; }")
+
+    def test_vec3_times_vec3_rejected(self):
+        check_fail("vec3 f(vec3 a, vec3 b) { return a * b; }")
+
+    def test_vec3_comparison_rejected(self):
+        check_fail("int f(vec3 a, vec3 b) { return a < b; }")
+
+    def test_member_access_type(self):
+        program, _ = check("float f(vec3 a) { return a.x + a.y + a.z; }")
+        ret = program.function("f").body.stmts[0]
+        assert ret.expr.ty is FLOAT
+
+    def test_member_on_scalar_rejected(self):
+        check_fail("float f(float a) { return a.x; }")
+
+    def test_unary_minus_on_vec3(self):
+        check_ok("vec3 f(vec3 a) { return -a; }")
+
+    def test_vec3_condition_rejected(self):
+        check_fail("int f(vec3 a) { if (a) { return 1; } return 0; }")
+
+
+class TestControlFlow:
+    def test_condition_must_be_int(self):
+        check_fail("int f(float a) { if (a) { return 1; } return 0; }")
+
+    def test_comparison_condition_ok(self):
+        check_ok("int f(float a) { if (a > 0.0) { return 1; } return 0; }")
+
+    def test_while_condition_must_be_int(self):
+        check_fail("int f(float a) { while (a) { a = a - 1.0; } return 0; }")
+
+    def test_missing_return_rejected(self):
+        err = check_fail("int f(int a) { if (a) { return 1; } }")
+        assert "fall off" in err.message
+
+    def test_return_in_both_branches_ok(self):
+        check_ok("int f(int a) { if (a) { return 1; } else { return 0; } }")
+
+    def test_void_needs_no_return(self):
+        check_ok("void f(float a) { emit(a); }")
+
+    def test_void_returning_value_rejected(self):
+        check_fail("void f() { return 1; }")
+
+    def test_nonvoid_empty_return_rejected(self):
+        check_fail("int f() { return; }")
+
+    def test_return_type_mismatch(self):
+        check_fail("int f() { return 2.5; }")
+
+    def test_int_returned_from_float_fn_ok(self):
+        check_ok("float f() { return 2; }")
+
+    def test_ternary_arm_unification(self):
+        program, _ = check("float f(int p, int a, float b) { return p ? a : b; }")
+        assert program.function("f").body.stmts[0].expr.ty is FLOAT
+
+    def test_ternary_incompatible_arms(self):
+        check_fail("float f(int p, vec3 a, float b) { return p ? a.x : a; }")
+
+
+class TestScopingAndCalls:
+    def test_undeclared_variable(self):
+        check_fail("int f() { return missing; }")
+
+    def test_assignment_to_undeclared(self):
+        check_fail("int f() { x = 1; return x; }")
+
+    def test_redeclaration_rejected(self):
+        err = check_fail("int f() { int x = 1; int x = 2; return x; }")
+        assert "redeclaration" in err.message
+
+    def test_shadowing_in_nested_block_rejected(self):
+        check_fail("int f() { int x = 1; { int x = 2; } return x; }")
+
+    def test_duplicate_parameter(self):
+        check_fail("int f(int a, int a) { return a; }")
+
+    def test_builtin_call_checked(self):
+        check_ok("float f(float x) { return sqrt(x) + sin(x); }")
+
+    def test_builtin_arity_error(self):
+        check_fail("float f(float x) { return sqrt(x, x); }")
+
+    def test_builtin_arg_type_error(self):
+        check_fail("float f(vec3 v) { return sqrt(v); }")
+
+    def test_unknown_call(self):
+        check_fail("float f(float x) { return mystery(x); }")
+
+    def test_user_function_call(self):
+        check_ok(
+            "float helper(float x) { return x * 2.0; }"
+            "float f(float x) { return helper(x) + 1.0; }"
+        )
+
+    def test_user_call_arity_error(self):
+        check_fail(
+            "float helper(float x) { return x; }"
+            "float f(float x) { return helper(x, x); }"
+        )
+
+    def test_void_call_as_value_rejected(self):
+        check_fail("float f(float x) { return emit(x); }")
+
+    def test_void_call_as_statement_ok(self):
+        check_ok("void f(float x) { emit(x); }")
+
+    def test_duplicate_function_rejected(self):
+        check_fail("int f() { return 1; } int f() { return 2; }")
+
+    def test_shadowing_builtin_rejected(self):
+        check_fail("float sqrt(float x) { return x; }")
+
+    def test_type_info_records_variables(self):
+        _, infos = check("float f(float a) { int n = 1; vec3 v = vec3(a, a, a); return a; }")
+        info = infos["f"]
+        assert info.type_of("a") is FLOAT
+        assert info.type_of("n") is INT
+        assert info.type_of("v") is VEC3
+        assert info.is_param["a"] and not info.is_param["n"]

@@ -1,0 +1,132 @@
+"""Mutation tests for the label validator: deliberately corrupt a valid
+labeling and check every rule's violation is actually reported.  (A
+validator that never fires would make the property tests vacuous.)"""
+
+from repro.analysis.caching import validate_labels
+from repro.core.labels import CACHED, DYNAMIC, STATIC
+from repro.lang import ast_nodes as A
+
+from tests.helpers import specialize_source
+
+
+SRC = """
+float f(float a, float b) {
+    float heavy = sqrt(a) + a * a * a;
+    float light = a + 1.0;
+    emit(a * 2.0);
+    if (b > 0.0) {
+        light = 2.0;
+    }
+    return heavy * b + light;
+}
+"""
+
+
+def fresh():
+    spec = specialize_source(SRC, "f", {"b"})
+    assert validate_labels(spec.caching) == []
+    return spec
+
+
+def find(spec, predicate):
+    for node in A.walk(spec.original.body):
+        if predicate(node):
+            return node
+    raise AssertionError("node not found")
+
+
+class TestValidatorFires:
+    def test_rule1_dependent_demoted(self):
+        spec = fresh()
+        # b's reference is dependent; force it static.
+        ref = find(
+            spec,
+            lambda n: isinstance(n, A.VarRef) and n.name == "b"
+            and spec.caching.label_of(n) is DYNAMIC,
+        )
+        spec.caching.labels[ref.nid] = STATIC
+        violations = validate_labels(spec.caching)
+        assert any("rule 1" in v for v in violations)
+
+    def test_rule2_effect_demoted(self):
+        spec = fresh()
+        call = find(
+            spec, lambda n: isinstance(n, A.Call) and n.name == "emit"
+        )
+        spec.caching.labels[call.nid] = STATIC
+        violations = validate_labels(spec.caching)
+        assert any("rule 2" in v or "rule 1" in v for v in violations)
+
+    def test_rule3_cached_under_dependent_control(self):
+        spec = fresh()
+        # The assignment inside `if (b > 0)`: force its RHS cached.
+        lit = find(
+            spec,
+            lambda n: isinstance(n, A.FloatLit) and n.value == 2.0
+            and spec.caching.index.guards_of(n),
+        )
+        spec.caching.labels[lit.nid] = CACHED
+        violations = validate_labels(spec.caching)
+        assert any("rule 3" in v or "rule 6" in v for v in violations)
+
+    def test_rule4_def_demoted(self):
+        spec = fresh()
+        # heavy's declaration must be dynamic (its ref is in the reader).
+        decl = find(
+            spec, lambda n: isinstance(n, A.VarDecl) and n.name == "heavy"
+        )
+        assert spec.caching.label_of(decl) is DYNAMIC
+        spec.caching.labels[decl.nid] = STATIC
+        violations = validate_labels(spec.caching)
+        assert any("rule 4" in v for v in violations)
+
+    def test_rule5_guard_demoted(self):
+        spec = fresh()
+        if_stmt = find(spec, lambda n: isinstance(n, A.If))
+        assert spec.caching.label_of(if_stmt) is DYNAMIC
+        spec.caching.labels[if_stmt.nid] = STATIC
+        violations = validate_labels(spec.caching)
+        assert any("rule 5" in v for v in violations)
+
+    def test_rule6_trivial_cached(self):
+        spec = fresh()
+        # light's initializer a + 1.0 is trivial; force it cached.
+        init = find(
+            spec,
+            lambda n: isinstance(n, A.BinOp) and n.op == "+"
+            and isinstance(n.right, A.FloatLit) and n.right.value == 1.0,
+        )
+        spec.caching.labels[init.nid] = CACHED
+        violations = validate_labels(spec.caching)
+        assert any("trivial" in v for v in violations)
+
+    def test_rule7_operand_static(self):
+        spec = fresh()
+        # Demote the cached heavy RHS to static: now a dynamic consumer
+        # has a static operand.
+        cached = spec.caching.cached_nodes()[0]
+        spec.caching.labels[cached.nid] = STATIC
+        violations = validate_labels(spec.caching)
+        assert any("rule 7" in v or "rule 4" in v for v in violations)
+
+    def test_multi_valued_cached(self):
+        src = """
+        float g(float a, int n, float b) {
+            float s = 0.0;
+            int i = 0;
+            while (i < n) {
+                s = s + sqrt(a + i);
+                i = i + 1;
+            }
+            return s * b;
+        }
+        """
+        spec = specialize_source(src, "g", {"b"})
+        assert validate_labels(spec.caching) == []
+        loop_expr = find(
+            spec,
+            lambda n: isinstance(n, A.Call) and n.name == "sqrt",
+        )
+        spec.caching.labels[loop_expr.nid] = CACHED
+        violations = validate_labels(spec.caching)
+        assert any("single-valued" in v for v in violations)

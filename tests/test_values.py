@@ -1,0 +1,119 @@
+"""Unit tests for vec3 value helpers."""
+
+import math
+
+import pytest
+
+from repro.lang.errors import EvalError
+from repro.runtime import values as V
+
+
+class TestConstruction:
+    def test_vec3_coerces_to_float(self):
+        assert V.vec3(1, 2, 3) == (1.0, 2.0, 3.0)
+
+    def test_is_vec3(self):
+        assert V.is_vec3((1.0, 2.0, 3.0))
+        assert not V.is_vec3(1.0)
+        assert not V.is_vec3((1.0, 2.0))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = (1.0, 2.0, 3.0), (4.0, 5.0, 6.0)
+        assert V.vadd(a, b) == (5.0, 7.0, 9.0)
+        assert V.vsub(b, a) == (3.0, 3.0, 3.0)
+
+    def test_neg(self):
+        assert V.vneg((1.0, -2.0, 3.0)) == (-1.0, 2.0, -3.0)
+
+    def test_scale_and_div(self):
+        assert V.vscale((1.0, 2.0, 3.0), 2.0) == (2.0, 4.0, 6.0)
+        assert V.vdiv((2.0, 4.0, 6.0), 2.0) == (1.0, 2.0, 3.0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(EvalError):
+            V.vdiv((1.0, 1.0, 1.0), 0.0)
+
+    def test_componentwise_mul(self):
+        assert V.vmul((1.0, 2.0, 3.0), (2.0, 0.5, -1.0)) == (2.0, 1.0, -3.0)
+
+
+class TestGeometry:
+    def test_dot(self):
+        assert V.vdot((1.0, 2.0, 3.0), (4.0, 5.0, 6.0)) == 32.0
+
+    def test_cross_is_orthogonal(self):
+        a, b = (1.0, 0.5, -0.25), (0.3, -1.0, 2.0)
+        c = V.vcross(a, b)
+        assert abs(V.vdot(c, a)) < 1e-12
+        assert abs(V.vdot(c, b)) < 1e-12
+
+    def test_cross_right_handed(self):
+        assert V.vcross((1.0, 0.0, 0.0), (0.0, 1.0, 0.0)) == (0.0, 0.0, 1.0)
+
+    def test_length(self):
+        assert V.vlength((3.0, 4.0, 0.0)) == 5.0
+
+    def test_normalize_unit_length(self):
+        n = V.vnormalize((3.0, 4.0, 12.0))
+        assert abs(V.vlength(n) - 1.0) < 1e-12
+
+    def test_normalize_zero_vector(self):
+        assert V.vnormalize((0.0, 0.0, 0.0)) == (0.0, 0.0, 0.0)
+
+    def test_reflect_preserves_length(self):
+        i = V.vnormalize((1.0, -1.0, 0.5))
+        n = (0.0, 1.0, 0.0)
+        r = V.vreflect(i, n)
+        assert abs(V.vlength(r) - 1.0) < 1e-12
+
+    def test_reflect_flips_normal_component(self):
+        r = V.vreflect((1.0, -1.0, 0.0), (0.0, 1.0, 0.0))
+        assert r == (1.0, 1.0, 0.0)
+
+    def test_faceforward_flips_when_facing_same_way(self):
+        n = (0.0, 0.0, 1.0)
+        i = (0.0, 0.0, 1.0)
+        assert V.vfaceforward(n, i) == (0.0, 0.0, -1.0)
+
+    def test_faceforward_keeps_when_opposed(self):
+        n = (0.0, 0.0, -1.0)
+        i = (0.0, 0.0, 1.0)
+        assert V.vfaceforward(n, i) == n
+
+
+class TestColorAndMisc:
+    def test_vmix_endpoints(self):
+        a, b = (0.0, 0.0, 0.0), (1.0, 2.0, 3.0)
+        assert V.vmix(a, b, 0.0) == a
+        assert V.vmix(a, b, 1.0) == b
+
+    def test_vmix_midpoint(self):
+        assert V.vmix((0.0, 0.0, 0.0), (2.0, 4.0, 6.0), 0.5) == (1.0, 2.0, 3.0)
+
+    def test_clamp01(self):
+        assert V.vclamp01((-0.5, 0.5, 1.5)) == (0.0, 0.5, 1.0)
+
+    def test_rotate_y_quarter_turn(self):
+        r = V.rotate_y((1.0, 0.0, 0.0), math.pi / 2)
+        assert V.values_close(r, (0.0, 0.0, -1.0), 1e-12)
+
+    def test_rotate_x_preserves_x(self):
+        r = V.rotate_x((1.0, 2.0, 3.0), 0.7)
+        assert r[0] == 1.0
+
+    def test_rotate_z_preserves_z(self):
+        r = V.rotate_z((1.0, 2.0, 3.0), 0.7)
+        assert r[2] == 3.0
+
+    def test_rotations_preserve_length(self):
+        v = (1.0, 2.0, 3.0)
+        for rot in (V.rotate_x, V.rotate_y, V.rotate_z):
+            assert abs(V.vlength(rot(v, 1.234)) - V.vlength(v)) < 1e-12
+
+    def test_values_close_scalar_and_vector(self):
+        assert V.values_close(1.0, 1.0 + 1e-12)
+        assert not V.values_close(1.0, 1.1)
+        assert V.values_close((1.0, 2.0, 3.0), (1.0, 2.0, 3.0))
+        assert not V.values_close((1.0, 2.0, 3.0), 1.0)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate the measured numbers quoted in EXPERIMENTS.md.
+
+Run after any change to the shaders, cost model, or analyses, and paste
+the emitted markdown fragments over the stale ones.  Everything here is
+deterministic, so re-running on unchanged code reproduces EXPERIMENTS.md
+verbatim.
+"""
+
+import statistics
+
+from repro.bench import figures as F
+
+
+def e1():
+    cases, _ = F.sec2_dotprod()
+    print("### E1 dotprod")
+    for label, c in cases.items():
+        print("| %s | %.2fx | %.1f%% | %s | %dB |" % (
+            label, c["speedup"], 100 * c["overhead"], c["breakeven"],
+            c["cache_bytes"]))
+    print()
+
+
+def e2():
+    summary, _t, _s = F.fig7_speedups()
+    print("### E2 per-shader speedups")
+    from repro.shaders.sources import SHADERS
+
+    for i, s in summary.items():
+        print("| %d %s | %d | %.2f | %.2f | %.2f |" % (
+            i, SHADERS[i].name, s["count"], s["min"], s["median"], s["max"]))
+    print()
+
+
+def e3():
+    stats, _ = F.fig8_cache_sizes()
+    print("### E3 cache sizes")
+    print("mean %.1f  median %s  min %d  max %d  640x480 %.1f MB" % (
+        stats["mean"], stats["median"], stats["min"], stats["max"],
+        stats["total_image_bytes_640x480"] / 1048576.0))
+    print()
+
+
+def e4():
+    stats, _ = F.sec52_overhead()
+    print("### E4 breakeven histogram")
+    print(stats["histogram"], "share<=2: %.3f" % stats["share_at_two"])
+    print()
+
+
+def e5_e6():
+    sweep = F.fig9_limit_sweep()
+    print("### E5 representative rows (0/8/16/24/40/unlimited)")
+    for param in ("ambient", "ringscale", "lightx", "txscale"):
+        row = sweep[param]
+        print("| %s | %s |" % (param, " | ".join(
+            "%.1f" % row[k][0] for k in (0, 8, 16, 24, 40, None))))
+    normalized, aggregates, _ = F.fig10_normalized(sweep)
+    print("### E6 aggregates")
+    print({k: round(v, 3) for k, v in aggregates.items()})
+    for limit in (16, 20):
+        vals = [normalized[p][limit] for p in normalized]
+        print("mean normalized at %dB: %.0f%%" % (limit, 100 * statistics.mean(vals)))
+    print()
+
+
+def e7():
+    data, _ = F.sec33_code_size()
+    ratios = [row["ratio"] for row in data.values()]
+    print("### E7 size ratios: %.2f..%.2f" % (min(ratios), max(ratios)))
+    readers = [row["reader"] / row["original"] for row in data.values()]
+    print("reader fractions: %.0f%%..%.0f%%" % (100 * min(readers), 100 * max(readers)))
+    print()
+
+
+if __name__ == "__main__":
+    e1()
+    e2()
+    e3()
+    e4()
+    e5_e6()
+    e7()
