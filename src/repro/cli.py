@@ -183,6 +183,49 @@ def cmd_pe(args, out):
     return 0
 
 
+def cmd_render(args, out):
+    """Render one of the built-in shaders through a drag session."""
+    from .shaders.render import RenderSession
+    from .shaders.sources import SHADERS
+
+    if args.shader not in SHADERS:
+        raise SystemExit(
+            "no shader %d (have %s)"
+            % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
+        )
+    session = RenderSession(
+        args.shader, width=args.size, height=args.size, backend=args.backend
+    )
+    param = args.param or session.spec_info.control_params[0]
+    try:
+        edit = session.begin_edit(param, dispatch=args.dispatch)
+    except (SourceError, SpecializationError) as exc:
+        raise SystemExit("specialization failed: %s" % exc)
+    image = edit.load(session.controls)
+    out.write(
+        "shader %d (%s): %dx%d via %s backend, drag %r\n"
+        % (args.shader, session.spec_info.name, session.scene.width,
+           session.scene.height, edit.backend, param)
+    )
+    out.write(
+        "load:   cost %d (%.1f/pixel), cache %dB/pixel\n"
+        % (image.total_cost, image.cost_per_pixel,
+           edit.cache_bytes_per_pixel)
+    )
+    adjusted = edit.adjust(
+        session.controls_with(**{param: session.controls[param] * 1.25})
+    )
+    out.write(
+        "adjust: cost %d (%.1f/pixel)\n"
+        % (adjusted.total_cost, adjusted.cost_per_pixel)
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(adjusted.to_ppm())
+        out.write("wrote %s\n" % args.out)
+    return 0
+
+
 def cmd_cfg(args, out):
     from .cfg import build_cfg
     from .lang.typecheck import check_program
@@ -248,6 +291,19 @@ def build_parser():
     p.add_argument("file")
     p.add_argument("--function", "-f")
     p.set_defaults(handler=cmd_cfg)
+
+    p = sub.add_parser("render", help="render a built-in shader (drag session)")
+    p.add_argument("shader", type=int, help="shader index (1-10)")
+    p.add_argument("--size", type=int, default=32, help="image side length")
+    p.add_argument("--param", default=None,
+                   help="control parameter to drag (default: first)")
+    p.add_argument("--backend", default=None,
+                   choices=["scalar", "batch", "auto"],
+                   help="execution backend (default: scalar)")
+    p.add_argument("--dispatch", action="store_true",
+                   help="use Section 7.2 dispatch-code readers")
+    p.add_argument("--out", default=None, help="write the frame as PPM")
+    p.set_defaults(handler=cmd_render)
 
     p = sub.add_parser(
         "report",

@@ -55,6 +55,13 @@ class CacheLayout(object):
         """A fresh, unfilled cache (one entry per slot)."""
         return [None] * len(self.slots)
 
+    def new_batch_instance(self, n):
+        """A fresh struct-of-arrays cache covering ``n`` pixels at once
+        (one contiguous column per slot — the batch backend's layout)."""
+        from ..runtime.batch import SoACache
+
+        return SoACache(self, n)
+
     def describe(self):
         """Human-readable layout dump."""
         lines = ["cache layout: %d slots, %d bytes" % (len(self.slots), self.size_bytes)]

@@ -36,6 +36,7 @@ from ..lang.ops import TRIVIAL_COST_THRESHOLD
 from ..lang.parser import parse_program
 from ..lang.pretty import format_function
 from ..lang.typecheck import check_program
+from ..runtime.batch import BatchKernel, resolve_backend
 from ..runtime.compiler import compile_function
 from ..runtime.interp import CostMeter, Interpreter
 from ..transform.inline import Inliner
@@ -113,6 +114,7 @@ class Specialization(object):
         self.limiter_trace = limiter_trace
         self._interp = Interpreter()
         self._compiled = {}
+        self._batch = {}
 
     # -- identification ------------------------------------------------------
 
@@ -153,6 +155,47 @@ class Specialization(object):
         meter = CostMeter()
         result = self._interp.run(self.reader, args, cache=cache, meter=meter)
         return result, meter.total
+
+    # -- batched execution ---------------------------------------------------
+
+    def new_batch_cache(self, n):
+        """One struct-of-arrays cache shared by ``n`` pixels."""
+        return self.layout.new_batch_instance(n)
+
+    def _batch_kernel(self, which, fn):
+        if which not in self._batch:
+            self._batch[which] = BatchKernel(fn)
+        return self._batch[which]
+
+    @property
+    def batch_original(self):
+        return self._batch_kernel("original", self.original)
+
+    @property
+    def batch_loader(self):
+        return self._batch_kernel("loader", self.loader)
+
+    @property
+    def batch_reader(self):
+        return self._batch_kernel("reader", self.reader)
+
+    def run_original_batch(self, columns, n):
+        """Run the unspecialized fragment over ``n`` pixels at once;
+        returns (values, total_cost)."""
+        return self.batch_original.run(columns, n)
+
+    def run_loader_batch(self, columns, n, cache=None):
+        """Run the loader over ``n`` pixels at once;
+        returns (values, cache, total_cost)."""
+        if cache is None:
+            cache = self.new_batch_cache(n)
+        values, cost = self.batch_loader.run(columns, n, cache=cache)
+        return values, cache, cost
+
+    def run_reader_batch(self, cache, columns, n):
+        """Run the reader over ``n`` previously loaded pixels;
+        returns (values, total_cost)."""
+        return self.batch_reader.run(columns, n, cache=cache)
 
     # -- compiled execution --------------------------------------------------------
 
@@ -199,11 +242,14 @@ class Specialization(object):
 class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
-    def __init__(self, program, options=None):
+    def __init__(self, program, options=None, backend=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
         self.options = options or SpecializerOptions()
+        #: Preferred execution backend for session-level drivers
+        #: ("scalar" or "batch"; "auto" resolves at construction).
+        self.backend = resolve_backend(backend)
         # Whole-program check up front: errors surface on the original
         # source, not on transformed internals.
         check_program(self.program)

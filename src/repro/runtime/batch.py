@@ -1,0 +1,291 @@
+"""Batched (whole-frame) execution backend.
+
+The scalar path calls one Python function per pixel and keeps one Python
+list per pixel cache; interpreter dispatch dominates — exactly the
+overhead the paper's C backend avoided.  This module executes a full
+pixel array per call instead:
+
+* :class:`SoACache` — a struct-of-arrays cache: **one contiguous column
+  per** :class:`~repro.core.cache.CacheSlot` (a NumPy array when NumPy
+  is available, a plain Python list otherwise), shared by all pixels,
+  in place of a list-of-lists.
+* :class:`BatchKernel` — a loader/reader/original compiled by
+  :func:`repro.runtime.compiler.compile_batch_function` into a
+  vectorized kernel whose parameters are whole argument columns and
+  which returns ``(values, per_lane_costs)``.
+
+Divergence-fallback rule: when a function contains a construct the
+vectorized mode cannot express (the impure ``emit`` builtin, a user
+function call, a ``return`` inside a loop, or NumPy missing), the
+kernel silently degrades to running the metering interpreter once per
+lane over row views of the same SoA cache — identical colors and
+identical :class:`~repro.runtime.interp.CostMeter` totals, just without
+the speedup.  Branches whose arms are side-effect-free never hit the
+fallback; they are linearized with masked ``where``-style selects.
+"""
+
+from __future__ import annotations
+
+from ..lang.errors import EvalError
+from ..lang.types import INT
+from .compiler import compile_batch_function
+from .interp import CostMeter, Interpreter
+from .vecops import HAVE_NUMPY, BatchCompileError, _column_rows, _np
+
+#: Accepted values for the ``backend=`` knob.
+BACKENDS = ("scalar", "batch", "auto")
+
+
+def resolve_backend(backend):
+    """Normalize a ``backend=`` knob value.
+
+    ``None`` keeps the historical scalar path; ``"auto"`` picks the
+    batch backend exactly when NumPy is importable (the pure-Python
+    batch fallback is correct but not faster than scalar, so ``auto``
+    never selects it)."""
+    if backend is None:
+        return "scalar"
+    if backend not in BACKENDS:
+        raise ValueError(
+            "unknown backend %r (expected one of %s)"
+            % (backend, ", ".join(BACKENDS))
+        )
+    if backend == "auto":
+        return "batch" if HAVE_NUMPY else "scalar"
+    return backend
+
+
+class SoACache(object):
+    """Struct-of-arrays cache: column ``k`` holds slot ``k`` for every
+    lane (pixel) at once.
+
+    Vectorized kernels use :meth:`load`/:meth:`store` on whole columns;
+    the per-row fallback path sees one lane at a time through
+    :meth:`row` views that speak the scalar interpreter's list protocol.
+    """
+
+    __slots__ = ("layout", "n", "columns")
+
+    def __init__(self, layout, n):
+        self.layout = layout
+        self.n = n
+        self.columns = [None] * len(layout)
+
+    # -- full-width access (vectorized kernels) ------------------------------
+
+    def load(self, index):
+        column = self.columns[index]
+        if column is None:
+            raise EvalError("read of unfilled cache slot %d" % index)
+        if HAVE_NUMPY and isinstance(column, list):
+            column = self._densify(index, column)
+        return column
+
+    def store(self, index, value, mask=None):
+        """Store a full-width ``value`` column; ``mask`` restricts the
+        write to active lanes (divergent stores)."""
+        if not HAVE_NUMPY:
+            raise BatchCompileError("NumPy is unavailable")
+        value = self._widen(value)
+        if mask is None:
+            self.columns[index] = value
+            return
+        old = self.columns[index]
+        if old is None:
+            old = _np.zeros_like(value)
+        elif isinstance(old, list):
+            old = self._densify(index, old)
+        m = _np.asarray(mask)
+        if getattr(value, "ndim", 0) == 2:
+            m = m[..., None]
+        self.columns[index] = _np.where(m, value, old)
+
+    def _widen(self, value):
+        value = _np.asarray(value)
+        if value.ndim == 0:
+            value = _np.full(self.n, value[()])
+        return value
+
+    def _densify(self, index, column):
+        """Convert a row-written (fallback-loaded) list column into the
+        contiguous array a vectorized reader expects."""
+        if any(v is None for v in column):
+            raise EvalError("read of unfilled cache slot %d" % index)
+        ty = self.layout[index].ty
+        dtype = _np.int64 if ty is INT else float
+        dense = _np.asarray(column, dtype=dtype)
+        self.columns[index] = dense
+        return dense
+
+    # -- per-lane access (scalar fallback) -----------------------------------
+
+    def row(self, i):
+        """A list-protocol view of lane ``i`` for the scalar interpreter."""
+        return _CacheRow(self, i)
+
+    def gather(self, idx):
+        """A sub-cache holding only the selected lanes (dispatch grouping)."""
+        sub = SoACache(self.layout, len(idx))
+        for k, column in enumerate(self.columns):
+            if column is None:
+                continue
+            if HAVE_NUMPY and isinstance(column, _np.ndarray):
+                sub.columns[k] = column[idx]
+            else:
+                sub.columns[k] = [column[i] for i in idx]
+        return sub
+
+
+class _CacheRow(object):
+    """One lane of a :class:`SoACache`, exposed as the slot list the
+    scalar interpreter indexes.
+
+    Reads convert NumPy storage back to pure Python values so the
+    interpreter's dynamic dispatch (e.g. the ``int``/``int`` truncating
+    division rule, which tests ``isinstance(x, int)``) behaves exactly
+    as it does on the scalar backend.
+    """
+
+    __slots__ = ("cache", "i")
+
+    def __init__(self, cache, i):
+        self.cache = cache
+        self.i = i
+
+    def __getitem__(self, index):
+        column = self.cache.columns[index]
+        if column is None:
+            return None
+        if HAVE_NUMPY and isinstance(column, _np.ndarray):
+            if column.ndim == 2:
+                return tuple(column[self.i].tolist())
+            return column[self.i].item()
+        return column[self.i]
+
+    def __setitem__(self, index, value):
+        columns = self.cache.columns
+        if columns[index] is None:
+            columns[index] = [None] * self.cache.n
+        columns[index][self.i] = value
+
+
+class BatchKernel(object):
+    """One function compiled for whole-frame execution, with automatic
+    per-row fallback when vectorized compilation is impossible."""
+
+    __slots__ = ("fn", "program", "_kernel", "_tried", "_interp",
+                 "fallback_reason")
+
+    def __init__(self, fn, program=None):
+        self.fn = fn
+        #: Optional Program resolving user calls on the fallback path.
+        self.program = program
+        self._kernel = None
+        self._tried = False
+        self._interp = None
+        #: Why vectorized compilation failed (None while untried/ok).
+        self.fallback_reason = None
+
+    @property
+    def vectorized(self):
+        self._ensure()
+        return self._kernel is not None
+
+    def _ensure(self):
+        if self._tried:
+            return
+        self._tried = True
+        try:
+            self._kernel = compile_batch_function(self.fn)
+        except BatchCompileError as exc:
+            self.fallback_reason = str(exc)
+
+    def run(self, columns, n, cache=None):
+        """Execute over ``n`` lanes; returns ``(values, total_cost)``.
+
+        ``values`` is a full-width result column — an array under NumPy,
+        a list of per-lane Python values on the fallback path.  Columns
+        may be arrays, lists, or uniform Python scalars (controls).
+        """
+        self._ensure()
+        if self._kernel is None:
+            return self._run_rows(columns, n, cache)
+        with _np.errstate(all="ignore"):
+            values, lane_costs = self._kernel(*columns, __cache=cache, __n=n)
+        return values, int(lane_costs.sum())
+
+    def _run_rows(self, columns, n, cache):
+        if self._interp is None:
+            self._interp = Interpreter(self.program)
+        rows = [_column_rows(column, n) for column in columns]
+        values = [None] * n
+        total = 0
+        for i in range(n):
+            meter = CostMeter()
+            values[i] = self._interp.run(
+                self.fn,
+                [column[i] for column in rows],
+                cache=cache.row(i) if cache is not None else None,
+                meter=meter,
+            )
+            total += meter.total
+        return values, total
+
+
+def value_rows(values, n):
+    """Per-lane Python values of a result column (tuples for vec3/mat3) —
+    bitwise equal to what the scalar path would have produced."""
+    return _column_rows(values, n)
+
+
+def run_dispatch(table, kernel_for, cache, columns, n):
+    """Batched Section 7.2 dispatch.
+
+    Group lanes by their cached dispatch code, run each group's reader
+    variant kernel over the gathered sub-columns and sub-cache, and
+    scatter the results back in lane order.  ``kernel_for(code)`` maps a
+    dispatch code to that variant's (memoized) :class:`BatchKernel`.
+    Returns ``(per_lane_values, total_cost)``.
+    """
+    if not HAVE_NUMPY:
+        # Row-at-a-time: structurally identical to the scalar loop.
+        interp = Interpreter()
+        rows = [_column_rows(column, n) for column in columns]
+        values = [None] * n
+        total = 0
+        for i in range(n):
+            row_cache = cache.row(i)
+            variant = table.select(row_cache)
+            meter = CostMeter()
+            values[i] = interp.run(
+                variant,
+                [column[i] for column in rows],
+                cache=row_cache,
+                meter=meter,
+            )
+            total += meter.total
+        return values, total
+
+    codes = _np.asarray(cache.load(table.dispatch_slot))
+    values = [None] * n
+    total = 0
+    for code in _np.unique(codes):
+        idx = _np.nonzero(codes == code)[0]
+        sub_columns = [_gather(column, idx) for column in columns]
+        sub_cache = cache.gather(idx)
+        group_values, cost = kernel_for(int(code)).run(
+            sub_columns, len(idx), cache=sub_cache
+        )
+        total += cost
+        group_rows = _column_rows(group_values, len(idx))
+        for j, i in enumerate(idx.tolist()):
+            values[i] = group_rows[j]
+    return values, total
+
+
+def _gather(column, idx):
+    if HAVE_NUMPY and isinstance(column, _np.ndarray):
+        return column[idx]
+    if isinstance(column, list):
+        return [column[i] for i in idx]
+    return column  # uniform scalar (a control parameter)

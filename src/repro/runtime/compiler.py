@@ -15,10 +15,24 @@ from __future__ import annotations
 
 from ..lang import ast_nodes as A
 from ..lang.errors import EvalError
-from ..lang.types import INT, VEC3
+from ..lang.ops import (
+    CACHE_READ_COST,
+    CACHE_WRITE_COST,
+    MEMBER_COST,
+    VAR_REF_COST,
+    binop_cost,
+    unop_cost,
+)
+from ..lang.types import INT, MAT3, VEC3
 from . import values as V
 from .builtins import REGISTRY
 from .interp import _int_div, _int_mod
+from .vecops import (
+    HAVE_NUMPY,
+    VECTORIZABLE,
+    BatchCompileError,
+    batch_namespace,
+)
 
 
 def _mangle(name):
@@ -245,3 +259,449 @@ def compile_source(fn, program=None):
         for callee in sorted(compiler.used_functions):
             compiler.compile_function(program.function(callee))
     return emitter.source()
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (batch) emission mode
+# ---------------------------------------------------------------------------
+#
+# The scalar emitter above produces one-pixel kernels; the batch emitter
+# produces kernels whose every parameter is a whole pixel-argument array
+# and whose ``__cache`` is a struct-of-arrays cache (one contiguous array
+# per CacheSlot).  Control-flow divergence is linearized with masks:
+# both arms of an ``if`` evaluate full-width and assignments select
+# lanewise; ``while`` loops iterate until no lane's predicate holds.
+#
+# Alongside each value the kernel accumulates a per-lane cost array that
+# replicates the metering interpreter's charges exactly (variable refs,
+# operators by static type, builtin costs, cache traffic, and the
+# branch-dependent parts via masked charges), so a batch run reports the
+# same CostMeter total as n scalar runs.
+
+
+def _bfn_name(name):
+    return "kb_" + name
+
+
+_MAX_BATCH_LOOP_ITERATIONS = 2_000_000
+
+
+class _CostFrame(object):
+    """Captured cost of a sub-expression (const part + masked terms)."""
+
+    __slots__ = ("const", "terms")
+
+    def __init__(self):
+        self.const = 0
+        self.terms = []
+
+    def total(self):
+        """Combined cost: an int when constant, else an expression."""
+        if not self.terms:
+            return self.const
+        parts = list(self.terms)
+        if self.const:
+            parts.insert(0, str(self.const))
+        return "(%s)" % " + ".join(parts)
+
+
+def _has_store(node):
+    return any(isinstance(sub, A.CacheStore) for sub in A.walk(node))
+
+
+def _contains_return(node):
+    return any(isinstance(sub, A.Return) for sub in A.walk(node))
+
+
+class _BatchCompiler(object):
+    def __init__(self, emitter):
+        self.out = emitter
+        #: Active lane mask variable for the current statement position,
+        #: or None when all lanes are live.
+        self.active = None
+        #: Mangled variable names known to be bound (full-width) so far.
+        self.defined = set()
+        #: Pending constant cost for the current (mask, position) region.
+        self.pending = 0
+        #: Capture stack for expression-level divergence (Cond, &&, ||).
+        self.frames = []
+        self.ret_var = None
+        self.done_var = None
+        self._ret_epoch = 0
+        self._temp = 0
+        self._loop = 0
+
+    # -- small emission helpers ---------------------------------------------
+
+    def tmp(self, expr_str):
+        name = "__t%d" % self._temp
+        self._temp += 1
+        self.out.line("%s = %s" % (name, expr_str))
+        return name
+
+    def charge(self, amount):
+        if not amount:
+            return
+        if self.frames:
+            self.frames[-1].const += amount
+        else:
+            self.pending += amount
+
+    def charge_lane(self, term):
+        """Charge a lane-dependent cost expression (already internally
+        masked for its own divergence)."""
+        if self.frames:
+            self.frames[-1].terms.append(term)
+        elif self.active is None:
+            self.out.line("__cost = __cost + %s" % term)
+        else:
+            self.out.line(
+                "__cost = __cost + _mwhere(%s, %s)" % (self.active, term)
+            )
+
+    def flush(self):
+        """Emit the pending constant cost under the current active mask."""
+        if not self.pending:
+            return
+        if self.active is None:
+            self.out.line("__cost = __cost + %d" % self.pending)
+        else:
+            self.out.line(
+                "__cost = __cost + _mwhere(%s, %d)"
+                % (self.active, self.pending)
+            )
+        self.pending = 0
+
+    def _push(self):
+        self.frames.append(_CostFrame())
+
+    def _pop(self):
+        return self.frames.pop()
+
+    def _combine_mask(self, outer, mask_expr):
+        if outer is None:
+            return self.tmp(mask_expr)
+        return self.tmp("_mand(%s, %s)" % (outer, mask_expr))
+
+    @staticmethod
+    def _select_fn(ty):
+        return "_selv" if (ty is VEC3 or ty is MAT3) else "_sel"
+
+    # -- function -----------------------------------------------------------
+
+    def compile_function(self, fn):
+        params = [_mangle(p.name) for p in fn.params]
+        self.defined.update(params)
+        params.append("__cache=None")
+        params.append("__n=None")
+        self.out.line("def %s(%s):" % (_bfn_name(fn.name), ", ".join(params)))
+        self.out.depth += 1
+        self.out.line("__cost = _czero(__n)")
+        for stmt in fn.body.stmts:
+            self.stmt(stmt)
+        self.flush()
+        if self.ret_var is not None:
+            self.out.line("return %s, __cost" % self.ret_var)
+        else:
+            self.out.line("return None, __cost")
+        self.out.depth -= 1
+        self.out.line("")
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, stmt):
+        kind = type(stmt)
+        if kind is A.Assign:
+            self.assign(stmt.name, stmt.expr)
+        elif kind is A.VarDecl:
+            if stmt.init is not None:
+                self.assign(stmt.name, stmt.init)
+        elif kind is A.If:
+            self.if_stmt(stmt)
+        elif kind is A.While:
+            self.while_stmt(stmt)
+        elif kind is A.Return:
+            self.return_stmt(stmt)
+        elif kind is A.Block:
+            for sub in stmt.stmts:
+                self.stmt(sub)
+        elif kind is A.ExprStmt:
+            self.expr(stmt.expr, self.active)
+        else:
+            raise BatchCompileError(
+                "cannot batch-compile statement %r" % kind.__name__
+            )
+
+    def assign(self, name, expr):
+        value = self.expr(expr, self.active)
+        self.charge(VAR_REF_COST)
+        target = _mangle(name)
+        if self.active is not None and target in self.defined:
+            self.out.line(
+                "%s = %s(%s, %s, %s)"
+                % (target, self._select_fn(expr.ty), self.active, value, target)
+            )
+        else:
+            self.out.line("%s = %s" % (target, value))
+            self.defined.add(target)
+
+    def if_stmt(self, stmt):
+        pred = self.expr(stmt.pred, self.active)
+        self.flush()
+        epoch = self._ret_epoch
+        outer = self.active
+        mask = self.tmp("_ne0(%s)" % pred)
+        then_mask = mask if outer is None else self.tmp(
+            "_mand(%s, %s)" % (outer, mask)
+        )
+        self.active = then_mask
+        for sub in stmt.then.stmts:
+            self.stmt(sub)
+        self.flush()
+        if stmt.else_ is not None:
+            inverse = self.tmp("_mnot(%s)" % mask)
+            else_mask = inverse if outer is None else self.tmp(
+                "_mand(%s, %s)" % (outer, inverse)
+            )
+            self.active = else_mask
+            for sub in stmt.else_.stmts:
+                self.stmt(sub)
+            self.flush()
+        self.active = outer
+        if self._ret_epoch != epoch:
+            # A masked return fired inside an arm: lanes that returned
+            # must be excluded from everything downstream.
+            self.active = self._combine_mask(
+                outer, "_mnot(%s)" % self.done_var
+            )
+
+    def while_stmt(self, stmt):
+        if _contains_return(stmt):
+            raise BatchCompileError("return inside a loop")
+        self.flush()
+        outer = self.active
+        loop_mask = self.tmp(outer if outer is not None else "_full_mask(__n)")
+        counter = "__it%d" % self._loop
+        self._loop += 1
+        self.out.line("%s = 0" % counter)
+        self.out.line("while 1:")
+        self.out.depth += 1
+        self.out.line("%s = %s + 1" % (counter, counter))
+        self.out.line(
+            "if %s > %d: raise EvalError('batch loop iteration "
+            "budget exceeded (runaway loop?)')"
+            % (counter, _MAX_BATCH_LOOP_ITERATIONS)
+        )
+        self.active = loop_mask
+        pred = self.expr(stmt.pred, loop_mask)
+        self.flush()
+        body_mask = self.tmp("_mand(%s, _ne0(%s))" % (loop_mask, pred))
+        self.out.line("if not _np.any(%s): break" % body_mask)
+        self.active = body_mask
+        for sub in stmt.body.stmts:
+            self.stmt(sub)
+        self.flush()
+        self.out.line("%s = %s" % (loop_mask, body_mask))
+        self.out.depth -= 1
+        self.active = outer
+
+    def return_stmt(self, stmt):
+        if stmt.expr is None:
+            raise BatchCompileError("cannot batch-compile a void return")
+        value = self.expr(stmt.expr, self.active)
+        self.flush()
+        if self.active is None and self.done_var is None:
+            self.out.line("return %s, __cost" % value)
+            return
+        select = self._select_fn(stmt.expr.ty)
+        if self.done_var is None:
+            self.ret_var = "__ret"
+            self.done_var = "__ndone"
+            self.out.line(
+                "__ret = %s(%s, %s, 0.0)" % (select, self.active, value)
+            )
+            self.out.line("__ndone = %s" % self.active)
+        else:
+            self.out.line(
+                "__ret = %s(%s, %s, __ret)" % (select, self.active, value)
+            )
+            self.out.line("__ndone = _mor(__ndone, %s)" % self.active)
+        self._ret_epoch += 1
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, expr, emask):
+        """Emit full-width evaluation of ``expr``; returns a simple
+        Python expression (literal, variable, or temp).
+
+        ``emask`` is the mask under which the scalar path would evaluate
+        this expression; it gates cache stores (the only side effect a
+        vectorizable expression can have)."""
+        kind = type(expr)
+        if kind is A.IntLit or kind is A.FloatLit:
+            return repr(expr.value)
+        if kind is A.VarRef:
+            self.charge(VAR_REF_COST)
+            return _mangle(expr.name)
+        if kind is A.BinOp:
+            return self.binop(expr, emask)
+        if kind is A.UnaryOp:
+            operand = self.expr(expr.operand, emask)
+            self.charge(unop_cost(expr.op, expr.operand.ty is VEC3))
+            if expr.op == "-":
+                return self.tmp("(-%s)" % operand)
+            if expr.op == "!":
+                return self.tmp("_lnot(%s)" % operand)
+            raise BatchCompileError("cannot batch-compile unary %r" % expr.op)
+        if kind is A.Call:
+            return self.call(expr, emask)
+        if kind is A.Member:
+            base = self.expr(expr.base, emask)
+            self.charge(MEMBER_COST)
+            return self.tmp("%s[..., %d]" % (base, "xyz".index(expr.field)))
+        if kind is A.Cond:
+            return self.cond(expr, emask)
+        if kind is A.CacheRead:
+            self.charge(CACHE_READ_COST)
+            return self.tmp("__cache.load(%d)" % expr.slot)
+        if kind is A.CacheStore:
+            value = self.expr(expr.value, emask)
+            self.charge(CACHE_WRITE_COST)
+            self.out.line(
+                "__cache.store(%d, %s, %s)"
+                % (expr.slot, value, emask if emask is not None else "None")
+            )
+            return value
+        raise BatchCompileError(
+            "cannot batch-compile expression %r" % kind.__name__
+        )
+
+    def call(self, expr, emask):
+        args = [self.expr(arg, emask) for arg in expr.args]
+        builtin = REGISTRY.get(expr.name)
+        if builtin is None:
+            raise BatchCompileError(
+                "cannot batch-compile call to user function %r" % expr.name
+            )
+        if expr.name not in VECTORIZABLE:
+            raise BatchCompileError(
+                "builtin %r has side effects" % expr.name
+            )
+        self.charge(builtin.cost)
+        return self.tmp(
+            "_vb_%s(__n%s)" % (expr.name, "".join(", " + a for a in args))
+        )
+
+    def cond(self, expr, emask):
+        pred = self.expr(expr.pred, emask)
+        self.charge(1)
+        mask = self.tmp("_ne0(%s)" % pred)
+        then_emask = emask
+        if _has_store(expr.then):
+            then_emask = self._combine_mask(emask, mask)
+        self._push()
+        then_value = self.expr(expr.then, then_emask)
+        then_cost = self._pop().total()
+        else_emask = emask
+        if _has_store(expr.else_):
+            else_emask = self._combine_mask(emask, "_mnot(%s)" % mask)
+        self._push()
+        else_value = self.expr(expr.else_, else_emask)
+        else_cost = self._pop().total()
+        if isinstance(then_cost, int) and isinstance(else_cost, int):
+            if then_cost == else_cost:
+                self.charge(then_cost)
+            else:
+                self.charge_lane(
+                    "_sel(%s, %d, %d)" % (mask, then_cost, else_cost)
+                )
+        else:
+            self.charge_lane(
+                "_sel(%s, %s, %s)" % (mask, then_cost, else_cost)
+            )
+        return self.tmp(
+            "%s(%s, %s, %s)"
+            % (self._select_fn(expr.ty), mask, then_value, else_value)
+        )
+
+    def binop(self, expr, emask):
+        op = expr.op
+        if op == "&&" or op == "||":
+            return self.logical(expr, emask)
+
+        left = self.expr(expr.left, emask)
+        right = self.expr(expr.right, emask)
+        lty = expr.left.ty
+        rty = expr.right.ty
+
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            self.charge(binop_cost(op))
+            return self.tmp("_sel(%s %s %s, 1, 0)" % (left, op, right))
+
+        vector = lty is VEC3 or rty is VEC3
+        self.charge(binop_cost(op, vector))
+        if vector:
+            if op == "+":
+                return self.tmp("(%s + %s)" % (left, right))
+            if op == "-":
+                return self.tmp("(%s - %s)" % (left, right))
+            if op == "*":
+                if lty is VEC3 and rty is not VEC3:
+                    return self.tmp("_bvscale(%s, %s)" % (left, right))
+                return self.tmp("_bvscale(%s, %s)" % (right, left))
+            if op == "/":
+                return self.tmp("_bvdiv(%s, %s)" % (left, right))
+            raise BatchCompileError("cannot batch-compile vec3 %s" % op)
+
+        if op == "/" and lty is INT and rty is INT:
+            return self.tmp("_bidiv(%s, %s)" % (left, right))
+        if op == "%":
+            return self.tmp("_bimod(%s, %s)" % (left, right))
+        return self.tmp("(%s %s %s)" % (left, op, right))
+
+    def logical(self, expr, emask):
+        op = expr.op
+        left = self.expr(expr.left, emask)
+        self.charge(binop_cost(op))
+        mask = self.tmp("_ne0(%s)" % left)
+        # The scalar path evaluates the right operand lazily: its cost
+        # (and any cache store inside it) applies only on the lanes where
+        # the left operand did not already decide the result.
+        taken = mask if op == "&&" else "_mnot(%s)" % mask
+        right_emask = emask
+        if _has_store(expr.right):
+            right_emask = self._combine_mask(emask, taken)
+        self._push()
+        right = self.expr(expr.right, right_emask)
+        right_cost = self._pop().total()
+        if right_cost:
+            self.charge_lane("_mwhere(%s, %s)" % (taken, right_cost))
+        if op == "&&":
+            return self.tmp("_land(%s, %s)" % (mask, right))
+        return self.tmp("_lor(%s, %s)" % (mask, right))
+
+
+def compile_batch_source(fn):
+    """Vectorized kernel source for ``fn`` (docs, tests, debugging).
+
+    Raises :class:`BatchCompileError` when the function contains a
+    construct the vectorized mode cannot express (impure builtins, void
+    or in-loop returns, user-function calls)."""
+    emitter = _Emitter()
+    _BatchCompiler(emitter).compile_function(fn)
+    return emitter.source()
+
+
+def compile_batch_function(fn):
+    """Compile ``fn`` into a batch kernel callable.
+
+    The kernel takes one array (or uniform scalar) per parameter plus
+    ``__cache`` (a struct-of-arrays cache, for loaders/readers) and
+    ``__n`` (the lane count), and returns ``(values, lane_costs)``.
+    """
+    if not HAVE_NUMPY:
+        raise BatchCompileError("NumPy is unavailable")
+    source = compile_batch_source(fn)
+    namespace = batch_namespace()
+    exec(compile(source, "<batch-kernel:%s>" % fn.name, "exec"), namespace)
+    return namespace[_bfn_name(fn.name)]

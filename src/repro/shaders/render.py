@@ -19,7 +19,9 @@ from __future__ import annotations
 from ..core.specializer import DataSpecializer
 from ..lang.errors import SpecializationError
 from ..lang.parser import parse_program
+from ..runtime import batch as B
 from ..runtime import values as V
+from ..runtime.interp import CostMeter, Interpreter
 from .scenes import scene_for
 from .sources import SHADERS, shader_program_source
 
@@ -40,14 +42,12 @@ class Image(object):
 
     def to_ppm(self):
         """Encode as a plain-text PPM (examples write these to disk)."""
-        lines = ["P3", "%d %d" % (self.width, self.height), "255"]
-        for color in self.colors:
-            clamped = V.vclamp01(color)
-            lines.append(
-                "%d %d %d"
-                % tuple(int(round(255 * channel)) for channel in clamped)
-            )
-        return "\n".join(lines) + "\n"
+        clamp = V.vclamp01
+        body = "\n".join(
+            "%d %d %d" % (round(255 * r), round(255 * g), round(255 * b))
+            for r, g, b in map(clamp, self.colors)
+        )
+        return "P3\n%d %d\n255\n%s\n" % (self.width, self.height, body)
 
 
 class EditSession(object):
@@ -58,17 +58,23 @@ class EditSession(object):
     *selected* reader variant — different pixels may take different
     variants (e.g. the two tiles of a checkerboard)."""
 
-    def __init__(self, render_session, specialization, param, table=None):
+    def __init__(self, render_session, specialization, param, table=None,
+                 backend=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
         self.table = table
+        self.backend = B.resolve_backend(
+            backend if backend is not None else render_session.backend
+        )
+        #: Scalar backend: one slot list per pixel.  Batch backend: one
+        #: shared :class:`~repro.runtime.batch.SoACache` for the frame.
         self.caches = None
         self.load_cost = None
         self._interp = None
+        self._loader_kernel = None
+        self._variant_kernels = {}
         if table is not None:
-            from ..runtime.interp import Interpreter
-
             self._interp = Interpreter()
 
     @property
@@ -79,6 +85,8 @@ class EditSession(object):
 
     def load(self, controls):
         """Run the loader for every pixel; returns the resulting Image."""
+        if self.backend == "batch":
+            return self._load_batch(controls)
         spec = self.specialization
         session = self.render_session
         colors = []
@@ -87,8 +95,6 @@ class EditSession(object):
         for pixel in session.scene:
             args = session.args_for(pixel, controls)
             if self.table is not None:
-                from ..runtime.interp import CostMeter
-
                 cache = self.table.layout.new_instance()
                 meter = CostMeter()
                 result = self._interp.run(
@@ -107,6 +113,8 @@ class EditSession(object):
         """Run the reader for every pixel with updated controls."""
         if self.caches is None:
             raise SpecializationError("adjust() before load()")
+        if self.backend == "batch":
+            return self._adjust_batch(controls)
         spec = self.specialization
         session = self.render_session
         colors = []
@@ -124,19 +132,69 @@ class EditSession(object):
             total += cost
         return Image(session.scene.width, session.scene.height, colors, total)
 
+    # -- batch backend -------------------------------------------------------
+
+    def _load_batch(self, controls):
+        """One loader-kernel invocation fills the whole frame's SoA cache."""
+        session = self.render_session
+        scene = session.scene
+        n = len(scene)
+        columns = session.batch_args(controls)
+        if self.table is not None:
+            cache = B.SoACache(self.table.layout, n)
+            if self._loader_kernel is None:
+                self._loader_kernel = B.BatchKernel(self.table.loader)
+            values, total = self._loader_kernel.run(columns, n, cache=cache)
+        else:
+            values, cache, total = self.specialization.run_loader_batch(
+                columns, n
+            )
+        self.caches = cache
+        self.load_cost = total
+        colors = B.value_rows(values, n)
+        return Image(scene.width, scene.height, colors, total)
+
+    def _adjust_batch(self, controls):
+        session = self.render_session
+        scene = session.scene
+        n = len(scene)
+        columns = session.batch_args(controls)
+        if self.table is not None:
+            colors, total = B.run_dispatch(
+                self.table, self._variant_kernel, self.caches, columns, n
+            )
+        else:
+            values, total = self.specialization.run_reader_batch(
+                self.caches, columns, n
+            )
+            colors = B.value_rows(values, n)
+        return Image(scene.width, scene.height, colors, total)
+
+    def _variant_kernel(self, code):
+        kernel = self._variant_kernels.get(code)
+        if kernel is None:
+            kernel = B.BatchKernel(self.table.variants[code])
+            self._variant_kernels[code] = kernel
+        return kernel
+
 
 class RenderSession(object):
     """Drives one shader over one scene, with or without specialization."""
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
-                 width=16, height=16):
+                 width=16, height=16, backend=None):
         self.spec_info = SHADERS[shader_index]
         self.scene = scene if scene is not None else scene_for(
             shader_index, width, height
         )
         self.program = parse_program(shader_program_source(self.spec_info))
-        self.specializer = DataSpecializer(self.program, specializer_options)
+        self.specializer = DataSpecializer(
+            self.program, specializer_options, backend=backend
+        )
+        self.backend = self.specializer.backend
         self.controls = self.spec_info.default_controls()
+        self._spec_memo = {}
+        self._geometry_columns = None
 
     # -- argument plumbing ---------------------------------------------------
 
@@ -147,6 +205,30 @@ class RenderSession(object):
         for name in self.spec_info.control_params:
             args.append(controls[name])
         return args
+
+    def batch_args(self, controls=None):
+        """Whole-frame argument columns: per-pixel geometry as arrays
+        (scene-constant, built once), controls as uniform scalars."""
+        controls = controls if controls is not None else self.controls
+        columns = list(self._geometry())
+        for name in self.spec_info.control_params:
+            columns.append(controls[name])
+        return columns
+
+    def _geometry(self):
+        if self._geometry_columns is None:
+            pixels = self.scene.pixels
+            columns = [
+                [p.u for p in pixels],
+                [p.v for p in pixels],
+                [p.P for p in pixels],
+                [p.N for p in pixels],
+                [p.I for p in pixels],
+            ]
+            if B.HAVE_NUMPY:
+                columns = [B._np.asarray(c) for c in columns]
+            self._geometry_columns = columns
+        return self._geometry_columns
 
     def controls_with(self, **updates):
         merged = dict(self.controls)
@@ -160,6 +242,13 @@ class RenderSession(object):
         spec = specialization
         if spec is None:
             spec = self._any_specialization()
+        if self.backend == "batch":
+            n = len(self.scene)
+            values, total = spec.run_original_batch(
+                self.batch_args(controls), n
+            )
+            colors = B.value_rows(values, n)
+            return Image(self.scene.width, self.scene.height, colors, total)
         colors = []
         total = 0
         for pixel in self.scene:
@@ -174,15 +263,29 @@ class RenderSession(object):
         return self.specialize(self.spec_info.control_params[0])
 
     def specialize(self, param, **overrides):
-        """Specialize holding everything but ``param`` fixed."""
+        """Specialize holding everything but ``param`` fixed.
+
+        Results are memoized on ``(param, overrides)``: repeated drags of
+        the same parameter (and ``render_reference``, which grabs an
+        arbitrary specialization for its inlined original) reuse the
+        pipeline output instead of re-running all eight stages."""
         if param not in self.spec_info.control_params:
             raise SpecializationError(
                 "%r is not a control parameter of shader %r"
                 % (param, self.spec_info.name)
             )
-        return self.specializer.specialize(
+        try:
+            key = (param, frozenset(overrides.items()))
+        except TypeError:  # unhashable override value — skip the memo
+            key = None
+        if key is not None and key in self._spec_memo:
+            return self._spec_memo[key]
+        spec = self.specializer.specialize(
             self.spec_info.name, {param}, **overrides
         )
+        if key is not None:
+            self._spec_memo[key] = spec
+        return spec
 
     def begin_edit(self, param, dispatch=False, **overrides):
         """Start an interactive drag of ``param``.
@@ -214,11 +317,11 @@ class ShaderInstallation(object):
     """
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
-                 width=16, height=16, compile_code=True):
+                 width=16, height=16, compile_code=True, backend=None):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
-            width=width, height=height,
+            width=width, height=height, backend=backend,
         )
         self.specializations = {}
         self.stats = {}

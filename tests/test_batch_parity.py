@@ -1,0 +1,163 @@
+"""Backend parity: the batch backend must be bit-identical to scalar.
+
+The batch backend's contract is strict: identical colors (every IEEE
+double, every pixel) and identical CostMeter totals as the scalar
+per-pixel path, across every shader, both with and without dispatch
+tables, and with NumPy forced off (the pure-Python SoA fallback).
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.runtime import batch as batch_mod
+from repro.runtime import compiler as compiler_mod
+from repro.runtime import vecops as vecops_mod
+from repro.shaders.render import RenderSession
+from repro.shaders.sources import SHADERS
+
+
+def _session_pair(index, size=4, **kwargs):
+    return (
+        RenderSession(index, width=size, height=size, backend="scalar",
+                      **kwargs),
+        RenderSession(index, width=size, height=size, backend="batch",
+                      **kwargs),
+    )
+
+
+def _params_of(index):
+    """First and last control parameter (bounded sweep per shader)."""
+    params = SHADERS[index].control_params
+    return sorted({params[0], params[-1]})
+
+
+def _assert_images_equal(scalar_image, batch_image, what):
+    assert scalar_image.colors == batch_image.colors, (
+        "%s: colors differ" % what
+    )
+    assert scalar_image.total_cost == batch_image.total_cost, (
+        "%s: cost %d != %d"
+        % (what, scalar_image.total_cost, batch_image.total_cost)
+    )
+
+
+@pytest.mark.parametrize("index", sorted(SHADERS))
+@pytest.mark.parametrize("dispatch", [False, True])
+def test_edit_session_parity(index, dispatch):
+    scalar, batched = _session_pair(index)
+    for param in _params_of(index):
+        scalar_edit = scalar.begin_edit(param, dispatch=dispatch)
+        batch_edit = batched.begin_edit(param, dispatch=dispatch)
+        _assert_images_equal(
+            scalar_edit.load(scalar.controls),
+            batch_edit.load(batched.controls),
+            "shader %d %s load(dispatch=%s)" % (index, param, dispatch),
+        )
+        dragged = scalar.controls_with(
+            **{param: scalar.controls[param] * 1.3 + 0.05}
+        )
+        _assert_images_equal(
+            scalar_edit.adjust(dragged),
+            batch_edit.adjust(dragged),
+            "shader %d %s adjust(dispatch=%s)" % (index, param, dispatch),
+        )
+
+
+@pytest.mark.parametrize("index", sorted(SHADERS))
+def test_render_reference_parity(index):
+    scalar, batched = _session_pair(index)
+    _assert_images_equal(
+        scalar.render_reference(),
+        batched.render_reference(),
+        "shader %d render_reference" % index,
+    )
+
+
+def test_all_shader_kernels_vectorize():
+    """No silent fallback: with NumPy present, every shader's loader and
+    reader must compile in vectorized mode (the fallback would keep
+    parity but silently lose the speedup)."""
+    if not batch_mod.HAVE_NUMPY:
+        pytest.skip("NumPy unavailable")
+    for index in sorted(SHADERS):
+        session = RenderSession(index, width=2, height=2, backend="batch")
+        for param in _params_of(index):
+            spec = session.specialize(param)
+            assert spec.batch_loader.vectorized, (
+                "shader %d loader (%s): %s"
+                % (index, param, spec.batch_loader.fallback_reason)
+            )
+            assert spec.batch_reader.vectorized, (
+                "shader %d reader (%s): %s"
+                % (index, param, spec.batch_reader.fallback_reason)
+            )
+
+
+@pytest.mark.parametrize("index", [1, 4])
+def test_pure_python_fallback_parity(index, monkeypatch):
+    """With NumPy forced off, backend="batch" degrades to the per-row
+    SoA fallback — still bit-identical, just not faster."""
+    monkeypatch.setattr(vecops_mod, "HAVE_NUMPY", False)
+    monkeypatch.setattr(compiler_mod, "HAVE_NUMPY", False)
+    monkeypatch.setattr(batch_mod, "HAVE_NUMPY", False)
+    scalar, batched = _session_pair(index, size=3)
+    param = SHADERS[index].control_params[0]
+    scalar_edit = scalar.begin_edit(param)
+    batch_edit = batched.begin_edit(param)
+    _assert_images_equal(
+        scalar_edit.load(scalar.controls),
+        batch_edit.load(batched.controls),
+        "fallback load",
+    )
+    assert not scalar_edit.specialization.batch_loader.vectorized
+    dragged = scalar.controls_with(**{param: scalar.controls[param] * 0.7})
+    _assert_images_equal(
+        scalar_edit.adjust(dragged),
+        batch_edit.adjust(dragged),
+        "fallback adjust",
+    )
+    assert isinstance(batch_edit.caches, batch_mod.SoACache)
+
+
+def test_auto_backend_resolution():
+    assert batch_mod.resolve_backend(None) == "scalar"
+    assert batch_mod.resolve_backend("scalar") == "scalar"
+    assert batch_mod.resolve_backend("batch") == "batch"
+    expected = "batch" if batch_mod.HAVE_NUMPY else "scalar"
+    assert batch_mod.resolve_backend("auto") == expected
+    with pytest.raises(ValueError):
+        batch_mod.resolve_backend("gpu")
+
+
+def test_specialize_memoized():
+    session = RenderSession(1, width=2, height=2)
+    param = session.spec_info.control_params[0]
+    assert session.specialize(param) is session.specialize(param)
+    # Overrides key separately; unhashable override values skip the memo.
+    bounded = session.specialize(param, cache_bound=16)
+    assert bounded is not session.specialize(param)
+    assert bounded is session.specialize(param, cache_bound=16)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    index=st.sampled_from([1, 2, 6]),
+    scale=st.floats(min_value=0.05, max_value=3.0,
+                    allow_nan=False, allow_infinity=False),
+    dispatch=st.booleans(),
+)
+def test_property_random_drag_parity(index, scale, dispatch):
+    """Property: for any drag value, both backends agree exactly."""
+    scalar, batched = _session_pair(index, size=3)
+    param = SHADERS[index].control_params[-1]
+    scalar_edit = scalar.begin_edit(param, dispatch=dispatch)
+    batch_edit = batched.begin_edit(param, dispatch=dispatch)
+    scalar_edit.load(scalar.controls)
+    batch_edit.load(batched.controls)
+    dragged = scalar.controls_with(**{param: scalar.controls[param] * scale})
+    _assert_images_equal(
+        scalar_edit.adjust(dragged),
+        batch_edit.adjust(dragged),
+        "random drag shader %d" % index,
+    )

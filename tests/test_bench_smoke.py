@@ -1,0 +1,42 @@
+"""Non-gating perf smoke (deselected by default; run with -m benchsmoke).
+
+Wraps ``tools/bench_smoke.py``: renders one 64x64 frame per backend,
+asserts bit-identical parity, writes ``BENCH_render.json``, and (with
+NumPy) requires the batched ``adjust()`` to beat scalar by >= 3x.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "bench_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("bench_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.benchsmoke
+def test_bench_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    report = tool.run(out_path=out_path)
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["pixels"] == tool.SIZE * tool.SIZE
+    assert set(written["backends"]) == {"scalar", "batch"}
+    for result in written["backends"].values():
+        assert result["adjust_pixels_per_sec"] > 0
+
+    if report["numpy"]:
+        assert report["adjust_speedup"] >= tool.MIN_ADJUST_SPEEDUP

@@ -1,0 +1,48 @@
+"""PPM encoding regression: ``Image.to_ppm`` must stay byte-identical.
+
+The encoder was rewritten as a single join/format pass for speed; these
+tests pin the output bytes against the original per-pixel algorithm and
+against both execution backends.
+"""
+
+from repro.runtime import values as V
+from repro.shaders.render import Image, RenderSession
+
+
+def _reference_ppm(image):
+    """The original (pre-optimization) encoder, kept as the oracle."""
+    lines = ["P3", "%d %d" % (image.width, image.height), "255"]
+    for color in image.colors:
+        clamped = V.vclamp01(color)
+        lines.append(
+            "%d %d %d"
+            % tuple(int(round(255 * channel)) for channel in clamped)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_to_ppm_matches_reference_encoder():
+    colors = [
+        (0.0, 0.0, 0.0),
+        (1.0, 1.0, 1.0),
+        (0.5, 0.25, 0.125),
+        (-0.5, 1.5, 0.999),  # out-of-gamut: clamped
+        (0.001960784, 0.49803921, 0.25098039),  # rounding boundaries
+        (1.0 / 3.0, 2.0 / 3.0, 0.7),
+    ]
+    image = Image(3, 2, colors, total_cost=0)
+    assert image.to_ppm() == _reference_ppm(image)
+
+
+def test_to_ppm_golden_bytes():
+    image = Image(2, 1, [(0.0, 0.5, 1.0), (1.0, 0.0, 0.25)], total_cost=0)
+    assert image.to_ppm() == "P3\n2 1\n255\n0 128 255\n255 0 64\n"
+
+
+def test_to_ppm_identical_across_backends():
+    scalar = RenderSession(1, width=4, height=4, backend="scalar")
+    batched = RenderSession(1, width=4, height=4, backend="batch")
+    scalar_ppm = scalar.render_reference().to_ppm()
+    batch_ppm = batched.render_reference().to_ppm()
+    assert scalar_ppm == batch_ppm
+    assert scalar_ppm == _reference_ppm(scalar.render_reference())

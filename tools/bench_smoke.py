@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Perf smoke benchmark: one frame per execution backend.
+
+Renders a 64x64 frame of shader 1 (matte) through a full drag session
+on the scalar and batch backends, asserts the two are bit-identical
+(colors and CostMeter totals), and writes ``BENCH_render.json`` with
+pixels/sec per backend so future PRs have a perf trajectory.
+
+Run directly::
+
+    python tools/bench_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m benchsmoke
+
+With NumPy installed the batched ``adjust()`` must be at least 3x the
+scalar pixels/sec; without NumPy the batch backend degrades to the
+per-row fallback and only parity is asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.runtime.batch import HAVE_NUMPY  # noqa: E402
+from repro.shaders.render import RenderSession  # noqa: E402
+
+SHADER = 1
+SIZE = 64
+PARAM = "kd"
+#: Best-of-N timing to damp scheduler noise.
+REPEATS = 3
+#: Required batched-adjust advantage when NumPy is available.
+MIN_ADJUST_SPEEDUP = 3.0
+
+
+def _bench_backend(backend):
+    session = RenderSession(SHADER, width=SIZE, height=SIZE, backend=backend)
+    edit = session.begin_edit(PARAM)
+
+    start = time.perf_counter()
+    loaded = edit.load(session.controls)
+    load_seconds = time.perf_counter() - start
+
+    dragged = session.controls_with(**{PARAM: session.controls[PARAM] * 1.25})
+    adjust_seconds = float("inf")
+    adjusted = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        adjusted = edit.adjust(dragged)
+        adjust_seconds = min(adjust_seconds, time.perf_counter() - start)
+
+    pixels = SIZE * SIZE
+    return {
+        "backend": backend,
+        "load_seconds": load_seconds,
+        "adjust_seconds": adjust_seconds,
+        "load_pixels_per_sec": pixels / load_seconds,
+        "adjust_pixels_per_sec": pixels / adjust_seconds,
+        "load_cost": loaded.total_cost,
+        "adjust_cost": adjusted.total_cost,
+        "_load_colors": loaded.colors,
+        "_adjust_colors": adjusted.colors,
+    }
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    scalar = _bench_backend("scalar")
+    batch = _bench_backend("batch")
+
+    # Parity gate: the two backends must agree bit-for-bit before any
+    # throughput number means anything.
+    assert scalar["_load_colors"] == batch["_load_colors"], (
+        "load() colors differ between backends"
+    )
+    assert scalar["_adjust_colors"] == batch["_adjust_colors"], (
+        "adjust() colors differ between backends"
+    )
+    assert scalar["load_cost"] == batch["load_cost"], (
+        "load() cost totals differ: %d vs %d"
+        % (scalar["load_cost"], batch["load_cost"])
+    )
+    assert scalar["adjust_cost"] == batch["adjust_cost"], (
+        "adjust() cost totals differ: %d vs %d"
+        % (scalar["adjust_cost"], batch["adjust_cost"])
+    )
+
+    speedup = (
+        batch["adjust_pixels_per_sec"] / scalar["adjust_pixels_per_sec"]
+    )
+    report = {
+        "shader": SHADER,
+        "param": PARAM,
+        "pixels": SIZE * SIZE,
+        "numpy": HAVE_NUMPY,
+        "adjust_speedup": speedup,
+        "backends": {
+            name: {
+                key: value
+                for key, value in result.items()
+                if not key.startswith("_")
+            }
+            for name, result in (("scalar", scalar), ("batch", batch))
+        },
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if HAVE_NUMPY:
+        assert speedup >= MIN_ADJUST_SPEEDUP, (
+            "batched adjust() only %.2fx scalar (need >= %.1fx)"
+            % (speedup, MIN_ADJUST_SPEEDUP)
+        )
+    return report
+
+
+def main():
+    report = run()
+    for name in ("scalar", "batch"):
+        result = report["backends"][name]
+        print(
+            "%-6s  load %8.0f px/s   adjust %10.0f px/s"
+            % (
+                name,
+                result["load_pixels_per_sec"],
+                result["adjust_pixels_per_sec"],
+            )
+        )
+    print(
+        "batched adjust speedup: %.1fx (numpy=%s)  ->  BENCH_render.json"
+        % (report["adjust_speedup"], report["numpy"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
