@@ -130,7 +130,10 @@ def cmd_replay(args, out):
     from .core.persist import load_specialization
 
     try:
-        spec = load_specialization(args.directory)
+        spec = load_specialization(
+            args.directory,
+            on_mismatch="respecialize" if args.respecialize else "error",
+        )
     except SpecializationError as exc:
         raise SystemExit("cannot load: %s" % exc)
     load_args = [_parse_scalar(v) for v in args.load_args.split(",")]
@@ -193,12 +196,22 @@ def cmd_render(args, out):
             "no shader %d (have %s)"
             % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
         )
+    injector = None
+    if args.inject_rate > 0.0:
+        from .runtime.faultinject import FaultInjector
+
+        injector = FaultInjector(
+            seed=args.inject_seed, kernel_rate=args.inject_rate
+        )
     session = RenderSession(
-        args.shader, width=args.size, height=args.size, backend=args.backend
+        args.shader, width=args.size, height=args.size, backend=args.backend,
+        guard=args.guard or injector is not None,
     )
     param = args.param or session.spec_info.control_params[0]
     try:
-        edit = session.begin_edit(param, dispatch=args.dispatch)
+        edit = session.begin_edit(
+            param, dispatch=args.dispatch, injector=injector
+        )
     except (SourceError, SpecializationError) as exc:
         raise SystemExit("specialization failed: %s" % exc)
     image = edit.load(session.controls)
@@ -219,6 +232,8 @@ def cmd_render(args, out):
         "adjust: cost %d (%.1f/pixel)\n"
         % (adjusted.total_cost, adjusted.cost_per_pixel)
     )
+    if edit.fault_log is not None:
+        out.write("guard:  %s\n" % edit.fault_log.summary())
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(adjusted.to_ppm())
@@ -272,6 +287,9 @@ def build_parser():
                    help="comma-separated arguments for the loader pass")
     p.add_argument("--read-args", action="append",
                    help="arguments for a reader pass (repeatable)")
+    p.add_argument("--respecialize", action="store_true",
+                   help="rebuild stale/corrupted artifacts from the "
+                        "surviving fragment instead of failing")
     p.set_defaults(handler=cmd_replay)
 
     p = sub.add_parser("run", help="execute a function with cost metering")
@@ -302,6 +320,15 @@ def build_parser():
                    help="execution backend (default: scalar)")
     p.add_argument("--dispatch", action="store_true",
                    help="use Section 7.2 dispatch-code readers")
+    p.add_argument("--guard", action="store_true",
+                   help="guarded execution: contain evaluation faults "
+                        "to the affected pixel (fallback to the "
+                        "unspecialized shader)")
+    p.add_argument("--inject-rate", type=float, default=0.0,
+                   help="forced kernel-fault rate per pixel (implies "
+                        "--guard; for fault-tolerance demos)")
+    p.add_argument("--inject-seed", type=int, default=0,
+                   help="fault-injection seed")
     p.add_argument("--out", default=None, help="write the frame as PPM")
     p.set_defaults(handler=cmd_render)
 

@@ -32,6 +32,21 @@ class CacheSlot(object):
         return "CacheSlot(%d, %s, %r)" % (self.index, self.ty, self.source)
 
 
+class CacheInstance(list):
+    """One pixel's cache: a plain slot list that remembers its layout.
+
+    Behaves exactly like the ``[None] * n`` list it replaces (equality,
+    indexing, iteration), but lets the interpreter attribute a bad slot
+    read to the cached term's source text and origin node.
+    """
+
+    __slots__ = ("layout",)
+
+    def __init__(self, layout):
+        super().__init__([None] * len(layout))
+        self.layout = layout
+
+
 class CacheLayout(object):
     """Ordered collection of slots with byte accounting."""
 
@@ -53,7 +68,7 @@ class CacheLayout(object):
 
     def new_instance(self):
         """A fresh, unfilled cache (one entry per slot)."""
-        return [None] * len(self.slots)
+        return CacheInstance(self)
 
     def new_batch_instance(self, n):
         """A fresh struct-of-arrays cache covering ``n`` pixels at once

@@ -1,4 +1,4 @@
-"""Persisting specializations to disk.
+"""Persisting specializations to disk, with integrity guarantees.
 
 The paper's renderer constructs every loader/reader pair "statically at
 the time a shader is installed" and links it into the application.  The
@@ -9,67 +9,132 @@ kernel-language source plus a JSON sidecar (layout, partition), and
 loaders/readers are themselves valid source (the parser accepts the
 ``cache->slotN`` operators), so persistence is a plain round trip.
 
+Because a reader may *only* run against a cache built by its matching
+loader under the same invariant inputs (Section 2), a stale or damaged
+artifact silently breaks the paper's contract.  Every save therefore:
+
+* writes each file atomically (temp file + ``os.replace``), so a torn
+  write never leaves a half-new artifact under the final name;
+* records a SHA-256 **checksum per file** and one **fingerprint** over
+  (fragment source, partition, options, slot layout) in ``spec.json``.
+
+``load_specialization`` verifies the format version, the checksums, and
+the fingerprint before handing back a specialization; any stale,
+corrupted, or truncated artifact is rejected with a typed
+:class:`~repro.lang.errors.ArtifactError`.  Passing
+``on_mismatch="respecialize"`` instead re-runs the specializer over the
+surviving fragment and re-saves fresh artifacts.
+
 Files in a saved directory::
 
     fragment.ds   the analyzed fragment (post inline/SSA/reassoc)
     loader.ds     the cache loader
     reader.ds     the cache reader
-    spec.json     layout (slot types/sizes/origins), partition, options
+    spec.json     layout, partition, options, checksums, fingerprint
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
 from ..lang import ast_nodes as A
-from ..lang.errors import SpecializationError
+from ..lang.errors import ArtifactError, SourceError
 from ..lang.parser import parse_program
 from ..lang.pretty import format_function
 from ..lang.typecheck import check_program
 from ..lang.types import BY_NAME
 from .cache import CacheLayout, CacheSlot
 from .partition import InputPartition
-from .specializer import Specialization, SpecializerOptions
+from .specializer import DataSpecializer, Specialization, SpecializerOptions
 
-_FORMAT_VERSION = 1
+#: Bumped from 1 when checksums/fingerprints were added to ``spec.json``.
+_FORMAT_VERSION = 2
+
+_SOURCES = ("fragment.ds", "loader.ds", "reader.ds")
+
+
+def _sha256(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _options_meta(options):
+    return {
+        "ssa": options.ssa,
+        "reassoc": options.reassoc,
+        "reassoc_float": options.reassoc_float,
+        "allow_speculation": options.allow_speculation,
+        "cache_bound": options.cache_bound,
+        "trivial_threshold": options.trivial_threshold,
+        "max_steps": options.max_steps,
+    }
+
+
+def _fingerprint(fragment_source, function, varying, options_meta, slots_meta):
+    """SHA-256 over everything a loader/reader pair is specialized *to*:
+    the fragment's source, the input partition, the specializer options,
+    and the slot layout.  Any drift in one without the others means the
+    artifact set is stale."""
+    payload = {
+        "fragment": fragment_source,
+        "function": function,
+        "varying": list(varying),
+        "options": options_meta,
+        "slots": slots_meta,
+    }
+    return _sha256(json.dumps(payload, sort_keys=True))
+
+
+def _write_atomic(path, text):
+    """Write via a sibling temp file + ``os.replace`` so readers never
+    observe a torn artifact under the final name."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
 
 
 def save_specialization(spec, directory):
     """Write ``spec`` into ``directory`` (created if needed)."""
     os.makedirs(directory, exist_ok=True)
 
-    def write(name, text):
-        with open(os.path.join(directory, name), "w") as handle:
-            handle.write(text + "\n")
-
-    write("fragment.ds", format_function(spec.original))
-    write("loader.ds", spec.loader_source)
-    write("reader.ds", spec.reader_source)
-
+    texts = {
+        "fragment.ds": format_function(spec.original) + "\n",
+        "loader.ds": spec.loader_source + "\n",
+        "reader.ds": spec.reader_source + "\n",
+    }
+    options_meta = _options_meta(spec.options)
+    slots_meta = [
+        {
+            "index": slot.index,
+            "type": slot.ty.name,
+            "source": slot.source,
+            "origin_nid": slot.origin_nid,
+            "speculative": slot.speculative,
+        }
+        for slot in spec.layout
+    ]
     meta = {
         "version": _FORMAT_VERSION,
         "function": spec.function_name,
         "varying": sorted(spec.varying),
-        "slots": [
-            {
-                "index": slot.index,
-                "type": slot.ty.name,
-                "source": slot.source,
-                "speculative": slot.speculative,
-            }
-            for slot in spec.layout
-        ],
-        "options": {
-            "ssa": spec.options.ssa,
-            "reassoc": spec.options.reassoc,
-            "reassoc_float": spec.options.reassoc_float,
-            "allow_speculation": spec.options.allow_speculation,
-            "cache_bound": spec.options.cache_bound,
-            "trivial_threshold": spec.options.trivial_threshold,
-        },
+        "slots": slots_meta,
+        "options": options_meta,
+        "checksums": {name: _sha256(text) for name, text in texts.items()},
+        "fingerprint": _fingerprint(
+            texts["fragment.ds"], spec.function_name, sorted(spec.varying),
+            options_meta, slots_meta,
+        ),
     }
-    write("spec.json", json.dumps(meta, indent=2, sort_keys=True))
+    # Sources first, sidecar last: a crash mid-save leaves the previous
+    # spec.json whose checksums reject the mixed generation.
+    for name in _SOURCES:
+        _write_atomic(os.path.join(directory, name), texts[name])
+    _write_atomic(
+        os.path.join(directory, "spec.json"),
+        json.dumps(meta, indent=2, sort_keys=True) + "\n",
+    )
     return directory
 
 
@@ -79,43 +144,141 @@ def _read(directory, name):
         with open(path) as handle:
             return handle.read()
     except OSError as exc:
-        raise SpecializationError("cannot read %s: %s" % (path, exc))
+        raise ArtifactError("cannot read %s: %s" % (path, exc))
+    except UnicodeDecodeError as exc:
+        raise ArtifactError("%s is not text (corrupted?): %s" % (path, exc))
 
 
 def _parse_single(source, what):
-    program = parse_program(source)
+    try:
+        program = parse_program(source)
+    except SourceError as exc:
+        raise ArtifactError("%s does not parse (corrupted?): %s" % (what, exc))
     if len(program.functions) != 1:
-        raise SpecializationError("%s must define exactly one function" % what)
+        raise ArtifactError("%s must define exactly one function" % what)
     return program.functions[0]
 
 
-def load_specialization(directory):
+def _read_meta(directory):
+    text = _read(directory, "spec.json")
+    try:
+        meta = json.loads(text)
+    except ValueError as exc:
+        raise ArtifactError("spec.json is not valid JSON (torn write?): %s" % exc)
+    if not isinstance(meta, dict):
+        raise ArtifactError("spec.json must hold a JSON object")
+    return meta
+
+
+def _verify(directory, meta, texts):
+    """All integrity checks between the sidecar and the source files."""
+    if meta.get("version") != _FORMAT_VERSION:
+        raise ArtifactError(
+            "unsupported spec.json version %r (expected %d)"
+            % (meta.get("version"), _FORMAT_VERSION)
+        )
+    checksums = meta.get("checksums")
+    if not isinstance(checksums, dict):
+        raise ArtifactError("spec.json carries no checksums")
+    for name in _SOURCES:
+        expected = checksums.get(name)
+        actual = _sha256(texts[name])
+        if actual != expected:
+            raise ArtifactError(
+                "%s checksum mismatch (corrupted or truncated): "
+                "expected %s, found %s"
+                % (os.path.join(directory, name), expected, actual)
+            )
+    try:
+        recomputed = _fingerprint(
+            texts["fragment.ds"], meta["function"], list(meta["varying"]),
+            meta["options"], meta["slots"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ArtifactError("spec.json is missing metadata: %s" % exc)
+    if recomputed != meta.get("fingerprint"):
+        raise ArtifactError(
+            "specialization fingerprint mismatch (stale or edited spec.json): "
+            "expected %s, recomputed %s" % (meta.get("fingerprint"), recomputed)
+        )
+
+
+def _respecialize(directory, save=True):
+    """Recovery path: rebuild loader/reader/layout from the surviving
+    fragment and partition, then re-save consistent artifacts.
+
+    Only possible while ``spec.json`` still names the partition/options
+    and ``fragment.ds`` still parses; otherwise the original
+    :class:`ArtifactError` stands.
+    """
+    meta = _read_meta(directory)
+    try:
+        function = meta["function"]
+        varying = set(meta["varying"])
+        options = SpecializerOptions(**meta["options"])
+    except (KeyError, TypeError) as exc:
+        raise ArtifactError(
+            "cannot respecialize: spec.json is missing metadata (%s)" % exc
+        )
+    fragment = _parse_single(_read(directory, "fragment.ds"), "fragment.ds")
+    if fragment.name != function:
+        raise ArtifactError(
+            "cannot respecialize: fragment defines %r, spec.json names %r"
+            % (fragment.name, function)
+        )
+    spec = DataSpecializer(A.Program([fragment]), options).specialize(
+        function, varying
+    )
+    if save:
+        save_specialization(spec, directory)
+    return spec
+
+
+def load_specialization(directory, on_mismatch="error"):
     """Reload a saved specialization; returns a :class:`Specialization`.
 
     The reloaded object runs (interpreted and compiled) exactly like the
     one that was saved; analysis-side attributes (``caching``,
     ``limiter_trace``) are ``None`` — they belong to the build, not the
     artifact.
-    """
-    meta = json.loads(_read(directory, "spec.json"))
-    if meta.get("version") != _FORMAT_VERSION:
-        raise SpecializationError(
-            "unsupported spec.json version %r" % meta.get("version")
-        )
 
-    fragment = _parse_single(_read(directory, "fragment.ds"), "fragment.ds")
-    loader = _parse_single(_read(directory, "loader.ds"), "loader.ds")
-    reader = _parse_single(_read(directory, "reader.ds"), "reader.ds")
+    Integrity: the format version, per-file SHA-256 checksums, and the
+    specialization fingerprint must all verify, else a typed
+    :class:`~repro.lang.errors.ArtifactError` is raised.  With
+    ``on_mismatch="respecialize"``, a failed check instead re-runs the
+    specializer over the surviving fragment + partition and re-saves
+    fresh artifacts (raising only when even that is impossible).
+    """
+    if on_mismatch not in ("error", "respecialize"):
+        raise ValueError(
+            "on_mismatch must be 'error' or 'respecialize', not %r"
+            % (on_mismatch,)
+        )
+    try:
+        meta = _read_meta(directory)
+        texts = {name: _read(directory, name) for name in _SOURCES}
+        _verify(directory, meta, texts)
+        return _load_verified(meta, texts)
+    except ArtifactError:
+        if on_mismatch != "respecialize":
+            raise
+    return _respecialize(directory)
+
+
+def _load_verified(meta, texts):
+    fragment = _parse_single(texts["fragment.ds"], "fragment.ds")
+    loader = _parse_single(texts["loader.ds"], "loader.ds")
+    reader = _parse_single(texts["reader.ds"], "reader.ds")
 
     slots = []
     slot_types = {}
     for entry in sorted(meta["slots"], key=lambda e: e["index"]):
         ty = BY_NAME.get(entry["type"])
         if ty is None:
-            raise SpecializationError("unknown slot type %r" % entry["type"])
+            raise ArtifactError("unknown slot type %r" % entry["type"])
         slots.append(
             CacheSlot(
-                entry["index"], ty, None, entry["source"],
+                entry["index"], ty, entry.get("origin_nid"), entry["source"],
                 speculative=entry.get("speculative", False),
             )
         )
@@ -128,14 +291,17 @@ def load_specialization(directory):
         for node in A.walk(fn):
             if isinstance(node, A.CacheRead):
                 if node.slot not in slot_types:
-                    raise SpecializationError(
+                    raise ArtifactError(
                         "cache read of slot %d not in layout" % node.slot
                     )
                 node.ty = slot_types[node.slot]
 
-    infos = check_program(A.Program([fragment]))
-    check_program(A.Program([loader]))
-    check_program(A.Program([reader]))
+    try:
+        infos = check_program(A.Program([fragment]))
+        check_program(A.Program([loader]))
+        check_program(A.Program([reader]))
+    except SourceError as exc:
+        raise ArtifactError("artifact fails type checking: %s" % exc)
 
     partition = InputPartition(fragment, set(meta["varying"]))
     options = SpecializerOptions(**meta["options"])

@@ -58,6 +58,7 @@ class SpecializerOptions(object):
         allow_speculation=False,
         cache_bound=None,
         trivial_threshold=TRIVIAL_COST_THRESHOLD,
+        max_steps=None,
     ):
         #: Section 4.1 join-point normalization (phi-only variable caching).
         self.ssa = ssa
@@ -72,6 +73,11 @@ class SpecializerOptions(object):
         self.cache_bound = cache_bound
         #: Rule 6 triviality threshold on the static cost scale.
         self.trivial_threshold = trivial_threshold
+        #: Interpreter step budget per run (None = the interpreter
+        #: default), applied on both the scalar path and the batch
+        #: backend's per-row fallback so runaway loops are bounded
+        #: everywhere.
+        self.max_steps = max_steps
 
     def replace(self, **overrides):
         merged = dict(
@@ -81,6 +87,7 @@ class SpecializerOptions(object):
             allow_speculation=self.allow_speculation,
             cache_bound=self.cache_bound,
             trivial_threshold=self.trivial_threshold,
+            max_steps=self.max_steps,
         )
         merged.update(overrides)
         return SpecializerOptions(**merged)
@@ -112,7 +119,7 @@ class Specialization(object):
         self.type_info = type_info
         self.options = options
         self.limiter_trace = limiter_trace
-        self._interp = Interpreter()
+        self._interp = Interpreter(max_steps=options.max_steps)
         self._compiled = {}
         self._batch = {}
 
@@ -164,7 +171,9 @@ class Specialization(object):
 
     def _batch_kernel(self, which, fn):
         if which not in self._batch:
-            self._batch[which] = BatchKernel(fn)
+            self._batch[which] = BatchKernel(
+                fn, max_steps=self.options.max_steps
+            )
         return self._batch[which]
 
     @property
@@ -218,6 +227,16 @@ class Specialization(object):
 
     # -- artifacts --------------------------------------------------------------------
 
+    # -- guarded execution ---------------------------------------------------
+
+    def guarded(self, table=None, injector=None, log=None):
+        """A :class:`~repro.runtime.guard.GuardedExecutor` wrapping this
+        specialization: per-pixel/lane fallback to ``run_original`` on
+        evaluation faults, with structured fault logging."""
+        from ..runtime.guard import GuardedExecutor
+
+        return GuardedExecutor(self, table=table, injector=injector, log=log)
+
     @property
     def original_source(self):
         return format_function(self.original)
@@ -242,7 +261,7 @@ class Specialization(object):
 class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
-    def __init__(self, program, options=None, backend=None):
+    def __init__(self, program, options=None, backend=None, guard=False):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
@@ -250,6 +269,10 @@ class DataSpecializer(object):
         #: Preferred execution backend for session-level drivers
         #: ("scalar" or "batch"; "auto" resolves at construction).
         self.backend = resolve_backend(backend)
+        #: Session-level default for guarded execution: when True,
+        #: drivers built on this specializer wrap loader/reader runs in
+        #: a :class:`~repro.runtime.guard.GuardedExecutor`.
+        self.guard = bool(guard)
         # Whole-program check up front: errors surface on the original
         # source, not on transformed internals.
         check_program(self.program)

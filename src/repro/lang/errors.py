@@ -51,9 +51,32 @@ class SpecializationError(Exception):
     """
 
 
+class ArtifactError(SpecializationError):
+    """Raised when a persisted specialization fails integrity checks.
+
+    The paper's contract (Section 2) is that a reader may only run
+    against a cache produced by the matching loader under the same
+    invariant inputs; a stale, corrupted, or truncated on-disk artifact
+    breaks that contract before any cache is ever built.  Subclasses
+    :class:`SpecializationError` so existing handlers keep working.
+    """
+
+
 class EvalError(Exception):
     """Raised by the interpreter for runtime faults (division by zero,
     use of an uninitialized variable, arity mismatches)."""
+
+
+class CacheFault(EvalError):
+    """An invalid cache access: an unfilled or ill-typed slot read.
+
+    Carries the slot index so guarded execution can attribute the fault
+    in its :class:`~repro.runtime.guard.FaultLog`.
+    """
+
+    def __init__(self, message, slot=None):
+        super().__init__(message)
+        self.slot = slot
 
 
 # Public, collision-free alias.

@@ -26,10 +26,10 @@ fallback; they are linearized with masked ``where``-style selects.
 
 from __future__ import annotations
 
-from ..lang.errors import EvalError
+from ..lang.errors import CacheFault, EvalError
 from ..lang.types import INT
 from .compiler import compile_batch_function
-from .interp import CostMeter, Interpreter
+from .interp import CostMeter, Interpreter, slot_detail
 from .vecops import HAVE_NUMPY, BatchCompileError, _column_rows, _np
 
 #: Accepted values for the ``backend=`` knob.
@@ -76,7 +76,11 @@ class SoACache(object):
     def load(self, index):
         column = self.columns[index]
         if column is None:
-            raise EvalError("read of unfilled cache slot %d" % index)
+            raise CacheFault(
+                "read of unfilled cache slot %d%s"
+                % (index, slot_detail(self, index)),
+                slot=index,
+            )
         if HAVE_NUMPY and isinstance(column, list):
             column = self._densify(index, column)
         return column
@@ -110,7 +114,11 @@ class SoACache(object):
         """Convert a row-written (fallback-loaded) list column into the
         contiguous array a vectorized reader expects."""
         if any(v is None for v in column):
-            raise EvalError("read of unfilled cache slot %d" % index)
+            raise CacheFault(
+                "read of unfilled cache slot %d%s"
+                % (index, slot_detail(self, index)),
+                slot=index,
+            )
         ty = self.layout[index].ty
         dtype = _np.int64 if ty is INT else float
         dense = _np.asarray(column, dtype=dtype)
@@ -152,6 +160,10 @@ class _CacheRow(object):
         self.cache = cache
         self.i = i
 
+    @property
+    def layout(self):
+        return self.cache.layout
+
     def __getitem__(self, index):
         column = self.cache.columns[index]
         if column is None:
@@ -173,13 +185,17 @@ class BatchKernel(object):
     """One function compiled for whole-frame execution, with automatic
     per-row fallback when vectorized compilation is impossible."""
 
-    __slots__ = ("fn", "program", "_kernel", "_tried", "_interp",
-                 "fallback_reason")
+    __slots__ = ("fn", "program", "max_steps", "_kernel", "_tried",
+                 "_interp", "fallback_reason")
 
-    def __init__(self, fn, program=None):
+    def __init__(self, fn, program=None, max_steps=None):
         self.fn = fn
         #: Optional Program resolving user calls on the fallback path.
         self.program = program
+        #: Per-lane interpreter step budget on the fallback path (None =
+        #: the interpreter default), so runaway loops are bounded in the
+        #: batch backend exactly as in the scalar one.
+        self.max_steps = max_steps
         self._kernel = None
         self._tried = False
         self._interp = None
@@ -207,19 +223,30 @@ class BatchKernel(object):
         a list of per-lane Python values on the fallback path.  Columns
         may be arrays, lists, or uniform Python scalars (controls).
         """
+        values, lane_costs = self.run_lanes(columns, n, cache=cache)
+        if isinstance(lane_costs, list):
+            return values, sum(lane_costs)
+        return values, int(lane_costs.sum())
+
+    def run_lanes(self, columns, n, cache=None):
+        """Like :meth:`run`, but returns per-lane costs instead of the
+        total — ``(values, lane_costs)`` where ``lane_costs`` is an
+        int64 array (vectorized) or a list of ints (fallback).  Guarded
+        execution uses this to patch individual faulted lanes without
+        disturbing the others' accounting."""
         self._ensure()
         if self._kernel is None:
             return self._run_rows(columns, n, cache)
         with _np.errstate(all="ignore"):
             values, lane_costs = self._kernel(*columns, __cache=cache, __n=n)
-        return values, int(lane_costs.sum())
+        return values, lane_costs
 
     def _run_rows(self, columns, n, cache):
         if self._interp is None:
-            self._interp = Interpreter(self.program)
+            self._interp = Interpreter(self.program, max_steps=self.max_steps)
         rows = [_column_rows(column, n) for column in columns]
         values = [None] * n
-        total = 0
+        costs = [0] * n
         for i in range(n):
             meter = CostMeter()
             values[i] = self._interp.run(
@@ -228,8 +255,8 @@ class BatchKernel(object):
                 cache=cache.row(i) if cache is not None else None,
                 meter=meter,
             )
-            total += meter.total
-        return values, total
+            costs[i] = meter.total
+        return values, costs
 
 
 def value_rows(values, n):

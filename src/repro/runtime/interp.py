@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 
 from ..lang import ast_nodes as A
-from ..lang.errors import EvalError
+from ..lang.errors import CacheFault, EvalError
 from ..lang.ops import (
     CACHE_READ_COST,
     CACHE_WRITE_COST,
@@ -63,6 +63,44 @@ class _ReturnSignal(Exception):
 
 _UNINITIALIZED = object()
 
+#: Default per-run step budget (overridable via ``max_steps`` /
+#: :class:`~repro.core.specializer.SpecializerOptions`).
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+def slot_detail(cache, slot):
+    """Provenance suffix for a bad read of ``slot``: the cached term's
+    pretty-printed source and origin node, when the cache knows its
+    layout (``CacheInstance``, ``SoACache`` rows)."""
+    layout = getattr(cache, "layout", None)
+    if layout is None or not 0 <= slot < len(layout):
+        return ""
+    entry = layout[slot]
+    origin = (
+        ", origin nid %d" % entry.origin_nid
+        if entry.origin_nid is not None
+        else ""
+    )
+    return " [%s `%s`%s]" % (entry.ty, entry.source, origin)
+
+
+def _slot_value_ok(cache, slot, value):
+    """Structural type check of a cache read against the slot's declared
+    kernel type (catches corrupted slots holding the wrong shape)."""
+    layout = getattr(cache, "layout", None)
+    if layout is None or not 0 <= slot < len(layout):
+        return True
+    name = layout[slot].ty.name
+    if name == "vec3":
+        return isinstance(value, tuple) and len(value) == 3
+    if name == "mat3":
+        return isinstance(value, tuple) and len(value) == 9
+    if name == "int":
+        return isinstance(value, int) or (
+            isinstance(value, float) and value.is_integer()
+        )
+    return isinstance(value, (int, float))
+
 
 def _int_div(a, b):
     """C-style integer division (truncation toward zero)."""
@@ -89,14 +127,16 @@ class Interpreter(object):
         function calls.  Loaders/readers produced by the specializer are
         self-contained after inlining and may be run without one.
     max_steps:
-        Safety valve for property-based tests: the interpreter aborts with
-        :class:`EvalError` after this many node evaluations, so randomly
-        generated loops cannot hang the test suite.
+        Per-run step budget: the interpreter aborts with
+        :class:`EvalError` after this many node evaluations, so runaway
+        loops (randomly generated or fed corrupted data) cannot hang the
+        caller.  ``None`` selects :data:`DEFAULT_MAX_STEPS`; sessions
+        configure it via ``SpecializerOptions(max_steps=...)``.
     """
 
-    def __init__(self, program=None, max_steps=50_000_000):
+    def __init__(self, program=None, max_steps=None):
         self.program = program
-        self.max_steps = max_steps
+        self.max_steps = DEFAULT_MAX_STEPS if max_steps is None else max_steps
         self._steps = 0
 
     # -- public API ----------------------------------------------------------
@@ -243,7 +283,17 @@ class Interpreter(object):
                 raise EvalError("cache read with no cache supplied")
             value = cache[expr.slot]
             if value is None:
-                raise EvalError("read of unfilled cache slot %d" % expr.slot)
+                raise CacheFault(
+                    "read of unfilled cache slot %d%s"
+                    % (expr.slot, slot_detail(cache, expr.slot)),
+                    slot=expr.slot,
+                )
+            if not _slot_value_ok(cache, expr.slot, value):
+                raise CacheFault(
+                    "ill-typed value %r in cache slot %d%s"
+                    % (value, expr.slot, slot_detail(cache, expr.slot)),
+                    slot=expr.slot,
+                )
             return value
 
         if kind is A.CacheStore:

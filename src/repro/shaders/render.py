@@ -59,13 +59,23 @@ class EditSession(object):
     variants (e.g. the two tiles of a checkerboard)."""
 
     def __init__(self, render_session, specialization, param, table=None,
-                 backend=None):
+                 backend=None, guard=None, injector=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
         self.table = table
         self.backend = B.resolve_backend(
             backend if backend is not None else render_session.backend
+        )
+        #: Guarded execution: faults are contained to the pixel/lane
+        #: that raised them (fallback to ``run_original``) and recorded
+        #: in :attr:`fault_log`.  Defaults to the session's knob; an
+        #: injector implies guarding.
+        use_guard = guard if guard is not None else render_session.guard
+        self.guard = (
+            specialization.guarded(table=table, injector=injector)
+            if use_guard or injector is not None
+            else None
         )
         #: Scalar backend: one slot list per pixel.  Batch backend: one
         #: shared :class:`~repro.runtime.batch.SoACache` for the frame.
@@ -75,7 +85,15 @@ class EditSession(object):
         self._loader_kernel = None
         self._variant_kernels = {}
         if table is not None:
-            self._interp = Interpreter()
+            self._interp = Interpreter(
+                max_steps=specialization.options.max_steps
+            )
+
+    @property
+    def fault_log(self):
+        """The guard's :class:`~repro.runtime.guard.FaultLog`, or None
+        when running unguarded."""
+        return self.guard.log if self.guard is not None else None
 
     @property
     def cache_bytes_per_pixel(self):
@@ -85,6 +103,8 @@ class EditSession(object):
 
     def load(self, controls):
         """Run the loader for every pixel; returns the resulting Image."""
+        if self.guard is not None:
+            self.guard.begin_load()
         if self.backend == "batch":
             return self._load_batch(controls)
         spec = self.specialization
@@ -92,9 +112,11 @@ class EditSession(object):
         colors = []
         self.caches = []
         total = 0
-        for pixel in session.scene:
+        for index, pixel in enumerate(session.scene):
             args = session.args_for(pixel, controls)
-            if self.table is not None:
+            if self.guard is not None:
+                result, cache, cost = self.guard.run_loader(args, pixel=index)
+            elif self.table is not None:
                 cache = self.table.layout.new_instance()
                 meter = CostMeter()
                 result = self._interp.run(
@@ -119,9 +141,13 @@ class EditSession(object):
         session = self.render_session
         colors = []
         total = 0
-        for pixel, cache in zip(session.scene, self.caches):
+        for index, (pixel, cache) in enumerate(
+            zip(session.scene, self.caches)
+        ):
             args = session.args_for(pixel, controls)
-            if self.table is not None:
+            if self.guard is not None:
+                result, cost = self.guard.run_reader(cache, args, pixel=index)
+            elif self.table is not None:
                 variant = self.table.select(cache)
                 result, cost = self._interp.run_metered(
                     variant, args, cache=cache
@@ -140,10 +166,18 @@ class EditSession(object):
         scene = session.scene
         n = len(scene)
         columns = session.batch_args(controls)
+        if self.guard is not None:
+            colors, cache, total = self.guard.run_loader_batch(columns, n)
+            self.caches = cache
+            self.load_cost = total
+            return Image(scene.width, scene.height, colors, total)
         if self.table is not None:
             cache = B.SoACache(self.table.layout, n)
             if self._loader_kernel is None:
-                self._loader_kernel = B.BatchKernel(self.table.loader)
+                self._loader_kernel = B.BatchKernel(
+                    self.table.loader,
+                    max_steps=self.specialization.options.max_steps,
+                )
             values, total = self._loader_kernel.run(columns, n, cache=cache)
         else:
             values, cache, total = self.specialization.run_loader_batch(
@@ -159,6 +193,11 @@ class EditSession(object):
         scene = session.scene
         n = len(scene)
         columns = session.batch_args(controls)
+        if self.guard is not None:
+            colors, total = self.guard.run_reader_batch(
+                self.caches, columns, n
+            )
+            return Image(scene.width, scene.height, colors, total)
         if self.table is not None:
             colors, total = B.run_dispatch(
                 self.table, self._variant_kernel, self.caches, columns, n
@@ -182,16 +221,17 @@ class RenderSession(object):
     """Drives one shader over one scene, with or without specialization."""
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
-                 width=16, height=16, backend=None):
+                 width=16, height=16, backend=None, guard=False):
         self.spec_info = SHADERS[shader_index]
         self.scene = scene if scene is not None else scene_for(
             shader_index, width, height
         )
         self.program = parse_program(shader_program_source(self.spec_info))
         self.specializer = DataSpecializer(
-            self.program, specializer_options, backend=backend
+            self.program, specializer_options, backend=backend, guard=guard
         )
         self.backend = self.specializer.backend
+        self.guard = self.specializer.guard
         self.controls = self.spec_info.default_controls()
         self._spec_memo = {}
         self._geometry_columns = None
@@ -259,7 +299,11 @@ class RenderSession(object):
 
     def _any_specialization(self):
         # The "original" stored on any specialization is the inlined
-        # fragment; the partition does not affect it.
+        # fragment.  Caveat: reassociation reorders operands around the
+        # invariant inputs, so originals from different partitions can
+        # differ in the last float ulp — callers needing bit-exact
+        # parity with one partition's fallback should pass that
+        # partition's specialization explicitly.
         return self.specialize(self.spec_info.control_params[0])
 
     def specialize(self, param, **overrides):
@@ -287,20 +331,27 @@ class RenderSession(object):
             self._spec_memo[key] = spec
         return spec
 
-    def begin_edit(self, param, dispatch=False, **overrides):
+    def begin_edit(self, param, dispatch=False, guard=None, injector=None,
+                   **overrides):
         """Start an interactive drag of ``param``.
 
         ``dispatch=True`` additionally builds the Section 7.2 dispatch
         table and renders through per-pixel selected reader variants
         (falls back to the plain reader when the shader has no dispatch
-        candidates)."""
+        candidates).  ``guard`` overrides the session's guarded-execution
+        knob for this drag; ``injector`` attaches a
+        :class:`~repro.runtime.faultinject.FaultInjector` (implies
+        guarding)."""
         specialization = self.specialize(param, **overrides)
         table = None
         if dispatch:
             from ..transform.dispatch import build_dispatch_table
 
             table = build_dispatch_table(specialization)
-        return EditSession(self, specialization, param, table=table)
+        return EditSession(
+            self, specialization, param, table=table, guard=guard,
+            injector=injector,
+        )
 
 
 class ShaderInstallation(object):
@@ -317,11 +368,12 @@ class ShaderInstallation(object):
     """
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
-                 width=16, height=16, compile_code=True, backend=None):
+                 width=16, height=16, compile_code=True, backend=None,
+                 guard=False):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
-            width=width, height=height, backend=backend,
+            width=width, height=height, backend=backend, guard=guard,
         )
         self.specializations = {}
         self.stats = {}
@@ -346,14 +398,17 @@ class ShaderInstallation(object):
     def partitions(self):
         return list(self.specializations)
 
-    def edit(self, param):
+    def edit(self, param, guard=None, injector=None):
         """Start a drag using the pre-built specialization."""
         if param not in self.specializations:
             raise SpecializationError(
                 "%r is not a control parameter of shader %r"
                 % (param, self.spec_info.name)
             )
-        return EditSession(self.session, self.specializations[param], param)
+        return EditSession(
+            self.session, self.specializations[param], param, guard=guard,
+            injector=injector,
+        )
 
     def describe(self):
         lines = [

@@ -1,0 +1,49 @@
+"""Non-gating fault smoke (deselected by default; run with -m faultsmoke).
+
+Wraps ``tools/fault_smoke.py``: every shader x partition renders a
+guarded 8x8 drag session on both backends at 5% seeded cache
+corruption, asserting frame completion and bit-exact reference parity
+for every fallback pixel, then records fallback rates under the
+``fault_injection`` key of ``BENCH_render.json``.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "fault_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("fault_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.faultsmoke
+def test_fault_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Pre-seed with fake perf data to prove the merge preserves it.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 42.0}, handle)
+
+    report = tool.run(out_path=out_path)
+    assert report["partitions"] > 0
+    for backend in ("scalar", "batch"):
+        totals = report["backends"][backend]
+        assert totals["faults"] > 0, "the storm must actually fault"
+        assert 0.0 < totals["fallback_rate"] < 1.0
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 42.0  # perf data survived
+    assert written["fault_injection"]["seed"] == tool.SEED
+    assert set(written["fault_injection"]["backends"]) == {"scalar", "batch"}

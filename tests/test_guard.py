@@ -1,0 +1,276 @@
+"""Guarded execution: per-pixel fault containment and recovery.
+
+The robustness contract under test:
+
+* **zero-fault identity** — with the guard on and nothing injected, a
+  frame's colors *and* its abstract CostMeter totals are byte-identical
+  to the unguarded run on both backends;
+* **containment** — under injected cache corruption or forced kernel
+  faults, the frame still completes; every faulted pixel bit-matches
+  ``render_reference`` (the fallback *is* ``run_original``), and every
+  clean pixel bit-matches the corresponding unfaulted run;
+* **diagnostics** — incidents land in a structured
+  :class:`~repro.runtime.guard.FaultLog`, and cache-read faults carry
+  the slot's originating expression.
+"""
+
+import pytest
+
+from repro.lang.errors import CacheFault, EvalError
+from repro.runtime.faultinject import FaultInjector
+from repro.runtime.guard import FaultLog, GuardedExecutor
+from repro.shaders.render import RenderSession
+
+from tests.helpers import specialize_source
+
+BACKENDS = ("scalar", "batch")
+
+
+def _frames(session, edit, drag_controls):
+    loaded = edit.load(session.controls)
+    adjusted = edit.adjust(drag_controls)
+    return loaded, adjusted
+
+
+class TestZeroFaultIdentity:
+    """Guard enabled + no faults ⇒ bit-identical colors and costs."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dispatch", (False, True))
+    def test_byte_identical(self, backend, dispatch):
+        plain = RenderSession(1, width=6, height=6, backend=backend)
+        guarded = RenderSession(1, width=6, height=6, backend=backend,
+                                guard=True)
+        drag = plain.controls_with(
+            **{plain.spec_info.control_params[0]:
+               plain.controls[plain.spec_info.control_params[0]] * 1.25}
+        )
+        param = plain.spec_info.control_params[0]
+        e0 = plain.begin_edit(param, dispatch=dispatch)
+        e1 = guarded.begin_edit(param, dispatch=dispatch)
+        l0, a0 = _frames(plain, e0, drag)
+        l1, a1 = _frames(guarded, e1, drag)
+        assert l1.colors == l0.colors
+        assert a1.colors == a0.colors
+        assert l1.total_cost == l0.total_cost
+        assert a1.total_cost == a0.total_cost
+        assert len(e1.fault_log) == 0
+        assert e1.fault_log.summary() == "no faults"
+
+
+class TestCacheCorruptionRecovery:
+    """Corrupt slots after load; adjust must heal the damaged pixels."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_faulted_pixels_match_reference(self, backend):
+        session = RenderSession(1, width=6, height=6, backend=backend,
+                                guard=True)
+        param = session.spec_info.control_params[0]
+        drag = session.controls_with(**{param: session.controls[param] * 1.3})
+
+        clean_edit = session.begin_edit(param)
+        clean_edit.load(session.controls)
+        clean = clean_edit.adjust(drag)
+
+        edit = session.begin_edit(param)
+        edit.load(session.controls)
+        injector = FaultInjector(seed=7, cache_rate=0.3)
+        corrupted = injector.corrupt_caches(edit.caches)
+        assert corrupted > 0
+
+        adjusted = edit.adjust(drag)
+        reference = session.render_reference(drag)
+        bad = set(edit.fault_log.pixels)
+        assert bad, "corruption must surface as contained faults"
+        for i in range(len(session.scene)):
+            if i in bad:
+                assert adjusted.colors[i] == reference.colors[i], i
+            else:
+                assert adjusted.colors[i] == clean.colors[i], i
+        assert edit.fault_log.fallback_cost > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_on_recovery(self, backend):
+        """The same seed corrupts the same (lane, slot) sites on both
+        cache representations, and recovery bit-matches the reference
+        either way."""
+        session = RenderSession(3, width=5, height=5, backend=backend,
+                                guard=True)
+        param = session.spec_info.control_params[0]
+        drag = session.controls_with(**{param: session.controls[param] * 0.8})
+        edit = session.begin_edit(param)
+        edit.load(session.controls)
+        FaultInjector(seed=11, cache_rate=0.2).corrupt_caches(edit.caches)
+        adjusted = edit.adjust(drag)
+        reference = session.render_reference(drag)
+        for i in edit.fault_log.pixels:
+            assert adjusted.colors[i] == reference.colors[i], i
+
+
+class TestForcedKernelFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dispatch", (False, True))
+    def test_frame_completes_under_forced_faults(self, backend, dispatch):
+        session = RenderSession(6, width=5, height=5, backend=backend)
+        injector = FaultInjector(seed=3, kernel_rate=0.2)
+        param = session.spec_info.control_params[0]
+        edit = session.begin_edit(param, dispatch=dispatch, injector=injector)
+        drag = session.controls_with(**{param: session.controls[param] * 1.25})
+        loaded, adjusted = _frames(session, edit, drag)
+        n = len(session.scene)
+        assert len(loaded.colors) == n
+        assert len(adjusted.colors) == n
+
+        reference = session.render_reference(drag)
+        for i in edit.fault_log.pixels:
+            assert adjusted.colors[i] == reference.colors[i], i
+        plain = session.begin_edit(param, dispatch=dispatch)
+        _, clean = _frames(session, plain, drag)
+        for i in set(range(n)) - set(edit.fault_log.pixels):
+            assert adjusted.colors[i] == clean.colors[i], i
+        assert edit.fault_log.count("load") > 0
+        assert edit.fault_log.count("adjust") > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_loader_fault_poisons_pixel_for_adjust(self, backend):
+        """A pixel whose loader faulted has no trustworthy cache — every
+        later adjust must fall back for it, and the load-phase frame
+        itself must already show the reference color."""
+        session = RenderSession(1, width=4, height=4, backend=backend)
+        injector = FaultInjector(seed=5, kernel_rate=0.15)
+        param = session.spec_info.control_params[0]
+        edit = session.begin_edit(param, injector=injector)
+        loaded = edit.load(session.controls)
+        failed = set(edit.guard.failed_pixels)
+        assert failed, "seed must force at least one load fault"
+        base_reference = session.render_reference(session.controls)
+        for i in failed:
+            assert loaded.colors[i] == base_reference.colors[i], i
+
+        drag = session.controls_with(**{param: session.controls[param] * 1.5})
+        adjusted = edit.adjust(drag)
+        reference = session.render_reference(drag)
+        adjust_pixels = {
+            i.pixel for i in edit.fault_log if i.phase == "adjust"
+        }
+        assert failed <= adjust_pixels
+        for i in failed:
+            assert adjusted.colors[i] == reference.colors[i], i
+
+
+class TestFaultLog:
+    def test_incident_fields_and_summary(self):
+        log = FaultLog()
+        log.record("load", 3, 1, "boom", 40)
+        log.record("adjust", 3, None, "bang", 25)
+        log.record("adjust", 5, None, "crunch", 25)
+        assert len(log) == 3
+        assert log.pixels == [3, 5]
+        assert log.count("load") == 1
+        assert log.count("adjust") == 2
+        assert log.fallback_cost == 90
+        incident = list(log)[0]
+        assert incident.phase == "load"
+        assert incident.pixel == 3
+        assert incident.slot == 1
+        assert incident.error == "boom"
+        assert incident.fallback_cost == 40
+        assert "3 faults" in log.summary()
+        log.clear()
+        assert log.summary() == "no faults"
+
+    def test_injector_records_ground_truth(self):
+        injector = FaultInjector(seed=9, cache_rate=1.0, modes=("nan",))
+        caches = [[1.0, 2.0], [3.0, None]]
+        count = injector.corrupt_caches(caches)
+        assert count == 3  # the unfilled slot is skipped
+        assert all(kind == "cache" for kind, _, _, _ in injector.injected)
+
+    def test_injector_is_deterministic(self):
+        a = FaultInjector(seed=4, kernel_rate=0.3)
+        b = FaultInjector(seed=4, kernel_rate=0.3)
+        assert a.forced_lanes("load", 50) == b.forced_lanes("load", 50)
+        assert a.forced_lanes("load", 50) != a.forced_lanes("adjust", 50)
+
+
+SRC = """
+float f(float a, float b) {
+    float t = a * a + 3.0;
+    return t * b;
+}
+"""
+
+
+class TestCacheFaultDiagnostics:
+    def test_unfilled_read_names_slot_source(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        cache = spec.new_cache()  # never ran the loader
+        with pytest.raises(CacheFault) as err:
+            spec.run_reader(cache, [2.0, 5.0])
+        message = str(err.value)
+        assert "slot 0" in message
+        assert "`" in message  # quotes the originating expression
+        assert err.value.slot == 0
+
+    def test_ill_typed_read_detected(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        _, cache, _ = spec.run_loader([2.0, 5.0])
+        cache[0] = (1.0, 2.0, 3.0)  # vec3 in a float slot
+        with pytest.raises(CacheFault, match="ill-typed"):
+            spec.run_reader(cache, [2.0, 5.0])
+
+    def test_guarded_executor_contains_unfilled_read(self):
+        spec = specialize_source(SRC, "f", {"b"})
+        guard = GuardedExecutor(spec)
+        cache = spec.new_cache()
+        result, _ = guard.run_reader(cache, [2.0, 5.0], pixel=0)
+        expected, _ = spec.run_original([2.0, 5.0])
+        assert result == expected
+        assert len(guard.log) == 1
+        assert list(guard.log)[0].slot == 0
+
+
+class TestStepBudget:
+    LOOP = """
+    float spin(float n, float b) {
+        float i = 0.0;
+        float acc = 0.0;
+        while (i < n) {
+            acc = acc + i * b;
+            i = i + 1.0;
+        }
+        return acc;
+    }
+    """
+
+    def test_tiny_budget_trips_scalar(self):
+        spec = specialize_source(self.LOOP, "spin", {"b"}, max_steps=10)
+        with pytest.raises(EvalError, match="step budget"):
+            spec.run_original([1000000.0, 2.0])
+
+    def test_default_budget_suffices(self):
+        spec = specialize_source(self.LOOP, "spin", {"b"})
+        result, _ = spec.run_original([10.0, 2.0])
+        assert result == 90.0
+
+    def test_budget_threads_through_batch_fallback(self):
+        """The per-row interpreter fallback inside BatchKernel must obey
+        the configured budget too."""
+        spec = specialize_source(self.LOOP, "spin", {"b"}, max_steps=10)
+        kernel = spec.batch_original
+        assert kernel.max_steps == 10
+        with pytest.raises(EvalError, match="step budget"):
+            kernel._run_rows([[1000000.0], [2.0]], 1, None)
+
+    def test_guard_contains_budget_blowout(self):
+        """A step-budget fault in the *reader* is contained per pixel;
+        the fallback original still has the default budget via the
+        session's unspecialized interpreter."""
+        session = RenderSession(1, width=3, height=3, backend="scalar")
+        param = session.spec_info.control_params[0]
+        injector = FaultInjector(seed=2, kernel_rate=0.3)
+        edit = session.begin_edit(param, injector=injector)
+        edit.load(session.controls)
+        drag = session.controls_with(**{param: session.controls[param] * 1.1})
+        adjusted = edit.adjust(drag)
+        assert len(adjusted.colors) == len(session.scene)

@@ -1,0 +1,235 @@
+"""Persistence under corruption: integrity checks + recovery.
+
+A saved specialization is only trustworthy if a stale, torn, or edited
+artifact set is *rejected* (with a typed
+:class:`~repro.lang.errors.ArtifactError`) rather than silently loaded —
+a reader paired with the wrong loader breaks the paper's Section 2
+cache-validity contract without any visible error.  These tests damage
+saved directories in every way ``load_specialization`` claims to detect
+and check the opt-in ``on_mismatch="respecialize"`` recovery path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.persist import load_specialization, save_specialization
+from repro.lang.errors import ArtifactError, SpecializationError
+from repro.runtime.faultinject import FaultInjector
+from repro.runtime.values import values_close
+
+from tests.helpers import specialize_source
+
+
+SRC = """
+float shade(float nx, float ny, float nz, float lx, float ly, float lz,
+            float gain) {
+    float d = nx*lx + ny*ly + nz*lz;
+    if (d < 0.0) {
+        d = 0.0;
+    }
+    return d * gain + 0.1;
+}
+"""
+
+ARGS = [0.0, 0.0, 1.0, 0.3, 0.4, 0.5, 2.0]
+VARIANT = [0.0, 0.0, 1.0, 0.3, 0.4, 0.5, 3.5]
+
+
+@pytest.fixture
+def saved(tmp_path):
+    spec = specialize_source(SRC, "shade", {"gain"})
+    directory = str(tmp_path / "spec")
+    save_specialization(spec, directory)
+    return spec, directory
+
+
+def _edit_meta(directory, mutate):
+    path = os.path.join(directory, "spec.json")
+    with open(path) as handle:
+        meta = json.load(handle)
+    mutate(meta)
+    with open(path, "w") as handle:
+        json.dump(meta, handle)
+
+
+class TestIntegrityRejection:
+    def test_truncated_loader_rejected(self, saved):
+        _, directory = saved
+        FaultInjector(seed=1).truncate_file(
+            os.path.join(directory, "loader.ds"), keep=0.5
+        )
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            load_specialization(directory)
+
+    def test_garbled_reader_rejected(self, saved):
+        _, directory = saved
+        FaultInjector(seed=2).garble_file(os.path.join(directory, "reader.ds"))
+        # Depending on the junk bytes this is caught as undecodable text
+        # or as a checksum mismatch; both are "corrupted".
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_specialization(directory)
+
+    def test_edited_fragment_rejected(self, saved):
+        """Hand-editing a source file invalidates its checksum — the
+        reader on disk no longer matches the fragment it claims to
+        specialize."""
+        _, directory = saved
+        path = os.path.join(directory, "fragment.ds")
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace("0.1", "0.25"))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            load_specialization(directory)
+
+    def test_edited_spec_json_fingerprint_mismatch(self, saved):
+        """Editing metadata (here: a slot's recorded expression) without
+        regenerating the artifacts trips the fingerprint even when all
+        per-file checksums still verify."""
+        _, directory = saved
+
+        def mutate(meta):
+            meta["slots"][0]["source"] = "nx * 999.0"
+
+        _edit_meta(directory, mutate)
+        with pytest.raises(ArtifactError, match="fingerprint mismatch"):
+            load_specialization(directory)
+
+    def test_torn_spec_json_rejected(self, saved):
+        _, directory = saved
+        FaultInjector(seed=3).truncate_file(
+            os.path.join(directory, "spec.json"), keep=0.6
+        )
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            load_specialization(directory)
+
+    def test_spec_json_non_object_rejected(self, saved):
+        _, directory = saved
+        path = os.path.join(directory, "spec.json")
+        with open(path, "w") as handle:
+            handle.write("[1, 2, 3]\n")
+        with pytest.raises(ArtifactError, match="JSON object"):
+            load_specialization(directory)
+
+    def test_missing_source_rejected(self, saved):
+        _, directory = saved
+        os.remove(os.path.join(directory, "reader.ds"))
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_specialization(directory)
+
+    def test_missing_sidecar_rejected(self, saved):
+        _, directory = saved
+        os.remove(os.path.join(directory, "spec.json"))
+        with pytest.raises(ArtifactError):
+            load_specialization(directory)
+
+    def test_version_skew_rejected(self, saved):
+        _, directory = saved
+        _edit_meta(directory, lambda meta: meta.update(version=99))
+        with pytest.raises(ArtifactError, match="version"):
+            load_specialization(directory)
+
+    def test_missing_checksums_rejected(self, saved):
+        _, directory = saved
+        _edit_meta(directory, lambda meta: meta.pop("checksums"))
+        with pytest.raises(ArtifactError, match="no checksums"):
+            load_specialization(directory)
+
+    def test_artifact_error_is_specialization_error(self):
+        # Callers that predate the typed error still catch it.
+        assert issubclass(ArtifactError, SpecializationError)
+
+    def test_invalid_on_mismatch_rejected(self, saved):
+        _, directory = saved
+        with pytest.raises(ValueError, match="on_mismatch"):
+            load_specialization(directory, on_mismatch="shrug")
+
+
+class TestRespecializeRecovery:
+    def _check_runs_like(self, original, reloaded):
+        expected, cache_a, _ = original.run_loader(ARGS)
+        got, cache_b, _ = reloaded.run_loader(ARGS)
+        assert values_close(expected, got)
+        assert cache_a == cache_b
+        expected, _ = original.run_reader(cache_a, VARIANT)
+        got, _ = reloaded.run_reader(cache_b, VARIANT)
+        assert values_close(expected, got)
+
+    def test_recovers_from_truncated_loader(self, saved):
+        original, directory = saved
+        FaultInjector(seed=4).truncate_file(
+            os.path.join(directory, "loader.ds"), keep=0.3
+        )
+        recovered = load_specialization(directory, on_mismatch="respecialize")
+        self._check_runs_like(original, recovered)
+
+    def test_recovery_resaves_clean_artifacts(self, saved):
+        original, directory = saved
+        os.remove(os.path.join(directory, "reader.ds"))
+        load_specialization(directory, on_mismatch="respecialize")
+        # The directory was healed in place: a strict load now passes.
+        reloaded = load_specialization(directory)
+        self._check_runs_like(original, reloaded)
+
+    def test_recovery_needs_fragment(self, saved):
+        """Respecialization reruns the specializer over fragment.ds; with
+        that gone too, even recovery must fail loudly."""
+        _, directory = saved
+        os.remove(os.path.join(directory, "fragment.ds"))
+        with pytest.raises(ArtifactError):
+            load_specialization(directory, on_mismatch="respecialize")
+
+    def test_recovery_needs_sidecar_metadata(self, saved):
+        """A torn spec.json loses the partition/options, so there is
+        nothing to respecialize *to*."""
+        _, directory = saved
+        path = os.path.join(directory, "spec.json")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        with pytest.raises(ArtifactError):
+            load_specialization(directory, on_mismatch="respecialize")
+
+    def test_recovery_rejects_renamed_fragment(self, saved):
+        _, directory = saved
+        os.remove(os.path.join(directory, "loader.ds"))
+        path = os.path.join(directory, "fragment.ds")
+        with open(path) as handle:
+            text = handle.read()
+        with open(path, "w") as handle:
+            handle.write(text.replace("shade", "other"))
+        with pytest.raises(ArtifactError):
+            load_specialization(directory, on_mismatch="respecialize")
+
+
+class TestSaveHygiene:
+    def test_atomic_save_leaves_no_temp_files(self, saved):
+        _, directory = saved
+        assert not [n for n in os.listdir(directory) if n.endswith(".tmp")]
+
+    def test_sidecar_carries_checksums_and_fingerprint(self, saved):
+        _, directory = saved
+        with open(os.path.join(directory, "spec.json")) as handle:
+            meta = json.load(handle)
+        assert set(meta["checksums"]) == {
+            "fragment.ds", "loader.ds", "reader.ds"
+        }
+        assert all(len(v) == 64 for v in meta["checksums"].values())
+        assert len(meta["fingerprint"]) == 64
+
+    def test_resave_over_existing_directory(self, saved, tmp_path):
+        original, directory = saved
+        spec = specialize_source(SRC, "shade", {"gain"})
+        save_specialization(spec, directory)
+        self_check = load_specialization(directory)
+        result, cache, _ = self_check.run_loader(ARGS)
+        expected, _ = original.run_original(ARGS)
+        assert values_close(result, expected)
+
+    def test_slots_persist_origin_nid(self, saved):
+        original, directory = saved
+        reloaded = load_specialization(directory)
+        assert [s.origin_nid for s in reloaded.layout] == [
+            s.origin_nid for s in original.layout
+        ]

@@ -111,8 +111,20 @@ def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
             for name, result in (("scalar", scalar), ("batch", batch))
         },
     }
+    # Read-modify-write: keep sections other tools own (e.g. the
+    # fault_injection rates from tools/fault_smoke.py).
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged.update(report)
     with open(out_path, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(merged, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
     if HAVE_NUMPY:

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Fault-tolerance smoke: every shader under a seeded fault storm.
+
+For every built-in shader and every control-parameter partition, renders
+a small guarded drag session on both backends while a deterministic
+:class:`~repro.runtime.faultinject.FaultInjector` corrupts 5% of the
+per-pixel cache slots between ``load()`` and ``adjust()``.  Asserts the
+robustness contract end to end:
+
+* the frame always completes (no fault escapes the guard);
+* every faulted pixel bit-matches ``render_reference`` — the fallback
+  *is* the unspecialized shader;
+* every clean pixel bit-matches the unfaulted guarded adjust.
+
+Fallback rates per backend are merged into ``BENCH_render.json`` under a
+``fault_injection`` key (read-modify-write: the perf numbers written by
+``tools/bench_smoke.py`` are preserved).
+
+Run directly::
+
+    python tools/fault_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m faultsmoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.runtime.faultinject import FaultInjector  # noqa: E402
+from repro.shaders.render import RenderSession  # noqa: E402
+from repro.shaders.sources import SHADERS  # noqa: E402
+
+SIZE = 8
+SEED = 1996
+CACHE_RATE = 0.05
+BACKENDS = ("scalar", "batch")
+
+
+def _run_partition(shader, param, backend):
+    """One guarded drag session under corruption; returns fault stats."""
+    session = RenderSession(shader, width=SIZE, height=SIZE, backend=backend,
+                            guard=True)
+    drag = session.controls_with(**{param: session.controls[param] * 1.25})
+
+    clean_edit = session.begin_edit(param)
+    clean_edit.load(session.controls)
+    clean = clean_edit.adjust(drag)
+
+    edit = session.begin_edit(param)
+    edit.load(session.controls)
+    assert len(edit.fault_log) == 0, (
+        "shader %d %r (%s): faults before any injection" % (
+            shader, param, backend)
+    )
+    injector = FaultInjector(seed=SEED, cache_rate=CACHE_RATE)
+    corrupted = injector.corrupt_caches(edit.caches)
+
+    adjusted = edit.adjust(drag)
+    # Reassociation is partition-driven, so the bit-exact reference for
+    # this partition's fallback is its *own* inlined original.
+    reference = session.render_reference(
+        drag, specialization=session.specialize(param)
+    )
+    pixels = len(session.scene)
+    assert len(adjusted.colors) == pixels, (
+        "shader %d %r (%s): frame did not complete" % (shader, param, backend)
+    )
+    faulted = set(edit.fault_log.pixels)
+    for i in range(pixels):
+        expected = reference.colors[i] if i in faulted else clean.colors[i]
+        assert adjusted.colors[i] == expected, (
+            "shader %d %r (%s): pixel %d diverged under injection"
+            % (shader, param, backend, i)
+        )
+    return {
+        "corrupted_slots": corrupted,
+        "faults": len(edit.fault_log),
+        "fallback_pixels": len(faulted),
+        "fallback_cost": edit.fault_log.fallback_cost,
+    }
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    pixels = SIZE * SIZE
+    partitions = 0
+    per_backend = {
+        name: {"corrupted_slots": 0, "faults": 0, "fallback_pixels": 0,
+               "fallback_cost": 0, "pixels": 0}
+        for name in BACKENDS
+    }
+    for shader in sorted(SHADERS):
+        for param in SHADERS[shader].control_params:
+            partitions += 1
+            for backend in BACKENDS:
+                stats = _run_partition(shader, param, backend)
+                totals = per_backend[backend]
+                for key, value in stats.items():
+                    totals[key] += value
+                totals["pixels"] += pixels
+
+    report = {
+        "seed": SEED,
+        "cache_rate": CACHE_RATE,
+        "frame": "%dx%d" % (SIZE, SIZE),
+        "partitions": partitions,
+        "backends": {},
+    }
+    for name, totals in per_backend.items():
+        report["backends"][name] = dict(
+            totals,
+            fallback_rate=totals["fallback_pixels"] / float(totals["pixels"]),
+        )
+
+    # Merge into the perf report rather than clobbering it.
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["fault_injection"] = report
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main():
+    report = run()
+    for name in BACKENDS:
+        totals = report["backends"][name]
+        print(
+            "%-6s  %4d corruptions -> %4d faults, %4d/%d pixels fell back "
+            "(%.1f%%), fallback cost %d"
+            % (
+                name,
+                totals["corrupted_slots"],
+                totals["faults"],
+                totals["fallback_pixels"],
+                totals["pixels"],
+                100.0 * totals["fallback_rate"],
+                totals["fallback_cost"],
+            )
+        )
+    print(
+        "%d partitions x %s frames at %.0f%% cache corruption (seed %d)  "
+        "->  BENCH_render.json"
+        % (
+            report["partitions"], report["frame"],
+            100.0 * report["cache_rate"], report["seed"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
