@@ -27,6 +27,7 @@ library-level feature; drive those from Python.)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.annotate import annotate_function
@@ -129,13 +130,12 @@ def cmd_replay(args, out):
     --read-args occurrence."""
     from .core.persist import load_specialization
 
-    try:
-        spec = load_specialization(
-            args.directory,
-            on_mismatch="respecialize" if args.respecialize else "error",
-        )
-    except SpecializationError as exc:
-        raise SystemExit("cannot load: %s" % exc)
+    # Typed integrity/specialization errors propagate to main(), which
+    # reports them as a one-line message with exit code 2.
+    spec = load_specialization(
+        args.directory,
+        on_mismatch="respecialize" if args.respecialize else "error",
+    )
     load_args = [_parse_scalar(v) for v in args.load_args.split(",")]
     try:
         result, cache, cost = spec.run_loader(load_args)
@@ -186,6 +186,32 @@ def cmd_pe(args, out):
     return 0
 
 
+def _supervision_policy(args):
+    """A SupervisorPolicy from render/health flags, or None when no
+    supervision flag was given (render only; health always supervises)."""
+    from .runtime.supervise import SupervisorPolicy
+
+    kwargs = {}
+    if args.deadline_steps is not None:
+        kwargs["deadline_steps"] = args.deadline_steps
+    if args.breaker_threshold is not None:
+        kwargs["breaker_threshold"] = args.breaker_threshold
+    if not kwargs and not getattr(args, "supervise", True):
+        return None
+    return SupervisorPolicy(**kwargs)
+
+
+def _fault_summary(fault_log):
+    if fault_log is None:
+        return None
+    return {
+        "faults": len(fault_log),
+        "phases": fault_log.phase_counts(),
+        "dropped": fault_log.dropped,
+        "summary": fault_log.summary(),
+    }
+
+
 def cmd_render(args, out):
     """Render one of the built-in shaders through a drag session."""
     from .shaders.render import RenderSession
@@ -206,38 +232,110 @@ def cmd_render(args, out):
     session = RenderSession(
         args.shader, width=args.size, height=args.size, backend=args.backend,
         guard=args.guard or injector is not None,
+        policy=_supervision_policy(args),
     )
     param = args.param or session.spec_info.control_params[0]
     try:
         edit = session.begin_edit(
             param, dispatch=args.dispatch, injector=injector
         )
-    except (SourceError, SpecializationError) as exc:
+    except SourceError as exc:
         raise SystemExit("specialization failed: %s" % exc)
     image = edit.load(session.controls)
-    out.write(
-        "shader %d (%s): %dx%d via %s backend, drag %r\n"
-        % (args.shader, session.spec_info.name, session.scene.width,
-           session.scene.height, edit.backend, param)
-    )
-    out.write(
-        "load:   cost %d (%.1f/pixel), cache %dB/pixel\n"
-        % (image.total_cost, image.cost_per_pixel,
-           edit.cache_bytes_per_pixel)
-    )
     adjusted = edit.adjust(
         session.controls_with(**{param: session.controls[param] * 1.25})
     )
-    out.write(
-        "adjust: cost %d (%.1f/pixel)\n"
-        % (adjusted.total_cost, adjusted.cost_per_pixel)
+    health = (
+        session.supervisor.health() if session.supervisor is not None
+        else None
     )
-    if edit.fault_log is not None:
-        out.write("guard:  %s\n" % edit.fault_log.summary())
+    if args.json:
+        json.dump(
+            {
+                "shader": args.shader,
+                "name": session.spec_info.name,
+                "width": session.scene.width,
+                "height": session.scene.height,
+                "backend": edit.backend,
+                "param": param,
+                "load_cost": image.total_cost,
+                "adjust_cost": adjusted.total_cost,
+                "adjust_cost_per_pixel": adjusted.cost_per_pixel,
+                "cache_bytes_per_pixel": edit.cache_bytes_per_pixel,
+                "fault_log": _fault_summary(edit.fault_log),
+                "health": health.as_dict() if health is not None else None,
+            },
+            out, indent=2, sort_keys=True,
+        )
+        out.write("\n")
+    else:
+        out.write(
+            "shader %d (%s): %dx%d via %s backend, drag %r\n"
+            % (args.shader, session.spec_info.name, session.scene.width,
+               session.scene.height, edit.backend, param)
+        )
+        out.write(
+            "load:   cost %d (%.1f/pixel), cache %dB/pixel\n"
+            % (image.total_cost, image.cost_per_pixel,
+               edit.cache_bytes_per_pixel)
+        )
+        out.write(
+            "adjust: cost %d (%.1f/pixel)\n"
+            % (adjusted.total_cost, adjusted.cost_per_pixel)
+        )
+        if edit.fault_log is not None:
+            out.write("guard:  %s\n" % edit.fault_log.summary())
+        if health is not None:
+            out.write("supervision:\n")
+            for line in health.summary().splitlines():
+                out.write("  %s\n" % line)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(adjusted.to_ppm())
         out.write("wrote %s\n" % args.out)
+    return 0
+
+
+def cmd_health(args, out):
+    """Drive a supervised, guarded drag session — optionally under
+    injected cache corruption — and report the supervisor's health."""
+    from .runtime.faultinject import FaultInjector
+    from .shaders.render import RenderSession
+    from .shaders.sources import SHADERS
+
+    if args.shader not in SHADERS:
+        raise SystemExit(
+            "no shader %d (have %s)"
+            % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
+        )
+    session = RenderSession(
+        args.shader, width=args.size, height=args.size, backend=args.backend,
+        guard=True, policy=_supervision_policy(args),
+    )
+    param = args.param or session.spec_info.control_params[0]
+    edit = session.begin_edit(param)
+    edit.load(session.controls)
+    # Corrupt caches over the first half of the drag, then stop — the
+    # report shows the breaker tripping and the probe recovery.
+    corrupt_until = args.drags // 2 if args.corrupt_rate > 0.0 else 0
+    for i in range(args.drags):
+        if i < corrupt_until and edit.caches is not None:
+            FaultInjector(
+                seed=args.inject_seed + i, cache_rate=args.corrupt_rate
+            ).corrupt_caches(edit.caches)
+        value = session.controls[param] * (1.0 + 0.05 * (i + 1))
+        edit.adjust(session.controls_with(**{param: value}))
+    snapshot = session.supervisor.health()
+    if args.json:
+        out.write(snapshot.to_json() + "\n")
+    else:
+        out.write(
+            "shader %d (%s): %d drags of %r on the %s backend\n"
+            % (args.shader, session.spec_info.name, args.drags, param,
+               edit.backend)
+        )
+        for line in snapshot.summary().splitlines():
+            out.write("  %s\n" % line)
     return 0
 
 
@@ -329,8 +427,46 @@ def build_parser():
                         "--guard; for fault-tolerance demos)")
     p.add_argument("--inject-seed", type=int, default=0,
                    help="fault-injection seed")
+    p.add_argument("--supervise", action="store_true",
+                   help="route rendering through the resilient "
+                        "supervisor (degradation ladder + breakers)")
+    p.add_argument("--deadline-steps", type=int, default=None,
+                   help="per-request step budget for specialized "
+                        "kernels (implies --supervise)")
+    p.add_argument("--breaker-threshold", type=float, default=None,
+                   help="per-request pixel-fault rate that counts as a "
+                        "bad request for the circuit breaker (implies "
+                        "--supervise)")
+    p.add_argument("--json", action="store_true",
+                   help="emit render metrics, fault summary, and the "
+                        "supervisor HealthSnapshot as JSON")
     p.add_argument("--out", default=None, help="write the frame as PPM")
     p.set_defaults(handler=cmd_render)
+
+    p = sub.add_parser(
+        "health",
+        help="drive a supervised drag session and report supervisor "
+             "health (breakers, ladder rungs, incidents)",
+    )
+    p.add_argument("shader", type=int, help="shader index (1-10)")
+    p.add_argument("--size", type=int, default=16, help="image side length")
+    p.add_argument("--param", default=None,
+                   help="control parameter to drag (default: first)")
+    p.add_argument("--backend", default=None,
+                   choices=["scalar", "batch", "auto"])
+    p.add_argument("--drags", type=int, default=12,
+                   help="number of adjust requests to issue")
+    p.add_argument("--corrupt-rate", type=float, default=0.0,
+                   help="cache-corruption rate injected over the first "
+                        "half of the drags (demonstrates breaker trip "
+                        "and probe recovery)")
+    p.add_argument("--inject-seed", type=int, default=0,
+                   help="corruption seed")
+    p.add_argument("--deadline-steps", type=int, default=None)
+    p.add_argument("--breaker-threshold", type=float, default=None)
+    p.add_argument("--json", action="store_true",
+                   help="emit the HealthSnapshot as JSON")
+    p.set_defaults(handler=cmd_health)
 
     p = sub.add_parser(
         "report",
@@ -355,7 +491,15 @@ def cmd_report(args, out):
     return 0
 
 
-def main(argv=None, out=None):
+def main(argv=None, out=None, err=None):
     out = out or sys.stdout
+    err = err or sys.stderr
     args = build_parser().parse_args(argv)
-    return args.handler(args, out)
+    try:
+        return args.handler(args, out)
+    except SpecializationError as exc:
+        # Typed failures (artifact integrity, specialization,
+        # supervision exhaustion) are operational conditions, not bugs:
+        # one line on stderr, exit code 2, no traceback.
+        err.write("error: %s\n" % exc)
+        return 2

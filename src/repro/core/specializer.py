@@ -142,25 +142,41 @@ class Specialization(object):
     def new_cache(self):
         return self.layout.new_instance()
 
-    def run_original(self, args):
+    def _interp_for(self, max_steps):
+        """The shared interpreter, or a per-call one under a tighter
+        step budget (a supervisor deadline layered on the options)."""
+        if max_steps is None:
+            return self._interp
+        budget = self.options.max_steps
+        if budget is not None:
+            max_steps = min(max_steps, budget)
+        return Interpreter(max_steps=max_steps)
+
+    def run_original(self, args, max_steps=None):
         """Run the unspecialized fragment; returns (result, cost)."""
         meter = CostMeter()
-        result = self._interp.run(self.original, args, meter=meter)
+        result = self._interp_for(max_steps).run(
+            self.original, args, meter=meter
+        )
         return result, meter.total
 
-    def run_loader(self, args, cache=None):
+    def run_loader(self, args, cache=None, max_steps=None):
         """Run the loader; returns (result, cache, cost)."""
         if cache is None:
             cache = self.new_cache()
         meter = CostMeter()
-        result = self._interp.run(self.loader, args, cache=cache, meter=meter)
+        result = self._interp_for(max_steps).run(
+            self.loader, args, cache=cache, meter=meter
+        )
         return result, cache, meter.total
 
-    def run_reader(self, cache, args):
+    def run_reader(self, cache, args, max_steps=None):
         """Run the reader against a previously filled cache;
         returns (result, cost)."""
         meter = CostMeter()
-        result = self._interp.run(self.reader, args, cache=cache, meter=meter)
+        result = self._interp_for(max_steps).run(
+            self.reader, args, cache=cache, meter=meter
+        )
         return result, meter.total
 
     # -- batched execution ---------------------------------------------------
@@ -169,12 +185,27 @@ class Specialization(object):
         """One struct-of-arrays cache shared by ``n`` pixels."""
         return self.layout.new_batch_instance(n)
 
-    def _batch_kernel(self, which, fn):
-        if which not in self._batch:
-            self._batch[which] = BatchKernel(
-                fn, max_steps=self.options.max_steps
-            )
-        return self._batch[which]
+    def _batch_kernel(self, which, fn, max_steps=None):
+        key = which if max_steps is None else (which, max_steps)
+        if key not in self._batch:
+            budget = self.options.max_steps
+            if max_steps is not None:
+                budget = (
+                    max_steps if budget is None else min(max_steps, budget)
+                )
+            self._batch[key] = BatchKernel(fn, max_steps=budget)
+        return self._batch[key]
+
+    def batch_kernel(self, which, max_steps=None):
+        """The memoized :class:`BatchKernel` for ``"original"``,
+        ``"loader"``, or ``"reader"`` — optionally under a tighter
+        per-row step budget (memoized per budget)."""
+        fn = {
+            "original": self.original,
+            "loader": self.loader,
+            "reader": self.reader,
+        }[which]
+        return self._batch_kernel(which, fn, max_steps=max_steps)
 
     @property
     def batch_original(self):
@@ -229,13 +260,17 @@ class Specialization(object):
 
     # -- guarded execution ---------------------------------------------------
 
-    def guarded(self, table=None, injector=None, log=None):
+    def guarded(self, table=None, injector=None, log=None, max_steps=None):
         """A :class:`~repro.runtime.guard.GuardedExecutor` wrapping this
         specialization: per-pixel/lane fallback to ``run_original`` on
-        evaluation faults, with structured fault logging."""
+        evaluation faults, with structured fault logging.  ``max_steps``
+        tightens the specialized kernels' step budget (deadlines)."""
         from ..runtime.guard import GuardedExecutor
 
-        return GuardedExecutor(self, table=table, injector=injector, log=log)
+        return GuardedExecutor(
+            self, table=table, injector=injector, log=log,
+            max_steps=max_steps,
+        )
 
     @property
     def original_source(self):
@@ -261,7 +296,8 @@ class Specialization(object):
 class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
-    def __init__(self, program, options=None, backend=None, guard=False):
+    def __init__(self, program, options=None, backend=None, guard=False,
+                 policy=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
@@ -273,6 +309,12 @@ class DataSpecializer(object):
         #: drivers built on this specializer wrap loader/reader runs in
         #: a :class:`~repro.runtime.guard.GuardedExecutor`.
         self.guard = bool(guard)
+        #: Session-level supervision policy: a
+        #: :class:`~repro.runtime.supervise.SupervisorPolicy` that
+        #: drivers built on this specializer use to construct their
+        #: :class:`~repro.runtime.supervise.RenderSupervisor` (None
+        #: leaves execution unsupervised).
+        self.policy = policy
         # Whole-program check up front: errors surface on the original
         # source, not on transformed internals.
         check_program(self.program)

@@ -62,6 +62,15 @@ class ArtifactError(SpecializationError):
     """
 
 
+class SupervisionError(SpecializationError):
+    """Raised when a supervised render request exhausts every rung of
+    the degradation ladder (specialized kernels, the unspecialized
+    original, and the last-known-good frame) without producing a frame.
+    Subclasses :class:`SpecializationError` so existing handlers keep
+    working.
+    """
+
+
 class EvalError(Exception):
     """Raised by the interpreter for runtime faults (division by zero,
     use of an uninitialized variable, arity mismatches)."""
@@ -77,6 +86,16 @@ class CacheFault(EvalError):
     def __init__(self, message, slot=None):
         super().__init__(message)
         self.slot = slot
+
+
+class DeadlineError(EvalError):
+    """A per-request deadline (step or wall budget) was exceeded.
+
+    Raised by supervised rung execution so the supervisor can attribute
+    the abort to the deadline rather than a data fault; subclasses
+    :class:`EvalError` so unsupervised callers see an ordinary
+    evaluation fault.
+    """
 
 
 # Public, collision-free alias.

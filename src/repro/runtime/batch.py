@@ -64,12 +64,22 @@ class SoACache(object):
     :meth:`row` views that speak the scalar interpreter's list protocol.
     """
 
-    __slots__ = ("layout", "n", "columns")
+    __slots__ = ("layout", "n", "columns", "filled")
 
     def __init__(self, layout, n):
         self.layout = layout
         self.n = n
         self.columns = [None] * len(layout)
+        #: Per-column filled tracking for *array* columns, which cannot
+        #: hold ``None`` holes the way list columns do: ``True`` when
+        #: every lane was stored, or a boolean lane mask when only a
+        #: divergent (masked) store reached the column.  List columns
+        #: encode unfilled lanes as ``None`` and keep ``None`` here.
+        #: Without this, lanes a masked store skipped read back as the
+        #: fill value (0) and are indistinguishable from real data —
+        #: fault injection and validity scans need the distinction to
+        #: agree with the scalar backend's per-pixel ``None`` slots.
+        self.filled = [None] * len(layout)
 
     # -- full-width access (vectorized kernels) ------------------------------
 
@@ -93,6 +103,7 @@ class SoACache(object):
         value = self._widen(value)
         if mask is None:
             self.columns[index] = value
+            self.filled[index] = True
             return
         old = self.columns[index]
         if old is None:
@@ -100,6 +111,14 @@ class SoACache(object):
         elif isinstance(old, list):
             old = self._densify(index, old)
         m = _np.asarray(mask)
+        lanes = m.astype(bool)
+        prev = self.filled[index]
+        if prev is True:
+            pass  # already fully filled; a masked overwrite keeps it so
+        elif prev is None:
+            self.filled[index] = lanes.copy()
+        else:
+            self.filled[index] = prev | lanes
         if getattr(value, "ndim", 0) == 2:
             m = m[..., None]
         self.columns[index] = _np.where(m, value, old)
@@ -123,6 +142,7 @@ class SoACache(object):
         dtype = _np.int64 if ty is INT else float
         dense = _np.asarray(column, dtype=dtype)
         self.columns[index] = dense
+        self.filled[index] = True
         return dense
 
     # -- per-lane access (scalar fallback) -----------------------------------
@@ -130,6 +150,37 @@ class SoACache(object):
     def row(self, i):
         """A list-protocol view of lane ``i`` for the scalar interpreter."""
         return _CacheRow(self, i)
+
+    def lane_filled(self, index, lane):
+        """True when the loader actually stored slot ``index`` for
+        ``lane`` — the SoA analog of a scalar slot not being ``None``."""
+        column = self.columns[index]
+        if column is None:
+            return False
+        if HAVE_NUMPY and isinstance(column, _np.ndarray):
+            mask = self.filled[index]
+            if mask is None or mask is True:
+                return True
+            return bool(mask[lane])
+        return column[lane] is not None
+
+    def demote_column(self, index):
+        """Convert an array column to the list representation, restoring
+        ``None`` holes for lanes a masked store never reached.  Returns
+        the list (already installed in :attr:`columns`)."""
+        column = self.columns[index]
+        if not (HAVE_NUMPY and isinstance(column, _np.ndarray)):
+            return column
+        if column.ndim == 2:
+            rows = [tuple(row) for row in column.tolist()]
+        else:
+            rows = column.tolist()
+        mask = self.filled[index]
+        if mask is not None and mask is not True:
+            rows = [v if mask[i] else None for i, v in enumerate(rows)]
+        self.columns[index] = rows
+        self.filled[index] = None
+        return rows
 
     def gather(self, idx):
         """A sub-cache holding only the selected lanes (dispatch grouping)."""
@@ -139,6 +190,10 @@ class SoACache(object):
                 continue
             if HAVE_NUMPY and isinstance(column, _np.ndarray):
                 sub.columns[k] = column[idx]
+                mask = self.filled[k]
+                sub.filled[k] = (
+                    mask if mask is None or mask is True else mask[idx]
+                )
             else:
                 sub.columns[k] = [column[i] for i in idx]
         return sub
@@ -169,15 +224,20 @@ class _CacheRow(object):
         if column is None:
             return None
         if HAVE_NUMPY and isinstance(column, _np.ndarray):
+            if not self.cache.lane_filled(index, self.i):
+                return None  # masked store skipped this lane
             if column.ndim == 2:
                 return tuple(column[self.i].tolist())
             return column[self.i].item()
         return column[self.i]
 
     def __setitem__(self, index, value):
-        columns = self.cache.columns
+        cache = self.cache
+        columns = cache.columns
         if columns[index] is None:
-            columns[index] = [None] * self.cache.n
+            columns[index] = [None] * cache.n
+        elif HAVE_NUMPY and isinstance(columns[index], _np.ndarray):
+            cache.demote_column(index)
         columns[index][self.i] = value
 
 
@@ -263,6 +323,15 @@ def value_rows(values, n):
     """Per-lane Python values of a result column (tuples for vec3/mat3) —
     bitwise equal to what the scalar path would have produced."""
     return _column_rows(values, n)
+
+
+def cost_rows(lane_costs, n):
+    """Per-lane step costs from :meth:`BatchKernel.run_lanes` as a list
+    of Python ints (the vectorized path yields an int64 array, the
+    per-row fallback a list)."""
+    if isinstance(lane_costs, list):
+        return [int(c) for c in lane_costs]
+    return [int(c) for c in lane_costs.tolist()]
 
 
 def run_dispatch(table, kernel_for, cache, columns, n):

@@ -101,48 +101,42 @@ class FaultInjector(object):
     def _corrupt_soa(self, cache):
         count = 0
         for slot in range(len(cache.layout)):
-            column = cache.columns[slot]
-            if column is None:
+            if cache.columns[slot] is None:
                 continue
             for lane in range(cache.n):
                 mode = self._pick("cache", lane, slot)
                 if mode is None:
                     continue
-                poisoned = self._poison_soa_lane(
-                    cache.columns[slot], lane, mode
-                )
-                if poisoned is None:  # lane already unfilled; nothing to do
+                if not cache.lane_filled(slot, lane):
+                    # Same skip rule as a scalar ``None`` slot: an
+                    # unfilled lane holds nothing to corrupt, so both
+                    # backends plant at identical logical sites.
                     continue
-                cache.columns[slot] = poisoned
+                self._poison_soa_lane(cache, slot, lane, mode)
                 self.injected.append(("cache", lane, slot, mode))
                 count += 1
         return count
 
     @staticmethod
-    def _poison_soa_lane(column, lane, mode):
-        """Corrupt one lane of one column; returns the (possibly
-        re-typed) column, or None when the lane held no value."""
+    def _poison_soa_lane(cache, slot, lane, mode):
+        """Corrupt one filled lane of one column in place."""
         bad = float("nan") if mode == "nan" else float("inf")
+        column = cache.columns[slot]
         if HAVE_NUMPY and isinstance(column, _np.ndarray):
             if mode == "clear" or column.dtype.kind != "f":
                 # Arrays cannot hold None (or NaN in int columns):
                 # demote to the list representation row-written caches
-                # already use, then corrupt the one lane.
-                if column.ndim == 2:
-                    column = [tuple(row) for row in column.tolist()]
-                else:
-                    column = column.tolist()
+                # already use (restoring any masked-store holes), then
+                # corrupt the one lane.
+                column = cache.demote_column(slot)
                 column[lane] = None if mode == "clear" else bad
-                return column
+                return
             if column.ndim == 2:
                 column[lane, 0] = bad
             else:
                 column[lane] = bad
-            return column
-        if column[lane] is None:
-            return None
+            return
         column[lane] = _poison_value(column[lane], mode)
-        return column
 
     # -- persisted-artifact damage -------------------------------------------
 

@@ -32,6 +32,7 @@ original for it as well.
 from __future__ import annotations
 
 import math
+from collections import deque
 
 from ..lang.errors import EvalError, SpecializationError
 from . import batch as B
@@ -95,51 +96,99 @@ class FaultIncident(object):
         )
 
 
+#: Default bound on retained incidents (see :class:`FaultLog`).
+DEFAULT_MAX_INCIDENTS = 1024
+
+
 class FaultLog(object):
     """Structured record of every fault a :class:`GuardedExecutor`
-    contained."""
+    contained.
 
-    def __init__(self):
-        self.incidents = []
+    Incident objects are kept in a capped ring buffer (``max_incidents``
+    most recent) so a sustained fault storm — millions of pixels falling
+    back frame after frame — cannot grow memory without bound.  The
+    aggregates survive eviction: ``len``, :meth:`count`,
+    :attr:`fallback_cost`, and the per-phase tallies always reflect
+    *every* fault ever recorded; :attr:`dropped` says how many incident
+    records were evicted from the ring.  Iteration and :attr:`incidents`
+    yield the retained (most recent) incidents, oldest first.
+    """
+
+    def __init__(self, max_incidents=DEFAULT_MAX_INCIDENTS):
+        if max_incidents < 1:
+            raise ValueError("max_incidents must be >= 1")
+        self.max_incidents = max_incidents
+        self._recent = deque(maxlen=max_incidents)
+        #: Incident records evicted from the ring (aggregates still
+        #: count them).
+        self.dropped = 0
+        self._total = 0
+        self._phase_counts = {}
+        self._fallback_cost = 0
 
     def record(self, phase, pixel, slot, error, fallback_cost):
-        self.incidents.append(
+        self._total += 1
+        self._phase_counts[phase] = self._phase_counts.get(phase, 0) + 1
+        self._fallback_cost += fallback_cost
+        if len(self._recent) == self.max_incidents:
+            self.dropped += 1
+        self._recent.append(
             FaultIncident(phase, pixel, slot, str(error), fallback_cost)
         )
 
+    @property
+    def incidents(self):
+        """The retained incidents, oldest first (bounded ring view)."""
+        return list(self._recent)
+
     def __len__(self):
-        return len(self.incidents)
+        return self._total
 
     def __iter__(self):
-        return iter(self.incidents)
+        return iter(list(self._recent))
 
     def clear(self):
-        del self.incidents[:]
+        self._recent.clear()
+        self.dropped = 0
+        self._total = 0
+        self._phase_counts = {}
+        self._fallback_cost = 0
 
     @property
     def pixels(self):
-        """Sorted distinct pixel indices that needed a fallback."""
-        return sorted({i.pixel for i in self.incidents if i.pixel is not None})
+        """Sorted distinct pixel indices among the *retained* incidents
+        that needed a fallback."""
+        return sorted({i.pixel for i in self._recent if i.pixel is not None})
 
     @property
     def fallback_cost(self):
-        return sum(i.fallback_cost for i in self.incidents)
+        """Total metered fallback cost, including evicted incidents."""
+        return self._fallback_cost
 
     def count(self, phase=None):
+        """Faults recorded (per phase, or overall), including evicted
+        incidents."""
         if phase is None:
-            return len(self.incidents)
-        return sum(1 for i in self.incidents if i.phase == phase)
+            return self._total
+        return self._phase_counts.get(phase, 0)
+
+    def phase_counts(self):
+        """Aggregate per-phase fault tallies as a dict copy."""
+        return dict(self._phase_counts)
 
     def summary(self):
-        if not self.incidents:
+        if not self._total:
             return "no faults"
-        return "%d faults (load %d, adjust %d) on %d pixels, fallback cost %d" % (
-            len(self.incidents),
+        text = "%d faults (load %d, adjust %d) on %d pixels, fallback cost %d" % (
+            self._total,
             self.count("load"),
             self.count("adjust"),
             len(self.pixels),
-            self.fallback_cost,
+            self._fallback_cost,
         )
+        if self.dropped:
+            text += " (%d incident records dropped)" % self.dropped
+        return text
 
 
 class GuardedExecutor(object):
@@ -151,9 +200,16 @@ class GuardedExecutor(object):
     :class:`~repro.runtime.faultinject.FaultInjector` whose forced
     kernel faults the guard honors — tests use it to prove frames
     complete under deterministic fault storms.
+
+    ``max_steps`` tightens the interpreter step budget for the
+    *specialized* kernels only (a render supervisor's per-request
+    deadline); the ``run_original`` fallback keeps the specialization's
+    configured budget, so it stays the safety valve even when the
+    deadline is set below the shader's own cost.
     """
 
-    def __init__(self, specialization, table=None, injector=None, log=None):
+    def __init__(self, specialization, table=None, injector=None, log=None,
+                 max_steps=None):
         self.spec = specialization
         self.table = table
         self.injector = injector
@@ -161,7 +217,16 @@ class GuardedExecutor(object):
         #: Pixels whose loader faulted this frame: their caches are
         #: invalid, so readers always fall back for them.
         self._failed = set()
-        self._interp = Interpreter(max_steps=specialization.options.max_steps)
+        budget = specialization.options.max_steps
+        cap = None
+        if max_steps is not None:
+            budget = max_steps if budget is None else min(max_steps, budget)
+            cap = budget
+        self.max_steps = budget
+        #: Tightened budget passed through to specialized kernel runs
+        #: (None when no deadline narrows the configured budget).
+        self._cap = cap
+        self._interp = Interpreter(max_steps=budget)
 
     # -- frame lifecycle -----------------------------------------------------
 
@@ -201,7 +266,9 @@ class GuardedExecutor(object):
                     self.table.loader, args, cache=cache
                 )
             else:
-                result, cache, cost = self.spec.run_loader(args, cache=cache)
+                result, cache, cost = self.spec.run_loader(
+                    args, cache=cache, max_steps=self._cap
+                )
         except GUARDED_FAULTS as exc:
             return self._loader_fallback(
                 args, pixel, layout, getattr(exc, "slot", None), exc
@@ -243,7 +310,9 @@ class GuardedExecutor(object):
                     variant, args, cache=cache
                 )
             else:
-                result, cost = self.spec.run_reader(cache, args)
+                result, cost = self.spec.run_reader(
+                    cache, args, max_steps=self._cap
+                )
         except GUARDED_FAULTS as exc:
             return self._reader_fallback(
                 args, pixel, getattr(exc, "slot", None), exc
@@ -297,9 +366,9 @@ class GuardedExecutor(object):
         if cache is None:
             cache = self.spec.new_batch_cache(n)
         try:
-            values, lane_costs = self.spec.batch_loader.run_lanes(
-                columns, n, cache=cache
-            )
+            values, lane_costs = self.spec.batch_kernel(
+                "loader", self._cap
+            ).run_lanes(columns, n, cache=cache)
             rows = B.value_rows(values, n)
             costs = _cost_list(lane_costs)
         except GUARDED_FAULTS:
@@ -332,9 +401,9 @@ class GuardedExecutor(object):
             rows, costs = self._split_reader(cache, columns, n, invalid)
             return rows, sum(costs)
         try:
-            values, lane_costs = self.spec.batch_reader.run_lanes(
-                columns, n, cache=cache
-            )
+            values, lane_costs = self.spec.batch_kernel(
+                "reader", self._cap
+            ).run_lanes(columns, n, cache=cache)
             rows = B.value_rows(values, n)
             costs = _cost_list(lane_costs)
         except GUARDED_FAULTS:
@@ -381,9 +450,9 @@ class GuardedExecutor(object):
             sub_columns = [B._gather(c, valid) for c in columns]
             sub_cache = cache.gather(valid)
             try:
-                values, lane_costs = self.spec.batch_reader.run_lanes(
-                    sub_columns, len(valid), cache=sub_cache
-                )
+                values, lane_costs = self.spec.batch_kernel(
+                    "reader", self._cap
+                ).run_lanes(sub_columns, len(valid), cache=sub_cache)
                 sub_rows = B.value_rows(values, len(valid))
                 sub_costs = _cost_list(lane_costs)
             except GUARDED_FAULTS:

@@ -17,11 +17,12 @@ costs the paper's figures are built from.
 from __future__ import annotations
 
 from ..core.specializer import DataSpecializer
-from ..lang.errors import SpecializationError
+from ..lang.errors import DeadlineError, SpecializationError, SupervisionError
 from ..lang.parser import parse_program
 from ..runtime import batch as B
 from ..runtime import values as V
 from ..runtime.interp import CostMeter, Interpreter
+from ..runtime.supervise import RenderSupervisor, Rung
 from .scenes import scene_for
 from .sources import SHADERS, shader_program_source
 
@@ -59,7 +60,7 @@ class EditSession(object):
     variants (e.g. the two tiles of a checkerboard)."""
 
     def __init__(self, render_session, specialization, param, table=None,
-                 backend=None, guard=None, injector=None):
+                 backend=None, guard=None, injector=None, supervisor=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
@@ -67,13 +68,28 @@ class EditSession(object):
         self.backend = B.resolve_backend(
             backend if backend is not None else render_session.backend
         )
+        #: Supervision: requests route through a
+        #: :class:`~repro.runtime.supervise.RenderSupervisor`'s
+        #: degradation ladder and circuit breakers.  Defaults to the
+        #: session's supervisor; pass ``False`` to opt this drag out.
+        if supervisor is None:
+            supervisor = render_session.supervisor
+        self.supervisor = supervisor or None
         #: Guarded execution: faults are contained to the pixel/lane
         #: that raised them (fallback to ``run_original``) and recorded
         #: in :attr:`fault_log`.  Defaults to the session's knob; an
-        #: injector implies guarding.
+        #: injector implies guarding.  A supervised guard inherits the
+        #: supervisor's step deadline, so budget blowouts are contained
+        #: per pixel and attributed as deadline misses.
         use_guard = guard if guard is not None else render_session.guard
+        guard_cap = (
+            self.supervisor.policy.deadline_steps
+            if self.supervisor is not None else None
+        )
         self.guard = (
-            specialization.guarded(table=table, injector=injector)
+            specialization.guarded(
+                table=table, injector=injector, max_steps=guard_cap
+            )
             if use_guard or injector is not None
             else None
         )
@@ -81,6 +97,11 @@ class EditSession(object):
         #: shared :class:`~repro.runtime.batch.SoACache` for the frame.
         self.caches = None
         self.load_cost = None
+        #: Ladder rung that served the most recent supervised request
+        #: (None when unsupervised).
+        self.last_rung = None
+        self._load_rung = None
+        self._load_controls = None
         self._interp = None
         self._loader_kernel = None
         self._variant_kernels = {}
@@ -103,14 +124,44 @@ class EditSession(object):
 
     def load(self, controls):
         """Run the loader for every pixel; returns the resulting Image."""
+        if self.supervisor is not None:
+            return self._supervised_load(controls)
         if self.guard is not None:
             self.guard.begin_load()
         if self.backend == "batch":
-            return self._load_batch(controls)
+            colors, cache, total = self._load_batch(controls)
+        else:
+            colors, cache, total = self._load_scalar(controls)
+        self.caches = cache
+        self.load_cost = total
+        return self._image(colors, total)
+
+    def adjust(self, controls):
+        """Run the reader for every pixel with updated controls."""
+        if self.supervisor is not None:
+            return self._supervised_adjust(controls)
+        if self.caches is None:
+            raise SpecializationError("adjust() before load()")
+        if self.backend == "batch":
+            colors, total = self._adjust_batch(controls)
+        else:
+            colors, total = self._adjust_scalar(controls)
+        return self._image(colors, total)
+
+    def _image(self, colors, total):
+        scene = self.render_session.scene
+        return Image(scene.width, scene.height, colors, total)
+
+    # -- scalar backend ------------------------------------------------------
+
+    def _load_scalar(self, controls, cap=None):
+        """Per-pixel loader sweep; returns ``(colors, caches, total)``
+        without committing any session state (a supervised rung must be
+        all-or-nothing)."""
         spec = self.specialization
         session = self.render_session
         colors = []
-        self.caches = []
+        caches = []
         total = 0
         for index, pixel in enumerate(session.scene):
             args = session.args_for(pixel, controls)
@@ -119,58 +170,66 @@ class EditSession(object):
             elif self.table is not None:
                 cache = self.table.layout.new_instance()
                 meter = CostMeter()
-                result = self._interp.run(
+                result = self._table_interp(cap).run(
                     self.table.loader, args, cache=cache, meter=meter
                 )
                 cost = meter.total
             else:
-                result, cache, cost = spec.run_loader(args)
+                result, cache, cost = spec.run_loader(args, max_steps=cap)
             colors.append(result)
-            self.caches.append(cache)
+            caches.append(cache)
             total += cost
-        self.load_cost = total
-        return Image(session.scene.width, session.scene.height, colors, total)
+        return colors, caches, total
 
-    def adjust(self, controls):
-        """Run the reader for every pixel with updated controls."""
-        if self.caches is None:
-            raise SpecializationError("adjust() before load()")
-        if self.backend == "batch":
-            return self._adjust_batch(controls)
+    def _adjust_scalar(self, controls, cap=None):
+        """Per-pixel reader sweep; returns ``(colors, total)``.
+
+        Cache access is index-based so this rung also serves a frame
+        whose caches live in a batch :class:`~repro.runtime.batch
+        .SoACache` (the supervised ladder degrading batch → scalar)."""
         spec = self.specialization
         session = self.render_session
+        caches = self.caches
+        soa = isinstance(caches, B.SoACache)
         colors = []
         total = 0
-        for index, (pixel, cache) in enumerate(
-            zip(session.scene, self.caches)
-        ):
+        for index, pixel in enumerate(session.scene):
+            cache = caches.row(index) if soa else caches[index]
             args = session.args_for(pixel, controls)
             if self.guard is not None:
                 result, cost = self.guard.run_reader(cache, args, pixel=index)
             elif self.table is not None:
                 variant = self.table.select(cache)
-                result, cost = self._interp.run_metered(
+                result, cost = self._table_interp(cap).run_metered(
                     variant, args, cache=cache
                 )
             else:
-                result, cost = spec.run_reader(cache, args)
+                result, cost = spec.run_reader(cache, args, max_steps=cap)
             colors.append(result)
             total += cost
-        return Image(session.scene.width, session.scene.height, colors, total)
+        return colors, total
+
+    def _table_interp(self, cap):
+        """The shared dispatch-table interpreter, or a tighter-budget
+        one when a supervisor deadline caps this rung."""
+        if cap is None:
+            return self._interp
+        budget = self.specialization.options.max_steps
+        if budget is not None:
+            cap = min(cap, budget)
+        return Interpreter(max_steps=cap)
 
     # -- batch backend -------------------------------------------------------
 
-    def _load_batch(self, controls):
-        """One loader-kernel invocation fills the whole frame's SoA cache."""
+    def _load_batch(self, controls, cap=None):
+        """One loader-kernel invocation fills the whole frame's SoA
+        cache; returns ``(colors, cache, total)`` without committing."""
         session = self.render_session
-        scene = session.scene
-        n = len(scene)
+        n = len(session.scene)
         columns = session.batch_args(controls)
         if self.guard is not None:
             colors, cache, total = self.guard.run_loader_batch(columns, n)
-            self.caches = cache
-            self.load_cost = total
-            return Image(scene.width, scene.height, colors, total)
+            return colors, cache, total
         if self.table is not None:
             cache = B.SoACache(self.table.layout, n)
             if self._loader_kernel is None:
@@ -179,35 +238,58 @@ class EditSession(object):
                     max_steps=self.specialization.options.max_steps,
                 )
             values, total = self._loader_kernel.run(columns, n, cache=cache)
-        else:
+            return B.value_rows(values, n), cache, total
+        if cap is None:
             values, cache, total = self.specialization.run_loader_batch(
                 columns, n
             )
-        self.caches = cache
-        self.load_cost = total
-        colors = B.value_rows(values, n)
-        return Image(scene.width, scene.height, colors, total)
+            return B.value_rows(values, n), cache, total
+        cache = self.specialization.new_batch_cache(n)
+        kernel = self.specialization.batch_kernel("loader", cap)
+        values, lane_costs = kernel.run_lanes(columns, n, cache=cache)
+        total = self._lane_deadline(lane_costs, n, cap, "loader")
+        return B.value_rows(values, n), cache, total
 
-    def _adjust_batch(self, controls):
+    def _adjust_batch(self, controls, cap=None):
+        """Whole-frame reader invocation; returns ``(colors, total)``."""
         session = self.render_session
-        scene = session.scene
-        n = len(scene)
+        n = len(session.scene)
         columns = session.batch_args(controls)
         if self.guard is not None:
-            colors, total = self.guard.run_reader_batch(
-                self.caches, columns, n
-            )
-            return Image(scene.width, scene.height, colors, total)
+            return self.guard.run_reader_batch(self.caches, columns, n)
         if self.table is not None:
-            colors, total = B.run_dispatch(
+            return B.run_dispatch(
                 self.table, self._variant_kernel, self.caches, columns, n
             )
-        else:
+        if cap is None:
             values, total = self.specialization.run_reader_batch(
                 self.caches, columns, n
             )
-            colors = B.value_rows(values, n)
-        return Image(scene.width, scene.height, colors, total)
+            return B.value_rows(values, n), total
+        kernel = self.specialization.batch_kernel("reader", cap)
+        values, lane_costs = kernel.run_lanes(
+            columns, n, cache=self.caches
+        )
+        total = self._lane_deadline(lane_costs, n, cap, "reader")
+        return B.value_rows(values, n), total
+
+    @staticmethod
+    def _lane_deadline(lane_costs, n, cap, which):
+        """Enforce a per-pixel step deadline on the vectorized path.
+
+        The vectorized kernel cannot abort mid-frame the way the scalar
+        interpreter does, so the budget is checked post hoc per lane;
+        the frame is discarded (never committed) when any lane blew it.
+        Returns the frame's total cost when every lane is within budget.
+        """
+        costs = B.cost_rows(lane_costs, n)
+        worst = max(costs) if costs else 0
+        if worst > cap:
+            raise DeadlineError(
+                "batch %s blew the per-pixel step deadline "
+                "(%d steps > budget %d)" % (which, worst, cap)
+            )
+        return sum(costs)
 
     def _variant_kernel(self, code):
         kernel = self._variant_kernels.get(code)
@@ -216,22 +298,181 @@ class EditSession(object):
             self._variant_kernels[code] = kernel
         return kernel
 
+    # -- supervised execution ------------------------------------------------
+
+    def _key(self):
+        return (self.render_session.spec_info.name, self.param)
+
+    def _original_frame(self, controls):
+        """The unspecialized shader over the whole frame — the ladder's
+        safety valve, deliberately uncapped (``options.max_steps`` still
+        bounds it)."""
+        session = self.render_session
+        spec = self.specialization
+        if self.backend == "batch":
+            n = len(session.scene)
+            values, total = spec.run_original_batch(
+                session.batch_args(controls), n
+            )
+            return B.value_rows(values, n), total
+        colors = []
+        total = 0
+        for pixel in session.scene:
+            result, cost = spec.run_original(session.args_for(pixel, controls))
+            colors.append(result)
+            total += cost
+        return colors, total
+
+    def _supervised_load(self, controls):
+        supervisor = self.supervisor
+        session = self.render_session
+        state = {}
+
+        def batch_rung(cap):
+            if self.guard is not None:
+                self.guard.begin_load()
+            colors, cache, total = self._load_batch(controls, cap)
+            state["caches"] = cache
+            state["cost"] = total
+            return colors, total
+
+        def scalar_rung(cap):
+            if self.guard is not None:
+                self.guard.begin_load()
+            colors, caches, total = self._load_scalar(controls, cap)
+            state["caches"] = caches
+            state["cost"] = total
+            return colors, total
+
+        def original_rung(cap):
+            colors, total = self._original_frame(controls)
+            state["caches"] = None
+            state["cost"] = total
+            return colors, total
+
+        def lkg_rung(cap):
+            colors = supervisor.last_known_good(self._key(), "load")
+            if colors is None:
+                raise SupervisionError("no last-known-good load frame")
+            state["caches"] = None
+            state["cost"] = 0
+            return colors, 0
+
+        rungs = []
+        if self.backend == "batch":
+            rungs.append(Rung("batch", batch_rung))
+        rungs.append(Rung("scalar", scalar_rung))
+        rungs.append(Rung("original", original_rung))
+        rungs.append(Rung("lkg", lkg_rung))
+        colors, total, rung = supervisor.run_request(
+            self._key(), "load", rungs, len(session.scene),
+            fault_log=self.fault_log,
+        )
+        self.last_rung = rung
+        self._load_rung = rung
+        self._load_controls = dict(controls)
+        self.caches = state.get("caches")
+        self.load_cost = state.get("cost", total)
+        self._drop_caches_if_tripped()
+        return self._image(colors, total)
+
+    def _drop_caches_if_tripped(self):
+        """An open breaker invalidates this drag's caches: whatever
+        poisoned the window may live in them, so the half-open probe
+        must rebuild from scratch (via :meth:`_ensure_caches`) rather
+        than re-test known-suspect state."""
+        breaker = self.supervisor.breakers.get(self._key())
+        if breaker is not None and breaker.state != "closed":
+            self.caches = None
+
+    def _ensure_caches(self, kind, cap):
+        """Rebuild this drag's caches for a specialized adjust rung.
+
+        A load served while the circuit breaker was open (or degraded to
+        the original) leaves no caches; the first specialized adjust —
+        typically the breaker's half-open probe — re-runs the loader
+        with the retained load controls so the probe genuinely tests
+        the specialized path end to end."""
+        if self.caches is not None:
+            return
+        if self._load_controls is None:
+            raise SupervisionError("no load controls to rebuild caches from")
+        if self.guard is not None:
+            self.guard.begin_load()
+        if kind == "batch":
+            _, cache, _ = self._load_batch(self._load_controls, cap)
+        else:
+            _, cache, _ = self._load_scalar(self._load_controls, cap)
+        self.caches = cache
+
+    def _supervised_adjust(self, controls):
+        supervisor = self.supervisor
+        session = self.render_session
+        if self.caches is None and self._load_rung is None:
+            raise SpecializationError("adjust() before load()")
+
+        def lkg_rung(cap):
+            colors = supervisor.last_known_good(self._key(), "adjust")
+            if colors is None:
+                raise SupervisionError("no last-known-good adjust frame")
+            return colors, 0
+
+        def batch_rung(cap):
+            self._ensure_caches("batch", cap)
+            return self._adjust_batch(controls, cap)
+
+        def scalar_rung(cap):
+            self._ensure_caches("scalar", cap)
+            return self._adjust_scalar(controls, cap)
+
+        rungs = []
+        # A scalar-built cache array cannot feed the vectorized kernel,
+        # so the batch rung only appears when the caches are (or can be
+        # rebuilt as) an SoA cache; missing caches — a load served while
+        # the breaker was open — are rebuilt by the first specialized
+        # rung from the retained load controls.
+        if self.backend == "batch" and (
+            self.caches is None or isinstance(self.caches, B.SoACache)
+        ):
+            rungs.append(Rung("batch", batch_rung))
+        rungs.append(Rung("scalar", scalar_rung))
+        rungs.append(
+            Rung("original", lambda cap: self._original_frame(controls))
+        )
+        rungs.append(Rung("lkg", lkg_rung))
+        colors, total, rung = supervisor.run_request(
+            self._key(), "adjust", rungs, len(session.scene),
+            fault_log=self.fault_log,
+        )
+        self.last_rung = rung
+        self._drop_caches_if_tripped()
+        return self._image(colors, total)
+
 
 class RenderSession(object):
     """Drives one shader over one scene, with or without specialization."""
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
-                 width=16, height=16, backend=None, guard=False):
+                 width=16, height=16, backend=None, guard=False,
+                 supervisor=None, policy=None):
         self.spec_info = SHADERS[shader_index]
         self.scene = scene if scene is not None else scene_for(
             shader_index, width, height
         )
         self.program = parse_program(shader_program_source(self.spec_info))
         self.specializer = DataSpecializer(
-            self.program, specializer_options, backend=backend, guard=guard
+            self.program, specializer_options, backend=backend, guard=guard,
+            policy=policy,
         )
         self.backend = self.specializer.backend
         self.guard = self.specializer.guard
+        #: Session-level render supervisor (deadlines, degradation
+        #: ladder, circuit breakers).  Pass one explicitly to share
+        #: breakers across sessions, or just a ``policy`` to get a
+        #: private supervisor; None leaves rendering unsupervised.
+        if supervisor is None and self.specializer.policy is not None:
+            supervisor = RenderSupervisor(self.specializer.policy)
+        self.supervisor = supervisor
         self.controls = self.spec_info.default_controls()
         self._spec_memo = {}
         self._geometry_columns = None
@@ -332,7 +573,7 @@ class RenderSession(object):
         return spec
 
     def begin_edit(self, param, dispatch=False, guard=None, injector=None,
-                   **overrides):
+                   supervisor=None, **overrides):
         """Start an interactive drag of ``param``.
 
         ``dispatch=True`` additionally builds the Section 7.2 dispatch
@@ -341,7 +582,8 @@ class RenderSession(object):
         candidates).  ``guard`` overrides the session's guarded-execution
         knob for this drag; ``injector`` attaches a
         :class:`~repro.runtime.faultinject.FaultInjector` (implies
-        guarding)."""
+        guarding); ``supervisor`` overrides the session's supervisor
+        (``False`` opts this drag out of supervision)."""
         specialization = self.specialize(param, **overrides)
         table = None
         if dispatch:
@@ -350,7 +592,7 @@ class RenderSession(object):
             table = build_dispatch_table(specialization)
         return EditSession(
             self, specialization, param, table=table, guard=guard,
-            injector=injector,
+            injector=injector, supervisor=supervisor,
         )
 
 
@@ -369,11 +611,12 @@ class ShaderInstallation(object):
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, compile_code=True, backend=None,
-                 guard=False):
+                 guard=False, supervisor=None, policy=None):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
             width=width, height=height, backend=backend, guard=guard,
+            supervisor=supervisor, policy=policy,
         )
         self.specializations = {}
         self.stats = {}
@@ -398,7 +641,7 @@ class ShaderInstallation(object):
     def partitions(self):
         return list(self.specializations)
 
-    def edit(self, param, guard=None, injector=None):
+    def edit(self, param, guard=None, injector=None, supervisor=None):
         """Start a drag using the pre-built specialization."""
         if param not in self.specializations:
             raise SpecializationError(
@@ -407,7 +650,7 @@ class ShaderInstallation(object):
             )
         return EditSession(
             self.session, self.specializations[param], param, guard=guard,
-            injector=injector,
+            injector=injector, supervisor=supervisor,
         )
 
     def describe(self):

@@ -1,0 +1,56 @@
+"""Non-gating chaos smoke (deselected by default; run with -m chaossmoke).
+
+Wraps ``tools/chaos_smoke.py``: every shader runs a supervised + guarded
+drag session on both backends across a corruption-rate sweep, asserting
+reference-exact frames, breaker trips at the aggressive rates, and probe
+recovery once the corruption stops, then records degradation-rate and
+breaker-trip metrics under the ``chaos`` key of ``BENCH_render.json``.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "chaos_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("chaos_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.chaossmoke
+def test_chaos_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Pre-seed with fake perf/fault data to prove the merge preserves it.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 42.0, "fault_injection": {"seed": 1}},
+                  handle)
+
+    report = tool.run(out_path=out_path)
+    assert report["partitions"] > 0
+    for backend in ("scalar", "batch"):
+        by_rate = report["backends"][backend]
+        calm = by_rate["0.00"]
+        storm = by_rate["0.25"]
+        assert calm["degraded_requests"] == 0
+        assert calm["breaker_trips"] == 0
+        assert storm["faults_contained"] > 0, "the storm must fault"
+        assert storm["breaker_trips"] > 0, "the storm must trip breakers"
+        assert 0.0 < storm["degradation_rate"] < 1.0
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 42.0  # perf data survived
+    assert written["fault_injection"] == {"seed": 1}  # fault data survived
+    assert written["chaos"]["seed"] == tool.SEED
+    assert set(written["chaos"]["backends"]) == {"scalar", "batch"}

@@ -32,6 +32,12 @@ def run_cli(argv):
     return code, out.getvalue()
 
 
+def run_cli_err(argv):
+    out, err = io.StringIO(), io.StringIO()
+    code = main(argv, out=out, err=err)
+    return code, out.getvalue(), err.getvalue()
+
+
 class TestSpecialize:
     def test_default_shows_layout(self, source_file):
         code, out = run_cli(["specialize", source_file, "-v", "z1,z2"])
@@ -134,8 +140,85 @@ class TestSaveReplay:
         assert out.count("reader:") == 2
 
     def test_replay_missing_directory(self):
-        with pytest.raises(SystemExit):
-            run_cli(["replay", "/nonexistent", "--load-args", "1"])
+        """Typed artifact errors exit with code 2 and a one-line
+        ``error:`` message on stderr — no traceback, no SystemExit."""
+        code, out, err = run_cli_err(
+            ["replay", "/nonexistent", "--load-args", "1"]
+        )
+        assert code == 2
+        assert out == ""
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_replay_corrupted_artifact_exits_2(self, source_file, tmp_path):
+        directory = tmp_path / "saved"
+        run_cli(["specialize", source_file, "-v", "z1,z2",
+                 "--save", str(directory)])
+        loader = directory / "loader.ds"
+        loader.write_text(loader.read_text().replace("z1", "z9"))
+        code, out, err = run_cli_err(
+            ["replay", str(directory), "--load-args", "1,2,3,4,5,6,2.0"]
+        )
+        assert code == 2
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+
+class TestRenderSupervision:
+    def test_render_json_reports_health(self):
+        import json
+
+        code, out = run_cli(
+            ["render", "1", "--size", "4", "--json", "--supervise"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["shader"] == 1
+        assert payload["health"]["requests"] == 2
+        assert payload["health"]["exhausted"] == 0
+        assert payload["fault_log"] is None  # unguarded render
+
+    def test_render_json_without_supervision(self):
+        import json
+
+        code, out = run_cli(["render", "1", "--size", "4", "--json"])
+        assert code == 0
+        assert json.loads(out)["health"] is None
+
+    def test_render_deadline_flag_degrades_cleanly(self):
+        import json
+
+        code, out = run_cli(
+            ["render", "1", "--size", "4", "--json",
+             "--deadline-steps", "3"]
+        )
+        assert code == 0
+        health = json.loads(out)["health"]
+        assert health["deadline_misses"] >= 1
+        assert health["rungs"]["original"] >= 1
+
+    def test_health_command_reports_breaker_trip(self):
+        import json
+
+        code, out = run_cli(
+            ["health", "1", "--size", "4", "--drags", "10",
+             "--corrupt-rate", "0.3", "--breaker-threshold", "0.05",
+             "--json"]
+        )
+        assert code == 0
+        snapshot = json.loads(out)
+        assert snapshot["requests"] == 11  # load + 10 adjusts
+        breakers = list(snapshot["breakers"].values())
+        assert breakers and breakers[0]["trips"] >= 1
+        causes = {i["cause"] for i in snapshot["incidents"]}
+        assert "open" in causes
+
+    def test_health_command_text_summary(self):
+        code, out = run_cli(["health", "1", "--size", "4", "--drags", "3"])
+        assert code == 0
+        assert "requests served" in out
+        assert "breakers:" in out
 
 
 class TestMainModule:

@@ -1,0 +1,118 @@
+"""Cross-backend fault-injection determinism.
+
+A chaos run is only reproducible if the same seed + injection rate
+selects the same *logical* pixels regardless of execution backend.  The
+injector already derives every decision from ``(seed, kind, lane, slot)``
+rather than call order; the subtle half of the contract is the *filled*
+test — on the batch path a masked (divergent) store used to leave the
+skipped lanes holding the array fill value, so the injector corrupted
+lanes the scalar backend would have skipped as unfilled ``None`` slots.
+``SoACache`` now tracks filled lanes per column and both backends plant
+at identical sites.
+"""
+
+import pytest
+
+from repro.runtime.batch import SoACache
+from repro.runtime.faultinject import FaultInjector
+from repro.runtime.vecops import HAVE_NUMPY, _np
+from repro.shaders.render import RenderSession
+from repro.shaders.sources import SHADERS
+
+# Shader 8 (ramp) has a divergent cached store — the historical
+# mismatch site; 1 and 3 are straight-line controls.
+CASES = [(1, "kd"), (3, "veinfreq"), (8, "rampgain"), (8, "rampbias")]
+
+
+def _injected_sites(shader, param, backend, seed=13, rate=0.25):
+    session = RenderSession(shader, width=4, height=4, backend=backend,
+                            guard=True)
+    edit = session.begin_edit(param)
+    edit.load(session.controls)
+    injector = FaultInjector(seed=seed, cache_rate=rate)
+    injector.corrupt_caches(edit.caches)
+    return {(lane, slot, mode) for _, lane, slot, mode in injector.injected}
+
+
+class TestCorruptionSiteParity:
+    @pytest.mark.parametrize("shader,param", CASES)
+    def test_same_logical_sites_on_both_backends(self, shader, param):
+        scalar = _injected_sites(shader, param, "scalar")
+        batch = _injected_sites(shader, param, "batch")
+        assert scalar == batch
+        assert scalar, "rate 0.25 must plant at least one fault"
+
+    @pytest.mark.parametrize("shader,param", CASES)
+    def test_fault_pixels_agree_after_recovery(self, shader, param):
+        """The guarded adjust must attribute faults to the same pixels
+        on both backends (recovery itself is covered by test_guard)."""
+        pixels = {}
+        for backend in ("scalar", "batch"):
+            session = RenderSession(shader, width=4, height=4,
+                                    backend=backend, guard=True)
+            edit = session.begin_edit(param)
+            edit.load(session.controls)
+            FaultInjector(seed=7, cache_rate=0.3).corrupt_caches(edit.caches)
+            drag = session.controls_with(
+                **{param: session.controls[param] * 1.2}
+            )
+            edit.adjust(drag)
+            pixels[backend] = set(edit.fault_log.pixels)
+        assert pixels["scalar"] == pixels["batch"]
+
+    def test_decisions_are_call_order_independent(self):
+        a = FaultInjector(seed=5, cache_rate=0.4)
+        b = FaultInjector(seed=5, cache_rate=0.4)
+        # Probe b's sites in reverse; decisions must not shift.
+        sites = [(lane, slot) for lane in range(8) for slot in range(4)]
+        picks_a = {s: a._pick("cache", *s) for s in sites}
+        picks_b = {s: b._pick("cache", *s) for s in reversed(sites)}
+        assert picks_a == picks_b
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="masked stores need NumPy")
+class TestFilledMaskTracking:
+    def _layout(self):
+        session = RenderSession(1, width=2, height=2)
+        return session.specialize("kd").layout
+
+    def test_masked_store_lanes_and_holes(self):
+        layout = self._layout()
+        cache = SoACache(layout, 4)
+        mask = _np.asarray([True, False, True, False])
+        cache.store(0, _np.asarray([1.0, 2.0, 3.0, 4.0]), mask=mask)
+        assert [cache.lane_filled(0, i) for i in range(4)] == [
+            True, False, True, False,
+        ]
+        # Row views must read the skipped lanes as unfilled, not 0.0.
+        assert cache.row(1)[0] is None
+        assert cache.row(0)[0] == 1.0
+        # A second masked store accumulates coverage.
+        cache.store(0, _np.asarray([9.0] * 4), mask=~mask)
+        assert all(cache.lane_filled(0, i) for i in range(4))
+
+    def test_demote_restores_holes(self):
+        layout = self._layout()
+        cache = SoACache(layout, 3)
+        cache.store(0, _np.asarray([1.0, 2.0, 3.0]),
+                    mask=_np.asarray([True, False, True]))
+        column = cache.demote_column(0)
+        assert column == [1.0, None, 3.0]
+
+    def test_injector_skips_masked_holes(self):
+        layout = self._layout()
+        cache = SoACache(layout, 4)
+        cache.store(0, _np.asarray([1.0, 2.0, 3.0, 4.0]),
+                    mask=_np.asarray([True, False, True, False]))
+        injector = FaultInjector(seed=0, cache_rate=1.0, modes=("nan",))
+        count = injector.corrupt_caches(cache)
+        assert count == 2
+        assert {lane for _, lane, _, _ in injector.injected} == {0, 2}
+
+    def test_gather_preserves_filled_mask(self):
+        layout = self._layout()
+        cache = SoACache(layout, 4)
+        cache.store(0, _np.asarray([1.0, 2.0, 3.0, 4.0]),
+                    mask=_np.asarray([True, False, True, False]))
+        sub = cache.gather([1, 2])
+        assert [sub.lane_filled(0, i) for i in range(2)] == [False, True]

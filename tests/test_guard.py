@@ -179,6 +179,34 @@ class TestFaultLog:
         log.clear()
         assert log.summary() == "no faults"
 
+    def test_ring_buffer_bounds_incident_memory(self):
+        """A fault storm longer than ``max_incidents`` keeps only the
+        most recent records, but every aggregate still counts all."""
+        log = FaultLog(max_incidents=4)
+        for i in range(10):
+            log.record("adjust" if i % 2 else "load", i, None, "e%d" % i, 5)
+        assert len(log) == 10  # aggregate count, not retained count
+        assert log.dropped == 6
+        assert len(log.incidents) == 4
+        assert [i.pixel for i in log] == [6, 7, 8, 9]  # most recent
+        assert log.pixels == [6, 7, 8, 9]
+        assert log.count("load") == 5
+        assert log.count("adjust") == 5
+        assert log.phase_counts() == {"load": 5, "adjust": 5}
+        assert log.fallback_cost == 50  # includes evicted incidents
+        assert "10 faults" in log.summary()
+        assert "6 incident records dropped" in log.summary()
+        log.clear()
+        assert log.dropped == 0
+        assert log.summary() == "no faults"
+
+    def test_ring_buffer_default_and_validation(self):
+        from repro.runtime.guard import DEFAULT_MAX_INCIDENTS
+
+        assert FaultLog().max_incidents == DEFAULT_MAX_INCIDENTS
+        with pytest.raises(ValueError):
+            FaultLog(max_incidents=0)
+
     def test_injector_records_ground_truth(self):
         injector = FaultInjector(seed=9, cache_rate=1.0, modes=("nan",))
         caches = [[1.0, 2.0], [3.0, None]]

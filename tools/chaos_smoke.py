@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Chaos smoke: supervised drag sessions under escalating corruption.
+
+For every built-in shader, both backends, and a sweep of cache-corruption
+rates, drives a supervised + guarded drag session: corruption is injected
+before each adjust over the first half of the drags, then stops.  Asserts
+the supervision contract end to end:
+
+* every emitted frame bit-matches the per-partition unspecialized
+  reference (the guard heals pixels, the ladder heals requests);
+* at the aggressive rates the per-partition circuit breaker trips within
+  its window, and half-open probes restore the specialized path once the
+  corruption stops;
+* at rate 0.0 supervision is transparent — no degradation, no trips.
+
+Degradation-rate and breaker-trip metrics per (backend, rate) are merged
+into ``BENCH_render.json`` under a ``chaos`` key (read-modify-write: perf
+numbers from ``tools/bench_smoke.py`` and fault numbers from
+``tools/fault_smoke.py`` are preserved).
+
+Run directly::
+
+    python tools/chaos_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m chaossmoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.runtime.faultinject import FaultInjector  # noqa: E402
+from repro.runtime.supervise import SupervisorPolicy  # noqa: E402
+from repro.shaders.render import RenderSession  # noqa: E402
+from repro.shaders.sources import SHADERS  # noqa: E402
+
+SIZE = 6
+SEED = 1996
+DRAGS = 8
+RATES = (0.0, 0.1, 0.25)
+BACKENDS = ("scalar", "batch")
+
+SPECIALIZED = {"batch", "scalar"}
+
+
+def _policy():
+    return SupervisorPolicy(
+        breaker_threshold=0.05, breaker_window=4, breaker_min_requests=2,
+        breaker_trip_ratio=0.5, breaker_cooldown=2, seed=SEED,
+    )
+
+
+def _run_partition(shader, param, backend, rate):
+    """One supervised drag under a corruption storm that stops halfway;
+    returns degradation/breaker stats."""
+    session = RenderSession(shader, width=SIZE, height=SIZE, backend=backend,
+                            guard=True, policy=_policy())
+    key = (session.spec_info.name, param)
+    drag = session.controls_with(**{param: session.controls[param] * 1.25})
+    # Reassociation is partition-driven, so the bit-exact reference for
+    # this partition's fallback is its *own* inlined original.
+    reference = session.render_reference(
+        drag, specialization=session.specialize(param)
+    )
+
+    edit = session.begin_edit(param)
+    edit.load(session.controls)
+    degraded = 0
+    for i in range(DRAGS):
+        if rate > 0.0 and i < DRAGS // 2 and edit.caches is not None:
+            FaultInjector(
+                seed=SEED + 31 * i, cache_rate=rate
+            ).corrupt_caches(edit.caches)
+        image = edit.adjust(drag)
+        assert image.colors == reference.colors, (
+            "shader %d %r (%s, rate %.2f): drag %d diverged from the "
+            "unspecialized reference" % (shader, param, backend, rate, i)
+        )
+        if edit.last_rung not in SPECIALIZED:
+            degraded += 1
+
+    breaker = session.supervisor.breakers[key]
+    snapshot = session.supervisor.health()
+    assert snapshot["exhausted"] == 0, (
+        "shader %d %r (%s, rate %.2f): ladder exhausted"
+        % (shader, param, backend, rate)
+    )
+    if rate == 0.0:
+        assert degraded == 0 and breaker.trips == 0, (
+            "shader %d %r (%s): degradation without corruption"
+            % (shader, param, backend)
+        )
+    if breaker.trips:
+        # Corruption stopped halfway: the probe must have restored the
+        # specialized path by the end of the drag.
+        assert breaker.state == "closed", (
+            "shader %d %r (%s, rate %.2f): breaker never recovered"
+            % (shader, param, backend, rate)
+        )
+        assert edit.last_rung in SPECIALIZED
+    return {
+        "requests": snapshot["requests"],
+        "degraded_requests": degraded,
+        "breaker_trips": breaker.trips,
+        "short_circuits": snapshot["short_circuits"],
+        "faults_contained": snapshot["faults_contained"],
+    }
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    partitions = 0
+    sweep = {
+        backend: {
+            "%.2f" % rate: {
+                "requests": 0, "degraded_requests": 0, "breaker_trips": 0,
+                "short_circuits": 0, "faults_contained": 0, "partitions": 0,
+            }
+            for rate in RATES
+        }
+        for backend in BACKENDS
+    }
+    for shader in sorted(SHADERS):
+        param = SHADERS[shader].control_params[0]
+        partitions += 1
+        for backend in BACKENDS:
+            for rate in RATES:
+                stats = _run_partition(shader, param, backend, rate)
+                totals = sweep[backend]["%.2f" % rate]
+                for key, value in stats.items():
+                    totals[key] += value
+                totals["partitions"] += 1
+
+    report = {
+        "seed": SEED,
+        "frame": "%dx%d" % (SIZE, SIZE),
+        "drags": DRAGS,
+        "rates": ["%.2f" % rate for rate in RATES],
+        "partitions": partitions,
+        "backends": {},
+    }
+    for backend, by_rate in sweep.items():
+        report["backends"][backend] = {
+            rate: dict(
+                totals,
+                degradation_rate=(
+                    totals["degraded_requests"] / float(totals["requests"])
+                    if totals["requests"] else 0.0
+                ),
+            )
+            for rate, totals in by_rate.items()
+        }
+
+    # Merge into the perf/fault report rather than clobbering it.
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["chaos"] = report
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main():
+    report = run()
+    for backend in BACKENDS:
+        for rate in report["rates"]:
+            totals = report["backends"][backend][rate]
+            print(
+                "%-6s rate %s  %3d requests, %2d degraded (%.1f%%), "
+                "%2d trips, %2d short-circuits, %4d faults contained"
+                % (
+                    backend, rate,
+                    totals["requests"],
+                    totals["degraded_requests"],
+                    100.0 * totals["degradation_rate"],
+                    totals["breaker_trips"],
+                    totals["short_circuits"],
+                    totals["faults_contained"],
+                )
+            )
+    print(
+        "%d partitions x %s frames x %d drags, corruption over the first "
+        "half (seed %d)  ->  BENCH_render.json"
+        % (report["partitions"], report["frame"], report["drags"],
+           report["seed"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
