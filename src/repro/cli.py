@@ -212,6 +212,24 @@ def _fault_summary(fault_log):
     }
 
 
+def _health_payload(supervisor):
+    """The one supervisor-health schema every JSON surface shares
+    (``render --json``, ``health --json``, the exporters): rung keys
+    are the canonical ``repro.obs.schema.RUNGS`` names."""
+    if supervisor is None:
+        return None
+    return supervisor.health().as_dict()
+
+
+def _resolve_obs_flag(args):
+    """An Observability when any telemetry output was requested."""
+    from .obs import Observability
+
+    if getattr(args, "trace_out", None):
+        return Observability()
+    return None
+
+
 def cmd_render(args, out):
     """Render one of the built-in shaders through a drag session."""
     from .shaders.render import RenderSession
@@ -229,10 +247,11 @@ def cmd_render(args, out):
         injector = FaultInjector(
             seed=args.inject_seed, kernel_rate=args.inject_rate
         )
+    obs = _resolve_obs_flag(args)
     session = RenderSession(
         args.shader, width=args.size, height=args.size, backend=args.backend,
         guard=args.guard or injector is not None,
-        policy=_supervision_policy(args),
+        policy=_supervision_policy(args), obs=obs,
     )
     param = args.param or session.spec_info.control_params[0]
     try:
@@ -250,6 +269,8 @@ def cmd_render(args, out):
         else None
     )
     if args.json:
+        from .obs.schema import canonical_rung
+
         json.dump(
             {
                 "shader": args.shader,
@@ -262,8 +283,9 @@ def cmd_render(args, out):
                 "adjust_cost": adjusted.total_cost,
                 "adjust_cost_per_pixel": adjusted.cost_per_pixel,
                 "cache_bytes_per_pixel": edit.cache_bytes_per_pixel,
+                "last_rung": canonical_rung(edit.last_rung),
                 "fault_log": _fault_summary(edit.fault_log),
-                "health": health.as_dict() if health is not None else None,
+                "health": _health_payload(session.supervisor),
             },
             out, indent=2, sort_keys=True,
         )
@@ -289,6 +311,13 @@ def cmd_render(args, out):
             out.write("supervision:\n")
             for line in health.summary().splitlines():
                 out.write("  %s\n" % line)
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        obs.merge_stage_metrics()
+        write_chrome_trace(args.trace_out, obs.tracer, obs.registry)
+        out.write("wrote %s (%d spans)\n"
+                  % (args.trace_out, len(obs.tracer.spans)))
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(adjusted.to_ppm())
@@ -327,7 +356,11 @@ def cmd_health(args, out):
         edit.adjust(session.controls_with(**{param: value}))
     snapshot = session.supervisor.health()
     if args.json:
-        out.write(snapshot.to_json() + "\n")
+        json.dump(
+            _health_payload(session.supervisor), out,
+            indent=2, sort_keys=True,
+        )
+        out.write("\n")
     else:
         out.write(
             "shader %d (%s): %d drags of %r on the %s backend\n"
@@ -336,6 +369,91 @@ def cmd_health(args, out):
         )
         for line in snapshot.summary().splitlines():
             out.write("  %s\n" % line)
+    return 0
+
+
+def cmd_trace(args, out):
+    """Trace one shader's full pipeline — parse, specialize, load,
+    adjust — and report per-stage timings (optionally as a Chrome
+    trace file for chrome://tracing / Perfetto)."""
+    from .obs import Observability
+    from .obs.export import write_chrome_trace
+    from .shaders.render import RenderSession
+    from .shaders.sources import SHADERS
+
+    if args.shader not in SHADERS:
+        raise SystemExit(
+            "no shader %d (have %s)"
+            % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
+        )
+    obs = Observability()
+    session = RenderSession(
+        args.shader, width=args.size, height=args.size,
+        backend=args.backend, obs=obs,
+    )
+    param = args.param or session.spec_info.control_params[0]
+    try:
+        edit = session.begin_edit(param)
+    except SourceError as exc:
+        raise SystemExit("specialization failed: %s" % exc)
+    edit.load(session.controls)
+    for i in range(args.adjusts):
+        value = session.controls[param] * (1.0 + 0.05 * (i + 1))
+        edit.adjust(session.controls_with(**{param: value}))
+    obs.merge_stage_metrics()
+    out.write(
+        "shader %d (%s): %dx%d via %s backend, drag %r — "
+        "%d spans, %.3fms traced\n"
+        % (args.shader, session.spec_info.name, session.scene.width,
+           session.scene.height, edit.backend, param,
+           len(obs.tracer.spans), obs.tracer.total_seconds() * 1e3)
+    )
+    rows = sorted(
+        obs.tracer.stage_totals().items(),
+        key=lambda item: -item[1]["total_seconds"],
+    )
+    out.write("%-24s %5s %10s %10s\n"
+              % ("stage", "spans", "total ms", "median ms"))
+    for name, stats in rows:
+        out.write(
+            "%-24s %5d %10.3f %10.3f\n"
+            % (name, stats["count"], stats["total_seconds"] * 1e3,
+               stats["median_seconds"] * 1e3)
+        )
+    if args.out:
+        write_chrome_trace(args.out, obs.tracer, obs.registry)
+        out.write("wrote %s\n" % args.out)
+    return 0
+
+
+def cmd_stats(args, out):
+    """Specialize every shader (all partitions) into one shared metrics
+    registry and export it — per-slot cache analytics included."""
+    from .obs import Observability
+    from .obs.export import to_json_lines, to_prometheus
+    from .shaders.render import RenderSession
+    from .shaders.sources import SHADERS
+
+    obs = Observability()
+    for index in sorted(SHADERS):
+        session = RenderSession(
+            index, width=args.size, height=args.size,
+            backend=args.backend, obs=obs,
+        )
+        for param in session.spec_info.control_params:
+            if args.render:
+                edit = session.begin_edit(param)
+                edit.load(session.controls)
+                edit.adjust(session.controls_with(
+                    **{param: session.controls[param] * 1.25}
+                ))
+            else:
+                session.specialize(param)
+    obs.merge_stage_metrics()
+    if args.format == "prometheus":
+        out.write(to_prometheus(obs.registry))
+    else:
+        out.write(to_json_lines(obs.registry, obs.tracer))
     return 0
 
 
@@ -441,6 +559,9 @@ def build_parser():
                    help="emit render metrics, fault summary, and the "
                         "supervisor HealthSnapshot as JSON")
     p.add_argument("--out", default=None, help="write the frame as PPM")
+    p.add_argument("--trace-out", default=None,
+                   help="trace the run and write a Chrome trace-event "
+                        "file (open in chrome://tracing / Perfetto)")
     p.set_defaults(handler=cmd_render)
 
     p = sub.add_parser(
@@ -467,6 +588,39 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the HealthSnapshot as JSON")
     p.set_defaults(handler=cmd_health)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one shader's pipeline and report per-stage timings",
+    )
+    p.add_argument("shader", type=int, help="shader index (1-10)")
+    p.add_argument("--size", type=int, default=16, help="image side length")
+    p.add_argument("--param", default=None,
+                   help="control parameter to drag (default: first)")
+    p.add_argument("--backend", default=None,
+                   choices=["scalar", "batch", "auto"])
+    p.add_argument("--adjusts", type=int, default=4,
+                   help="number of adjust requests to trace")
+    p.add_argument("--out", default=None,
+                   help="write the Chrome trace-event file here")
+    p.set_defaults(handler=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="specialize every shader and export the metrics registry "
+             "(per-slot cache analytics included)",
+    )
+    p.add_argument("--format", default="prometheus",
+                   choices=["prometheus", "json"],
+                   help="Prometheus text exposition or JSON lines")
+    p.add_argument("--size", type=int, default=8, help="image side length")
+    p.add_argument("--backend", default=None,
+                   choices=["scalar", "batch", "auto"])
+    p.add_argument("--render", action="store_true",
+                   help="also run a load+adjust drag per partition so "
+                        "runtime counters (frames, fills, hits, "
+                        "per-pixel cost histograms) populate too")
+    p.set_defaults(handler=cmd_stats)
 
     p = sub.add_parser(
         "report",

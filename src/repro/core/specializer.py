@@ -36,6 +36,7 @@ from ..lang.ops import TRIVIAL_COST_THRESHOLD
 from ..lang.parser import parse_program
 from ..lang.pretty import format_function
 from ..lang.typecheck import check_program
+from ..obs import NULL_OBS, resolve_obs
 from ..runtime.batch import BatchKernel, resolve_backend
 from ..runtime.compiler import compile_function
 from ..runtime.interp import CostMeter, Interpreter
@@ -107,6 +108,7 @@ class Specialization(object):
         type_info,
         options,
         limiter_trace=None,
+        obs=None,
     ):
         self.partition = partition
         #: The analyzed fragment (post inline/SSA/reassoc) — the baseline
@@ -119,6 +121,9 @@ class Specialization(object):
         self.type_info = type_info
         self.options = options
         self.limiter_trace = limiter_trace
+        #: Telemetry bundle (:data:`repro.obs.NULL_OBS` when disabled);
+        #: codegen spans land here.
+        self.obs = obs if obs is not None else NULL_OBS
         self._interp = Interpreter(max_steps=options.max_steps)
         self._compiled = {}
         self._batch = {}
@@ -193,7 +198,11 @@ class Specialization(object):
                 budget = (
                     max_steps if budget is None else min(max_steps, budget)
                 )
-            self._batch[key] = BatchKernel(fn, max_steps=budget)
+            with self.obs.span(
+                "codegen.batch_kernel", function=self.function_name,
+                which=which,
+            ):
+                self._batch[key] = BatchKernel(fn, max_steps=budget)
         return self._batch[key]
 
     def batch_kernel(self, which, max_steps=None):
@@ -241,7 +250,10 @@ class Specialization(object):
 
     def _compile(self, which, fn):
         if which not in self._compiled:
-            self._compiled[which] = compile_function(fn)
+            with self.obs.span(
+                "codegen.compile", function=self.function_name, which=which,
+            ):
+                self._compiled[which] = compile_function(fn)
         return self._compiled[which]
 
     @property
@@ -297,11 +309,15 @@ class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
     def __init__(self, program, options=None, backend=None, guard=False,
-                 policy=None):
+                 policy=None, obs=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
         self.options = options or SpecializerOptions()
+        #: Telemetry bundle: spans over every pipeline stage plus the
+        #: ``repro_specializations_total`` / cache-slot metrics
+        #: (:data:`repro.obs.NULL_OBS` = disabled, zero overhead).
+        self.obs = resolve_obs(obs)
         #: Preferred execution backend for session-level drivers
         #: ("scalar" or "batch"; "auto" resolves at construction).
         self.backend = resolve_backend(backend)
@@ -317,12 +333,26 @@ class DataSpecializer(object):
         self.policy = policy
         # Whole-program check up front: errors surface on the original
         # source, not on transformed internals.
-        check_program(self.program)
+        with self.obs.span("frontend.typecheck"):
+            check_program(self.program)
 
     def specialize(self, fn_name, varying, **overrides):
         """Build a :class:`Specialization` for ``fn_name`` with the given
         varying parameter names.  Keyword overrides patch the specializer
         options for this call only (e.g. ``cache_bound=16``)."""
+        obs = self.obs
+        with obs.span(
+            "specialize", function=fn_name,
+            partition=",".join(sorted(varying)),
+        ):
+            spec = self._specialize_stages(fn_name, varying, overrides)
+        if obs.enabled:
+            self._record_specialization(spec, fn_name, varying)
+        return spec
+
+    def _specialize_stages(self, fn_name, varying, overrides):
+        """The eight pipeline stages, each under its own span."""
+        obs = self.obs
         options = self.options.replace(**overrides) if overrides else self.options
         try:
             root = self.program.function(fn_name)
@@ -331,52 +361,64 @@ class DataSpecializer(object):
         partition = InputPartition(root, varying)
 
         # 1. Inline library calls; work on a private copy from here on.
-        fn = Inliner(self.program).inline_function(fn_name)
+        with obs.span("specialize.inline"):
+            fn = Inliner(self.program).inline_function(fn_name)
 
         # 2. Join-point normalization (Section 4.1).
         if options.ssa:
-            fn = ssa_normalize(fn)
+            with obs.span("specialize.ssa"):
+                fn = ssa_normalize(fn)
 
-        type_info = self._check(fn)
+        with obs.span("specialize.typecheck"):
+            type_info = self._check(fn)
 
         # 4. Dependence analysis (Section 3.1).
-        dependence = dependence_analysis(fn, partition.varying)
+        with obs.span("specialize.dependence"):
+            dependence = dependence_analysis(fn, partition.varying)
 
         # 5. Associative rewriting (Section 4.2), then re-analyze.
         if options.reassoc:
-            rewriter = reassociate(fn, dependence, float_ok=options.reassoc_float)
-            if rewriter.rewrites:
-                type_info = self._check(fn)
-            dependence = dependence_analysis(fn, partition.varying)
+            with obs.span("specialize.reassoc"):
+                rewriter = reassociate(
+                    fn, dependence, float_ok=options.reassoc_float
+                )
+                if rewriter.rewrites:
+                    type_info = self._check(fn)
+                dependence = dependence_analysis(fn, partition.varying)
 
         # 6. Caching analysis (Section 3.2, Figure 3).
-        index = StructuralIndex(fn)
-        reaching = reaching_definitions(fn)
-        single_valued = single_valuedness(fn, index)
-        costs = CostModel(index)
-        caching = CachingAnalysis(
-            fn,
-            index,
-            reaching,
-            dependence,
-            single_valued,
-            costs,
-            CachingOptions(
-                ssa_mode=options.ssa,
-                trivial_threshold=options.trivial_threshold,
-                allow_speculation=options.allow_speculation,
-            ),
-        ).solve()
+        with obs.span("specialize.caching"):
+            index = StructuralIndex(fn)
+            reaching = reaching_definitions(fn)
+            single_valued = single_valuedness(fn, index)
+            costs = CostModel(index)
+            caching = CachingAnalysis(
+                fn,
+                index,
+                reaching,
+                dependence,
+                single_valued,
+                costs,
+                CachingOptions(
+                    ssa_mode=options.ssa,
+                    trivial_threshold=options.trivial_threshold,
+                    allow_speculation=options.allow_speculation,
+                ),
+            ).solve()
 
         # 7. Cache-size limiting (Section 4.3).
         limiter_trace = None
         if options.cache_bound is not None:
-            limiter_trace = limit_cache(caching, costs, options.cache_bound)
+            with obs.span("specialize.limit"):
+                limiter_trace = limit_cache(
+                    caching, costs, options.cache_bound
+                )
 
         # 8. Splitting (Section 3.3).
-        result = split(fn, caching, type_info)
-        self._check(result.loader)
-        self._check(result.reader)
+        with obs.span("specialize.split"):
+            result = split(fn, caching, type_info)
+            self._check(result.loader)
+            self._check(result.reader)
 
         return Specialization(
             partition,
@@ -388,6 +430,22 @@ class DataSpecializer(object):
             type_info,
             options,
             limiter_trace=limiter_trace,
+            obs=obs,
+        )
+
+    def _record_specialization(self, spec, fn_name, varying):
+        """Publish one specialization's registry metrics: the run
+        counter plus the static per-slot cache analytics."""
+        from ..obs.cachestats import record_cache_metrics, slot_profile
+
+        partition = ",".join(sorted(varying))
+        self.obs.registry.counter(
+            "repro_specializations_total",
+            "Specializer pipeline runs.",
+            ("shader", "partition"),
+        ).inc(shader=fn_name, partition=partition)
+        record_cache_metrics(
+            self.obs.registry, slot_profile(spec), fn_name, partition
         )
 
     @staticmethod

@@ -1,0 +1,99 @@
+"""Unified telemetry: span tracing, a metrics registry, and exporters.
+
+One :class:`Observability` object bundles the two instruments every
+layer shares:
+
+* :attr:`Observability.tracer` — nested pipeline spans
+  (:mod:`repro.obs.trace`),
+* :attr:`Observability.registry` — counters/gauges/histograms
+  (:mod:`repro.obs.metrics`), including the cache-slot analytics of
+  :mod:`repro.obs.cachestats`,
+
+and exports through :mod:`repro.obs.export` (Prometheus text, JSON
+lines, Chrome trace events).
+
+Every pipeline entry point takes an ``obs=`` knob resolved by
+:func:`resolve_obs`:
+
+* ``None``/``False`` → the :data:`NULL_OBS` singleton — no-op tracer
+  and registry, zero allocation per call, outputs byte-identical to an
+  un-instrumented run;
+* ``True`` → a fresh :class:`Observability`;
+* an :class:`Observability` instance → used as-is (share one across
+  sessions to aggregate, exactly like sharing a supervisor).
+
+The span taxonomy and metric name table live in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .metrics import NULL_REGISTRY, MetricsRegistry
+from .trace import NULL_TRACER, NullTracer, Span, Tracer  # noqa: F401
+
+
+class Observability(object):
+    """Live telemetry: a real tracer plus a real registry."""
+
+    enabled = True
+
+    def __init__(self, tracer=None, registry=None, clock=None):
+        self.tracer = tracer if tracer is not None else Tracer(clock=clock)
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    def span(self, name, **attrs):
+        """Shorthand for ``obs.tracer.span(...)``."""
+        return self.tracer.span(name, **attrs)
+
+    def merge_stage_metrics(self):
+        """Fold the tracer's per-stage wall-time aggregates into the
+        registry (``repro_stage_seconds_total`` / ``repro_stage_spans_total``)
+        so a single Prometheus scrape carries the timing story too."""
+        seconds = self.registry.counter(
+            "repro_stage_seconds_total",
+            "Wall seconds spent in each traced stage.",
+            ("stage",),
+        )
+        spans = self.registry.counter(
+            "repro_stage_spans_total",
+            "Finished spans per traced stage.",
+            ("stage",),
+        )
+        for name, stats in sorted(self.tracer.stage_totals().items()):
+            seconds.inc(stats["total_seconds"], stage=name)
+            spans.inc(stats["count"], stage=name)
+
+
+class NullObservability(object):
+    """The disabled bundle: shared no-op tracer and registry."""
+
+    enabled = False
+    tracer = NULL_TRACER
+    registry = NULL_REGISTRY
+
+    __slots__ = ()
+
+    def span(self, name, **attrs):
+        return self.tracer.span(name)
+
+    def merge_stage_metrics(self):
+        pass
+
+
+#: Module-level singleton used wherever telemetry is disabled.
+NULL_OBS = NullObservability()
+
+
+def resolve_obs(obs):
+    """Normalize an ``obs=`` knob value (see module docstring)."""
+    if obs is None or obs is False:
+        return NULL_OBS
+    if obs is True:
+        return Observability()
+    if isinstance(obs, (Observability, NullObservability)):
+        return obs
+    raise ValueError(
+        "obs= expects None/False, True, or an Observability (got %r)" % (obs,)
+    )

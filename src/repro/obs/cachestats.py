@@ -1,0 +1,246 @@
+"""Cache-slot analytics: where the cache bytes go and how hard each
+slot works.
+
+The paper's Section 4.3/5.4 economics hinge on per-slot numbers — a
+slot earns its bytes only if the reader actually consults it often
+enough to beat recomputation.  This module derives those numbers from a
+:class:`~repro.core.specializer.Specialization`:
+
+* **static slot profile** (:func:`slot_profile`) — per slot: declared
+  type and bytes, how many ``CacheStore`` sites the loader has for it,
+  how many ``CacheRead`` sites the reader (or any dispatch variant)
+  has, and whether it is *dead* (stored but never read — the limiter
+  or dispatch splitting can strand slots);
+* **dynamic occupancy** (:func:`cache_occupancy`) — given the caches an
+  actual ``load`` built (scalar list-of-lists or a batch
+  :class:`~repro.runtime.batch.SoACache`), per slot: how many lanes
+  were actually filled and the resident bytes — divergent loaders fill
+  a slot only on the path that executed, so occupancy < 100% is a
+  real signal, not an error;
+* :func:`record_cache_metrics` — publishes both into a
+  :class:`~repro.obs.metrics.MetricsRegistry` under the
+  ``repro_cache_*`` families (see ``docs/observability.md``).
+
+Static read/store counts are *per invocation sites*, not executions: a
+read inside a loop counts once.  The per-request hit/fill counters the
+sessions maintain (``repro_cache_hits_total``) multiply these by the
+lanes actually served.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as A
+from ..runtime.batch import SoACache
+from ..runtime.vecops import HAVE_NUMPY, _np
+
+
+class SlotStats(object):
+    """Per-slot analytics row."""
+
+    __slots__ = (
+        "index", "type", "bytes", "source", "stores", "reads", "dead",
+        "speculative",
+    )
+
+    def __init__(self, slot, stores, reads):
+        self.index = slot.index
+        self.type = slot.ty.name
+        self.bytes = slot.size
+        self.source = slot.source
+        #: ``CacheStore`` sites in the loader for this slot.
+        self.stores = stores
+        #: ``CacheRead`` sites in the reader (and dispatch variants).
+        self.reads = reads
+        #: Stored but never read back — pure cache-byte waste.
+        self.dead = reads == 0
+        self.speculative = slot.speculative
+
+    def as_dict(self):
+        return {
+            "slot": self.index,
+            "type": self.type,
+            "bytes": self.bytes,
+            "source": self.source,
+            "stores": self.stores,
+            "reads": self.reads,
+            "dead": self.dead,
+            "speculative": self.speculative,
+        }
+
+
+def _slot_sites(fn, node_type):
+    """``{slot: site count}`` of cache nodes of ``node_type`` in ``fn``."""
+    counts = {}
+    for node in A.walk(fn):
+        if isinstance(node, node_type):
+            counts[node.slot] = counts.get(node.slot, 0) + 1
+    return counts
+
+
+def slot_profile(spec, table=None):
+    """Static per-slot profile of one specialization.
+
+    ``table`` is an optional Section 7.2 dispatch table: its variants'
+    reads are attributed to the slots too (a slot only a variant reads
+    is not dead), and its layout supersedes the specialization's.
+    """
+    if table is not None:
+        layout = table.layout
+        stores = _slot_sites(table.loader, A.CacheStore)
+        # ``table.select`` reads the dispatch slot once per pixel.
+        reads = {table.dispatch_slot: 1}
+        readers = list(table.variants.values())
+    else:
+        layout = spec.layout
+        stores = _slot_sites(spec.loader, A.CacheStore)
+        reads = {}
+        readers = [spec.reader]
+    for reader in readers:
+        for slot, count in _slot_sites(reader, A.CacheRead).items():
+            reads[slot] = reads.get(slot, 0) + count
+    return [
+        SlotStats(slot, stores.get(slot.index, 0), reads.get(slot.index, 0))
+        for slot in layout
+    ]
+
+
+def _filled_lanes_soa(cache, index):
+    """Filled-lane count for one SoACache column."""
+    column = cache.columns[index]
+    if column is None:
+        return 0
+    filled = cache.filled[index]
+    if filled is True:
+        return cache.n
+    if filled is not None:  # boolean lane mask from a masked store
+        if HAVE_NUMPY and isinstance(filled, _np.ndarray):
+            return int(filled.sum())
+        return sum(1 for f in filled if f)
+    # List column: unfilled lanes are literal None holes.
+    return sum(1 for v in column if v is not None)
+
+
+def cache_occupancy(caches):
+    """Dynamic per-slot occupancy of the caches one ``load`` built.
+
+    ``caches`` is either the scalar backend's list of per-pixel
+    :class:`~repro.core.cache.CacheInstance` lists or one batch
+    :class:`~repro.runtime.batch.SoACache`.  Returns
+    ``(lanes, {slot index: filled lane count})``; an empty/absent cache
+    yields ``(0, {})``.
+    """
+    if caches is None:
+        return 0, {}
+    if isinstance(caches, SoACache):
+        return caches.n, {
+            slot.index: _filled_lanes_soa(caches, slot.index)
+            for slot in caches.layout
+        }
+    caches = list(caches)
+    if not caches:
+        return 0, {}
+    layout = getattr(caches[0], "layout", None)
+    indices = (
+        [slot.index for slot in layout]
+        if layout is not None
+        else list(range(len(caches[0])))
+    )
+    filled = {
+        index: sum(1 for cache in caches if cache[index] is not None)
+        for index in indices
+    }
+    return len(caches), filled
+
+
+def resident_bytes(profile, lanes, filled):
+    """Bytes actually resident across all lanes: per slot, declared
+    bytes × filled lanes."""
+    by_slot = {stats.index: stats.bytes for stats in profile}
+    return sum(
+        by_slot.get(index, 0) * count for index, count in filled.items()
+    )
+
+
+def record_cache_metrics(registry, profile, shader, partition,
+                         lanes=0, filled=None):
+    """Publish a slot profile (and optional occupancy) to ``registry``.
+
+    Families (all labeled ``shader``/``partition``, per-slot ones also
+    ``slot``/``type``):
+
+    * ``repro_cache_slot_bytes`` — declared bytes per slot per pixel,
+    * ``repro_cache_slot_read_sites`` / ``repro_cache_slot_store_sites``,
+    * ``repro_cache_slot_filled_lanes`` — lanes the last load filled,
+    * ``repro_cache_dead_slots`` / ``repro_cache_slots`` /
+      ``repro_cache_bytes_per_pixel`` / ``repro_cache_resident_bytes``.
+    """
+    slot_bytes = registry.gauge(
+        "repro_cache_slot_bytes",
+        "Declared cache bytes per pixel for one slot.",
+        ("shader", "partition", "slot", "type"),
+    )
+    read_sites = registry.gauge(
+        "repro_cache_slot_read_sites",
+        "CacheRead sites in the reader (incl. dispatch variants).",
+        ("shader", "partition", "slot"),
+    )
+    store_sites = registry.gauge(
+        "repro_cache_slot_store_sites",
+        "CacheStore sites in the loader.",
+        ("shader", "partition", "slot"),
+    )
+    filled_lanes = registry.gauge(
+        "repro_cache_slot_filled_lanes",
+        "Lanes whose last load actually filled this slot.",
+        ("shader", "partition", "slot"),
+    )
+    dead = registry.gauge(
+        "repro_cache_dead_slots",
+        "Slots stored by the loader but never read back.",
+        ("shader", "partition"),
+    )
+    slots = registry.gauge(
+        "repro_cache_slots",
+        "Cache slots in the layout.",
+        ("shader", "partition"),
+    )
+    bytes_per_pixel = registry.gauge(
+        "repro_cache_bytes_per_pixel",
+        "Declared cache bytes per pixel.",
+        ("shader", "partition"),
+    )
+    resident = registry.gauge(
+        "repro_cache_resident_bytes",
+        "Bytes resident across all lanes after the last load.",
+        ("shader", "partition"),
+    )
+    filled = filled or {}
+    for stats in profile:
+        slot_bytes.set(
+            stats.bytes,
+            shader=shader, partition=partition,
+            slot=stats.index, type=stats.type,
+        )
+        read_sites.set(
+            stats.reads, shader=shader, partition=partition, slot=stats.index
+        )
+        store_sites.set(
+            stats.stores, shader=shader, partition=partition, slot=stats.index
+        )
+        if filled:
+            filled_lanes.set(
+                filled.get(stats.index, 0),
+                shader=shader, partition=partition, slot=stats.index,
+            )
+    dead.set(
+        sum(1 for s in profile if s.dead), shader=shader, partition=partition
+    )
+    slots.set(len(profile), shader=shader, partition=partition)
+    bytes_per_pixel.set(
+        sum(s.bytes for s in profile), shader=shader, partition=partition
+    )
+    if filled:
+        resident.set(
+            resident_bytes(profile, lanes, filled),
+            shader=shader, partition=partition,
+        )

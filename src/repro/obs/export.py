@@ -1,0 +1,178 @@
+"""Exporters: Prometheus text format, JSON lines, Chrome trace events.
+
+Three consumers, one registry/tracer:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, labeled samples, cumulative
+  histogram buckets with ``le``), scrape-ready via
+  ``repro stats --format prometheus``;
+* :func:`to_json_lines` — one JSON object per line (samples first,
+  then spans), the append-friendly form for log shippers;
+* :func:`to_chrome_trace` — the Chrome trace-event format (``"X"``
+  complete events with microsecond timestamps) that opens directly in
+  ``chrome://tracing`` / Perfetto as a flamegraph of the pipeline.
+
+All output is deterministic given the registry/tracer contents:
+families sort by name, children by label values, spans export in
+start order.  Golden-file tests in ``tests/test_obs_export.py`` pin
+the formats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+
+def _format_value(value):
+    """Prometheus sample-value formatting: integers stay integral,
+    floats use repr precision, specials use Prometheus spellings."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_text(labelnames, label_values, extra=()):
+    pairs = list(zip(labelnames, label_values)) + list(extra)
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (name, _escape_label(value)) for name, value in pairs
+    )
+
+
+def to_prometheus(registry):
+    """Render the whole registry in Prometheus text exposition format."""
+    lines = []
+    for family in registry.collect():
+        if family.help:
+            lines.append("# HELP %s %s" % (family.name, family.help))
+        lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for child in family.children():
+            if family.kind == "histogram":
+                for le, count in child.cumulative():
+                    lines.append(
+                        "%s_bucket%s %s"
+                        % (
+                            family.name,
+                            _label_text(
+                                family.labelnames,
+                                child.label_values,
+                                extra=(("le", _format_value(le)),),
+                            ),
+                            _format_value(count),
+                        )
+                    )
+                suffix_labels = _label_text(
+                    family.labelnames, child.label_values
+                )
+                lines.append(
+                    "%s_sum%s %s"
+                    % (family.name, suffix_labels, _format_value(child.sum))
+                )
+                lines.append(
+                    "%s_count%s %s"
+                    % (family.name, suffix_labels, _format_value(child.count))
+                )
+            else:
+                lines.append(
+                    "%s%s %s"
+                    % (
+                        family.name,
+                        _label_text(family.labelnames, child.label_values),
+                        _format_value(child.value),
+                    )
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_lines(registry=None, tracer=None):
+    """One JSON object per line: metric samples, then finished spans.
+
+    Each line carries a ``"kind"`` discriminator (``"metric"`` /
+    ``"span"``) so a shipper can fan the stream back out.
+    """
+    lines = []
+    if registry is not None:
+        for name, family in sorted(registry.as_dict().items()):
+            for sample in family["samples"]:
+                record = {
+                    "kind": "metric",
+                    "name": name,
+                    "type": family["type"],
+                }
+                record.update(sample)
+                lines.append(json.dumps(record, sort_keys=True))
+    if tracer is not None:
+        for span in sorted(tracer, key=lambda s: (s.start, s.sid)):
+            record = {"kind": "span"}
+            record.update(span.as_dict())
+            lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Synthetic process/thread ids for the trace viewer's track layout.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def to_chrome_trace(tracer, registry=None, as_text=True):
+    """Render a tracer (and optional registry snapshot) as a Chrome
+    trace-event JSON document.
+
+    Every finished span becomes one ``"X"`` (complete) event with
+    microsecond ``ts``/``dur`` on the tracer's common timeline; span
+    attributes land in ``args``.  Counter/gauge totals, when a registry
+    is supplied, are attached as ``metadata`` on the document under
+    ``"repro_metrics"`` so the flamegraph and the numbers travel in one
+    file.  Returns JSON text (``as_text=True``) or the document dict.
+    """
+    events = []
+    for span in sorted(tracer, key=lambda s: (s.start, s.sid)):
+        args = {str(k): v for k, v in sorted(span.attrs.items())}
+        args["sid"] = span.sid
+        if span.parent is not None:
+            args["parent"] = span.parent
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round(span.start * 1e6, 3),
+            "dur": round((span.duration or 0.0) * 1e6, 3),
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": args,
+        })
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    if registry is not None:
+        document["otherData"]["repro_metrics"] = registry.as_dict()
+    if not as_text:
+        return document
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_chrome_trace(path, tracer, registry=None):
+    """Write :func:`to_chrome_trace` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_chrome_trace(tracer, registry=registry))

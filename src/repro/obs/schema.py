@@ -1,0 +1,48 @@
+"""Shared export schema: one spelling for every name that crosses an
+exporter boundary.
+
+``repro health --json``, ``repro render --json``, the Prometheus /
+JSON-lines exporters, and the supervisor's own counters historically
+each spelled rung and breaker-state names on their own; this module is
+the single authority so exported streams can be joined without
+per-consumer case fixups (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+#: Degradation-ladder rungs, fastest first — canonical lower_snake form.
+RUNGS = ("batch", "scalar", "original", "lkg")
+
+#: Circuit-breaker states, canonical lower_snake form.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: Numeric encoding of breaker states for the
+#: ``repro_breaker_state`` gauge (higher = less healthy).
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+#: Request phases.
+PHASES = ("load", "adjust")
+
+
+def canonical_rung(name):
+    """Normalize a rung name to the canonical schema spelling.
+
+    Accepts historical variants (``"Batch"``, ``"half-open"``-style
+    dashes, surrounding whitespace); raises on names outside the
+    schema so a typo cannot silently mint a new rung.
+    """
+    if name is None:
+        return None
+    canonical = str(name).strip().lower().replace("-", "_")
+    if canonical not in RUNGS and canonical != "breaker" \
+            and canonical != "ladder":
+        raise ValueError("unknown rung name %r" % name)
+    return canonical
+
+
+def canonical_breaker_state(name):
+    """Normalize a breaker-state name (same rules as rungs)."""
+    canonical = str(name).strip().lower().replace("-", "_")
+    if canonical not in BREAKER_STATES:
+        raise ValueError("unknown breaker state %r" % name)
+    return canonical

@@ -75,9 +75,9 @@ def _same(a, b):
 class FaultIncident(object):
     """One contained fault and what its recovery cost."""
 
-    __slots__ = ("phase", "pixel", "slot", "error", "fallback_cost")
+    __slots__ = ("phase", "pixel", "slot", "error", "fallback_cost", "seq")
 
-    def __init__(self, phase, pixel, slot, error, fallback_cost):
+    def __init__(self, phase, pixel, slot, error, fallback_cost, seq=0):
         #: "load" or "adjust".
         self.phase = phase
         #: Pixel/lane index within the frame (None when unknown).
@@ -88,11 +88,27 @@ class FaultIncident(object):
         self.error = error
         #: Abstract cost of the ``run_original`` fallback for this pixel.
         self.fallback_cost = fallback_cost
+        #: Monotonic sequence number assigned by the owning
+        #: :class:`FaultLog` — ring eviction loses records but never
+        #: reorders survivors, so exported incident streams stay
+        #: orderable (and gaps reveal exactly what was dropped).
+        self.seq = seq
+
+    def as_dict(self):
+        return {
+            "seq": self.seq,
+            "phase": self.phase,
+            "pixel": self.pixel,
+            "slot": self.slot,
+            "error": self.error,
+            "fallback_cost": self.fallback_cost,
+        }
 
     def __repr__(self):
         where = "" if self.slot is None else " slot %d" % self.slot
-        return "FaultIncident(%s px %s%s: %s, fallback cost %d)" % (
-            self.phase, self.pixel, where, self.error, self.fallback_cost,
+        return "FaultIncident(#%d %s px %s%s: %s, fallback cost %d)" % (
+            self.seq, self.phase, self.pixel, where, self.error,
+            self.fallback_cost,
         )
 
 
@@ -114,7 +130,7 @@ class FaultLog(object):
     yield the retained (most recent) incidents, oldest first.
     """
 
-    def __init__(self, max_incidents=DEFAULT_MAX_INCIDENTS):
+    def __init__(self, max_incidents=DEFAULT_MAX_INCIDENTS, on_record=None):
         if max_incidents < 1:
             raise ValueError("max_incidents must be >= 1")
         self.max_incidents = max_incidents
@@ -122,19 +138,27 @@ class FaultLog(object):
         #: Incident records evicted from the ring (aggregates still
         #: count them).
         self.dropped = 0
+        #: Optional callback invoked with each new :class:`FaultIncident`
+        #: (telemetry mirrors fault counts into a metrics registry).
+        self.on_record = on_record
         self._total = 0
+        self._seq = 0
         self._phase_counts = {}
         self._fallback_cost = 0
 
     def record(self, phase, pixel, slot, error, fallback_cost):
         self._total += 1
+        self._seq += 1
         self._phase_counts[phase] = self._phase_counts.get(phase, 0) + 1
         self._fallback_cost += fallback_cost
         if len(self._recent) == self.max_incidents:
             self.dropped += 1
-        self._recent.append(
-            FaultIncident(phase, pixel, slot, str(error), fallback_cost)
+        incident = FaultIncident(
+            phase, pixel, slot, str(error), fallback_cost, seq=self._seq
         )
+        self._recent.append(incident)
+        if self.on_record is not None:
+            self.on_record(incident)
 
     @property
     def incidents(self):
@@ -148,6 +172,9 @@ class FaultLog(object):
         return iter(list(self._recent))
 
     def clear(self):
+        # ``_seq`` deliberately survives: sequence numbers stay
+        # monotonic for the lifetime of the log so incident streams
+        # spanning a clear() remain orderable.
         self._recent.clear()
         self.dropped = 0
         self._total = 0

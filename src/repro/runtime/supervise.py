@@ -51,6 +51,8 @@ import time
 from collections import deque
 
 from ..lang.errors import DeadlineError, SupervisionError
+from ..obs import resolve_obs
+from ..obs.schema import BREAKER_STATE_CODES, RUNGS, canonical_rung
 from .guard import GUARDED_FAULTS
 
 #: Circuit-breaker states.
@@ -142,9 +144,14 @@ class SupervisorIncident(object):
     """One degradation event: a rung failure, deadline miss, breaker
     transition, or ladder exhaustion."""
 
-    __slots__ = ("request", "key", "phase", "rung", "cause", "detail")
+    __slots__ = ("request", "key", "phase", "rung", "cause", "detail", "seq")
 
-    def __init__(self, request, key, phase, rung, cause, detail):
+    def __init__(self, request, key, phase, rung, cause, detail, seq=0):
+        #: Monotonic sequence number assigned by the supervisor — many
+        #: incidents can share one request ordinal (retries, breaker
+        #: transitions), so ``seq`` is what makes an exported incident
+        #: stream totally orderable even after ring eviction.
+        self.seq = seq
         #: Global request ordinal when the incident fired.
         self.request = request
         #: (shader, partition) the request belonged to.
@@ -161,6 +168,7 @@ class SupervisorIncident(object):
 
     def as_dict(self):
         return {
+            "seq": self.seq,
             "request": self.request,
             "shader": self.key[0],
             "partition": self.key[1],
@@ -171,9 +179,9 @@ class SupervisorIncident(object):
         }
 
     def __repr__(self):
-        return "SupervisorIncident(#%d %s/%s %s %s: %s)" % (
-            self.request, self.key[0], self.key[1], self.rung, self.cause,
-            self.detail,
+        return "SupervisorIncident(#%d req %d %s/%s %s %s: %s)" % (
+            self.seq, self.request, self.key[0], self.key[1], self.rung,
+            self.cause, self.detail,
         )
 
 
@@ -368,16 +376,21 @@ class RenderSupervisor(object):
     :func:`artifact_respecializer` to rebuild persisted artifacts).
     """
 
-    def __init__(self, policy=None, clock=None, sleep=None, on_trip=None):
+    def __init__(self, policy=None, clock=None, sleep=None, on_trip=None,
+                 obs=None):
         self.policy = policy if policy is not None else SupervisorPolicy()
         self._clock = clock if clock is not None else time.monotonic
         self._sleep = sleep if sleep is not None else time.sleep
         self.on_trip = on_trip
+        #: Telemetry bundle: every counter below is mirrored into its
+        #: registry (``repro_supervisor_*`` / ``repro_breaker_*``
+        #: families), so :meth:`health` and a Prometheus scrape tell
+        #: one story.
+        self.obs = resolve_obs(obs)
         self.breakers = {}
         self.requests = 0
-        self.rung_counts = {
-            "batch": 0, "scalar": 0, "original": 0, "lkg": 0,
-        }
+        self.rung_counts = dict.fromkeys(RUNGS, 0)
+        self._incident_seq = 0
         #: Requests the open breaker routed straight to the original.
         self.short_circuits = 0
         self.faults_contained = 0
@@ -403,11 +416,18 @@ class RenderSupervisor(object):
     def _record_incident(self, key, phase, rung, cause, detail):
         if len(self._incidents) == self._incidents.maxlen:
             self.incidents_dropped += 1
+        self._incident_seq += 1
         self._incidents.append(
             SupervisorIncident(
-                self.requests, key, phase, rung, cause, str(detail)
+                self.requests, key, phase, canonical_rung(rung), cause,
+                str(detail), seq=self._incident_seq,
             )
         )
+        self.obs.registry.counter(
+            "repro_supervisor_incidents_total",
+            "Supervisor degradation events by cause.",
+            ("cause",),
+        ).inc(cause=cause)
 
     def last_known_good(self, key, phase):
         """The most recent successfully served colors for (key, phase),
@@ -425,11 +445,24 @@ class RenderSupervisor(object):
         accounting.  Returns ``(colors, total_cost, rung_name)``.
         """
         policy = self.policy
+        obs = self.obs
         self.requests += 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_supervisor_requests_total",
+                "Whole-frame requests routed through the supervisor.",
+                ("phase",),
+            ).inc(phase=phase)
         breaker = self.breaker(key)
         route, probe = breaker.route()
         if route == "original":
             self.short_circuits += 1
+            if obs.enabled:
+                obs.registry.counter(
+                    "repro_supervisor_short_circuits_total",
+                    "Requests an open breaker routed straight to the "
+                    "original.",
+                ).inc()
             attempt_rungs = [
                 r for r in rungs if r.name not in SPECIALIZED_RUNGS
             ]
@@ -463,7 +496,12 @@ class RenderSupervisor(object):
             cap = deadline if specialized else None
             for attempt in range(retries + 1):
                 try:
-                    colors, total = rung.run(cap)
+                    with obs.span(
+                        "supervise.rung", rung=rung.name, phase=phase,
+                        shader=key[0], partition=key[1], attempt=attempt,
+                        probe=probe,
+                    ):
+                        colors, total = rung.run(cap)
                 except SUPERVISED_FAULTS as exc:
                     cause = (
                         "deadline"
@@ -473,7 +511,7 @@ class RenderSupervisor(object):
                     )
                     if cause == "deadline":
                         deadline_missed = True
-                        self.deadline_misses += 1
+                        self._count_deadline_miss()
                     self._record_incident(
                         key, phase, rung.name, cause, exc
                     )
@@ -482,6 +520,11 @@ class RenderSupervisor(object):
                         # Retrying a blown deadline can only blow it
                         # again; data faults get the backoff schedule.
                         self.retries += 1
+                        if obs.enabled:
+                            obs.registry.counter(
+                                "repro_supervisor_retries_total",
+                                "Specialized-rung retry attempts.",
+                            ).inc()
                         self._backoff(key, attempt)
                         continue
                     break
@@ -494,6 +537,11 @@ class RenderSupervisor(object):
 
         # Every rung failed: the request is unserveable.
         self.exhausted += 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_supervisor_exhausted_total",
+                "Requests no ladder rung could serve.",
+            ).inc()
         self._record_incident(key, phase, "ladder", "exhausted", last_error)
         breaker.record(bad=True, probe=probe)
         raise SupervisionError(
@@ -501,25 +549,54 @@ class RenderSupervisor(object):
             % (key[0], key[1], phase, last_error)
         )
 
+    def _count_deadline_miss(self):
+        self.deadline_misses += 1
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "repro_supervisor_deadline_misses_total",
+                "Requests whose specialized rung blew a deadline.",
+            ).inc()
+
     def _served(self, key, phase, rung_name, colors, total, pixels,
                 fault_log, log_start, breaker, probe, deadline_missed,
                 degraded):
         policy = self.policy
+        obs = self.obs
+        rung_name = canonical_rung(rung_name)
         self.rung_counts[rung_name] = self.rung_counts.get(rung_name, 0) + 1
+        if obs.enabled:
+            obs.registry.counter(
+                "repro_supervisor_rungs_total",
+                "Requests served, by the ladder rung that served them.",
+                ("rung",),
+            ).inc(rung=rung_name)
         faults = (
             len(fault_log) - log_start if fault_log is not None else 0
         )
         self.faults_contained += faults
+        if obs.enabled and faults:
+            obs.registry.counter(
+                "repro_supervisor_faults_contained_total",
+                "Per-pixel guard fallbacks attributed to supervised "
+                "requests.",
+            ).inc(faults)
         if fault_log is not None and faults:
             # A guard-contained step-budget blowout is a deadline miss
             # even though the rung itself completed.
             for incident in list(fault_log)[-faults:]:
                 if "step budget" in incident.error:
                     deadline_missed = True
-                    self.deadline_misses += 1
+                    self._count_deadline_miss()
                     break
         if pixels:
             self._cost_samples.append(total / float(pixels))
+            if obs.enabled:
+                obs.registry.histogram(
+                    "repro_request_pixel_cost_steps",
+                    "Mean per-pixel abstract cost of one supervised "
+                    "request.",
+                    ("phase",),
+                ).observe(total / float(pixels), phase=phase)
         fault_rate = faults / float(pixels) if pixels else 0.0
         bad = (
             degraded
@@ -530,8 +607,23 @@ class RenderSupervisor(object):
             bad=bad, probe=probe,
             specialized=rung_name in SPECIALIZED_RUNGS,
         )
+        if obs.enabled:
+            obs.registry.gauge(
+                "repro_breaker_state",
+                "Circuit-breaker state (0 closed, 1 half_open, 2 open).",
+                ("shader", "partition"),
+            ).set(
+                BREAKER_STATE_CODES[breaker.state],
+                shader=key[0], partition=key[1],
+            )
         if transition is not None:
             old, new = transition
+            if new == OPEN and obs.enabled:
+                obs.registry.counter(
+                    "repro_breaker_trips_total",
+                    "Times a breaker left the closed/half-open state.",
+                    ("shader", "partition"),
+                ).inc(shader=key[0], partition=key[1])
             self._record_incident(
                 key, phase, "breaker", new,
                 "%s -> %s (trips %d, probe at request %s)"

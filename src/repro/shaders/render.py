@@ -19,8 +19,11 @@ from __future__ import annotations
 from ..core.specializer import DataSpecializer
 from ..lang.errors import DeadlineError, SpecializationError, SupervisionError
 from ..lang.parser import parse_program
+from ..obs import resolve_obs
+from ..obs.schema import canonical_rung
 from ..runtime import batch as B
 from ..runtime import values as V
+from ..runtime.guard import FaultLog
 from ..runtime.interp import CostMeter, Interpreter
 from ..runtime.supervise import RenderSupervisor, Rung
 from .scenes import scene_for
@@ -68,6 +71,10 @@ class EditSession(object):
         self.backend = B.resolve_backend(
             backend if backend is not None else render_session.backend
         )
+        #: Telemetry bundle inherited from the session: frame spans,
+        #: cost histograms, cache/guard metrics.
+        self.obs = render_session.obs
+        self._slot_profile = None
         #: Supervision: requests route through a
         #: :class:`~repro.runtime.supervise.RenderSupervisor`'s
         #: degradation ladder and circuit breakers.  Defaults to the
@@ -86,9 +93,12 @@ class EditSession(object):
             self.supervisor.policy.deadline_steps
             if self.supervisor is not None else None
         )
+        log = None
+        if (use_guard or injector is not None) and self.obs.enabled:
+            log = FaultLog(on_record=self._guard_fault_hook())
         self.guard = (
             specialization.guarded(
-                table=table, injector=injector, max_steps=guard_cap
+                table=table, injector=injector, log=log, max_steps=guard_cap
             )
             if use_guard or injector is not None
             else None
@@ -124,6 +134,33 @@ class EditSession(object):
 
     def load(self, controls):
         """Run the loader for every pixel; returns the resulting Image."""
+        if not self.obs.enabled:
+            return self._load_frame(controls)
+        with self.obs.span(
+            "render.load", shader=self.render_session.spec_info.name,
+            partition=self.param, backend=self.backend,
+            pixels=len(self.render_session.scene),
+        ) as span:
+            image = self._load_frame(controls)
+            span.set(cost=image.total_cost, rung=self._rung_label())
+        self._record_frame("load", image)
+        return image
+
+    def adjust(self, controls):
+        """Run the reader for every pixel with updated controls."""
+        if not self.obs.enabled:
+            return self._adjust_frame(controls)
+        with self.obs.span(
+            "render.adjust", shader=self.render_session.spec_info.name,
+            partition=self.param, backend=self.backend,
+            pixels=len(self.render_session.scene),
+        ) as span:
+            image = self._adjust_frame(controls)
+            span.set(cost=image.total_cost, rung=self._rung_label())
+        self._record_frame("adjust", image)
+        return image
+
+    def _load_frame(self, controls):
         if self.supervisor is not None:
             return self._supervised_load(controls)
         if self.guard is not None:
@@ -136,8 +173,7 @@ class EditSession(object):
         self.load_cost = total
         return self._image(colors, total)
 
-    def adjust(self, controls):
-        """Run the reader for every pixel with updated controls."""
+    def _adjust_frame(self, controls):
         if self.supervisor is not None:
             return self._supervised_adjust(controls)
         if self.caches is None:
@@ -152,6 +188,106 @@ class EditSession(object):
         scene = self.render_session.scene
         return Image(scene.width, scene.height, colors, total)
 
+    # -- telemetry -----------------------------------------------------------
+
+    def _rung_label(self):
+        """The canonical rung that served the last request: the
+        supervisor's choice when supervised, else the backend itself."""
+        if self.supervisor is not None and self.last_rung is not None:
+            return canonical_rung(self.last_rung)
+        return canonical_rung(self.backend)
+
+    def _guard_fault_hook(self):
+        """FaultLog → registry bridge: every contained fault increments
+        ``repro_guard_faults_total``."""
+        counter = self.obs.registry.counter(
+            "repro_guard_faults_total",
+            "Faults contained by guarded execution (per-pixel "
+            "run_original fallbacks).",
+            ("shader", "partition", "phase"),
+        )
+        shader = self.render_session.spec_info.name
+        param = self.param
+
+        def hook(incident):
+            counter.inc(shader=shader, partition=param, phase=incident.phase)
+
+        return hook
+
+    def _observe_pixel_costs(self, phase, costs):
+        """Feed exact per-pixel CostMeter totals into the step
+        histogram (only called on paths that have them)."""
+        histogram = self.obs.registry.histogram(
+            "repro_pixel_cost_steps",
+            "Per-pixel abstract CostMeter steps for loader/reader runs.",
+            ("shader", "partition", "phase"),
+        ).labels(
+            shader=self.render_session.spec_info.name,
+            partition=self.param, phase=phase,
+        )
+        for cost in costs:
+            histogram.observe(cost)
+
+    def _record_frame(self, phase, image):
+        """Per-request metrics once a frame was served."""
+        from ..obs.cachestats import (
+            cache_occupancy, record_cache_metrics, slot_profile,
+        )
+
+        registry = self.obs.registry
+        shader = self.render_session.spec_info.name
+        labels = dict(shader=shader, partition=self.param, phase=phase)
+        registry.counter(
+            "repro_frames_total",
+            "Whole-frame loader/reader requests served.",
+            ("shader", "partition", "phase", "rung"),
+        ).inc(rung=self._rung_label(), **labels)
+        registry.counter(
+            "repro_pixels_total",
+            "Pixels served across all frames.",
+            ("shader", "partition", "phase"),
+        ).inc(len(image.colors), **labels)
+        registry.counter(
+            "repro_cost_steps_total",
+            "Total abstract CostMeter steps spent serving frames.",
+            ("shader", "partition", "phase"),
+        ).inc(image.total_cost, **labels)
+        if self._slot_profile is None:
+            self._slot_profile = slot_profile(
+                self.specialization, table=self.table
+            )
+        if phase == "load":
+            if self.caches is None:
+                # A degraded load (original / last-known-good rung)
+                # left no caches to profile.
+                return
+            lanes, filled = cache_occupancy(self.caches)
+            record_cache_metrics(
+                registry, self._slot_profile, shader, self.param,
+                lanes=lanes, filled=filled,
+            )
+            registry.counter(
+                "repro_cache_fills_total",
+                "Cache slot fills performed by loader runs (lanes x "
+                "slots actually filled).",
+                ("shader", "partition"),
+            ).inc(
+                sum(filled.values()), shader=shader, partition=self.param
+            )
+        elif self._rung_label() in ("batch", "scalar"):
+            # Only specialized rungs consume the cache; a frame served
+            # by the original shader or the LKG store hits nothing.
+            reads = sum(s.reads for s in self._slot_profile)
+            registry.counter(
+                "repro_cache_hits_total",
+                "Cache slot reads performed by reader runs (read sites "
+                "x lanes served).",
+                ("shader", "partition"),
+            ).inc(
+                reads * len(image.colors),
+                shader=shader, partition=self.param,
+            )
+
     # -- scalar backend ------------------------------------------------------
 
     def _load_scalar(self, controls, cap=None):
@@ -160,6 +296,8 @@ class EditSession(object):
         all-or-nothing)."""
         spec = self.specialization
         session = self.render_session
+        observe = self.obs.enabled
+        pixel_costs = [] if observe else None
         colors = []
         caches = []
         total = 0
@@ -179,6 +317,10 @@ class EditSession(object):
             colors.append(result)
             caches.append(cache)
             total += cost
+            if observe:
+                pixel_costs.append(cost)
+        if observe:
+            self._observe_pixel_costs("load", pixel_costs)
         return colors, caches, total
 
     def _adjust_scalar(self, controls, cap=None):
@@ -191,6 +333,8 @@ class EditSession(object):
         session = self.render_session
         caches = self.caches
         soa = isinstance(caches, B.SoACache)
+        observe = self.obs.enabled
+        pixel_costs = [] if observe else None
         colors = []
         total = 0
         for index, pixel in enumerate(session.scene):
@@ -207,6 +351,10 @@ class EditSession(object):
                 result, cost = spec.run_reader(cache, args, max_steps=cap)
             colors.append(result)
             total += cost
+            if observe:
+                pixel_costs.append(cost)
+        if observe:
+            self._observe_pixel_costs("adjust", pixel_costs)
         return colors, total
 
     def _table_interp(self, cap):
@@ -240,6 +388,15 @@ class EditSession(object):
             values, total = self._loader_kernel.run(columns, n, cache=cache)
             return B.value_rows(values, n), cache, total
         if cap is None:
+            if self.obs.enabled:
+                # run() literally sums run_lanes(), so splitting out the
+                # per-lane costs keeps the frame total byte-identical.
+                cache = self.specialization.new_batch_cache(n)
+                kernel = self.specialization.batch_kernel("loader")
+                values, lane_costs = kernel.run_lanes(columns, n, cache=cache)
+                costs = B.cost_rows(lane_costs, n)
+                self._observe_pixel_costs("load", costs)
+                return B.value_rows(values, n), cache, sum(costs)
             values, cache, total = self.specialization.run_loader_batch(
                 columns, n
             )
@@ -247,8 +404,10 @@ class EditSession(object):
         cache = self.specialization.new_batch_cache(n)
         kernel = self.specialization.batch_kernel("loader", cap)
         values, lane_costs = kernel.run_lanes(columns, n, cache=cache)
-        total = self._lane_deadline(lane_costs, n, cap, "loader")
-        return B.value_rows(values, n), cache, total
+        costs = self._lane_deadline(lane_costs, n, cap, "loader")
+        if self.obs.enabled:
+            self._observe_pixel_costs("load", costs)
+        return B.value_rows(values, n), cache, sum(costs)
 
     def _adjust_batch(self, controls, cap=None):
         """Whole-frame reader invocation; returns ``(colors, total)``."""
@@ -262,6 +421,14 @@ class EditSession(object):
                 self.table, self._variant_kernel, self.caches, columns, n
             )
         if cap is None:
+            if self.obs.enabled:
+                kernel = self.specialization.batch_kernel("reader")
+                values, lane_costs = kernel.run_lanes(
+                    columns, n, cache=self.caches
+                )
+                costs = B.cost_rows(lane_costs, n)
+                self._observe_pixel_costs("adjust", costs)
+                return B.value_rows(values, n), sum(costs)
             values, total = self.specialization.run_reader_batch(
                 self.caches, columns, n
             )
@@ -270,8 +437,10 @@ class EditSession(object):
         values, lane_costs = kernel.run_lanes(
             columns, n, cache=self.caches
         )
-        total = self._lane_deadline(lane_costs, n, cap, "reader")
-        return B.value_rows(values, n), total
+        costs = self._lane_deadline(lane_costs, n, cap, "reader")
+        if self.obs.enabled:
+            self._observe_pixel_costs("adjust", costs)
+        return B.value_rows(values, n), sum(costs)
 
     @staticmethod
     def _lane_deadline(lane_costs, n, cap, which):
@@ -280,7 +449,7 @@ class EditSession(object):
         The vectorized kernel cannot abort mid-frame the way the scalar
         interpreter does, so the budget is checked post hoc per lane;
         the frame is discarded (never committed) when any lane blew it.
-        Returns the frame's total cost when every lane is within budget.
+        Returns the per-pixel cost rows when every lane is within budget.
         """
         costs = B.cost_rows(lane_costs, n)
         worst = max(costs) if costs else 0
@@ -289,7 +458,7 @@ class EditSession(object):
                 "batch %s blew the per-pixel step deadline "
                 "(%d steps > budget %d)" % (which, worst, cap)
             )
-        return sum(costs)
+        return costs
 
     def _variant_kernel(self, code):
         kernel = self._variant_kernels.get(code)
@@ -454,15 +623,28 @@ class RenderSession(object):
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, backend=None, guard=False,
-                 supervisor=None, policy=None):
+                 supervisor=None, policy=None, obs=None):
         self.spec_info = SHADERS[shader_index]
-        self.scene = scene if scene is not None else scene_for(
-            shader_index, width, height
-        )
-        self.program = parse_program(shader_program_source(self.spec_info))
+        #: Telemetry bundle (``repro.obs``): ``True`` for a fresh one,
+        #: an :class:`~repro.obs.Observability` to share, default off.
+        self.obs = resolve_obs(obs)
+        if scene is not None:
+            self.scene = scene
+        else:
+            with self.obs.span(
+                "render.scene", shader=self.spec_info.name,
+                pixels=width * height,
+            ):
+                self.scene = scene_for(shader_index, width, height)
+        with self.obs.span(
+            "frontend.parse", shader=self.spec_info.name
+        ):
+            self.program = parse_program(
+                shader_program_source(self.spec_info)
+            )
         self.specializer = DataSpecializer(
             self.program, specializer_options, backend=backend, guard=guard,
-            policy=policy,
+            policy=policy, obs=self.obs,
         )
         self.backend = self.specializer.backend
         self.guard = self.specializer.guard
@@ -471,7 +653,9 @@ class RenderSession(object):
         #: breakers across sessions, or just a ``policy`` to get a
         #: private supervisor; None leaves rendering unsupervised.
         if supervisor is None and self.specializer.policy is not None:
-            supervisor = RenderSupervisor(self.specializer.policy)
+            supervisor = RenderSupervisor(
+                self.specializer.policy, obs=self.obs
+            )
         self.supervisor = supervisor
         self.controls = self.spec_info.default_controls()
         self._spec_memo = {}
@@ -520,6 +704,17 @@ class RenderSession(object):
 
     def render_reference(self, controls=None, specialization=None):
         """Render with the unspecialized shader (metered)."""
+        if not self.obs.enabled:
+            return self._render_reference(controls, specialization)
+        with self.obs.span(
+            "render.reference", shader=self.spec_info.name,
+            backend=self.backend, pixels=len(self.scene),
+        ) as span:
+            image = self._render_reference(controls, specialization)
+            span.set(cost=image.total_cost)
+        return image
+
+    def _render_reference(self, controls=None, specialization=None):
         spec = specialization
         if spec is None:
             spec = self._any_specialization()
@@ -611,28 +806,35 @@ class ShaderInstallation(object):
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, compile_code=True, backend=None,
-                 guard=False, supervisor=None, policy=None):
+                 guard=False, supervisor=None, policy=None, obs=None):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
             width=width, height=height, backend=backend, guard=guard,
-            supervisor=supervisor, policy=policy,
+            supervisor=supervisor, policy=policy, obs=obs,
         )
+        self.obs = self.session.obs
         self.specializations = {}
         self.stats = {}
-        for param in self.session.spec_info.control_params:
-            spec = self.session.specialize(param)
-            if compile_code:
-                # Force compilation now ("compile and link ... at the
-                # time a shader is installed").
-                spec.compiled_loader
-                spec.compiled_reader
-            self.specializations[param] = spec
-            self.stats[param] = {
-                "slots": len(spec.layout),
-                "cache_bytes": spec.cache_size_bytes,
-                "reader_nodes": sum(1 for _ in _walk(spec.reader)),
-            }
+        with self.obs.span(
+            "install.shader", shader=self.session.spec_info.name,
+            partitions=len(self.session.spec_info.control_params),
+            compile=bool(compile_code),
+        ):
+            for param in self.session.spec_info.control_params:
+                with self.obs.span("install.partition", partition=param):
+                    spec = self.session.specialize(param)
+                    if compile_code:
+                        # Force compilation now ("compile and link ...
+                        # at the time a shader is installed").
+                        spec.compiled_loader
+                        spec.compiled_reader
+                self.specializations[param] = spec
+                self.stats[param] = {
+                    "slots": len(spec.layout),
+                    "cache_bytes": spec.cache_size_bytes,
+                    "reader_nodes": sum(1 for _ in _walk(spec.reader)),
+                }
 
     @property
     def spec_info(self):

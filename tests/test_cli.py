@@ -221,6 +221,83 @@ class TestRenderSupervision:
         assert "breakers:" in out
 
 
+class TestObservability:
+    def test_render_json_reports_canonical_last_rung(self):
+        import json
+
+        code, out = run_cli(
+            ["render", "1", "--size", "4", "--json", "--supervise"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["last_rung"] in ("batch", "scalar", "original", "lkg")
+        assert set(payload["health"]["rungs"]) == {
+            "batch", "scalar", "original", "lkg",
+        }
+
+    def test_render_trace_out_writes_chrome_trace(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, out = run_cli(
+            ["render", "1", "--size", "4", "--trace-out", str(path)]
+        )
+        assert code == 0
+        assert "wrote %s" % path in out
+        with open(str(path)) as handle:
+            document = json.load(handle)
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"frontend.parse", "specialize", "render.load",
+                "render.adjust"} <= names
+        assert "repro_metrics" in document["otherData"]
+
+    def test_trace_command_reports_stage_table(self, tmp_path):
+        path = tmp_path / "trace.json"
+        code, out = run_cli(
+            ["trace", "1", "--size", "4", "--adjusts", "2",
+             "--out", str(path)]
+        )
+        assert code == 0
+        assert "stage" in out and "median ms" in out
+        assert "render.adjust" in out
+        assert path.exists()
+
+    def test_trace_unknown_shader_fails(self):
+        with pytest.raises(SystemExit):
+            run_cli(["trace", "99"])
+
+    def test_stats_prometheus_covers_every_shader(self):
+        from repro.shaders.sources import SHADERS
+
+        code, out = run_cli(["stats", "--format", "prometheus"])
+        assert code == 0
+        assert "# TYPE repro_cache_slot_bytes gauge" in out
+        for info in SHADERS.values():
+            assert 'repro_cache_slot_bytes{shader="%s"' % info.name in out
+            for param in info.control_params:
+                assert (
+                    'repro_specializations_total{shader="%s",'
+                    'partition="%s"}' % (info.name, param) in out
+                )
+
+    def test_stats_json_lines(self):
+        import json
+
+        code, out = run_cli(["stats", "--format", "json"])
+        assert code == 0
+        records = [json.loads(line) for line in out.splitlines()]
+        assert all(r["kind"] in ("metric", "span") for r in records)
+        assert any(r["name"] == "repro_cache_dead_slots" for r in records)
+        assert any(r["kind"] == "span" for r in records)
+
+    def test_stats_render_populates_runtime_counters(self):
+        code, out = run_cli(["stats", "--render", "--size", "2"])
+        assert code == 0
+        assert "repro_frames_total" in out
+        assert "repro_pixel_cost_steps_bucket" in out
+        assert "repro_cache_hits_total" in out
+
+
 class TestMainModule:
     def test_python_dash_m_repro(self, source_file):
         import subprocess

@@ -1,0 +1,182 @@
+"""Golden-file tests pinning the exporter formats.
+
+The Prometheus text exposition and Chrome trace-event outputs are
+contracts with external consumers (scrapers, chrome://tracing,
+Perfetto); these tests pin the exact bytes for a small deterministic
+registry/tracer so any format drift is a conscious decision.
+"""
+
+import json
+
+from repro.obs.export import (
+    to_chrome_trace, to_json_lines, to_prometheus, write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class FakeClock(object):
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def _golden_registry():
+    registry = MetricsRegistry()
+    frames = registry.counter(
+        "repro_frames_total", "Frames served.", ("shader", "phase")
+    )
+    frames.inc(2, shader="matte", phase="load")
+    frames.inc(5, shader="matte", phase="adjust")
+    frames.inc(1, shader="spiral", phase="load")
+    registry.gauge(
+        "repro_cache_slots", "Cache slots.", ("shader",)
+    ).set(3, shader="matte")
+    hist = registry.histogram(
+        "repro_pixel_cost_steps", "Per-pixel steps.", ("phase",),
+        buckets=(10, 100),
+    )
+    for value in (7, 70, 700):
+        hist.observe(value, phase="load")
+    return registry
+
+
+def _golden_tracer():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("specialize", shader="matte"):
+        clock.tick(0.25)
+        with tracer.span("specialize.split"):
+            clock.tick(0.5)
+        clock.tick(0.25)
+    with tracer.span("render.load", pixels=16):
+        clock.tick(1.0)
+    return tracer
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP repro_cache_slots Cache slots.
+# TYPE repro_cache_slots gauge
+repro_cache_slots{shader="matte"} 3
+# HELP repro_frames_total Frames served.
+# TYPE repro_frames_total counter
+repro_frames_total{shader="matte",phase="adjust"} 5
+repro_frames_total{shader="matte",phase="load"} 2
+repro_frames_total{shader="spiral",phase="load"} 1
+# HELP repro_pixel_cost_steps Per-pixel steps.
+# TYPE repro_pixel_cost_steps histogram
+repro_pixel_cost_steps_bucket{phase="load",le="10"} 1
+repro_pixel_cost_steps_bucket{phase="load",le="100"} 2
+repro_pixel_cost_steps_bucket{phase="load",le="+Inf"} 3
+repro_pixel_cost_steps_sum{phase="load"} 777
+repro_pixel_cost_steps_count{phase="load"} 3
+"""
+
+
+def test_prometheus_golden():
+    assert to_prometheus(_golden_registry()) == GOLDEN_PROMETHEUS
+
+
+def test_prometheus_empty_registry():
+    assert to_prometheus(MetricsRegistry()) == ""
+
+
+def test_prometheus_label_escaping():
+    registry = MetricsRegistry()
+    registry.counter("weird_total", "", ("tag",)).inc(
+        tag='say "hi"\nback\\slash'
+    )
+    line = to_prometheus(registry).splitlines()[-1]
+    assert line == 'weird_total{tag="say \\"hi\\"\\nback\\\\slash"} 1'
+
+
+GOLDEN_CHROME_EVENTS = [
+    {
+        "name": "specialize",
+        "cat": "specialize",
+        "ph": "X",
+        "ts": 0.0,
+        "dur": 1000000.0,
+        "pid": 1,
+        "tid": 1,
+        "args": {"shader": "matte", "sid": 0},
+    },
+    {
+        "name": "specialize.split",
+        "cat": "specialize",
+        "ph": "X",
+        "ts": 250000.0,
+        "dur": 500000.0,
+        "pid": 1,
+        "tid": 1,
+        "args": {"sid": 1, "parent": 0},
+    },
+    {
+        "name": "render.load",
+        "cat": "render",
+        "ph": "X",
+        "ts": 1000000.0,
+        "dur": 1000000.0,
+        "pid": 1,
+        "tid": 1,
+        "args": {"pixels": 16, "sid": 2},
+    },
+]
+
+
+def test_chrome_trace_golden():
+    document = to_chrome_trace(_golden_tracer(), as_text=False)
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["producer"] == "repro.obs"
+    assert document["traceEvents"] == GOLDEN_CHROME_EVENTS
+
+
+def test_chrome_trace_text_roundtrips_and_embeds_metrics():
+    text = to_chrome_trace(_golden_tracer(), registry=_golden_registry())
+    document = json.loads(text)
+    assert len(document["traceEvents"]) == 3
+    metrics = document["otherData"]["repro_metrics"]
+    assert metrics["repro_frames_total"]["type"] == "counter"
+    samples = metrics["repro_frames_total"]["samples"]
+    assert {"labels": {"shader": "matte", "phase": "load"}, "value": 2} \
+        in samples
+
+
+def test_write_chrome_trace(tmp_path):
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(path, _golden_tracer())
+    with open(path) as handle:
+        document = json.load(handle)
+    assert [e["name"] for e in document["traceEvents"]] == [
+        "specialize", "specialize.split", "render.load",
+    ]
+
+
+def test_json_lines_golden():
+    lines = to_json_lines(
+        _golden_registry(), _golden_tracer()
+    ).splitlines()
+    records = [json.loads(line) for line in lines]
+    kinds = [r["kind"] for r in records]
+    assert kinds == ["metric"] * 5 + ["span"] * 3
+    first = records[0]
+    assert first == {
+        "kind": "metric",
+        "name": "repro_cache_slots",
+        "type": "gauge",
+        "labels": {"shader": "matte"},
+        "value": 3,
+    }
+    hist = [r for r in records if r["name"] == "repro_pixel_cost_steps"][0]
+    assert hist["sum"] == 777 and hist["count"] == 3
+    assert hist["buckets"][-1] == {"le": float("inf"), "count": 3}
+    spans = [r for r in records if r["kind"] == "span"]
+    assert [s["name"] for s in spans] == [
+        "specialize", "specialize.split", "render.load",
+    ]
+    assert spans[1]["parent"] == 0 and spans[1]["depth"] == 1

@@ -1,0 +1,118 @@
+"""Observer-effect-zero gate: tracing must never perturb results.
+
+For every shader x control partition x backend, a fully traced drag
+(spans, metrics, per-pixel cost histograms) must produce byte-identical
+colors and CostMeter totals to an untraced one.  The telemetry layer
+observes the abstract cost scale; it must never participate in it.
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.runtime.supervise import SupervisorPolicy
+from repro.shaders.render import RenderSession
+from repro.shaders.sources import SHADERS
+
+SIZE = 4
+
+
+def _params_of(index):
+    """First and last control parameter (bounded sweep per shader)."""
+    params = SHADERS[index].control_params
+    return sorted({params[0], params[-1]})
+
+
+def _drag(index, backend, param, obs=None, **session_kwargs):
+    """One full drag: reference render, load, two adjusts.  Returns the
+    images plus the session (so callers can inspect the obs bundle)."""
+    session = RenderSession(
+        index, width=SIZE, height=SIZE, backend=backend, obs=obs,
+        **session_kwargs
+    )
+    edit = session.begin_edit(param)
+    frames = [session.render_reference(), edit.load(session.controls)]
+    for step in (1.15, 0.85):
+        frames.append(edit.adjust(
+            session.controls_with(**{param: session.controls[param] * step})
+        ))
+    return frames, session
+
+
+def _assert_frames_identical(plain, traced, what):
+    assert len(plain) == len(traced)
+    for i, (p, t) in enumerate(zip(plain, traced)):
+        assert p.colors == t.colors, "%s frame %d: colors differ" % (what, i)
+        assert p.total_cost == t.total_cost, (
+            "%s frame %d: cost %d != %d"
+            % (what, i, p.total_cost, t.total_cost)
+        )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+@pytest.mark.parametrize("index", sorted(SHADERS))
+def test_traced_drag_parity(index, backend):
+    for param in _params_of(index):
+        plain, _ = _drag(index, backend, param)
+        obs = Observability()
+        traced, session = _drag(index, backend, param, obs=obs)
+        _assert_frames_identical(
+            plain, traced,
+            "shader %d %s/%s" % (index, backend, param),
+        )
+        # The run was actually observed, not silently disabled.
+        assert any(s.name == "render.load" for s in obs.tracer.spans)
+        assert obs.registry.value(
+            "repro_pixels_total",
+            shader=session.spec_info.name, partition=param, phase="load",
+        ) == SIZE * SIZE
+
+
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+def test_traced_supervised_drag_parity(backend):
+    index = sorted(SHADERS)[0]
+    param = _params_of(index)[0]
+    policy = SupervisorPolicy()
+    plain, _ = _drag(index, backend, param, policy=policy)
+    traced, session = _drag(
+        index, backend, param, obs=Observability(),
+        policy=SupervisorPolicy(),
+    )
+    _assert_frames_identical(
+        plain, traced, "supervised %s/%s" % (backend, param)
+    )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+def test_traced_guarded_drag_parity(backend):
+    index = sorted(SHADERS)[0]
+    param = _params_of(index)[0]
+    plain, _ = _drag(index, backend, param, guard=True)
+    traced, _ = _drag(
+        index, backend, param, obs=Observability(), guard=True
+    )
+    _assert_frames_identical(
+        plain, traced, "guarded %s/%s" % (backend, param)
+    )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+def test_traced_dispatch_parity(backend):
+    """Dispatch-table drags (Section 7.2) under tracing."""
+    index = sorted(SHADERS)[0]
+    param = _params_of(index)[0]
+
+    def run(obs):
+        session = RenderSession(
+            index, width=SIZE, height=SIZE, backend=backend, obs=obs
+        )
+        edit = session.begin_edit(param, dispatch=True)
+        frames = [edit.load(session.controls)]
+        frames.append(edit.adjust(
+            session.controls_with(**{param: session.controls[param] * 1.2})
+        ))
+        return frames
+
+    _assert_frames_identical(
+        run(None), run(Observability()),
+        "dispatch %s/%s" % (backend, param),
+    )

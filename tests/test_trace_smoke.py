@@ -1,0 +1,52 @@
+"""Non-gating traced-pipeline smoke (deselected by default; run with
+``-m tracesmoke``).
+
+Wraps ``tools/trace_smoke.py``: runs a traced drag per backend, asserts
+byte-identical parity with the untraced run and >= 90% span coverage of
+pipeline wall time, and merges per-stage timing medians into
+``BENCH_render.json`` under a ``"trace"`` key.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "trace_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("trace_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.tracesmoke
+def test_trace_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Seed the file with a foreign section to prove read-modify-write.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 4.0}, handle)
+
+    report = tool.run(out_path=out_path)
+
+    assert set(report["backends"]) == {"scalar", "batch"}
+    for result in report["backends"].values():
+        assert result["span_coverage"] >= tool.MIN_COVERAGE
+        assert result["spans"] > 0
+        medians = result["stage_median_ms"]
+        assert "render.load" in medians and "render.adjust" in medians
+        assert all(value >= 0 for value in medians.values())
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 4.0  # foreign section kept
+    assert written["trace"]["shader"] == tool.SHADER
+    assert written["trace"]["backends"]["scalar"]["stage_median_ms"]

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Traced-pipeline timing smoke: span coverage plus per-stage medians.
+
+Runs one full traced drag session (parse -> specialize -> load ->
+adjusts) per execution backend on shader 1, then:
+
+* asserts the traced run stays byte-identical to an untraced one
+  (colors and CostMeter totals) — tracing must never perturb results;
+* asserts the Chrome-trace spans cover >= 90% of the pipeline's wall
+  time (the tracer's root spans vs. an outer stopwatch), so the
+  flamegraph actually accounts for where time goes;
+* merges the per-stage timing medians and the disabled-path overhead
+  ratio into ``BENCH_render.json`` under a ``"trace"`` key so future
+  PRs have a timing trajectory per pipeline stage.
+
+Run directly::
+
+    python tools/trace_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m tracesmoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.obs import Observability  # noqa: E402
+from repro.shaders.render import RenderSession  # noqa: E402
+
+SHADER = 1
+SIZE = 32
+PARAM = "kd"
+ADJUSTS = 4
+#: Chrome-trace spans must cover at least this share of pipeline wall
+#: time (roots vs. stopwatch).
+MIN_COVERAGE = 0.90
+#: Loose ceiling on the disabled path's overhead vs. a second untraced
+#: run — the contract is <2%, but wall-clock noise at smoke scale makes
+#: a tight gate flaky; egregious regressions still trip this.
+MAX_DISABLED_OVERHEAD = 0.25
+
+
+def _drag(backend, obs=None):
+    """One full pipeline run; returns (frames, obs, wall_seconds)."""
+    start = time.perf_counter()
+    session = RenderSession(
+        SHADER, width=SIZE, height=SIZE, backend=backend, obs=obs
+    )
+    edit = session.begin_edit(PARAM)
+    frames = [edit.load(session.controls)]
+    for i in range(ADJUSTS):
+        value = session.controls[PARAM] * (1.0 + 0.1 * (i + 1))
+        frames.append(edit.adjust(session.controls_with(**{PARAM: value})))
+    return frames, session.obs, time.perf_counter() - start
+
+
+def _signature(frames):
+    return [(f.colors, f.total_cost) for f in frames]
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    report = {"shader": SHADER, "pixels": SIZE * SIZE, "backends": {}}
+    for backend in ("scalar", "batch"):
+        plain_frames, _, plain_seconds = _drag(backend)
+        # Second untraced run as the overhead baseline (both warm).
+        plain_frames2, _, plain_seconds2 = _drag(backend)
+        traced_frames, obs, traced_wall = _drag(
+            backend, obs=Observability()
+        )
+
+        assert _signature(plain_frames) == _signature(traced_frames), (
+            "%s: traced run diverged from untraced run" % backend
+        )
+        assert _signature(plain_frames) == _signature(plain_frames2)
+
+        coverage = obs.tracer.total_seconds() / traced_wall
+        assert coverage >= MIN_COVERAGE, (
+            "%s: spans cover only %.1f%% of pipeline wall time "
+            "(need >= %.0f%%)"
+            % (backend, coverage * 100.0, MIN_COVERAGE * 100.0)
+        )
+        baseline = min(plain_seconds, plain_seconds2)
+        overhead = plain_seconds2 / plain_seconds - 1.0
+        report["backends"][backend] = {
+            "wall_seconds": traced_wall,
+            "span_coverage": coverage,
+            "spans": len(obs.tracer.spans),
+            "untraced_seconds": baseline,
+            "untraced_run_spread": abs(overhead),
+            "stage_median_ms": {
+                name: stats["median_seconds"] * 1e3
+                for name, stats in sorted(obs.tracer.stage_totals().items())
+            },
+        }
+
+    # Disabled-path overhead: obs=None (the default) vs. the baseline —
+    # both are untraced code paths, so the ratio measures the cost of
+    # the `obs.enabled` guards themselves plus noise.
+    scalar = report["backends"]["scalar"]
+    _, _, disabled_seconds = _drag("scalar")
+    scalar["disabled_overhead"] = (
+        disabled_seconds / scalar["untraced_seconds"] - 1.0
+    )
+    assert scalar["disabled_overhead"] <= MAX_DISABLED_OVERHEAD, (
+        "disabled-path overhead %.1f%% exceeds %.0f%%"
+        % (scalar["disabled_overhead"] * 100.0,
+           MAX_DISABLED_OVERHEAD * 100.0)
+    )
+
+    # Read-modify-write: keep sections other tools own (bench_smoke's
+    # throughput numbers, fault_smoke's rates).
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["trace"] = report
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main():
+    report = run()
+    for backend, result in sorted(report["backends"].items()):
+        print(
+            "%-6s  %3d spans cover %5.1f%% of %7.2fms"
+            % (backend, result["spans"],
+               result["span_coverage"] * 100.0,
+               result["wall_seconds"] * 1e3)
+        )
+        top = sorted(
+            result["stage_median_ms"].items(), key=lambda kv: -kv[1]
+        )[:5]
+        for name, median_ms in top:
+            print("        %-24s median %7.3fms" % (name, median_ms))
+    print("merged per-stage medians  ->  BENCH_render.json[\"trace\"]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
