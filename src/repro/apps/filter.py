@@ -77,3 +77,29 @@ def blur_row(spec, cache, row, sigma):
         out.append(value)
         total += cost
     return out, total
+
+
+def blur_row_batch(spec, cache, row, sigma):
+    """One batched reader call filters the whole row.
+
+    The per-sigma ``cache`` is broadcast across the row's lanes
+    (:func:`~repro.runtime.batch.broadcast_cache` — the loader still ran
+    exactly once) and the nine neighborhood columns become shifted,
+    border-clamped array views.  Bit-identical to :func:`blur_row`;
+    falls back to it without NumPy.
+    """
+    from ..runtime import batch as B
+
+    if not B.HAVE_NUMPY:
+        return blur_row(spec, cache, row, sigma)
+    n = len(row)
+    np = B._np
+    samples = np.asarray(row, dtype=float)
+    idx = np.arange(n)
+    columns = [
+        samples[np.clip(idx + k, 0, n - 1)] for k in range(-4, 5)
+    ]
+    columns.append(sigma)
+    soa = B.broadcast_cache(spec.layout, cache, n)
+    values, total = spec.batch_kernel("reader").run(columns, n, cache=soa)
+    return list(B.value_rows(values, n)), total

@@ -92,3 +92,48 @@ def spline_program():
     from ..lang.parser import parse_program
 
     return parse_program(SPLINE_SOURCE)
+
+
+def specialize_on_t(**options):
+    """Specialize ``spline5`` on ``{t}`` — the curve-editor shape: the
+    knots are fixed while the evaluation parameter sweeps."""
+    from ..core.specializer import DataSpecializer, SpecializerOptions
+
+    specializer = DataSpecializer(
+        spline_program(), SpecializerOptions(**options)
+    )
+    return specializer.specialize("spline5", {"t"})
+
+
+def sweep_curve(spec, cache, knots, ts):
+    """Evaluate the specialized spline at each ``t`` with the scalar
+    reader (one loader run for the knots already filled ``cache``).
+    Returns (values, total_reader_cost)."""
+    out = []
+    total = 0
+    for t in ts:
+        value, cost = spec.run_reader(cache, list(knots) + [float(t)])
+        out.append(value)
+        total += cost
+    return out, total
+
+
+def sweep_curve_batch(spec, cache, knots, ts):
+    """One batched reader call evaluates the whole parameter sweep.
+
+    The per-knot-set ``cache`` is broadcast across the sweep's lanes
+    (:func:`~repro.runtime.batch.broadcast_cache`); the knots ride as
+    uniform scalars and ``t`` as the one varying column.  Bit-identical
+    to :func:`sweep_curve`; falls back to it without NumPy.
+    """
+    from ..runtime import batch as B
+
+    if not B.HAVE_NUMPY:
+        return sweep_curve(spec, cache, knots, ts)
+    n = len(ts)
+    np = B._np
+    columns = [float(y) for y in knots]
+    columns.append(np.asarray(ts, dtype=float))
+    soa = B.broadcast_cache(spec.layout, cache, n)
+    values, total = spec.batch_kernel("reader").run(columns, n, cache=soa)
+    return list(B.value_rows(values, n)), total

@@ -248,10 +248,21 @@ def cmd_render(args, out):
             seed=args.inject_seed, kernel_rate=args.inject_rate
         )
     obs = _resolve_obs_flag(args)
+    from .runtime.parallel import resolve_tile, resolve_workers
+
+    try:
+        workers = args.workers
+        if workers is not None and workers != "auto":
+            workers = int(workers)
+        workers = resolve_workers(workers)
+        tile = resolve_tile(args.tile)
+    except ValueError as exc:
+        raise SystemExit("bad --workers/--tile: %s" % exc)
     session = RenderSession(
         args.shader, width=args.size, height=args.size, backend=args.backend,
         guard=args.guard or injector is not None,
         policy=_supervision_policy(args), obs=obs,
+        workers=workers, tile=tile,
     )
     param = args.param or session.spec_info.control_params[0]
     try:
@@ -269,7 +280,7 @@ def cmd_render(args, out):
         else None
     )
     if args.json:
-        from .obs.schema import canonical_rung
+        from .obs.schema import canonical_rung, execution_config
 
         json.dump(
             {
@@ -278,6 +289,9 @@ def cmd_render(args, out):
                 "width": session.scene.width,
                 "height": session.scene.height,
                 "backend": edit.backend,
+                "config": execution_config(
+                    edit.backend, edit.workers, edit.tile
+                ),
                 "param": param,
                 "load_cost": image.total_cost,
                 "adjust_cost": adjusted.total_cost,
@@ -292,9 +306,9 @@ def cmd_render(args, out):
         out.write("\n")
     else:
         out.write(
-            "shader %d (%s): %dx%d via %s backend, drag %r\n"
+            "shader %d (%s): %dx%d via %s backend (workers %d), drag %r\n"
             % (args.shader, session.spec_info.name, session.scene.width,
-               session.scene.height, edit.backend, param)
+               session.scene.height, edit.backend, edit.workers, param)
         )
         out.write(
             "load:   cost %d (%.1f/pixel), cache %dB/pixel\n"
@@ -533,7 +547,15 @@ def build_parser():
                    help="control parameter to drag (default: first)")
     p.add_argument("--backend", default=None,
                    choices=["scalar", "batch", "auto"],
-                   help="execution backend (default: scalar)")
+                   help="execution backend (default: auto — batch "
+                        "kernels when NumPy is available)")
+    p.add_argument("--workers", default=None,
+                   help="tiled-scheduler worker processes for the batch "
+                        "backend: a count, or 'auto' for one per core "
+                        "(default: 1, single-process)")
+    p.add_argument("--tile", type=int, default=None,
+                   help="lanes per scheduler tile (default: 2048, "
+                        "rounded to whole scan lines)")
     p.add_argument("--dispatch", action="store_true",
                    help="use Section 7.2 dispatch-code readers")
     p.add_argument("--guard", action="store_true",

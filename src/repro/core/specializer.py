@@ -38,6 +38,7 @@ from ..lang.pretty import format_function
 from ..lang.typecheck import check_program
 from ..obs import NULL_OBS, resolve_obs
 from ..runtime.batch import BatchKernel, resolve_backend
+from ..runtime.parallel import resolve_tile, resolve_workers
 from ..runtime.compiler import compile_function
 from ..runtime.interp import CostMeter, Interpreter
 from ..transform.inline import Inliner
@@ -309,7 +310,7 @@ class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
     def __init__(self, program, options=None, backend=None, guard=False,
-                 policy=None, obs=None):
+                 policy=None, obs=None, workers=None, tile=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
@@ -321,6 +322,13 @@ class DataSpecializer(object):
         #: Preferred execution backend for session-level drivers
         #: ("scalar" or "batch"; "auto" resolves at construction).
         self.backend = resolve_backend(backend)
+        #: Tiled-scheduler knobs for session-level drivers: worker-pool
+        #: size (1 = in-process; ``"auto"`` = one per core) and lanes
+        #: per tile (None = untiled unless a pool is requested).
+        self.workers = resolve_workers(workers)
+        if tile is not None:
+            resolve_tile(tile)  # validate eagerly; keep None distinct
+        self.tile = tile
         #: Session-level default for guarded execution: when True,
         #: drivers built on this specializer wrap loader/reader runs in
         #: a :class:`~repro.runtime.guard.GuardedExecutor`.

@@ -23,6 +23,16 @@ class Type(object):
     def __str__(self):
         return self.name
 
+    def __reduce__(self):
+        # Pickling must preserve interning: annotated ASTs cross process
+        # boundaries (the tiled frame scheduler's worker pool), and every
+        # consumer compares types with ``is``.
+        return (_interned, (self.name,))
+
+
+def _interned(name):
+    return BY_NAME[name]
+
 
 INT = Type("int", 4)
 FLOAT = Type("float", 4)

@@ -23,6 +23,9 @@ BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 #: Request phases.
 PHASES = ("load", "adjust")
 
+#: Execution backends a session can resolve to.
+BACKENDS = ("batch", "scalar")
+
 
 def canonical_rung(name):
     """Normalize a rung name to the canonical schema spelling.
@@ -46,3 +49,24 @@ def canonical_breaker_state(name):
     if canonical not in BREAKER_STATES:
         raise ValueError("unknown breaker state %r" % name)
     return canonical
+
+
+def execution_config(backend, workers, tile):
+    """The canonical execution-configuration mapping every JSON surface
+    shares (``repro render --json``, bench reports): the *effective*
+    backend/worker/tile knobs after resolution, not what the user typed.
+
+    ``tile`` may be None (the scheduler default applies only when a
+    tiled executor actually runs); it is reported as the resolved lane
+    count either way so consumers never see two spellings of "default".
+    """
+    canonical = str(backend).strip().lower().replace("-", "_")
+    if canonical not in BACKENDS:
+        raise ValueError("unknown backend %r" % backend)
+    from ..runtime.parallel import resolve_tile, resolve_workers
+
+    return {
+        "backend": canonical,
+        "workers": resolve_workers(workers),
+        "tile": resolve_tile(tile),
+    }

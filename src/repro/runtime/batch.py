@@ -39,10 +39,15 @@ BACKENDS = ("scalar", "batch", "auto")
 def resolve_backend(backend):
     """Normalize a ``backend=`` knob value.
 
-    ``None`` keeps the historical scalar path; ``"auto"`` picks the
-    batch backend exactly when NumPy is importable (the pure-Python
-    batch fallback is correct but not faster than scalar, so ``auto``
-    never selects it)."""
+    ``None`` keeps the historical scalar path at this knob level (the
+    session layer — ``RenderSession``/``EditSession`` — defaults to
+    ``"auto"`` instead; pass ``backend="scalar"`` there to opt out).
+    ``"auto"`` picks the batch backend exactly when NumPy is importable:
+    with the noise family vectorized there is no shader left whose hot
+    builtins drop to the lane-at-a-time fallback, so batch is the
+    faster choice whenever real arrays exist, while the pure-Python
+    batch fallback is correct but not faster than scalar — ``auto``
+    never selects it."""
     if backend is None:
         return "scalar"
     if backend not in BACKENDS:
@@ -198,6 +203,88 @@ class SoACache(object):
                 sub.columns[k] = [column[i] for i in idx]
         return sub
 
+    # -- tiled access (runtime/parallel.py) ----------------------------------
+
+    def tile(self, start, stop):
+        """A sub-cache over lanes ``[start, stop)``.
+
+        Array columns are NumPy **views** (contiguous, zero-copy — this
+        is what the tile scheduler hands each reader tile); list columns
+        slice.  Intended for reading: a full-width store through the
+        view would rebind the view's column, not write through.
+        """
+        sub = SoACache(self.layout, stop - start)
+        for k, column in enumerate(self.columns):
+            if column is None:
+                continue
+            sub.columns[k] = column[start:stop]
+            mask = self.filled[k]
+            if HAVE_NUMPY and isinstance(column, _np.ndarray):
+                sub.filled[k] = (
+                    mask if mask is None or mask is True else mask[start:stop]
+                )
+        return sub
+
+    def splice(self, start, stop, tile):
+        """Install a tile-local cache (lanes ``[start, stop)`` of this
+        frame, produced by a loader tile) into the frame cache.
+
+        Array tile columns land in preallocated frame arrays with
+        per-lane filled masks merged (normalized back to ``True`` once
+        every lane is covered); list tile columns (the pure-Python
+        fallback) keep the list representation with ``None`` holes.
+        """
+        for k, column in enumerate(tile.columns):
+            if column is None:
+                continue
+            if HAVE_NUMPY and isinstance(column, _np.ndarray):
+                frame = self.columns[k]
+                if isinstance(frame, list):
+                    frame[start:stop] = tile.demote_column(k)
+                    continue
+                if frame is None:
+                    frame = _np.zeros(
+                        (self.n,) + column.shape[1:], dtype=column.dtype
+                    )
+                    self.columns[k] = frame
+                    self.filled[k] = _np.zeros(self.n, dtype=bool)
+                frame[start:stop] = column
+                mask = self.filled[k]
+                if mask is True:
+                    mask = _np.ones(self.n, dtype=bool)
+                elif mask is None:
+                    mask = _np.zeros(self.n, dtype=bool)
+                tile_mask = tile.filled[k]
+                if tile_mask is None or tile_mask is True:
+                    mask[start:stop] = True
+                else:
+                    mask[start:stop] = tile_mask
+                self.filled[k] = True if mask.all() else mask
+            else:
+                frame = self.columns[k]
+                if frame is None:
+                    frame = [None] * self.n
+                    self.columns[k] = frame
+                    self.filled[k] = None
+                elif HAVE_NUMPY and isinstance(frame, _np.ndarray):
+                    frame = self.demote_column(k)
+                frame[start:stop] = column
+        return self
+
+    # -- container protocol --------------------------------------------------
+    #
+    # The scalar backend's "caches" are a list of per-pixel slot lists;
+    # these dunders let SoA frame caches satisfy the same shape checks
+    # (``len(edit.caches)``, iterating per-pixel views) now that the
+    # batch backend is the session default.
+
+    def __len__(self):
+        return self.n
+
+    def __iter__(self):
+        for i in range(self.n):
+            yield _CacheRow(self, i)
+
 
 class _CacheRow(object):
     """One lane of a :class:`SoACache`, exposed as the slot list the
@@ -332,6 +419,33 @@ def cost_rows(lane_costs, n):
     if isinstance(lane_costs, list):
         return [int(c) for c in lane_costs]
     return [int(c) for c in lane_costs.tolist()]
+
+
+def broadcast_cache(layout, row_cache, n):
+    """A :class:`SoACache` whose every lane repeats one scalar cache's
+    slot values.
+
+    The Section 7.3 high-repetition shape (image filtering, curve
+    sweeps): one loader run fills a single per-instance cache, and one
+    batched reader call then serves *n* lanes from it.  ``row_cache`` is
+    the slot list a scalar ``run_loader`` produced; unfilled (``None``)
+    slots stay unfilled so reads of them still fault.
+    """
+    if not HAVE_NUMPY:
+        raise BatchCompileError("NumPy is unavailable")
+    soa = SoACache(layout, n)
+    for index, value in enumerate(row_cache):
+        if value is None:
+            continue
+        if isinstance(value, tuple):
+            soa.columns[index] = _np.tile(
+                _np.asarray(value, dtype=float), (n, 1)
+            )
+        else:
+            dtype = _np.int64 if layout[index].ty is INT else float
+            soa.columns[index] = _np.full(n, value, dtype=dtype)
+        soa.filled[index] = True
+    return soa
 
 
 def run_dispatch(table, kernel_for, cache, columns, n):

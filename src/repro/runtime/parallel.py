@@ -1,0 +1,365 @@
+"""Tiled multi-core frame scheduler for the batch execution backend.
+
+The batch backend (``runtime/batch.py``) executes one whole-frame kernel
+call per request; this module shards that call into cache-friendly
+**tiles** — contiguous, row-aligned lane spans — and executes them
+either serially or across a persistent ``fork`` process pool:
+
+* :func:`plan_tiles` — deterministic tile spans over the pixel grid,
+  independent of the worker count, so the work decomposition (and hence
+  every per-lane result) is a pure function of ``(n, tile, width)``.
+* :class:`TileExecutor` — runs a :class:`~repro.runtime.batch
+  .BatchKernel` over every tile.  Loader tiles fill tile-local
+  :class:`~repro.runtime.batch.SoACache` segments that are spliced back
+  into the frame cache; reader tiles see contiguous **views** of the
+  frame cache (no copies on the in-process path; the process-pool path
+  ships only each tile's own segment across the pipe).
+
+Byte-identity argument: every vectorized operation the kernels perform
+is lane-local (elementwise arithmetic, masked selects, per-lane cost
+charges — the language has no cross-lane reductions), so running lanes
+``[s, e)`` in one kernel call produces bit-identical values and int64
+costs to running them inside a full-width call.  Tile order is fixed and
+tile→worker assignment is deterministic round-robin, so stitching tiles
+back in index order reproduces the single-call frame byte for byte and
+the CostMeter totals sum exactly.
+
+Per-tile deadlines: when a supervised request caps per-pixel steps, the
+cap is enforced post hoc per **tile** instead of per frame.  A blown
+tile either degrades alone through the caller's ``on_overrun`` hook
+(the :class:`~repro.runtime.supervise.RenderSupervisor` integration —
+the rest of the frame stays on the fast path) or, with no hook, raises
+:class:`~repro.lang.errors.DeadlineError` exactly like the whole-frame
+check did.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import time
+
+from ..lang.errors import DeadlineError
+from ..obs import NULL_OBS
+from . import batch as B
+
+#: Default lanes per tile.  Sized so one tile's SoA columns (~10 slots x
+#: 8 bytes x lanes) stay within a typical L2 slice while still amortizing
+#: per-tile kernel dispatch overhead; see docs/performance.md for the
+#: measured tuning table.
+DEFAULT_TILE = 2048
+
+
+def resolve_workers(workers):
+    """Normalize the ``workers=`` knob.
+
+    ``None``/``0``/``1`` mean single-process execution; ``"auto"`` means
+    one worker per CPU core; any other positive int is taken literally
+    (more workers than cores is allowed — useful for testing the pool
+    path on small hosts).
+    """
+    if workers is None or workers == 0 or workers == 1:
+        return 1
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be >= 1, got %r" % (workers,))
+    return count
+
+
+def resolve_tile(tile):
+    """Normalize the ``tile=`` knob (lanes per tile; None = default)."""
+    if tile is None:
+        return DEFAULT_TILE
+    size = int(tile)
+    if size < 1:
+        raise ValueError("tile must be >= 1, got %r" % (tile,))
+    return size
+
+
+def plan_tiles(n, tile, width=None):
+    """Deterministic contiguous ``[start, stop)`` lane spans.
+
+    When the scene ``width`` is known the tile size is rounded down to a
+    whole number of scan lines (and up to at least one), so a tile never
+    splits a row — the row-major SoA segments each worker touches stay
+    cache-aligned and cover whole image rows.
+    """
+    if n <= 0:
+        return []
+    size = max(1, int(tile))
+    if width is not None and width > 0:
+        if size >= width:
+            size -= size % width
+        else:
+            size = width
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution (process-pool path)
+# ---------------------------------------------------------------------------
+
+#: Kernel memo per worker process: token -> rebuilt BatchKernel.  Tokens
+#: are minted in the parent per kernel object, so a persistent pool
+#: compiles each loader/reader once per worker, not once per frame.
+_WORKER_KERNELS = {}
+
+#: Persistent pools keyed by worker count.
+_POOLS = {}
+
+
+def _fork_available():
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except (ImportError, NotImplementedError):  # pragma: no cover
+        return False
+
+
+def _get_pool(workers):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        import multiprocessing
+
+        pool = multiprocessing.get_context("fork").Pool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools():
+    """Terminate every persistent worker pool (tests, interpreter exit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _run_worker_chunk(payload):
+    """Execute one worker's tile list; runs inside a pool process.
+
+    ``payload`` carries everything needed to rebuild the kernel (the
+    function AST pickles at ~10KB) plus, per tile, the tile's sliced
+    argument columns and — for readers — its cache segment.  Returns
+    ``[(tile_index, values, lane_costs, tile_cache_or_None), ...]``.
+    """
+    token, fn, program, max_steps, layout, jobs = payload
+    kernel = _WORKER_KERNELS.get(token)
+    if kernel is None:
+        kernel = B.BatchKernel(fn, program=program, max_steps=max_steps)
+        _WORKER_KERNELS[token] = kernel
+    out = []
+    for tile_index, start, stop, cols, tile_cache in jobs:
+        lanes = stop - start
+        if layout is not None:
+            tile_cache = B.SoACache(layout, lanes)
+        values, lane_costs = kernel.run_lanes(cols, lanes, cache=tile_cache)
+        out.append((
+            tile_index, values, lane_costs,
+            tile_cache if layout is not None else None,
+        ))
+    return out
+
+
+def _slice_column(column, start, stop):
+    """One tile's view of an argument column: arrays and lists slice
+    (NumPy slices are views — no copy); uniform scalars pass through."""
+    if B.HAVE_NUMPY and isinstance(column, B._np.ndarray):
+        return column[start:stop]
+    if isinstance(column, list):
+        return column[start:stop]
+    return column
+
+
+_TOKENS = itertools.count(1)
+
+
+class TileRunStats(object):
+    """What one tiled frame execution did (telemetry + tests)."""
+
+    __slots__ = ("tiles", "degraded_tiles", "workers", "pooled", "elapsed")
+
+    def __init__(self, tiles, degraded_tiles, workers, pooled, elapsed):
+        self.tiles = tiles
+        #: Tiles served by the caller's ``on_overrun`` hook instead of
+        #: the batch kernel (per-tile deadline degradation).
+        self.degraded_tiles = degraded_tiles
+        self.workers = workers
+        #: Whether the process pool actually ran (False when serial,
+        #: single-tile, or ``fork`` is unavailable on this platform).
+        self.pooled = pooled
+        self.elapsed = elapsed
+
+
+class TileExecutor(object):
+    """Runs batch kernels tile-by-tile, serially or on a process pool.
+
+    One executor per edit session; kernels are identified by object
+    identity and assigned stable tokens so pool workers memoize their
+    rebuilt copies across frames.
+    """
+
+    def __init__(self, workers=1, tile=None):
+        self.workers = resolve_workers(workers)
+        self.tile = resolve_tile(tile)
+        self.last_stats = None
+        self._tokens = {}
+
+    def _token_for(self, kernel):
+        token = self._tokens.get(id(kernel))
+        if token is None:
+            token = (os.getpid(), next(_TOKENS))
+            self._tokens[id(kernel)] = token
+        return token
+
+    def run(self, kernel, columns, n, *, frame_cache=None, layout=None,
+            width=None, cap=None, on_overrun=None, obs=None,
+            shader="?", partition="?", phase="?"):
+        """Execute ``kernel`` over ``n`` lanes in tiles.
+
+        * Loader mode (``layout`` given): each tile fills a tile-local
+          :class:`SoACache` that is spliced into ``frame_cache``.
+        * Reader mode (``frame_cache`` given, no ``layout``): each tile
+          reads a contiguous view of the frame cache.
+
+        ``cap`` enforces the per-pixel step deadline per tile;
+        ``on_overrun(tile_index, start, stop, worst)`` may serve a blown
+        tile another way (returning ``(colors, costs)`` row lists) —
+        without it the tile raises :class:`DeadlineError`.
+
+        Returns ``(values_rows, costs_rows)`` — per-lane Python values
+        and int costs in frame order, byte-identical to one full-width
+        kernel call.
+        """
+        obs = obs if obs is not None else NULL_OBS
+        started = time.perf_counter()
+        plan = plan_tiles(n, self.tile, width)
+        use_pool = (
+            self.workers > 1 and len(plan) > 1 and _fork_available()
+        )
+        if use_pool:
+            tiles = self._run_pooled(
+                kernel, columns, plan, layout, frame_cache, obs,
+                shader, partition, phase,
+            )
+        else:
+            tiles = self._run_serial(
+                kernel, columns, plan, layout, frame_cache, obs,
+                shader, partition, phase,
+            )
+
+        values_rows = []
+        costs_rows = []
+        degraded = 0
+        for tile_index, (start, stop) in enumerate(plan):
+            values, lane_costs, tile_cache = tiles[tile_index]
+            lanes = stop - start
+            costs = B.cost_rows(lane_costs, lanes)
+            if cap is not None:
+                worst = max(costs) if costs else 0
+                if worst > cap:
+                    if on_overrun is None:
+                        raise DeadlineError(
+                            "batch %s tile %d (lanes %d:%d) blew the "
+                            "per-pixel step deadline (%d steps > budget %d)"
+                            % (phase, tile_index, start, stop, worst, cap)
+                        )
+                    tile_values, tile_costs = on_overrun(
+                        tile_index, start, stop, worst
+                    )
+                    values_rows.extend(tile_values)
+                    costs_rows.extend(int(c) for c in tile_costs)
+                    degraded += 1
+                    continue
+            values_rows.extend(B.value_rows(values, lanes))
+            costs_rows.extend(costs)
+            if layout is not None and frame_cache is not None:
+                frame_cache.splice(start, stop, tile_cache)
+        elapsed = time.perf_counter() - started
+        self.last_stats = TileRunStats(
+            len(plan), degraded, self.workers, use_pool, elapsed,
+        )
+        if obs.enabled and plan:
+            obs.registry.histogram(
+                "repro_tiles_per_second",
+                "Tiles executed per second for one tiled frame request.",
+                ("shader", "partition", "phase"),
+            ).observe(
+                len(plan) / max(elapsed, 1e-9),
+                shader=shader, partition=partition, phase=phase,
+            )
+        return values_rows, costs_rows
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_serial(self, kernel, columns, plan, layout, frame_cache, obs,
+                    shader, partition, phase):
+        tiles = {}
+        for tile_index, (start, stop) in enumerate(plan):
+            lanes = stop - start
+            cols = [_slice_column(c, start, stop) for c in columns]
+            if layout is not None:
+                tile_cache = B.SoACache(layout, lanes)
+            elif frame_cache is not None:
+                tile_cache = frame_cache.tile(start, stop)
+            else:
+                tile_cache = None
+            with obs.span(
+                "render.tile", shader=shader, partition=partition,
+                phase=phase, tile=tile_index, start=start, stop=stop,
+                lanes=lanes,
+            ):
+                values, lane_costs = kernel.run_lanes(
+                    cols, lanes, cache=tile_cache
+                )
+            tiles[tile_index] = (values, lane_costs, tile_cache)
+        return tiles
+
+    # -- process-pool path ---------------------------------------------------
+
+    def _run_pooled(self, kernel, columns, plan, layout, frame_cache, obs,
+                    shader, partition, phase):
+        kernel._ensure()  # compile once in the parent; workers rebuild
+        token = self._token_for(kernel)
+        pool = _get_pool(self.workers)
+        chunks = []
+        for worker in range(self.workers):
+            jobs = []
+            for tile_index in range(worker, len(plan), self.workers):
+                start, stop = plan[tile_index]
+                cols = [_slice_column(c, start, stop) for c in columns]
+                tile_cache = (
+                    frame_cache.tile(start, stop)
+                    if layout is None and frame_cache is not None
+                    else None
+                )
+                jobs.append((tile_index, start, stop, cols, tile_cache))
+            if not jobs:
+                continue
+            payload = (
+                token, kernel.fn, kernel.program, kernel.max_steps,
+                layout, jobs,
+            )
+            chunks.append(
+                (worker, len(jobs),
+                 pool.apply_async(_run_worker_chunk, (payload,)))
+            )
+        tiles = {}
+        for worker, job_count, handle in chunks:
+            # One span per worker chunk: the pool path cannot trace
+            # inside the child, so the span covers dispatch-to-gather
+            # for that worker's tile list.
+            with obs.span(
+                "render.tile", shader=shader, partition=partition,
+                phase=phase, worker=worker, tiles=job_count,
+            ):
+                results = handle.get()
+            for tile_index, values, lane_costs, tile_cache in results:
+                tiles[tile_index] = (values, lane_costs, tile_cache)
+        return tiles

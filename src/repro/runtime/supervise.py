@@ -161,8 +161,9 @@ class SupervisorIncident(object):
         #: Ladder rung implicated ("batch"/"scalar"/"original"/"lkg",
         #: or "breaker" for state transitions).
         self.rung = rung
-        #: "fault", "deadline", "wall_deadline", "open", "half_open",
-        #: "closed", "exhausted", or "respecialize".
+        #: "fault", "deadline", "wall_deadline", "tile_deadline",
+        #: "open", "half_open", "closed", "exhausted", or
+        #: "respecialize".
         self.cause = cause
         self.detail = detail
 
@@ -395,6 +396,10 @@ class RenderSupervisor(object):
         self.short_circuits = 0
         self.faults_contained = 0
         self.deadline_misses = 0
+        #: Tiles (from the tiled frame scheduler) individually degraded
+        #: to the original shader after blowing their step deadline.
+        self.tile_degradations = 0
+        self._request_tile_misses = 0
         self.exhausted = 0
         self.retries = 0
         #: Cumulative backoff seconds the schedule asked for.
@@ -433,6 +438,30 @@ class RenderSupervisor(object):
         """The most recent successfully served colors for (key, phase),
         or None."""
         return self._lkg.get((key, phase))
+
+    def note_tile_degradation(self, key, phase, tile_index, start, stop,
+                              worst):
+        """One tile of a tiled batch request blew its step deadline and
+        was served by the original shader (the rest of the frame stayed
+        on the batch kernel).  Counts as a deadline miss and marks the
+        enclosing request *bad* for breaker accounting — the rung still
+        *serves*, but the specialization is visibly misbehaving."""
+        self.tile_degradations += 1
+        self._request_tile_misses += 1
+        self._count_deadline_miss()
+        self._record_incident(
+            key, phase, "batch", "tile_deadline",
+            "tile %d (lanes %d:%d) blew the per-pixel step deadline "
+            "(%d steps); served by the original shader"
+            % (tile_index, start, stop, worst),
+        )
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "repro_supervisor_tile_degradations_total",
+                "Tiles individually degraded to the original shader "
+                "after blowing their deadline.",
+                ("shader", "partition"),
+            ).inc(shader=key[0], partition=key[1])
 
     # -- the supervised request loop -----------------------------------------
 
@@ -479,6 +508,7 @@ class RenderSupervisor(object):
         deadline_missed = False
         degraded = False
         last_error = "no rungs supplied"
+        self._request_tile_misses = 0
 
         for rung in attempt_rungs:
             specialized = rung.name in SPECIALIZED_RUNGS
@@ -531,7 +561,8 @@ class RenderSupervisor(object):
                 return self._served(
                     key, phase, rung.name, colors, total, pixels,
                     fault_log, log_start, breaker, probe,
-                    deadline_missed, degraded,
+                    deadline_missed or self._request_tile_misses > 0,
+                    degraded,
                 )
             degraded = True
 
@@ -672,6 +703,7 @@ class RenderSupervisor(object):
             "short_circuits": self.short_circuits,
             "faults_contained": self.faults_contained,
             "deadline_misses": self.deadline_misses,
+            "tile_degradations": self.tile_degradations,
             "exhausted": self.exhausted,
             "retries": self.retries,
             "backoff_seconds": self.backoff_seconds,

@@ -14,9 +14,12 @@ Bit-exactness contract: every vectorized operation performs the same
 IEEE-754 double operations, in the same order, as its scalar
 counterpart, so batch results are bit-identical to the scalar path.
 Operations NumPy does not evaluate identically to libm (``sin``,
-``pow``, the noise family, ...) run lane-at-a-time through the scalar
-implementation instead of through NumPy's SIMD approximations — see
-``_lanewise``.  Lanes that are masked off by divergence may compute
+``pow``, ...) run lane-at-a-time through the scalar implementation
+instead of through NumPy's SIMD approximations — see ``_lanewise``.
+The noise family (``noise``/``snoise``/``fbm``/``turbulence``) is pure
+lattice arithmetic — floors, table gathers, adds and multiplies — so it
+vectorizes exactly via the ``*_array`` mirrors in
+:mod:`repro.shaders.noise`.  Lanes that are masked off by divergence may compute
 garbage (that is the nature of full-width evaluation); domain errors on
 such lanes yield NaN instead of raising, and the garbage is discarded
 by the enclosing select.
@@ -27,6 +30,7 @@ from __future__ import annotations
 import math
 
 from ..lang.errors import EvalError
+from ..shaders import noise as _noise_mod
 from .builtins import REGISTRY
 
 try:
@@ -377,6 +381,39 @@ def _make_vec_builtins():
     def vb_mat_scale(n, m, s):
         return m * _expand(s)
 
+    def _vec3_cols(p, n):
+        """Component columns of a vec3 argument: ``(n, 3)`` array from
+        the kernel, or a uniform tuple broadcast to full width."""
+        if isinstance(p, _np.ndarray) and p.ndim == 2:
+            return p[:, 0], p[:, 1], p[:, 2]
+        px, py, pz = p
+        return (
+            _np.full(n, float(px)),
+            _np.full(n, float(py)),
+            _np.full(n, float(pz)),
+        )
+
+    def _scalar_col(s, n):
+        if isinstance(s, _np.ndarray) and s.ndim:
+            return s
+        return _np.full(n, float(s))
+
+    def vb_noise(n, p):
+        x, y, z = _vec3_cols(p, n)
+        return _noise_mod.noise3_array(x, y, z)
+
+    def vb_snoise(n, p):
+        x, y, z = _vec3_cols(p, n)
+        return _noise_mod.snoise3_array(x, y, z)
+
+    def vb_fbm(n, p, octaves):
+        x, y, z = _vec3_cols(p, n)
+        return _noise_mod.fbm3_array(x, y, z, _scalar_col(octaves, n))
+
+    def vb_turbulence(n, p, octaves):
+        x, y, z = _vec3_cols(p, n)
+        return _noise_mod.turbulence3_array(x, y, z, _scalar_col(octaves, n))
+
     overrides = {
         "sqrt": vb_sqrt,
         "floor": vb_floor,
@@ -407,6 +444,10 @@ def _make_vec_builtins():
         "mat_transpose": vb_mat_transpose,
         "mat_det": vb_mat_det,
         "mat_scale": vb_mat_scale,
+        "noise": vb_noise,
+        "snoise": vb_snoise,
+        "fbm": vb_fbm,
+        "turbulence": vb_turbulence,
     }
     ns.update(overrides)
     return ns

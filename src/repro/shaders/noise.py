@@ -11,11 +11,26 @@ turbulence built on top of it.
 The implementation is deliberately a faithful, scalar, allocation-light
 port of the classic algorithm: it is genuinely the most expensive primitive
 in the system, exactly the role it plays in the paper's workloads.
+
+Alongside the scalar port live ``*_array`` variants used by the batch
+execution backend.  They perform the identical IEEE-754 double
+operations in the identical order over whole lane arrays, so their
+results are bit-for-bit equal to the scalar functions (lanes whose
+inputs would make the scalar path raise — non-finite coordinates or
+octave counts — produce NaN, matching the batch fallback convention).
 """
 
 from __future__ import annotations
 
 import math
+
+try:
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised via the force-off knob
+    _np = None
+    HAVE_NUMPY = False
 
 # Deterministic permutation table (the classic Ken Perlin reference table),
 # duplicated so that indexing with (hash + offset) never wraps.
@@ -142,3 +157,153 @@ def turbulence3(x, y, z, octaves, lacunarity=2.0, gain=0.5):
         y *= lacunarity
         z *= lacunarity
     return total / norm
+
+
+# ---------------------------------------------------------------------------
+# Array (batch-backend) variants — bit-exact mirrors of the scalar port
+# ---------------------------------------------------------------------------
+#
+# Every arithmetic step below is elementwise IEEE-754 double arithmetic in
+# the same order as the scalar functions above; permutation-table lookups
+# are exact integer gathers; branches become selects over values the
+# scalar path would have computed on the taken side.  The only divergence
+# is error handling: where the scalar path raises (``int(floor(inf))``,
+# ``int(nan)``) and the batch fallback fills NaN, these produce NaN
+# directly on the offending lanes.
+
+_PERM_A = _np.asarray(_PERM, dtype=_np.int64) if HAVE_NUMPY else None
+
+
+def _wrap256(t):
+    """``int(v) & 255`` for integer-valued doubles, without leaving
+    float64 (``fmod`` is exact, so this matches arbitrary-precision
+    Python int wrapping even for huge magnitudes)."""
+    r = _np.fmod(t, 256.0)
+    return _np.where(r < 0.0, r + 256.0, r).astype(_np.int64)
+
+
+def _grad_array(h, x, y, z):
+    h = h & 15
+    u = _np.where(h < 8, x, y)
+    v = _np.where(h < 4, y, _np.where((h == 12) | (h == 14), x, z))
+    return _np.where((h & 1) == 0, u, -u) + _np.where((h & 2) == 0, v, -v)
+
+
+def snoise3_array(x, y, z):
+    """Signed gradient noise over same-shape lane arrays.
+
+    Bit-identical to ``snoise3`` per lane; lanes with non-finite
+    coordinates yield NaN (the scalar path raises there).
+    """
+    x = _np.asarray(x, dtype=float)
+    y = _np.asarray(y, dtype=float)
+    z = _np.asarray(z, dtype=float)
+    ok = _np.isfinite(x) & _np.isfinite(y) & _np.isfinite(z)
+    x = _np.where(ok, x, 0.0)
+    y = _np.where(ok, y, 0.0)
+    z = _np.where(ok, z, 0.0)
+
+    fx = _np.floor(x)
+    fy = _np.floor(y)
+    fz = _np.floor(z)
+    xi = _wrap256(fx)
+    yi = _wrap256(fy)
+    zi = _wrap256(fz)
+    # ``+ 0.0`` normalizes floor(-0.0) == -0.0 to +0.0: the scalar path
+    # subtracts ``math.floor``'s *int*, so its fraction keeps the sign
+    # of x (-0.0 - 0 == -0.0) where ``x - np.floor(x)`` would not.
+    x = x - (fx + 0.0)
+    y = y - (fy + 0.0)
+    z = z - (fz + 0.0)
+    u = _fade(x)
+    v = _fade(y)
+    w = _fade(z)
+
+    p = _PERM_A
+    a = p[xi] + yi
+    aa = p[a] + zi
+    ab = p[a + 1] + zi
+    b = p[xi + 1] + yi
+    ba = p[b] + zi
+    bb = p[b + 1] + zi
+
+    out = _lerp(
+        w,
+        _lerp(
+            v,
+            _lerp(
+                u,
+                _grad_array(p[aa], x, y, z),
+                _grad_array(p[ba], x - 1.0, y, z),
+            ),
+            _lerp(
+                u,
+                _grad_array(p[ab], x, y - 1.0, z),
+                _grad_array(p[bb], x - 1.0, y - 1.0, z),
+            ),
+        ),
+        _lerp(
+            v,
+            _lerp(
+                u,
+                _grad_array(p[aa + 1], x, y, z - 1.0),
+                _grad_array(p[ba + 1], x - 1.0, y, z - 1.0),
+            ),
+            _lerp(
+                u,
+                _grad_array(p[ab + 1], x, y - 1.0, z - 1.0),
+                _grad_array(p[bb + 1], x - 1.0, y - 1.0, z - 1.0),
+            ),
+        ),
+    )
+    return _np.where(ok, out, _np.nan)
+
+
+def noise3_array(x, y, z):
+    """Unsigned gradient noise over lane arrays (see ``noise3``)."""
+    return 0.5 * snoise3_array(x, y, z) + 0.5
+
+
+def _fractal_array(x, y, z, octaves, lacunarity, gain, shape_fn):
+    x = _np.asarray(x, dtype=float)
+    y = _np.asarray(y, dtype=float)
+    z = _np.asarray(z, dtype=float)
+    octaves = _np.asarray(octaves, dtype=float)
+    ok = (
+        _np.isfinite(x)
+        & _np.isfinite(y)
+        & _np.isfinite(z)
+        & _np.isfinite(octaves)
+    )
+    x = _np.where(ok, x, 0.0)
+    y = _np.where(ok, y, 0.0)
+    z = _np.where(ok, z, 0.0)
+    # ``max(1, int(octaves))`` per lane: trunc-toward-zero then floor at 1.
+    count = _np.maximum(1.0, _np.trunc(_np.where(ok, octaves, 1.0)))
+
+    total = _np.zeros(x.shape)
+    amplitude = _np.ones(x.shape)
+    norm = _np.zeros(x.shape)
+    rounds = int(count.max()) if count.size else 0
+    with _np.errstate(over="ignore", invalid="ignore"):
+        for i in range(rounds):
+            live = i < count
+            band = shape_fn(snoise3_array(x, y, z))
+            total = _np.where(live, total + amplitude * band, total)
+            norm = _np.where(live, norm + amplitude, norm)
+            amplitude = _np.where(live, amplitude * gain, amplitude)
+            x = _np.where(live, x * lacunarity, x)
+            y = _np.where(live, y * lacunarity, y)
+            z = _np.where(live, z * lacunarity, z)
+        out = total / norm
+    return _np.where(ok, out, _np.nan)
+
+
+def fbm3_array(x, y, z, octaves, lacunarity=2.0, gain=0.5):
+    """Fractional Brownian motion over lane arrays (see ``fbm3``)."""
+    return _fractal_array(x, y, z, octaves, lacunarity, gain, lambda s: s)
+
+
+def turbulence3_array(x, y, z, octaves, lacunarity=2.0, gain=0.5):
+    """Absolute-value fractal sum over lane arrays (see ``turbulence3``)."""
+    return _fractal_array(x, y, z, octaves, lacunarity, gain, _np.abs)

@@ -22,6 +22,7 @@ from ..lang.parser import parse_program
 from ..obs import resolve_obs
 from ..obs.schema import canonical_rung
 from ..runtime import batch as B
+from ..runtime import parallel as P
 from ..runtime import values as V
 from ..runtime.guard import FaultLog
 from ..runtime.interp import CostMeter, Interpreter
@@ -63,13 +64,31 @@ class EditSession(object):
     variants (e.g. the two tiles of a checkerboard)."""
 
     def __init__(self, render_session, specialization, param, table=None,
-                 backend=None, guard=None, injector=None, supervisor=None):
+                 backend=None, guard=None, injector=None, supervisor=None,
+                 workers=None, tile=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
         self.table = table
         self.backend = B.resolve_backend(
             backend if backend is not None else render_session.backend
+        )
+        #: Tiled scheduler knobs (default from the session).  Tiling
+        #: engages on the plain batch path when a worker pool or an
+        #: explicit tile size is requested; guarded and dispatch-table
+        #: requests stay whole-frame (their fault attribution and
+        #: variant grouping are frame-global), so ``workers`` is a
+        #: no-op there — parity with ``workers=1`` holds trivially.
+        self.workers = (
+            P.resolve_workers(workers)
+            if workers is not None else render_session.workers
+        )
+        self.tile = tile if tile is not None else render_session.tile
+        self._executor = (
+            P.TileExecutor(workers=self.workers, tile=self.tile)
+            if self.backend == "batch"
+            and (self.workers > 1 or self.tile is not None)
+            else None
         )
         #: Telemetry bundle inherited from the session: frame spans,
         #: cost histograms, cache/guard metrics.
@@ -387,6 +406,8 @@ class EditSession(object):
                 )
             values, total = self._loader_kernel.run(columns, n, cache=cache)
             return B.value_rows(values, n), cache, total
+        if self._executor is not None:
+            return self._load_batch_tiled(columns, n, cap)
         if cap is None:
             if self.obs.enabled:
                 # run() literally sums run_lanes(), so splitting out the
@@ -420,6 +441,8 @@ class EditSession(object):
             return B.run_dispatch(
                 self.table, self._variant_kernel, self.caches, columns, n
             )
+        if self._executor is not None and isinstance(self.caches, B.SoACache):
+            return self._adjust_batch_tiled(columns, n, cap, controls)
         if cap is None:
             if self.obs.enabled:
                 kernel = self.specialization.batch_kernel("reader")
@@ -466,6 +489,79 @@ class EditSession(object):
             kernel = B.BatchKernel(self.table.variants[code])
             self._variant_kernels[code] = kernel
         return kernel
+
+    # -- tiled batch execution (runtime/parallel.py) -------------------------
+
+    def _load_batch_tiled(self, columns, n, cap):
+        """Loader sharded into tiles: tile-local SoA segments filled by
+        the scheduler and spliced into one frame cache.  A capped load
+        stays all-or-nothing (a blown tile raises ``DeadlineError`` and
+        the rung fails): committing a frame cache with per-tile holes
+        would poison every later adjust, so per-tile degradation is an
+        adjust-phase behavior."""
+        spec = self.specialization
+        session = self.render_session
+        cache = spec.new_batch_cache(n)
+        kernel = spec.batch_kernel("loader", cap)
+        colors, costs = self._executor.run(
+            kernel, columns, n, frame_cache=cache, layout=spec.layout,
+            width=session.scene.width, cap=cap, obs=self.obs,
+            shader=session.spec_info.name, partition=self.param,
+            phase="load",
+        )
+        if self.obs.enabled:
+            self._observe_pixel_costs("load", costs)
+        return colors, cache, sum(costs)
+
+    def _adjust_batch_tiled(self, columns, n, cap, controls):
+        """Reader sharded into tiles over contiguous frame-cache views.
+
+        Under a supervised deadline a blown tile degrades *alone*: the
+        supervisor is notified (deadline-miss accounting, incident,
+        breaker window) and that tile's pixels are served by the
+        unspecialized original while the rest of the frame stays on the
+        batch kernel."""
+        spec = self.specialization
+        session = self.render_session
+        kernel = spec.batch_kernel("reader", cap)
+        on_overrun = (
+            self._tile_overrun_handler(controls)
+            if cap is not None and self.supervisor is not None
+            else None
+        )
+        colors, costs = self._executor.run(
+            kernel, columns, n, frame_cache=self.caches, cap=cap,
+            width=session.scene.width, on_overrun=on_overrun,
+            obs=self.obs, shader=session.spec_info.name,
+            partition=self.param, phase="adjust",
+        )
+        if self.obs.enabled:
+            self._observe_pixel_costs("adjust", costs)
+        return colors, sum(costs)
+
+    def _tile_overrun_handler(self, controls):
+        """Per-tile degradation: serve a deadline-blown tile with the
+        original shader (uncapped beyond ``options.max_steps``) and
+        route the miss through the supervisor's accounting."""
+        session = self.render_session
+        spec = self.specialization
+
+        def handler(tile_index, start, stop, worst):
+            self.supervisor.note_tile_degradation(
+                self._key(), "adjust", tile_index, start, stop, worst,
+            )
+            colors = []
+            costs = []
+            for index in range(start, stop):
+                pixel = session.scene.pixels[index]
+                result, cost = spec.run_original(
+                    session.args_for(pixel, controls)
+                )
+                colors.append(result)
+                costs.append(cost)
+            return colors, costs
+
+        return handler
 
     # -- supervised execution ------------------------------------------------
 
@@ -623,7 +719,8 @@ class RenderSession(object):
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, backend=None, guard=False,
-                 supervisor=None, policy=None, obs=None):
+                 supervisor=None, policy=None, obs=None, workers=None,
+                 tile=None):
         self.spec_info = SHADERS[shader_index]
         #: Telemetry bundle (``repro.obs``): ``True`` for a fresh one,
         #: an :class:`~repro.obs.Observability` to share, default off.
@@ -642,12 +739,20 @@ class RenderSession(object):
             self.program = parse_program(
                 shader_program_source(self.spec_info)
             )
+        # Sessions default to ``backend="auto"`` (batch when NumPy is
+        # importable, scalar otherwise); pass ``backend="scalar"`` to opt
+        # out.  ``resolve_backend(None)`` itself stays "scalar" so bare
+        # DataSpecializer construction is unchanged.
         self.specializer = DataSpecializer(
-            self.program, specializer_options, backend=backend, guard=guard,
-            policy=policy, obs=self.obs,
+            self.program, specializer_options,
+            backend=backend if backend is not None else "auto",
+            guard=guard, policy=policy, obs=self.obs, workers=workers,
+            tile=tile,
         )
         self.backend = self.specializer.backend
         self.guard = self.specializer.guard
+        self.workers = self.specializer.workers
+        self.tile = self.specializer.tile
         #: Session-level render supervisor (deadlines, degradation
         #: ladder, circuit breakers).  Pass one explicitly to share
         #: breakers across sessions, or just a ``policy`` to get a
@@ -768,7 +873,7 @@ class RenderSession(object):
         return spec
 
     def begin_edit(self, param, dispatch=False, guard=None, injector=None,
-                   supervisor=None, **overrides):
+                   supervisor=None, workers=None, tile=None, **overrides):
         """Start an interactive drag of ``param``.
 
         ``dispatch=True`` additionally builds the Section 7.2 dispatch
@@ -778,7 +883,8 @@ class RenderSession(object):
         knob for this drag; ``injector`` attaches a
         :class:`~repro.runtime.faultinject.FaultInjector` (implies
         guarding); ``supervisor`` overrides the session's supervisor
-        (``False`` opts this drag out of supervision)."""
+        (``False`` opts this drag out of supervision); ``workers`` /
+        ``tile`` override the session's tiled-scheduler knobs."""
         specialization = self.specialize(param, **overrides)
         table = None
         if dispatch:
@@ -787,7 +893,8 @@ class RenderSession(object):
             table = build_dispatch_table(specialization)
         return EditSession(
             self, specialization, param, table=table, guard=guard,
-            injector=injector, supervisor=supervisor,
+            injector=injector, supervisor=supervisor, workers=workers,
+            tile=tile,
         )
 
 
@@ -806,12 +913,14 @@ class ShaderInstallation(object):
 
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, compile_code=True, backend=None,
-                 guard=False, supervisor=None, policy=None, obs=None):
+                 guard=False, supervisor=None, policy=None, obs=None,
+                 workers=None, tile=None):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
             width=width, height=height, backend=backend, guard=guard,
-            supervisor=supervisor, policy=policy, obs=obs,
+            supervisor=supervisor, policy=policy, obs=obs, workers=workers,
+            tile=tile,
         )
         self.obs = self.session.obs
         self.specializations = {}
@@ -843,7 +952,8 @@ class ShaderInstallation(object):
     def partitions(self):
         return list(self.specializations)
 
-    def edit(self, param, guard=None, injector=None, supervisor=None):
+    def edit(self, param, guard=None, injector=None, supervisor=None,
+             workers=None, tile=None):
         """Start a drag using the pre-built specialization."""
         if param not in self.specializations:
             raise SpecializationError(
@@ -852,7 +962,8 @@ class ShaderInstallation(object):
             )
         return EditSession(
             self.session, self.specializations[param], param, guard=guard,
-            injector=injector, supervisor=supervisor,
+            injector=injector, supervisor=supervisor, workers=workers,
+            tile=tile,
         )
 
     def describe(self):

@@ -37,6 +37,78 @@ def test_bench_smoke(tmp_path):
     assert set(written["backends"]) == {"scalar", "batch"}
     for result in written["backends"].values():
         assert result["adjust_pixels_per_sec"] > 0
+    parallel = written["parallel"]
+    assert set(parallel["backends"]) == {
+        "scalar", "batch_1worker", "batch_multicore"
+    }
+    assert parallel["noise_adjust_speedup_vs_scalar"] > 0
 
     if report["numpy"]:
         assert report["adjust_speedup"] >= tool.MIN_ADJUST_SPEEDUP
+        assert (
+            parallel["noise_adjust_speedup_vs_scalar"]
+            >= tool.MIN_NOISE_SPEEDUP
+        )
+
+
+@pytest.mark.parsmoke
+def test_parallel_smoke():
+    """Multi-core scheduler smoke: parity always; on hosts with >= 2
+    cores the pooled load must actually beat single-core."""
+    tool = _load_tool()
+    section = tool.bench_parallel()
+    assert section["backends"]["batch_1worker"]["load_cost"] == \
+        section["backends"]["batch_multicore"]["load_cost"]
+    if os.cpu_count() and os.cpu_count() >= 2:
+        assert section["multicore_load_speedup"] > 1.0, (
+            "multi-core load only %.2fx single-core on a %d-core host"
+            % (section["multicore_load_speedup"], os.cpu_count())
+        )
+
+
+@pytest.mark.benchsmoke
+def test_session_simulator_runs_batched():
+    """The bench simulator rides the session default (auto -> batch)
+    and its costs match the scalar backend exactly."""
+    from repro.bench.session import simulate_session
+    from repro.runtime.batch import HAVE_NUMPY
+
+    auto = simulate_session(3, width=5, height=5)
+    assert auto.frames and auto.session_speedup > 1.0
+    if HAVE_NUMPY:
+        assert auto.frames[0].cost > 0
+        scalar = simulate_session(3, width=5, height=5, backend="scalar")
+        assert auto.total_cost == scalar.total_cost
+        assert auto.total_reference_cost == scalar.total_reference_cost
+        tiled = simulate_session(3, width=5, height=5, workers=2, tile=10)
+        assert tiled.total_cost == auto.total_cost
+
+
+@pytest.mark.benchsmoke
+def test_apps_batch_parity():
+    """The 7.3 applications run through the batch backend: one batched
+    reader call per row/sweep, bit-identical to the scalar loops."""
+    from repro.apps.filter import (
+        blur_row, blur_row_batch, specialize_on_sigma,
+    )
+    from repro.apps.spline import (
+        specialize_on_t, sweep_curve, sweep_curve_batch,
+    )
+
+    spec = specialize_on_sigma()
+    sigma = 2.3
+    _, cache, _ = spec.run_loader([0.0] * 9 + [sigma])
+    row = [((i * 31) % 17) / 4.0 for i in range(64)]
+    scalar_out, scalar_cost = blur_row(spec, cache, row, sigma)
+    batch_out, batch_cost = blur_row_batch(spec, cache, row, sigma)
+    assert scalar_out == batch_out
+    assert scalar_cost == batch_cost
+
+    sp = specialize_on_t()
+    knots = [0.0, 2.0, -1.0, 0.5, 3.0]
+    _, curve_cache, _ = sp.run_loader(knots + [0.0])
+    ts = [i * 0.05 for i in range(-10, 90)]
+    v1, c1 = sweep_curve(sp, curve_cache, knots, ts)
+    v2, c2 = sweep_curve_batch(sp, curve_cache, knots, ts)
+    assert v1 == v2
+    assert c1 == c2

@@ -242,8 +242,10 @@ def test_traced_drag_emits_spans_and_frame_metrics():
             "specialize.split", "render.load", "render.adjust"} <= names
     name = session.spec_info.name
     labels = dict(shader=name, partition=param)
+    # Sessions default to backend="auto", so the serving rung is the
+    # resolved backend (batch with NumPy, scalar without).
     assert obs.registry.value(
-        "repro_frames_total", phase="load", rung="scalar", **labels
+        "repro_frames_total", phase="load", rung=session.backend, **labels
     ) == 1
     assert obs.registry.value(
         "repro_pixels_total", phase="adjust", **labels

@@ -41,6 +41,14 @@ REPEATS = 3
 #: Required batched-adjust advantage when NumPy is available.
 MIN_ADJUST_SPEEDUP = 3.0
 
+#: Noise-heavy shader for the parallel/vectorized-noise measurements.
+NOISE_SHADER = 3
+NOISE_PARAM = "veinfreq"
+NOISE_SIZE = 48
+#: Required vectorized-noise advantage over the scalar interpreter on
+#: the noise shader (the whole point of the bit-exact noise family).
+MIN_NOISE_SPEEDUP = 5.0
+
 
 def _bench_backend(backend):
     session = RenderSession(SHADER, width=SIZE, height=SIZE, backend=backend)
@@ -70,6 +78,96 @@ def _bench_backend(backend):
         "_load_colors": loaded.colors,
         "_adjust_colors": adjusted.colors,
     }
+
+
+def _time_drag(session, edit):
+    """(load_seconds, best adjust_seconds, load_image, adjust_image)."""
+    start = time.perf_counter()
+    loaded = edit.load(session.controls)
+    load_seconds = time.perf_counter() - start
+    dragged = session.controls_with(
+        **{NOISE_PARAM: session.controls[NOISE_PARAM] * 1.25}
+    )
+    adjust_seconds = float("inf")
+    adjusted = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        adjusted = edit.adjust(dragged)
+        adjust_seconds = min(adjust_seconds, time.perf_counter() - start)
+    return load_seconds, adjust_seconds, loaded, adjusted
+
+
+def bench_parallel():
+    """Single- vs multi-core throughput on a noise-heavy shader.
+
+    Returns the ``parallel`` section for BENCH_render.json: pixels/sec
+    for scalar, single-core batch, and multi-core batch (workers =
+    cpu_count, tiled), the vectorized-noise speedup over scalar, and
+    the multi-core speedup over single-core — with the parity gates
+    (byte-identical colors, exact cost totals) asserted along the way.
+    """
+    from repro.shaders.render import RenderSession
+
+    pixels = NOISE_SIZE * NOISE_SIZE
+    cores = os.cpu_count() or 1
+
+    def make(workers=None, tile=None, backend="batch"):
+        return RenderSession(
+            NOISE_SHADER, width=NOISE_SIZE, height=NOISE_SIZE,
+            backend=backend, workers=workers, tile=tile,
+        )
+
+    results = {}
+    images = {}
+    for name, session in (
+        ("scalar", make(backend="scalar")),
+        ("batch_1worker", make()),
+        ("batch_multicore", make(workers="auto", tile=NOISE_SIZE * 8)),
+    ):
+        edit = session.begin_edit(NOISE_PARAM)
+        load_s, adjust_s, loaded, adjusted = _time_drag(session, edit)
+        results[name] = {
+            "load_pixels_per_sec": pixels / load_s,
+            "adjust_pixels_per_sec": pixels / adjust_s,
+            "load_cost": loaded.total_cost,
+            "adjust_cost": adjusted.total_cost,
+        }
+        images[name] = (loaded, adjusted)
+
+    for other in ("batch_1worker", "batch_multicore"):
+        for phase in (0, 1):
+            assert images["scalar"][phase].colors == \
+                images[other][phase].colors, (
+                    "%s colors diverge from scalar" % other
+                )
+            assert images["scalar"][phase].total_cost == \
+                images[other][phase].total_cost, (
+                    "%s cost total diverges from scalar" % other
+                )
+
+    noise_speedup = (
+        results["batch_1worker"]["adjust_pixels_per_sec"]
+        / results["scalar"]["adjust_pixels_per_sec"]
+    )
+    multicore_speedup = (
+        results["batch_multicore"]["load_pixels_per_sec"]
+        / results["batch_1worker"]["load_pixels_per_sec"]
+    )
+    section = {
+        "shader": NOISE_SHADER,
+        "param": NOISE_PARAM,
+        "pixels": pixels,
+        "cores": cores,
+        "noise_adjust_speedup_vs_scalar": noise_speedup,
+        "multicore_load_speedup": multicore_speedup,
+        "backends": results,
+    }
+    if HAVE_NUMPY:
+        assert noise_speedup >= MIN_NOISE_SPEEDUP, (
+            "vectorized noise adjust only %.2fx scalar (need >= %.1fx)"
+            % (noise_speedup, MIN_NOISE_SPEEDUP)
+        )
+    return section
 
 
 def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
@@ -102,6 +200,7 @@ def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
         "pixels": SIZE * SIZE,
         "numpy": HAVE_NUMPY,
         "adjust_speedup": speedup,
+        "parallel": bench_parallel(),
         "backends": {
             name: {
                 key: value
@@ -150,6 +249,17 @@ def main():
     print(
         "batched adjust speedup: %.1fx (numpy=%s)  ->  BENCH_render.json"
         % (report["adjust_speedup"], report["numpy"])
+    )
+    parallel = report["parallel"]
+    print(
+        "noise shader %d: vectorized adjust %.1fx scalar; "
+        "multicore load %.2fx single-core (%d cores)"
+        % (
+            parallel["shader"],
+            parallel["noise_adjust_speedup_vs_scalar"],
+            parallel["multicore_load_speedup"],
+            parallel["cores"],
+        )
     )
     return 0
 
