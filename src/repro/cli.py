@@ -251,10 +251,10 @@ def cmd_render(args, out):
     from .runtime.parallel import resolve_tile, resolve_workers
 
     try:
+        # Keep the raw spec: "threads:4"/"fork" carry the transport
+        # choice through the session; validate both knobs eagerly.
         workers = args.workers
-        if workers is not None and workers != "auto":
-            workers = int(workers)
-        workers = resolve_workers(workers)
+        resolve_workers(workers)
         tile = resolve_tile(args.tile)
     except ValueError as exc:
         raise SystemExit("bad --workers/--tile: %s" % exc)
@@ -290,7 +290,8 @@ def cmd_render(args, out):
                 "height": session.scene.height,
                 "backend": edit.backend,
                 "config": execution_config(
-                    edit.backend, edit.workers, edit.tile
+                    edit.backend, edit.workers, edit.tile,
+                    transport=edit.transport,
                 ),
                 "param": param,
                 "load_cost": image.total_cost,
@@ -305,10 +306,14 @@ def cmd_render(args, out):
         )
         out.write("\n")
     else:
+        from .runtime.parallel import effective_transport
+
         out.write(
-            "shader %d (%s): %dx%d via %s backend (workers %d), drag %r\n"
+            "shader %d (%s): %dx%d via %s backend "
+            "(workers %d, transport %s), drag %r\n"
             % (args.shader, session.spec_info.name, session.scene.width,
-               session.scene.height, edit.backend, edit.workers, param)
+               session.scene.height, edit.backend, edit.workers,
+               effective_transport(edit.workers, edit.transport), param)
         )
         out.write(
             "load:   cost %d (%.1f/pixel), cache %dB/pixel\n"
@@ -404,6 +409,7 @@ def cmd_trace(args, out):
     session = RenderSession(
         args.shader, width=args.size, height=args.size,
         backend=args.backend, obs=obs,
+        workers=args.workers, tile=args.tile,
     )
     param = args.param or session.spec_info.control_params[0]
     try:
@@ -453,6 +459,7 @@ def cmd_stats(args, out):
         session = RenderSession(
             index, width=args.size, height=args.size,
             backend=args.backend, obs=obs,
+            workers=args.workers, tile=args.tile,
         )
         for param in session.spec_info.control_params:
             if args.render:
@@ -550,9 +557,11 @@ def build_parser():
                    help="execution backend (default: auto — batch "
                         "kernels when NumPy is available)")
     p.add_argument("--workers", default=None,
-                   help="tiled-scheduler worker processes for the batch "
-                        "backend: a count, or 'auto' for one per core "
-                        "(default: 1, single-process)")
+                   help="tiled-scheduler workers for the batch backend: "
+                        "a count, 'auto' (one per usable core, "
+                        "zero-copy fork transport when available), "
+                        "'fork[:N]', or 'threads[:N]' for the in-process "
+                        "thread transport (default: 1, single-process)")
     p.add_argument("--tile", type=int, default=None,
                    help="lanes per scheduler tile (default: 2048, "
                         "rounded to whole scan lines)")
@@ -623,6 +632,12 @@ def build_parser():
                    choices=["scalar", "batch", "auto"])
     p.add_argument("--adjusts", type=int, default=4,
                    help="number of adjust requests to trace")
+    p.add_argument("--workers", default=None,
+                   help="tiled-scheduler workers (count, 'auto', "
+                        "'fork[:N]', 'threads[:N]'); render.tile spans "
+                        "then carry the transport attribute")
+    p.add_argument("--tile", type=int, default=None,
+                   help="lanes per scheduler tile")
     p.add_argument("--out", default=None,
                    help="write the Chrome trace-event file here")
     p.set_defaults(handler=cmd_trace)
@@ -642,6 +657,12 @@ def build_parser():
                    help="also run a load+adjust drag per partition so "
                         "runtime counters (frames, fills, hits, "
                         "per-pixel cost histograms) populate too")
+    p.add_argument("--workers", default=None,
+                   help="tiled-scheduler workers for --render drags "
+                        "(count, 'auto', 'fork[:N]', 'threads[:N]'); "
+                        "populates the shm/warm-worker gauges")
+    p.add_argument("--tile", type=int, default=None,
+                   help="lanes per scheduler tile for --render drags")
     p.set_defaults(handler=cmd_stats)
 
     p = sub.add_parser(

@@ -51,22 +51,36 @@ def canonical_breaker_state(name):
     return canonical
 
 
-def execution_config(backend, workers, tile):
+#: Result transports the tiled scheduler reports (``execution_config``
+#: reports the static resolution; ``render.tile`` spans additionally
+#: split the fork path into ``shm`` vs ``pickle`` per run).
+TRANSPORTS = ("serial", "fork", "threads", "shm", "pickle")
+
+
+def execution_config(backend, workers, tile, transport=None):
     """The canonical execution-configuration mapping every JSON surface
     shares (``repro render --json``, bench reports): the *effective*
-    backend/worker/tile knobs after resolution, not what the user typed.
+    backend/worker/tile/transport knobs after resolution, not what the
+    user typed.
 
     ``tile`` may be None (the scheduler default applies only when a
     tiled executor actually runs); it is reported as the resolved lane
     count either way so consumers never see two spellings of "default".
+    ``transport`` defaults to whatever the ``workers`` spec implies
+    (``"threads:4"`` implies threads; plain counts imply auto).
     """
     canonical = str(backend).strip().lower().replace("-", "_")
     if canonical not in BACKENDS:
         raise ValueError("unknown backend %r" % backend)
-    from ..runtime.parallel import resolve_tile, resolve_workers
+    from ..runtime.parallel import (
+        effective_transport,
+        resolve_tile,
+        resolve_workers,
+    )
 
     return {
         "backend": canonical,
         "workers": resolve_workers(workers),
         "tile": resolve_tile(tile),
+        "transport": effective_transport(workers, transport),
     }

@@ -26,11 +26,23 @@ fallback; they are linearized with masked ``where``-style selects.
 
 from __future__ import annotations
 
+import itertools
+import os
+import weakref
+
 from ..lang.errors import CacheFault, EvalError
-from ..lang.types import INT
+from ..lang.types import INT, MAT3, VEC3
 from .compiler import compile_batch_function
 from .interp import CostMeter, Interpreter, slot_detail
 from .vecops import HAVE_NUMPY, BatchCompileError, _column_rows, _np
+
+try:  # POSIX shared memory (the zero-copy tile transport's backing store)
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    _shared_memory = None
+    HAVE_SHM = False
 
 #: Accepted values for the ``backend=`` knob.
 BACKENDS = ("scalar", "batch", "auto")
@@ -499,3 +511,206 @@ def _gather(column, idx):
     if isinstance(column, list):
         return [column[i] for i in idx]
     return column  # uniform scalar (a control parameter)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arenas (zero-copy tile transport, runtime/parallel.py)
+# ---------------------------------------------------------------------------
+
+#: Segment name sequence — names embed the creating PID so tests can
+#: match ``/dev/shm/repro_shm_*`` against live interpreter processes.
+_ARENA_SEQ = itertools.count(1)
+
+#: Live arenas (weak — each arena owns its own finalizer); used for the
+#: ``repro_shm_bytes_resident`` gauge and the atexit sweep.
+_ARENAS = weakref.WeakSet()
+
+#: Alignment for column offsets inside a segment.
+_ARENA_ALIGN = 64
+
+
+def _release_segment(segment, owner, pid):
+    """Detach (and, for the creating process, unlink) one segment.
+
+    Runs from :meth:`ShmArena.release`, the arena's GC finalizer, or the
+    atexit sweep.  The PID guard matters under ``fork``: pool workers
+    inherit the parent's arena objects, and their exit must not unlink
+    segments the parent still serves frames from.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        # Column views are still exported (e.g. a frame cache the caller
+        # kept).  The mapping lives until process exit; unlinking below
+        # still removes the name, which is the part hygiene cares about.
+        pass
+    if owner and os.getpid() == pid:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+
+
+class ShmArena(object):
+    """One shared-memory segment carved into named NumPy columns.
+
+    The parent process creates an arena from ``(key, dtype, shape)``
+    specs; pool workers :meth:`attach` to the picklable
+    :meth:`descriptor` and see the *same* physical pages, so a worker
+    storing a tile's rows writes directly into the parent's frame —
+    nothing but the descriptor ever crosses the pipe.
+
+    Lifecycle: the creator owns the segment name and unlinks it on
+    :meth:`release` (idempotent; also wired to a GC finalizer and the
+    ``shutdown_pools`` atexit sweep, so no segment outlives the
+    process).  Attached (worker-side) arenas only ever close their
+    mapping.
+    """
+
+    def __init__(self, segment, placed, size, owner):
+        self._segment = segment
+        #: ``key -> (offset, dtype_str, shape)`` — the picklable layout.
+        self._placed = {
+            key: (offset, dtype, tuple(shape))
+            for key, offset, dtype, shape in placed
+        }
+        self._columns = {
+            key: _np.ndarray(
+                shape, dtype=_np.dtype(dtype), buffer=segment.buf,
+                offset=offset,
+            )
+            for key, offset, dtype, shape in placed
+        }
+        self.name = segment.name
+        self.size = size
+        self.owner = owner
+        self._finalizer = weakref.finalize(
+            self, _release_segment, segment, owner, os.getpid()
+        )
+        _ARENAS.add(self)
+
+    @staticmethod
+    def _layout_columns(specs):
+        offset = 0
+        placed = []
+        for key, dtype, shape in specs:
+            dt = _np.dtype(dtype)
+            offset = -(-offset // _ARENA_ALIGN) * _ARENA_ALIGN
+            count = 1
+            for dim in shape:
+                count *= int(dim)
+            placed.append((key, offset, dt.str, tuple(shape)))
+            offset += count * dt.itemsize
+        return placed, max(offset, 1)
+
+    @classmethod
+    def create(cls, specs):
+        """Allocate a segment holding every ``(key, dtype, shape)`` spec.
+
+        New segments are zero-filled by the OS — loader commit logic
+        relies on untouched mask bytes reading as ``False``.
+        """
+        if not (HAVE_NUMPY and HAVE_SHM):
+            raise BatchCompileError("shared memory is unavailable")
+        placed, size = cls._layout_columns(specs)
+        name = "repro_shm_%d_%d" % (os.getpid(), next(_ARENA_SEQ))
+        segment = _shared_memory.SharedMemory(
+            create=True, size=size, name=name
+        )
+        return cls(segment, placed, size, owner=True)
+
+    @classmethod
+    def attach(cls, descriptor):
+        """Map an existing segment from a :meth:`descriptor` (worker side)."""
+        # Attaching re-registers the name with the resource tracker;
+        # that is harmless here because fork workers share the parent's
+        # tracker process, whose per-type cache is a set — the duplicate
+        # collapses, and the creator's unlink clears the single entry.
+        segment = _shared_memory.SharedMemory(name=descriptor["segment"])
+        placed = [
+            (key, offset, dtype, tuple(shape))
+            for key, (offset, dtype, shape) in descriptor["columns"].items()
+        ]
+        return cls(segment, placed, descriptor["size"], owner=False)
+
+    def descriptor(self):
+        """Picklable handle a worker can :meth:`attach` to."""
+        return {
+            "segment": self.name,
+            "size": self.size,
+            "columns": dict(self._placed),
+        }
+
+    def column(self, key):
+        return self._columns[key]
+
+    @property
+    def alive(self):
+        return self._finalizer.alive
+
+    def release(self):
+        """Drop the mapping (and unlink when this process created it)."""
+        self._columns = {}
+        self._finalizer()
+        _ARENAS.discard(self)
+
+
+def shm_resident_bytes():
+    """Total bytes of live shared-memory arenas in this process."""
+    return sum(arena.size for arena in list(_ARENAS) if arena.alive)
+
+
+def release_all_arenas():
+    """Unlink every live arena (atexit hygiene sweep)."""
+    for arena in list(_ARENAS):
+        arena.release()
+
+
+def _column_spec(slot, n):
+    """(dtype, shape) of one cache slot's full-width column."""
+    if slot.ty is INT:
+        return "int64", (n,)
+    if slot.ty is VEC3:
+        return "float64", (n, 3)
+    if slot.ty is MAT3:
+        return "float64", (n, 9)
+    return "float64", (n,)
+
+
+class ShmSoACache(SoACache):
+    """A frame :class:`SoACache` whose array columns live in a
+    :class:`ShmArena`, so loader tiles running in pool workers can store
+    results in place.
+
+    Freshly created it is indistinguishable from an empty ``SoACache``
+    (all columns ``None``); the executor *commits* columns — pointing
+    ``columns[k]`` at the arena views and deriving ``filled`` from the
+    arena's mask planes — only after the workers' tile descriptors come
+    back.  Every ``SoACache`` operation (tiling, demotion, splicing,
+    row views) keeps working because committed columns are ordinary
+    ndarrays; operations that *rebind* a column simply diverge that
+    column from the arena, and the executor detects divergence before
+    reusing the arena for reader transport.
+    """
+
+    __slots__ = ("arena", "__weakref__")
+
+    def __init__(self, layout, n, arena):
+        SoACache.__init__(self, layout, n)
+        self.arena = arena
+
+    @classmethod
+    def allocate(cls, layout, n):
+        """A frame cache backed by a fresh arena (one data plane plus one
+        bool mask plane per cache slot)."""
+        specs = []
+        for k, slot in enumerate(layout):
+            dtype, shape = _column_spec(slot, n)
+            specs.append(("col%d" % k, dtype, shape))
+            specs.append(("mask%d" % k, "bool", (n,)))
+        arena = ShmArena.create(specs)
+        cache = cls(layout, n, arena)
+        # The cache's own lifetime drives the arena's: when the session
+        # drops the frame cache, the segment is unlinked.
+        weakref.finalize(cache, arena.release)
+        return cache

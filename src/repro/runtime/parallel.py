@@ -3,17 +3,32 @@
 The batch backend (``runtime/batch.py``) executes one whole-frame kernel
 call per request; this module shards that call into cache-friendly
 **tiles** — contiguous, row-aligned lane spans — and executes them
-either serially or across a persistent ``fork`` process pool:
+serially, on a persistent ``fork`` worker pool, or on a thread pool:
 
 * :func:`plan_tiles` — deterministic tile spans over the pixel grid,
   independent of the worker count, so the work decomposition (and hence
   every per-lane result) is a pure function of ``(n, tile, width)``.
 * :class:`TileExecutor` — runs a :class:`~repro.runtime.batch
-  .BatchKernel` over every tile.  Loader tiles fill tile-local
-  :class:`~repro.runtime.batch.SoACache` segments that are spliced back
-  into the frame cache; reader tiles see contiguous **views** of the
-  frame cache (no copies on the in-process path; the process-pool path
-  ships only each tile's own segment across the pipe).
+  .BatchKernel` over every tile, picking a result **transport**:
+
+  - ``shm`` (the fork default): SoA columns live in
+    :class:`~repro.runtime.batch.ShmArena` shared-memory segments, so a
+    worker writes its tiles' rows directly into the parent's frame —
+    only a tiny per-tile descriptor (token, span, filled-mask summary)
+    crosses the pipe.
+  - ``pickle``: the PR-5 fallback when a kernel or cache cannot use
+    shared columns (non-vectorized kernels, demoted columns, exotic
+    result types) — tile segments are pickled across the pipe.
+  - ``threads``: a :class:`~concurrent.futures.ThreadPoolExecutor`
+    sharing the parent address space, for NumPy-heavy kernels that
+    release the GIL (``workers="threads"``); zero-copy by construction.
+  - ``serial``: single worker or single tile.
+
+Workers are persistent and **warm**: each pool worker keeps the kernels
+it has built, keyed by :meth:`TileExecutor._token_for` tokens, and the
+parent tracks per-worker installs — so repeat loads and drag sequences
+ship no kernel spec at all (see the ``repro_worker_warm_hits_total``
+counter).
 
 Byte-identity argument: every vectorized operation the kernels perform
 is lane-local (elementwise arithmetic, masked selects, per-lane cost
@@ -22,7 +37,10 @@ charges — the language has no cross-lane reductions), so running lanes
 costs to running them inside a full-width call.  Tile order is fixed and
 tile→worker assignment is deterministic round-robin, so stitching tiles
 back in index order reproduces the single-call frame byte for byte and
-the CostMeter totals sum exactly.
+the CostMeter totals sum exactly.  The shm transport preserves this:
+workers compute on ordinary tile-local caches and memcpy into the
+arena, and fresh segments are zero-filled exactly like the arrays
+``SoACache.splice`` would have allocated.
 
 Per-tile deadlines: when a supervised request caps per-pixel steps, the
 cap is enforced post hoc per **tile** instead of per frame.  A blown
@@ -30,7 +48,8 @@ tile either degrades alone through the caller's ``on_overrun`` hook
 (the :class:`~repro.runtime.supervise.RenderSupervisor` integration —
 the rest of the frame stays on the fast path) or, with no hook, raises
 :class:`~repro.lang.errors.DeadlineError` exactly like the whole-frame
-check did.
+check did.  Degraded tiles are zeroed out of the shared frame columns
+before commit, so shm frames splice byte-identically to serial ones.
 """
 
 from __future__ import annotations
@@ -41,6 +60,7 @@ import os
 import time
 
 from ..lang.errors import DeadlineError
+from ..lang.types import FLOAT, INT, MAT3, VEC3
 from ..obs import NULL_OBS
 from . import batch as B
 
@@ -50,23 +70,95 @@ from . import batch as B
 #: measured tuning table.
 DEFAULT_TILE = 2048
 
+#: Transport modes a ``workers=`` spec can request (``"auto"`` defers to
+#: fork-availability; the per-run transport additionally distinguishes
+#: ``shm`` vs ``pickle`` on the fork path and can demote to ``serial``).
+TRANSPORTS = ("auto", "fork", "threads")
 
-def resolve_workers(workers):
-    """Normalize the ``workers=`` knob.
 
-    ``None``/``0``/``1`` mean single-process execution; ``"auto"`` means
-    one worker per CPU core; any other positive int is taken literally
-    (more workers than cores is allowed — useful for testing the pool
-    path on small hosts).
+def usable_cores():
+    """CPU cores this process may actually run on (cgroup/affinity
+    aware), falling back to the raw core count."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _parse_workers_spec(workers):
+    """``workers=`` knob -> ``(count, transport)``.
+
+    Accepts ``None``/``0``/``1`` (serial), ``"auto"`` (one worker per
+    usable core, transport auto), an int, ``"fork"``/``"threads"``
+    (per-core count with a pinned transport), or ``"fork:N"``/
+    ``"threads:N"``.
     """
-    if workers is None or workers == 0 or workers == 1:
-        return 1
-    if workers == "auto":
-        return max(1, os.cpu_count() or 1)
+    if workers is None:
+        return 1, "auto"
+    if isinstance(workers, str):
+        spec = workers.strip().lower()
+        if spec == "auto":
+            return max(1, usable_cores()), "auto"
+        for mode in ("fork", "threads"):
+            if spec == mode:
+                return max(1, usable_cores()), mode
+            if spec.startswith(mode + ":"):
+                count = int(spec[len(mode) + 1:])
+                if count < 1:
+                    raise ValueError(
+                        "workers must be >= 1, got %r" % (workers,)
+                    )
+                return count, mode
+        try:
+            workers = int(spec)
+        except ValueError:
+            raise ValueError(
+                "bad workers spec %r (expected a count, 'auto', "
+                "'fork[:N]', or 'threads[:N]')" % (workers,)
+            )
     count = int(workers)
+    if count == 0:
+        return 1, "auto"
     if count < 1:
         raise ValueError("workers must be >= 1, got %r" % (workers,))
-    return count
+    return count, "auto"
+
+
+def resolve_workers(workers):
+    """Normalize the ``workers=`` knob to a worker count.
+
+    ``None``/``0``/``1`` mean single-process execution; ``"auto"`` means
+    one worker per usable CPU core; ``"fork[:N]"``/``"threads[:N]"`` pin
+    the transport (see :func:`resolve_transport`); any other positive
+    int is taken literally (more workers than cores is allowed — useful
+    for testing the pool path on small hosts).
+    """
+    return _parse_workers_spec(workers)[0]
+
+
+def resolve_transport(workers):
+    """The transport a ``workers=`` spec requests: ``"auto"`` (fork when
+    available), ``"fork"``, or ``"threads"``."""
+    return _parse_workers_spec(workers)[1]
+
+
+def effective_transport(workers, transport=None):
+    """Static transport resolution for config reporting (``repro render
+    --json``): what a multi-tile frame would use.  Per-run conditions
+    (single tile, non-vectorized kernel) can still demote to serial, and
+    the fork path reports the finer ``shm``/``pickle`` split per span.
+    """
+    count, spec_mode = _parse_workers_spec(workers)
+    mode = spec_mode if transport is None else transport
+    if count <= 1:
+        return "serial"
+    if mode == "auto":
+        mode = "fork" if _fork_available() else "threads"
+    if mode == "fork" and not _fork_available():
+        mode = "threads"
+    if mode == "threads" and not B.HAVE_NUMPY:
+        return "serial"
+    return mode
 
 
 def resolve_tile(tile):
@@ -99,16 +191,12 @@ def plan_tiles(n, tile, width=None):
 
 
 # ---------------------------------------------------------------------------
-# Worker-side execution (process-pool path)
+# Persistent worker pool (fork path)
 # ---------------------------------------------------------------------------
 
-#: Kernel memo per worker process: token -> rebuilt BatchKernel.  Tokens
-#: are minted in the parent per kernel object, so a persistent pool
-#: compiles each loader/reader once per worker, not once per frame.
-_WORKER_KERNELS = {}
 
-#: Persistent pools keyed by worker count.
-_POOLS = {}
+class PoolBrokenError(RuntimeError):
+    """A pool worker died mid-conversation; the pool is rebuilt."""
 
 
 def _fork_available():
@@ -120,42 +208,207 @@ def _fork_available():
         return False
 
 
-def _get_pool(workers):
-    pool = _POOLS.get(workers)
-    if pool is None:
+def _portable_error(exc):
+    """An exception safe to send over the pipe (pickle round-trips it
+    here so an unpicklable error cannot kill the worker's send)."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        import traceback
+
+        return RuntimeError(
+            "worker error: %s\n%s" % (exc, traceback.format_exc())
+        )
+
+
+def _worker_main(conn):
+    """Pool worker loop: recv a chunk payload, run it, send the result.
+
+    The ``kernels`` memo is the warm state: kernels are rebuilt (and
+    their vectorized forms compiled) once per ``TileExecutor`` token and
+    reused for every subsequent frame, so a drag sequence ships no
+    kernel spec after its first chunk.
+    """
+    kernels = {}
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if payload is None:
+            break
+        try:
+            message = ("ok", _run_chunk(payload, kernels))
+        except BaseException as exc:
+            message = ("err", _portable_error(exc))
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            break
+    conn.close()
+
+
+class WorkerPool(object):
+    """N persistent forked workers, each on its own duplex pipe.
+
+    Unlike ``multiprocessing.Pool``, chunks are addressed to a
+    *specific* worker — that is what makes warm per-worker kernel state
+    possible: the parent tracks which kernel tokens each worker has
+    installed (:meth:`installed`) and ships the heavy kernel spec only
+    on a worker's first use of a kernel.
+    """
+
+    def __init__(self, workers):
         import multiprocessing
 
-        pool = multiprocessing.get_context("fork").Pool(workers)
-        _POOLS[workers] = pool
-    return pool
+        ctx = multiprocessing.get_context("fork")
+        self.workers = workers
+        self._installed = [set() for _ in range(workers)]
+        self._procs = []
+        self._conns = []
+        for _ in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def installed(self, worker, token):
+        return token in self._installed[worker]
+
+    def mark_installed(self, worker, token):
+        self._installed[worker].add(token)
+
+    def send(self, worker, payload):
+        try:
+            self._conns[worker].send(payload)
+        except (BrokenPipeError, OSError) as exc:
+            raise PoolBrokenError(
+                "worker %d pipe broken: %s" % (worker, exc)
+            )
+
+    def recv(self, worker):
+        """The worker's ``("ok", results)`` / ``("err", exc)`` reply."""
+        try:
+            return self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            raise PoolBrokenError("worker %d died: %s" % (worker, exc))
+
+    def shutdown(self):
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+        self._installed = [set() for _ in range(self.workers)]
+
+
+#: The single persistent fork pool (rebuilt when ``workers=`` changes).
+_POOL = None
+
+#: The persistent thread pool as ``(count, ThreadPoolExecutor)``.
+_THREADS = None
+
+
+def _get_pool(workers):
+    """The persistent fork pool, torn down and rebuilt when the worker
+    count changes between runs (stale pools would pin memory and hold
+    kernel state for a topology no session uses anymore)."""
+    global _POOL
+    if _POOL is not None and _POOL.workers != workers:
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        # Note the order: _POOL is still None while the children fork,
+        # so a worker's inherited globals never reference a live pool.
+        _POOL = WorkerPool(workers)
+    return _POOL
+
+
+def _discard_pool():
+    """Forget a broken pool so the next run forks a fresh one."""
+    global _POOL
+    if _POOL is not None:
+        pool, _POOL = _POOL, None
+        pool.shutdown()
+
+
+def _get_thread_pool(workers):
+    global _THREADS
+    if _THREADS is not None and _THREADS[0] != workers:
+        _THREADS[1].shutdown(wait=True)
+        _THREADS = None
+    if _THREADS is None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        _THREADS = (
+            workers,
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-tile"
+            ),
+        )
+    return _THREADS[1]
 
 
 def shutdown_pools():
-    """Terminate every persistent worker pool (tests, interpreter exit)."""
-    for pool in _POOLS.values():
-        pool.terminate()
-        pool.join()
-    _POOLS.clear()
+    """Stop every persistent worker pool and unlink every live
+    shared-memory segment (tests, interpreter exit)."""
+    global _THREADS
+    _discard_pool()
+    if _THREADS is not None:
+        _THREADS[1].shutdown(wait=True)
+        _THREADS = None
+    B.release_all_arenas()
 
 
 atexit.register(shutdown_pools)
 
 
-def _run_worker_chunk(payload):
-    """Execute one worker's tile list; runs inside a pool process.
+# ---------------------------------------------------------------------------
+# Worker-side chunk execution
+# ---------------------------------------------------------------------------
 
-    ``payload`` carries everything needed to rebuild the kernel (the
-    function AST pickles at ~10KB) plus, per tile, the tile's sliced
-    argument columns and — for readers — its cache segment.  Returns
-    ``[(tile_index, values, lane_costs, tile_cache_or_None), ...]``.
-    """
-    token, fn, program, max_steps, layout, jobs = payload
-    kernel = _WORKER_KERNELS.get(token)
+
+def _run_chunk(payload, kernels):
+    """Execute one worker's tile list; runs inside a pool process."""
+    token = payload["token"]
+    kernel = kernels.get(token)
     if kernel is None:
+        spec = payload["kernel"]
+        if spec is None:
+            raise PoolBrokenError(
+                "worker has no kernel for token %r" % (token,)
+            )
+        fn, program, max_steps = spec
         kernel = B.BatchKernel(fn, program=program, max_steps=max_steps)
-        _WORKER_KERNELS[token] = kernel
+        kernels[token] = kernel
+    if payload["mode"] == "shm":
+        return _run_shm_chunk(payload, kernel)
+    return _run_pickle_chunk(payload, kernel)
+
+
+def _run_pickle_chunk(payload, kernel):
+    """The everything-over-the-pipe transport: each job carries its own
+    sliced argument columns (and, for readers, its cache segment);
+    results and loader tile caches are pickled back."""
+    layout = payload["layout"]
     out = []
-    for tile_index, start, stop, cols, tile_cache in jobs:
+    for tile_index, start, stop, cols, tile_cache in payload["jobs"]:
         lanes = stop - start
         if layout is not None:
             tile_cache = B.SoACache(layout, lanes)
@@ -165,6 +418,121 @@ def _run_worker_chunk(payload):
             tile_cache if layout is not None else None,
         ))
     return out
+
+
+def _view_tile_cache(arena, layout, states, start, stop):
+    """A tile-local cache whose columns are views of the frame arena's
+    planes, per the committed per-column ``states`` (0 = unfilled,
+    1 = fully filled, 2 = masked)."""
+    sub = B.SoACache(layout, stop - start)
+    for k, state in enumerate(states):
+        if not state:
+            continue
+        sub.columns[k] = arena.column("col%d" % k)[start:stop]
+        sub.filled[k] = (
+            True if state == 1
+            else arena.column("mask%d" % k)[start:stop]
+        )
+    return sub
+
+
+def _store_tile(frame, values_buf, costs_buf, loader,
+                tile_index, start, stop, values, lane_costs, tile_cache):
+    """Write one tile's results into the shared planes.
+
+    Returns ``(tile_index, "shm", states)`` on success or
+    ``(tile_index, "pickle", (values, costs, cache))`` when anything
+    about the tile's shapes/dtypes does not match the arena layout —
+    the parent splices such tiles the PR-5 way, so a surprising kernel
+    can never corrupt the shared frame.
+    """
+    np = B._np
+    lanes = stop - start
+    if not (
+        isinstance(values, np.ndarray)
+        and values.shape == (lanes,) + values_buf.shape[1:]
+        and values.dtype == values_buf.dtype
+        and isinstance(lane_costs, np.ndarray)
+        and lane_costs.dtype == costs_buf.dtype
+    ):
+        return (
+            tile_index, "pickle",
+            (values, lane_costs, tile_cache if loader else None),
+        )
+    states = None
+    if loader:
+        states = []
+        for k, column in enumerate(tile_cache.columns):
+            if column is None:
+                states.append(0)
+                continue
+            plane = frame.column("col%d" % k)
+            if not (
+                isinstance(column, np.ndarray)
+                and column.shape == (lanes,) + plane.shape[1:]
+                and column.dtype == plane.dtype
+            ):
+                # Partial plane writes before this point are harmless:
+                # the parent ignores the arena for pickled tiles.
+                return (
+                    tile_index, "pickle", (values, lane_costs, tile_cache)
+                )
+            plane[start:stop] = column
+            filled = tile_cache.filled[k]
+            mask_plane = frame.column("mask%d" % k)
+            if filled is None or filled is True:
+                mask_plane[start:stop] = True
+                states.append(1)
+            else:
+                mask_plane[start:stop] = np.asarray(filled, dtype=bool)
+                states.append(2)
+    values_buf[start:stop] = values
+    costs_buf[start:stop] = lane_costs
+    return (tile_index, "shm", states)
+
+
+def _run_shm_chunk(payload, kernel):
+    """The zero-copy transport: attach the frame/result/argument arenas
+    and write each tile's rows in place; only tiny descriptors return."""
+    layout = payload["layout"]
+    loader = payload["phase"] == "loader"
+    attached = []
+    try:
+        frame = B.ShmArena.attach(payload["frame"])
+        attached.append(frame)
+        result = B.ShmArena.attach(payload["result"])
+        attached.append(result)
+        args = []
+        for kind, value in payload["args"]:
+            if kind == "shm":
+                arena = B.ShmArena.attach(value)
+                attached.append(arena)
+                args.append(arena.column("arg"))
+            else:  # "val": a uniform scalar or pickled full column
+                args.append(value)
+        values_buf = result.column("values")
+        costs_buf = result.column("costs")
+        out = []
+        for tile_index, start, stop in payload["jobs"]:
+            lanes = stop - start
+            cols = [_slice_column(c, start, stop) for c in args]
+            if loader:
+                tile_cache = B.SoACache(layout, lanes)
+            else:
+                tile_cache = _view_tile_cache(
+                    frame, layout, payload["states"], start, stop
+                )
+            values, lane_costs = kernel.run_lanes(
+                cols, lanes, cache=tile_cache
+            )
+            out.append(_store_tile(
+                frame, values_buf, costs_buf, loader,
+                tile_index, start, stop, values, lane_costs, tile_cache,
+            ))
+        return out
+    finally:
+        for arena in attached:
+            arena.release()
 
 
 def _slice_column(column, start, stop):
@@ -177,39 +545,115 @@ def _slice_column(column, start, stop):
     return column
 
 
+def _result_spec(fn, n):
+    """``(dtype, shape)`` of the kernel's full-width result column, or
+    None when the return type has no fixed array representation."""
+    ty = getattr(fn, "ret_type", None)
+    if ty is INT:
+        return ("int64", (n,))
+    if ty is FLOAT:
+        return ("float64", (n,))
+    if ty is VEC3:
+        return ("float64", (n, 3))
+    if ty is MAT3:
+        return ("float64", (n, 9))
+    return None
+
+
+def _shm_cache_states(frame_cache):
+    """Per-column transport states when ``frame_cache`` is still fully
+    backed by its arena (reader eligibility), else None.
+
+    A column diverges when something rebound it after commit — e.g.
+    ``demote_column`` during a guarded repair, or a post-load store.
+    Divergence is not an error; the run just rides the pickle transport.
+    """
+    if not isinstance(frame_cache, B.ShmSoACache):
+        return None
+    arena = frame_cache.arena
+    if arena is None or not arena.alive:
+        return None
+    np = B._np
+    states = []
+    for k in range(len(frame_cache.layout)):
+        column = frame_cache.columns[k]
+        if column is None:
+            states.append(0)
+            continue
+        if column is not arena.column("col%d" % k):
+            return None
+        mask = frame_cache.filled[k]
+        if mask is None or mask is True:
+            states.append(1)
+        elif isinstance(mask, np.ndarray):
+            plane = arena.column("mask%d" % k)
+            if mask is not plane:
+                plane[:] = mask
+                frame_cache.filled[k] = plane
+            states.append(2)
+        else:
+            return None
+    return states
+
+
 _TOKENS = itertools.count(1)
 
 
 class TileRunStats(object):
     """What one tiled frame execution did (telemetry + tests)."""
 
-    __slots__ = ("tiles", "degraded_tiles", "workers", "pooled", "elapsed")
+    __slots__ = ("tiles", "degraded_tiles", "workers", "pooled", "elapsed",
+                 "transport", "warm_hits", "warm_misses")
 
-    def __init__(self, tiles, degraded_tiles, workers, pooled, elapsed):
+    def __init__(self, tiles, degraded_tiles, workers, pooled, elapsed,
+                 transport="serial", warm_hits=0, warm_misses=0):
         self.tiles = tiles
         #: Tiles served by the caller's ``on_overrun`` hook instead of
         #: the batch kernel (per-tile deadline degradation).
         self.degraded_tiles = degraded_tiles
         self.workers = workers
         #: Whether the process pool actually ran (False when serial,
-        #: single-tile, or ``fork`` is unavailable on this platform).
+        #: threaded, single-tile, or ``fork`` is unavailable).
         self.pooled = pooled
         self.elapsed = elapsed
+        #: Result transport this run used: ``serial``, ``threads``,
+        #: ``shm`` (zero-copy fork), or ``pickle`` (fork fallback).
+        self.transport = transport
+        #: Worker chunks that reused an already-installed kernel vs
+        #: chunks that had to ship the kernel spec.
+        self.warm_hits = warm_hits
+        self.warm_misses = warm_misses
 
 
 class TileExecutor(object):
-    """Runs batch kernels tile-by-tile, serially or on a process pool.
+    """Runs batch kernels tile-by-tile, serially or on a worker pool.
 
     One executor per edit session; kernels are identified by object
     identity and assigned stable tokens so pool workers memoize their
-    rebuilt copies across frames.
+    rebuilt copies across frames.  The executor also owns the session's
+    shared-memory blocks: uploaded argument columns (memoized by column
+    identity — geometry uploads once per session, not per frame) and
+    the reusable result arena.
     """
 
-    def __init__(self, workers=1, tile=None):
-        self.workers = resolve_workers(workers)
+    def __init__(self, workers=1, tile=None, transport=None):
+        count, spec_mode = _parse_workers_spec(workers)
+        self.workers = count
+        #: Requested transport family: ``auto``, ``fork``, ``threads``.
+        self.transport = spec_mode if transport is None else transport
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                "unknown transport %r (expected one of %s)"
+                % (transport, ", ".join(TRANSPORTS))
+            )
         self.tile = resolve_tile(tile)
         self.last_stats = None
         self._tokens = {}
+        #: id(column) -> (ShmArena, column): uploaded argument blocks.
+        #: The strong reference to the column keeps its id() stable.
+        self._arg_blocks = {}
+        self._result_arena = None
+        self._result_key = None
 
     def _token_for(self, kernel):
         token = self._tokens.get(id(kernel))
@@ -218,13 +662,129 @@ class TileExecutor(object):
             self._tokens[id(kernel)] = token
         return token
 
+    # -- shared-memory bookkeeping -------------------------------------------
+
+    def new_frame_cache(self, layout, n):
+        """A frame cache for a tiled loader run: shared-memory-backed
+        when the fork pool can write tiles in place, an ordinary
+        :class:`SoACache` otherwise."""
+        if (
+            self.workers > 1
+            and n > self.tile
+            and self.transport in ("auto", "fork")
+            and B.HAVE_NUMPY and B.HAVE_SHM
+            and _fork_available()
+        ):
+            return B.ShmSoACache.allocate(layout, n)
+        return B.SoACache(layout, n)
+
+    def close(self):
+        """Release this executor's shared blocks (sessions ending)."""
+        for arena, _column in self._arg_blocks.values():
+            arena.release()
+        self._arg_blocks = {}
+        if self._result_arena is not None:
+            self._result_arena.release()
+            self._result_arena = None
+            self._result_key = None
+
+    def _ship_arg(self, column):
+        """A payload entry for one argument column: uploaded to shared
+        memory once per (session, column object), or passed by value."""
+        if B.HAVE_NUMPY and isinstance(column, B._np.ndarray):
+            if column.dtype.kind not in "fiub":
+                return ("val", column)  # exotic dtype: pickle it
+            block = self._arg_blocks.get(id(column))
+            if block is None or block[1] is not column:
+                arena = B.ShmArena.create(
+                    [("arg", column.dtype.str, column.shape)]
+                )
+                arena.column("arg")[...] = column
+                block = (arena, column)
+                self._arg_blocks[id(column)] = block
+            return ("shm", block[0].descriptor())
+        return ("val", column)
+
+    def _ensure_result_arena(self, spec, n):
+        """The reusable values+costs arena (recut when the frame size or
+        result type changes)."""
+        key = (n, spec)
+        if (
+            self._result_key != key
+            or self._result_arena is None
+            or not self._result_arena.alive
+        ):
+            if self._result_arena is not None:
+                self._result_arena.release()
+            dtype, shape = spec
+            self._result_arena = B.ShmArena.create([
+                ("values", dtype, shape),
+                ("costs", "int64", (n,)),
+            ])
+            self._result_key = key
+        return self._result_arena
+
+    def _shm_plan(self, kernel, columns, layout, frame_cache, n):
+        """Everything the zero-copy transport needs, or None when this
+        run must ride pickle (non-vectorized kernel, non-shm cache,
+        diverged columns, no fixed result layout)."""
+        if not (B.HAVE_NUMPY and B.HAVE_SHM):
+            return None
+        if not kernel.vectorized:
+            return None
+        spec = _result_spec(kernel.fn, n)
+        if spec is None:
+            return None
+        if layout is not None:
+            # Loader: needs a pristine shm-backed frame cache to fill.
+            if not isinstance(frame_cache, B.ShmSoACache):
+                return None
+            if frame_cache.arena is None or not frame_cache.arena.alive:
+                return None
+            if any(c is not None for c in frame_cache.columns):
+                return None
+            states = None
+        else:
+            if frame_cache is None:
+                return None
+            states = _shm_cache_states(frame_cache)
+            if states is None:
+                return None
+        return {
+            "frame": frame_cache.arena,
+            "result": self._ensure_result_arena(spec, n),
+            "args": [self._ship_arg(column) for column in columns],
+            "states": states,
+        }
+
+    # -- transport selection -------------------------------------------------
+
+    def _pick_transport(self, plan, kernel):
+        if self.workers <= 1 or len(plan) <= 1:
+            return "serial"
+        mode = self.transport
+        if mode == "auto":
+            mode = "fork" if _fork_available() else "threads"
+        if mode == "fork":
+            if _fork_available():
+                return "fork"
+            mode = "threads"
+        # Threads only pay when the kernel vectorizes (NumPy releases
+        # the GIL); the per-row fallback shares one interpreter and
+        # must stay on the serial path.
+        if mode == "threads" and B.HAVE_NUMPY and kernel.vectorized:
+            return "threads"
+        return "serial"
+
     def run(self, kernel, columns, n, *, frame_cache=None, layout=None,
             width=None, cap=None, on_overrun=None, obs=None,
             shader="?", partition="?", phase="?"):
         """Execute ``kernel`` over ``n`` lanes in tiles.
 
         * Loader mode (``layout`` given): each tile fills a tile-local
-          :class:`SoACache` that is spliced into ``frame_cache``.
+          :class:`SoACache` that is spliced into ``frame_cache`` — or,
+          on the shm transport, written straight into the frame cache's
+          arena and committed column-by-column.
         * Reader mode (``frame_cache`` given, no ``layout``): each tile
           reads a contiguous view of the frame cache.
 
@@ -240,11 +800,25 @@ class TileExecutor(object):
         obs = obs if obs is not None else NULL_OBS
         started = time.perf_counter()
         plan = plan_tiles(n, self.tile, width)
-        use_pool = (
-            self.workers > 1 and len(plan) > 1 and _fork_available()
-        )
-        if use_pool:
-            tiles = self._run_pooled(
+        transport = self._pick_transport(plan, kernel)
+        warm_hits = warm_misses = 0
+        commit = None
+        if transport == "fork":
+            shm = self._shm_plan(kernel, columns, layout, frame_cache, n)
+            if shm is not None:
+                transport = "shm"
+                tiles, commit, warm_hits, warm_misses = self._run_shm(
+                    kernel, plan, layout, frame_cache, shm, obs,
+                    shader, partition, phase,
+                )
+            else:
+                transport = "pickle"
+                tiles, warm_hits, warm_misses = self._run_pickle(
+                    kernel, columns, plan, layout, frame_cache, obs,
+                    shader, partition, phase,
+                )
+        elif transport == "threads":
+            tiles = self._run_threads(
                 kernel, columns, plan, layout, frame_cache, obs,
                 shader, partition, phase,
             )
@@ -256,7 +830,7 @@ class TileExecutor(object):
 
         values_rows = []
         costs_rows = []
-        degraded = 0
+        degraded = []
         for tile_index, (start, stop) in enumerate(plan):
             values, lane_costs, tile_cache = tiles[tile_index]
             lanes = stop - start
@@ -275,15 +849,23 @@ class TileExecutor(object):
                     )
                     values_rows.extend(tile_values)
                     costs_rows.extend(int(c) for c in tile_costs)
-                    degraded += 1
+                    degraded.append(tile_index)
                     continue
             values_rows.extend(B.value_rows(values, lanes))
             costs_rows.extend(costs)
-            if layout is not None and frame_cache is not None:
+            if (
+                layout is not None and frame_cache is not None
+                and tile_cache is not None
+            ):
                 frame_cache.splice(start, stop, tile_cache)
+        if commit is not None:
+            commit(degraded)
         elapsed = time.perf_counter() - started
         self.last_stats = TileRunStats(
-            len(plan), degraded, self.workers, use_pool, elapsed,
+            len(plan), len(degraded), self.workers,
+            transport in ("shm", "pickle"), elapsed,
+            transport=transport,
+            warm_hits=warm_hits, warm_misses=warm_misses,
         )
         if obs.enabled and plan:
             obs.registry.histogram(
@@ -294,6 +876,19 @@ class TileExecutor(object):
                 len(plan) / max(elapsed, 1e-9),
                 shader=shader, partition=partition, phase=phase,
             )
+            obs.registry.gauge(
+                "repro_shm_bytes_resident",
+                "Bytes of live shared-memory arenas in this process.",
+            ).set(B.shm_resident_bytes())
+            if transport in ("shm", "pickle"):
+                obs.registry.counter(
+                    "repro_worker_warm_hits_total",
+                    "Worker chunks that reused an installed kernel.",
+                ).inc(warm_hits)
+                obs.registry.counter(
+                    "repro_worker_warm_misses_total",
+                    "Worker chunks that had to ship their kernel spec.",
+                ).inc(warm_misses)
         return values_rows, costs_rows
 
     # -- serial path ---------------------------------------------------------
@@ -313,7 +908,7 @@ class TileExecutor(object):
             with obs.span(
                 "render.tile", shader=shader, partition=partition,
                 phase=phase, tile=tile_index, start=start, stop=stop,
-                lanes=lanes,
+                lanes=lanes, transport="serial",
             ):
                 values, lane_costs = kernel.run_lanes(
                     cols, lanes, cache=tile_cache
@@ -321,14 +916,112 @@ class TileExecutor(object):
             tiles[tile_index] = (values, lane_costs, tile_cache)
         return tiles
 
-    # -- process-pool path ---------------------------------------------------
+    # -- thread-pool path ----------------------------------------------------
 
-    def _run_pooled(self, kernel, columns, plan, layout, frame_cache, obs,
+    def _run_threads(self, kernel, columns, plan, layout, frame_cache, obs,
+                     shader, partition, phase):
+        """In-process parallel tiles: zero-copy by construction (every
+        thread writes tile-local caches spliced by the main thread), a
+        win exactly when the vectorized kernel's NumPy ops release the
+        GIL.  Chunking mirrors the fork path's deterministic
+        round-robin, though results never depend on the assignment."""
+        pool = _get_thread_pool(self.workers)
+
+        def chunk(indices):
+            out = []
+            for tile_index in indices:
+                start, stop = plan[tile_index]
+                lanes = stop - start
+                cols = [_slice_column(c, start, stop) for c in columns]
+                if layout is not None:
+                    tile_cache = B.SoACache(layout, lanes)
+                elif frame_cache is not None:
+                    tile_cache = frame_cache.tile(start, stop)
+                else:
+                    tile_cache = None
+                values, lane_costs = kernel.run_lanes(
+                    cols, lanes, cache=tile_cache
+                )
+                out.append((values, lane_costs, tile_cache))
+            return out
+
+        futures = []
+        for worker in range(self.workers):
+            indices = list(range(worker, len(plan), self.workers))
+            if not indices:
+                continue
+            futures.append((worker, indices, pool.submit(chunk, indices)))
+        tiles = {}
+        for worker, indices, future in futures:
+            # Spans open in the caller's thread (the tracer's span stack
+            # is not shared across threads): one per worker chunk,
+            # covering dispatch-to-gather like the fork path.
+            with obs.span(
+                "render.tile", shader=shader, partition=partition,
+                phase=phase, worker=worker, tiles=len(indices),
+                transport="threads",
+            ):
+                results = future.result()
+            for tile_index, entry in zip(indices, results):
+                tiles[tile_index] = entry
+        return tiles
+
+    # -- fork-pool paths -----------------------------------------------------
+
+    def _gather_chunks(self, pool, chunks, obs, span_kwargs):
+        """Collect ``(worker, results)`` replies in dispatch order.
+
+        Every outstanding worker is drained before the first failure
+        propagates, so the pipes stay request/reply-aligned for the
+        next frame; a died-worker failure discards the whole pool.
+        """
+        gathered = []
+        failure = None
+        broken = False
+        for worker, job_count in chunks:
+            try:
+                with obs.span(
+                    "render.tile", worker=worker, tiles=job_count,
+                    **span_kwargs
+                ):
+                    status, value = pool.recv(worker)
+            except PoolBrokenError as exc:
+                broken = True
+                if failure is None:
+                    failure = exc
+                continue
+            if status == "err":
+                if failure is None:
+                    failure = value
+                continue
+            gathered.append((worker, value))
+        if broken:
+            _discard_pool()
+        if failure is not None:
+            raise failure
+        return gathered
+
+    def _dispatch(self, pool, worker, token, kernel, payload):
+        """Send one chunk, shipping the kernel spec only on the
+        worker's first use of it.  Returns True for a warm hit."""
+        warm = pool.installed(worker, token)
+        payload["token"] = token
+        payload["kernel"] = (
+            None if warm
+            else (kernel.fn, kernel.program, kernel.max_steps)
+        )
+        pool.send(worker, payload)
+        if not warm:
+            pool.mark_installed(worker, token)
+        return warm
+
+    def _run_pickle(self, kernel, columns, plan, layout, frame_cache, obs,
                     shader, partition, phase):
         kernel._ensure()  # compile once in the parent; workers rebuild
         token = self._token_for(kernel)
         pool = _get_pool(self.workers)
         chunks = []
+        warm_hits = warm_misses = 0
         for worker in range(self.workers):
             jobs = []
             for tile_index in range(worker, len(plan), self.workers):
@@ -342,24 +1035,122 @@ class TileExecutor(object):
                 jobs.append((tile_index, start, stop, cols, tile_cache))
             if not jobs:
                 continue
-            payload = (
-                token, kernel.fn, kernel.program, kernel.max_steps,
-                layout, jobs,
-            )
-            chunks.append(
-                (worker, len(jobs),
-                 pool.apply_async(_run_worker_chunk, (payload,)))
-            )
+            if self._dispatch(pool, worker, token, kernel, {
+                "mode": "pickle", "layout": layout, "jobs": jobs,
+            }):
+                warm_hits += 1
+            else:
+                warm_misses += 1
+            chunks.append((worker, len(jobs)))
         tiles = {}
-        for worker, job_count, handle in chunks:
-            # One span per worker chunk: the pool path cannot trace
-            # inside the child, so the span covers dispatch-to-gather
-            # for that worker's tile list.
-            with obs.span(
-                "render.tile", shader=shader, partition=partition,
-                phase=phase, worker=worker, tiles=job_count,
-            ):
-                results = handle.get()
+        for _worker, results in self._gather_chunks(
+            pool, chunks, obs,
+            dict(shader=shader, partition=partition, phase=phase,
+                 transport="pickle"),
+        ):
             for tile_index, values, lane_costs, tile_cache in results:
                 tiles[tile_index] = (values, lane_costs, tile_cache)
-        return tiles
+        return tiles, warm_hits, warm_misses
+
+    def _run_shm(self, kernel, plan, layout, frame_cache, shm, obs,
+                 shader, partition, phase):
+        """Zero-copy dispatch: workers attach the frame/result arenas
+        and write their tiles' rows in place; the pipe carries only
+        job spans out and per-tile state descriptors back."""
+        token = self._token_for(kernel)
+        pool = _get_pool(self.workers)
+        loader = layout is not None
+        frame_desc = shm["frame"].descriptor()
+        result_desc = shm["result"].descriptor()
+        chunks = []
+        warm_hits = warm_misses = 0
+        for worker in range(self.workers):
+            jobs = [
+                (tile_index,) + plan[tile_index]
+                for tile_index in range(worker, len(plan), self.workers)
+            ]
+            if not jobs:
+                continue
+            if self._dispatch(pool, worker, token, kernel, {
+                "mode": "shm",
+                "phase": "loader" if loader else "reader",
+                "layout": layout if loader else frame_cache.layout,
+                "frame": frame_desc,
+                "result": result_desc,
+                "args": shm["args"],
+                "states": shm["states"],
+                "jobs": jobs,
+            }):
+                warm_hits += 1
+            else:
+                warm_misses += 1
+            chunks.append((worker, len(jobs)))
+        values_buf = shm["result"].column("values")
+        costs_buf = shm["result"].column("costs")
+        tiles = {}
+        loader_states = {}
+        for _worker, results in self._gather_chunks(
+            pool, chunks, obs,
+            dict(shader=shader, partition=partition, phase=phase,
+                 transport="shm"),
+        ):
+            for tile_index, kind, extra in results:
+                start, stop = plan[tile_index]
+                if kind == "pickle":
+                    tiles[tile_index] = extra
+                else:
+                    tiles[tile_index] = (
+                        values_buf[start:stop], costs_buf[start:stop], None,
+                    )
+                    if loader:
+                        loader_states[tile_index] = extra
+        commit = None
+        if loader:
+            mixed = any(entry[2] is not None for entry in tiles.values())
+            if mixed:
+                # Rare per-tile pickle fallback inside an shm run: give
+                # the shm tiles view-based caches so the normal splice
+                # path stitches the whole frame uniformly (the arena is
+                # then just scratch space).
+                for tile_index, states in loader_states.items():
+                    start, stop = plan[tile_index]
+                    values, lane_costs, _ = tiles[tile_index]
+                    tiles[tile_index] = (
+                        values, lane_costs,
+                        _view_tile_cache(
+                            shm["frame"], layout, states, start, stop
+                        ),
+                    )
+            else:
+                commit = self._make_commit(
+                    shm["frame"], frame_cache, layout, plan, loader_states
+                )
+        return tiles, commit, warm_hits, warm_misses
+
+    def _make_commit(self, arena, frame_cache, layout, plan, loader_states):
+        """The loader-side commit: point the frame cache's columns at
+        the arena planes the workers filled.  Runs after the deadline
+        loop so degraded tiles can be zeroed out first — producing
+        exactly the frame the splice path would have built (splice
+        skips degraded tiles, leaving zeros and False masks)."""
+        def commit(degraded):
+            for tile_index in degraded:
+                start, stop = plan[tile_index]
+                for k in range(len(layout)):
+                    arena.column("col%d" % k)[start:stop] = 0
+                    arena.column("mask%d" % k)[start:stop] = False
+            dropped = set(degraded)
+            stored = [False] * len(layout)
+            for tile_index, states in loader_states.items():
+                if tile_index in dropped:
+                    continue
+                for k, state in enumerate(states):
+                    if state:
+                        stored[k] = True
+            for k, any_store in enumerate(stored):
+                if not any_store:
+                    continue
+                mask = arena.column("mask%d" % k)
+                frame_cache.columns[k] = arena.column("col%d" % k)
+                frame_cache.filled[k] = True if mask.all() else mask
+        return commit

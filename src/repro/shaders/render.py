@@ -79,13 +79,18 @@ class EditSession(object):
         #: requests stay whole-frame (their fault attribution and
         #: variant grouping are frame-global), so ``workers`` is a
         #: no-op there — parity with ``workers=1`` holds trivially.
-        self.workers = (
-            P.resolve_workers(workers)
-            if workers is not None else render_session.workers
-        )
+        if workers is not None:
+            self.workers = P.resolve_workers(workers)
+            self.transport = P.resolve_transport(workers)
+        else:
+            self.workers = render_session.workers
+            self.transport = getattr(render_session, "transport", "auto")
         self.tile = tile if tile is not None else render_session.tile
         self._executor = (
-            P.TileExecutor(workers=self.workers, tile=self.tile)
+            P.TileExecutor(
+                workers=self.workers, tile=self.tile,
+                transport=self.transport,
+            )
             if self.backend == "batch"
             and (self.workers > 1 or self.tile is not None)
             else None
@@ -501,7 +506,10 @@ class EditSession(object):
         adjust-phase behavior."""
         spec = self.specialization
         session = self.render_session
-        cache = spec.new_batch_cache(n)
+        # The executor picks the cache's backing store: shared-memory
+        # columns when the fork pool will write tiles in place, an
+        # ordinary SoACache otherwise.
+        cache = self._executor.new_frame_cache(spec.layout, n)
         kernel = spec.batch_kernel("loader", cap)
         colors, costs = self._executor.run(
             kernel, columns, n, frame_cache=cache, layout=spec.layout,
@@ -752,6 +760,7 @@ class RenderSession(object):
         self.backend = self.specializer.backend
         self.guard = self.specializer.guard
         self.workers = self.specializer.workers
+        self.transport = self.specializer.transport
         self.tile = self.specializer.tile
         #: Session-level render supervisor (deadlines, degradation
         #: ladder, circuit breakers).  Pass one explicitly to share
