@@ -201,6 +201,38 @@ def _supervision_policy(args):
     return SupervisorPolicy(**kwargs)
 
 
+def _pool_policy_from_args(args):
+    """A PoolPolicy when any self-healing pool flag was given, else None
+    (the executor's defaults apply)."""
+    deadline = getattr(args, "pool_deadline_ms", None)
+    if deadline is None:
+        return None
+    from .runtime.parallel import PoolPolicy
+
+    try:
+        return PoolPolicy(deadline_ms=deadline)
+    except ValueError as exc:
+        raise SystemExit("bad --pool-deadline-ms: %s" % exc)
+
+
+def _chaos_injector(args):
+    """A FaultInjector from the render/health injection flags, or None.
+
+    Kernel faults imply guarded execution; process faults attach to the
+    tiled executor's self-healing recovery instead (see
+    ``EditSession``'s injector split)."""
+    kernel_rate = getattr(args, "inject_rate", 0.0) or 0.0
+    proc_rate = getattr(args, "inject_proc_rate", 0.0) or 0.0
+    if kernel_rate <= 0.0 and proc_rate <= 0.0:
+        return None
+    from .runtime.faultinject import FaultInjector
+
+    return FaultInjector(
+        seed=args.inject_seed, kernel_rate=kernel_rate,
+        proc_rate=proc_rate,
+    )
+
+
 def _fault_summary(fault_log):
     if fault_log is None:
         return None
@@ -240,13 +272,7 @@ def cmd_render(args, out):
             "no shader %d (have %s)"
             % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
         )
-    injector = None
-    if args.inject_rate > 0.0:
-        from .runtime.faultinject import FaultInjector
-
-        injector = FaultInjector(
-            seed=args.inject_seed, kernel_rate=args.inject_rate
-        )
+    injector = _chaos_injector(args)
     obs = _resolve_obs_flag(args)
     from .runtime.parallel import resolve_tile, resolve_workers
 
@@ -260,9 +286,10 @@ def cmd_render(args, out):
         raise SystemExit("bad --workers/--tile: %s" % exc)
     session = RenderSession(
         args.shader, width=args.size, height=args.size, backend=args.backend,
-        guard=args.guard or injector is not None,
+        guard=args.guard or args.inject_rate > 0.0,
         policy=_supervision_policy(args), obs=obs,
         workers=workers, tile=tile,
+        pool_policy=_pool_policy_from_args(args),
     )
     param = args.param or session.spec_info.control_params[0]
     try:
@@ -356,12 +383,30 @@ def cmd_health(args, out):
             "no shader %d (have %s)"
             % (args.shader, ", ".join(str(i) for i in sorted(SHADERS)))
         )
+    from .runtime.parallel import resolve_tile, resolve_workers
+
+    try:
+        workers = args.workers
+        resolve_workers(workers)
+        tile = resolve_tile(args.tile)
+    except ValueError as exc:
+        raise SystemExit("bad --workers/--tile: %s" % exc)
     session = RenderSession(
         args.shader, width=args.size, height=args.size, backend=args.backend,
         guard=True, policy=_supervision_policy(args),
+        workers=workers, tile=tile,
+        pool_policy=_pool_policy_from_args(args),
     )
     param = args.param or session.spec_info.control_params[0]
-    edit = session.begin_edit(param)
+    # Guarded requests run whole-frame, which would park the tiled
+    # executor — so a pool-chaos drive (process faults only, no cache
+    # corruption) opts the drag out of guarding; the pool's own
+    # detection/recovery is the containment under test there.
+    proc_only = args.inject_proc_rate > 0.0 and args.corrupt_rate <= 0.0
+    edit = session.begin_edit(
+        param, injector=_chaos_injector(args),
+        guard=False if proc_only else None,
+    )
     edit.load(session.controls)
     # Corrupt caches over the first half of the drag, then stop — the
     # report shows the breaker tripping and the probe recovery.
@@ -574,8 +619,17 @@ def build_parser():
     p.add_argument("--inject-rate", type=float, default=0.0,
                    help="forced kernel-fault rate per pixel (implies "
                         "--guard; for fault-tolerance demos)")
+    p.add_argument("--inject-proc-rate", type=float, default=0.0,
+                   help="process-level fault rate per dispatched chunk "
+                        "(seeded worker kill/hang/slow/garbled; "
+                        "exercises the pool's self-healing recovery — "
+                        "frames stay byte-identical)")
     p.add_argument("--inject-seed", type=int, default=0,
                    help="fault-injection seed")
+    p.add_argument("--pool-deadline-ms", type=float, default=None,
+                   help="wall-clock deadline per worker chunk before "
+                        "the pool declares the worker hung and "
+                        "re-dispatches its tiles (default: 30000)")
     p.add_argument("--supervise", action="store_true",
                    help="route rendering through the resilient "
                         "supervisor (degradation ladder + breakers)")
@@ -614,6 +668,19 @@ def build_parser():
                         "and probe recovery)")
     p.add_argument("--inject-seed", type=int, default=0,
                    help="corruption seed")
+    p.add_argument("--workers", default=None,
+                   help="tiled-scheduler workers (count, 'auto', "
+                        "'fork[:N]', 'threads[:N]'); with a pool the "
+                        "report gains the self-healing pool section")
+    p.add_argument("--tile", type=int, default=None,
+                   help="lanes per scheduler tile")
+    p.add_argument("--inject-proc-rate", type=float, default=0.0,
+                   help="process-level fault rate per dispatched chunk "
+                        "(seeded worker kill/hang/slow/garbled; "
+                        "demonstrates pool self-healing)")
+    p.add_argument("--pool-deadline-ms", type=float, default=None,
+                   help="wall-clock deadline per worker chunk before "
+                        "the pool declares the worker hung")
     p.add_argument("--deadline-steps", type=int, default=None)
     p.add_argument("--breaker-threshold", type=float, default=None)
     p.add_argument("--json", action="store_true",

@@ -314,7 +314,8 @@ class DataSpecializer(object):
     """Specializes functions of one program on chosen input partitions."""
 
     def __init__(self, program, options=None, backend=None, guard=False,
-                 policy=None, obs=None, workers=None, tile=None):
+                 policy=None, obs=None, workers=None, tile=None,
+                 pool_policy=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
@@ -335,6 +336,11 @@ class DataSpecializer(object):
         if tile is not None:
             resolve_tile(tile)  # validate eagerly; keep None distinct
         self.tile = tile
+        #: Session-level default :class:`~repro.runtime.parallel.
+        #: PoolPolicy` (hung-worker deadlines, restart budget, breaker
+        #: cooldowns) for the self-healing worker pool; None means the
+        #: executor's defaults apply.
+        self.pool_policy = pool_policy
         #: Session-level default for guarded execution: when True,
         #: drivers built on this specializer wrap loader/reader runs in
         #: a :class:`~repro.runtime.guard.GuardedExecutor`.

@@ -32,6 +32,12 @@ DEFAULT_BUCKETS = (
     5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000,
 )
 
+#: Millisecond-latency buckets for wall-clock histograms (worker
+#: respawn latency, chunk round-trips): sub-ms to tens of seconds.
+MS_BUCKETS = (
+    0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
 
 def _check_name(name):
     if not _NAME_RE.match(name):

@@ -26,6 +26,15 @@ PHASES = ("load", "adjust")
 #: Execution backends a session can resolve to.
 BACKENDS = ("batch", "scalar")
 
+#: Process-level worker-loss kinds the self-healing pool reports
+#: (``pool_health()["lost_workers"]``, ``worker_<kind>`` incidents).
+POOL_FAULT_KINDS = ("crash", "hang", "garbled", "pipe")
+
+#: Non-ladder incident scopes ``canonical_rung`` accepts alongside the
+#: ladder rungs: breaker transitions, ladder exhaustion, and
+#: self-healing worker-pool events.
+INCIDENT_SCOPES = ("breaker", "ladder", "pool")
+
 
 def canonical_rung(name):
     """Normalize a rung name to the canonical schema spelling.
@@ -37,8 +46,7 @@ def canonical_rung(name):
     if name is None:
         return None
     canonical = str(name).strip().lower().replace("-", "_")
-    if canonical not in RUNGS and canonical != "breaker" \
-            and canonical != "ladder":
+    if canonical not in RUNGS and canonical not in INCIDENT_SCOPES:
         raise ValueError("unknown rung name %r" % name)
     return canonical
 

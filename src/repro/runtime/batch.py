@@ -666,6 +666,66 @@ def release_all_arenas():
         arena.release()
 
 
+def reclaim_orphaned_segments(shm_dir="/dev/shm"):
+    """Unlink ``repro_shm_*`` segments whose creating process is gone.
+
+    A worker killed with SIGKILL (or the parent of a previous crashed
+    run) can leave named segments behind that no finalizer will ever
+    sweep.  Segment names embed the creating PID, so orphans are
+    detectable without ``ps``: a name is reclaimed when its PID no
+    longer exists, or when it is this process's own PID but no live
+    arena claims the name (the tracking object was lost).  Segments of
+    *other live* processes are never touched.
+
+    Returns ``(segments, bytes)`` reclaimed.  No-op (``(0, 0)``) on
+    hosts without a /dev/shm-style directory.
+    """
+    if not (HAVE_NUMPY and HAVE_SHM) or not os.path.isdir(shm_dir):
+        return (0, 0)
+    live = {arena.name for arena in list(_ARENAS) if arena.alive}
+    own_pid = os.getpid()
+    segments = 0
+    nbytes = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - unreadable shm dir
+        return (0, 0)
+    for name in names:
+        if not name.startswith("repro_shm_") or name in live:
+            continue
+        try:
+            pid = int(name.split("_")[2])
+        except (IndexError, ValueError):
+            continue
+        if pid != own_pid:
+            try:
+                os.kill(pid, 0)
+                continue  # creator still running: its segment, not ours
+            except ProcessLookupError:
+                pass
+            except (PermissionError, OSError):
+                continue  # pragma: no cover - someone else's live pid
+        path = os.path.join(shm_dir, name)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            continue  # pragma: no cover - raced another sweep
+        # Unlink through SharedMemory so the resource tracker's entry
+        # (if this process ever registered the name) is cleared too.
+        try:
+            segment = _shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError):  # pragma: no cover - raced
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - raced
+            continue
+        segments += 1
+        nbytes += size
+    return (segments, nbytes)
+
+
 def _column_spec(slot, n):
     """(dtype, shape) of one cache slot's full-width column."""
     if slot.ty is INT:

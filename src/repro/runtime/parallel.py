@@ -50,6 +50,21 @@ the rest of the frame stays on the fast path) or, with no hook, raises
 :class:`~repro.lang.errors.DeadlineError` exactly like the whole-frame
 check did.  Degraded tiles are zeroed out of the shared frame columns
 before commit, so shm frames splice byte-identically to serial ones.
+
+Self-healing (PR 7): the pool survives *process-level* faults.  Replies
+are waited on with ``Connection.poll`` under a per-chunk wall deadline
+(:class:`PoolPolicy`), with ``Process.is_alive``/exitcode liveness
+checks, so a crashed (``kill -9``, OOM) worker is distinguished from a
+hung one and surfaced as a typed :class:`WorkerLostError`.  A lost
+worker's tiles are re-dispatched to surviving warm workers, then to an
+in-process fallback, so the frame still completes byte-identically;
+the worker is respawned under a bounded, seeded-backoff restart budget.
+Budget exhaustion trips a per-pool breaker (:class:`PoolBreaker`) that
+degrades subsequent frames to the threads/serial transports until a
+half-open probe refills the pool.  Kernels that repeatedly kill their
+workers are quarantined to the serial path, and shm segments orphaned
+by crashed children are reclaimed (:func:`~repro.runtime.batch
+.reclaim_orphaned_segments`).  :func:`pool_health` reports all of it.
 """
 
 from __future__ import annotations
@@ -57,7 +72,9 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import random
 import time
+from collections import deque
 
 from ..lang.errors import DeadlineError
 from ..lang.types import FLOAT, INT, MAT3, VEC3
@@ -196,7 +213,247 @@ def plan_tiles(n, tile, width=None):
 
 
 class PoolBrokenError(RuntimeError):
-    """A pool worker died mid-conversation; the pool is rebuilt."""
+    """A pool worker died mid-conversation; the pool is rebuilt.
+
+    When several workers fail in one gather, the raised exception gets
+    the other collected failures attached as ``related_failures`` so a
+    structured kernel error is never masked by a broken pipe.
+    """
+
+    #: Other failures collected in the same gather (satellite: the old
+    #: ``_gather`` kept only the first failure).
+    related_failures = ()
+
+
+class WorkerLostError(PoolBrokenError):
+    """A specific pool worker was lost mid-chunk.
+
+    ``kind`` types the incident: ``"crash"`` (process died — pipe EOF or
+    ``is_alive()`` false), ``"hang"`` (no reply within the
+    :class:`PoolPolicy` deadline), ``"garbled"`` (an unparseable reply —
+    the pipe can no longer be trusted), or ``"pipe"`` (send failed).
+    """
+
+    def __init__(self, worker, kind, detail, exitcode=None):
+        PoolBrokenError.__init__(
+            self, "worker %d %s: %s" % (worker, kind, detail)
+        )
+        self.worker = worker
+        self.kind = kind
+        self.exitcode = exitcode
+
+
+class PoolPolicy(object):
+    """Tunable self-healing knobs, threaded like ``SupervisorPolicy``.
+
+    * ``deadline_ms`` — wall-clock budget for one worker chunk reply
+      (``None`` disables hang detection and waits forever).
+    * ``poll_interval_ms`` — ``Connection.poll`` granularity while
+      waiting; also bounds how stale a liveness check can be.
+    * ``max_restarts`` / ``restart_window`` — restart budget: at most
+      ``max_restarts`` worker respawns per ``restart_window`` pooled
+      runs; exceeding it degrades the pool and trips the breaker.
+    * ``backoff_base_ms`` / ``backoff_cap_ms`` — seeded exponential
+      respawn backoff (base 0 disables sleeping, the test default).
+    * ``breaker_cooldown`` / ``breaker_cooldown_cap`` — pooled runs the
+      breaker stays open before a half-open probe; doubles (with seeded
+      jitter) on every re-trip, capped.
+    * ``quarantine_threshold`` — worker losses charged to one kernel
+      token before that kernel is routed to the serial transport.
+    """
+
+    __slots__ = ("deadline_ms", "poll_interval_ms", "max_restarts",
+                 "restart_window", "backoff_base_ms", "backoff_cap_ms",
+                 "breaker_cooldown", "breaker_cooldown_cap",
+                 "quarantine_threshold", "seed")
+
+    def __init__(self, deadline_ms=30000.0, poll_interval_ms=20.0,
+                 max_restarts=3, restart_window=16,
+                 backoff_base_ms=0.0, backoff_cap_ms=200.0,
+                 breaker_cooldown=4, breaker_cooldown_cap=64,
+                 quarantine_threshold=3, seed=0):
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive or None")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if restart_window < 1:
+            raise ValueError("restart_window must be >= 1")
+        if quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        self.deadline_ms = deadline_ms
+        self.poll_interval_ms = poll_interval_ms
+        self.max_restarts = max_restarts
+        self.restart_window = restart_window
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_cap_ms = backoff_cap_ms
+        self.breaker_cooldown = breaker_cooldown
+        self.breaker_cooldown_cap = breaker_cooldown_cap
+        self.quarantine_threshold = quarantine_threshold
+        self.seed = seed
+
+
+#: Worker-loss kinds (mirrored in ``obs.schema.POOL_FAULT_KINDS``).
+FAULT_KINDS = ("crash", "hang", "garbled", "pipe")
+
+#: Incident ring capacity in :class:`PoolHealth`.
+MAX_POOL_INCIDENTS = 256
+
+#: Respawn-latency samples kept for the median (smoke tooling).
+_MAX_RESPAWN_SAMPLES = 512
+
+
+class PoolHealth(object):
+    """Process-wide self-healing telemetry, surfaced by
+    :func:`pool_health` and the supervisor's ``health()["pool"]``."""
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.restarts = 0
+        self.redispatched_tiles = 0
+        self.inline_tiles = 0
+        self.lost_workers = dict.fromkeys(FAULT_KINDS, 0)
+        self.degraded_runs = 0
+        self.quarantine_routed = 0
+        self.reclaimed_segments = 0
+        self.reclaimed_bytes = 0
+        self.respawn_ms = []
+        self.incidents = deque(maxlen=MAX_POOL_INCIDENTS)
+        self.incidents_dropped = 0
+        self._seq = itertools.count(1)
+
+    def record(self, kind, worker=None, detail=""):
+        if len(self.incidents) == self.incidents.maxlen:
+            self.incidents_dropped += 1
+        self.incidents.append({
+            "seq": next(self._seq), "kind": kind,
+            "worker": worker, "detail": detail,
+        })
+
+    def note_respawn(self, ms):
+        self.restarts += 1
+        if len(self.respawn_ms) < _MAX_RESPAWN_SAMPLES:
+            self.respawn_ms.append(ms)
+
+
+POOL_HEALTH = PoolHealth()
+
+
+class PoolBreaker(object):
+    """Per-pool circuit breaker over the fork transport.
+
+    Run-counted like the supervisor's :class:`~repro.runtime.supervise
+    .CircuitBreaker` (no wall clock, so replays are deterministic):
+    while open, pooled runs degrade to threads/serial; after
+    ``cooldown`` fork-eligible runs a half-open probe forks a fresh
+    pool, closing on success and re-opening (with doubled, seeded-
+    jittered cooldown) if the probe's pool blows its budget too.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.state = "closed"
+        self.runs = 0
+        self.trips = 0
+        self.reopens = 0
+        self.cooldown = None
+        self.probe_at = None
+
+    def allow_fork(self, policy):
+        """Advance breaker time by one fork-eligible run; True when the
+        run may use the fork pool (closed, or a half-open probe)."""
+        self.runs += 1
+        if self.state == "open" and self.runs >= self.probe_at:
+            self.state = "half_open"
+        return self.state != "open"
+
+    def trip(self, policy):
+        if self.state == "half_open":
+            self.reopens += 1
+        self.state = "open"
+        self.trips += 1
+        base = policy.breaker_cooldown * (2 ** self.reopens)
+        rng = random.Random("%r|poolbreaker|%d" % (policy.seed, self.trips))
+        jittered = base * (1.0 + rng.random() * 0.5)
+        self.cooldown = max(
+            1, min(int(round(jittered)), policy.breaker_cooldown_cap)
+        )
+        self.probe_at = self.runs + self.cooldown
+
+    def close(self):
+        if self.state == "half_open":
+            self.state = "closed"
+            self.reopens = 0
+            self.cooldown = None
+            self.probe_at = None
+
+    def as_dict(self):
+        return {
+            "state": self.state, "trips": self.trips,
+            "reopens": self.reopens, "cooldown": self.cooldown,
+            "probe_at": self.probe_at, "runs": self.runs,
+        }
+
+
+_BREAKER = PoolBreaker()
+
+#: Worker losses charged per kernel token, and the poison-token set of
+#: kernels routed to the serial transport (tentpole hygiene step).
+_KERNEL_STRIKES = {}
+_QUARANTINE = {}
+
+
+def _median(samples):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def pool_health():
+    """Self-healing state for ``repro health`` / smoke tooling: loss,
+    redispatch, respawn, quarantine, breaker, and reclamation counters
+    plus the recent incident ring."""
+    health = POOL_HEALTH
+    alive = 0
+    if _POOL is not None:
+        alive = sum(1 for w in range(_POOL.workers) if _POOL.alive(w))
+    return {
+        "workers": {
+            "configured": _POOL.workers if _POOL is not None else 0,
+            "alive": alive,
+        },
+        "runs": _POOL.runs if _POOL is not None else 0,
+        "restarts": health.restarts,
+        "redispatched_tiles": health.redispatched_tiles,
+        "inline_tiles": health.inline_tiles,
+        "lost_workers": dict(health.lost_workers),
+        "degraded_runs": health.degraded_runs,
+        "quarantined": sorted(_QUARANTINE.values()),
+        "quarantine_routed": health.quarantine_routed,
+        "reclaimed_segments": health.reclaimed_segments,
+        "reclaimed_bytes": health.reclaimed_bytes,
+        "respawn_ms_median": _median(health.respawn_ms),
+        "respawn_samples": len(health.respawn_ms),
+        "breaker": _BREAKER.as_dict(),
+        "incidents": list(health.incidents),
+        "incidents_dropped": health.incidents_dropped,
+        "shm_resident_bytes": B.shm_resident_bytes(),
+    }
+
+
+def reset_pool_state():
+    """Forget breaker/quarantine/health state (tests, smoke tools)."""
+    POOL_HEALTH.reset()
+    _BREAKER.reset()
+    _KERNEL_STRIKES.clear()
+    _QUARANTINE.clear()
 
 
 def _fork_available():
@@ -240,6 +497,24 @@ def _worker_main(conn):
             break
         if payload is None:
             break
+        directive = payload.get("chaos")
+        if directive is not None:
+            # Process-level fault injection (FaultInjector.proc_fault):
+            # the parent planted a seeded fault directive in the chunk.
+            kind, seconds = directive
+            if kind == "kill":
+                os._exit(23)
+            if kind == "garbled":
+                try:
+                    conn.send("!garbled reply!")
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    break
+                continue
+            if kind in ("hang", "slow") and seconds:
+                # "hang" sleeps past the pool deadline so the parent
+                # SIGKILLs us mid-sleep; with deadlines disabled it
+                # degenerates to a slow (but correct) reply.
+                time.sleep(seconds)
         try:
             message = ("ok", _run_chunk(payload, kernels))
         except BaseException as exc:
@@ -264,20 +539,28 @@ class WorkerPool(object):
     def __init__(self, workers):
         import multiprocessing
 
-        ctx = multiprocessing.get_context("fork")
+        self._ctx = multiprocessing.get_context("fork")
         self.workers = workers
+        #: Pooled runs served; the restart budget and breaker count in
+        #: run ordinals, not wall time, so replays are deterministic.
+        self.runs = 0
+        self._restart_log = deque()
         self._installed = [set() for _ in range(workers)]
         self._procs = []
         self._conns = []
         for _ in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
-            )
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn()
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
+
+    def _spawn(self):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     def installed(self, worker, token):
         return token in self._installed[worker]
@@ -285,20 +568,95 @@ class WorkerPool(object):
     def mark_installed(self, worker, token):
         self._installed[worker].add(token)
 
+    def alive(self, worker):
+        return self._procs[worker].is_alive()
+
     def send(self, worker, payload):
         try:
             self._conns[worker].send(payload)
         except (BrokenPipeError, OSError) as exc:
-            raise PoolBrokenError(
-                "worker %d pipe broken: %s" % (worker, exc)
+            raise WorkerLostError(
+                worker, "pipe", "send failed: %s" % (exc,),
+                exitcode=self._procs[worker].exitcode,
             )
 
-    def recv(self, worker):
-        """The worker's ``("ok", results)`` / ``("err", exc)`` reply."""
+    def recv(self, worker, deadline_s=None, poll_interval_s=0.02):
+        """The worker's ``("ok", results)`` / ``("err", exc)`` reply.
+
+        Waits with ``Connection.poll`` so a dead or hung worker cannot
+        block the parent forever: raises :class:`WorkerLostError` of
+        kind ``"crash"`` when the process is gone (after one final
+        zero-timeout drain — its reply may have been buffered before it
+        died) and kind ``"hang"`` when ``deadline_s`` elapses with the
+        process still alive.
+        """
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        started = time.monotonic()
+        # Without a deadline, still wake periodically for liveness.
+        interval = poll_interval_s if deadline_s is not None else 0.2
+        while True:
+            try:
+                if conn.poll(interval):
+                    return conn.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerLostError(
+                    worker, "crash", "pipe closed: %s" % (exc or "EOF",),
+                    exitcode=proc.exitcode,
+                )
+            if not proc.is_alive():
+                try:
+                    if conn.poll(0):
+                        return conn.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerLostError(
+                    worker, "crash",
+                    "process exited with code %s" % (proc.exitcode,),
+                    exitcode=proc.exitcode,
+                )
+            if (
+                deadline_s is not None
+                and time.monotonic() - started >= deadline_s
+            ):
+                raise WorkerLostError(
+                    worker, "hang",
+                    "no reply within %.0f ms" % (deadline_s * 1000.0),
+                )
+
+    def ensure_dead(self, worker):
+        """SIGKILL a worker being written off (hung/garbled) so its
+        slot can be respawned without racing the old process."""
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2)
+
+    def respawn(self, worker):
+        """Replace a lost worker with a fresh fork (cold kernel memo).
+        Returns the respawn latency in milliseconds."""
+        started = time.perf_counter()
+        self.ensure_dead(worker)
         try:
-            return self._conns[worker].recv()
-        except (EOFError, OSError) as exc:
-            raise PoolBrokenError("worker %d died: %s" % (worker, exc))
+            self._conns[worker].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        proc, conn = self._spawn()
+        self._procs[worker] = proc
+        self._conns[worker] = conn
+        self._installed[worker] = set()
+        return (time.perf_counter() - started) * 1000.0
+
+    def respawn_budget_ok(self, policy):
+        """True while this pool may still respawn workers: fewer than
+        ``max_restarts`` respawns in the last ``restart_window`` runs."""
+        horizon = self.runs - policy.restart_window
+        while self._restart_log and self._restart_log[0] <= horizon:
+            self._restart_log.popleft()
+        return len(self._restart_log) < policy.max_restarts
+
+    def note_restart(self):
+        self._restart_log.append(self.runs)
 
     def shutdown(self):
         for conn in self._conns:
@@ -310,6 +668,13 @@ class WorkerPool(object):
             proc.join(timeout=2)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
+                proc.join(timeout=2)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - unkillable via TERM
+                # Satellite fix: TERM can be absorbed by a worker stuck
+                # in uninterruptible state; escalate to SIGKILL so
+                # shutdown never strands a live child.
+                proc.kill()
                 proc.join(timeout=2)
         for conn in self._conns:
             conn.close()
@@ -366,14 +731,27 @@ def _get_thread_pool(workers):
 
 
 def shutdown_pools():
-    """Stop every persistent worker pool and unlink every live
-    shared-memory segment (tests, interpreter exit)."""
+    """Stop every persistent worker pool, unlink every live
+    shared-memory segment, and reclaim any segment a crashed child
+    orphaned (tests, interpreter exit).  Breaker and quarantine state
+    is pool-scoped, so it resets with the pools."""
     global _THREADS
     _discard_pool()
     if _THREADS is not None:
         _THREADS[1].shutdown(wait=True)
         _THREADS = None
     B.release_all_arenas()
+    segments, nbytes = B.reclaim_orphaned_segments()
+    if segments:
+        POOL_HEALTH.reclaimed_segments += segments
+        POOL_HEALTH.reclaimed_bytes += nbytes
+        POOL_HEALTH.record(
+            "shm_reclaim",
+            detail="%d segment(s), %d bytes" % (segments, nbytes),
+        )
+    _BREAKER.reset()
+    _KERNEL_STRIKES.clear()
+    _QUARANTINE.clear()
 
 
 atexit.register(shutdown_pools)
@@ -603,10 +981,14 @@ class TileRunStats(object):
     """What one tiled frame execution did (telemetry + tests)."""
 
     __slots__ = ("tiles", "degraded_tiles", "workers", "pooled", "elapsed",
-                 "transport", "warm_hits", "warm_misses")
+                 "transport", "warm_hits", "warm_misses", "lost_workers",
+                 "redispatched_tiles", "inline_tiles", "respawns",
+                 "quarantined", "breaker_open")
 
     def __init__(self, tiles, degraded_tiles, workers, pooled, elapsed,
-                 transport="serial", warm_hits=0, warm_misses=0):
+                 transport="serial", warm_hits=0, warm_misses=0,
+                 lost_workers=0, redispatched_tiles=0, inline_tiles=0,
+                 respawns=0, quarantined=False, breaker_open=False):
         self.tiles = tiles
         #: Tiles served by the caller's ``on_overrun`` hook instead of
         #: the batch kernel (per-tile deadline degradation).
@@ -623,6 +1005,17 @@ class TileRunStats(object):
         #: chunks that had to ship the kernel spec.
         self.warm_hits = warm_hits
         self.warm_misses = warm_misses
+        #: Self-healing telemetry for this run: workers lost mid-frame,
+        #: tiles re-served by survivors / the in-process fallback, and
+        #: workers respawned afterwards.
+        self.lost_workers = lost_workers
+        self.redispatched_tiles = redispatched_tiles
+        self.inline_tiles = inline_tiles
+        self.respawns = respawns
+        #: The kernel was quarantined (poison token) to serial.
+        self.quarantined = quarantined
+        #: The pool breaker forced this run off the fork transport.
+        self.breaker_open = breaker_open
 
 
 class TileExecutor(object):
@@ -636,7 +1029,8 @@ class TileExecutor(object):
     the reusable result arena.
     """
 
-    def __init__(self, workers=1, tile=None, transport=None):
+    def __init__(self, workers=1, tile=None, transport=None, policy=None,
+                 injector=None):
         count, spec_mode = _parse_workers_spec(workers)
         self.workers = count
         #: Requested transport family: ``auto``, ``fork``, ``threads``.
@@ -647,6 +1041,12 @@ class TileExecutor(object):
                 % (transport, ", ".join(TRANSPORTS))
             )
         self.tile = resolve_tile(tile)
+        #: Self-healing knobs (deadlines, restart budget, quarantine).
+        self.policy = policy if policy is not None else PoolPolicy()
+        #: Optional :class:`~repro.runtime.faultinject.FaultInjector`
+        #: whose ``proc_fault`` plants chaos directives in chunks.
+        self.injector = injector
+        self._chaos_seq = itertools.count()
         self.last_stats = None
         self._tokens = {}
         #: id(column) -> (ShmArena, column): uploaded argument blocks.
@@ -778,7 +1178,7 @@ class TileExecutor(object):
 
     def run(self, kernel, columns, n, *, frame_cache=None, layout=None,
             width=None, cap=None, on_overrun=None, obs=None,
-            shader="?", partition="?", phase="?"):
+            shader="?", partition="?", phase="?", on_pool_incident=None):
         """Execute ``kernel`` over ``n`` lanes in tiles.
 
         * Loader mode (``layout`` given): each tile fills a tile-local
@@ -796,6 +1196,10 @@ class TileExecutor(object):
         Returns ``(values_rows, costs_rows)`` — per-lane Python values
         and int costs in frame order, byte-identical to one full-width
         kernel call.
+
+        ``on_pool_incident(kind, detail)``, when given, is called for
+        every self-healing event (worker loss, redispatch, respawn,
+        quarantine, pool degradation) — the supervisor integration.
         """
         obs = obs if obs is not None else NULL_OBS
         started = time.perf_counter()
@@ -803,20 +1207,51 @@ class TileExecutor(object):
         transport = self._pick_transport(plan, kernel)
         warm_hits = warm_misses = 0
         commit = None
+        recovery = None
+        quarantined = breaker_open = probing = False
         if transport == "fork":
+            token = self._token_for(kernel)
+            if token in _QUARANTINE:
+                # Poison token: this kernel keeps killing workers, so
+                # it is served in-process (byte-identical, never fatal).
+                transport = "serial"
+                quarantined = True
+                POOL_HEALTH.quarantine_routed += 1
+            elif not _BREAKER.allow_fork(self.policy):
+                breaker_open = True
+                POOL_HEALTH.degraded_runs += 1
+                transport = (
+                    "threads" if B.HAVE_NUMPY and kernel.vectorized
+                    else "serial"
+                )
+            else:
+                probing = _BREAKER.state == "half_open"
+        if transport == "fork":
+            recovery = {"lost": 0, "redispatched": 0, "inline": 0,
+                        "respawns": 0}
             shm = self._shm_plan(kernel, columns, layout, frame_cache, n)
             if shm is not None:
                 transport = "shm"
                 tiles, commit, warm_hits, warm_misses = self._run_shm(
-                    kernel, plan, layout, frame_cache, shm, obs,
-                    shader, partition, phase,
+                    kernel, columns, plan, layout, frame_cache, shm, obs,
+                    shader, partition, phase, on_pool_incident, recovery,
                 )
             else:
                 transport = "pickle"
                 tiles, warm_hits, warm_misses = self._run_pickle(
                     kernel, columns, plan, layout, frame_cache, obs,
-                    shader, partition, phase,
+                    shader, partition, phase, on_pool_incident, recovery,
                 )
+            if probing and _BREAKER.state == "half_open":
+                # The half-open probe's pool survived within budget.
+                _BREAKER.close()
+                POOL_HEALTH.record(
+                    "pool_recovered", detail="half-open probe succeeded"
+                )
+                if on_pool_incident is not None:
+                    on_pool_incident(
+                        "pool_recovered", "breaker closed after probe"
+                    )
         elif transport == "threads":
             tiles = self._run_threads(
                 kernel, columns, plan, layout, frame_cache, obs,
@@ -861,11 +1296,17 @@ class TileExecutor(object):
         if commit is not None:
             commit(degraded)
         elapsed = time.perf_counter() - started
+        recovery = recovery or {}
         self.last_stats = TileRunStats(
             len(plan), len(degraded), self.workers,
             transport in ("shm", "pickle"), elapsed,
             transport=transport,
             warm_hits=warm_hits, warm_misses=warm_misses,
+            lost_workers=recovery.get("lost", 0),
+            redispatched_tiles=recovery.get("redispatched", 0),
+            inline_tiles=recovery.get("inline", 0),
+            respawns=recovery.get("respawns", 0),
+            quarantined=quarantined, breaker_open=breaker_open,
         )
         if obs.enabled and plan:
             obs.registry.histogram(
@@ -889,6 +1330,36 @@ class TileExecutor(object):
                     "repro_worker_warm_misses_total",
                     "Worker chunks that had to ship their kernel spec.",
                 ).inc(warm_misses)
+            if recovery.get("lost"):
+                obs.registry.counter(
+                    "repro_pool_lost_workers_total",
+                    "Pool workers lost mid-frame (crash/hang/garbled).",
+                ).inc(recovery["lost"])
+            if recovery.get("redispatched"):
+                obs.registry.counter(
+                    "repro_pool_redispatched_tiles_total",
+                    "Tiles re-served by surviving workers after a loss.",
+                ).inc(recovery["redispatched"])
+            if recovery.get("inline"):
+                obs.registry.counter(
+                    "repro_pool_inline_tiles_total",
+                    "Tiles served by the in-process fallback after a "
+                    "loss left no usable survivor.",
+                ).inc(recovery["inline"])
+            if recovery.get("respawns"):
+                obs.registry.counter(
+                    "repro_pool_restarts_total",
+                    "Pool workers respawned after a loss.",
+                ).inc(recovery["respawns"])
+                from ..obs.metrics import MS_BUCKETS
+
+                histogram = obs.registry.histogram(
+                    "repro_pool_respawn_ms",
+                    "Worker respawn latency in milliseconds.",
+                    buckets=MS_BUCKETS,
+                )
+                for ms in recovery.get("respawn_ms", ()):
+                    histogram.observe(ms)
         return values_rows, costs_rows
 
     # -- serial path ---------------------------------------------------------
@@ -966,40 +1437,275 @@ class TileExecutor(object):
                 tiles[tile_index] = entry
         return tiles
 
-    # -- fork-pool paths -----------------------------------------------------
+    # -- fork-pool paths (self-healing) --------------------------------------
 
-    def _gather_chunks(self, pool, chunks, obs, span_kwargs):
-        """Collect ``(worker, results)`` replies in dispatch order.
+    def _inject_chaos(self, payload):
+        """Plant a seeded process-fault directive in an outgoing chunk
+        (chaos testing only; no-op without an injector)."""
+        injector = self.injector
+        if injector is None:
+            return
+        fault = injector.proc_fault(next(self._chaos_seq))
+        if fault is not None:
+            payload["chaos"] = fault
 
-        Every outstanding worker is drained before the first failure
-        propagates, so the pipes stay request/reply-aligned for the
-        next frame; a died-worker failure discards the whole pool.
+    def _recv_reply(self, pool, worker, deadline_s, poll_s):
+        """One validated reply; an unparseable one means the pipe can
+        no longer be trusted and types the loss ``"garbled"``."""
+        reply = pool.recv(worker, deadline_s, poll_s)
+        if (
+            not isinstance(reply, tuple) or len(reply) != 2
+            or reply[0] not in ("ok", "err")
+        ):
+            raise WorkerLostError(
+                worker, "garbled", "unparseable reply %.60r" % (reply,)
+            )
+        return reply
+
+    def _note_loss(self, pool, worker, exc, token, kernel, hook):
+        """Bookkeeping for one lost worker: make sure the process is
+        really dead (hung/garbled workers get SIGKILL), record the
+        typed incident, and charge the kernel's quarantine strike."""
+        pool.ensure_dead(worker)
+        POOL_HEALTH.lost_workers[exc.kind] = (
+            POOL_HEALTH.lost_workers.get(exc.kind, 0) + 1
+        )
+        POOL_HEALTH.record(
+            "worker_" + exc.kind, worker=worker, detail=str(exc)
+        )
+        if hook is not None:
+            hook("worker_" + exc.kind, str(exc))
+        strikes = _KERNEL_STRIKES.get(token, 0) + 1
+        _KERNEL_STRIKES[token] = strikes
+        if (
+            strikes >= self.policy.quarantine_threshold
+            and token not in _QUARANTINE
+        ):
+            name = getattr(kernel.fn, "name", None) or repr(kernel.fn)
+            _QUARANTINE[token] = name
+            POOL_HEALTH.record(
+                "quarantine", worker=worker,
+                detail="kernel %s after %d worker losses" % (name, strikes),
+            )
+            if hook is not None:
+                hook("quarantine", "kernel %s -> serial transport" % name)
+
+    @staticmethod
+    def _most_actionable(failures):
+        """The exception to raise from a multi-failure gather: prefer a
+        structured kernel error over a broken-worker error (the old
+        ``_gather`` masked the former behind the latter), with every
+        other collected failure attached as ``related_failures``."""
+        primary = None
+        for exc in failures:
+            if not isinstance(exc, PoolBrokenError):
+                primary = exc
+                break
+        if primary is None:
+            primary = failures[0]
+        others = tuple(exc for exc in failures if exc is not primary)
+        if others:
+            try:
+                primary.related_failures = others
+            except AttributeError:  # pragma: no cover - slotted exc
+                pass
+        return primary
+
+    def _run_pooled(self, kernel, jobs_by_worker, build_payload,
+                    inline_job, obs, span_kwargs, hook, recovery):
+        """Dispatch chunks, gather with deadlines, and heal losses.
+
+        The drain covers *every* dispatched worker before any recovery
+        or raise, so surviving pipes stay request/reply-aligned.  Lost
+        workers' chunks are re-dispatched to surviving workers, then to
+        ``inline_job`` in-process; structured ``("err", exc)`` failures
+        are deterministic and simply collected (all of them) and raised
+        via :meth:`_most_actionable`.  Lost workers are respawned after
+        the frame's tiles are recovered — off the tile critical path —
+        under the policy's restart budget.
         """
-        gathered = []
-        failure = None
-        broken = False
-        for worker, job_count in chunks:
+        policy = self.policy
+        pool = _get_pool(self.workers)
+        pool.runs += 1
+        token = self._token_for(kernel)
+        deadline_s = (
+            None if policy.deadline_ms is None
+            else policy.deadline_ms / 1000.0
+        )
+        poll_s = max(policy.poll_interval_ms, 1.0) / 1000.0
+        raw = []
+        failures = []
+        lost = {}
+        pending = []
+        payloads = {}
+        warm_hits = warm_misses = 0
+        for worker in sorted(jobs_by_worker):
+            payload = build_payload(jobs_by_worker[worker])
+            self._inject_chaos(payload)
+            payloads[worker] = payload
+            try:
+                warm = self._dispatch(pool, worker, token, kernel, payload)
+            except WorkerLostError as exc:
+                lost[worker] = exc
+                self._note_loss(pool, worker, exc, token, kernel, hook)
+                continue
+            if warm:
+                warm_hits += 1
+            else:
+                warm_misses += 1
+            pending.append(worker)
+        for worker in pending:
             try:
                 with obs.span(
-                    "render.tile", worker=worker, tiles=job_count,
-                    **span_kwargs
+                    "render.tile", worker=worker,
+                    tiles=len(jobs_by_worker[worker]), **span_kwargs
                 ):
-                    status, value = pool.recv(worker)
-            except PoolBrokenError as exc:
-                broken = True
-                if failure is None:
-                    failure = exc
+                    status, value = self._recv_reply(
+                        pool, worker, deadline_s, poll_s
+                    )
+            except WorkerLostError as exc:
+                lost[worker] = exc
+                self._note_loss(pool, worker, exc, token, kernel, hook)
                 continue
             if status == "err":
-                if failure is None:
-                    failure = value
+                POOL_HEALTH.record("worker_error", detail=str(value))
+                failures.append(value)
                 continue
-            gathered.append((worker, value))
-        if broken:
-            _discard_pool()
-        if failure is not None:
-            raise failure
-        return gathered
+            raw.extend(value)
+        if failures:
+            # A structured kernel error is deterministic — redispatch
+            # would fail identically — but lost workers still get
+            # healed so the next frame sees a sane pool.
+            recovery["lost"] += len(lost)
+            failures.extend(lost.values())
+            self._heal(pool, lost, hook, recovery)
+            raise self._most_actionable(failures)
+        if lost:
+            raw.extend(self._redispatch_lost(
+                pool, kernel, token, jobs_by_worker, payloads, lost,
+                inline_job, deadline_s, poll_s, hook, recovery,
+                obs, span_kwargs,
+            ))
+            recovery["lost"] += len(lost)
+            self._heal(pool, lost, hook, recovery)
+        return raw, warm_hits, warm_misses
+
+    def _redispatch_lost(self, pool, kernel, token, jobs_by_worker,
+                         payloads, lost, inline_job, deadline_s, poll_s,
+                         hook, recovery, obs, span_kwargs):
+        """Re-serve every lost worker's chunk: surviving warm workers
+        first, the in-process fallback last, so the frame completes
+        byte-identically no matter how many workers died."""
+        raw = []
+        survivors = [
+            worker for worker in range(pool.workers)
+            if worker not in lost and pool.alive(worker)
+        ]
+        cursor = 0
+        for worker in sorted(list(lost)):
+            jobs = jobs_by_worker[worker]
+            payload = payloads[worker]
+            payload.pop("chaos", None)  # never re-inject on recovery
+            served = False
+            while survivors and not served:
+                target = survivors[cursor % len(survivors)]
+                cursor += 1
+                try:
+                    self._dispatch(pool, target, token, kernel, payload)
+                    with obs.span(
+                        "render.tile", worker=target, tiles=len(jobs),
+                        redispatch=True, **span_kwargs
+                    ):
+                        status, value = self._recv_reply(
+                            pool, target, deadline_s, poll_s
+                        )
+                except WorkerLostError as exc:
+                    lost[target] = exc
+                    self._note_loss(pool, target, exc, token, kernel, hook)
+                    survivors.remove(target)
+                    continue
+                if status == "err":
+                    POOL_HEALTH.record("worker_error", detail=str(value))
+                    raise self._most_actionable([value])
+                raw.extend(value)
+                served = True
+                recovery["redispatched"] += len(jobs)
+                POOL_HEALTH.redispatched_tiles += len(jobs)
+                POOL_HEALTH.record(
+                    "redispatch", worker=worker,
+                    detail="%d tile(s) -> worker %d" % (len(jobs), target),
+                )
+                if hook is not None:
+                    hook(
+                        "redispatch",
+                        "%d tile(s) from worker %d -> worker %d"
+                        % (len(jobs), worker, target),
+                    )
+            if not served:
+                for job in jobs:
+                    raw.append(inline_job(job))
+                recovery["inline"] += len(jobs)
+                POOL_HEALTH.inline_tiles += len(jobs)
+                POOL_HEALTH.record(
+                    "inline_fallback", worker=worker,
+                    detail="%d tile(s) served in-process" % len(jobs),
+                )
+                if hook is not None:
+                    hook(
+                        "inline_fallback",
+                        "%d tile(s) from worker %d served in-process"
+                        % (len(jobs), worker),
+                    )
+        return raw
+
+    def _heal(self, pool, lost, hook, recovery):
+        """Respawn lost workers under the restart budget; exhausting it
+        degrades the pool (discard + breaker trip) instead of thrashing
+        forever on a host that keeps killing children."""
+        if not lost or pool is not _POOL:
+            return
+        policy = self.policy
+        for worker in sorted(lost):
+            if not pool.respawn_budget_ok(policy):
+                detail = (
+                    "restart budget exhausted (>%d respawn(s) in %d runs)"
+                    % (policy.max_restarts, policy.restart_window)
+                )
+                POOL_HEALTH.record("pool_degraded", detail=detail)
+                if hook is not None:
+                    hook("pool_degraded", detail)
+                _BREAKER.trip(policy)
+                _discard_pool()
+                return
+            self._respawn_backoff(pool, worker)
+            ms = pool.respawn(worker)
+            pool.note_restart()
+            POOL_HEALTH.note_respawn(ms)
+            recovery["respawns"] += 1
+            recovery.setdefault("respawn_ms", []).append(ms)
+            POOL_HEALTH.record(
+                "respawn", worker=worker, detail="%.1f ms" % ms
+            )
+            if hook is not None:
+                hook(
+                    "respawn",
+                    "worker %d respawned in %.1f ms" % (worker, ms),
+                )
+
+    def _respawn_backoff(self, pool, worker):
+        """Seeded exponential backoff before a respawn (deterministic
+        per (seed, worker, run); disabled at the 0 ms default)."""
+        policy = self.policy
+        if policy.backoff_base_ms <= 0:
+            return
+        recent = len(pool._restart_log)
+        rng = random.Random(
+            "%r|respawn|%d|%d" % (policy.seed, worker, pool.runs)
+        )
+        delay_ms = min(
+            policy.backoff_base_ms * (2 ** recent), policy.backoff_cap_ms
+        ) * (0.5 + rng.random())
+        time.sleep(delay_ms / 1000.0)
 
     def _dispatch(self, pool, worker, token, kernel, payload):
         """Send one chunk, shipping the kernel spec only on the
@@ -1016,12 +1722,9 @@ class TileExecutor(object):
         return warm
 
     def _run_pickle(self, kernel, columns, plan, layout, frame_cache, obs,
-                    shader, partition, phase):
+                    shader, partition, phase, hook, recovery):
         kernel._ensure()  # compile once in the parent; workers rebuild
-        token = self._token_for(kernel)
-        pool = _get_pool(self.workers)
-        chunks = []
-        warm_hits = warm_misses = 0
+        jobs_by_worker = {}
         for worker in range(self.workers):
             jobs = []
             for tile_index in range(worker, len(plan), self.workers):
@@ -1033,45 +1736,55 @@ class TileExecutor(object):
                     else None
                 )
                 jobs.append((tile_index, start, stop, cols, tile_cache))
-            if not jobs:
-                continue
-            if self._dispatch(pool, worker, token, kernel, {
-                "mode": "pickle", "layout": layout, "jobs": jobs,
-            }):
-                warm_hits += 1
-            else:
-                warm_misses += 1
-            chunks.append((worker, len(jobs)))
-        tiles = {}
-        for _worker, results in self._gather_chunks(
-            pool, chunks, obs,
+            if jobs:
+                jobs_by_worker[worker] = jobs
+
+        def build_payload(jobs):
+            return {"mode": "pickle", "layout": layout, "jobs": jobs}
+
+        def inline_job(job):
+            # In-process fallback for a lost worker's tile: identical
+            # math to _run_pickle_chunk, so the frame stays byte-exact.
+            tile_index, start, stop, cols, tile_cache = job
+            lanes = stop - start
+            if layout is not None:
+                tile_cache = B.SoACache(layout, lanes)
+            values, lane_costs = kernel.run_lanes(
+                cols, lanes, cache=tile_cache
+            )
+            return (tile_index, values, lane_costs,
+                    tile_cache if layout is not None else None)
+
+        raw, warm_hits, warm_misses = self._run_pooled(
+            kernel, jobs_by_worker, build_payload, inline_job, obs,
             dict(shader=shader, partition=partition, phase=phase,
                  transport="pickle"),
-        ):
-            for tile_index, values, lane_costs, tile_cache in results:
-                tiles[tile_index] = (values, lane_costs, tile_cache)
+            hook, recovery,
+        )
+        tiles = {}
+        for tile_index, values, lane_costs, tile_cache in raw:
+            tiles[tile_index] = (values, lane_costs, tile_cache)
         return tiles, warm_hits, warm_misses
 
-    def _run_shm(self, kernel, plan, layout, frame_cache, shm, obs,
-                 shader, partition, phase):
+    def _run_shm(self, kernel, columns, plan, layout, frame_cache, shm, obs,
+                 shader, partition, phase, hook, recovery):
         """Zero-copy dispatch: workers attach the frame/result arenas
         and write their tiles' rows in place; the pipe carries only
         job spans out and per-tile state descriptors back."""
-        token = self._token_for(kernel)
-        pool = _get_pool(self.workers)
         loader = layout is not None
         frame_desc = shm["frame"].descriptor()
         result_desc = shm["result"].descriptor()
-        chunks = []
-        warm_hits = warm_misses = 0
+        jobs_by_worker = {}
         for worker in range(self.workers):
             jobs = [
                 (tile_index,) + plan[tile_index]
                 for tile_index in range(worker, len(plan), self.workers)
             ]
-            if not jobs:
-                continue
-            if self._dispatch(pool, worker, token, kernel, {
+            if jobs:
+                jobs_by_worker[worker] = jobs
+
+        def build_payload(jobs):
+            return {
                 "mode": "shm",
                 "phase": "loader" if loader else "reader",
                 "layout": layout if loader else frame_cache.layout,
@@ -1080,30 +1793,46 @@ class TileExecutor(object):
                 "args": shm["args"],
                 "states": shm["states"],
                 "jobs": jobs,
-            }):
-                warm_hits += 1
+            }
+
+        def inline_job(job):
+            # In-process fallback for a lost worker's shm tile: compute
+            # from the parent's own columns/cache and return a
+            # pickle-kind entry, so a dead worker's partial arena
+            # writes are never trusted (the mixed path splices it).
+            tile_index, start, stop = job
+            lanes = stop - start
+            cols = [_slice_column(c, start, stop) for c in columns]
+            if loader:
+                tile_cache = B.SoACache(layout, lanes)
             else:
-                warm_misses += 1
-            chunks.append((worker, len(jobs)))
+                tile_cache = frame_cache.tile(start, stop)
+            values, lane_costs = kernel.run_lanes(
+                cols, lanes, cache=tile_cache
+            )
+            return (tile_index, "pickle",
+                    (values, lane_costs, tile_cache if loader else None))
+
+        raw, warm_hits, warm_misses = self._run_pooled(
+            kernel, jobs_by_worker, build_payload, inline_job, obs,
+            dict(shader=shader, partition=partition, phase=phase,
+                 transport="shm"),
+            hook, recovery,
+        )
         values_buf = shm["result"].column("values")
         costs_buf = shm["result"].column("costs")
         tiles = {}
         loader_states = {}
-        for _worker, results in self._gather_chunks(
-            pool, chunks, obs,
-            dict(shader=shader, partition=partition, phase=phase,
-                 transport="shm"),
-        ):
-            for tile_index, kind, extra in results:
-                start, stop = plan[tile_index]
-                if kind == "pickle":
-                    tiles[tile_index] = extra
-                else:
-                    tiles[tile_index] = (
-                        values_buf[start:stop], costs_buf[start:stop], None,
-                    )
-                    if loader:
-                        loader_states[tile_index] = extra
+        for tile_index, kind, extra in raw:
+            start, stop = plan[tile_index]
+            if kind == "pickle":
+                tiles[tile_index] = extra
+            else:
+                tiles[tile_index] = (
+                    values_buf[start:stop], costs_buf[start:stop], None,
+                )
+                if loader:
+                    loader_states[tile_index] = extra
         commit = None
         if loader:
             mixed = any(entry[2] is not None for entry in tiles.values())

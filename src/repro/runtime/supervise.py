@@ -337,6 +337,25 @@ class HealthSnapshot(object):
                 "per-pixel cost p50 %.1f, p99 %.1f (%d samples)"
                 % (cost["p50"], cost["p99"], cost["samples"])
             )
+        pool = d.get("pool")
+        if pool and (
+            d.get("pool_incidents")
+            or pool["restarts"] or pool["redispatched_tiles"]
+            or pool["inline_tiles"] or pool["quarantined"]
+            or pool["breaker"]["state"] != CLOSED
+        ):
+            lines.append(
+                "pool: %d worker(s) lost, %d restart(s), %d tile(s) "
+                "redispatched, %d inline, quarantined: %s, breaker %s"
+                % (
+                    sum(pool["lost_workers"].values()),
+                    pool["restarts"],
+                    pool["redispatched_tiles"],
+                    pool["inline_tiles"],
+                    ", ".join(pool["quarantined"]) or "none",
+                    pool["breaker"]["state"],
+                )
+            )
         if d["incidents_dropped"]:
             lines.append(
                 "%d incident records dropped" % d["incidents_dropped"]
@@ -399,6 +418,9 @@ class RenderSupervisor(object):
         #: Tiles (from the tiled frame scheduler) individually degraded
         #: to the original shader after blowing their step deadline.
         self.tile_degradations = 0
+        #: Self-healing worker-pool events routed through
+        #: :meth:`note_pool_incident` (losses, redispatches, respawns).
+        self.pool_incidents = 0
         self._request_tile_misses = 0
         self.exhausted = 0
         self.retries = 0
@@ -462,6 +484,16 @@ class RenderSupervisor(object):
                 "after blowing their deadline.",
                 ("shader", "partition"),
             ).inc(shader=key[0], partition=key[1])
+
+    def note_pool_incident(self, key, phase, cause, detail):
+        """A self-healing worker-pool event (worker loss, tile
+        redispatch, respawn, quarantine, pool degradation) occurred
+        while this request's tiles were pooled.  Recorded on the
+        ``"pool"`` rung; the rendered frame itself stayed byte-exact
+        (recovery is the pool's job), so this does not count as a
+        deadline miss or a bad request for breaker accounting."""
+        self.pool_incidents += 1
+        self._record_incident(key, phase, "pool", cause, detail)
 
     # -- the supervised request loop -----------------------------------------
 
@@ -696,6 +728,10 @@ class RenderSupervisor(object):
 
     def health(self):
         """A :class:`HealthSnapshot` of everything observable."""
+        # Imported lazily: parallel pulls in the batch/shm machinery,
+        # which supervision must not require at import time.
+        from .parallel import pool_health
+
         samples = sorted(self._cost_samples)
         return HealthSnapshot({
             "requests": self.requests,
@@ -704,6 +740,8 @@ class RenderSupervisor(object):
             "faults_contained": self.faults_contained,
             "deadline_misses": self.deadline_misses,
             "tile_degradations": self.tile_degradations,
+            "pool_incidents": self.pool_incidents,
+            "pool": pool_health(),
             "exhausted": self.exhausted,
             "retries": self.retries,
             "backoff_seconds": self.backoff_seconds,

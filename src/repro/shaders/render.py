@@ -65,7 +65,7 @@ class EditSession(object):
 
     def __init__(self, render_session, specialization, param, table=None,
                  backend=None, guard=None, injector=None, supervisor=None,
-                 workers=None, tile=None):
+                 workers=None, tile=None, pool_policy=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
@@ -86,10 +86,31 @@ class EditSession(object):
             self.workers = render_session.workers
             self.transport = getattr(render_session, "transport", "auto")
         self.tile = tile if tile is not None else render_session.tile
+        #: Self-healing pool knobs (deadlines, restart budget); default
+        #: from the session so a service can tune every drag at once.
+        self.pool_policy = (
+            pool_policy if pool_policy is not None
+            else getattr(render_session, "pool_policy", None)
+        )
+        #: An injector whose only faults are process-level (worker
+        #: kill/hang/slow/garbled) exercises the *pool's* recovery, not
+        #: the per-pixel guard: it attaches to the executor and the
+        #: request stays on the tiled batch path.  In-process fault
+        #: rates keep the historical behavior (injector implies guard).
+        proc_rate = (
+            getattr(injector, "proc_rate", 0.0)
+            if injector is not None else 0.0
+        )
+        proc_only = (
+            injector is not None and proc_rate > 0.0
+            and injector.cache_rate <= 0.0 and injector.kernel_rate <= 0.0
+        )
+        guard_injector = None if proc_only else injector
         self._executor = (
             P.TileExecutor(
                 workers=self.workers, tile=self.tile,
-                transport=self.transport,
+                transport=self.transport, policy=self.pool_policy,
+                injector=injector if proc_rate > 0.0 else None,
             )
             if self.backend == "batch"
             and (self.workers > 1 or self.tile is not None)
@@ -118,13 +139,14 @@ class EditSession(object):
             if self.supervisor is not None else None
         )
         log = None
-        if (use_guard or injector is not None) and self.obs.enabled:
+        if (use_guard or guard_injector is not None) and self.obs.enabled:
             log = FaultLog(on_record=self._guard_fault_hook())
         self.guard = (
             specialization.guarded(
-                table=table, injector=injector, log=log, max_steps=guard_cap
+                table=table, injector=guard_injector, log=log,
+                max_steps=guard_cap,
             )
-            if use_guard or injector is not None
+            if use_guard or guard_injector is not None
             else None
         )
         #: Scalar backend: one slot list per pixel.  Batch backend: one
@@ -516,6 +538,7 @@ class EditSession(object):
             width=session.scene.width, cap=cap, obs=self.obs,
             shader=session.spec_info.name, partition=self.param,
             phase="load",
+            on_pool_incident=self._pool_incident_hook("load"),
         )
         if self.obs.enabled:
             self._observe_pixel_costs("load", costs)
@@ -542,10 +565,25 @@ class EditSession(object):
             width=session.scene.width, on_overrun=on_overrun,
             obs=self.obs, shader=session.spec_info.name,
             partition=self.param, phase="adjust",
+            on_pool_incident=self._pool_incident_hook("adjust"),
         )
         if self.obs.enabled:
             self._observe_pixel_costs("adjust", costs)
         return colors, sum(costs)
+
+    def _pool_incident_hook(self, phase):
+        """Routes the executor's self-healing events (worker losses,
+        redispatches, respawns, quarantines) into the supervisor's
+        incident ring; None when this drag is unsupervised."""
+        if self.supervisor is None:
+            return None
+        supervisor = self.supervisor
+        key = self._key()
+
+        def hook(cause, detail):
+            supervisor.note_pool_incident(key, phase, cause, detail)
+
+        return hook
 
     def _tile_overrun_handler(self, controls):
         """Per-tile degradation: serve a deadline-blown tile with the
@@ -728,7 +766,7 @@ class RenderSession(object):
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, backend=None, guard=False,
                  supervisor=None, policy=None, obs=None, workers=None,
-                 tile=None):
+                 tile=None, pool_policy=None):
         self.spec_info = SHADERS[shader_index]
         #: Telemetry bundle (``repro.obs``): ``True`` for a fresh one,
         #: an :class:`~repro.obs.Observability` to share, default off.
@@ -755,13 +793,14 @@ class RenderSession(object):
             self.program, specializer_options,
             backend=backend if backend is not None else "auto",
             guard=guard, policy=policy, obs=self.obs, workers=workers,
-            tile=tile,
+            tile=tile, pool_policy=pool_policy,
         )
         self.backend = self.specializer.backend
         self.guard = self.specializer.guard
         self.workers = self.specializer.workers
         self.transport = self.specializer.transport
         self.tile = self.specializer.tile
+        self.pool_policy = self.specializer.pool_policy
         #: Session-level render supervisor (deadlines, degradation
         #: ladder, circuit breakers).  Pass one explicitly to share
         #: breakers across sessions, or just a ``policy`` to get a
@@ -882,7 +921,8 @@ class RenderSession(object):
         return spec
 
     def begin_edit(self, param, dispatch=False, guard=None, injector=None,
-                   supervisor=None, workers=None, tile=None, **overrides):
+                   supervisor=None, workers=None, tile=None,
+                   pool_policy=None, **overrides):
         """Start an interactive drag of ``param``.
 
         ``dispatch=True`` additionally builds the Section 7.2 dispatch
@@ -893,7 +933,9 @@ class RenderSession(object):
         :class:`~repro.runtime.faultinject.FaultInjector` (implies
         guarding); ``supervisor`` overrides the session's supervisor
         (``False`` opts this drag out of supervision); ``workers`` /
-        ``tile`` override the session's tiled-scheduler knobs."""
+        ``tile`` override the session's tiled-scheduler knobs;
+        ``pool_policy`` overrides the session's self-healing pool knobs
+        (hung-worker deadline, restart budget, breaker cooldowns)."""
         specialization = self.specialize(param, **overrides)
         table = None
         if dispatch:
@@ -903,7 +945,7 @@ class RenderSession(object):
         return EditSession(
             self, specialization, param, table=table, guard=guard,
             injector=injector, supervisor=supervisor, workers=workers,
-            tile=tile,
+            tile=tile, pool_policy=pool_policy,
         )
 
 
@@ -923,13 +965,13 @@ class ShaderInstallation(object):
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, compile_code=True, backend=None,
                  guard=False, supervisor=None, policy=None, obs=None,
-                 workers=None, tile=None):
+                 workers=None, tile=None, pool_policy=None):
         self.session = RenderSession(
             shader_index, scene=scene,
             specializer_options=specializer_options,
             width=width, height=height, backend=backend, guard=guard,
             supervisor=supervisor, policy=policy, obs=obs, workers=workers,
-            tile=tile,
+            tile=tile, pool_policy=pool_policy,
         )
         self.obs = self.session.obs
         self.specializations = {}
@@ -962,7 +1004,7 @@ class ShaderInstallation(object):
         return list(self.specializations)
 
     def edit(self, param, guard=None, injector=None, supervisor=None,
-             workers=None, tile=None):
+             workers=None, tile=None, pool_policy=None):
         """Start a drag using the pre-built specialization."""
         if param not in self.specializations:
             raise SpecializationError(
@@ -972,7 +1014,7 @@ class ShaderInstallation(object):
         return EditSession(
             self.session, self.specializations[param], param, guard=guard,
             injector=injector, supervisor=supervisor, workers=workers,
-            tile=tile,
+            tile=tile, pool_policy=pool_policy,
         )
 
     def describe(self):

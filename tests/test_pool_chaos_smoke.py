@@ -1,0 +1,66 @@
+"""Non-gating pool chaos smoke (deselected by default; run with -m poolchaos).
+
+Wraps ``tools/pool_chaos_smoke.py``: a shader sweep runs tiled drag
+sessions on a 2-worker fork pool under seeded kill+hang process chaos,
+asserting byte-identical frames against the serial backend, pool
+reconvergence once the chaos stops, and shm hygiene after shutdown,
+then records recovery metrics under the ``pool_chaos`` key of
+``BENCH_render.json``.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.runtime import batch as B
+from repro.runtime import parallel as P
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "pool_chaos_smoke.py",
+)
+
+requires_pool = pytest.mark.skipif(
+    not (B.HAVE_NUMPY and P._fork_available()),
+    reason="needs numpy and the fork start method",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("pool_chaos_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.poolchaos
+@requires_pool
+def test_pool_chaos_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Pre-seed with other tools' sections to prove the merge preserves
+    # them.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 42.0, "chaos": {"seed": 1}}, handle)
+
+    report = tool.run(out_path=out_path)
+    assert report["frames"] == len(tool.SWEEP) * (tool.CHAOS_ADJUSTS + 1)
+    assert report["frames_faulted"] > 0, "the chaos must fault"
+    assert report["recovered_frame_rate"] == 1.0
+    assert sum(report["lost_workers"].values()) > 0
+    assert report["restarts"] > 0
+    assert report["respawn_ms_median"] is not None
+    assert report["reclaimed_segments"] >= (1 if B.HAVE_SHM else 0)
+    assert report["gate"] in ("enforced", "skipped")
+    if report["gate"] == "skipped":
+        assert "core" in report["gate_reason"]
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 42.0  # perf data survived
+    assert written["chaos"] == {"seed": 1}  # cache-chaos data survived
+    assert written["pool_chaos"]["seed"] == tool.SEED
+    assert written["pool_chaos"]["proc_kinds"] == ["kill", "hang"]
