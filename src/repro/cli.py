@@ -371,9 +371,86 @@ def cmd_render(args, out):
     return 0
 
 
+def _render_service_health(payload, out, as_json):
+    """Render a daemon's /health payload: service summary lines plus
+    the same per-tenant HealthSnapshot text the in-process path shows."""
+    if as_json:
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+        return 0
+    from .runtime.supervise import HealthSnapshot
+
+    service = payload.get("service", {})
+    admission = service.get("admission", {})
+    sessions = service.get("sessions", {})
+    store = service.get("store", {})
+    shed = ", ".join(
+        "%s %d" % item for item in sorted(admission.get("shed", {}).items())
+    ) or "none"
+    out.write(
+        "service: %s, up %.1fs\n"
+        % (
+            "draining" if service.get("draining") else "serving",
+            service.get("uptime_s", 0.0),
+        )
+    )
+    out.write(
+        "sessions: %d/%d; inflight %d/%d; shed: %s\n"
+        % (
+            sessions.get("count", 0), sessions.get("max", 0),
+            admission.get("inflight", 0), admission.get("max_inflight", 0),
+            shed,
+        )
+    )
+    out.write(
+        "store: %d artifacts (%d builds, %d loads, %d memo hits, "
+        "%d lock files)\n"
+        % (
+            store.get("artifacts", 0), store.get("builds", 0),
+            store.get("loads", 0), store.get("hits", 0),
+            store.get("lock_files", 0),
+        )
+    )
+    recovery = service.get("recovery") or {}
+    if recovery:
+        recovered = recovery.get("store") or {}
+        out.write(
+            "recovery: %d shm segments reclaimed; store %d verified, "
+            "%d respecialized, %d dropped, %d stale locks\n"
+            % (
+                recovery.get("shm_segments", 0),
+                recovered.get("verified", 0),
+                recovered.get("respecialized", 0),
+                recovered.get("dropped", 0),
+                recovered.get("stale_locks", 0),
+            )
+        )
+    tenants = payload.get("tenants", {})
+    for tenant in sorted(tenants):
+        out.write("tenant %s:\n" % tenant)
+        for line in HealthSnapshot(tenants[tenant]).summary().splitlines():
+            out.write("  %s\n" % line)
+    if not tenants:
+        out.write("tenants: none\n")
+    return 0
+
+
 def cmd_health(args, out):
     """Drive a supervised, guarded drag session — optionally under
-    injected cache corruption — and report the supervisor's health."""
+    injected cache corruption — and report the supervisor's health.
+    With ``--url``, probe a running ``repro serve`` daemon instead."""
+    if args.url:
+        from .serve.client import ClientError, fetch_health
+
+        try:
+            payload = fetch_health(args.url, timeout_s=args.timeout)
+        except ClientError as exc:
+            raise SystemExit("health probe failed: %s" % exc)
+        return _render_service_health(payload, out, args.json)
+    if args.shader is None:
+        raise SystemExit(
+            "shader index required (or probe a daemon with --url)"
+        )
     from .runtime.faultinject import FaultInjector
     from .shaders.render import RenderSession
     from .shaders.sources import SHADERS
@@ -434,6 +511,43 @@ def cmd_health(args, out):
         for line in snapshot.summary().splitlines():
             out.write("  %s\n" % line)
     return 0
+
+
+def cmd_serve(args, out):
+    """Run the fault-tolerant multi-tenant render daemon (see
+    ``docs/operations.md``)."""
+    from .runtime.parallel import resolve_tile, resolve_workers
+    from .serve import RenderService, ServiceConfig
+    from .serve.http import run_daemon
+
+    try:
+        workers = args.workers
+        resolve_workers(workers)
+        tile = resolve_tile(args.tile)
+    except ValueError as exc:
+        raise SystemExit("bad --workers/--tile: %s" % exc)
+    config = ServiceConfig(
+        store_dir=args.store,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        tenant_sessions=args.tenant_sessions,
+        tenant_inflight=args.tenant_inflight,
+        idle_timeout_s=args.idle_timeout,
+        drain_timeout_s=args.drain_timeout,
+        retry_after_s=args.retry_after,
+        seed=args.seed,
+        max_pixels=args.max_pixels,
+        policy=_supervision_policy(args),
+        backend=args.backend,
+        workers=workers,
+        tile=tile,
+        pool_policy=_pool_policy_from_args(args),
+        recover=not args.no_recover,
+        proc_chaos_rate=args.inject_proc_rate,
+        proc_chaos_seed=args.inject_seed,
+    )
+    service = RenderService(config)
+    return run_daemon(service, host=args.host, port=args.port, out=out)
 
 
 def cmd_trace(args, out):
@@ -654,7 +768,13 @@ def build_parser():
         help="drive a supervised drag session and report supervisor "
              "health (breakers, ladder rungs, incidents)",
     )
-    p.add_argument("shader", type=int, help="shader index (1-10)")
+    p.add_argument("shader", type=int, nargs="?", default=None,
+                   help="shader index (1-10); optional with --url")
+    p.add_argument("--url", default=None,
+                   help="probe a running `repro serve` daemon at this "
+                        "base URL instead of driving a local session")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="HTTP timeout in seconds for --url probes")
     p.add_argument("--size", type=int, default=16, help="image side length")
     p.add_argument("--param", default=None,
                    help="control parameter to drag (default: first)")
@@ -686,6 +806,67 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the HealthSnapshot as JSON")
     p.set_defaults(handler=cmd_health)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant multi-tenant render daemon "
+             "(admission control, graceful drain, shared artifact store)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8176,
+                   help="TCP port (0 picks an ephemeral port, printed "
+                        "on the announce line)")
+    p.add_argument("--store", default="repro-store",
+                   help="shared artifact-store directory; point several "
+                        "daemons at one store to share specializations")
+    p.add_argument("--max-sessions", type=int, default=64,
+                   help="global live-session cap (create sheds 429 past it)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="global bound on concurrently rendering frames; "
+                        "excess requests shed immediately with 429 + "
+                        "Retry-After, never queue")
+    p.add_argument("--tenant-sessions", type=int, default=16,
+                   help="per-tenant session quota")
+    p.add_argument("--tenant-inflight", type=int, default=None,
+                   help="per-tenant in-flight quota (default: only the "
+                        "global bound applies)")
+    p.add_argument("--idle-timeout", type=float, default=600.0,
+                   help="seconds before an idle session is reaped")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds a SIGTERM/SIGINT drain waits for "
+                        "in-flight frames before abandoning them")
+    p.add_argument("--retry-after", type=float, default=0.5,
+                   help="base Retry-After seconds for shed responses "
+                        "(jittered to [base, 2*base) from --seed)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="service seed (Retry-After jitter)")
+    p.add_argument("--max-pixels", type=int, default=16384,
+                   help="per-session frame-size ceiling (width*height)")
+    p.add_argument("--backend", default=None,
+                   choices=["scalar", "batch", "auto"])
+    p.add_argument("--workers", default=None,
+                   help="tiled-scheduler workers per session (count, "
+                        "'auto', 'fork[:N]', 'threads[:N]')")
+    p.add_argument("--tile", type=int, default=None,
+                   help="lanes per scheduler tile")
+    p.add_argument("--pool-deadline-ms", type=float, default=None,
+                   help="hung-worker deadline for the self-healing pool")
+    p.add_argument("--deadline-steps", type=int, default=None,
+                   help="per-request step budget for every tenant's "
+                        "supervisor")
+    p.add_argument("--breaker-threshold", type=float, default=None,
+                   help="breaker bad-request threshold for every "
+                        "tenant's supervisor")
+    p.add_argument("--no-recover", action="store_true",
+                   help="skip startup crash recovery (orphaned shm "
+                        "reclamation + artifact-store sweep)")
+    p.add_argument("--inject-proc-rate", type=float, default=0.0,
+                   help="process-level chaos rate per session (seeded "
+                        "worker kill/hang/garbled; chaos acceptance)")
+    p.add_argument("--inject-seed", type=int, default=0,
+                   help="chaos seed base (per-session seeds derive "
+                        "from it)")
+    p.set_defaults(handler=cmd_serve)
 
     p = sub.add_parser(
         "trace",

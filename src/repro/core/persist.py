@@ -25,12 +25,25 @@ corrupted, or truncated artifact is rejected with a typed
 ``on_mismatch="respecialize"`` instead re-runs the specializer over the
 surviving fragment and re-saves fresh artifacts.
 
+Concurrency: atomic per-file writes protect readers from torn *files*,
+but the decide-then-write *sequence* (verify, rebuild, re-save) is not
+atomic — two processes respecializing the same shader×partition could
+interleave their file sets.  Every mutating path therefore runs under a
+per-artifact lockfile (:class:`ArtifactLock`: ``<dir>/.lock`` holding
+the owner PID, stolen when the owner is dead) and **re-verifies after
+acquiring the lock**, so concurrent writers converge on one artifact:
+the loser of the race finds a freshly verified set and writes nothing.
+A shared artifact store (``repro.serve.store``) keys directories by
+:func:`store_key` — the pre-specialization content address — while the
+saved fingerprint keeps guarding post-build integrity.
+
 Files in a saved directory::
 
     fragment.ds   the analyzed fragment (post inline/SSA/reassoc)
     loader.ds     the cache loader
     reader.ds     the cache reader
     spec.json     layout, partition, options, checksums, fingerprint
+    .lock         transient; exists only while a writer holds the lock
 """
 
 from __future__ import annotations
@@ -38,6 +51,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 
 from ..lang import ast_nodes as A
 from ..lang.errors import ArtifactError, SourceError
@@ -95,10 +109,139 @@ def _write_atomic(path, text):
     os.replace(tmp, path)
 
 
-def save_specialization(spec, directory):
-    """Write ``spec`` into ``directory`` (created if needed)."""
-    os.makedirs(directory, exist_ok=True)
+def store_key(program_source, function, varying, options):
+    """Content address for a shader×partition *before* specialization.
 
+    Unlike the artifact fingerprint — computed over the *emitted*
+    fragment/loader/reader, so only knowable after the specializer ran —
+    this key derives from what the build would be specialized *from*:
+    the raw program source, the function, the partition, the options,
+    and the format version.  A shared artifact store keys directories by
+    it so any process can decide "already built?" without building.
+    """
+    payload = {
+        "format": _FORMAT_VERSION,
+        "source": program_source,
+        "function": function,
+        "varying": sorted(varying),
+        "options": _options_meta(options),
+    }
+    return _sha256(json.dumps(payload, sort_keys=True))
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # exists but not ours
+        return True
+    return True
+
+
+class ArtifactLock(object):
+    """Cross-process mutual exclusion for one artifact directory.
+
+    The lock is ``<directory>/.lock``, created with
+    ``O_CREAT | O_EXCL`` (atomic on POSIX and NFSv3+) and holding the
+    owner's PID.  Contenders poll; a lockfile whose owner PID is dead
+    (crashed writer) — or, when unreadable, older than ``stale_s`` — is
+    stolen, so an unclean shutdown can never wedge the store.  Release
+    unlinks the file: a healthy quiescent store has **zero** lockfiles.
+
+    Reentrancy: none (by design — the locked paths below never nest).
+    Callers that already hold the lock pass ``exclusive=False`` /
+    ``locked=True`` to the save/recovery helpers instead.
+    """
+
+    def __init__(self, directory, timeout_s=30.0, poll_s=0.02,
+                 stale_s=300.0):
+        self.directory = directory
+        self.path = os.path.join(directory, ".lock")
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self.stale_s = stale_s
+        self._held = False
+
+    def acquire(self):
+        os.makedirs(self.directory, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise ArtifactError(
+                        "timed out after %.1fs waiting for artifact lock"
+                        " %s (held by pid %s)"
+                        % (self.timeout_s, self.path, self._owner())
+                    )
+                time.sleep(self.poll_s)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write("%d\n" % os.getpid())
+            self._held = True
+            return self
+
+    def release(self):
+        if not self._held:
+            return
+        self._held = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def _owner(self):
+        try:
+            with open(self.path) as handle:
+                return int(handle.read().strip() or "0") or None
+        except (OSError, ValueError):
+            return None
+
+    def _break_if_stale(self):
+        """Steal the lock of a dead (or unreadably old) owner."""
+        owner = self._owner()
+        if owner is not None and _pid_alive(owner):
+            return False
+        if owner is None:
+            # Unreadable: either the file vanished between the EXCL
+            # failure and the read (not stale), or the writer died
+            # between open and write (stale once demonstrably old).
+            try:
+                age = time.time() - os.path.getmtime(self.path)
+            except OSError:
+                return False
+            if age <= max(1.0, self.poll_s * 50):
+                return False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            return False
+        return True
+
+    def __enter__(self):
+        return self.acquire()
+
+    def __exit__(self, *exc):
+        self.release()
+
+
+def break_stale_lock(directory, stale_s=300.0):
+    """Remove ``directory``'s lockfile when its owner is dead (startup
+    crash recovery).  Returns True when a stale lock was removed; a
+    *live* owner's lock is never touched."""
+    lock = ArtifactLock(directory, stale_s=stale_s)
+    if not os.path.exists(lock.path):
+        return False
+    return lock._break_if_stale()
+
+
+def _artifact_payload(spec):
+    """The file texts plus sidecar metadata one save would write."""
     texts = {
         "fragment.ds": format_function(spec.original) + "\n",
         "loader.ds": spec.loader_source + "\n",
@@ -127,6 +270,10 @@ def save_specialization(spec, directory):
             options_meta, slots_meta,
         ),
     }
+    return texts, meta
+
+
+def _write_artifacts(directory, texts, meta):
     # Sources first, sidecar last: a crash mid-save leaves the previous
     # spec.json whose checksums reject the mixed generation.
     for name in _SOURCES:
@@ -135,6 +282,40 @@ def save_specialization(spec, directory):
         os.path.join(directory, "spec.json"),
         json.dumps(meta, indent=2, sort_keys=True) + "\n",
     )
+
+
+def verified_fingerprint(directory):
+    """The fingerprint of the artifact set in ``directory`` — but only
+    when every integrity check passes; None for missing or damaged
+    artifacts.  This is the re-verify half of lock-then-re-verify."""
+    try:
+        meta = _read_meta(directory)
+        texts = {name: _read(directory, name) for name in _SOURCES}
+        _verify(directory, meta, texts)
+    except ArtifactError:
+        return None
+    return meta.get("fingerprint")
+
+
+def save_specialization(spec, directory, exclusive=True):
+    """Write ``spec`` into ``directory`` (created if needed).
+
+    With ``exclusive`` (the default) the decide-then-write sequence runs
+    under the directory's :class:`ArtifactLock` and re-verifies after
+    acquiring it: when a concurrent writer already saved a verified
+    artifact with the same fingerprint, nothing is rewritten — two
+    processes specializing the same shader×partition converge on one
+    artifact set instead of interleaving generations.  Pass
+    ``exclusive=False`` only when the caller already holds the lock.
+    """
+    os.makedirs(directory, exist_ok=True)
+    texts, meta = _artifact_payload(spec)
+    if not exclusive:
+        _write_artifacts(directory, texts, meta)
+        return directory
+    with ArtifactLock(directory):
+        if verified_fingerprint(directory) != meta["fingerprint"]:
+            _write_artifacts(directory, texts, meta)
     return directory
 
 
@@ -209,7 +390,8 @@ def _respecialize(directory, save=True):
 
     Only possible while ``spec.json`` still names the partition/options
     and ``fragment.ds`` still parses; otherwise the original
-    :class:`ArtifactError` stands.
+    :class:`ArtifactError` stands.  Callers hold the directory's
+    :class:`ArtifactLock` (the re-save uses ``exclusive=False``).
     """
     meta = _read_meta(directory)
     try:
@@ -230,7 +412,7 @@ def _respecialize(directory, save=True):
         function, varying
     )
     if save:
-        save_specialization(spec, directory)
+        save_specialization(spec, directory, exclusive=False)
     return spec
 
 
@@ -247,7 +429,11 @@ def load_specialization(directory, on_mismatch="error"):
     :class:`~repro.lang.errors.ArtifactError` is raised.  With
     ``on_mismatch="respecialize"``, a failed check instead re-runs the
     specializer over the surviving fragment + partition and re-saves
-    fresh artifacts (raising only when even that is impossible).
+    fresh artifacts (raising only when even that is impossible).  The
+    recovery runs under the directory's :class:`ArtifactLock` and
+    re-verifies after acquiring it, so concurrent repairers of one
+    damaged artifact converge: the second finds the first's repair and
+    just loads it.
     """
     if on_mismatch not in ("error", "respecialize"):
         raise ValueError(
@@ -262,7 +448,14 @@ def load_specialization(directory, on_mismatch="error"):
     except ArtifactError:
         if on_mismatch != "respecialize":
             raise
-    return _respecialize(directory)
+    with ArtifactLock(directory):
+        try:
+            meta = _read_meta(directory)
+            texts = {name: _read(directory, name) for name in _SOURCES}
+            _verify(directory, meta, texts)
+            return _load_verified(meta, texts)
+        except ArtifactError:
+            return _respecialize(directory)
 
 
 def _load_verified(meta, texts):

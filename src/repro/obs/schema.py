@@ -59,6 +59,32 @@ def canonical_breaker_state(name):
     return canonical
 
 
+#: HTTP endpoints the ``repro serve`` daemon labels its request
+#: counters/latency histograms with; unknown paths collapse to
+#: ``"other"`` so a scanner cannot mint unbounded label values.
+SERVE_ENDPOINTS = (
+    "create", "render", "edit", "close", "list", "health", "metrics",
+    "other",
+)
+
+#: Load-shedding scopes the admission controller reports
+#: (``repro_serve_shed_total{scope=...}``): the global in-flight bound,
+#: a tenant's in-flight quota, the global session cap, a tenant's
+#: session quota, and requests refused during drain.
+SHED_SCOPES = (
+    "inflight", "tenant_inflight", "sessions", "tenant_sessions",
+    "draining",
+)
+
+
+def canonical_endpoint(name):
+    """Normalize a serve-endpoint label; anything outside the schema
+    collapses to ``"other"`` (unlike rungs, unknown endpoints are
+    expected — scanners probe arbitrary paths)."""
+    canonical = str(name).strip().lower().replace("-", "_")
+    return canonical if canonical in SERVE_ENDPOINTS else "other"
+
+
 #: Result transports the tiled scheduler reports (``execution_config``
 #: reports the static resolution; ``render.tile`` spans additionally
 #: split the fork path into ``shm`` vs ``pickle`` per run).

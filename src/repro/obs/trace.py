@@ -25,6 +25,7 @@ Tracing must never perturb the system it measures:
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -97,6 +98,12 @@ class Tracer(object):
     ``clock`` is injectable for deterministic tests.  Spans are closed
     by exiting their context manager; mis-nested exits raise so a
     broken instrumentation site cannot silently corrupt the tree.
+
+    One tracer may be shared across threads (the render service traces
+    many concurrent sessions through one Observability): the nesting
+    stack is thread-local, so each thread builds its own correct
+    parent/depth chain, while span ids and the finished-spans list are
+    lock-protected and remain globally consistent.
     """
 
     enabled = True
@@ -106,38 +113,51 @@ class Tracer(object):
         self.epoch = self._clock()
         #: Finished spans, in completion order.
         self.spans = []
-        self._stack = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_sid = 0
+
+    @property
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording -----------------------------------------------------------
 
     def span(self, name, **attrs):
         """Open a nested span; use as ``with tracer.span("x"): ...``."""
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
         span = Span(
             self,
             name,
-            self._next_sid,
+            sid,
             parent.sid if parent is not None else None,
-            len(self._stack),
+            len(stack),
             self._clock() - self.epoch,
             attrs,
         )
-        self._next_sid += 1
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def _finish(self, span, exc):
-        if not self._stack or self._stack[-1] is not span:
+        stack = self._stack
+        if not stack or stack[-1] is not span:
             raise RuntimeError(
                 "span %r closed out of order (open: %r)"
-                % (span.name, [s.name for s in self._stack])
+                % (span.name, [s.name for s in stack])
             )
-        self._stack.pop()
+        stack.pop()
         span.end = self._clock() - self.epoch
         if exc is not None:
             span.attrs.setdefault("error", str(exc))
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
 
     # -- inspection ----------------------------------------------------------
 

@@ -1,0 +1,131 @@
+"""Signal-driven shutdown hygiene for long-lived processes.
+
+The worker-pool and shared-memory subsystems sweep themselves at clean
+interpreter exit (``atexit`` → :func:`~repro.runtime.parallel
+.shutdown_pools` + :func:`~repro.runtime.batch.release_all_arenas`).
+A daemon killed with SIGTERM/SIGINT never reaches ``atexit``: warm
+workers are orphaned and ``repro_shm_*`` segments leak until the next
+startup recovery.  This module closes that gap:
+
+* :func:`cleanup_now` — run every registered drain hook once, then the
+  resource sweeps.  Idempotent: hooks run exactly once per
+  registration, and the sweeps themselves tolerate repetition (calling
+  ``cleanup_now`` twice, or racing it against ``atexit``, is safe).
+* :func:`install_signal_cleanup` — SIGTERM/SIGINT handlers.  Without a
+  callback the handler drains, sweeps, restores the previous
+  disposition, and re-delivers the signal, so the process still dies
+  *by* the signal (honest exit status for service managers).  With a
+  callback (the ``repro serve`` daemon) the signal is handed to it
+  instead — the daemon owns its graceful-drain sequencing and exits 0.
+
+Handlers can only be installed from the main thread; elsewhere the
+install is a recorded no-op (``atexit`` remains the safety net).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+_LOCK = threading.Lock()
+_DRAIN_HOOKS = []
+_PREVIOUS = {}
+#: Number of completed cleanup sweeps (observability + tests).
+cleanups = 0
+
+
+def on_shutdown(hook):
+    """Register a drain hook to run (once) before the resource sweeps.
+
+    Hooks run in registration order; a hook that raises is dropped and
+    does not block the sweeps or later hooks.  Returns ``hook`` so it
+    can be used as a decorator."""
+    with _LOCK:
+        _DRAIN_HOOKS.append(hook)
+    return hook
+
+
+def remove_shutdown_hook(hook):
+    """Unregister a drain hook (sessions closing cleanly themselves)."""
+    with _LOCK:
+        try:
+            _DRAIN_HOOKS.remove(hook)
+        except ValueError:
+            pass
+
+
+def cleanup_now():
+    """Drain hooks (each once), then the idempotent resource sweeps:
+    stop warm worker pools, unlink every live shared-memory arena, and
+    reclaim segments orphaned by dead processes.  Returns the number of
+    cleanup sweeps completed so far (including this one)."""
+    global cleanups
+    with _LOCK:
+        hooks, _DRAIN_HOOKS[:] = list(_DRAIN_HOOKS), []
+    for hook in hooks:
+        try:
+            hook()
+        except Exception:  # a failing drain must not block the sweeps
+            pass
+    # Imported lazily so importing lifecycle never drags in NumPy/shm.
+    from .batch import release_all_arenas
+    from .parallel import shutdown_pools
+
+    shutdown_pools()
+    release_all_arenas()
+    with _LOCK:
+        cleanups += 1
+        return cleanups
+
+
+def install_signal_cleanup(callback=None,
+                           signals=(signal.SIGTERM, signal.SIGINT)):
+    """Install SIGTERM/SIGINT cleanup handlers.
+
+    ``callback(signum)``, when given, receives the signal *instead of*
+    the default die-after-cleanup behavior — the ``repro serve`` daemon
+    passes one that flips its drain event and exits 0 on its own.
+    Returns the list of signals actually installed (empty off the main
+    thread, where CPython forbids ``signal.signal``).
+    """
+
+    def _handler(signum, frame):
+        if callback is not None:
+            callback(signum)
+            return
+        cleanup_now()
+        previous = _PREVIOUS.get(signum, signal.SIG_DFL)
+        if not callable(previous):
+            # SIG_DFL / SIG_IGN (or None from non-Python handlers):
+            # re-deliver under the default disposition so the exit
+            # status names the signal.
+            previous = signal.SIG_DFL
+        signal.signal(signum, previous)
+        os.kill(os.getpid(), signum)
+
+    installed = []
+    for signum in signals:
+        try:
+            previous = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # not the main thread
+            continue
+        with _LOCK:
+            _PREVIOUS.setdefault(signum, previous)
+        installed.append(signum)
+    return installed
+
+
+def uninstall_signal_cleanup():
+    """Restore the dispositions :func:`install_signal_cleanup` replaced
+    (tests; a daemon that finished its own drain)."""
+    with _LOCK:
+        previous = dict(_PREVIOUS)
+        _PREVIOUS.clear()
+    for signum, handler in previous.items():
+        try:
+            signal.signal(
+                signum, handler if handler is not None else signal.SIG_DFL
+            )
+        except (ValueError, OSError):
+            pass

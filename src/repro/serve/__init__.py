@@ -1,0 +1,29 @@
+"""``repro serve``: a fault-tolerant multi-tenant render service.
+
+The paper's premise is a long-lived interactive renderer amortizing
+one specialization over many executions; this package makes that
+literal — a stdlib-HTTP daemon hosting
+:class:`~repro.shaders.render.RenderSession`\\ s for many tenants over
+one crash-safe content-addressed artifact store, with admission
+control (bounded in-flight work, 429 + seeded Retry-After), per-tenant
+supervisors and quotas, graceful SIGTERM/SIGINT drain, and startup
+crash recovery.  See ``docs/operations.md``.
+
+Layering: :mod:`~repro.serve.store` (shared artifacts) ←
+:mod:`~repro.serve.service` (transport-independent core) ←
+:mod:`~repro.serve.http` (stdlib HTTP adapter + daemon loop) /
+:mod:`~repro.serve.client` (stdlib probe client).
+"""
+
+from .client import ClientError, ServiceClient, fetch_health  # noqa: F401
+from .http import ServiceServer, run_daemon, start_server  # noqa: F401
+from .service import (  # noqa: F401
+    Admission,
+    DrainingError,
+    LoadShedError,
+    RenderService,
+    ServiceConfig,
+    ServiceError,
+    SessionNotFound,
+)
+from .store import ArtifactStore  # noqa: F401

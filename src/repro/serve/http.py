@@ -1,0 +1,272 @@
+"""Stdlib-HTTP transport for :class:`~repro.serve.service.RenderService`.
+
+One :class:`ServiceServer` (a ``ThreadingHTTPServer``) fronts one
+service; the handler is a thin adapter — parse, dispatch, serialize —
+so every robustness decision (admission, quotas, drain) lives in the
+transport-independent service and is testable without sockets.
+
+Routes::
+
+    GET    /health                     service + per-tenant health
+    GET    /metrics                    Prometheus text exposition
+    GET    /sessions                   list hosted sessions
+    POST   /sessions                   create  {tenant?, shader, width?, height?}
+    POST   /sessions/<id>/render       render  {param?, controls?}
+    POST   /sessions/<id>/edit         begin/switch drag  {param}
+    DELETE /sessions/<id>              close
+
+The tenant comes from the request body (``tenant``) or the
+``X-Repro-Tenant`` header, defaulting to ``"anon"``.  Errors are JSON
+(``{"error", "detail"}``); 429/503 responses additionally carry the
+seeded-jitter ``Retry-After`` header and ``retry_after_s`` field.
+
+:func:`run_daemon` is the ``repro serve`` entry point: it binds (port
+0 picks an ephemeral port, printed on the announce line so harnesses
+can parse it), installs the SIGTERM/SIGINT drain callback via
+:mod:`repro.runtime.lifecycle`, runs an idle-session reaper thread,
+and on shutdown drains before exiting 0.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..lang.errors import SpecializationError
+from .service import RenderService, ServiceError
+
+
+class ServiceServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the service's own metrics are the access log
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    def do_DELETE(self):
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method):
+        service = self.server.service
+        started = time.monotonic()
+        endpoint, status = "other", 500
+        try:
+            endpoint, status, payload, headers = self._route(method, service)
+        except ServiceError as err:
+            status = err.status
+            payload, headers = self._error_payload(err)
+        except SpecializationError as err:
+            # The render pipeline failed in a way supervision could not
+            # absorb: a server-side error, but never a hang.
+            status = 500
+            payload = {"error": "render_failed", "detail": str(err)}
+            headers = {}
+        except Exception as err:  # pragma: no cover - handler must answer
+            status = 500
+            payload = {"error": "internal", "detail": str(err)}
+            headers = {}
+        finally:
+            service.observe(
+                endpoint, status, (time.monotonic() - started) * 1000.0
+            )
+        if isinstance(payload, str):
+            self._send_text(status, payload, headers)
+        else:
+            self._send_json(status, payload, headers)
+
+    def _route(self, method, service):
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["health"]:
+            return "health", 200, service.health(), {}
+        if method == "GET" and parts == ["metrics"]:
+            return "metrics", 200, service.metrics_text(), {}
+        if method == "GET" and parts == ["sessions"]:
+            return "list", 200, service.list_sessions(), {}
+        if method == "POST" and parts == ["sessions"]:
+            body = self._body()
+            return "create", 201, service.create_session(
+                self._tenant(body),
+                body.get("shader", 0),
+                body.get("width", 16),
+                body.get("height", 16),
+            ), {}
+        if len(parts) == 3 and parts[0] == "sessions" and method == "POST":
+            body = self._body()
+            if parts[2] == "render":
+                return "render", 200, service.render(
+                    parts[1], body.get("param"), body.get("controls"),
+                ), {}
+            if parts[2] == "edit":
+                return "edit", 200, service.edit_session(
+                    parts[1], body.get("param"),
+                ), {}
+        if len(parts) == 2 and parts[0] == "sessions" and method == "DELETE":
+            return "close", 200, service.close_session(parts[1]), {}
+        raise _NotFound("no route %s %s" % (method, self.path))
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _tenant(self, body):
+        tenant = body.get("tenant") or self.headers.get("X-Repro-Tenant")
+        return str(tenant) if tenant else "anon"
+
+    def _body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise ServiceError("request body is not valid JSON")
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    @staticmethod
+    def _error_payload(err):
+        payload = {"error": err.code, "detail": str(err)}
+        headers = {}
+        retry_after = getattr(err, "retry_after_s", None)
+        if retry_after is not None:
+            payload["retry_after_s"] = retry_after
+            payload["scope"] = getattr(err, "scope", None)
+            # The header is integer seconds (RFC 9110); the payload
+            # keeps the exact jittered float.
+            headers["Retry-After"] = str(
+                max(1, int(math.ceil(retry_after)))
+            )
+        return payload, headers
+
+    def _send_json(self, status, payload, headers=None):
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send(status, body, "application/json", headers)
+
+    def _send_text(self, status, text, headers=None):
+        self._send(
+            status, text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8", headers,
+        )
+
+    def _send(self, status, body, content_type, headers=None):
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; nothing left to answer
+
+
+class _NotFound(ServiceError):
+    status = 404
+    code = "not_found"
+
+
+def start_server(service, host="127.0.0.1", port=0):
+    """Bind and start serving on a background thread; returns
+    ``(server, thread)``.  ``server.server_address`` has the actual
+    port when ``port=0``."""
+    server = ServiceServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    return server, thread
+
+
+def run_daemon(service, host="127.0.0.1", port=0, out=None,
+               reap_interval_s=None):
+    """The ``repro serve`` main loop; returns the process exit code.
+
+    Serves until SIGTERM/SIGINT, then drains gracefully: in-flight
+    frames finish (bounded by ``drain_timeout_s``), sessions close,
+    pools and shm arenas are swept — and the process exits 0, because
+    a drained stop is the *intended* behavior, not a failure.
+    """
+    import sys
+
+    from ..runtime.lifecycle import (
+        cleanup_now,
+        install_signal_cleanup,
+        uninstall_signal_cleanup,
+    )
+
+    out = out if out is not None else sys.stdout
+    # Handlers go in before the announce line: a supervisor that
+    # signals the instant it sees the port must still get a drain.
+    stop = threading.Event()
+    install_signal_cleanup(callback=lambda signum: stop.set())
+    server, thread = start_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    out.write(
+        "repro serve: listening on http://%s:%d (store %s)\n"
+        % (bound_host, bound_port, service.store.root)
+    )
+    out.flush()
+    if reap_interval_s is None:
+        reap_interval_s = max(
+            0.25, min(service.config.idle_timeout_s / 4.0, 5.0)
+        )
+
+    def _reap_loop():
+        while not stop.wait(reap_interval_s):
+            try:
+                service.reap_idle()
+            except Exception:  # pragma: no cover - reaping is best-effort
+                pass
+
+    reaper = threading.Thread(
+        target=_reap_loop, name="repro-serve-reaper", daemon=True
+    )
+    reaper.start()
+    try:
+        stop.wait()
+        out.write("repro serve: draining\n")
+        out.flush()
+        summary = service.drain()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+        out.write(
+            "repro serve: drained (%d sessions closed, %d in-flight "
+            "abandoned)\n"
+            % (summary["closed_sessions"], summary["abandoned_inflight"])
+        )
+        out.flush()
+    finally:
+        cleanup_now()
+        uninstall_signal_cleanup()
+    return 0
+
+
+def build_service(config, obs=True):
+    """Convenience used by the CLI and tests."""
+    return RenderService(config, obs=obs)

@@ -1,0 +1,195 @@
+"""Crash-safe shared artifact store: content-addressed specializations.
+
+The paper's economics amortize one specialization over thousands of
+executions; a multi-tenant daemon amortizes it over *tenants* too.  The
+store is a directory of persisted specializations (``core/persist.py``
+artifact sets) keyed by :func:`~repro.core.persist.store_key` — the
+pre-build content address over (program source, function, partition,
+options) — so a shader×partition specialized once is reused by every
+session and every process pointed at the same root.
+
+Concurrency contract (the tentpole's robustness core):
+
+* **get-or-build is idempotent under concurrent writers.**  The fast
+  path loads an existing verified artifact with no lock at all.  On a
+  miss (or damage) the slow path takes the directory's
+  :class:`~repro.core.persist.ArtifactLock` and *re-verifies after the
+  lock*: whoever lost the race finds the winner's artifact and loads it
+  instead of rebuilding — one artifact set, never interleaved
+  generations.
+* **crash recovery is a startup sweep**, not a runtime hazard.
+  :meth:`ArtifactStore.recover` removes lockfiles whose owner died
+  mid-build, re-verifies every artifact, respecializes repairable
+  damage through ``on_mismatch="respecialize"``, and drops directories
+  too damaged to repair (they rebuild on demand).  A healthy quiescent
+  store has zero ``.lock`` files.
+
+In-process, loaded specializations are memoized per key, so a daemon
+hosting many sessions of one shader shares a single
+:class:`~repro.core.specializer.Specialization` object.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import threading
+
+from ..core import persist
+from ..lang.errors import ArtifactError
+
+
+class ArtifactStore(object):
+    """One shared store root; safe for many threads and processes."""
+
+    def __init__(self, root, lock_timeout_s=30.0):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.lock_timeout_s = lock_timeout_s
+        self._lock = threading.Lock()
+        self._memo = {}
+        #: Stats: memo hits, artifact loads from disk, fresh builds,
+        #: damaged artifacts rebuilt in-line, recovery-sweep results.
+        self.hits = 0
+        self.loads = 0
+        self.builds = 0
+        self.rebuilt = 0
+        self.recovery = None
+
+    # -- addressing ----------------------------------------------------------
+
+    def key_for(self, program_source, function, varying, options):
+        return persist.store_key(program_source, function, varying, options)
+
+    def path_for(self, key):
+        return os.path.join(self.root, key)
+
+    # -- the one read path ---------------------------------------------------
+
+    def get_or_build(self, key, builder):
+        """The specialization for ``key``, from (in order) the
+        in-process memo, a verified on-disk artifact, or ``builder()``
+        (persisted for every future caller).  Concurrent callers across
+        processes converge on one artifact set; see the module
+        docstring for the lock/re-verify protocol."""
+        with self._lock:
+            spec = self._memo.get(key)
+            if spec is not None:
+                self.hits += 1
+                return spec
+        path = self.path_for(key)
+        spec = None
+        loaded = False
+        if os.path.isdir(path):
+            try:
+                spec = persist.load_specialization(path)
+                loaded = True
+            except ArtifactError:
+                spec = None  # damaged: repair under the lock below
+        built = False
+        if spec is None:
+            with persist.ArtifactLock(path, timeout_s=self.lock_timeout_s):
+                # Re-verify after the lock: a concurrent builder may
+                # have finished while this process waited.
+                try:
+                    spec = persist.load_specialization(path)
+                    loaded = True
+                except ArtifactError:
+                    spec = builder()
+                    persist.save_specialization(spec, path, exclusive=False)
+                    built = True
+        with self._lock:
+            if built:
+                self.builds += 1
+            elif loaded:
+                self.loads += 1
+            self._memo[key] = spec
+        return spec
+
+    def forget(self, key=None):
+        """Drop the in-process memo (one key, or all): the next
+        ``get_or_build`` re-reads disk.  Artifacts are untouched."""
+        with self._lock:
+            if key is None:
+                self._memo.clear()
+            else:
+                self._memo.pop(key, None)
+
+    # -- startup crash recovery ----------------------------------------------
+
+    def recover(self, stale_s=300.0):
+        """Sweep the store after an unclean shutdown.
+
+        For every artifact directory: steal the lockfile if its owner
+        died mid-build, verify the artifact, respecialize repairable
+        damage, and drop what cannot be repaired.  Returns (and stores
+        on :attr:`recovery`) a summary dict.
+        """
+        summary = {
+            "artifacts": 0,
+            "verified": 0,
+            "respecialized": 0,
+            "dropped": 0,
+            "stale_locks": 0,
+        }
+        for name in sorted(self._listdir()):
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                continue
+            summary["artifacts"] += 1
+            if persist.break_stale_lock(path, stale_s=stale_s):
+                summary["stale_locks"] += 1
+            try:
+                persist.load_specialization(path)
+                summary["verified"] += 1
+                continue
+            except ArtifactError:
+                pass
+            try:
+                persist.load_specialization(path, on_mismatch="respecialize")
+                summary["respecialized"] += 1
+            except ArtifactError:
+                # Beyond repair (fragment gone too): drop the directory;
+                # the next get_or_build rebuilds it from source.
+                shutil.rmtree(path, ignore_errors=True)
+                summary["dropped"] += 1
+        with self._lock:
+            self._memo.clear()
+            self.recovery = summary
+        return summary
+
+    # -- observability -------------------------------------------------------
+
+    def _listdir(self):
+        try:
+            return os.listdir(self.root)
+        except OSError:
+            return []
+
+    def lock_files(self):
+        """Paths of every live lockfile under the root (hygiene checks:
+        a drained daemon must leave this empty)."""
+        locks = []
+        for name in sorted(self._listdir()):
+            path = os.path.join(self.root, name, ".lock")
+            if os.path.exists(path):
+                locks.append(path)
+        return locks
+
+    def stats(self):
+        artifacts = sum(
+            1 for name in self._listdir()
+            if os.path.isdir(os.path.join(self.root, name))
+        )
+        with self._lock:
+            return {
+                "root": self.root,
+                "artifacts": artifacts,
+                "memoized": len(self._memo),
+                "hits": self.hits,
+                "loads": self.loads,
+                "builds": self.builds,
+                "rebuilt": self.rebuilt,
+                "lock_files": len(self.lock_files()),
+                "recovery": self.recovery,
+            }

@@ -166,6 +166,15 @@ class EditSession(object):
                 max_steps=specialization.options.max_steps
             )
 
+    def close(self):
+        """Release this drag's tiled executor — its per-session shm
+        arenas and pool handle — without touching the process-wide warm
+        pool other drags share.  Safe to call repeatedly; a service
+        hosting many sessions calls this when a session ends."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
     @property
     def fault_log(self):
         """The guard's :class:`~repro.runtime.guard.FaultLog`, or None
@@ -766,8 +775,14 @@ class RenderSession(object):
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, backend=None, guard=False,
                  supervisor=None, policy=None, obs=None, workers=None,
-                 tile=None, pool_policy=None):
+                 tile=None, pool_policy=None, store=None):
         self.spec_info = SHADERS[shader_index]
+        #: Shared artifact store (:class:`~repro.serve.store
+        #: .ArtifactStore`): specializations are fetched/persisted by
+        #: content address, so sessions — and processes — pointed at
+        #: one store share each shader×partition build.  None keeps the
+        #: historical in-process-only behavior.
+        self.store = store
         #: Telemetry bundle (``repro.obs``): ``True`` for a fresh one,
         #: an :class:`~repro.obs.Observability` to share, default off.
         self.obs = resolve_obs(obs)
@@ -913,9 +928,24 @@ class RenderSession(object):
             key = None
         if key is not None and key in self._spec_memo:
             return self._spec_memo[key]
-        spec = self.specializer.specialize(
-            self.spec_info.name, {param}, **overrides
-        )
+
+        def build():
+            return self.specializer.specialize(
+                self.spec_info.name, {param}, **overrides
+            )
+
+        if self.store is not None and not overrides:
+            spec = self.store.get_or_build(
+                self.store.key_for(
+                    shader_program_source(self.spec_info),
+                    self.spec_info.name, {param}, self.specializer.options,
+                ),
+                build,
+            )
+        else:
+            # Option overrides change the emitted code, so they bypass
+            # the shared store (its key covers only the base options).
+            spec = build()
         if key is not None:
             self._spec_memo[key] = spec
         return spec

@@ -1,0 +1,64 @@
+"""Non-gating serve smoke (deselected by default; run with -m servesmoke).
+
+Wraps ``tools/serve_smoke.py``: a real ``repro serve`` subprocess hosts
+eight concurrent multi-tenant edit sessions (under process chaos on
+capable hosts) with byte-identity against in-process rendering and a
+clean SIGTERM drain; an in-process service proves admission shedding is
+deterministic and never hangs; a crash-damaged store (torn artifact,
+stale lock, orphaned shm) recovers at startup and serves identical
+frames.  Latency/shed/recovery metrics merge under the ``serve`` key of
+``BENCH_render.json``.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "serve_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("serve_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.servesmoke
+def test_serve_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Pre-seed with other tools' sections to prove the merge preserves
+    # them.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 42.0, "pool_chaos": {"seed": 1}}, handle)
+
+    report = tool.run(out_path=out_path)
+    assert report["sessions"] == tool.SESSIONS >= 8
+    assert report["frames"] == tool.SESSIONS * (tool.ADJUSTS + 1)
+    assert report["drain_exit_code"] == 0
+    assert report["latency_p50_ms"] is not None
+    assert report["latency_p99_ms"] >= report["latency_p50_ms"]
+    assert report["shed_rate"] == 0.5
+    assert report["worst_shed_latency_ms"] < tool.SHED_DEADLINE_S * 1000.0
+    assert report["recovered_session_rate"] == 1.0
+    assert report["recovery"]["respecialized"] == 1
+    assert report["recovery"]["stale_locks"] == 1
+    assert report["gate"] in ("enforced", "skipped")
+    if report["gate"] == "skipped":
+        assert report["gate_reason"]
+        assert report["daemon"]["chaos"] is False
+    else:
+        assert report["daemon"]["chaos"] is True
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 42.0  # perf data survived
+    assert written["pool_chaos"] == {"seed": 1}  # pool-chaos data survived
+    assert written["serve"]["seed"] == tool.SEED

@@ -1,0 +1,458 @@
+#!/usr/bin/env python
+"""Serve smoke: the ``repro serve`` daemon under concurrency and chaos.
+
+Three phases, each exercising one leg of the tentpole's acceptance:
+
+* **Phase A — concurrent daemon.**  A real ``repro serve`` subprocess
+  (ephemeral port) hosts ``SESSIONS`` concurrent edit sessions across
+  two tenants, each driving one load plus ``ADJUSTS`` adjusts from its
+  own client thread.  On capable hosts (NumPy + fork + >=
+  ``GATE_MIN_CORES`` usable cores) the daemon runs a 2-worker fork
+  pool per session under seeded process-level chaos
+  (``--inject-proc-rate``); below that it runs single-worker.  Either
+  way every frame must be **byte-identical** to in-process rendering,
+  and the closing SIGTERM drain must exit 0 leaving no ``repro_shm_*``
+  segments and no store lockfiles.  Client-side request latencies feed
+  the p50/p99 metrics.
+* **Phase B — deterministic shedding.**  An in-process service with
+  its admission bound pre-filled: a burst of renders must *all* shed
+  immediately (429 semantics, seeded Retry-After in ``[base, 2*base)``,
+  latency far under the never-hang deadline), then all succeed once
+  the permits release — a 0.5 shed rate by construction.
+* **Phase C — crash recovery.**  A store damaged the way a crash
+  damages it (torn artifact write, stale lockfile from a dead pid,
+  orphaned shm segment) must recover at startup and serve byte-
+  identical frames: the recovered-session rate.
+
+Metrics merge into ``BENCH_render.json`` under a ``serve`` key
+(read-modify-write; other smoke sections preserved), with the usual
+``"skipped"`` gate marker on constrained runners.
+
+Run directly::
+
+    python tools/serve_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m servesmoke
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.runtime import batch as B  # noqa: E402
+from repro.runtime import parallel as P  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LoadShedError,
+    RenderService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.shaders.render import RenderSession  # noqa: E402
+from repro.shaders.sources import SHADERS  # noqa: E402
+
+SEED = 1996
+WIDTH, HEIGHT = 10, 6
+#: Concurrent edit sessions the daemon must serve (acceptance: >= 8).
+SESSIONS = 8
+ADJUSTS = 3
+SHADER_SWEEP = (1, 3, 5, 8)  # session i drives SHADER_SWEEP[i % 4]
+TENANTS = ("alice", "bob")
+#: Chaos knobs for capable hosts: 2-worker fork pools per session,
+#: seeded worker kill/hang at this per-chunk rate.
+CHAOS_WORKERS = 2
+CHAOS_TILE = 15
+CHAOS_RATE = 0.25
+POOL_DEADLINE_MS = 500.0
+GATE_MIN_CORES = 4
+#: "Never hangs": every shed must answer far inside this bound.
+SHED_DEADLINE_S = 5.0
+SHED_BURST = 10
+
+
+def _percentile(samples, q):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drag_values(session, param):
+    base = session.controls[param]
+    return [base * (1.2 + 0.1 * step) + 0.05 for step in range(ADJUSTS)]
+
+
+def _reference_frames(shader):
+    """In-process frames converted exactly like the service payload."""
+    session = RenderSession(shader, width=WIDTH, height=HEIGHT)
+    param = session.spec_info.control_params[0]
+    edit = session.begin_edit(param)
+    values = _drag_values(session, param)
+    frames = [edit.load(session.controls)]
+    for value in values:
+        frames.append(edit.adjust(session.controls_with(**{param: value})))
+    return param, values, [
+        [[float(c) for c in pixel] for pixel in frame.colors]
+        for frame in frames
+    ]
+
+
+def _plant_orphan_segment():
+    """A ``repro_shm_*`` segment whose embedded creator pid is dead —
+    the footprint a crashed worker leaves.  Returns its size (0 when
+    the host has no POSIX shared memory)."""
+    if not (B.HAVE_NUMPY and B.HAVE_SHM):
+        return 0
+    import multiprocessing
+    from multiprocessing import shared_memory
+
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=lambda: None)
+    child.start()
+    child.join()
+    name = "repro_shm_%d_424242" % child.pid
+    segment = shared_memory.SharedMemory(name=name, create=True, size=4096)
+    size = segment.size
+    segment.close()
+    return size
+
+
+# -- Phase A: concurrent daemon under chaos ----------------------------------
+
+
+def _start_daemon(store_dir, chaos):
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.join(_ROOT, "src"),
+        PYTHONUNBUFFERED="1",
+    )
+    argv = [
+        sys.executable, "-m", "repro", "serve", "--port", "0",
+        "--store", store_dir, "--max-inflight", "16",
+        "--max-sessions", "32", "--seed", str(SEED),
+    ]
+    if chaos:
+        argv += [
+            "--workers", str(CHAOS_WORKERS), "--tile", str(CHAOS_TILE),
+            "--inject-proc-rate", str(CHAOS_RATE),
+            "--inject-seed", str(SEED),
+            "--pool-deadline-ms", str(POOL_DEADLINE_MS),
+        ]
+    proc = subprocess.Popen(
+        argv, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    assert match, "daemon announce missing: %r" % line
+    return proc, "http://%s:%s" % (match.group(1), match.group(2))
+
+
+def _session_worker(url, shader, tenant, references, results, index):
+    client = ServiceClient(url, timeout_s=60.0, tenant=tenant)
+    param, values, expected = references[shader]
+    latencies = []
+    try:
+        created = client.create_session(shader, WIDTH, HEIGHT)
+        sid = created["session"]
+        frames = []
+        for step in range(len(values) + 1):
+            body = (
+                {"param": param} if step == 0
+                else {"controls": {param: values[step - 1]}}
+            )
+            started = time.monotonic()
+            payload = client.render(sid, **body)
+            latencies.append((time.monotonic() - started) * 1000.0)
+            frames.append(payload["colors"])
+        assert frames == expected, (
+            "session %d (shader %d): frames differ from in-process"
+            % (index, shader)
+        )
+        results[index] = {"ok": True, "latencies": latencies}
+    except Exception as exc:  # noqa: BLE001 - reported per session
+        results[index] = {"ok": False, "error": repr(exc),
+                          "latencies": latencies}
+
+
+def _phase_daemon(chaos):
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    references = {
+        shader: _reference_frames(shader) for shader in set(SHADER_SWEEP)
+    }
+    proc, url = _start_daemon(store_dir, chaos)
+    try:
+        results = [None] * SESSIONS
+        threads = [
+            threading.Thread(
+                target=_session_worker,
+                args=(
+                    url, SHADER_SWEEP[i % len(SHADER_SWEEP)],
+                    TENANTS[i % len(TENANTS)], references, results, i,
+                ),
+            )
+            for i in range(SESSIONS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        failures = [r for r in results if not (r and r["ok"])]
+        assert not failures, "daemon sessions failed: %s" % failures
+        health = ServiceClient(url, timeout_s=10.0).health()
+        pid = proc.pid
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        assert rc == 0, "daemon exited %d after SIGTERM" % rc
+        leftovers = [
+            name for name in glob.glob("/dev/shm/repro_shm_*")
+            if ("_%d_" % pid) in name
+        ]
+        assert not leftovers, "daemon leaked shm: %s" % leftovers
+        locks = glob.glob(os.path.join(store_dir, "*", ".lock"))
+        assert not locks, "daemon left store lockfiles: %s" % locks
+        latencies = [
+            ms for r in results for ms in r["latencies"]
+        ]
+        return {
+            "sessions": SESSIONS,
+            "frames": sum(len(r["latencies"]) for r in results),
+            "chaos": chaos,
+            "latency_p50_ms": _percentile(latencies, 0.50),
+            "latency_p99_ms": _percentile(latencies, 0.99),
+            "store_builds": health["service"]["store"]["builds"],
+            "tenants": sorted(health["tenants"]),
+            "drain_exit_code": rc,
+        }
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+# -- Phase B: deterministic load shedding ------------------------------------
+
+
+def _phase_shedding():
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-shed-")
+    try:
+        service = RenderService(
+            ServiceConfig(
+                store_dir=store_dir, max_inflight=2,
+                retry_after_s=0.5, seed=SEED, recover=False,
+            ),
+            obs=False,
+        )
+        sid = service.create_session("t", SHADER_SWEEP[0], WIDTH,
+                                     HEIGHT)["session"]
+        permits = [service.admission.admit("hog") for _ in range(2)]
+        shed = 0
+        worst_s = 0.0
+        hints = []
+        try:
+            for _ in range(SHED_BURST):
+                started = time.monotonic()
+                try:
+                    service.render(sid)
+                except LoadShedError as err:
+                    shed += 1
+                    hints.append(err.retry_after_s)
+                worst_s = max(worst_s, time.monotonic() - started)
+        finally:
+            for permit in permits:
+                permit.__exit__(None, None, None)
+        assert shed == SHED_BURST, "only %d/%d shed" % (shed, SHED_BURST)
+        assert worst_s < SHED_DEADLINE_S, (
+            "a shed took %.2fs — shedding must never hang" % worst_s
+        )
+        assert all(0.5 <= hint < 1.0 for hint in hints), hints
+        served = 0
+        for _ in range(SHED_BURST):
+            service.render(sid)
+            served += 1
+        service.drain(timeout_s=1.0)
+        return {
+            "burst": SHED_BURST,
+            "shed": shed,
+            "served_after_release": served,
+            "shed_rate": shed / float(shed + served),
+            "worst_shed_latency_ms": worst_s * 1000.0,
+            "retry_after_min_s": min(hints),
+            "retry_after_max_s": max(hints),
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+# -- Phase C: crash recovery -------------------------------------------------
+
+
+def _phase_recovery():
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-crash-")
+    try:
+        seeded = RenderService(
+            ServiceConfig(store_dir=store_dir, recover=False), obs=False
+        )
+        shaders = sorted(set(SHADER_SWEEP))
+        baseline = {}
+        for shader in shaders:
+            sid = seeded.create_session("t", shader, WIDTH,
+                                        HEIGHT)["session"]
+            baseline[shader] = seeded.render(sid)["colors"]
+        artifacts = [
+            os.path.join(store_dir, name)
+            for name in sorted(os.listdir(store_dir))
+            if os.path.isdir(os.path.join(store_dir, name))
+        ]
+        # Crash footprint: one torn artifact, one stale lock from a
+        # dead pid, one orphaned shm segment.
+        with open(os.path.join(artifacts[0], "loader.ds"), "a") as handle:
+            handle.write("// torn write\n")
+        with open(os.path.join(artifacts[1], ".lock"), "w") as handle:
+            handle.write("4194303\n")
+        planted = _plant_orphan_segment()
+
+        service = RenderService(
+            ServiceConfig(store_dir=store_dir, recover=True), obs=False
+        )
+        recovered = 0
+        for shader in shaders:
+            sid = service.create_session("t", shader, WIDTH,
+                                         HEIGHT)["session"]
+            if service.render(sid)["colors"] == baseline[shader]:
+                recovered += 1
+        store = service.recovery["store"]
+        assert store["respecialized"] == 1, store
+        assert store["stale_locks"] == 1, store
+        assert not service.store.lock_files()
+        if planted:
+            assert service.recovery["shm_bytes"] >= planted, (
+                "orphaned segment not reclaimed"
+            )
+        service.drain(timeout_s=1.0)
+        return {
+            "sessions": len(shaders),
+            "recovered_sessions": recovered,
+            "recovered_session_rate": recovered / float(len(shaders)),
+            "respecialized": store["respecialized"],
+            "stale_locks": store["stale_locks"],
+            "reclaimed_shm_bytes": service.recovery["shm_bytes"],
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    cores = P.usable_cores()
+    chaos_ok = B.HAVE_NUMPY and P._fork_available() and cores >= GATE_MIN_CORES
+    P.reset_pool_state()
+
+    daemon = _phase_daemon(chaos=chaos_ok)
+    shedding = _phase_shedding()
+    recovery = _phase_recovery()
+
+    section = {
+        "seed": SEED,
+        "cores": cores,
+        "sessions": daemon["sessions"],
+        "frames": daemon["frames"],
+        "latency_p50_ms": daemon["latency_p50_ms"],
+        "latency_p99_ms": daemon["latency_p99_ms"],
+        "store_builds": daemon["store_builds"],
+        "drain_exit_code": daemon["drain_exit_code"],
+        "shed_rate": shedding["shed_rate"],
+        "worst_shed_latency_ms": shedding["worst_shed_latency_ms"],
+        "recovered_session_rate": recovery["recovered_session_rate"],
+        "daemon": daemon,
+        "shedding": shedding,
+        "recovery": recovery,
+    }
+    if chaos_ok:
+        section["gate"] = "enforced"
+        section["chaos"] = {
+            "workers": CHAOS_WORKERS,
+            "proc_rate": CHAOS_RATE,
+            "pool_deadline_ms": POOL_DEADLINE_MS,
+        }
+    else:
+        # Byte-identity, shedding, drain hygiene, and recovery were
+        # still asserted above — only the proc-chaos leg is skipped.
+        section["gate"] = "skipped"
+        if not B.HAVE_NUMPY:
+            section["gate_reason"] = "numpy unavailable"
+        elif not P._fork_available():
+            section["gate_reason"] = "fork start method unavailable"
+        else:
+            section["gate_reason"] = (
+                "only %d usable core(s), need >= %d"
+                % (cores, GATE_MIN_CORES)
+            )
+
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["serve"] = section
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return section
+
+
+def main():
+    section = run()
+    print(
+        "serve smoke: %d concurrent session(s), %d frames byte-identical; "
+        "p50 %.1fms p99 %.1fms; store builds %d"
+        % (
+            section["sessions"], section["frames"],
+            section["latency_p50_ms"], section["latency_p99_ms"],
+            section["store_builds"],
+        )
+    )
+    print(
+        "shedding: rate %.2f, worst shed latency %.1fms (never hangs); "
+        "drain exit %d"
+        % (
+            section["shed_rate"], section["worst_shed_latency_ms"],
+            section["drain_exit_code"],
+        )
+    )
+    print(
+        "recovery: session rate %.2f (%d respecialized, %d stale locks, "
+        "%d shm bytes); gate %s (%d usable cores)  ->  BENCH_render.json"
+        % (
+            section["recovered_session_rate"],
+            section["recovery"]["respecialized"],
+            section["recovery"]["stale_locks"],
+            section["recovery"]["reclaimed_shm_bytes"],
+            section["gate"], section["cores"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
