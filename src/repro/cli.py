@@ -550,6 +550,173 @@ def cmd_serve(args, out):
     return run_daemon(service, host=args.host, port=args.port, out=out)
 
 
+def _drive_local_service(shader, size, requests, slow_ms=None):
+    """Stand up an in-process RenderService on a throwaway store and
+    drive ``requests`` render requests through the same request-id /
+    span-mark / observe plumbing the HTTP layer uses, so the SLO
+    tracker and flight recorder populate exactly as they would under a
+    daemon.  Returns ``(service, store_dir)`` — callers drain and
+    remove the store."""
+    import tempfile
+    import time
+
+    from .obs.trace import request_context
+    from .serve import RenderService, ServiceConfig
+    from .serve.service import ServiceError
+
+    kwargs = {}
+    if slow_ms is not None:
+        kwargs["flight_slow_ms"] = slow_ms
+    store_dir = tempfile.mkdtemp(prefix="repro-slo-")
+    service = RenderService(ServiceConfig(store_dir=store_dir, **kwargs))
+    created = service.create_session("cli", shader, size, size)
+    sid = created["session"]
+    for _ in range(requests):
+        rid = service.mint_request_id()
+        mark = service.span_mark()
+        started = time.monotonic()
+        status, body = 200, {}
+        with request_context(rid):
+            with service.obs.span(
+                "serve.request", method="POST",
+                path="/sessions/%s/render" % sid,
+            ) as span:
+                try:
+                    body = service.render(sid)
+                except ServiceError as err:
+                    status = err.status
+                span.set(endpoint="render", status=status)
+            service.observe(
+                "render", status, (time.monotonic() - started) * 1000.0,
+                request_id=rid, tenant="cli", span_mark=mark,
+                session=sid, rung=body.get("rung"),
+                phase=body.get("phase"),
+            )
+    return service, store_dir
+
+
+def _cleanup_local_service(service, store_dir):
+    import shutil
+
+    service.drain()
+    shutil.rmtree(store_dir, ignore_errors=True)
+
+
+def _print_slo(report, out):
+    out.write(
+        "SLO report: window %gs, worst burn rate %.2f\n"
+        % (report["window_s"], report["worst_burn_rate"])
+    )
+    for entry in report["objectives"]:
+        out.write(
+            "  %s [%s]%s\n"
+            % (entry["name"], entry["kind"],
+               " — " + entry["description"] if entry["description"]
+               else "")
+        )
+        for scope in ("window", "lifetime"):
+            stats = entry[scope]
+            attainment = stats.get("attainment")
+            line = "    %-8s n=%-5d attainment=%s target=%.2f%% burn=%.2f" % (
+                scope, stats.get("count") or 0,
+                "%.2f%%" % (attainment * 100.0)
+                if attainment is not None else "n/a",
+                stats["target"] * 100.0, stats["burn_rate"],
+            )
+            if entry["kind"] == "latency":
+                for q in ("p50_ms", "p99_ms"):
+                    value = stats.get(q)
+                    if value is not None:
+                        line += " %s=%.2fms" % (q[:3], value)
+            out.write(line + "\n")
+
+
+def cmd_slo(args, out):
+    """Report service-level objectives: latency attainment and
+    error-budget burn over the live metrics histograms.  With
+    ``--url``, read a running daemon's ``/health``; otherwise drive an
+    in-process service for a few requests and report that."""
+    if args.url:
+        from .serve.client import ClientError, fetch_health
+
+        try:
+            payload = fetch_health(args.url, timeout_s=args.timeout)
+        except ClientError as exc:
+            raise SystemExit("slo probe failed: %s" % exc)
+        report = payload.get("slo")
+        if report is None:
+            raise SystemExit(
+                "daemon at %s reports no slo section" % args.url
+            )
+    else:
+        service, store_dir = _drive_local_service(
+            args.shader, args.size, args.requests
+        )
+        try:
+            report = service.slo.report(service.obs.registry)
+        finally:
+            _cleanup_local_service(service, store_dir)
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _print_slo(report, out)
+    return 0
+
+
+def _print_flight(dump, out):
+    out.write(
+        "flight recorder: %d recorded, %d dropped, %d entries held, "
+        "%d span trees\n"
+        % (dump["recorded"], dump["dropped"], len(dump["entries"]),
+           dump["span_trees"])
+    )
+    for entry in dump["entries"]:
+        flags = "".join(
+            flag[0] for flag in ("shed", "error", "slow")
+            if entry.get(flag)
+        )
+        out.write(
+            "  #%-4d %-16s %-8s %3s %8.2fms %-8s %s\n"
+            % (entry["seq"], entry.get("request_id") or "-",
+               entry.get("endpoint") or "-", entry.get("status"),
+               entry.get("ms") or 0.0,
+               entry.get("rung") or "-",
+               ("[%s] " % flags if flags else "")
+               + ("%d spans" % len(entry["spans"])
+                  if "spans" in entry else ""))
+        )
+
+
+def _cmd_trace_flight(args, out):
+    """``repro trace --flight``: dump the flight recorder — a running
+    daemon's via ``--url``, or a locally driven service's."""
+    if args.url:
+        from .serve.client import ClientError, ServiceClient
+
+        try:
+            dump = ServiceClient(args.url, timeout_s=args.timeout).flight()
+        except ClientError as exc:
+            raise SystemExit("flight probe failed: %s" % exc)
+    else:
+        # slow_ms=0 marks every request interesting, so the demo dump
+        # arrives with span trees attached.
+        service, store_dir = _drive_local_service(
+            args.shader if args.shader is not None else 1,
+            args.size, args.adjusts + 1, slow_ms=0.0,
+        )
+        try:
+            dump = service.flight_dump()
+        finally:
+            _cleanup_local_service(service, store_dir)
+    if args.json:
+        json.dump(dump, out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _print_flight(dump, out)
+    return 0
+
+
 def cmd_trace(args, out):
     """Trace one shader's full pipeline — parse, specialize, load,
     adjust — and report per-stage timings (optionally as a Chrome
@@ -559,6 +726,10 @@ def cmd_trace(args, out):
     from .shaders.render import RenderSession
     from .shaders.sources import SHADERS
 
+    if args.flight or args.url:
+        return _cmd_trace_flight(args, out)
+    if args.shader is None:
+        raise SystemExit("shader index required (or use --flight)")
     if args.shader not in SHADERS:
         raise SystemExit(
             "no shader %d (have %s)"
@@ -872,7 +1043,8 @@ def build_parser():
         "trace",
         help="trace one shader's pipeline and report per-stage timings",
     )
-    p.add_argument("shader", type=int, help="shader index (1-10)")
+    p.add_argument("shader", type=int, nargs="?", default=None,
+                   help="shader index (1-10); optional with --flight")
     p.add_argument("--size", type=int, default=16, help="image side length")
     p.add_argument("--param", default=None,
                    help="control parameter to drag (default: first)")
@@ -888,7 +1060,38 @@ def build_parser():
                    help="lanes per scheduler tile")
     p.add_argument("--out", default=None,
                    help="write the Chrome trace-event file here")
+    p.add_argument("--flight", action="store_true",
+                   help="dump the flight recorder (recent request "
+                        "summaries with tail-sampled span trees) "
+                        "instead of tracing a pipeline run")
+    p.add_argument("--url", default=None,
+                   help="with --flight: read a running daemon's "
+                        "/debug/flight instead of driving locally")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="HTTP timeout in seconds for --url probes")
+    p.add_argument("--json", action="store_true",
+                   help="emit the flight dump as JSON")
     p.set_defaults(handler=cmd_trace)
+
+    p = sub.add_parser(
+        "slo",
+        help="report service-level objectives (latency attainment, "
+             "shed rate, error-budget burn) from live histograms",
+    )
+    p.add_argument("--url", default=None,
+                   help="read a running `repro serve` daemon's /health "
+                        "slo section instead of driving locally")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="HTTP timeout in seconds for --url probes")
+    p.add_argument("--shader", type=int, default=1,
+                   help="shader index for the local drive")
+    p.add_argument("--size", type=int, default=16,
+                   help="image side length for the local drive")
+    p.add_argument("--requests", type=int, default=8,
+                   help="render requests to drive locally")
+    p.add_argument("--json", action="store_true",
+                   help="emit the SLO report as JSON")
+    p.set_defaults(handler=cmd_slo)
 
     p = sub.add_parser(
         "stats",

@@ -29,7 +29,10 @@ The span taxonomy and metric name table live in
 from __future__ import annotations
 
 from .metrics import NULL_REGISTRY, MetricsRegistry
-from .trace import NULL_TRACER, NullTracer, Span, Tracer  # noqa: F401
+from .trace import (  # noqa: F401
+    NULL_TRACER, NullTracer, Span, Tracer, current_request_id,
+    request_context,
+)
 
 
 class Observability(object):

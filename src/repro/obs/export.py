@@ -128,40 +128,83 @@ def to_json_lines(registry=None, tracer=None):
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-#: Synthetic process/thread ids for the trace viewer's track layout.
-TRACE_PID = 1
-TRACE_TID = 1
-
-
 def to_chrome_trace(tracer, registry=None, as_text=True):
     """Render a tracer (and optional registry snapshot) as a Chrome
     trace-event JSON document.
 
     Every finished span becomes one ``"X"`` (complete) event with
     microsecond ``ts``/``dur`` on the tracer's common timeline; span
-    attributes land in ``args``.  Counter/gauge totals, when a registry
-    is supplied, are attached as ``metadata`` on the document under
-    ``"repro_metrics"`` so the flamegraph and the numbers travel in one
-    file.  Returns JSON text (``as_text=True``) or the document dict.
+    attributes land in ``args``.  Spans carry their real OS process and
+    thread ids; the exporter remaps them to stable small integers (the
+    tracer's own process is always pid 1, workers take 2, 3, ... in
+    first-seen order; threads renumber per process) so two runs of the
+    same workload produce the same track layout, and emits ``"M"``
+    ``process_name``/``thread_name`` metadata events — with the real
+    ``os_pid`` in their args — so the viewer labels every track.
+    Counter/gauge totals, when a registry is supplied, are attached as
+    metadata on the document under ``"repro_metrics"`` so the
+    flamegraph and the numbers travel in one file.  Returns JSON text
+    (``as_text=True``) or the document dict.
     """
+    own_pid = getattr(tracer, "pid", None)
+    pid_map = {}
+    tid_maps = {}
+    if own_pid is not None:
+        pid_map[own_pid] = 1
     events = []
+    lanes = set()
     for span in sorted(tracer, key=lambda s: (s.start, s.sid)):
         args = {str(k): v for k, v in sorted(span.attrs.items())}
         args["sid"] = span.sid
         if span.parent is not None:
             args["parent"] = span.parent
+        pid = span.pid if span.pid is not None else own_pid
+        tid = span.tid if span.tid is not None else pid
+        if pid is None:
+            stable_pid = stable_tid = 1
+        else:
+            stable_pid = pid_map.setdefault(pid, len(pid_map) + 1)
+            threads = tid_maps.setdefault(stable_pid, {})
+            stable_tid = threads.setdefault(tid, len(threads) + 1)
+        lanes.add((stable_pid, stable_tid))
         events.append({
             "name": span.name,
             "cat": span.name.split(".", 1)[0],
             "ph": "X",
             "ts": round(span.start * 1e6, 3),
             "dur": round((span.duration or 0.0) * 1e6, 3),
-            "pid": TRACE_PID,
-            "tid": TRACE_TID,
+            "pid": stable_pid,
+            "tid": stable_tid,
             "args": args,
         })
+    metadata = []
+    for os_pid, stable_pid in sorted(pid_map.items(), key=lambda kv: kv[1]):
+        if not any(lane[0] == stable_pid for lane in lanes):
+            continue
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": stable_pid,
+            "tid": 0,
+            "args": {
+                "name": "repro" if stable_pid == 1 else "repro worker",
+                "os_pid": os_pid,
+            },
+        })
+    for stable_pid, stable_tid in sorted(lanes):
+        if stable_pid == 1:
+            name = "main" if stable_tid == 1 else "handler"
+        else:
+            name = "worker"
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": stable_pid,
+            "tid": stable_tid,
+            "args": {"name": name},
+        })
     document = {
-        "traceEvents": events,
+        "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.obs"},
     }

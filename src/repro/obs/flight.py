@@ -1,0 +1,124 @@
+"""Flight recorder: a bounded always-on ring of recent requests.
+
+When a daemon misbehaves, the question is rarely "what is happening
+right now" — it is "what happened thirty seconds ago".  The flight
+recorder answers it without any external collector: every request the
+service finishes appends one small summary (trace id, tenant,
+endpoint, status, latency, rung/transport when known, shed/error
+flags) to a fixed-capacity ring; the oldest entries fall off and a
+``dropped`` counter remembers how many.
+
+**Tail sampling** keeps the ring cheap under load: full span trees are
+expensive, so they are retained only for *interesting* requests — ones
+that failed, were shed, or ran slower than ``slow_ms`` — and only for
+the most recent ``max_span_trees`` of those.  A healthy request costs
+one dict; the request you actually need to debug arrives with its
+whole trace attached.
+
+Dumped by ``repro trace --flight`` and the daemon's ``/debug/flight``
+route.  Thread-safe: daemon handler threads record concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class FlightRecorder(object):
+    def __init__(self, capacity=256, slow_ms=250.0, max_span_trees=32):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if max_span_trees < 0:
+            raise ValueError("max_span_trees must be >= 0")
+        self.capacity = int(capacity)
+        self.slow_ms = float(slow_ms)
+        self.max_span_trees = int(max_span_trees)
+        self._entries = []
+        self._with_spans = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def interesting(self, status, ms):
+        """Tail-sampling predicate: does this request deserve its full
+        span tree?  Callers use it to skip span collection entirely
+        for the healthy fast path."""
+        if self.max_span_trees == 0:
+            return False
+        return status >= 400 or ms >= self.slow_ms
+
+    def record(self, request_id=None, tenant=None, endpoint=None,
+               status=None, ms=None, session=None, rung=None,
+               transport=None, spans=None, **extra):
+        """Append one request summary; ``spans`` (a list of span
+        dicts) is kept only when :meth:`interesting` agrees."""
+        entry = {
+            "seq": None,
+            "request_id": request_id,
+            "tenant": tenant,
+            "endpoint": endpoint,
+            "status": status,
+            "ms": ms,
+            "session": session,
+            "rung": rung,
+            "transport": transport,
+            "shed": status in (429, 503),
+            "error": status is not None and status >= 500,
+            "slow": ms is not None and ms >= self.slow_ms,
+        }
+        for key, value in extra.items():
+            entry[key] = value
+        keep_spans = (
+            spans is not None
+            and status is not None
+            and ms is not None
+            and self.interesting(status, ms)
+        )
+        with self._lock:
+            entry["seq"] = self._seq
+            self._seq += 1
+            self.recorded += 1
+            if keep_spans:
+                entry["spans"] = list(spans)
+                self._with_spans.append(entry)
+                while len(self._with_spans) > self.max_span_trees:
+                    evicted = self._with_spans.pop(0)
+                    evicted.pop("spans", None)
+            self._entries.append(entry)
+            while len(self._entries) > self.capacity:
+                evicted = self._entries.pop(0)
+                self.dropped += 1
+                if "spans" in evicted:
+                    try:
+                        self._with_spans.remove(evicted)
+                    except ValueError:
+                        pass
+        return entry
+
+    def entries(self):
+        """Entries oldest-first (copies — the ring keeps mutating)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def as_dict(self):
+        """The ``/debug/flight`` payload."""
+        entries = self.entries()
+        return {
+            "capacity": self.capacity,
+            "slow_ms": self.slow_ms,
+            "max_span_trees": self.max_span_trees,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "span_trees": sum(1 for e in entries if "spans" in e),
+            "entries": entries,
+        }
+
+    def clear(self):
+        with self._lock:
+            self._entries = []
+            self._with_spans = []

@@ -45,6 +45,66 @@ def _check_name(name):
     return name
 
 
+def percentile_from_cumulative(cumulative, q):
+    """Bucket-interpolated percentile over ``[(upper_bound,
+    cumulative_count), ...]`` pairs (the :meth:`HistogramChild.
+    cumulative` shape, ending at +Inf).
+
+    Linear interpolation inside the bucket holding the target rank —
+    the same estimate ``histogram_quantile`` makes in PromQL.  The
+    lowest bucket interpolates from 0; a rank landing in the +Inf
+    bucket returns the highest finite bound (the histogram cannot say
+    more).  Returns None for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("percentile q must be in [0, 1], got %r" % (q,))
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total <= 0:
+        return None
+    target = q * total
+    prev_bound = 0.0
+    prev_running = 0
+    for bound, running in cumulative:
+        if running >= target and running > prev_running:
+            if bound == float("inf"):
+                return float(prev_bound)
+            share = (target - prev_running) / (running - prev_running)
+            return prev_bound + (bound - prev_bound) * share
+        if bound != float("inf"):
+            prev_bound = bound
+        prev_running = running
+    return float(prev_bound)
+
+
+def fraction_at_or_below(cumulative, threshold):
+    """Interpolated fraction of observations ``<= threshold`` from
+    cumulative bucket pairs; None for an empty histogram.  The SLO
+    engine's attainment primitive."""
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total <= 0:
+        return None
+    prev_bound = 0.0
+    prev_running = 0
+    for bound, running in cumulative:
+        if threshold <= bound:
+            if bound == float("inf"):
+                # Past the last finite bound: everything still counted
+                # there is indistinguishable; credit only prior buckets.
+                return prev_running / total
+            if bound == prev_bound:
+                return running / total
+            share = (threshold - prev_bound) / (bound - prev_bound)
+            share = min(max(share, 0.0), 1.0)
+            return (prev_running + (running - prev_running) * share) / total
+        prev_bound = bound
+        prev_running = running
+    return 1.0
+
+
 class _Child(object):
     """Base for one labeled instance of a family."""
 
@@ -113,6 +173,13 @@ class HistogramChild(_Child):
             out.append((bound, running))
         out.append((float("inf"), running + self.counts[-1]))
         return out
+
+    def percentile(self, q):
+        """Bucket-interpolated percentile (``q`` in [0, 1]); None when
+        the histogram is empty.  ``percentile(0.5)`` is the median
+        estimate :class:`~repro.runtime.supervise.HealthSnapshot` and
+        the SLO engine report."""
+        return percentile_from_cumulative(self.cumulative(), q)
 
 
 class Family(object):
@@ -299,6 +366,9 @@ class _NullInstrument(object):
 
     def observe(self, value, **labels):
         pass
+
+    def percentile(self, q):
+        return None
 
 
 _NULL_INSTRUMENT = _NullInstrument()

@@ -64,7 +64,7 @@ def canonical_breaker_state(name):
 #: ``"other"`` so a scanner cannot mint unbounded label values.
 SERVE_ENDPOINTS = (
     "create", "render", "edit", "close", "list", "health", "metrics",
-    "other",
+    "flight", "other",
 )
 
 #: Load-shedding scopes the admission controller reports

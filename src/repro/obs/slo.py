@@ -1,0 +1,359 @@
+"""Service-level objectives computed from the live metrics registry.
+
+An *objective* is a declarative statement about service behavior —
+"99% of render requests complete within 250 ms", "at most 5% of
+requests are shed" — evaluated directly against the metric families
+the daemon already maintains (:mod:`repro.obs.metrics`); no second
+measurement pipeline exists to drift from the first.
+
+Two shapes cover the service's promises:
+
+* :class:`LatencyObjective` — a latency histogram family, a threshold,
+  and a target fraction.  Attainment is the bucket-interpolated
+  fraction of observations at or below the threshold
+  (:func:`repro.obs.metrics.fraction_at_or_below`), the same estimate
+  ``histogram_quantile`` would make in PromQL.
+* :class:`RatioObjective` — a bad-event counter over a total counter
+  with a maximum acceptable ratio (shed rate, error rate).
+
+Both report an **error-budget burn rate**: the observed failure rate
+divided by the allowed failure rate.  Burn 1.0 spends the budget
+exactly at the allowed pace; burn 10 exhausts a 30-day budget in three
+days and is a page.
+
+:class:`SloTracker` adds the time dimension.  Counters and histogram
+buckets only ever grow, so the tracker keeps a bounded ring of
+timestamped snapshots and evaluates each objective over the **sliding
+window** (delta between now and the snapshot one window ago) as well
+as over the process lifetime.  Snapshots are taken on the report path
+(``/health``, ``/metrics``, ``repro slo``) — a scraper polling at any
+reasonable cadence keeps the window populated; the clock is injectable
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import fraction_at_or_below, percentile_from_cumulative
+
+
+def _matches(family, child, labels):
+    if not labels:
+        return True
+    have = dict(zip(family.labelnames, child.label_values))
+    return all(have.get(k) == str(v) for k, v in labels.items())
+
+
+def _merged_cumulative(registry, metric, labels):
+    """Sum the cumulative buckets of every matching histogram child;
+    None when the family does not exist yet (or metrics are off)."""
+    family = registry.get(metric)
+    if family is None or getattr(family, "kind", None) != "histogram":
+        return None
+    bounds = tuple(family.buckets) + (float("inf"),)
+    counts = [0] * len(bounds)
+    seen = False
+    for child in family.children():
+        if not _matches(family, child, labels):
+            continue
+        seen = True
+        for i, (_, running) in enumerate(child.cumulative()):
+            counts[i] += running
+    if not seen:
+        return None
+    return list(zip(bounds, counts))
+
+
+def _counter_total(registry, metric, labels=None):
+    family = registry.get(metric)
+    if family is None:
+        return None
+    total = 0
+    seen = False
+    for child in family.children():
+        if not _matches(family, child, labels or {}):
+            continue
+        seen = True
+        total += child.value
+    return total if seen else None
+
+
+def _delta_cumulative(current, base):
+    if current is None:
+        return None
+    if base is None:
+        return current
+    out = []
+    for (bound, running), (_, base_running) in zip(current, base):
+        out.append((bound, max(running - base_running, 0)))
+    return out
+
+
+class Objective(object):
+    """Shared report shape for one objective."""
+
+    kind = None
+
+    def __init__(self, name, description=""):
+        self.name = name
+        self.description = description
+
+    def measure(self, registry):
+        """Snapshot the cumulative state this objective derives from."""
+        raise NotImplementedError
+
+    def evaluate(self, current, base):
+        """Report dict for the interval between two measurements."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _burn(attainment, target):
+        """Observed failure rate over allowed failure rate."""
+        if attainment is None:
+            return 0.0
+        allowed = 1.0 - target
+        failing = max(1.0 - attainment, 0.0)
+        if allowed <= 0.0:
+            return 0.0 if failing == 0.0 else float("inf")
+        return failing / allowed
+
+
+class LatencyObjective(Objective):
+    """``target`` fraction of observations at or below
+    ``threshold_ms`` on histogram family ``metric`` (optionally
+    restricted to one label combination, e.g. ``endpoint="render"``)."""
+
+    kind = "latency"
+
+    def __init__(self, name, metric, threshold_ms, target=0.99,
+                 labels=None, description=""):
+        super().__init__(name, description)
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1], got %r" % (target,))
+        if threshold_ms <= 0:
+            raise ValueError("threshold_ms must be positive")
+        self.metric = metric
+        self.labels = dict(labels or {})
+        self.threshold_ms = float(threshold_ms)
+        self.target = float(target)
+
+    def measure(self, registry):
+        return _merged_cumulative(registry, self.metric, self.labels)
+
+    def evaluate(self, current, base):
+        delta = _delta_cumulative(current, base)
+        count = delta[-1][1] if delta else 0
+        attainment = (
+            fraction_at_or_below(delta, self.threshold_ms)
+            if count else None
+        )
+        return {
+            "count": count,
+            "attainment": attainment,
+            "target": self.target,
+            "burn_rate": self._burn(attainment, self.target),
+            "threshold_ms": self.threshold_ms,
+            "p50_ms": percentile_from_cumulative(delta, 0.50),
+            "p95_ms": percentile_from_cumulative(delta, 0.95),
+            "p99_ms": percentile_from_cumulative(delta, 0.99),
+        }
+
+
+class RatioObjective(Objective):
+    """At most ``max_ratio`` of ``denominator`` events are
+    ``numerator`` events (shed rate, error rate).  Attainment is the
+    complement of the observed ratio, so burn rate stays the uniform
+    observed-over-allowed failure quotient."""
+
+    kind = "ratio"
+
+    def __init__(self, name, numerator, denominator, max_ratio,
+                 numerator_labels=None, denominator_labels=None,
+                 description=""):
+        super().__init__(name, description)
+        if not 0.0 < max_ratio < 1.0:
+            raise ValueError(
+                "max_ratio must be in (0, 1), got %r" % (max_ratio,)
+            )
+        self.numerator = numerator
+        self.denominator = denominator
+        self.numerator_labels = dict(numerator_labels or {})
+        self.denominator_labels = dict(denominator_labels or {})
+        self.max_ratio = float(max_ratio)
+        self.target = 1.0 - self.max_ratio
+
+    def measure(self, registry):
+        return (
+            _counter_total(registry, self.numerator,
+                           self.numerator_labels),
+            _counter_total(registry, self.denominator,
+                           self.denominator_labels),
+        )
+
+    @staticmethod
+    def _delta(cur, base):
+        if cur is None:
+            return 0
+        if base is None:
+            return cur
+        return max(cur - base, 0)
+
+    def evaluate(self, current, base):
+        current = current or (None, None)
+        base = base or (None, None)
+        bad = self._delta(current[0], base[0])
+        total = self._delta(current[1], base[1])
+        ratio = (bad / total) if total else None
+        attainment = (1.0 - ratio) if ratio is not None else None
+        return {
+            "count": total,
+            "bad": bad,
+            "ratio": ratio,
+            "attainment": attainment,
+            "target": self.target,
+            "max_ratio": self.max_ratio,
+            "burn_rate": self._burn(attainment, self.target),
+        }
+
+
+class SloTracker(object):
+    """Sliding-window SLO evaluation over a metrics registry.
+
+    Keeps at most ``max_samples`` timestamped measurement snapshots
+    spanning ``window_s`` seconds; :meth:`report` takes a fresh
+    snapshot (rate-limited so hot scrape loops do not flush the
+    window) and evaluates every objective against both the window base
+    and the zero state (lifetime).
+    """
+
+    def __init__(self, objectives, window_s=300.0, max_samples=64,
+                 clock=None):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate objective names: %r" % (names,))
+        self.objectives = list(objectives)
+        self.window_s = float(window_s)
+        self.max_samples = int(max_samples)
+        self._clock = clock if clock is not None else time.monotonic
+        #: ``[(t, {objective name: measurement}), ...]`` oldest first.
+        self._samples = []
+
+    def _measure(self, registry):
+        return {o.name: o.measure(registry) for o in self.objectives}
+
+    def sample(self, registry):
+        """Record a snapshot (at most one per window/max_samples tick)
+        and prune everything older than the window, keeping one sample
+        at-or-before the window edge as the delta base."""
+        now = self._clock()
+        min_gap = self.window_s / self.max_samples
+        if self._samples and now - self._samples[-1][0] < min_gap:
+            return
+        self._samples.append((now, self._measure(registry)))
+        edge = now - self.window_s
+        keep = 0
+        for i, (t, _) in enumerate(self._samples):
+            if t <= edge:
+                keep = i
+        del self._samples[:keep]
+
+    def _window_base(self, now):
+        base = None
+        for t, states in self._samples:
+            if t <= now - self.window_s:
+                base = states
+            else:
+                break
+        if base is None and self._samples:
+            base = self._samples[0][1]
+        return base
+
+    def report(self, registry):
+        """``{"window_s", "objectives": [...], "worst_burn_rate"}`` —
+        the shape embedded in ``/health`` and printed by ``repro
+        slo``."""
+        self.sample(registry)
+        now = self._clock()
+        current = self._measure(registry)
+        base = self._window_base(now)
+        objectives = []
+        worst = 0.0
+        for objective in self.objectives:
+            window = objective.evaluate(
+                current[objective.name],
+                (base or {}).get(objective.name),
+            )
+            lifetime = objective.evaluate(current[objective.name], None)
+            worst = max(worst, window["burn_rate"])
+            objectives.append({
+                "name": objective.name,
+                "kind": objective.kind,
+                "description": objective.description,
+                "window": window,
+                "lifetime": lifetime,
+            })
+        return {
+            "window_s": self.window_s,
+            "objectives": objectives,
+            "worst_burn_rate": worst,
+        }
+
+    def export(self, registry):
+        """Mirror the window report into ``repro_slo_*`` gauges so a
+        single Prometheus scrape carries attainment and burn."""
+        report = self.report(registry)
+        attainment = registry.gauge(
+            "repro_slo_attainment",
+            "Sliding-window SLO attainment per objective.",
+            ("objective",),
+        )
+        burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "Sliding-window error-budget burn rate per objective.",
+            ("objective",),
+        )
+        target = registry.gauge(
+            "repro_slo_target",
+            "Declared target per objective.",
+            ("objective",),
+        )
+        for entry in report["objectives"]:
+            window = entry["window"]
+            target.set(window["target"], objective=entry["name"])
+            burn.set(window["burn_rate"], objective=entry["name"])
+            if window["attainment"] is not None:
+                attainment.set(
+                    window["attainment"], objective=entry["name"]
+                )
+        return report
+
+
+def default_service_objectives(render_ms=250.0, render_target=0.99,
+                               max_shed_ratio=0.05):
+    """The render daemon's stock promises: render latency and shed
+    rate, both over families :class:`repro.serve.service.RenderService`
+    already populates."""
+    return [
+        LatencyObjective(
+            "render_latency",
+            metric="repro_serve_request_ms",
+            labels={"endpoint": "render"},
+            threshold_ms=render_ms,
+            target=render_target,
+            description="%.0f%% of render requests within %g ms"
+                        % (render_target * 100.0, render_ms),
+        ),
+        RatioObjective(
+            "shed_rate",
+            numerator="repro_serve_shed_total",
+            denominator="repro_serve_requests_total",
+            max_ratio=max_shed_ratio,
+            description="at most %.0f%% of requests shed"
+                        % (max_shed_ratio * 100.0),
+        ),
+    ]

@@ -25,8 +25,47 @@ Tracing must never perturb the system it measures:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+
+_REQUEST = threading.local()
+
+
+def current_request_id():
+    """The request/trace id bound to this thread, or None.
+
+    Bound by :class:`request_context` at HTTP ingress (or by any other
+    entry point that wants correlation); read by the tracer (every span
+    opened while bound carries a ``trace`` attribute) and by the
+    incident rings (``FaultLog``, ``SupervisorIncident``) so faults
+    correlate with traces without threading an id through every call.
+    """
+    return getattr(_REQUEST, "rid", None)
+
+
+class request_context(object):
+    """Bind a request id to the current thread for the ``with`` body.
+
+    Nestable and exception-safe: the previous binding (usually None) is
+    restored on exit.  Thread-local, so concurrent daemon requests on
+    different handler threads never see each other's ids.
+    """
+
+    __slots__ = ("rid", "_prev")
+
+    def __init__(self, rid):
+        self.rid = rid
+        self._prev = None
+
+    def __enter__(self):
+        self._prev = getattr(_REQUEST, "rid", None)
+        _REQUEST.rid = self.rid
+        return self.rid
+
+    def __exit__(self, exc_type, exc, tb):
+        _REQUEST.rid = self._prev
+        return False
 
 
 class Span(object):
@@ -38,9 +77,10 @@ class Span(object):
     """
 
     __slots__ = ("name", "sid", "parent", "depth", "start", "end",
-                 "attrs", "_tracer")
+                 "attrs", "pid", "tid", "_tracer")
 
-    def __init__(self, tracer, name, sid, parent, depth, start, attrs):
+    def __init__(self, tracer, name, sid, parent, depth, start, attrs,
+                 pid=None, tid=None):
         self.name = name
         #: Span id, unique and monotonically increasing per tracer.
         self.sid = sid
@@ -50,6 +90,10 @@ class Span(object):
         self.start = start
         self.end = None
         self.attrs = attrs
+        #: OS process / thread the span ran on — real ids, remapped to
+        #: stable small integers only at Chrome-trace export time.
+        self.pid = pid
+        self.tid = tid
         self._tracer = tracer
 
     @property
@@ -81,6 +125,8 @@ class Span(object):
             "depth": self.depth,
             "start": self.start,
             "end": self.end,
+            "pid": self.pid,
+            "tid": self.tid,
             "attrs": dict(self.attrs),
         }
 
@@ -110,9 +156,15 @@ class Tracer(object):
 
     def __init__(self, clock=None):
         self._clock = clock if clock is not None else time.perf_counter
+        #: True when ``_clock`` is the real monotonic clock — worker
+        #: processes may then record span times against ``epoch``
+        #: directly (fork shares CLOCK_MONOTONIC with the parent).
+        self.shared_clock = clock is None or clock is time.perf_counter
         self.epoch = self._clock()
         #: Finished spans, in completion order.
         self.spans = []
+        #: Process that owns this tracer (spans it opens directly).
+        self.pid = os.getpid()
         self._local = threading.local()
         self._lock = threading.Lock()
         self._next_sid = 0
@@ -130,6 +182,9 @@ class Tracer(object):
         """Open a nested span; use as ``with tracer.span("x"): ...``."""
         stack = self._stack
         parent = stack[-1] if stack else None
+        rid = getattr(_REQUEST, "rid", None)
+        if rid is not None and "trace" not in attrs:
+            attrs["trace"] = rid
         with self._lock:
             sid = self._next_sid
             self._next_sid += 1
@@ -141,6 +196,8 @@ class Tracer(object):
             len(stack),
             self._clock() - self.epoch,
             attrs,
+            pid=self.pid,
+            tid=threading.get_ident(),
         )
         stack.append(span)
         return span
@@ -158,6 +215,70 @@ class Tracer(object):
             span.attrs.setdefault("error", str(exc))
         with self._lock:
             self.spans.append(span)
+
+    # -- merging externally-recorded spans -----------------------------------
+
+    def ingest(self, buffer, parent=None):
+        """Merge a worker-recorded span buffer under ``parent``.
+
+        ``buffer`` is the picklable shape
+        :class:`repro.runtime.parallel` workers ship back over the
+        result pipe::
+
+            {"pid": <os pid>,
+             "spans": [(name, lid, parent_lid, depth,
+                        start, end, attrs), ...]}
+
+        with ``lid``/``parent_lid`` local to the buffer (``parent_lid``
+        None marks a buffer root) and ``start``/``end`` seconds relative
+        to this tracer's epoch (fork children share the parent's
+        monotonic clock, so workers subtract the shipped epoch
+        directly).  Each record gets a fresh globally-consistent sid;
+        buffer roots are re-parented under ``parent`` (a finished or
+        open :class:`Span`, or None) and depths shift below it.  The
+        parent's ``trace`` id, if any, propagates to every ingested
+        span.  Returns the ingested spans in buffer order.
+        """
+        if not buffer:
+            return []
+        records = buffer.get("spans") or ()
+        if not records:
+            return []
+        pid = buffer.get("pid")
+        tid = buffer.get("tid") or pid
+        parent_sid = parent.sid if parent is not None else None
+        base_depth = parent.depth + 1 if parent is not None else 0
+        trace = parent.attrs.get("trace") if parent is not None else None
+        if trace is None:
+            trace = getattr(_REQUEST, "rid", None)
+        ingested = []
+        with self._lock:
+            sids = {}
+            for record in records:
+                name, lid, local_parent, depth, start, end, attrs = record
+                sid = self._next_sid
+                self._next_sid += 1
+                sids[lid] = sid
+                attrs = dict(attrs)
+                if trace is not None:
+                    attrs.setdefault("trace", trace)
+                span = Span(
+                    self,
+                    name,
+                    sid,
+                    sids.get(local_parent, parent_sid),
+                    base_depth + depth,
+                    start,
+                    attrs,
+                    pid=pid,
+                    tid=tid,
+                )
+                # A record left open (the worker died mid-span) still
+                # merges, as a zero-length point at its start time.
+                span.end = end if end is not None else start
+                self.spans.append(span)
+                ingested.append(span)
+        return ingested
 
     # -- inspection ----------------------------------------------------------
 
@@ -227,6 +348,9 @@ class NullTracer(object):
 
     def span(self, name, **attrs):
         return _NULL_SPAN
+
+    def ingest(self, buffer, parent=None):
+        return []
 
     def roots(self):
         return []

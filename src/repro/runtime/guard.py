@@ -35,6 +35,7 @@ import math
 from collections import deque
 
 from ..lang.errors import EvalError, SpecializationError
+from ..obs.trace import current_request_id
 from . import batch as B
 from .interp import Interpreter, _slot_value_ok
 from .vecops import HAVE_NUMPY, _column_rows, _np
@@ -75,9 +76,13 @@ def _same(a, b):
 class FaultIncident(object):
     """One contained fault and what its recovery cost."""
 
-    __slots__ = ("phase", "pixel", "slot", "error", "fallback_cost", "seq")
+    __slots__ = (
+        "phase", "pixel", "slot", "error", "fallback_cost", "seq",
+        "request_id",
+    )
 
-    def __init__(self, phase, pixel, slot, error, fallback_cost, seq=0):
+    def __init__(self, phase, pixel, slot, error, fallback_cost, seq=0,
+                 request_id=None):
         #: "load" or "adjust".
         self.phase = phase
         #: Pixel/lane index within the frame (None when unknown).
@@ -93,10 +98,15 @@ class FaultIncident(object):
         #: reorders survivors, so exported incident streams stay
         #: orderable (and gaps reveal exactly what was dropped).
         self.seq = seq
+        #: Trace/request id ambient when the fault fired (from
+        #: :func:`repro.obs.current_request_id`), or None outside a
+        #: served request.
+        self.request_id = request_id
 
     def as_dict(self):
         return {
             "seq": self.seq,
+            "request_id": self.request_id,
             "phase": self.phase,
             "pixel": self.pixel,
             "slot": self.slot,
@@ -154,7 +164,8 @@ class FaultLog(object):
         if len(self._recent) == self.max_incidents:
             self.dropped += 1
         incident = FaultIncident(
-            phase, pixel, slot, str(error), fallback_cost, seq=self._seq
+            phase, pixel, slot, str(error), fallback_cost, seq=self._seq,
+            request_id=current_request_id(),
         )
         self._recent.append(incident)
         if self.on_record is not None:

@@ -481,6 +481,61 @@ def _portable_error(exc):
         )
 
 
+class _SpanBuffer(object):
+    """Worker-side span recorder: a flat, picklable buffer.
+
+    Workers cannot append to the parent's :class:`~repro.obs.trace.
+    Tracer`, so when the dispatching executor ships a ``"trace"``
+    payload key they record spans locally and return the buffer with
+    the chunk reply; the parent merges it via ``Tracer.ingest``.  Fork
+    children share the parent's CLOCK_MONOTONIC, so times are recorded
+    directly against the shipped tracer epoch and land on the parent's
+    timeline without any skew correction.  Records are
+    ``(name, lid, parent_lid, depth, start, end, attrs)`` tuples with
+    buffer-local ids.  When no trace context ships (obs disabled), no
+    buffer is ever constructed — the hot path stays allocation-free.
+    """
+
+    __slots__ = ("epoch", "records", "_stack")
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.records = []
+        self._stack = []
+
+    def begin(self, name, **attrs):
+        parent = self._stack[-1] if self._stack else None
+        record = [
+            name, len(self.records), parent, len(self._stack),
+            time.perf_counter() - self.epoch, None, attrs,
+        ]
+        self.records.append(record)
+        self._stack.append(record[1])
+        return record
+
+    def end(self, record, **attrs):
+        record[5] = time.perf_counter() - self.epoch
+        if attrs:
+            record[6].update(attrs)
+        if self._stack and self._stack[-1] == record[1]:
+            self._stack.pop()
+
+    def dump(self):
+        return {
+            "pid": os.getpid(),
+            "spans": [tuple(r) for r in self.records],
+        }
+
+
+def _cost_total(lane_costs):
+    """Picklable scalar total of a per-lane cost vector (ndarray or
+    list) for span attributes; None when it cannot be summed."""
+    try:
+        return int(sum(lane_costs))
+    except (TypeError, ValueError):  # pragma: no cover - exotic kernel
+        return None
+
+
 def _worker_main(conn):
     """Pool worker loop: recv a chunk payload, run it, send the result.
 
@@ -488,6 +543,11 @@ def _worker_main(conn):
     their vectorized forms compiled) once per ``TileExecutor`` token and
     reused for every subsequent frame, so a drag sequence ships no
     kernel spec after its first chunk.
+
+    Replies are ``(status, value, spans)`` triples: ``("ok", results,
+    buffer-or-None)`` / ``("err", exc, buffer-or-None)``.  ``spans`` is
+    a :class:`_SpanBuffer` dump when the payload carried a ``"trace"``
+    context, else None — the disabled path records nothing.
     """
     kernels = {}
     while True:
@@ -515,12 +575,27 @@ def _worker_main(conn):
                 # SIGKILLs us mid-sleep; with deadlines disabled it
                 # degenerates to a slow (but correct) reply.
                 time.sleep(seconds)
+        trace = payload.get("trace")
+        spans = chunk = None
+        if trace is not None:
+            spans = _SpanBuffer(trace["epoch"])
+            chunk = spans.begin(
+                "worker.chunk",
+                mode=payload.get("mode"),
+                tiles=len(payload.get("jobs") or ()),
+                warm=payload.get("token") in kernels,
+                **(trace.get("attrs") or {})
+            )
         try:
-            message = ("ok", _run_chunk(payload, kernels))
+            status, value = "ok", _run_chunk(payload, kernels, spans)
         except BaseException as exc:
-            message = ("err", _portable_error(exc))
+            status, value = "err", _portable_error(exc)
+        if chunk is not None:
+            spans.end(chunk, ok=status == "ok")
         try:
-            conn.send(message)
+            conn.send(
+                (status, value, spans.dump() if spans is not None else None)
+            )
         except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
             break
     conn.close()
@@ -581,7 +656,8 @@ class WorkerPool(object):
             )
 
     def recv(self, worker, deadline_s=None, poll_interval_s=0.02):
-        """The worker's ``("ok", results)`` / ``("err", exc)`` reply.
+        """The worker's ``("ok", results, spans)`` /
+        ``("err", exc, spans)`` reply.
 
         Waits with ``Connection.poll`` so a dead or hung worker cannot
         block the parent forever: raises :class:`WorkerLostError` of
@@ -762,8 +838,11 @@ atexit.register(shutdown_pools)
 # ---------------------------------------------------------------------------
 
 
-def _run_chunk(payload, kernels):
-    """Execute one worker's tile list; runs inside a pool process."""
+def _run_chunk(payload, kernels, spans=None):
+    """Execute one worker's tile list; runs inside a pool process.
+
+    ``spans`` is the worker's :class:`_SpanBuffer` when the chunk
+    carried a trace context, else None (the zero-cost default)."""
     token = payload["token"]
     kernel = kernels.get(token)
     if kernel is None:
@@ -772,15 +851,25 @@ def _run_chunk(payload, kernels):
             raise PoolBrokenError(
                 "worker has no kernel for token %r" % (token,)
             )
-        fn, program, max_steps = spec
-        kernel = B.BatchKernel(fn, program=program, max_steps=max_steps)
+        if spans is None:
+            fn, program, max_steps = spec
+            kernel = B.BatchKernel(fn, program=program, max_steps=max_steps)
+        else:
+            install = spans.begin("worker.install")
+            try:
+                fn, program, max_steps = spec
+                kernel = B.BatchKernel(
+                    fn, program=program, max_steps=max_steps
+                )
+            finally:
+                spans.end(install)
         kernels[token] = kernel
     if payload["mode"] == "shm":
-        return _run_shm_chunk(payload, kernel)
-    return _run_pickle_chunk(payload, kernel)
+        return _run_shm_chunk(payload, kernel, spans)
+    return _run_pickle_chunk(payload, kernel, spans)
 
 
-def _run_pickle_chunk(payload, kernel):
+def _run_pickle_chunk(payload, kernel, spans=None):
     """The everything-over-the-pipe transport: each job carries its own
     sliced argument columns (and, for readers, its cache segment);
     results and loader tile caches are pickled back."""
@@ -790,7 +879,21 @@ def _run_pickle_chunk(payload, kernel):
         lanes = stop - start
         if layout is not None:
             tile_cache = B.SoACache(layout, lanes)
-        values, lane_costs = kernel.run_lanes(cols, lanes, cache=tile_cache)
+        if spans is None:
+            values, lane_costs = kernel.run_lanes(
+                cols, lanes, cache=tile_cache
+            )
+        else:
+            tile_span = spans.begin(
+                "worker.tile", tile=tile_index, lanes=lanes
+            )
+            try:
+                values, lane_costs = kernel.run_lanes(
+                    cols, lanes, cache=tile_cache
+                )
+            finally:
+                spans.end(tile_span)
+            tile_span[6]["cost"] = _cost_total(lane_costs)
         out.append((
             tile_index, values, lane_costs,
             tile_cache if layout is not None else None,
@@ -869,7 +972,7 @@ def _store_tile(frame, values_buf, costs_buf, loader,
     return (tile_index, "shm", states)
 
 
-def _run_shm_chunk(payload, kernel):
+def _run_shm_chunk(payload, kernel, spans=None):
     """The zero-copy transport: attach the frame/result/argument arenas
     and write each tile's rows in place; only tiny descriptors return."""
     layout = payload["layout"]
@@ -900,9 +1003,20 @@ def _run_shm_chunk(payload, kernel):
                 tile_cache = _view_tile_cache(
                     frame, layout, payload["states"], start, stop
                 )
-            values, lane_costs = kernel.run_lanes(
-                cols, lanes, cache=tile_cache
-            )
+            tile_span = None
+            if spans is not None:
+                tile_span = spans.begin(
+                    "worker.tile", tile=tile_index, lanes=lanes
+                )
+            try:
+                values, lane_costs = kernel.run_lanes(
+                    cols, lanes, cache=tile_cache
+                )
+            finally:
+                if tile_span is not None:
+                    spans.end(tile_span)
+            if tile_span is not None:
+                tile_span[6]["cost"] = _cost_total(lane_costs)
             out.append(_store_tile(
                 frame, values_buf, costs_buf, loader,
                 tile_index, start, stop, values, lane_costs, tile_cache,
@@ -1450,11 +1564,12 @@ class TileExecutor(object):
             payload["chaos"] = fault
 
     def _recv_reply(self, pool, worker, deadline_s, poll_s):
-        """One validated reply; an unparseable one means the pipe can
-        no longer be trusted and types the loss ``"garbled"``."""
+        """One validated ``(status, value, spans)`` reply; an
+        unparseable one means the pipe can no longer be trusted and
+        types the loss ``"garbled"``."""
         reply = pool.recv(worker, deadline_s, poll_s)
         if (
-            not isinstance(reply, tuple) or len(reply) != 2
+            not isinstance(reply, tuple) or len(reply) != 3
             or reply[0] not in ("ok", "err")
         ):
             raise WorkerLostError(
@@ -1539,8 +1654,20 @@ class TileExecutor(object):
         pending = []
         payloads = {}
         warm_hits = warm_misses = 0
+        # Ship a trace context only when someone is tracing on the real
+        # monotonic clock (fork children share it, so worker-recorded
+        # times land directly on the parent tracer's timeline).  The
+        # disabled path ships nothing and workers allocate nothing.
+        trace_ctx = None
+        if obs.enabled and getattr(obs.tracer, "shared_clock", False):
+            trace_ctx = {
+                "epoch": obs.tracer.epoch,
+                "attrs": dict(span_kwargs),
+            }
         for worker in sorted(jobs_by_worker):
             payload = build_payload(jobs_by_worker[worker])
+            if trace_ctx is not None:
+                payload["trace"] = trace_ctx
             self._inject_chaos(payload)
             payloads[worker] = payload
             try:
@@ -1555,18 +1682,21 @@ class TileExecutor(object):
                 warm_misses += 1
             pending.append(worker)
         for worker in pending:
+            chunk_span = obs.span(
+                "render.tile", worker=worker,
+                tiles=len(jobs_by_worker[worker]), **span_kwargs
+            )
             try:
-                with obs.span(
-                    "render.tile", worker=worker,
-                    tiles=len(jobs_by_worker[worker]), **span_kwargs
-                ):
-                    status, value = self._recv_reply(
+                with chunk_span:
+                    status, value, worker_spans = self._recv_reply(
                         pool, worker, deadline_s, poll_s
                     )
             except WorkerLostError as exc:
                 lost[worker] = exc
                 self._note_loss(pool, worker, exc, token, kernel, hook)
                 continue
+            if worker_spans is not None:
+                obs.tracer.ingest(worker_spans, parent=chunk_span)
             if status == "err":
                 POOL_HEALTH.record("worker_error", detail=str(value))
                 failures.append(value)
@@ -1612,11 +1742,12 @@ class TileExecutor(object):
                 cursor += 1
                 try:
                     self._dispatch(pool, target, token, kernel, payload)
-                    with obs.span(
+                    chunk_span = obs.span(
                         "render.tile", worker=target, tiles=len(jobs),
                         redispatch=True, **span_kwargs
-                    ):
-                        status, value = self._recv_reply(
+                    )
+                    with chunk_span:
+                        status, value, worker_spans = self._recv_reply(
                             pool, target, deadline_s, poll_s
                         )
                 except WorkerLostError as exc:
@@ -1624,6 +1755,8 @@ class TileExecutor(object):
                     self._note_loss(pool, target, exc, token, kernel, hook)
                     survivors.remove(target)
                     continue
+                if worker_spans is not None:
+                    obs.tracer.ingest(worker_spans, parent=chunk_span)
                 if status == "err":
                     POOL_HEALTH.record("worker_error", detail=str(value))
                     raise self._most_actionable([value])
@@ -1643,7 +1776,14 @@ class TileExecutor(object):
                     )
             if not served:
                 for job in jobs:
-                    raw.append(inline_job(job))
+                    # Inline-fallback tiles trace too: the merged frame
+                    # view must account for every tile, including ones
+                    # the parent served itself after total pool loss.
+                    with obs.span(
+                        "render.tile", tile=job[0], tiles=1,
+                        inline=True, **span_kwargs
+                    ):
+                        raw.append(inline_job(job))
                 recovery["inline"] += len(jobs)
                 POOL_HEALTH.inline_tiles += len(jobs)
                 POOL_HEALTH.record(

@@ -51,7 +51,8 @@ import time
 from collections import deque
 
 from ..lang.errors import DeadlineError, SupervisionError
-from ..obs import resolve_obs
+from ..obs import current_request_id, resolve_obs
+from ..obs.metrics import DEFAULT_BUCKETS, HistogramChild
 from ..obs.schema import BREAKER_STATE_CODES, RUNGS, canonical_rung
 from .guard import GUARDED_FAULTS
 
@@ -144,9 +145,13 @@ class SupervisorIncident(object):
     """One degradation event: a rung failure, deadline miss, breaker
     transition, or ladder exhaustion."""
 
-    __slots__ = ("request", "key", "phase", "rung", "cause", "detail", "seq")
+    __slots__ = (
+        "request", "key", "phase", "rung", "cause", "detail", "seq",
+        "request_id",
+    )
 
-    def __init__(self, request, key, phase, rung, cause, detail, seq=0):
+    def __init__(self, request, key, phase, rung, cause, detail, seq=0,
+                 request_id=None):
         #: Monotonic sequence number assigned by the supervisor — many
         #: incidents can share one request ordinal (retries, breaker
         #: transitions), so ``seq`` is what makes an exported incident
@@ -166,11 +171,17 @@ class SupervisorIncident(object):
         #: "respecialize".
         self.cause = cause
         self.detail = detail
+        #: Trace/request id ambient when the incident fired (stamped
+        #: from :func:`repro.obs.current_request_id`), or None outside
+        #: a served request — the hook that joins an incident stream to
+        #: a daemon access log or a flight-recorder entry.
+        self.request_id = request_id
 
     def as_dict(self):
         return {
             "seq": self.seq,
             "request": self.request,
+            "request_id": self.request_id,
             "shader": self.key[0],
             "partition": self.key[1],
             "phase": self.phase,
@@ -363,17 +374,6 @@ class HealthSnapshot(object):
         return "\n".join(lines)
 
 
-def _percentile(sorted_values, q):
-    """Nearest-rank percentile of an already-sorted sequence."""
-    if not sorted_values:
-        return None
-    rank = max(
-        0, min(len(sorted_values) - 1,
-               int(round(q * (len(sorted_values) - 1))))
-    )
-    return sorted_values[rank]
-
-
 class Rung(object):
     """One ladder rung: a name plus a callable ``run(max_steps)`` that
     returns ``(colors, total_cost)`` for the whole request."""
@@ -428,7 +428,12 @@ class RenderSupervisor(object):
         self.backoff_seconds = 0.0
         self._incidents = deque(maxlen=self.policy.max_incidents)
         self.incidents_dropped = 0
-        self._cost_samples = deque(maxlen=self.policy.cost_samples)
+        #: Per-pixel cost distribution for :meth:`health` percentiles.
+        #: A histogram (constant memory) rather than a sample deque:
+        #: p50/p99 come from bucket interpolation, the same estimate
+        #: the ``repro_request_pixel_cost_steps`` family yields in
+        #: PromQL, so /health and a Prometheus scrape agree.
+        self._cost_hist = HistogramChild((), DEFAULT_BUCKETS)
         self._lkg = {}
 
     # -- bookkeeping ---------------------------------------------------------
@@ -448,6 +453,7 @@ class RenderSupervisor(object):
             SupervisorIncident(
                 self.requests, key, phase, canonical_rung(rung), cause,
                 str(detail), seq=self._incident_seq,
+                request_id=current_request_id(),
             )
         )
         self.obs.registry.counter(
@@ -652,7 +658,7 @@ class RenderSupervisor(object):
                     self._count_deadline_miss()
                     break
         if pixels:
-            self._cost_samples.append(total / float(pixels))
+            self._cost_hist.observe(total / float(pixels))
             if obs.enabled:
                 obs.registry.histogram(
                     "repro_request_pixel_cost_steps",
@@ -732,7 +738,6 @@ class RenderSupervisor(object):
         # which supervision must not require at import time.
         from .parallel import pool_health
 
-        samples = sorted(self._cost_samples)
         return HealthSnapshot({
             "requests": self.requests,
             "rungs": dict(self.rung_counts),
@@ -752,9 +757,9 @@ class RenderSupervisor(object):
             "incidents": [i.as_dict() for i in self._incidents],
             "incidents_dropped": self.incidents_dropped,
             "cost_per_pixel": {
-                "p50": _percentile(samples, 0.50),
-                "p99": _percentile(samples, 0.99),
-                "samples": len(samples),
+                "p50": self._cost_hist.percentile(0.50),
+                "p99": self._cost_hist.percentile(0.99),
+                "samples": self._cost_hist.count,
             },
             "policy": {
                 "deadline_steps": self.policy.deadline_steps,

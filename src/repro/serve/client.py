@@ -18,7 +18,7 @@ import urllib.request
 class ClientError(Exception):
     """An HTTP-level failure, with the service's JSON error payload."""
 
-    def __init__(self, status, payload, detail=None):
+    def __init__(self, status, payload, detail=None, headers=None):
         payload = payload if isinstance(payload, dict) else {}
         super().__init__(
             detail
@@ -31,6 +31,9 @@ class ClientError(Exception):
         self.code = payload.get("error")
         self.scope = payload.get("scope")
         self.retry_after_s = payload.get("retry_after_s")
+        #: Response headers (``X-Repro-Request-Id`` correlates the
+        #: failure with the daemon's flight recorder and incident rings).
+        self.headers = dict(headers or {})
 
 
 class ServiceClient(object):
@@ -42,18 +45,21 @@ class ServiceClient(object):
 
     # -- transport -----------------------------------------------------------
 
-    def request(self, method, path, body=None):
+    def request(self, method, path, body=None, headers=None):
         """One round-trip; returns ``(status, payload, headers)``.
         ``payload`` is the decoded JSON object (or raw text for
-        non-JSON responses like ``/metrics``).  Raises
-        :class:`ClientError` on status >= 400."""
+        non-JSON responses like ``/metrics``).  Extra ``headers``
+        (e.g. ``X-Repro-Request-Id`` for trace correlation) merge over
+        the defaults.  Raises :class:`ClientError` on status >= 400."""
         data = None
+        extra_headers = dict(headers or {})
         headers = {}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if self.tenant:
             headers["X-Repro-Tenant"] = str(self.tenant)
+        headers.update(extra_headers)
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -71,7 +77,7 @@ class ServiceClient(object):
             payload = self._decode(
                 err.read(), err.headers.get("Content-Type")
             )
-            raise ClientError(err.code, payload)
+            raise ClientError(err.code, payload, headers=dict(err.headers))
         except urllib.error.URLError as err:
             raise ClientError(0, {}, "cannot reach %s: %s"
                               % (self.base_url, err.reason))
@@ -128,6 +134,10 @@ class ServiceClient(object):
 
     def metrics(self):
         _, payload, _ = self.request("GET", "/metrics")
+        return payload
+
+    def flight(self):
+        _, payload, _ = self.request("GET", "/debug/flight")
         return payload
 
 

@@ -7,8 +7,9 @@ transport-independent service and is testable without sockets.
 
 Routes::
 
-    GET    /health                     service + per-tenant health
+    GET    /health                     service + per-tenant health + SLOs
     GET    /metrics                    Prometheus text exposition
+    GET    /debug/flight               flight-recorder dump
     GET    /sessions                   list hosted sessions
     POST   /sessions                   create  {tenant?, shader, width?, height?}
     POST   /sessions/<id>/render       render  {param?, controls?}
@@ -19,6 +20,15 @@ The tenant comes from the request body (``tenant``) or the
 ``X-Repro-Tenant`` header, defaulting to ``"anon"``.  Errors are JSON
 (``{"error", "detail"}``); 429/503 responses additionally carry the
 seeded-jitter ``Retry-After`` header and ``retry_after_s`` field.
+
+Every response — errors and sheds included — carries an
+``X-Repro-Request-Id`` header: the inbound header's value when the
+client sent one, a freshly minted id otherwise.  The id is bound to
+the handler thread for the whole request
+(:class:`repro.obs.trace.request_context`), so every span the render
+pipeline opens, every worker-recorded span merged back over the
+result pipe, and every ``FaultLog``/``SupervisorIncident`` ring entry
+carries the same id as the response header.
 
 :func:`run_daemon` is the ``repro serve`` entry point: it binds (port
 0 picks an ephemeral port, printed on the announce line so harnesses
@@ -36,6 +46,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..lang.errors import SpecializationError
+from ..obs.trace import request_context
 from .service import RenderService, ServiceError
 
 
@@ -70,25 +81,48 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         started = time.monotonic()
         endpoint, status = "other", 500
-        try:
-            endpoint, status, payload, headers = self._route(method, service)
-        except ServiceError as err:
-            status = err.status
-            payload, headers = self._error_payload(err)
-        except SpecializationError as err:
-            # The render pipeline failed in a way supervision could not
-            # absorb: a server-side error, but never a hang.
-            status = 500
-            payload = {"error": "render_failed", "detail": str(err)}
-            headers = {}
-        except Exception as err:  # pragma: no cover - handler must answer
-            status = 500
-            payload = {"error": "internal", "detail": str(err)}
-            headers = {}
-        finally:
+        rid = (
+            (self.headers.get("X-Repro-Request-Id") or "").strip()
+            or service.mint_request_id()
+        )
+        mark = service.span_mark()
+        with request_context(rid):
+            with service.obs.span(
+                "serve.request", method=method,
+                path=self.path.split("?", 1)[0],
+            ) as span:
+                try:
+                    endpoint, status, payload, headers = self._route(
+                        method, service
+                    )
+                except ServiceError as err:
+                    status = err.status
+                    payload, headers = self._error_payload(err)
+                except SpecializationError as err:
+                    # The render pipeline failed in a way supervision
+                    # could not absorb: a server-side error, but never
+                    # a hang.
+                    status = 500
+                    payload = {"error": "render_failed", "detail": str(err)}
+                    headers = {}
+                except Exception as err:  # pragma: no cover - must answer
+                    status = 500
+                    payload = {"error": "internal", "detail": str(err)}
+                    headers = {}
+                span.set(endpoint=endpoint, status=status)
+            extra = {}
+            if isinstance(payload, dict):
+                for key in ("session", "rung", "phase"):
+                    if key in payload:
+                        extra[key] = payload[key]
             service.observe(
-                endpoint, status, (time.monotonic() - started) * 1000.0
+                endpoint, status, (time.monotonic() - started) * 1000.0,
+                request_id=rid,
+                tenant=self.headers.get("X-Repro-Tenant"),
+                span_mark=mark, **extra,
             )
+        headers = dict(headers or {})
+        headers["X-Repro-Request-Id"] = rid
         if isinstance(payload, str):
             self._send_text(status, payload, headers)
         else:
@@ -101,6 +135,8 @@ class _Handler(BaseHTTPRequestHandler):
             return "health", 200, service.health(), {}
         if method == "GET" and parts == ["metrics"]:
             return "metrics", 200, service.metrics_text(), {}
+        if method == "GET" and parts == ["debug", "flight"]:
+            return "flight", 200, service.flight_dump(), {}
         if method == "GET" and parts == ["sessions"]:
             return "list", 200, service.list_sessions(), {}
         if method == "POST" and parts == ["sessions"]:

@@ -39,6 +39,7 @@ drain timeouts) run in virtual time.
 from __future__ import annotations
 
 import contextlib
+import os
 import random
 import threading
 import time
@@ -46,8 +47,10 @@ import time
 from ..lang.errors import SpecializationError
 from ..obs import resolve_obs
 from ..obs.export import to_prometheus
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MS_BUCKETS
 from ..obs.schema import canonical_endpoint
+from ..obs.slo import SloTracker, default_service_objectives
 from ..runtime.faultinject import FaultInjector
 from ..runtime.supervise import RenderSupervisor, SupervisorPolicy
 from ..shaders.render import RenderSession
@@ -103,7 +106,10 @@ class ServiceConfig(object):
                  retry_after_s=0.5, seed=0, max_pixels=16384,
                  policy=None, backend=None, workers=None, tile=None,
                  pool_policy=None, recover=True, proc_chaos_rate=0.0,
-                 proc_chaos_seed=0):
+                 proc_chaos_seed=0, slo_window_s=300.0,
+                 slo_render_ms=250.0, slo_render_target=0.99,
+                 slo_max_shed=0.05, flight_capacity=256,
+                 flight_slow_ms=250.0, flight_span_trees=32):
         self.store_dir = store_dir
         self.max_sessions = max_sessions
         self.max_inflight = max_inflight
@@ -135,6 +141,18 @@ class ServiceConfig(object):
         #: seeded injector so concurrent renders stay reproducible.
         self.proc_chaos_rate = proc_chaos_rate
         self.proc_chaos_seed = proc_chaos_seed
+        #: SLO sliding window and the stock objectives' knobs (p-target
+        #: fraction of render requests within ``slo_render_ms``, shed
+        #: ratio at most ``slo_max_shed``).
+        self.slo_window_s = slo_window_s
+        self.slo_render_ms = slo_render_ms
+        self.slo_render_target = slo_render_target
+        self.slo_max_shed = slo_max_shed
+        #: Flight-recorder ring size, slow-request threshold, and the
+        #: tail-sampling bound on retained full span trees.
+        self.flight_capacity = flight_capacity
+        self.flight_slow_ms = flight_slow_ms
+        self.flight_span_trees = flight_span_trees
 
 
 class _Permit(object):
@@ -303,10 +321,32 @@ class RenderService(object):
         self._sessions = {}
         self._supervisors = {}
         self._ordinal = 0
+        self._rid_seq = 0
         self._draining = False
         self._drained = False
         self.started = self.clock()
         self.recovery = None
+        #: Always-on ring of recent request summaries with tail-sampled
+        #: span trees (``/debug/flight``, ``repro trace --flight``).
+        self.flight = FlightRecorder(
+            capacity=config.flight_capacity,
+            slow_ms=config.flight_slow_ms,
+            max_span_trees=config.flight_span_trees,
+        )
+        #: Sliding-window SLO evaluation over the live registry
+        #: (``/health``, ``/metrics``, ``repro slo``).
+        self.slo = SloTracker(
+            default_service_objectives(
+                render_ms=config.slo_render_ms,
+                render_target=config.slo_render_target,
+                max_shed_ratio=config.slo_max_shed,
+            ),
+            window_s=config.slo_window_s,
+            clock=self.clock,
+        )
+        # Baseline snapshot: until real samples age past the window,
+        # the sliding window reads "since startup" instead of empty.
+        self.slo.sample(self.obs.registry)
         registry = self.obs.registry
         self._m_requests = registry.counter(
             "repro_serve_requests_total",
@@ -640,12 +680,49 @@ class RenderService(object):
 
     # -- observability -------------------------------------------------------
 
-    def observe(self, endpoint, status, ms):
+    def mint_request_id(self):
+        """A fresh process-unique request id for an ingress request
+        that arrived without one (``r-<pid>-<seq>`` — deterministic,
+        no clock or entropy, so traces replay byte-identically)."""
+        with self._lock:
+            self._rid_seq += 1
+            seq = self._rid_seq
+        return "r-%d-%06d" % (os.getpid(), seq)
+
+    def span_mark(self):
+        """Position in the tracer's finished-span list at ingress;
+        :meth:`observe` slices from it to find this request's spans
+        for the flight recorder (0 when tracing is off)."""
+        return len(self.obs.tracer.spans)
+
+    def observe(self, endpoint, status, ms, request_id=None, tenant=None,
+                span_mark=None, **extra):
         """Record one transport-level request (the HTTP layer calls
-        this for every response it writes)."""
+        this for every response it writes).  With a ``request_id`` the
+        request also lands in the flight recorder; its full span tree
+        is attached only when the recorder's tail sampling finds it
+        interesting (failed/shed/slow)."""
         endpoint = canonical_endpoint(endpoint)
         self._m_requests.inc(endpoint=endpoint, status=str(status))
         self._m_latency.observe(ms, endpoint=endpoint)
+        if request_id is None:
+            return
+        spans = None
+        if (span_mark is not None and self.obs.enabled
+                and self.flight.interesting(status, ms)):
+            spans = [
+                span.as_dict()
+                for span in self.obs.tracer.spans[span_mark:]
+                if span.attrs.get("trace") == request_id
+            ]
+        self.flight.record(
+            request_id=request_id, tenant=tenant, endpoint=endpoint,
+            status=status, ms=ms, spans=spans, **extra,
+        )
+
+    def flight_dump(self):
+        """The ``/debug/flight`` payload."""
+        return self.flight.as_dict()
 
     def health(self):
         """The service-level health payload: admission + session +
@@ -675,7 +752,13 @@ class RenderService(object):
                 "store": self.store.stats(),
                 "recovery": self.recovery,
                 "pool": pool_health(),
+                "flight": {
+                    "recorded": self.flight.recorded,
+                    "dropped": self.flight.dropped,
+                    "entries": len(self.flight),
+                },
             },
+            "slo": self.slo.report(self.obs.registry),
             "tenants": {
                 tenant: supervisor.health().as_dict()
                 for tenant, supervisor in sorted(supervisors.items())
@@ -685,5 +768,8 @@ class RenderService(object):
     def metrics_text(self):
         """The Prometheus exposition for ``/metrics``.  Stage-timing
         totals are *not* folded in here (``merge_stage_metrics`` adds
-        on every call, and scrapes repeat)."""
+        on every call, and scrapes repeat); SLO attainment/burn gauges
+        *are* refreshed per scrape (gauges are set, not added)."""
+        if self.obs.enabled:
+            self.slo.export(self.obs.registry)
         return to_prometheus(self.obs.registry)

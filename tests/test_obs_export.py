@@ -95,6 +95,27 @@ def test_prometheus_label_escaping():
     assert line == 'weird_total{tag="say \\"hi\\"\\nback\\\\slash"} 1'
 
 
+def _golden_metadata():
+    import os
+
+    return [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro", "os_pid": os.getpid()},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "main"},
+        },
+    ]
+
+
 GOLDEN_CHROME_EVENTS = [
     {
         "name": "specialize",
@@ -133,13 +154,16 @@ def test_chrome_trace_golden():
     document = to_chrome_trace(_golden_tracer(), as_text=False)
     assert document["displayTimeUnit"] == "ms"
     assert document["otherData"]["producer"] == "repro.obs"
-    assert document["traceEvents"] == GOLDEN_CHROME_EVENTS
+    assert document["traceEvents"] == (
+        _golden_metadata() + GOLDEN_CHROME_EVENTS
+    )
 
 
 def test_chrome_trace_text_roundtrips_and_embeds_metrics():
     text = to_chrome_trace(_golden_tracer(), registry=_golden_registry())
     document = json.loads(text)
-    assert len(document["traceEvents"]) == 3
+    complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == 3
     metrics = document["otherData"]["repro_metrics"]
     assert metrics["repro_frames_total"]["type"] == "counter"
     samples = metrics["repro_frames_total"]["samples"]
@@ -152,9 +176,9 @@ def test_write_chrome_trace(tmp_path):
     write_chrome_trace(path, _golden_tracer())
     with open(path) as handle:
         document = json.load(handle)
-    assert [e["name"] for e in document["traceEvents"]] == [
-        "specialize", "specialize.split", "render.load",
-    ]
+    assert [
+        e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+    ] == ["specialize", "specialize.split", "render.load"]
 
 
 def test_json_lines_golden():

@@ -1,0 +1,59 @@
+"""Non-gating SLO smoke (deselected by default; run with
+``-m slosmoke``).
+
+Wraps ``tools/slo_smoke.py``: drives a burst of render requests
+through an in-process service (fork workers when available), asserts
+the SLO tracker counted every request with a finite burn rate and
+populated p50/p99, and merges attainment plus per-stage worker-span
+medians into ``BENCH_render.json`` under an ``"slo"`` key.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "slo_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("slo_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slosmoke
+def test_slo_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    # Seed the file with a foreign section to prove read-modify-write.
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 4.0, "trace": {"shader": 1}}, handle)
+
+    report = tool.run(out_path=out_path)
+
+    assert report["requests"] == tool.REQUESTS
+    render = report["objectives"]["render_latency"]
+    assert render["count"] == tool.REQUESTS
+    assert render["p50_ms"] is not None
+    assert render["p99_ms"] is not None
+    assert render["p99_ms"] >= render["p50_ms"]
+    assert report["objectives"]["shed_rate"]["ratio"] == 0.0
+    if report["workers"] == "fork:2":
+        assert report["worker_spans"] > 0
+        assert "worker.tile" in report["worker_stage_median_ms"]
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 4.0  # foreign sections kept
+    assert written["trace"] == {"shader": 1}
+    assert written["slo"]["requests"] == tool.REQUESTS
+    assert written["slo"]["objectives"]["render_latency"]["count"] == (
+        tool.REQUESTS
+    )

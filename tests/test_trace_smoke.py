@@ -45,6 +45,12 @@ def test_trace_smoke(tmp_path):
         assert "render.load" in medians and "render.adjust" in medians
         assert all(value >= 0 for value in medians.values())
 
+    if tool._batch.HAVE_NUMPY and tool._parallel._fork_available():
+        fork = report["fork"]
+        assert fork["span_coverage"] >= tool.MIN_COVERAGE
+        assert fork["worker_spans"] > 0
+        assert "worker.tile" in fork["worker_stage_median_ms"]
+
     with open(out_path) as handle:
         written = json.load(handle)
     assert written["adjust_speedup"] == 4.0  # foreign section kept

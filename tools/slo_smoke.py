@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""SLO smoke: drive the render service and land attainment in the bench file.
+
+Stands up an in-process :class:`~repro.serve.service.RenderService`
+(process workers when the fork start method and NumPy are available,
+single-process otherwise) and drives a short burst of render requests
+through the same request-id / span-mark / observe plumbing the HTTP
+layer uses.  Then:
+
+* asserts every request completed and the SLO tracker counted all of
+  them (lifetime count == requests sent, shed ratio 0);
+* asserts the latency objectives report a finite burn rate and that
+  the histogram-interpolated p50/p99 are populated;
+* with fork workers, asserts the merged trace carried worker-side
+  spans so the per-stage medians below measure real worker time;
+* merges SLO attainment/burn plus per-stage worker-span medians into
+  ``BENCH_render.json`` under an ``"slo"`` key (read-modify-write —
+  sections owned by the other smoke tools are preserved).
+
+Run directly::
+
+    python tools/slo_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m slosmoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.obs.trace import request_context  # noqa: E402
+from repro.runtime import batch as _batch  # noqa: E402
+from repro.runtime import parallel as _parallel  # noqa: E402
+from repro.serve import RenderService, ServiceConfig  # noqa: E402
+from repro.serve.service import ServiceError  # noqa: E402
+
+SHADER = 1
+SIZE = 16
+REQUESTS = 12
+
+
+def _use_fork():
+    return _batch.HAVE_NUMPY and _parallel._fork_available()
+
+
+def _drive(service, requests):
+    """The HTTP layer's per-request plumbing, without sockets."""
+    created = service.create_session("slo-smoke", SHADER, SIZE, SIZE)
+    sid = created["session"]
+    statuses = []
+    for _ in range(requests):
+        rid = service.mint_request_id()
+        mark = service.span_mark()
+        started = time.monotonic()
+        status, body = 200, {}
+        with request_context(rid):
+            with service.obs.span(
+                "serve.request", method="POST",
+                path="/sessions/%s/render" % sid,
+            ) as span:
+                try:
+                    body = service.render(sid)
+                except ServiceError as err:
+                    status = err.status
+                span.set(endpoint="render", status=status)
+            service.observe(
+                "render", status, (time.monotonic() - started) * 1000.0,
+                request_id=rid, tenant="slo-smoke", span_mark=mark,
+                session=sid, rung=body.get("rung"),
+                phase=body.get("phase"),
+            )
+        statuses.append(status)
+    return statuses
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json"),
+        requests=REQUESTS):
+    fork = _use_fork()
+    kwargs = {"flight_slow_ms": 0.0}
+    if fork:
+        kwargs.update(backend="batch", workers="fork:2", tile=64)
+    _parallel._discard_pool()
+    _parallel.reset_pool_state()
+    store_dir = tempfile.mkdtemp(prefix="repro-slo-smoke-")
+    service = RenderService(ServiceConfig(store_dir=store_dir, **kwargs))
+    try:
+        statuses = _drive(service, requests)
+        assert statuses == [200] * requests, (
+            "smoke renders failed: %r" % (statuses,)
+        )
+        slo = service.slo.report(service.obs.registry)
+        totals = service.obs.tracer.stage_totals()
+        worker_spans = sum(
+            stats["count"] for name, stats in totals.items()
+            if name.startswith("worker.")
+        )
+        if fork:
+            assert worker_spans > 0, (
+                "fork workers configured but no worker-side spans merged"
+            )
+    finally:
+        try:
+            service.drain()
+        finally:
+            shutil.rmtree(store_dir, ignore_errors=True)
+            _parallel._discard_pool()
+            _parallel.reset_pool_state()
+
+    objectives = {}
+    for entry in slo["objectives"]:
+        lifetime = entry["lifetime"]
+        objectives[entry["name"]] = {
+            key: lifetime.get(key)
+            for key in ("count", "attainment", "burn_rate", "target",
+                        "p50_ms", "p99_ms", "ratio")
+            if key in lifetime
+        }
+    render = objectives["render_latency"]
+    assert render["count"] == requests, (
+        "SLO tracker saw %r of %d requests" % (render["count"], requests)
+    )
+    assert render["burn_rate"] is not None
+    assert render["p50_ms"] is not None and render["p99_ms"] is not None
+    assert objectives["shed_rate"]["ratio"] == 0.0
+
+    report = {
+        "shader": SHADER,
+        "pixels": SIZE * SIZE,
+        "requests": requests,
+        "workers": "fork:2" if fork else "serial",
+        "worst_burn_rate": slo["worst_burn_rate"],
+        "objectives": objectives,
+        "worker_spans": worker_spans,
+        "worker_stage_median_ms": {
+            name: stats["median_seconds"] * 1e3
+            for name, stats in sorted(totals.items())
+            if name.startswith("worker.")
+        },
+    }
+
+    # Read-modify-write: keep sections other tools own (bench_smoke's
+    # throughput numbers, trace_smoke's stage medians).
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["slo"] = report
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main():
+    report = run()
+    print(
+        "%d renders (%s): worst burn %.2f"
+        % (report["requests"], report["workers"],
+           report["worst_burn_rate"])
+    )
+    for name, entry in sorted(report["objectives"].items()):
+        line = "  %-16s n=%-4d burn %.2f" % (
+            name, entry["count"], entry["burn_rate"]
+        )
+        if entry.get("p50_ms") is not None:
+            line += "  p50 %.1fms p99 %.1fms" % (
+                entry["p50_ms"], entry["p99_ms"]
+            )
+        print(line)
+    for name, median_ms in sorted(
+        report["worker_stage_median_ms"].items()
+    ):
+        print("  %-24s median %7.3fms" % (name, median_ms))
+    print("merged SLO attainment  ->  BENCH_render.json[\"slo\"]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

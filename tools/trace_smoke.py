@@ -9,6 +9,11 @@ adjusts) per execution backend on shader 1, then:
 * asserts the Chrome-trace spans cover >= 90% of the pipeline's wall
   time (the tracer's root spans vs. an outer stopwatch), so the
   flamegraph actually accounts for where time goes;
+* when the fork start method and NumPy are available, repeats the drag
+  with process workers and additionally requires *worker-side* spans
+  (``worker.chunk``/``worker.tile`` shipped back over the result pipe)
+  in the merged trace — parent-side coverage alone would pass even if
+  cross-process propagation silently broke;
 * merges the per-stage timing medians and the disabled-path overhead
   ratio into ``BENCH_render.json`` under a ``"trace"`` key so future
   PRs have a timing trajectory per pipeline stage.
@@ -34,6 +39,8 @@ if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
     sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 from repro.obs import Observability  # noqa: E402
+from repro.runtime import batch as _batch  # noqa: E402
+from repro.runtime import parallel as _parallel  # noqa: E402
 from repro.shaders.render import RenderSession  # noqa: E402
 
 SHADER = 1
@@ -49,11 +56,12 @@ MIN_COVERAGE = 0.90
 MAX_DISABLED_OVERHEAD = 0.25
 
 
-def _drag(backend, obs=None):
+def _drag(backend, obs=None, workers=None, tile=None):
     """One full pipeline run; returns (frames, obs, wall_seconds)."""
     start = time.perf_counter()
     session = RenderSession(
-        SHADER, width=SIZE, height=SIZE, backend=backend, obs=obs
+        SHADER, width=SIZE, height=SIZE, backend=backend, obs=obs,
+        workers=workers, tile=tile,
     )
     edit = session.begin_edit(PARAM)
     frames = [edit.load(session.controls)]
@@ -65,6 +73,55 @@ def _drag(backend, obs=None):
 
 def _signature(frames):
     return [(f.colors, f.total_cost) for f in frames]
+
+
+def _fork_leg():
+    """Traced drag with process workers: the merged trace must carry
+    worker-recorded spans, at worker pids, or cross-process
+    propagation regressed even though parent-side coverage looks
+    fine."""
+    _parallel._discard_pool()
+    _parallel.reset_pool_state()
+    try:
+        plain_frames, _, _ = _drag("batch", workers="fork:2", tile=256)
+        traced_frames, obs, traced_wall = _drag(
+            "batch", obs=Observability(), workers="fork:2", tile=256
+        )
+        assert _signature(plain_frames) == _signature(traced_frames), (
+            "fork: traced run diverged from untraced run"
+        )
+        coverage = obs.tracer.total_seconds() / traced_wall
+        assert coverage >= MIN_COVERAGE, (
+            "fork: spans cover only %.1f%% of pipeline wall time "
+            "(need >= %.0f%%)"
+            % (coverage * 100.0, MIN_COVERAGE * 100.0)
+        )
+        worker_spans = [
+            s for s in obs.tracer.spans if s.name.startswith("worker.")
+        ]
+        assert worker_spans, (
+            "fork: no worker-side spans in the merged trace"
+        )
+        parent_pid = os.getpid()
+        assert all(s.pid not in (None, parent_pid)
+                   for s in worker_spans), (
+            "fork: worker spans not attributed to worker pids"
+        )
+        totals = obs.tracer.stage_totals()
+        return {
+            "wall_seconds": traced_wall,
+            "span_coverage": coverage,
+            "spans": len(obs.tracer.spans),
+            "worker_spans": len(worker_spans),
+            "worker_stage_median_ms": {
+                name: stats["median_seconds"] * 1e3
+                for name, stats in sorted(totals.items())
+                if name.startswith("worker.")
+            },
+        }
+    finally:
+        _parallel._discard_pool()
+        _parallel.reset_pool_state()
 
 
 def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
@@ -116,6 +173,9 @@ def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
            MAX_DISABLED_OVERHEAD * 100.0)
     )
 
+    if _batch.HAVE_NUMPY and _parallel._fork_available():
+        report["fork"] = _fork_leg()
+
     # Read-modify-write: keep sections other tools own (bench_smoke's
     # throughput numbers, fault_smoke's rates).
     merged = {}
@@ -148,6 +208,16 @@ def main():
         )[:5]
         for name, median_ms in top:
             print("        %-24s median %7.3fms" % (name, median_ms))
+    fork = report.get("fork")
+    if fork:
+        print(
+            "fork    %3d spans (%d worker-side) cover %5.1f%% of %7.2fms"
+            % (fork["spans"], fork["worker_spans"],
+               fork["span_coverage"] * 100.0,
+               fork["wall_seconds"] * 1e3)
+        )
+    else:
+        print("fork    skipped (fork start method or NumPy unavailable)")
     print("merged per-stage medians  ->  BENCH_render.json[\"trace\"]")
     return 0
 
