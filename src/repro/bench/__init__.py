@@ -1,5 +1,6 @@
 """Measurement harness: speedups, overheads, cache sizes, limit sweeps."""
 
+from .animation import AnimationTrace, animate, bench_animation
 from .harness import (
     PartitionMeasurement,
     measure_all_shaders,
@@ -9,7 +10,10 @@ from .harness import (
 )
 
 __all__ = [
+    "AnimationTrace",
     "PartitionMeasurement",
+    "animate",
+    "bench_animation",
     "measure_all_shaders",
     "measure_partition",
     "measure_shader",

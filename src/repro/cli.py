@@ -290,6 +290,7 @@ def cmd_render(args, out):
         policy=_supervision_policy(args), obs=obs,
         workers=workers, tile=tile,
         pool_policy=_pool_policy_from_args(args),
+        incremental=args.incremental,
     )
     param = args.param or session.spec_info.control_params[0]
     try:
@@ -302,6 +303,29 @@ def cmd_render(args, out):
     adjusted = edit.adjust(
         session.controls_with(**{param: session.controls[param] * 1.25})
     )
+    incremental = None
+    if args.incremental and not args.dispatch:
+        # Drag one *invariant* parameter so the reload exercises the
+        # delta path: only the slots that parameter dirties refill.
+        spec = edit.specialization
+        others = [
+            name for name in session.spec_info.control_params
+            if name != param
+        ] or [param]
+        edited = others[0]
+        value = session.controls[edited]
+        controls = session.controls_with(**{
+            edited: value * 1.25 if isinstance(value, float) else value + 1
+        })
+        reloaded = edit.load(controls)
+        dirty = spec.dirty_slots({edited})
+        incremental = {
+            "edited": edited,
+            "path": edit._last_load_path,
+            "load_cost": reloaded.total_cost,
+            "dirty_slots": sorted(dirty),
+            "total_slots": len(spec.layout),
+        }
     health = (
         session.supervisor.health() if session.supervisor is not None
         else None
@@ -328,6 +352,7 @@ def cmd_render(args, out):
                 "last_rung": canonical_rung(edit.last_rung),
                 "fault_log": _fault_summary(edit.fault_log),
                 "health": _health_payload(session.supervisor),
+                "incremental": incremental,
             },
             out, indent=2, sort_keys=True,
         )
@@ -351,6 +376,14 @@ def cmd_render(args, out):
             "adjust: cost %d (%.1f/pixel)\n"
             % (adjusted.total_cost, adjusted.cost_per_pixel)
         )
+        if incremental is not None:
+            out.write(
+                "incremental: edit %r via %s path, cost %d "
+                "(%d/%d slots dirty)\n"
+                % (incremental["edited"], incremental["path"],
+                   incremental["load_cost"], len(incremental["dirty_slots"]),
+                   incremental["total_slots"])
+            )
         if edit.fault_log is not None:
             out.write("guard:  %s\n" % edit.fault_log.summary())
         if health is not None:
@@ -780,6 +813,7 @@ def cmd_stats(args, out):
     """Specialize every shader (all partitions) into one shared metrics
     registry and export it — per-slot cache analytics included."""
     from .obs import Observability
+    from .obs.cachestats import record_delta_metrics
     from .obs.export import to_json_lines, to_prometheus
     from .shaders.render import RenderSession
     from .shaders.sources import SHADERS
@@ -799,7 +833,10 @@ def cmd_stats(args, out):
                     **{param: session.controls[param] * 1.25}
                 ))
             else:
-                session.specialize(param)
+                spec = session.specialize(param)
+                record_delta_metrics(
+                    obs.registry, spec, session.spec_info.name, param
+                )
     obs.merge_stage_metrics()
     if args.format == "prometheus":
         out.write(to_prometheus(obs.registry))
@@ -895,6 +932,10 @@ def build_parser():
     p.add_argument("--tile", type=int, default=None,
                    help="lanes per scheduler tile (default: 2048, "
                         "rounded to whole scan lines)")
+    p.add_argument("--incremental", action="store_true",
+                   help="edit-path deltas: after the first full load, an "
+                        "invariant-parameter edit refills only the cache "
+                        "slots it dirties via a sliced delta loader")
     p.add_argument("--dispatch", action="store_true",
                    help="use Section 7.2 dispatch-code readers")
     p.add_argument("--guard", action="store_true",

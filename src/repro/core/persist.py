@@ -100,6 +100,27 @@ def _fingerprint(fragment_source, function, varying, options_meta, slots_meta):
     return _sha256(json.dumps(payload, sort_keys=True))
 
 
+def _delta_fingerprint(loader_source, param, slots):
+    """SHA-256 over one parameter slice: the loader it was sliced from
+    and the slot set the parameter dirties.  Validated per slice on
+    load, so a stale dependence map is caught before an incremental
+    refill trusts it."""
+    payload = {"loader": loader_source, "param": param, "slots": list(slots)}
+    return _sha256(json.dumps(payload, sort_keys=True))
+
+
+def _deltas_meta(spec, loader_text):
+    return {
+        param: {
+            "slots": sorted(slots),
+            "fingerprint": _delta_fingerprint(
+                loader_text, param, sorted(slots)
+            ),
+        }
+        for param, slots in spec.delta_map().items()
+    }
+
+
 def _write_atomic(path, text):
     """Write via a sibling temp file + ``os.replace`` so readers never
     observe a torn artifact under the final name."""
@@ -269,6 +290,11 @@ def _artifact_payload(spec):
             texts["fragment.ds"], spec.function_name, sorted(spec.varying),
             options_meta, slots_meta,
         ),
+        # Per-invariant-parameter slice fingerprints: which cache slots
+        # each parameter dirties, bound to the loader text they were
+        # derived from.  Absent from pre-incremental artifacts, which
+        # still load (the map is recomputed on demand).
+        "deltas": _deltas_meta(spec, texts["loader.ds"]),
     }
     return texts, meta
 
@@ -498,7 +524,7 @@ def _load_verified(meta, texts):
 
     partition = InputPartition(fragment, set(meta["varying"]))
     options = SpecializerOptions(**meta["options"])
-    return Specialization(
+    spec = Specialization(
         partition,
         fragment,
         loader,
@@ -508,3 +534,39 @@ def _load_verified(meta, texts):
         type_info=infos[fragment.name],
         options=options,
     )
+    deltas = meta.get("deltas")
+    if deltas is not None:
+        _verify_deltas(spec, deltas, texts["loader.ds"])
+    return spec
+
+
+def _verify_deltas(spec, deltas_meta, loader_text):
+    """Check every saved parameter slice against a freshly derived
+    dependence map; any drift means spec.json and loader.ds belong to
+    different generations, so the caller's recovery path (respecialize)
+    must rebuild both."""
+    recomputed = spec.delta_map()
+    missing = set(recomputed) - set(deltas_meta)
+    if missing:
+        raise ArtifactError(
+            "spec.json deltas are missing parameters: %s"
+            % ", ".join(sorted(missing))
+        )
+    for param, entry in sorted(deltas_meta.items()):
+        slots = sorted(recomputed.get(param, frozenset()))
+        try:
+            saved_slots = sorted(entry["slots"])
+            saved_print = entry["fingerprint"]
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(
+                "spec.json delta entry for %r is missing metadata: %s"
+                % (param, exc)
+            )
+        if saved_slots != slots or saved_print != _delta_fingerprint(
+            loader_text, param, slots
+        ):
+            raise ArtifactError(
+                "delta-slice fingerprint mismatch for parameter %r "
+                "(stale dependence map): artifact says slots %r, "
+                "recomputed %r" % (param, saved_slots, slots)
+            )

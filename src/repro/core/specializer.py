@@ -132,6 +132,10 @@ class Specialization(object):
         self._interp = Interpreter(max_steps=options.max_steps)
         self._compiled = {}
         self._batch = {}
+        #: Memoized invariant-parameter → dirty-slot map and the sliced
+        #: delta loaders derived from it (incremental refills).
+        self._delta_map = None
+        self._delta_loaders = {}
 
     # -- identification ------------------------------------------------------
 
@@ -250,6 +254,87 @@ class Specialization(object):
         """Run the reader over ``n`` previously loaded pixels;
         returns (values, total_cost)."""
         return self.batch_reader.run(columns, n, cache=cache)
+
+    # -- incremental delta loaders -------------------------------------------
+
+    def invariant_params(self):
+        """Loader parameters the cache may depend on (the non-varying
+        ones), in declaration order."""
+        return tuple(
+            name
+            for name in self.loader.param_names()
+            if name not in self.varying
+        )
+
+    def delta_map(self):
+        """Memoized invariant-parameter → dirty-slot map (frozensets of
+        slot indices).  Derived once per specialization from the loader
+        itself, so it is available on persisted artifacts too."""
+        if self._delta_map is None:
+            from ..transform.split import loader_param_slots
+
+            with self.obs.span(
+                "specialize.delta_map", function=self.function_name
+            ):
+                self._delta_map = loader_param_slots(
+                    self.loader, self.layout, self.invariant_params()
+                )
+        return self._delta_map
+
+    def dirty_slots(self, params):
+        """Union of the dirty-slot sets for the given invariant parameter
+        names.  An unknown name is conservative: every slot is dirty
+        (which drives the session's full-load fallback)."""
+        mapping = self.delta_map()
+        dirty = set()
+        for name in params:
+            if name not in mapping:
+                return frozenset(range(len(self.layout)))
+            dirty |= mapping[name]
+        return frozenset(dirty)
+
+    def delta_loader(self, dirty):
+        """The sliced loader recomputing exactly the ``dirty`` slots
+        (memoized per dirty set; ``None`` for an empty set)."""
+        key = frozenset(dirty)
+        if key not in self._delta_loaders:
+            from ..transform.split import build_delta_loader
+
+            with self.obs.span(
+                "specialize.delta_loader",
+                function=self.function_name,
+                slots=len(key),
+            ):
+                fn = build_delta_loader(self.loader, key)
+                if fn is not None:
+                    check_program(A.Program([fn]))
+            self._delta_loaders[key] = fn
+        return self._delta_loaders[key]
+
+    @staticmethod
+    def _delta_key(dirty):
+        return "delta[%s]" % ",".join(str(slot) for slot in sorted(dirty))
+
+    def delta_kernel(self, dirty, max_steps=None):
+        """The memoized :class:`BatchKernel` refilling ``dirty`` slots."""
+        fn = self.delta_loader(dirty)
+        if fn is None:
+            raise SpecializationError(
+                "an empty dirty set has no delta loader"
+            )
+        return self._batch_kernel(
+            self._delta_key(dirty), fn, max_steps=max_steps
+        )
+
+    def run_delta(self, args, cache, dirty, max_steps=None):
+        """Scalar delta refill: recompute ``dirty`` slots of ``cache``
+        in place for one pixel; returns the cost."""
+        fn = self.delta_loader(dirty)
+        if fn is None:
+            return 0
+        meter = CostMeter()
+        self._interp_for(max_steps).run(fn, args, cache=cache, meter=meter)
+        return meter.total
 
     # -- compiled execution --------------------------------------------------------
 

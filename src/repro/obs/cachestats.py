@@ -152,6 +152,47 @@ def cache_occupancy(caches):
     return len(caches), filled
 
 
+def dirty_slot_profile(spec, params=None):
+    """Per-invariant-parameter dirty-slot counts from the memoized
+    dependence map (see ``Specialization.delta_map``): for each
+    parameter, which cache slots an edit of it would force a delta
+    loader to refill, plus the fraction of the layout that is.
+
+    Returns ``{param: {"slots": [...], "count": int, "fraction": float}}``
+    sorted by parameter name; ``params`` restricts the profile."""
+    total = len(spec.layout)
+    mapping = spec.delta_map()
+    names = sorted(mapping) if params is None else [
+        name for name in sorted(mapping) if name in set(params)
+    ]
+    profile = {}
+    for name in names:
+        slots = sorted(mapping[name])
+        profile[name] = {
+            "slots": slots,
+            "count": len(slots),
+            "fraction": (len(slots) / float(total)) if total else 0.0,
+        }
+    return profile
+
+
+def record_delta_metrics(registry, spec, shader, partition):
+    """Publish the dirty-slot dependence map to ``registry``:
+    ``repro_cache_dirty_slots`` — per invariant parameter, how many
+    cache slots one edit of it dirties."""
+    dirty = registry.gauge(
+        "repro_cache_dirty_slots",
+        "Cache slots a delta loader must refill when this parameter "
+        "is edited.",
+        ("shader", "partition", "param"),
+    )
+    for name, entry in dirty_slot_profile(spec).items():
+        dirty.set(
+            entry["count"],
+            shader=shader, partition=partition, param=name,
+        )
+
+
 def resident_bytes(profile, lanes, filled):
     """Bytes actually resident across all lanes: per slot, declared
     bytes × filled lanes."""

@@ -199,6 +199,14 @@ class SoACache(object):
         self.filled[index] = None
         return rows
 
+    def reset_columns(self, indices):
+        """Forget the listed slots: dirty columns drop back to the
+        freshly-allocated state (incremental refill resets them before a
+        delta loader recomputes their values in place)."""
+        for k in indices:
+            self.columns[k] = None
+            self.filled[k] = None
+
     def gather(self, idx):
         """A sub-cache holding only the selected lanes (dispatch grouping)."""
         sub = SoACache(self.layout, len(idx))
@@ -758,6 +766,17 @@ class ShmSoACache(SoACache):
     def __init__(self, layout, n, arena):
         SoACache.__init__(self, layout, n)
         self.arena = arena
+
+    def reset_columns(self, indices):
+        """Forget the listed slots *and* zero their arena planes, so a
+        delta refill through the shm transport starts from the same
+        all-zero bytes a fresh arena has (non-storing tiles and the
+        commit's mask derivation rely on that baseline)."""
+        SoACache.reset_columns(self, indices)
+        if self.arena.alive:
+            for k in indices:
+                self.arena.column("col%d" % k)[...] = 0
+                self.arena.column("mask%d" % k)[...] = False
 
     @classmethod
     def allocate(cls, layout, n):

@@ -1238,7 +1238,8 @@ class TileExecutor(object):
             self._result_key = key
         return self._result_arena
 
-    def _shm_plan(self, kernel, columns, layout, frame_cache, n):
+    def _shm_plan(self, kernel, columns, layout, frame_cache, n,
+                  refill=False):
         """Everything the zero-copy transport needs, or None when this
         run must ride pickle (non-vectorized kernel, non-shm cache,
         diverged columns, no fixed result layout)."""
@@ -1251,11 +1252,17 @@ class TileExecutor(object):
             return None
         if layout is not None:
             # Loader: needs a pristine shm-backed frame cache to fill.
+            # A delta refill relaxes only the pristine check: the dirty
+            # columns were reset (arena planes re-zeroed) and the clean
+            # ones stay bound to their arena views, untouched by the
+            # workers (delta kernels store only dirty slots).
             if not isinstance(frame_cache, B.ShmSoACache):
                 return None
             if frame_cache.arena is None or not frame_cache.arena.alive:
                 return None
-            if any(c is not None for c in frame_cache.columns):
+            if not refill and any(
+                c is not None for c in frame_cache.columns
+            ):
                 return None
             states = None
         else:
@@ -1292,7 +1299,8 @@ class TileExecutor(object):
 
     def run(self, kernel, columns, n, *, frame_cache=None, layout=None,
             width=None, cap=None, on_overrun=None, obs=None,
-            shader="?", partition="?", phase="?", on_pool_incident=None):
+            shader="?", partition="?", phase="?", on_pool_incident=None,
+            refill=False):
         """Execute ``kernel`` over ``n`` lanes in tiles.
 
         * Loader mode (``layout`` given): each tile fills a tile-local
@@ -1316,6 +1324,11 @@ class TileExecutor(object):
         quarantine, pool degradation) — the supervisor integration.
         """
         obs = obs if obs is not None else NULL_OBS
+        if refill and cap is not None:
+            # The shm commit zeroes *every* plane of a degraded tile,
+            # which would corrupt the clean columns a refill preserves;
+            # deadline-capped runs must take the full-load path instead.
+            raise ValueError("refill runs do not support a step cap")
         started = time.perf_counter()
         plan = plan_tiles(n, self.tile, width)
         transport = self._pick_transport(plan, kernel)
@@ -1343,7 +1356,9 @@ class TileExecutor(object):
         if transport == "fork":
             recovery = {"lost": 0, "redispatched": 0, "inline": 0,
                         "respawns": 0}
-            shm = self._shm_plan(kernel, columns, layout, frame_cache, n)
+            shm = self._shm_plan(
+                kernel, columns, layout, frame_cache, n, refill=refill
+            )
             if shm is not None:
                 transport = "shm"
                 tiles, commit, warm_hits, warm_misses = self._run_shm(

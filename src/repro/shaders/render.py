@@ -16,6 +16,8 @@ costs the paper's figures are built from.
 
 from __future__ import annotations
 
+import time
+
 from ..core.specializer import DataSpecializer
 from ..lang.errors import DeadlineError, SpecializationError, SupervisionError
 from ..lang.parser import parse_program
@@ -29,6 +31,13 @@ from ..runtime.interp import CostMeter, Interpreter
 from ..runtime.supervise import RenderSupervisor, Rung
 from .scenes import scene_for
 from .sources import SHADERS, shader_program_source
+
+
+#: Incremental loads fall back to a full load once the dirty set covers
+#: more than this fraction of the cache slots: refilling nearly all of
+#: the cache costs about as much as a full load, but adds the reader
+#: pass on top.
+MAX_DIRTY_FRACTION = 0.8
 
 
 class Image(object):
@@ -65,7 +74,8 @@ class EditSession(object):
 
     def __init__(self, render_session, specialization, param, table=None,
                  backend=None, guard=None, injector=None, supervisor=None,
-                 workers=None, tile=None, pool_policy=None):
+                 workers=None, tile=None, pool_policy=None,
+                 incremental=None):
         self.render_session = render_session
         self.specialization = specialization
         self.param = param
@@ -153,6 +163,19 @@ class EditSession(object):
         #: shared :class:`~repro.runtime.batch.SoACache` for the frame.
         self.caches = None
         self.load_cost = None
+        #: Incremental edits: when enabled, :meth:`load` first tries a
+        #: delta loader that refills only the cache slots dirtied by the
+        #: changed invariant parameters, falling back to a full load
+        #: when the dirty set is too large, no prior load exists, or
+        #: the delta path faults.  Defaults to the session's knob.
+        self.incremental = bool(
+            incremental if incremental is not None
+            else getattr(render_session, "incremental", False)
+        )
+        #: How the most recent :meth:`load` was served: ``"full"``,
+        #: ``"delta"`` (sliced refill), or ``"noop"`` (only varying
+        #: parameters changed; reader re-run on the existing cache).
+        self._last_load_path = None
         #: Ladder rung that served the most recent supervised request
         #: (None when unsupervised).
         self.last_rung = None
@@ -197,7 +220,10 @@ class EditSession(object):
             pixels=len(self.render_session.scene),
         ) as span:
             image = self._load_frame(controls)
-            span.set(cost=image.total_cost, rung=self._rung_label())
+            span.set(
+                cost=image.total_cost, rung=self._rung_label(),
+                path=self._last_load_path or "full",
+            )
         self._record_frame("load", image)
         return image
 
@@ -216,6 +242,11 @@ class EditSession(object):
         return image
 
     def _load_frame(self, controls):
+        if self.incremental:
+            image = self._incremental_load(controls)
+            if image is not None:
+                return image
+        self._last_load_path = "full"
         if self.supervisor is not None:
             return self._supervised_load(controls)
         if self.guard is not None:
@@ -226,6 +257,7 @@ class EditSession(object):
             colors, cache, total = self._load_scalar(controls)
         self.caches = cache
         self.load_cost = total
+        self._load_controls = dict(controls)
         return self._image(colors, total)
 
     def _adjust_frame(self, controls):
@@ -242,6 +274,186 @@ class EditSession(object):
     def _image(self, colors, total):
         scene = self.render_session.scene
         return Image(scene.width, scene.height, colors, total)
+
+    # -- incremental loads ---------------------------------------------------
+
+    def _incremental_load(self, controls):
+        """Serve :meth:`load` via a parameter-sliced delta refill.
+
+        Applies when a previous load exists and the changed invariant
+        parameters dirty at most :data:`MAX_DIRTY_FRACTION` of the cache
+        slots; returns None whenever the delta path does not apply (or
+        faults), in which case the caller runs a full load."""
+        spec = self.specialization
+        if self.table is not None:
+            # Dispatch tables select variants per pixel; their caches
+            # carry no parameter->slot dependence map to slice on.
+            return None
+        if self.guard is not None and self.guard.injector is not None:
+            # Fault injection perturbs the guarded fallback pattern, so
+            # a delta refill would not be comparable to a full load.
+            return None
+        if self.caches is None or self._load_controls is None:
+            return None
+        if self.backend == "batch" and not isinstance(self.caches, B.SoACache):
+            return None
+        if self.supervisor is not None:
+            breaker = self.supervisor.breakers.get(self._key())
+            if breaker is not None and breaker.state != "closed":
+                # Suspect caches: the half-open probe must rebuild from
+                # scratch via the fully supervised full-load ladder.
+                return None
+        previous = self._load_controls
+        changed = set()
+        for name in self.render_session.spec_info.control_params:
+            if controls.get(name) != previous.get(name):
+                changed.add(name)
+        changed -= set(spec.varying)
+        dirty = spec.dirty_slots(changed)
+        total_slots = len(spec.layout)
+        fraction = (len(dirty) / float(total_slots)) if total_slots else 0.0
+        if fraction > MAX_DIRTY_FRACTION:
+            self._note_incremental("full_fallback", dirty, reason="dirty_set")
+            return None
+        try:
+            image = self._delta_frame(controls, dirty)
+        except Exception:
+            # Any fault on the delta path — guard trip, deadline,
+            # corrupted cache, pool loss — invalidates the caches and
+            # falls back to a full load.
+            self.caches = None
+            self._note_incremental("full_fallback", dirty, reason="fault")
+            return None
+        self._note_incremental("noop" if not dirty else "delta", dirty)
+        return image
+
+    def _delta_frame(self, controls, dirty):
+        """Refill the dirty slots in place, then serve the frame through
+        the reader; commits the updated load state on success."""
+        start = time.perf_counter()
+        if self.supervisor is not None:
+            # The delta path bypasses the degradation ladder: it only
+            # runs when the breaker is closed, and any fault falls back
+            # to a fully supervised full load.
+            self.last_rung = self.backend
+            self._load_rung = self.backend
+        if self.backend == "batch":
+            delta_cost = self._refill_batch(controls, dirty) if dirty else 0
+            colors, reader_cost = self._adjust_batch(controls)
+        else:
+            delta_cost = self._refill_scalar(controls, dirty) if dirty else 0
+            colors, reader_cost = self._adjust_scalar(controls)
+        total = delta_cost + reader_cost
+        self.load_cost = total
+        self._load_controls = dict(controls)
+        self._last_load_path = "delta" if dirty else "noop"
+        if self.obs.enabled:
+            elapsed = time.perf_counter() - start
+            if elapsed > 0.0:
+                self.obs.registry.histogram(
+                    "repro_incremental_pixels_per_second",
+                    "Incremental-edit throughput (pixels / wall second, "
+                    "delta refill plus reader pass).",
+                    ("shader", "partition"),
+                ).labels(
+                    shader=self.render_session.spec_info.name,
+                    partition=self.param,
+                ).observe(len(colors) / elapsed)
+        return self._image(colors, total)
+
+    def _refill_batch(self, controls, dirty):
+        """Run the sliced delta kernel over the whole frame, splicing
+        the refreshed columns into the existing SoA cache in place.
+
+        The refill itself runs unguarded — a contained fault here could
+        leave a half-refilled column, so any exception aborts the whole
+        delta path and the caller falls back to a (guarded) full load.
+        The reader pass that serves the frame still routes through the
+        guard."""
+        spec = self.specialization
+        session = self.render_session
+        n = len(session.scene)
+        columns = session.batch_args(controls)
+        cache = self.caches
+        kernel = spec.delta_kernel(dirty)
+        cache.reset_columns(dirty)
+        if self._executor is not None:
+            _, costs = self._executor.run(
+                kernel, columns, n, frame_cache=cache, layout=spec.layout,
+                width=session.scene.width, obs=self.obs,
+                shader=session.spec_info.name, partition=self.param,
+                phase="delta", refill=True,
+                on_pool_incident=self._pool_incident_hook("delta"),
+            )
+        else:
+            values, lane_costs = kernel.run_lanes(columns, n, cache=cache)
+            costs = B.cost_rows(lane_costs, n)
+        if self.obs.enabled:
+            self._observe_pixel_costs("delta", costs)
+        return sum(costs)
+
+    def _refill_scalar(self, controls, dirty):
+        """Per-pixel delta-loader sweep over the existing scalar caches
+        (or over SoA rows, when a supervised ladder degradation left a
+        batch cache behind a scalar drag)."""
+        spec = self.specialization
+        session = self.render_session
+        caches = self.caches
+        soa = isinstance(caches, B.SoACache)
+        if soa:
+            caches.reset_columns(dirty)
+        observe = self.obs.enabled
+        pixel_costs = [] if observe else None
+        total = 0
+        for index, pixel in enumerate(session.scene):
+            if soa:
+                cache = caches.row(index)
+            else:
+                cache = caches[index]
+                for k in dirty:
+                    cache[k] = None
+            cost = spec.run_delta(
+                session.args_for(pixel, controls), cache, dirty
+            )
+            total += cost
+            if observe:
+                pixel_costs.append(cost)
+        if observe:
+            self._observe_pixel_costs("delta", pixel_costs)
+        return total
+
+    def _note_incremental(self, outcome, dirty, reason=None):
+        """Incremental-edit telemetry: outcome counts, slots refilled,
+        and the dirty fraction behind the routing decision."""
+        if not self.obs.enabled:
+            return
+        registry = self.obs.registry
+        shader = self.render_session.spec_info.name
+        registry.counter(
+            "repro_incremental_loads_total",
+            "Incremental-edit load requests by outcome (delta refill, "
+            "reader-only noop, or fallback to a full load).",
+            ("shader", "partition", "outcome"),
+        ).inc(shader=shader, partition=self.param, outcome=outcome)
+        if outcome == "delta":
+            registry.counter(
+                "repro_incremental_slots_refilled_total",
+                "Cache slots recomputed by delta loaders (slots x lanes).",
+                ("shader", "partition"),
+            ).inc(
+                len(dirty) * len(self.render_session.scene),
+                shader=shader, partition=self.param,
+            )
+        total_slots = len(self.specialization.layout)
+        registry.gauge(
+            "repro_incremental_dirty_fraction",
+            "Fraction of cache slots dirtied by the most recent "
+            "incremental edit.",
+            ("shader", "partition"),
+        ).set(
+            (len(dirty) / float(total_slots)) if total_slots else 0.0,
+            shader=shader, partition=self.param,
+        )
 
     # -- telemetry -----------------------------------------------------------
 
@@ -286,7 +498,8 @@ class EditSession(object):
     def _record_frame(self, phase, image):
         """Per-request metrics once a frame was served."""
         from ..obs.cachestats import (
-            cache_occupancy, record_cache_metrics, slot_profile,
+            cache_occupancy, record_cache_metrics, record_delta_metrics,
+            slot_profile,
         )
 
         registry = self.obs.registry
@@ -311,6 +524,12 @@ class EditSession(object):
             self._slot_profile = slot_profile(
                 self.specialization, table=self.table
             )
+            if self.table is None:
+                # Static dirty-slot map (parameter -> slots a delta
+                # refill touches); gauges, so once per drag suffices.
+                record_delta_metrics(
+                    registry, self.specialization, shader, self.param
+                )
         if phase == "load":
             if self.caches is None:
                 # A degraded load (original / last-known-good rung)
@@ -775,7 +994,8 @@ class RenderSession(object):
     def __init__(self, shader_index, scene=None, specializer_options=None,
                  width=16, height=16, backend=None, guard=False,
                  supervisor=None, policy=None, obs=None, workers=None,
-                 tile=None, pool_policy=None, store=None):
+                 tile=None, pool_policy=None, store=None,
+                 incremental=False):
         self.spec_info = SHADERS[shader_index]
         #: Shared artifact store (:class:`~repro.serve.store
         #: .ArtifactStore`): specializations are fetched/persisted by
@@ -825,6 +1045,11 @@ class RenderSession(object):
                 self.specializer.policy, obs=self.obs
             )
         self.supervisor = supervisor
+        #: Default for every drag's incremental-edit knob: when set,
+        #: invariant-parameter edits refill only the dirtied cache
+        #: slots via sliced delta loaders (see
+        #: :meth:`EditSession._incremental_load`).
+        self.incremental = bool(incremental)
         self.controls = self.spec_info.default_controls()
         self._spec_memo = {}
         self._geometry_columns = None
@@ -952,7 +1177,7 @@ class RenderSession(object):
 
     def begin_edit(self, param, dispatch=False, guard=None, injector=None,
                    supervisor=None, workers=None, tile=None,
-                   pool_policy=None, **overrides):
+                   pool_policy=None, incremental=None, **overrides):
         """Start an interactive drag of ``param``.
 
         ``dispatch=True`` additionally builds the Section 7.2 dispatch
@@ -965,7 +1190,9 @@ class RenderSession(object):
         (``False`` opts this drag out of supervision); ``workers`` /
         ``tile`` override the session's tiled-scheduler knobs;
         ``pool_policy`` overrides the session's self-healing pool knobs
-        (hung-worker deadline, restart budget, breaker cooldowns)."""
+        (hung-worker deadline, restart budget, breaker cooldowns);
+        ``incremental`` overrides the session's incremental-edit knob
+        (delta loaders refill only the dirtied cache slots)."""
         specialization = self.specialize(param, **overrides)
         table = None
         if dispatch:
@@ -975,7 +1202,7 @@ class RenderSession(object):
         return EditSession(
             self, specialization, param, table=table, guard=guard,
             injector=injector, supervisor=supervisor, workers=workers,
-            tile=tile, pool_policy=pool_policy,
+            tile=tile, pool_policy=pool_policy, incremental=incremental,
         )
 
 
@@ -1034,7 +1261,7 @@ class ShaderInstallation(object):
         return list(self.specializations)
 
     def edit(self, param, guard=None, injector=None, supervisor=None,
-             workers=None, tile=None, pool_policy=None):
+             workers=None, tile=None, pool_policy=None, incremental=None):
         """Start a drag using the pre-built specialization."""
         if param not in self.specializations:
             raise SpecializationError(
@@ -1044,7 +1271,7 @@ class ShaderInstallation(object):
         return EditSession(
             self.session, self.specializations[param], param, guard=guard,
             injector=injector, supervisor=supervisor, workers=workers,
-            tile=tile, pool_policy=pool_policy,
+            tile=tile, pool_policy=pool_policy, incremental=incremental,
         )
 
     def describe(self):

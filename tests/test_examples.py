@@ -87,3 +87,21 @@ def test_image_filter(argv_guard):
     out = argv_guard.readouterr().out
     assert "cached weights" in out
     assert "steady-state" in out
+
+
+def test_animation_deltas(tmp_path, monkeypatch, capsys):
+    import os
+
+    monkeypatch.setattr(
+        sys, "argv", ["animation_deltas.py", str(tmp_path / "frames")]
+    )
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    runpy.run_path(
+        os.path.join(repo, "examples", "animation_deltas.py"),
+        run_name="__main__",
+    )
+    out = capsys.readouterr().out
+    assert "frame 0 (full load)" in out
+    assert "delta path" in out
+    frames = list((tmp_path / "frames").glob("*.ppm"))
+    assert len(frames) == 9

@@ -1,0 +1,71 @@
+"""Non-gating incremental-edit perf smoke (run with -m incsmoke).
+
+Wraps ``tools/incremental_smoke.py``: on the noise-heavy bench shaders,
+single-invariant-parameter edits served by the delta path must be at
+least 3x faster than a full cache load, byte-identical frames asserted
+along the way, with the throughput section merged into
+``BENCH_render.json``.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_TOOL = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tools",
+    "incremental_smoke.py",
+)
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("incremental_smoke", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.incsmoke
+def test_incremental_smoke(tmp_path):
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    section = tool.run(out_path=out_path)
+
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["incremental_smoke"]["edits"]
+    assert section["min_speedup"] >= tool.MIN_INCREMENTAL_SPEEDUP
+    for entry in section["edits"]:
+        assert entry["speedup"] >= tool.MIN_INCREMENTAL_SPEEDUP
+        assert entry["dirty_slots"]
+        assert entry["cost_speedup"] > 1.0
+
+
+@pytest.mark.incsmoke
+def test_incremental_smoke_preserves_other_sections(tmp_path):
+    """The read-modify-write merge keeps sections other tools own."""
+    tool = _load_tool()
+    out_path = str(tmp_path / "BENCH_render.json")
+    with open(out_path, "w") as handle:
+        json.dump({"adjust_speedup": 42.0}, handle)
+    tool.run(out_path=out_path)
+    with open(out_path) as handle:
+        written = json.load(handle)
+    assert written["adjust_speedup"] == 42.0
+    assert "incremental_smoke" in written
+
+
+@pytest.mark.incsmoke
+def test_animation_workload():
+    """Seeded sweep + orbit animation through the incremental path:
+    byte parity with full reloads (asserted inside animate) and a
+    cheaper total cost whenever any frame rode the delta path."""
+    from repro.bench.animation import animate
+
+    trace = animate(width=10, height=10, frames_per_segment=2, seed=3)
+    counts = trace.path_counts()
+    assert sum(counts.values()) == len(trace.frames)
+    assert counts.get("delta", 0) > 0
+    assert trace.total_cost < trace.total_full_cost

@@ -87,6 +87,82 @@ def _bench_backend(backend):
     }
 
 
+def _bench_incremental():
+    """Single-parameter edit served by the delta path vs a full reload.
+
+    Two identical drags run the same control sequence — one with
+    ``incremental=True`` (parameter-sliced delta refill), one without
+    (full cache reload) — and every frame pair must be byte-identical
+    before the wall-clock speedup means anything.  Measured on the
+    noise-heavy shader: that is where loads dominate and the delta
+    path earns its keep (a reader-dominated shader amortizes nothing).
+    """
+    full_session = RenderSession(
+        NOISE_SHADER, width=NOISE_SIZE, height=NOISE_SIZE, backend="batch"
+    )
+    inc_session = RenderSession(
+        NOISE_SHADER, width=NOISE_SIZE, height=NOISE_SIZE, backend="batch",
+        incremental=True,
+    )
+    full_edit = full_session.begin_edit(NOISE_PARAM)
+    inc_edit = inc_session.begin_edit(NOISE_PARAM)
+    full_edit.load(full_session.controls)
+    inc_edit.load(inc_session.controls)
+
+    # Smallest non-empty dirty set among the control parameters: the
+    # sweet spot the delta path exists for.
+    spec = inc_edit.specialization
+    candidates = [
+        (len(spec.dirty_slots({name})), name)
+        for name in full_session.spec_info.control_params
+        if name != NOISE_PARAM and spec.dirty_slots({name})
+    ]
+    assert candidates, "no control parameter dirties any cache slot"
+    edited = min(candidates)[1]
+    base = full_session.controls[edited]
+
+    full_seconds = delta_seconds = float("inf")
+    for step in range(REPEATS):
+        controls = full_session.controls_with(
+            **{edited: base * (1.25 + 0.25 * step)}
+        )
+        start = time.perf_counter()
+        full_frame = full_edit.load(controls)
+        full_seconds = min(full_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        inc_frame = inc_edit.load(controls)
+        delta_seconds = min(delta_seconds, time.perf_counter() - start)
+        assert inc_edit._last_load_path == "delta", (
+            "edit of %r was served by the %r path, expected delta"
+            % (edited, inc_edit._last_load_path)
+        )
+        assert full_frame.colors == inc_frame.colors, (
+            "delta refill diverges from full load on edit of %r" % edited
+        )
+    pixels = NOISE_SIZE * NOISE_SIZE
+    return {
+        "shader": NOISE_SHADER,
+        "partition": NOISE_PARAM,
+        "edited": edited,
+        "dirty_slots": sorted(spec.dirty_slots({edited})),
+        "total_slots": len(spec.layout),
+        "full_load_seconds": full_seconds,
+        "delta_load_seconds": delta_seconds,
+        "full_load_pixels_per_sec": pixels / full_seconds,
+        "delta_load_pixels_per_sec": pixels / delta_seconds,
+        "speedup": full_seconds / delta_seconds,
+    }
+
+
+def _bench_animation_section():
+    """Seeded sweep + camera-orbit animation through the incremental
+    edit path (see ``repro.bench.animation``); byte parity with full
+    reloads is asserted inside ``animate``."""
+    from repro.bench.animation import bench_animation
+
+    return bench_animation(seed=0, width=24, height=24)
+
+
 def _time_drag(session, edit):
     """(load_seconds, best adjust_seconds, load_image, adjust_image)."""
     start = time.perf_counter()
@@ -237,12 +313,19 @@ def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
     speedup = (
         batch["adjust_pixels_per_sec"] / scalar["adjust_pixels_per_sec"]
     )
+    incremental = _bench_incremental()
     report = {
         "shader": SHADER,
         "param": PARAM,
         "pixels": SIZE * SIZE,
         "numpy": HAVE_NUMPY,
         "adjust_speedup": speedup,
+        "load_speedup": (
+            batch["load_pixels_per_sec"] / scalar["load_pixels_per_sec"]
+        ),
+        "incremental_load_speedup": incremental["speedup"],
+        "incremental": incremental,
+        "animation": _bench_animation_section(),
         "parallel": bench_parallel(),
         "backends": {
             name: {
@@ -290,8 +373,30 @@ def main():
             )
         )
     print(
-        "batched adjust speedup: %.1fx (numpy=%s)  ->  BENCH_render.json"
-        % (report["adjust_speedup"], report["numpy"])
+        "batched adjust speedup: %.1fx, load speedup: %.1fx (numpy=%s)"
+        "  ->  BENCH_render.json"
+        % (report["adjust_speedup"], report["load_speedup"], report["numpy"])
+    )
+    incremental = report["incremental"]
+    print(
+        "incremental edit of %r: delta refill %.1fx full load "
+        "(%d/%d slots dirty)"
+        % (
+            incremental["edited"],
+            report["incremental_load_speedup"],
+            len(incremental["dirty_slots"]),
+            incremental["total_slots"],
+        )
+    )
+    animation = report["animation"]
+    print(
+        "animation (shader %d, seed %d): %d frames, %d delta / %d full; "
+        "cost %.1fx cheaper than full reloads"
+        % (
+            animation["shader"], animation["seed"], animation["frames"],
+            animation["delta_frames"], animation["full_frames"],
+            animation["cost_speedup"],
+        )
     )
     parallel = report["parallel"]
     print(

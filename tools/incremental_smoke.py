@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Incremental-edit throughput smoke: delta refills vs full reloads.
+
+For each bench shader, runs the same single-invariant-parameter edit
+sequence through two identical drag sessions — one with
+``incremental=True`` (parameter-sliced delta loaders refill only the
+dirtied cache slots in place), one without (every edit pays a full
+cache reload).  Asserts byte-identical frames and then gates the
+wall-clock ratio: the delta path must serve single-parameter edits at
+least ``MIN_INCREMENTAL_SPEEDUP``x faster than the full load.
+
+Results are merged into ``BENCH_render.json`` under an
+``incremental_smoke`` key (read-modify-write: sections owned by the
+other tools are preserved).
+
+Run directly::
+
+    python tools/incremental_smoke.py
+
+or through the non-gating pytest marker::
+
+    PYTHONPATH=src python -m pytest -m incsmoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_ROOT, "src")) and _ROOT not in sys.path:
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.runtime.batch import HAVE_NUMPY  # noqa: E402
+from repro.shaders.render import RenderSession  # noqa: E402
+
+#: Noise-heavy bench shaders — the regime where loads dominate and the
+#: delta path is supposed to win.
+EDITS = ((3, "veinfreq"), (5, "density"))
+SIZE = 48
+#: Best-of-N timing to damp scheduler noise.
+REPEATS = 3
+#: Required delta-refill advantage over a full cache load for a
+#: single-invariant-parameter edit.
+MIN_INCREMENTAL_SPEEDUP = 3.0
+
+
+def bench_edit(shader, param):
+    """Time one single-parameter edit served by delta vs full load."""
+    full_session = RenderSession(shader, width=SIZE, height=SIZE)
+    inc_session = RenderSession(
+        shader, width=SIZE, height=SIZE, incremental=True
+    )
+    full_edit = full_session.begin_edit(param)
+    inc_edit = inc_session.begin_edit(param)
+    full_edit.load(full_session.controls)
+    inc_edit.load(inc_session.controls)
+
+    # Edit the control parameter with the smallest non-empty dirty set.
+    spec = inc_edit.specialization
+    candidates = [
+        (len(spec.dirty_slots({name})), name)
+        for name in full_session.spec_info.control_params
+        if name != param and spec.dirty_slots({name})
+    ]
+    assert candidates, (
+        "shader %d: no control parameter dirties any cache slot" % shader
+    )
+    edited = min(candidates)[1]
+    base = full_session.controls[edited]
+
+    full_seconds = delta_seconds = float("inf")
+    full_cost = delta_cost = None
+    for step in range(REPEATS):
+        controls = full_session.controls_with(
+            **{edited: base * (1.2 + 0.2 * step) + 0.01}
+        )
+        start = time.perf_counter()
+        full_frame = full_edit.load(controls)
+        full_seconds = min(full_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        inc_frame = inc_edit.load(controls)
+        delta_seconds = min(delta_seconds, time.perf_counter() - start)
+        assert inc_edit._last_load_path == "delta", (
+            "shader %d edit of %r took the %r path, expected delta"
+            % (shader, edited, inc_edit._last_load_path)
+        )
+        assert inc_frame.colors == full_frame.colors, (
+            "shader %d: delta refill diverges from full load on %r"
+            % (shader, edited)
+        )
+        full_cost = full_frame.total_cost
+        delta_cost = inc_frame.total_cost
+    full_edit.close()
+    inc_edit.close()
+
+    pixels = SIZE * SIZE
+    return {
+        "shader": shader,
+        "partition": param,
+        "edited": edited,
+        "dirty_slots": sorted(spec.dirty_slots({edited})),
+        "total_slots": len(spec.layout),
+        "full_load_seconds": full_seconds,
+        "delta_load_seconds": delta_seconds,
+        "full_load_pixels_per_sec": pixels / full_seconds,
+        "delta_load_pixels_per_sec": pixels / delta_seconds,
+        "speedup": full_seconds / delta_seconds,
+        "cost_speedup": full_cost / float(delta_cost),
+    }
+
+
+def run(out_path=os.path.join(_ROOT, "BENCH_render.json")):
+    edits = [bench_edit(shader, param) for shader, param in EDITS]
+    section = {
+        "pixels": SIZE * SIZE,
+        "numpy": HAVE_NUMPY,
+        "min_speedup": min(entry["speedup"] for entry in edits),
+        "gate": MIN_INCREMENTAL_SPEEDUP,
+        "edits": edits,
+    }
+
+    merged = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                merged = json.load(handle)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict):
+        merged = {}
+    merged["incremental_smoke"] = section
+    with open(out_path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for entry in edits:
+        assert entry["speedup"] >= MIN_INCREMENTAL_SPEEDUP, (
+            "shader %d: delta refill only %.2fx a full load on edit of "
+            "%r (need >= %.1fx)"
+            % (entry["shader"], entry["speedup"], entry["edited"],
+               MIN_INCREMENTAL_SPEEDUP)
+        )
+    return section
+
+
+def main():
+    section = run()
+    for entry in section["edits"]:
+        print(
+            "shader %d (%s partition): edit %-12r  delta %8.0f px/s  "
+            "full %8.0f px/s  -> %.1fx (cost %.1fx, %d/%d slots)"
+            % (
+                entry["shader"], entry["partition"], entry["edited"],
+                entry["delta_load_pixels_per_sec"],
+                entry["full_load_pixels_per_sec"],
+                entry["speedup"], entry["cost_speedup"],
+                len(entry["dirty_slots"]), entry["total_slots"],
+            )
+        )
+    print(
+        "incremental edit speedup: min %.1fx (gate %.1fx)  ->  "
+        "BENCH_render.json" % (section["min_speedup"], section["gate"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
